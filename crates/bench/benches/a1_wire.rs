@@ -1,0 +1,80 @@
+//! A1: wire codec throughput — the protocol layer the paper's compiler
+//! would emit, measured without any network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wire::collections::{Bytes, F64s};
+use wire::{wire_enum, wire_struct};
+
+#[derive(Debug, PartialEq)]
+struct CallHeader {
+    req_id: u64,
+    target: u64,
+    method: String,
+}
+wire_struct!(CallHeader { req_id, target, method });
+
+#[derive(Debug, PartialEq)]
+enum SampleCall {
+    Read { page: u64 },
+    Write { page: u64, data: Vec<u8> },
+}
+wire_enum!(SampleCall {
+    0 => Read { page },
+    1 => Write { page, data },
+});
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a1_wire");
+
+    // Small structured messages (per-call framing cost).
+    let header = CallHeader { req_id: 42, target: 7, method: "read_sub".into() };
+    g.bench_function("encode_call_header", |b| b.iter(|| wire::to_bytes(&header)));
+    let header_bytes = wire::to_bytes(&header);
+    g.bench_function("decode_call_header", |b| {
+        b.iter(|| wire::from_bytes::<CallHeader>(&header_bytes).unwrap())
+    });
+
+    let call = SampleCall::Write { page: 3, data: vec![7u8; 256] };
+    g.bench_function("encode_enum_call", |b| b.iter(|| wire::to_bytes(&call)));
+    let call_bytes = wire::to_bytes(&call);
+    g.bench_function("decode_enum_call", |b| {
+        b.iter(|| wire::from_bytes::<SampleCall>(&call_bytes).unwrap())
+    });
+
+    // Bulk payloads: the F64s/Bytes fast paths vs the elementwise Vec path.
+    for elems in [1usize << 12, 1 << 16, 1 << 20] {
+        let bytes = (elems * 8) as u64;
+        let doubles = F64s((0..elems).map(|i| i as f64).collect());
+        let plain: Vec<f64> = doubles.0.clone();
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(BenchmarkId::new("encode_f64s_bulk", bytes), &doubles, |b, d| {
+            b.iter(|| wire::to_bytes(d))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("encode_vec_f64_elementwise", bytes),
+            &plain,
+            |b, d| b.iter(|| wire::to_bytes(d)),
+        );
+        let encoded = wire::to_bytes(&doubles);
+        g.bench_with_input(BenchmarkId::new("decode_f64s_bulk", bytes), &encoded, |b, e| {
+            b.iter(|| wire::from_bytes::<F64s>(e).unwrap())
+        });
+    }
+
+    let page = Bytes(vec![0xa5u8; 1 << 20]);
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("encode_bytes_1MiB", |b| b.iter(|| wire::to_bytes(&page)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Fast profile: the experiment tables come from `reproduce`; these
+    // benches track framework overhead, so short measurements suffice.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_wire
+}
+criterion_main!(benches);

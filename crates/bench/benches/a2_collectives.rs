@@ -1,0 +1,66 @@
+//! A2: synchronization primitives — oopp group barrier vs mplite
+//! collectives.
+
+use bench::{Syncer, SyncerClient};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mplite::{MpiWorld, Op};
+use oopp::{join, BarrierClient, ClusterBuilder};
+use simnet::ClusterConfig;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a2_collectives");
+
+    for n in [2usize, 4, 8] {
+        // oopp barrier: n workers + driver.
+        let (_cluster, mut driver) =
+            ClusterBuilder::new(n).register::<Syncer>().build();
+        let barrier = BarrierClient::new_on(&mut driver, 0, n + 1).unwrap();
+        let syncers: Vec<_> =
+            (0..n).map(|m| SyncerClient::new_on(&mut driver, m).unwrap()).collect();
+        g.bench_with_input(BenchmarkId::new("oopp_barrier", n), &syncers, |b, syncers| {
+            b.iter(|| {
+                let pending: Vec<_> = syncers
+                    .iter()
+                    .map(|s| s.sync_async(&mut driver, barrier).unwrap())
+                    .collect();
+                barrier.enter(&mut driver).unwrap();
+                join(&mut driver, pending).unwrap();
+            })
+        });
+
+        // mplite: whole-world run of K barriers (amortizes spawn).
+        g.bench_with_input(BenchmarkId::new("mplite_barrier_x16", n), &n, |b, &n| {
+            b.iter(|| {
+                MpiWorld::new(ClusterConfig::zero_cost(n)).run(|c| {
+                    for _ in 0..16 {
+                        c.barrier().unwrap();
+                    }
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mplite_allreduce_x16", n), &n, |b, &n| {
+            b.iter(|| {
+                MpiWorld::new(ClusterConfig::zero_cost(n)).run(|c| {
+                    let mut acc = 0.0;
+                    for _ in 0..16 {
+                        acc = c.allreduce_f64(acc + c.rank() as f64, Op::Sum).unwrap();
+                    }
+                    acc
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Fast profile: the experiment tables come from `reproduce`; these
+    // benches track framework overhead, so short measurements suffice.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_collectives
+}
+criterion_main!(benches);

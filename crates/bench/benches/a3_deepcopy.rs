@@ -1,0 +1,52 @@
+//! A3 (§4): deep-copied `SetGroup` peer tables vs shallow remote tables.
+
+use bench::{GroupTable, GroupTableClient};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oopp::{ClusterBuilder, DoubleBlockClient, RemoteClient};
+
+fn bench_deepcopy(c: &mut Criterion) {
+    let n = 4usize;
+    let (_cluster, mut driver) = ClusterBuilder::new(n).register::<GroupTable>().build();
+    let members: Vec<_> =
+        (0..n).map(|m| DoubleBlockClient::new_on(&mut driver, m, 16).unwrap()).collect();
+    let table = GroupTableClient::new_on(
+        &mut driver,
+        0,
+        members.iter().map(|m| m.obj_ref()).collect::<Vec<_>>(),
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("a3_deepcopy");
+    for calls in [16usize, 64] {
+        g.bench_with_input(BenchmarkId::new("deep_local_table", calls), &calls, |b, &k| {
+            b.iter(|| {
+                for i in 0..k {
+                    std::hint::black_box(members[i % n].get(&mut driver, 0).unwrap());
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("shallow_remote_table", calls), &calls, |b, &k| {
+            b.iter(|| {
+                for i in 0..k {
+                    let r = table.get(&mut driver, i % n).unwrap();
+                    std::hint::black_box(
+                        DoubleBlockClient::from_ref(r).get(&mut driver, 0).unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Fast profile: the experiment tables come from `reproduce`; these
+    // benches track framework overhead, so short measurements suffice.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_deepcopy
+}
+criterion_main!(benches);

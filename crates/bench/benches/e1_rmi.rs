@@ -1,0 +1,46 @@
+//! E1 (§2): framework cost of remote method invocation — create/destroy,
+//! element access, and bulk range reads — on the zero-cost substrate, so
+//! Criterion measures the runtime itself rather than modeled link delays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oopp::{ClusterBuilder, DoubleBlockClient};
+
+fn bench_rmi(c: &mut Criterion) {
+    let (_cluster, mut driver) = ClusterBuilder::new(2).build();
+    let block = DoubleBlockClient::new_on(&mut driver, 0, 1 << 18).unwrap();
+
+    let mut g = c.benchmark_group("e1_rmi");
+
+    g.bench_function("create_destroy", |b| {
+        b.iter(|| {
+            let x = DoubleBlockClient::new_on(&mut driver, 1, 16).unwrap();
+            x.destroy(&mut driver).unwrap();
+        })
+    });
+    g.bench_function("set_element", |b| {
+        b.iter(|| block.set(&mut driver, 7, 3.1415).unwrap())
+    });
+    g.bench_function("get_element", |b| {
+        b.iter(|| block.get(&mut driver, 2).unwrap())
+    });
+
+    for elems in [1usize << 10, 1 << 14, 1 << 18] {
+        g.throughput(Throughput::Bytes((elems * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("read_range", elems * 8), &elems, |b, &n| {
+            b.iter(|| block.read_range(&mut driver, 0, n).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Fast profile: the experiment tables come from `reproduce`; these
+    // benches track framework overhead, so short measurements suffice.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_rmi
+}
+criterion_main!(benches);

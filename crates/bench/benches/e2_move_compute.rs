@@ -1,0 +1,56 @@
+//! E2 (§3): ship-the-page vs sum-on-the-device, page size sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oopp::ClusterBuilder;
+use pagestore::{ArrayPage, ArrayPageDevice, ArrayPageDeviceClient, PageDevice};
+
+fn bench_move_compute(c: &mut Criterion) {
+    let (_cluster, mut driver) = ClusterBuilder::new(1)
+        .register::<PageDevice>()
+        .register::<ArrayPageDevice>()
+        .build();
+
+    let mut g = c.benchmark_group("e2_move_compute");
+
+    for side in [8usize, 16, 32] {
+        let dev = ArrayPageDeviceClient::new_on(
+            &mut driver,
+            0,
+            format!("e2-{side}"),
+            1,
+            side as u64,
+            side as u64,
+            side as u64,
+            0,
+            None,
+        )
+        .unwrap();
+        dev.write_array(&mut driver, 0, ArrayPage::generate(side, side, side, 1).into_f64s())
+            .unwrap();
+        let bytes = (side * side * side * 8) as u64;
+
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(BenchmarkId::new("ship_data", side), &dev, |b, dev| {
+            b.iter(|| {
+                let data = dev.read_array(&mut driver, 0).unwrap();
+                std::hint::black_box(data.0.iter().sum::<f64>())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("device_sum", side), &dev, |b, dev| {
+            b.iter(|| dev.sum(&mut driver, 0).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Fast profile: the experiment tables come from `reproduce`; these
+    // benches track framework overhead, so short measurements suffice.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_move_compute
+}
+criterion_main!(benches);

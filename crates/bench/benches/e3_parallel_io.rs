@@ -1,0 +1,59 @@
+//! E3 (§4): sequential vs split-loop reads over N devices, plus the
+//! message-passing pipeline, zero-cost substrate (framework overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mplite::apps::{pageio_run, IoMode};
+use oopp::{join, ClusterBuilder};
+use pagestore::{Page, PageDevice, PageDeviceClient};
+use simnet::ClusterConfig;
+
+const PAGE: usize = 16 << 10;
+
+fn bench_parallel_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_parallel_io");
+
+    for n in [2usize, 4, 8] {
+        let (_cluster, mut driver) = ClusterBuilder::new(n).register::<PageDevice>().build();
+        let devices: Vec<_> = (0..n)
+            .map(|m| {
+                let d = PageDeviceClient::new_on(
+                    &mut driver, m, format!("d{m}"), 4, PAGE as u64, 0,
+                )
+                .unwrap();
+                d.write(&mut driver, 1, Page::generate(PAGE, m as u64).into_bytes()).unwrap();
+                d
+            })
+            .collect();
+
+        g.bench_with_input(BenchmarkId::new("sequential", n), &devices, |b, devices| {
+            b.iter(|| {
+                for d in devices {
+                    std::hint::black_box(d.read(&mut driver, 1).unwrap());
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("split_loop", n), &devices, |b, devices| {
+            b.iter(|| {
+                let pending: Vec<_> =
+                    devices.iter().map(|d| d.read_async(&mut driver, 1).unwrap()).collect();
+                std::hint::black_box(join(&mut driver, pending).unwrap());
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mplite_pipelined", n), &n, |b, &n| {
+            b.iter(|| pageio_run(ClusterConfig::zero_cost(n + 1), PAGE, 4, IoMode::Pipelined))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Fast profile: the experiment tables come from `reproduce`; these
+    // benches track framework overhead, so short measurements suffice.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_parallel_io
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E4 (§4): distributed 3-D FFT — oopp process group vs message-passing
+//! ranks vs the single-node transform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fft::{c64, Complex, Direction, DistributedFft3, Fft3, Grid3};
+use mplite::apps::fft_run;
+use oopp::ClusterBuilder;
+use simnet::ClusterConfig;
+
+const SHAPE: [usize; 3] = [16, 16, 16];
+
+fn sample() -> Vec<Complex> {
+    (0..SHAPE.iter().product::<usize>())
+        .map(|i| c64((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let data = sample();
+    let mut g = c.benchmark_group("e4_fft");
+
+    g.bench_function("local", |b| {
+        let plan = Fft3::new(SHAPE);
+        let grid = Grid3::new(SHAPE, data.clone());
+        b.iter(|| plan.transform(&grid, Direction::Forward))
+    });
+
+    for parts in [2usize, 4] {
+        // oopp: persistent group, repeated transforms.
+        let (_cluster, mut driver) =
+            DistributedFft3::register(ClusterBuilder::new(parts)).build();
+        let dfft = DistributedFft3::new(
+            &mut driver,
+            [SHAPE[0] as u64, SHAPE[1] as u64, SHAPE[2] as u64],
+            parts,
+        )
+        .unwrap();
+        dfft.scatter(&mut driver, &data).unwrap();
+        g.bench_with_input(BenchmarkId::new("oopp", parts), &parts, |b, _| {
+            b.iter(|| dfft.transform(&mut driver, Direction::Forward).unwrap())
+        });
+
+        // mplite: whole world per iteration (includes spawn cost; noted in
+        // EXPERIMENTS.md).
+        g.bench_with_input(BenchmarkId::new("mplite_world", parts), &parts, |b, &p| {
+            b.iter(|| {
+                fft_run(ClusterConfig::zero_cost(p), SHAPE, data.clone(), Direction::Forward)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Fast profile: the experiment tables come from `reproduce`; these
+    // benches track framework overhead, so short measurements suffice.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_fft
+}
+criterion_main!(benches);

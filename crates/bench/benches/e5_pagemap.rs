@@ -1,0 +1,48 @@
+//! E5 (§5): the same slab read under the four page-map layouts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distarray::{register_classes, Array, BlockStorage, Domain, PageMap};
+use oopp::ClusterBuilder;
+
+fn bench_pagemap(c: &mut Criterion) {
+    let n = [32u64, 16, 16];
+    let p = [4u64, 16, 16];
+    let grid = [8u64, 1, 1];
+    let devices = 4u64;
+    let slab = Domain::new(0, 16, 0, 16, 0, 16);
+
+    let mut g = c.benchmark_group("e5_pagemap");
+
+    for (name, map) in [
+        ("round_robin", PageMap::round_robin(grid, devices)),
+        ("blocked", PageMap::blocked(grid, devices)),
+        ("hashed", PageMap::hashed(grid, devices, 7)),
+        ("zcurve", PageMap::zcurve(grid, devices)),
+    ] {
+        let (_cluster, mut driver) =
+            register_classes(ClusterBuilder::new(devices as usize)).build();
+        let storage = BlockStorage::create(
+            &mut driver, "e5", devices as usize, map.pages_per_device(), p[0], p[1], p[2], 1,
+        )
+        .unwrap();
+        let array = Array::new(n, p, storage, map).unwrap();
+        array.fill(&mut driver, &array.whole(), 1.0).unwrap();
+
+        g.bench_with_input(BenchmarkId::new("slab_read", name), &array, |b, array| {
+            b.iter(|| array.read(&mut driver, &slab).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Fast profile: the experiment tables come from `reproduce`; these
+    // benches track framework overhead, so short measurements suffice.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_pagemap
+}
+criterion_main!(benches);

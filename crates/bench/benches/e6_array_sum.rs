@@ -1,0 +1,45 @@
+//! E6 (§5): distributed-array sum with 1..N parallel Array clients.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distarray::{parallel_sum, register_classes, Array, BlockStorage, PageMap};
+use oopp::ClusterBuilder;
+
+fn bench_array_sum(c: &mut Criterion) {
+    let devices = 4usize;
+    let (_cluster, mut driver) = register_classes(ClusterBuilder::new(devices)).build();
+    let grid = [4u64, 2, 2];
+    let map = PageMap::round_robin(grid, devices as u64);
+    let storage = BlockStorage::create(
+        &mut driver, "e6", devices, map.pages_per_device(), 8, 8, 8, 1,
+    )
+    .unwrap();
+    let array = Array::new([32, 16, 16], [8, 8, 8], storage, map).unwrap();
+    array.fill(&mut driver, &array.whole(), 0.5).unwrap();
+    let whole = array.whole();
+
+    let mut g = c.benchmark_group("e6_array_sum");
+    g.bench_function("driver_device_side", |b| {
+        b.iter(|| array.sum(&mut driver, &whole).unwrap())
+    });
+    g.bench_function("driver_ship_data", |b| {
+        b.iter(|| array.sum_by_moving_data(&mut driver, &whole).unwrap())
+    });
+    for clients in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("parallel_clients", clients), &clients, |b, &k| {
+            b.iter(|| parallel_sum(&mut driver, &array, &whole, k).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Fast profile: the experiment tables come from `reproduce`; these
+    // benches track framework overhead, so short measurements suffice.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_array_sum
+}
+criterion_main!(benches);

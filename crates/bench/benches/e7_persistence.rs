@@ -1,0 +1,56 @@
+//! E7 (§5): snapshot / deactivate / activate cost vs. state size, and
+//! symbolic-address lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oopp::{ClusterBuilder, DoubleBlockClient, RemoteClient};
+
+fn bench_persistence(c: &mut Criterion) {
+    let (_cluster, mut driver) = ClusterBuilder::new(1).build();
+    let dir = driver.directory();
+
+    let mut g = c.benchmark_group("e7_persistence");
+
+    for elems in [1usize << 10, 1 << 14, 1 << 17] {
+        let block = DoubleBlockClient::new_on(&mut driver, 0, elems).unwrap();
+        block.fill(&mut driver, 1.0).unwrap();
+        g.throughput(Throughput::Bytes((elems * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("snapshot", elems * 8), &block, |b, blk| {
+            b.iter(|| driver.snapshot_of(blk.obj_ref()).unwrap())
+        });
+
+        // One full deactivate → activate cycle per iteration; the revived
+        // client becomes the next iteration's victim.
+        let mut cur = block;
+        g.bench_with_input(
+            BenchmarkId::new("deactivate_activate", elems * 8),
+            &elems,
+            |b, _| {
+                b.iter(|| {
+                    driver.deactivate(cur.obj_ref(), "e7").unwrap();
+                    cur = driver.activate::<DoubleBlockClient>(0, "e7").unwrap();
+                })
+            },
+        );
+        cur.destroy(&mut driver).unwrap();
+        driver.drop_snapshot(0, "e7").unwrap();
+    }
+
+    g.bench_function("directory_lookup", |b| {
+        dir.bind(&mut driver, "oopp://x".into(), oopp::ObjRef { machine: 0, object: 1 })
+            .unwrap();
+        b.iter(|| dir.lookup(&mut driver, "oopp://x".into()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Fast profile: the experiment tables come from `reproduce`; these
+    // benches track framework overhead, so short measurements suffice.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_persistence
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E8 (§2/§4): N computing processes — sequential vs parallel dispatch,
+//! and serialization at a single shared object.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oopp::{join, ClusterBuilder, DoubleBlockClient};
+
+fn bench_shared_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_shared_memory");
+
+    for n in [2usize, 4, 8] {
+        let (_cluster, mut driver) = ClusterBuilder::new(n).build();
+        let blocks: Vec<_> = (0..n)
+            .map(|m| {
+                let b = DoubleBlockClient::new_on(&mut driver, m, 1 << 12).unwrap();
+                b.fill(&mut driver, 1.0).unwrap();
+                b
+            })
+            .collect();
+
+        g.bench_with_input(BenchmarkId::new("sequential", n), &blocks, |b, blocks| {
+            b.iter(|| {
+                for blk in blocks {
+                    std::hint::black_box(blk.sum_range(&mut driver, 0, 1 << 12).unwrap());
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", n), &blocks, |b, blocks| {
+            b.iter(|| {
+                let pending: Vec<_> = blocks
+                    .iter()
+                    .map(|blk| blk.sum_range_async(&mut driver, 0, 1 << 12).unwrap())
+                    .collect();
+                std::hint::black_box(join(&mut driver, pending).unwrap());
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("one_object", n), &blocks, |b, blocks| {
+            let one = &blocks[0];
+            b.iter(|| {
+                let pending: Vec<_> = (0..blocks.len())
+                    .map(|_| one.sum_range_async(&mut driver, 0, 1 << 12).unwrap())
+                    .collect();
+                std::hint::black_box(join(&mut driver, pending).unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Fast profile: the experiment tables come from `reproduce`; these
+    // benches track framework overhead, so short measurements suffice.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_shared_memory
+}
+criterion_main!(benches);

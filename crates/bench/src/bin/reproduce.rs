@@ -1,0 +1,77 @@
+//! Regenerate every experiment table of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p bench --bin reproduce            # all experiments
+//! cargo run --release -p bench --bin reproduce e3 e4     # a subset
+//! ```
+
+use bench::experiments as ex;
+use bench::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+
+    let all: &[(&str, &str, fn() -> Table)] = &[
+        (
+            "E1",
+            "remote object semantics: creation, calls, element access (§2)",
+            ex::e1_rmi_overhead,
+        ),
+        (
+            "E2",
+            "move data vs move computation: page sum (§3)",
+            ex::e2_move_compute,
+        ),
+        (
+            "E3",
+            "split-loop parallel I/O over N devices (§4)",
+            ex::e3_parallel_io,
+        ),
+        ("E4", "distributed 3-D FFT scaling (§4)", ex::e4_fft),
+        (
+            "E5",
+            "PageMap determines I/O parallelism (§5)",
+            ex::e5_pagemap,
+        ),
+        (
+            "E6",
+            "parallel Array clients summing a distributed array (§5)",
+            ex::e6_array_sum,
+        ),
+        (
+            "E7",
+            "persistent processes: deactivate/activate, symbolic lookup (§5)",
+            ex::e7_persistence,
+        ),
+        (
+            "E8",
+            "N computing processes vs one shared object (§2/§4)",
+            ex::e8_shared_memory,
+        ),
+        ("A1", "ablation: wire codec throughput", ex::a1_wire),
+        (
+            "A2",
+            "ablation: oopp barrier vs mplite collectives",
+            ex::a2_collectives,
+        ),
+        (
+            "A3",
+            "ablation: deep-copy vs shallow SetGroup (§4)",
+            ex::a3_deepcopy,
+        ),
+    ];
+
+    println!("oopp reproduction harness — experiment tables");
+    println!("(substrate: simulated cluster; costs per DESIGN.md; shapes, not absolute numbers)");
+    for (id, title, run) in all {
+        if !want(id) {
+            continue;
+        }
+        println!("\n=== {id}: {title} ===");
+        let t0 = std::time::Instant::now();
+        let table = run();
+        print!("{}", table.render());
+        println!("[{id} took {:.1?}]", t0.elapsed());
+    }
+}

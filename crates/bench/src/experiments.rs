@@ -1,0 +1,632 @@
+//! The experiments: one function per claim of the paper. Each returns a
+//! [`Table`] that the `reproduce` binary prints and EXPERIMENTS.md records.
+//!
+//! The paper (a conceptual framework paper) has no numbered tables or
+//! figures; the experiment ids E1–E8 index the *claims and worked examples*
+//! of its sections, as laid out in DESIGN.md §3.
+
+use std::time::Duration;
+
+use distarray::{register_classes, Array, BlockStorage, Domain, PageMap};
+use fft::{c64, Complex, Direction, DistributedFft3, Fft3, Grid3};
+use mplite::apps::{fft_run, pageio_run, IoMode};
+use mplite::{MpiWorld, Op};
+use oopp::{join, BarrierClient, ClusterBuilder, DoubleBlockClient, RemoteClient};
+use pagestore::{ArrayPage, ArrayPageDevice, ArrayPageDeviceClient, Page, PageDevice};
+use simnet::ClusterConfig;
+use wire::collections::F64s;
+
+use crate::{lan_config, ms, spinny_disk, time_median, time_once, us, GroupTable, GroupTableClient, Syncer, SyncerClient, Table};
+
+/// E1 (§2): cost of remote object semantics — creation, method call,
+/// element access — against the substrate's analytic cost model.
+pub fn e1_rmi_overhead() -> Table {
+    let mut t = Table::new(&[
+        "operation",
+        "payload B",
+        "median us",
+        "model us (2*lat + b/bw)",
+    ]);
+    let (cluster, mut driver) = ClusterBuilder::new(2).sim_config(lan_config()).build();
+    let lat_us = 50.0;
+    let bw = 10e9 / 8.0;
+
+    // Remote creation + destruction.
+    let create = time_median(9, || {
+        let b = DoubleBlockClient::new_on(&mut driver, 0, 16).unwrap();
+        b.destroy(&mut driver).unwrap();
+    });
+    t.row(&[
+        "new+delete".into(),
+        "~32".into(),
+        us(create / 2),
+        format!("{:.1}", 2.0 * lat_us),
+    ]);
+
+    // data[i] = v and x = data[i] — the paper's element accesses (the
+    // constant is the paper's own literal, not an approximation of pi).
+    let block = DoubleBlockClient::new_on(&mut driver, 0, 1 << 17).unwrap();
+    #[allow(clippy::approx_constant)]
+    let set = time_median(19, || block.set(&mut driver, 7, 3.1415).unwrap());
+    t.row(&["data[7]=v".into(), "~20".into(), us(set), format!("{:.1}", 2.0 * lat_us)]);
+    let get = time_median(19, || block.get(&mut driver, 2).unwrap());
+    t.row(&["x=data[2]".into(), "~16".into(), us(get), format!("{:.1}", 2.0 * lat_us)]);
+
+    // Bulk payload sweep: read_range of increasing size.
+    for elems in [16usize, 1 << 10, 1 << 14, 1 << 17] {
+        let bytes = elems * 8;
+        let d = time_median(9, || {
+            let _ = block.read_range(&mut driver, 0, elems).unwrap();
+        });
+        let model = 2.0 * lat_us + bytes as f64 / bw * 1e6;
+        t.row(&[
+            "read_range".into(),
+            bytes.to_string(),
+            us(d),
+            format!("{model:.1}"),
+        ]);
+    }
+    cluster.shutdown(driver);
+    t
+}
+
+/// E2 (§3): "moving the data to the computation" vs "moving the computation
+/// to the data" for the page-sum, across page sizes.
+pub fn e2_move_compute() -> Table {
+    let mut t = Table::new(&[
+        "page (doubles)",
+        "page KiB",
+        "ship-data ms",
+        "device-sum ms",
+        "ratio",
+    ]);
+    for side in [8usize, 16, 32, 64] {
+        let (cluster, mut driver) = ClusterBuilder::new(1)
+            .register::<PageDevice>()
+            .register::<ArrayPageDevice>()
+            .sim_config(lan_config())
+            .build();
+        let dev = ArrayPageDeviceClient::new_on(
+            &mut driver,
+            0,
+            "e2".into(),
+            2,
+            side as u64,
+            side as u64,
+            side as u64,
+            0,
+            None,
+        )
+        .unwrap();
+        dev.write_array(
+            &mut driver,
+            0,
+            ArrayPage::generate(side, side, side, 1).into_f64s(),
+        )
+        .unwrap();
+
+        let ship = time_median(5, || {
+            let data = dev.read_array(&mut driver, 0).unwrap();
+            std::hint::black_box(data.0.iter().sum::<f64>())
+        });
+        let device = time_median(5, || dev.sum(&mut driver, 0).unwrap());
+        let n = side * side * side;
+        t.row(&[
+            format!("{side}^3"),
+            (n * 8 / 1024).to_string(),
+            ms(ship),
+            ms(device),
+            format!("{:.1}x", ship.as_secs_f64() / device.as_secs_f64()),
+        ]);
+        cluster.shutdown(driver);
+    }
+    t
+}
+
+/// E3 (§4): the split-loop transformation — one page from each of N
+/// devices, sequential vs split, plus the hand-written message-passing
+/// pipeline on identical hardware.
+pub fn e3_parallel_io() -> Table {
+    let mut t = Table::new(&[
+        "devices",
+        "sequential ms",
+        "split-loop ms",
+        "speedup",
+        "mplite pipelined ms",
+    ]);
+    let page_elems = 1 << 14; // 128 KiB pages
+    for n in [1usize, 2, 4, 8, 16] {
+        let mut cfg = lan_config();
+        cfg.disk = spinny_disk();
+        let (cluster, mut driver) = ClusterBuilder::new(n)
+            .register::<PageDevice>()
+            .register::<ArrayPageDevice>()
+            .sim_config(cfg.clone())
+            .build();
+        let devices: Vec<_> = (0..n)
+            .map(|m| {
+                let d = ArrayPageDeviceClient::new_on(
+                    &mut driver, m, format!("e3.{m}"), 4, 32, 32, 16, 0, None,
+                )
+                .unwrap();
+                d.write_array(
+                    &mut driver,
+                    1,
+                    ArrayPage::generate(32, 32, 16, m as u64).into_f64s(),
+                )
+                .unwrap();
+                d
+            })
+            .collect();
+
+        // The unsplit loop: each read completes before the next is issued.
+        let seq = time_median(3, || {
+            for d in &devices {
+                let _ = d.read_array(&mut driver, 1).unwrap();
+            }
+        });
+        // The compiler-split loop.
+        let split = time_median(3, || {
+            let pending: Vec<_> = devices
+                .iter()
+                .map(|d| d.read_array_async(&mut driver, 1).unwrap())
+                .collect();
+            let _ = join(&mut driver, pending).unwrap();
+        });
+        cluster.shutdown(driver);
+
+        // The message-passing baseline: n servers + 1 client.
+        let mut mp_cfg = cfg.clone();
+        mp_cfg.machines = n + 1;
+        let (mp, _) = pageio_run(mp_cfg, page_elems * 8, 4, IoMode::Pipelined);
+
+        t.row(&[
+            n.to_string(),
+            ms(seq),
+            ms(split),
+            format!("{:.1}x", seq.as_secs_f64() / split.as_secs_f64()),
+            ms(mp),
+        ]);
+    }
+    t
+}
+
+/// E4 (§4): the distributed FFT — scaling with process count, oopp RMI vs.
+/// the message-passing baseline vs. a single node.
+pub fn e4_fft() -> Table {
+    let shape = [64usize, 64, 64];
+    let data: Vec<Complex> = (0..shape.iter().product::<usize>())
+        .map(|i| c64((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect();
+    let mut t = Table::new(&[
+        "processes",
+        "oopp ms",
+        "mplite ms",
+        "local ms",
+        "oopp msgs",
+        "oopp MB moved",
+    ]);
+
+    let (local_time, _) = time_once(|| {
+        Fft3::new(shape).transform(&Grid3::new(shape, data.clone()), Direction::Forward)
+    });
+
+    for parts in [1usize, 2, 4, 8] {
+        let (cluster, mut driver) = DistributedFft3::register(ClusterBuilder::new(parts))
+            .sim_config(lan_config())
+            .build();
+        let dfft = DistributedFft3::new(
+            &mut driver,
+            [shape[0] as u64, shape[1] as u64, shape[2] as u64],
+            parts,
+        )
+        .unwrap();
+        dfft.scatter(&mut driver, &data).unwrap();
+        let before = cluster.snapshot();
+        let (oopp_time, _) = time_once(|| dfft.transform(&mut driver, Direction::Forward).unwrap());
+        let delta = cluster.snapshot().since(&before);
+        cluster.shutdown(driver);
+
+        let mut cfg = lan_config();
+        cfg.machines = parts;
+        let (mpi_time, _) =
+            time_once(|| fft_run(cfg, shape, data.clone(), Direction::Forward));
+
+        t.row(&[
+            parts.to_string(),
+            ms(oopp_time),
+            ms(mpi_time),
+            ms(local_time),
+            delta.messages_sent.to_string(),
+            format!("{:.1}", delta.bytes_sent as f64 / 1e6),
+        ]);
+    }
+    t
+}
+
+/// E5 (§5): "the PageMap determines the degree of parallelism of the I/O":
+/// the same slab read under four layouts.
+pub fn e5_pagemap() -> Table {
+    let mut t = Table::new(&[
+        "page map",
+        "read ms",
+        "devices touched",
+        "disk parallelism",
+    ]);
+    let n = [64u64, 32, 32];
+    let p = [4u64, 32, 32]; // pages stack along axis 0: grid [16,1,1]
+    let grid = [16u64, 1, 1];
+    let devices = 4u64;
+    // Four consecutive pages: a contiguous slab. Blocked keeps all four on
+    // one device (ceil(16/4) = 4 per device); round-robin spreads them.
+    let slab = Domain::new(0, 16, 0, 32, 0, 32);
+
+    for (name, map) in [
+        ("round-robin", PageMap::round_robin(grid, devices)),
+        ("blocked", PageMap::blocked(grid, devices)),
+        ("hashed", PageMap::hashed(grid, devices, 7)),
+        ("z-curve", PageMap::zcurve(grid, devices)),
+    ] {
+        let mut cfg = lan_config();
+        cfg.disk = spinny_disk();
+        let (cluster, mut driver) = register_classes(ClusterBuilder::new(devices as usize))
+            .sim_config(cfg)
+            .build();
+        let storage = BlockStorage::create(
+            &mut driver,
+            "e5",
+            devices as usize,
+            map.pages_per_device(),
+            p[0],
+            p[1],
+            p[2],
+            1,
+        )
+        .unwrap();
+        let array = Array::new(n, p, storage, map).unwrap();
+        array.fill(&mut driver, &array.whole(), 1.0).unwrap();
+
+        let before = cluster.snapshot();
+        let (d, _) = time_once(|| array.read(&mut driver, &slab).unwrap());
+        let delta = cluster.snapshot().since(&before);
+        let wall = d.as_secs_f64();
+        let parallelism = delta.disk_busy_nanos as f64 / 1e9 / wall;
+        t.row(&[
+            name.into(),
+            ms(d),
+            array.devices_touched(&slab).to_string(),
+            format!("{parallelism:.1}"),
+        ]);
+        cluster.shutdown(driver);
+    }
+    t
+}
+
+/// E6 (§5): "deploying multiple Array clients in parallel" — a read-heavy
+/// reduction where a single client's link is the bottleneck, so adding
+/// coordinating Array client processes spreads the transfer.
+pub fn e6_array_sum() -> Table {
+    let mut t = Table::new(&["clients", "checksum ms", "speedup vs 1", "device-side sum ms"]);
+    let devices = 8usize;
+    // 1 Gb/s links: the transfer term dominates, so the bottleneck is each
+    // client's receive link — exactly the regime where extra clients help.
+    let mut cfg = lan_config();
+    cfg.topology = simnet::TopologySpec::Uniform(simnet::NetCost::lan(50, 1.0));
+    let (cluster, mut driver) = register_classes(ClusterBuilder::new(devices))
+        .sim_config(cfg)
+        .build();
+    let _ = &cluster;
+    // 32 MiB of doubles in eight 4-MiB pages, one device per machine.
+    let grid = [8u64, 1, 1];
+    let map = PageMap::round_robin(grid, devices as u64);
+    let storage = BlockStorage::create(
+        &mut driver, "e6", devices, map.pages_per_device(), 8, 256, 256, 1,
+    )
+    .unwrap();
+    let array = Array::new([64, 256, 256], [8, 256, 256], storage, map).unwrap();
+    array.fill(&mut driver, &array.whole(), 0.5).unwrap();
+    let whole = array.whole();
+
+    // Reference: the device-side sum (ships 8 bytes per page — the cheap
+    // direction, shown for contrast).
+    let device_side = time_median(3, || array.sum(&mut driver, &whole).unwrap());
+
+    let mut base: Option<Duration> = None;
+    for clients in [1usize, 2, 4, 8] {
+        // Deploy the client processes once per row (setup excluded from the
+        // timed region).
+        let mut pending = Vec::new();
+        for i in 0..clients {
+            pending.push(
+                distarray::ArrayWorkerClient::new_on_async(&mut driver, i % devices, array.clone())
+                    .unwrap(),
+            );
+        }
+        let workers = oopp::join_clients(&mut driver, pending).unwrap();
+        let slabs = whole.split_axis0(clients as u64);
+        let d = time_median(3, || {
+            let pending: Vec<_> = slabs
+                .iter()
+                .enumerate()
+                .map(|(i, slab)| workers[i % workers.len()].read_checksum_async(&mut driver, *slab).unwrap())
+                .collect();
+            let _total: f64 = join(&mut driver, pending).unwrap().into_iter().sum();
+        });
+        for w in workers {
+            w.destroy(&mut driver).unwrap();
+        }
+        let baseline = *base.get_or_insert(d);
+        t.row(&[
+            clients.to_string(),
+            ms(d),
+            format!("{:.1}x", baseline.as_secs_f64() / d.as_secs_f64()),
+            ms(device_side),
+        ]);
+    }
+    cluster.shutdown(driver);
+    t
+}
+
+/// E7 (§5): persistence — deactivate/activate cycles vs. state size, and
+/// symbolic-address resolution.
+pub fn e7_persistence() -> Table {
+    let mut t = Table::new(&[
+        "state KiB",
+        "deactivate ms",
+        "activate ms",
+        "lookup us",
+    ]);
+    let (cluster, mut driver) = ClusterBuilder::new(1).sim_config(lan_config()).build();
+    let dir = driver.directory();
+    for elems in [1usize << 7, 1 << 10, 1 << 13, 1 << 16, 1 << 19] {
+        let block = DoubleBlockClient::new_on(&mut driver, 0, elems).unwrap();
+        block.fill(&mut driver, 1.5).unwrap();
+        let key = oopp::symbolic_addr(&["bench", "block", &elems.to_string()]);
+        dir.bind(&mut driver, key.clone(), block.obj_ref()).unwrap();
+
+        let (deact, _) = time_once(|| driver.deactivate(block.obj_ref(), &key).unwrap());
+        let (act, revived) =
+            time_once(|| driver.activate::<DoubleBlockClient>(0, &key).unwrap());
+        assert_eq!(revived.get(&mut driver, 0).unwrap(), 1.5);
+        let lookup = time_median(9, || {
+            dir.lookup(&mut driver, key.clone()).unwrap();
+        });
+        t.row(&[
+            (elems * 8 / 1024).to_string(),
+            ms(deact),
+            ms(act),
+            us(lookup),
+        ]);
+        revived.destroy(&mut driver).unwrap();
+    }
+    cluster.shutdown(driver);
+    t
+}
+
+/// E8 (§2/§4): N object-processes vs one — the split loop parallelizes
+/// across *distinct* processes, while the same N calls aimed at a single
+/// object serialize (one process per object). Device work (1 ms seek per
+/// page sum) makes the serialization visible above the link latency.
+pub fn e8_shared_memory() -> Table {
+    let mut t = Table::new(&[
+        "calls",
+        "sequential ms",
+        "N objects parallel ms",
+        "speedup",
+        "1 object parallel ms",
+    ]);
+    for n in [2usize, 4, 8] {
+        let mut cfg = lan_config();
+        cfg.disk = spinny_disk();
+        let (cluster, mut driver) = ClusterBuilder::new(n)
+            .register::<PageDevice>()
+            .register::<ArrayPageDevice>()
+            .sim_config(cfg)
+            .build();
+        let devices: Vec<_> = (0..n)
+            .map(|m| {
+                let d = ArrayPageDeviceClient::new_on(
+                    &mut driver, m, format!("e8.{m}"), 2, 16, 16, 16, 0, None,
+                )
+                .unwrap();
+                d.write_array(
+                    &mut driver,
+                    0,
+                    ArrayPage::generate(16, 16, 16, m as u64).into_f64s(),
+                )
+                .unwrap();
+                d
+            })
+            .collect();
+
+        // The unsplit loop over N device-processes.
+        let seq = time_median(3, || {
+            for d in &devices {
+                let _ = d.sum(&mut driver, 0).unwrap();
+            }
+        });
+        // The split loop over N device-processes: seeks overlap.
+        let par = time_median(3, || {
+            let pending: Vec<_> =
+                devices.iter().map(|d| d.sum_async(&mut driver, 0).unwrap()).collect();
+            let _ = join(&mut driver, pending).unwrap();
+        });
+        // The same N calls at ONE device-process: one process per object,
+        // so its seeks serialize even under the split loop.
+        let one = &devices[0];
+        let one_obj = time_median(3, || {
+            let pending: Vec<_> =
+                (0..n).map(|_| one.sum_async(&mut driver, 0).unwrap()).collect();
+            let _ = join(&mut driver, pending).unwrap();
+        });
+        t.row(&[
+            n.to_string(),
+            ms(seq),
+            ms(par),
+            format!("{:.1}x", seq.as_secs_f64() / par.as_secs_f64()),
+            ms(one_obj),
+        ]);
+        cluster.shutdown(driver);
+    }
+    t
+}
+
+/// A1: wire codec throughput (the cost of the "compiler-generated"
+/// protocol layer itself, no network).
+pub fn a1_wire() -> Table {
+    let mut t = Table::new(&["payload", "bytes", "encode GB/s", "decode GB/s"]);
+    for elems in [1usize << 10, 1 << 14, 1 << 18, 1 << 21] {
+        let payload = F64s((0..elems).map(|i| i as f64).collect());
+        let bytes = elems * 8;
+        let reps = (1 << 24) / bytes.max(1) + 1;
+        let enc = time_median(3, || {
+            for _ in 0..reps {
+                std::hint::black_box(wire::to_bytes(&payload));
+            }
+        });
+        let encoded = wire::to_bytes(&payload);
+        let dec = time_median(3, || {
+            for _ in 0..reps {
+                std::hint::black_box(wire::from_bytes::<F64s>(&encoded).unwrap());
+            }
+        });
+        let gbps = |d: Duration| (bytes * reps) as f64 / d.as_secs_f64() / 1e9;
+        t.row(&[
+            format!("F64s[{elems}]"),
+            bytes.to_string(),
+            format!("{:.2}", gbps(enc)),
+            format!("{:.2}", gbps(dec)),
+        ]);
+    }
+    // A page of raw bytes.
+    let page = Page::generate(1 << 20, 3).into_bytes();
+    let reps = 32;
+    let enc = time_median(3, || {
+        for _ in 0..reps {
+            std::hint::black_box(wire::to_bytes(&page));
+        }
+    });
+    let encoded = wire::to_bytes(&page);
+    let dec = time_median(3, || {
+        for _ in 0..reps {
+            std::hint::black_box(
+                wire::from_bytes::<wire::collections::Bytes>(&encoded).unwrap(),
+            );
+        }
+    });
+    let gbps = |d: Duration| ((1usize << 20) * reps) as f64 / d.as_secs_f64() / 1e9;
+    t.row(&[
+        "Bytes[1MiB]".into(),
+        (1 << 20).to_string(),
+        format!("{:.2}", gbps(enc)),
+        format!("{:.2}", gbps(dec)),
+    ]);
+    t
+}
+
+/// A2: synchronization primitives — the oopp group barrier vs. the mplite
+/// dissemination barrier and allreduce, same link costs.
+pub fn a2_collectives() -> Table {
+    let mut t = Table::new(&[
+        "parties",
+        "oopp barrier ms",
+        "mplite barrier ms",
+        "mplite allreduce ms",
+    ]);
+    for n in [2usize, 4, 8, 16] {
+        // oopp: n Syncers + the driver entering a Barrier.
+        let (cluster, mut driver) = ClusterBuilder::new(n)
+            .register::<Syncer>()
+            .sim_config(lan_config())
+            .build();
+        let barrier = BarrierClient::new_on(&mut driver, 0, n + 1).unwrap();
+        let syncers: Vec<_> =
+            (0..n).map(|m| SyncerClient::new_on(&mut driver, m).unwrap()).collect();
+        let oopp_time = time_median(5, || {
+            let pending: Vec<_> = syncers
+                .iter()
+                .map(|s| s.sync_async(&mut driver, barrier).unwrap())
+                .collect();
+            barrier.enter(&mut driver).unwrap();
+            join(&mut driver, pending).unwrap();
+        });
+        cluster.shutdown(driver);
+
+        // mplite barrier + allreduce.
+        let mut cfg = lan_config();
+        cfg.machines = n;
+        let world = MpiWorld::new(cfg);
+        let (times, _) = world.run(|c| {
+            let t0 = std::time::Instant::now();
+            for _ in 0..5 {
+                c.barrier().unwrap();
+            }
+            let b = t0.elapsed() / 5;
+            let t0 = std::time::Instant::now();
+            for _ in 0..5 {
+                c.allreduce_f64(c.rank() as f64, Op::Sum).unwrap();
+            }
+            (b, t0.elapsed() / 5)
+        });
+        let mp_barrier = times.iter().map(|(b, _)| *b).max().unwrap();
+        let mp_allred = times.iter().map(|(_, a)| *a).max().unwrap();
+
+        t.row(&[
+            (n + 1).to_string(),
+            ms(oopp_time),
+            ms(mp_barrier),
+            ms(mp_allred),
+        ]);
+    }
+    t
+}
+
+/// A3 (§4): the `SetGroup` deep copy the paper recommends vs. the shallow
+/// remote table it warns about — M peer dereferences each.
+pub fn a3_deepcopy() -> Table {
+    let mut t = Table::new(&["fan-out calls", "deep-copy ms", "shallow ms", "penalty"]);
+    let n = 8usize;
+    let (cluster, mut driver) = ClusterBuilder::new(n)
+        .register::<GroupTable>()
+        .sim_config(lan_config())
+        .build();
+    // The "group": one DoubleBlock per machine.
+    let members: Vec<_> = (0..n)
+        .map(|m| DoubleBlockClient::new_on(&mut driver, m, 64).unwrap())
+        .collect();
+    let table = GroupTableClient::new_on(
+        &mut driver,
+        0,
+        members.iter().map(|m| m.obj_ref()).collect::<Vec<_>>(),
+    )
+    .unwrap();
+
+    for calls in [8usize, 32, 128] {
+        // Deep copy: the peer table is local; one round trip per call.
+        let deep = time_median(3, || {
+            for i in 0..calls {
+                let _ = members[i % n].get(&mut driver, 0).unwrap();
+            }
+        });
+        // Shallow: every call first dereferences the remote table.
+        let shallow = time_median(3, || {
+            for i in 0..calls {
+                let r = table.get(&mut driver, i % n).unwrap();
+                let _ = DoubleBlockClient::from_ref(r).get(&mut driver, 0).unwrap();
+            }
+        });
+        t.row(&[
+            calls.to_string(),
+            ms(deep),
+            ms(shallow),
+            format!("{:.1}x", shallow.as_secs_f64() / deep.as_secs_f64()),
+        ]);
+    }
+    cluster.shutdown(driver);
+    t
+}
+
+/// Sanity config used by the experiment smoke tests.
+pub fn tiny_zero_cost(n: usize) -> ClusterConfig {
+    ClusterConfig::zero_cost(n)
+}

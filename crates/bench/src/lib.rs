@@ -1,0 +1,225 @@
+//! Shared machinery for the experiment harness: costed cluster
+//! configurations, timing helpers, table rendering, and two small remote
+//! classes the ablation experiments need.
+
+use std::time::{Duration, Instant};
+
+use oopp::{remote_class, BarrierClient, NodeCtx, ObjRef, RemoteResult};
+use simnet::{ClusterConfig, DiskConfig, NetCost, TopologySpec};
+
+pub mod experiments;
+
+/// The canonical costed network of the experiments: 50 µs one-way latency,
+/// 10 Gb/s links — a commodity cluster interconnect.
+pub fn lan_config() -> ClusterConfig {
+    ClusterConfig {
+        machines: 0, // set by the builder / world
+        topology: TopologySpec::Uniform(NetCost::lan(50, 10.0)),
+        disk: DiskConfig::nvme(),
+        disks_per_machine: 1,
+        disk_capacity: 256 << 20,
+    }
+}
+
+/// A slower, seek-dominated disk profile for the I/O-parallelism
+/// experiments (1 ms positioning, 400 MB/s transfer).
+pub fn spinny_disk() -> DiskConfig {
+    DiskConfig {
+        seek: Duration::from_millis(1),
+        bytes_per_sec: 400e6,
+        backend: simnet::DiskBackend::Memory,
+    }
+}
+
+/// Time one closure invocation.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed(), r)
+}
+
+/// Median of `reps` timed invocations (the harness's robust statistic —
+/// cheap experiments repeat, expensive ones run once).
+pub fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    assert!(reps >= 1);
+    let mut times: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = f();
+            t0.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Fixed-width experiment table writer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a `Duration` as microseconds with 1 decimal.
+pub fn us(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+/// Format a `Duration` as milliseconds with 2 decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+// ---------------------------------------------------------------------
+// Remote classes used by the ablation experiments
+// ---------------------------------------------------------------------
+
+/// A worker that can enter barriers on request (A2: oopp group barrier).
+#[derive(Debug)]
+pub struct Syncer;
+
+remote_class! {
+    /// Client for [`Syncer`].
+    class Syncer {
+        ctor();
+        /// Enter `barrier` and return once released.
+        fn sync(&mut self, barrier: BarrierClient) -> ();
+    }
+}
+
+impl Syncer {
+    fn new(_ctx: &mut NodeCtx) -> RemoteResult<Self> {
+        Ok(Syncer)
+    }
+    fn sync(&mut self, ctx: &mut NodeCtx, barrier: BarrierClient) -> RemoteResult<()> {
+        barrier.enter(ctx)
+    }
+}
+
+/// A table of remote pointers held by ONE process (A3: the shallow
+/// `SetGroup` the paper advises against — every peer lookup is a remote
+/// call back to this table).
+#[derive(Debug)]
+pub struct GroupTable {
+    entries: Vec<ObjRef>,
+}
+
+remote_class! {
+    /// Client for [`GroupTable`].
+    class GroupTable {
+        ctor(entries: Vec<ObjRef>);
+        /// Look up entry `i`.
+        fn get(&mut self, i: usize) -> ObjRef;
+        /// Table length.
+        fn len(&mut self) -> usize;
+    }
+}
+
+impl GroupTable {
+    fn new(_ctx: &mut NodeCtx, entries: Vec<ObjRef>) -> RemoteResult<Self> {
+        Ok(GroupTable { entries })
+    }
+    fn get(&mut self, _ctx: &mut NodeCtx, i: usize) -> RemoteResult<ObjRef> {
+        self.entries
+            .get(i)
+            .copied()
+            .ok_or_else(|| oopp::RemoteError::app(format!("no entry {i}")))
+    }
+    fn len(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<usize> {
+        Ok(self.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["n", "time"]);
+        t.row(&["1".into(), "10.0".into()]);
+        t.row(&["128".into(), "3.5".into()]);
+        let s = t.render();
+        assert!(s.contains("n  time") || s.contains("  n  time"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn median_is_stable() {
+        let d = time_median(5, || std::hint::black_box(1 + 1));
+        assert!(d < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn duration_formatters() {
+        assert_eq!(us(Duration::from_micros(1500)), "1500.0");
+        assert_eq!(ms(Duration::from_micros(1500)), "1.50");
+    }
+
+    #[test]
+    fn syncer_and_table_classes_work() {
+        let (cluster, mut driver) = oopp::ClusterBuilder::new(2)
+            .register::<Syncer>()
+            .register::<GroupTable>()
+            .build();
+        let barrier = BarrierClient::new_on(&mut driver, 0, 3).unwrap();
+        let s0 = SyncerClient::new_on(&mut driver, 0).unwrap();
+        let s1 = SyncerClient::new_on(&mut driver, 1).unwrap();
+        let p0 = s0.sync_async(&mut driver, barrier).unwrap();
+        let p1 = s1.sync_async(&mut driver, barrier).unwrap();
+        barrier.enter(&mut driver).unwrap();
+        p0.wait(&mut driver).unwrap();
+        p1.wait(&mut driver).unwrap();
+
+        let table = GroupTableClient::new_on(
+            &mut driver,
+            0,
+            vec![oopp::RemoteClient::obj_ref(&s0), oopp::RemoteClient::obj_ref(&s1)],
+        )
+        .unwrap();
+        assert_eq!(table.len(&mut driver).unwrap(), 2);
+        assert_eq!(table.get(&mut driver, 1).unwrap(), oopp::RemoteClient::obj_ref(&s1));
+        assert!(table.get(&mut driver, 5).is_err());
+        cluster.shutdown(driver);
+    }
+}

@@ -1,0 +1,220 @@
+//! Remote primitive arrays — the paper's "process semantics extend
+//! naturally to simple objects" (§2):
+//!
+//! ```c++
+//! double *data = new(machine 2) double[1024];
+//! data[7] = 3.1415;
+//! double x = data[2];
+//! ```
+//!
+//! [`DoubleBlock`] is that `double[1024]` as a process: a block of f64s
+//! living on a remote machine, with element access, bulk range transfer, and
+//! a few device-side reductions (so E8's shared-memory computing processes
+//! have something to compute). [`ByteBlock`] is the raw-byte analogue.
+//! Both are **persistent** (§5): a block can be deactivated to a snapshot
+//! and reactivated later.
+
+use wire::collections::{Bytes, F64s};
+
+use crate::error::{RemoteError, RemoteResult};
+use crate::node::NodeCtx;
+
+
+/// Server state for a remote block of doubles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoubleBlock {
+    data: Vec<f64>,
+}
+
+remote_class! {
+    /// Remote pointer to a block of `f64` on another machine (§2's
+    /// `new(machine 2) double[1024]`).
+    class DoubleBlock {
+        persistent;
+        ctor(n: usize);
+        /// `data[i] = v` — one element store, one round trip.
+        fn set(&mut self, i: usize, v: f64) -> ();
+        /// `x = data[i]` — one element load, one round trip.
+        fn get(&mut self, i: usize) -> f64;
+        /// Fill the whole block with `v`.
+        fn fill(&mut self, v: f64) -> ();
+        /// Number of elements.
+        fn len(&mut self) -> usize;
+        /// Bulk read of `[start, start+len)`.
+        fn read_range(&mut self, start: usize, len: usize) -> F64s;
+        /// Bulk write starting at `start`.
+        fn write_range(&mut self, start: usize, data: F64s) -> ();
+        /// Device-side sum over `[start, start+len)` — move the computation
+        /// to the data (§3).
+        fn sum_range(&mut self, start: usize, len: usize) -> f64;
+        /// Device-side dot product of `[start, start+len)` with `other`.
+        fn dot_range(&mut self, start: usize, other: F64s) -> f64;
+        /// `data[start..start+other.len()] += alpha * other` (axpy).
+        fn axpy_range(&mut self, start: usize, alpha: f64, other: F64s) -> ();
+    }
+}
+
+impl DoubleBlock {
+    fn check_range(&self, start: usize, len: usize) -> RemoteResult<()> {
+        if start.checked_add(len).is_none_or(|end| end > self.data.len()) {
+            return Err(RemoteError::app(format!(
+                "range [{start}, {start}+{len}) out of bounds for block of {}",
+                self.data.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Constructor: allocate `n` zeroed doubles on the hosting machine.
+    pub fn new(_ctx: &mut NodeCtx, n: usize) -> RemoteResult<Self> {
+        Ok(DoubleBlock { data: vec![0.0; n] })
+    }
+
+    fn set(&mut self, _ctx: &mut NodeCtx, i: usize, v: f64) -> RemoteResult<()> {
+        self.check_range(i, 1)?;
+        self.data[i] = v;
+        Ok(())
+    }
+
+    fn get(&mut self, _ctx: &mut NodeCtx, i: usize) -> RemoteResult<f64> {
+        self.check_range(i, 1)?;
+        Ok(self.data[i])
+    }
+
+    fn fill(&mut self, _ctx: &mut NodeCtx, v: f64) -> RemoteResult<()> {
+        self.data.fill(v);
+        Ok(())
+    }
+
+    fn len(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<usize> {
+        Ok(self.data.len())
+    }
+
+    fn read_range(&mut self, _ctx: &mut NodeCtx, start: usize, len: usize) -> RemoteResult<F64s> {
+        self.check_range(start, len)?;
+        Ok(F64s(self.data[start..start + len].to_vec()))
+    }
+
+    fn write_range(&mut self, _ctx: &mut NodeCtx, start: usize, data: F64s) -> RemoteResult<()> {
+        self.check_range(start, data.0.len())?;
+        self.data[start..start + data.0.len()].copy_from_slice(&data.0);
+        Ok(())
+    }
+
+    fn sum_range(&mut self, _ctx: &mut NodeCtx, start: usize, len: usize) -> RemoteResult<f64> {
+        self.check_range(start, len)?;
+        Ok(self.data[start..start + len].iter().sum())
+    }
+
+    fn dot_range(&mut self, _ctx: &mut NodeCtx, start: usize, other: F64s) -> RemoteResult<f64> {
+        self.check_range(start, other.0.len())?;
+        Ok(self.data[start..start + other.0.len()]
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    fn axpy_range(
+        &mut self,
+        _ctx: &mut NodeCtx,
+        start: usize,
+        alpha: f64,
+        other: F64s,
+    ) -> RemoteResult<()> {
+        self.check_range(start, other.0.len())?;
+        for (dst, src) in self.data[start..start + other.0.len()].iter_mut().zip(&other.0) {
+            *dst += alpha * src;
+        }
+        Ok(())
+    }
+
+    /// Persistence hook (§5): the state is just the elements.
+    pub fn save_state(&self) -> Vec<u8> {
+        wire::to_bytes(&F64s(self.data.clone()))
+    }
+
+    /// Persistence hook (§5).
+    pub fn load_state(_ctx: &mut NodeCtx, state: &[u8]) -> RemoteResult<Self> {
+        let data: F64s = wire::from_bytes(state)?;
+        Ok(DoubleBlock { data: data.0 })
+    }
+}
+
+/// Server state for a remote block of raw bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByteBlock {
+    data: Vec<u8>,
+}
+
+remote_class! {
+    /// Remote pointer to a block of bytes on another machine.
+    class ByteBlock {
+        persistent;
+        ctor(n: usize);
+        /// One-byte store.
+        fn set(&mut self, i: usize, v: u8) -> ();
+        /// One-byte load.
+        fn get(&mut self, i: usize) -> u8;
+        /// Number of bytes.
+        fn len(&mut self) -> usize;
+        /// Bulk read of `[start, start+len)`.
+        fn read_range(&mut self, start: usize, len: usize) -> Bytes;
+        /// Bulk write starting at `start`.
+        fn write_range(&mut self, start: usize, data: Bytes) -> ();
+    }
+}
+
+impl ByteBlock {
+    fn check_range(&self, start: usize, len: usize) -> RemoteResult<()> {
+        if start.checked_add(len).is_none_or(|end| end > self.data.len()) {
+            return Err(RemoteError::app(format!(
+                "range [{start}, {start}+{len}) out of bounds for block of {}",
+                self.data.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Constructor: allocate `n` zeroed bytes.
+    pub fn new(_ctx: &mut NodeCtx, n: usize) -> RemoteResult<Self> {
+        Ok(ByteBlock { data: vec![0; n] })
+    }
+
+    fn set(&mut self, _ctx: &mut NodeCtx, i: usize, v: u8) -> RemoteResult<()> {
+        self.check_range(i, 1)?;
+        self.data[i] = v;
+        Ok(())
+    }
+
+    fn get(&mut self, _ctx: &mut NodeCtx, i: usize) -> RemoteResult<u8> {
+        self.check_range(i, 1)?;
+        Ok(self.data[i])
+    }
+
+    fn len(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<usize> {
+        Ok(self.data.len())
+    }
+
+    fn read_range(&mut self, _ctx: &mut NodeCtx, start: usize, len: usize) -> RemoteResult<Bytes> {
+        self.check_range(start, len)?;
+        Ok(Bytes(self.data[start..start + len].to_vec()))
+    }
+
+    fn write_range(&mut self, _ctx: &mut NodeCtx, start: usize, data: Bytes) -> RemoteResult<()> {
+        self.check_range(start, data.0.len())?;
+        self.data[start..start + data.0.len()].copy_from_slice(&data.0);
+        Ok(())
+    }
+
+    /// Persistence hook (§5).
+    pub fn save_state(&self) -> Vec<u8> {
+        wire::to_bytes(&Bytes(self.data.clone()))
+    }
+
+    /// Persistence hook (§5).
+    pub fn load_state(_ctx: &mut NodeCtx, state: &[u8]) -> RemoteResult<Self> {
+        let data: Bytes = wire::from_bytes(state)?;
+        Ok(ByteBlock { data: data.0 })
+    }
+}

@@ -1,0 +1,145 @@
+//! The error type that crosses the wire.
+//!
+//! A remote method can fail on the *far* side (no such object, application
+//! error, bad arguments) or on the *near* side (network down, timeout).
+//! Both kinds surface as [`RemoteError`], which is itself wire-encodable so
+//! servers can ship failures back to callers.
+
+use std::fmt;
+
+use wire::{wire_enum, WireError};
+
+/// Any failure of a remote operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The target object id does not exist on the target machine (it was
+    /// never created, or its destructor already ran).
+    NoSuchObject { machine: usize, object: u64 },
+    /// `new(machine i) T(...)` named a class the runtime has never heard of
+    /// — the class was not registered with the cluster builder.
+    NoSuchClass { class: String },
+    /// The target class has no method with this name (protocol mismatch, or
+    /// a call to a derived-class method through a base object).
+    NoSuchMethod { class: String, method: String },
+    /// A payload failed to decode; carries the decoder's message.
+    Decode { detail: String },
+    /// The destination machine id is outside the cluster.
+    BadMachine { machine: usize, machines: usize },
+    /// The far machine has shut down or its inbox is gone.
+    Disconnected { machine: usize },
+    /// No reply within the configured window. The usual cause in oopp
+    /// programs is distributed deadlock: object A's method is blocked on a
+    /// call to object B while B's method is blocked on a call back to A
+    /// (each request parked in the other's deferred queue).
+    Timeout { millis: u64 },
+    /// The class is not persistent: no snapshot/restore support.
+    NotPersistent { class: String },
+    /// No stored snapshot under this key on this machine.
+    NoSuchSnapshot { key: String },
+    /// Application-level failure raised by a server method body.
+    App { detail: String },
+}
+
+wire_enum!(RemoteError {
+    0 => NoSuchObject { machine, object },
+    1 => NoSuchClass { class },
+    2 => NoSuchMethod { class, method },
+    3 => Decode { detail },
+    4 => BadMachine { machine, machines },
+    5 => Disconnected { machine },
+    6 => Timeout { millis },
+    7 => NotPersistent { class },
+    8 => NoSuchSnapshot { key },
+    9 => App { detail },
+});
+
+impl RemoteError {
+    /// Construct an application-level error from anything printable.
+    pub fn app(detail: impl fmt::Display) -> Self {
+        RemoteError::App { detail: detail.to_string() }
+    }
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::NoSuchObject { machine, object } => {
+                write!(f, "no object {object} on machine {machine}")
+            }
+            RemoteError::NoSuchClass { class } => {
+                write!(f, "class {class:?} is not registered with this cluster")
+            }
+            RemoteError::NoSuchMethod { class, method } => {
+                write!(f, "class {class:?} has no method {method:?}")
+            }
+            RemoteError::Decode { detail } => write!(f, "wire decode failed: {detail}"),
+            RemoteError::BadMachine { machine, machines } => {
+                write!(f, "machine {machine} out of range (cluster has {machines})")
+            }
+            RemoteError::Disconnected { machine } => {
+                write!(f, "machine {machine} is disconnected")
+            }
+            RemoteError::Timeout { millis } => {
+                write!(f, "no reply after {millis} ms (possible distributed deadlock)")
+            }
+            RemoteError::NotPersistent { class } => {
+                write!(f, "class {class:?} does not support persistence")
+            }
+            RemoteError::NoSuchSnapshot { key } => {
+                write!(f, "no snapshot stored under key {key:?}")
+            }
+            RemoteError::App { detail } => write!(f, "application error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<WireError> for RemoteError {
+    fn from(e: WireError) -> Self {
+        RemoteError::Decode { detail: e.to_string() }
+    }
+}
+
+/// Result alias for remote operations.
+pub type RemoteResult<T> = Result<T, RemoteError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::{from_bytes, to_bytes};
+
+    #[test]
+    fn errors_roundtrip_the_wire() {
+        for e in [
+            RemoteError::NoSuchObject { machine: 3, object: 17 },
+            RemoteError::NoSuchClass { class: "FFT".into() },
+            RemoteError::NoSuchMethod { class: "PageDevice".into(), method: "frobnicate".into() },
+            RemoteError::Decode { detail: "bad varint".into() },
+            RemoteError::BadMachine { machine: 9, machines: 4 },
+            RemoteError::Disconnected { machine: 1 },
+            RemoteError::Timeout { millis: 10_000 },
+            RemoteError::NotPersistent { class: "Barrier".into() },
+            RemoteError::NoSuchSnapshot { key: "oopp://x".into() },
+            RemoteError::app("page index 99 out of range"),
+        ] {
+            assert_eq!(from_bytes::<RemoteError>(&to_bytes(&e)).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn wire_errors_convert() {
+        let we = WireError::InvalidUtf8;
+        let re: RemoteError = we.into();
+        assert!(matches!(re, RemoteError::Decode { .. }));
+        assert!(re.to_string().contains("UTF-8"));
+    }
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = RemoteError::NoSuchObject { machine: 2, object: 5 };
+        assert!(e.to_string().contains("machine 2"));
+        let e = RemoteError::Timeout { millis: 250 };
+        assert!(e.to_string().contains("deadlock"));
+    }
+}

@@ -1,0 +1,188 @@
+//! The RMI message protocol carried over simnet packets.
+//!
+//! Exactly two frame kinds exist: a request targeting an object, and its
+//! response. Everything else — object creation, destruction, shutdown,
+//! persistence — is a method call on the per-machine **daemon** (object 0),
+//! keeping the protocol surface minimal.
+
+use wire::collections::Bytes;
+use wire::{wire_enum, wire_struct};
+
+use crate::error::RemoteError;
+use crate::ids::ObjectId;
+
+/// One frame on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Invoke a method on `target`. `payload` is the method name (string)
+    /// followed by the encoded arguments.
+    Request {
+        /// Caller-chosen correlation id, unique per caller.
+        req_id: u64,
+        /// Machine to send the [`Frame::Response`] to.
+        reply_to: usize,
+        /// Object being invoked (0 = daemon).
+        target: ObjectId,
+        /// Method name + encoded arguments.
+        payload: Bytes,
+    },
+    /// The outcome of a previous request.
+    Response {
+        /// Correlation id from the matching request.
+        req_id: u64,
+        /// Encoded return value, or the failure.
+        result: Result<Bytes, RemoteError>,
+    },
+}
+
+wire_enum!(Frame {
+    0 => Request { req_id, reply_to, target, payload },
+    1 => Response { req_id, result },
+});
+
+/// Methods of the per-machine daemon. Encoded exactly like user-class calls
+/// (method-name string + arguments) so the dispatch path is uniform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DaemonCall {
+    /// Liveness probe. Returns `()`.
+    Ping,
+    /// `new(machine m) Class(args...)`: construct an object. Returns the new
+    /// [`ObjectId`].
+    Create { class: String, args: Bytes },
+    /// `delete ptr`: run the destructor, terminating the object-process.
+    /// Returns `()`.
+    Destroy { object: ObjectId },
+    /// Stop this machine's serve loop (cluster shutdown). Returns `()`.
+    Shutdown,
+    /// Serialize an object's state without destroying it. Returns the
+    /// snapshot bytes. Fails for non-persistent classes.
+    Snapshot { object: ObjectId },
+    /// §5 deactivation: snapshot the object under `key`, then destroy it.
+    /// Returns `()`.
+    Deactivate { object: ObjectId, key: String },
+    /// §5 activation: restore the object stored under `key` as a fresh
+    /// process. Returns the new [`ObjectId`]. The snapshot stays stored.
+    Activate { key: String },
+    /// Remove a stored snapshot. Returns `true` if one existed.
+    DropSnapshot { key: String },
+    /// Introspection. Returns [`NodeStats`].
+    Stats,
+}
+
+/// Per-machine runtime counters, returned by [`DaemonCall::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeStats {
+    /// Live (constructed, not yet destroyed) user objects.
+    pub objects_live: u64,
+    /// Requests this machine has served to completion.
+    pub calls_served: u64,
+    /// Requests that had to be parked because their target was busy.
+    pub calls_deferred: u64,
+    /// Snapshots currently stored on this machine.
+    pub snapshots_stored: u64,
+}
+
+wire_struct!(NodeStats {
+    objects_live,
+    calls_served,
+    calls_deferred,
+    snapshots_stored
+});
+
+impl DaemonCall {
+    /// Encode as a standard method payload (name + args).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = wire::Writer::new();
+        match self {
+            DaemonCall::Ping => w.put_len_prefixed(b"ping"),
+            DaemonCall::Create { class, args } => {
+                w.put_len_prefixed(b"create");
+                wire::Wire::encode(class, &mut w);
+                wire::Wire::encode(args, &mut w);
+            }
+            DaemonCall::Destroy { object } => {
+                w.put_len_prefixed(b"destroy");
+                wire::Wire::encode(object, &mut w);
+            }
+            DaemonCall::Shutdown => w.put_len_prefixed(b"shutdown"),
+            DaemonCall::Snapshot { object } => {
+                w.put_len_prefixed(b"snapshot");
+                wire::Wire::encode(object, &mut w);
+            }
+            DaemonCall::Deactivate { object, key } => {
+                w.put_len_prefixed(b"deactivate");
+                wire::Wire::encode(object, &mut w);
+                wire::Wire::encode(key, &mut w);
+            }
+            DaemonCall::Activate { key } => {
+                w.put_len_prefixed(b"activate");
+                wire::Wire::encode(key, &mut w);
+            }
+            DaemonCall::DropSnapshot { key } => {
+                w.put_len_prefixed(b"drop_snapshot");
+                wire::Wire::encode(key, &mut w);
+            }
+            DaemonCall::Stats => w.put_len_prefixed(b"stats"),
+        }
+        w.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::{from_bytes, to_bytes, Reader, Wire};
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = [
+            Frame::Request {
+                req_id: 42,
+                reply_to: 3,
+                target: 7,
+                payload: Bytes(b"read".to_vec()),
+            },
+            Frame::Response { req_id: 42, result: Ok(Bytes(vec![1, 2, 3])) },
+            Frame::Response {
+                req_id: 43,
+                result: Err(RemoteError::NoSuchObject { machine: 1, object: 9 }),
+            },
+        ];
+        for f in frames {
+            assert_eq!(from_bytes::<Frame>(&to_bytes(&f)).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn daemon_calls_use_method_name_framing() {
+        let payload = DaemonCall::Create {
+            class: "PageDevice".into(),
+            args: Bytes(vec![9, 9]),
+        }
+        .encode();
+        let mut r = Reader::new(&payload);
+        assert_eq!(String::decode(&mut r).unwrap(), "create");
+        assert_eq!(String::decode(&mut r).unwrap(), "PageDevice");
+        assert_eq!(Bytes::decode(&mut r).unwrap(), Bytes(vec![9, 9]));
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn node_stats_roundtrip() {
+        let s = NodeStats {
+            objects_live: 3,
+            calls_served: 100,
+            calls_deferred: 2,
+            snapshots_stored: 1,
+        };
+        assert_eq!(from_bytes::<NodeStats>(&to_bytes(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn request_with_large_payload_is_dominated_by_payload() {
+        let payload = Bytes(vec![0u8; 10_000]);
+        let f = Frame::Request { req_id: 1, reply_to: 0, target: 1, payload };
+        let encoded = to_bytes(&f);
+        assert!(encoded.len() < 10_000 + 32, "framing overhead too large");
+    }
+}

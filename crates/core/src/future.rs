@@ -1,0 +1,106 @@
+//! Pending replies: the split-loop transform as an API.
+//!
+//! §4 of the paper shows the compiler parallelizing
+//!
+//! ```c++
+//! for (i = 0; i < N; i++) device[i]->read(buffer[k[i]], page_address[i]);
+//! ```
+//!
+//! by splitting it into a send-loop and a receive-loop. Here that transform
+//! is explicit: `*_async` client methods return a [`Pending<T>`]; issuing
+//! all the calls and then [`join`]ing them is exactly the split loop, with
+//! all the latencies overlapped.
+
+use std::marker::PhantomData;
+
+use wire::Wire;
+
+use crate::error::RemoteResult;
+use crate::ids::ObjRef;
+use crate::node::NodeCtx;
+use crate::process::RemoteClient;
+
+/// A reply that has been requested but not yet collected.
+///
+/// Dropping a `Pending` without waiting leaks the (eventual) reply into the
+/// caller's stash until the node is dropped — hence `#[must_use]`.
+#[must_use = "a Pending reply must be waited on (or the call had no effect you can observe)"]
+#[derive(Debug)]
+pub struct Pending<T> {
+    pub(crate) req_id: u64,
+    _result: PhantomData<fn() -> T>,
+}
+
+impl<T: Wire> Pending<T> {
+    pub(crate) fn new(req_id: u64) -> Self {
+        Pending { req_id, _result: PhantomData }
+    }
+
+    /// Block until the reply arrives (serving incoming requests meanwhile)
+    /// and decode it.
+    pub fn wait(self, ctx: &mut NodeCtx) -> RemoteResult<T> {
+        let bytes = ctx.wait_raw(self.req_id)?;
+        Ok(wire::from_bytes(&bytes)?)
+    }
+}
+
+/// Wait for every pending reply, in order. Returns the first error after
+/// draining the rest (so no reply is leaked into the stash).
+pub fn join<T: Wire>(ctx: &mut NodeCtx, pendings: Vec<Pending<T>>) -> RemoteResult<Vec<T>> {
+    let mut out = Vec::with_capacity(pendings.len());
+    let mut first_err = None;
+    for p in pendings {
+        match p.wait(ctx) {
+            Ok(v) => out.push(v),
+            Err(e) if first_err.is_none() => first_err = Some(e),
+            Err(_) => {}
+        }
+    }
+    match first_err {
+        None => Ok(out),
+        Some(e) => Err(e),
+    }
+}
+
+/// A remote construction in flight: `new(machine m) T(...)` issued
+/// asynchronously. Waiting yields the typed client.
+#[must_use = "a pending construction must be waited on to obtain the client"]
+#[derive(Debug)]
+pub struct PendingClient<C> {
+    pub(crate) machine: usize,
+    pub(crate) req_id: u64,
+    _client: PhantomData<fn() -> C>,
+}
+
+impl<C: RemoteClient> PendingClient<C> {
+    pub(crate) fn new(machine: usize, req_id: u64) -> Self {
+        PendingClient { machine, req_id, _client: PhantomData }
+    }
+
+    /// Block until construction completes; returns the typed client.
+    pub fn wait(self, ctx: &mut NodeCtx) -> RemoteResult<C> {
+        let bytes = ctx.wait_raw(self.req_id)?;
+        let object: u64 = wire::from_bytes(&bytes)?;
+        Ok(C::from_ref(ObjRef { machine: self.machine, object }))
+    }
+}
+
+/// Wait for every pending construction. First error wins, all are drained.
+pub fn join_clients<C: RemoteClient>(
+    ctx: &mut NodeCtx,
+    pendings: Vec<PendingClient<C>>,
+) -> RemoteResult<Vec<C>> {
+    let mut out = Vec::with_capacity(pendings.len());
+    let mut first_err = None;
+    for p in pendings {
+        match p.wait(ctx) {
+            Ok(v) => out.push(v),
+            Err(e) if first_err.is_none() => first_err = Some(e),
+            Err(_) => {}
+        }
+    }
+    match first_err {
+        None => Ok(out),
+        Some(e) => Err(e),
+    }
+}

@@ -1,0 +1,264 @@
+//! Process groups and barriers (§4).
+//!
+//! The paper's FFT example creates `N` processes, tells each about the
+//! whole group (`SetGroup`), and synchronizes them with a
+//! "compiler-supported barrier method for arrays of objects"
+//! (`fft->barrier()`). [`ProcessGroup`] is that array-of-remote-pointers,
+//! and [`Barrier`] the synchronization object.
+//!
+//! `Barrier` is deliberately implemented **by hand** against the raw
+//! [`ServerObject`] trait rather than through `remote_class!`: a barrier
+//! must *not* reply to `enter` until the last party arrives, which needs
+//! the deferred-reply path ([`DispatchResult::NoReply`] +
+//! [`NodeCtx::send_reply`]).
+
+use wire::{Reader, Wire};
+
+use crate::error::{RemoteError, RemoteResult};
+use crate::future::{join, join_clients, Pending, PendingClient};
+use crate::ids::ObjRef;
+use crate::node::{CallInfo, NodeCtx};
+use crate::process::{DispatchResult, RemoteClient, ServerClass, ServerObject};
+
+/// Server state: a rendezvous for `parties` callers.
+#[derive(Debug)]
+pub struct Barrier {
+    parties: usize,
+    waiting: Vec<CallInfo>,
+    /// Completed barrier rounds (for introspection/testing).
+    generations: u64,
+}
+
+impl Barrier {
+    /// A barrier for `parties` participants (must be ≥ 1).
+    fn make(parties: usize) -> RemoteResult<Self> {
+        if parties == 0 {
+            return Err(RemoteError::app("a barrier needs at least one party"));
+        }
+        Ok(Barrier { parties, waiting: Vec::with_capacity(parties), generations: 0 })
+    }
+}
+
+impl ServerObject for Barrier {
+    fn class_name(&self) -> &'static str {
+        "Barrier"
+    }
+
+    fn dispatch_named(
+        &mut self,
+        ctx: &mut NodeCtx,
+        method: &str,
+        _args: &mut Reader<'_>,
+    ) -> RemoteResult<DispatchResult> {
+        match method {
+            "enter" => {
+                let call = ctx
+                    .current_call()
+                    .expect("barrier dispatched outside a call");
+                self.waiting.push(call);
+                if self.waiting.len() == self.parties {
+                    // Last party: release everyone (including this caller).
+                    self.generations += 1;
+                    for waiter in self.waiting.drain(..) {
+                        ctx.send_reply(waiter, Ok(wire::to_bytes(&())));
+                    }
+                }
+                Ok(DispatchResult::NoReply)
+            }
+            "generations" => Ok(DispatchResult::Reply(wire::to_bytes(&self.generations))),
+            "parties" => Ok(DispatchResult::Reply(wire::to_bytes(&self.parties))),
+            other => Err(RemoteError::NoSuchMethod {
+                class: "Barrier".into(),
+                method: other.into(),
+            }),
+        }
+    }
+}
+
+impl ServerClass for Barrier {
+    const CLASS: &'static str = "Barrier";
+
+    fn construct(_ctx: &mut NodeCtx, args: &mut Reader<'_>) -> RemoteResult<Self> {
+        let parties = usize::decode(args)?;
+        Barrier::make(parties)
+    }
+}
+
+/// Remote pointer to a [`Barrier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierClient {
+    r: ObjRef,
+}
+
+impl BarrierClient {
+    /// Create a barrier for `parties` on `machine`.
+    pub fn new_on(ctx: &mut NodeCtx, machine: usize, parties: usize) -> RemoteResult<Self> {
+        ctx.create::<Self>(machine, wire::to_bytes(&parties))
+    }
+
+    /// Enter the barrier and block until all parties have entered.
+    pub fn enter(&self, ctx: &mut NodeCtx) -> RemoteResult<()> {
+        ctx.call_method(self.r, "enter", |_| {})
+    }
+
+    /// Enter asynchronously (a worker typically has nothing else to do, but
+    /// the driver may overlap its own entry with other work).
+    pub fn enter_async(&self, ctx: &mut NodeCtx) -> RemoteResult<Pending<()>> {
+        ctx.start_method(self.r, "enter", |_| {})
+    }
+
+    /// How many rounds this barrier has completed.
+    pub fn generations(&self, ctx: &mut NodeCtx) -> RemoteResult<u64> {
+        ctx.call_method(self.r, "generations", |_| {})
+    }
+
+    /// Destroy the barrier object.
+    pub fn destroy(self, ctx: &mut NodeCtx) -> RemoteResult<()> {
+        ctx.destroy(self.r)
+    }
+}
+
+impl RemoteClient for BarrierClient {
+    const CLASS: &'static str = "Barrier";
+    fn from_ref(r: ObjRef) -> Self {
+        BarrierClient { r }
+    }
+    fn obj_ref(&self) -> ObjRef {
+        self.r
+    }
+}
+
+impl Wire for BarrierClient {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.r.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> wire::WireResult<Self> {
+        Ok(BarrierClient { r: ObjRef::decode(r)? })
+    }
+}
+
+/// An array of remote objects of one class — the paper's `FFT *fft[N]`.
+#[derive(Debug, Clone)]
+pub struct ProcessGroup<C> {
+    members: Vec<C>,
+}
+
+impl<C: RemoteClient> ProcessGroup<C> {
+    /// Wrap existing clients.
+    pub fn from_members(members: Vec<C>) -> Self {
+        ProcessGroup { members }
+    }
+
+    /// Create one member per worker machine `0..n`, **in parallel**: all
+    /// constructor requests are issued before any reply is awaited (the §4
+    /// split loop applied to `new`). `make_args(id)` encodes the
+    /// constructor arguments for member `id`.
+    pub fn create(
+        ctx: &mut NodeCtx,
+        n: usize,
+        mut make_args: impl FnMut(usize) -> Vec<u8>,
+    ) -> RemoteResult<Self> {
+        let pendings: Vec<PendingClient<C>> = (0..n)
+            .map(|id| ctx.create_async::<C>(id, make_args(id)))
+            .collect::<RemoteResult<_>>()?;
+        Ok(ProcessGroup { members: join_clients(ctx, pendings)? })
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The members, in id order.
+    pub fn members(&self) -> &[C] {
+        &self.members
+    }
+
+    /// Member `id`.
+    pub fn member(&self, id: usize) -> &C {
+        &self.members[id]
+    }
+
+    /// The raw remote pointers (what `SetGroup` ships to every member).
+    pub fn refs(&self) -> Vec<ObjRef> {
+        self.members.iter().map(|m| m.obj_ref()).collect()
+    }
+
+    /// The paper's parallel loop: issue `start(ctx, member, id)` for every
+    /// member (the send half), then collect every reply (the receive half).
+    pub fn par_each<T: Wire>(
+        &self,
+        ctx: &mut NodeCtx,
+        mut start: impl FnMut(&mut NodeCtx, &C, usize) -> RemoteResult<Pending<T>>,
+    ) -> RemoteResult<Vec<T>> {
+        let pendings: Vec<Pending<T>> = self
+            .members
+            .iter()
+            .enumerate()
+            .map(|(id, m)| start(ctx, m, id))
+            .collect::<RemoteResult<_>>()?;
+        join(ctx, pendings)
+    }
+
+    /// The sequential loop the paper contrasts against: each call completes
+    /// before the next is issued.
+    pub fn seq_each<T: Wire>(
+        &self,
+        ctx: &mut NodeCtx,
+        mut call: impl FnMut(&mut NodeCtx, &C, usize) -> RemoteResult<T>,
+    ) -> RemoteResult<Vec<T>> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(id, m)| call(ctx, m, id))
+            .collect()
+    }
+
+    /// Destroy every member (in parallel).
+    pub fn destroy(self, ctx: &mut NodeCtx) -> RemoteResult<()> {
+        let pendings: Vec<Pending<()>> = self
+            .members
+            .iter()
+            .map(|m| ctx.destroy_async(m.obj_ref()))
+            .collect::<RemoteResult<_>>()?;
+        join(ctx, pendings)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_rejects_zero_parties() {
+        assert!(Barrier::make(0).is_err());
+        let b = Barrier::make(3).unwrap();
+        assert_eq!(b.parties, 3);
+        assert_eq!(b.generations, 0);
+    }
+
+    #[test]
+    fn barrier_client_is_wire_encodable() {
+        let c = BarrierClient::from_ref(ObjRef { machine: 1, object: 5 });
+        let back: BarrierClient = wire::from_bytes(&wire::to_bytes(&c)).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn group_accessors() {
+        let g = ProcessGroup::from_members(vec![
+            BarrierClient::from_ref(ObjRef { machine: 0, object: 1 }),
+            BarrierClient::from_ref(ObjRef { machine: 1, object: 1 }),
+        ]);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+        assert_eq!(g.member(1).obj_ref().machine, 1);
+        assert_eq!(g.refs().len(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Symbolic object addresses (§5).
+//!
+//! The paper: *"Processes can be accessed using a symbolic object address,
+//! similar to addresses used by the Data Access Protocol"*, e.g.
+//! `"http://data/set/PageDevice/34"`. The [`Directory`] is a name service —
+//! itself an ordinary oopp object, hosted on machine 0 by the runtime —
+//! mapping `oopp://…` strings to live remote pointers. Combined with the
+//! daemon's snapshot store it gives the paper's persistent-process model:
+//! bind a name while the process is live, deactivate it, and a later
+//! program resolves the name and reactivates the process.
+
+use std::collections::BTreeMap;
+
+use crate::error::RemoteResult;
+use crate::ids::ObjRef;
+use crate::node::NodeCtx;
+
+
+/// Conventional scheme prefix for oopp symbolic addresses.
+pub const SCHEME: &str = "oopp://";
+
+/// Build a conventional symbolic address from path segments:
+/// `symbolic_addr(&["data", "set", "PageDevice", "34"])` →
+/// `"oopp://data/set/PageDevice/34"`.
+pub fn symbolic_addr(segments: &[&str]) -> String {
+    let mut s = String::from(SCHEME);
+    for (i, seg) in segments.iter().enumerate() {
+        if i > 0 {
+            s.push('/');
+        }
+        s.push_str(seg);
+    }
+    s
+}
+
+/// Server state of the cluster name service.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: BTreeMap<String, ObjRef>,
+}
+
+remote_class! {
+    /// Client for the cluster name service (one instance lives on machine
+    /// 0; get it from [`Driver::directory`](crate::Driver::directory)).
+    class Directory {
+        ctor();
+        /// Bind `name` to a live object. Rebinding replaces the old entry.
+        fn bind(&mut self, name: String, target: ObjRef) -> ();
+        /// Resolve a name, if bound.
+        fn lookup(&mut self, name: String) -> Option<ObjRef>;
+        /// Remove a binding; true if it existed.
+        fn unbind(&mut self, name: String) -> bool;
+        /// All bound names with the given prefix (sorted).
+        fn list(&mut self, prefix: String) -> Vec<String>;
+        /// Number of bindings.
+        fn len(&mut self) -> usize;
+    }
+}
+
+impl Directory {
+    /// Constructor: an empty directory.
+    pub fn new(_ctx: &mut NodeCtx) -> RemoteResult<Self> {
+        Ok(Directory::default())
+    }
+
+    fn bind(&mut self, _ctx: &mut NodeCtx, name: String, target: ObjRef) -> RemoteResult<()> {
+        self.entries.insert(name, target);
+        Ok(())
+    }
+
+    fn lookup(&mut self, _ctx: &mut NodeCtx, name: String) -> RemoteResult<Option<ObjRef>> {
+        Ok(self.entries.get(&name).copied())
+    }
+
+    fn unbind(&mut self, _ctx: &mut NodeCtx, name: String) -> RemoteResult<bool> {
+        Ok(self.entries.remove(&name).is_some())
+    }
+
+    fn list(&mut self, _ctx: &mut NodeCtx, prefix: String) -> RemoteResult<Vec<String>> {
+        Ok(self
+            .entries
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    fn len(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<usize> {
+        Ok(self.entries.len())
+    }
+}
+
+/// Dereference a symbolic address — the paper's
+/// `PageDevice *pd = "http://data/set/PageDevice/34";`.
+///
+/// Resolution order: a live binding in the directory wins; otherwise the
+/// runtime **activates** the process from the snapshot stored under the
+/// same address on `machine` (§5: "the runtime system is responsible for
+/// … activating and de-activating processes, as needed") and binds the
+/// fresh process so later resolutions find it live.
+pub fn resolve_or_activate<C: crate::RemoteClient>(
+    ctx: &mut NodeCtx,
+    dir: &DirectoryClient,
+    machine: usize,
+    addr: &str,
+) -> RemoteResult<C> {
+    if let Some(r) = dir.lookup(ctx, addr.to_string())? {
+        return Ok(C::from_ref(r));
+    }
+    let client: C = ctx.activate(machine, addr)?;
+    dir.bind(ctx, addr.to_string(), client.obj_ref())?;
+    Ok(client)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbolic_addresses_compose() {
+        assert_eq!(
+            symbolic_addr(&["data", "set", "PageDevice", "34"]),
+            "oopp://data/set/PageDevice/34"
+        );
+        assert_eq!(symbolic_addr(&[]), "oopp://");
+        assert_eq!(symbolic_addr(&["x"]), "oopp://x");
+    }
+}

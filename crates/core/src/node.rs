@@ -1,0 +1,650 @@
+//! The per-machine progress engine.
+//!
+//! Every machine in an oopp cluster runs one [`NodeCtx`]: a single-threaded
+//! engine that **serves** requests addressed to its objects and **issues**
+//! requests on behalf of the code currently running on it. The two roles
+//! interleave: while an object's method is blocked waiting for a reply from
+//! another machine (the paper's sequential RMI semantics), the engine keeps
+//! serving incoming requests for *other* objects — the paper's processes
+//! stay responsive.
+//!
+//! One process per object means calls to an object **serialize**: a request
+//! arriving while its target is mid-dispatch is parked in a deferred queue
+//! and served when the object is checked back in. A cycle of such waits
+//! (A's method calls B while B's method calls A) is a genuine distributed
+//! deadlock; the engine converts it into [`RemoteError::Timeout`] rather
+//! than hanging forever.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Receiver;
+use simnet::{MachineId, Network, Packet, SimDisk};
+use wire::collections::Bytes;
+use wire::{Reader, Wire, Writer};
+
+use crate::error::{RemoteError, RemoteResult};
+use crate::frame::{Frame, NodeStats};
+use crate::future::{Pending, PendingClient};
+use crate::ids::{ObjRef, ObjectId, DAEMON};
+use crate::process::{ClassRegistry, DispatchResult, RemoteClient, ServerClass, ServerObject};
+
+/// Identity of an in-flight request, handed to objects that defer their
+/// replies (see [`DispatchResult::NoReply`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallInfo {
+    /// Correlation id chosen by the caller.
+    pub req_id: u64,
+    /// Machine the response must go to.
+    pub reply_to: MachineId,
+}
+
+struct IncomingReq {
+    req_id: u64,
+    reply_to: MachineId,
+    target: ObjectId,
+    payload: Vec<u8>,
+}
+
+enum ServeOutcome {
+    Served,
+    Defer(IncomingReq),
+}
+
+#[derive(Default)]
+struct Stats {
+    calls_served: u64,
+    calls_deferred: u64,
+}
+
+/// Default reply window. Long enough for heavily costed benchmark runs,
+/// short enough that a deadlocked test fails rather than hangs.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One machine's runtime state: its objects, its link to the fabric, and
+/// the progress engine that serves and issues calls.
+pub struct NodeCtx {
+    machine: MachineId,
+    workers: usize,
+    net: Network,
+    inbox: Receiver<Packet>,
+    registry: Arc<ClassRegistry>,
+    disks: Vec<Arc<SimDisk>>,
+    objects: HashMap<ObjectId, Option<Box<dyn ServerObject>>>,
+    deferred: VecDeque<IncomingReq>,
+    replies: HashMap<u64, Result<Vec<u8>, RemoteError>>,
+    snapshots: HashMap<String, (String, Vec<u8>)>,
+    current_call: Option<CallInfo>,
+    next_req_id: u64,
+    next_obj_id: u64,
+    alive: bool,
+    timeout: Duration,
+    stats: Stats,
+}
+
+impl std::fmt::Debug for NodeCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeCtx")
+            .field("machine", &self.machine)
+            .field("objects", &self.objects.len())
+            .field("deferred", &self.deferred.len())
+            .finish()
+    }
+}
+
+impl NodeCtx {
+    pub(crate) fn new(
+        machine: MachineId,
+        workers: usize,
+        net: Network,
+        inbox: Receiver<Packet>,
+        registry: Arc<ClassRegistry>,
+        disks: Vec<Arc<SimDisk>>,
+        timeout: Duration,
+    ) -> Self {
+        NodeCtx {
+            machine,
+            workers,
+            net,
+            inbox,
+            registry,
+            disks,
+            objects: HashMap::new(),
+            deferred: VecDeque::new(),
+            replies: HashMap::new(),
+            snapshots: HashMap::new(),
+            current_call: None,
+            next_req_id: 1,
+            next_obj_id: DAEMON + 1,
+            alive: true,
+            timeout,
+            stats: Stats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Identity and hardware
+    // ------------------------------------------------------------------
+
+    /// This machine's id.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// Number of worker machines (ids `0..workers()`). The driver program
+    /// runs on the extra endpoint `workers()`.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total endpoints, workers plus driver.
+    pub fn machines(&self) -> usize {
+        self.workers + 1
+    }
+
+    /// Locally attached disks.
+    pub fn disks(&self) -> &[Arc<SimDisk>] {
+        &self.disks
+    }
+
+    /// One local disk handle.
+    ///
+    /// # Panics
+    /// If `i` is out of range for this machine.
+    pub fn disk(&self, i: usize) -> Arc<SimDisk> {
+        self.disks[i].clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Issuing calls (client role)
+    // ------------------------------------------------------------------
+
+    /// Start a method call: encode `method` + arguments, send the request,
+    /// return the correlation id without waiting.
+    pub fn start_method_raw(
+        &mut self,
+        target: ObjRef,
+        method: &str,
+        encode_args: impl FnOnce(&mut Writer),
+    ) -> RemoteResult<u64> {
+        let mut w = Writer::new();
+        w.put_len_prefixed(method.as_bytes());
+        encode_args(&mut w);
+        self.start_call_raw(target, w.into_bytes())
+    }
+
+    /// Typed async call: returns a [`Pending`] decodable as `Ret`.
+    pub fn start_method<Ret: Wire>(
+        &mut self,
+        target: ObjRef,
+        method: &str,
+        encode_args: impl FnOnce(&mut Writer),
+    ) -> RemoteResult<Pending<Ret>> {
+        Ok(Pending::new(self.start_method_raw(target, method, encode_args)?))
+    }
+
+    /// Typed synchronous call — the paper's default sequential semantics:
+    /// the instruction, and all communication associated with it, completes
+    /// before this function returns.
+    pub fn call_method<Ret: Wire>(
+        &mut self,
+        target: ObjRef,
+        method: &str,
+        encode_args: impl FnOnce(&mut Writer),
+    ) -> RemoteResult<Ret> {
+        let req_id = self.start_method_raw(target, method, encode_args)?;
+        let bytes = self.wait_raw(req_id)?;
+        Ok(wire::from_bytes(&bytes)?)
+    }
+
+    fn start_call_raw(&mut self, target: ObjRef, payload: Vec<u8>) -> RemoteResult<u64> {
+        if target.machine >= self.machines() {
+            return Err(RemoteError::BadMachine {
+                machine: target.machine,
+                machines: self.machines(),
+            });
+        }
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        let frame = Frame::Request {
+            req_id,
+            reply_to: self.machine,
+            target: target.object,
+            payload: Bytes(payload),
+        };
+        self.net
+            .send(self.machine, target.machine, wire::to_bytes(&frame))
+            .map_err(|_| RemoteError::Disconnected { machine: target.machine })?;
+        Ok(req_id)
+    }
+
+    /// Block until the reply for `req_id` arrives, serving incoming
+    /// requests in the meantime (the re-entrant progress engine).
+    pub fn wait_raw(&mut self, req_id: u64) -> RemoteResult<Vec<u8>> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            if let Some(result) = self.replies.remove(&req_id) {
+                return result;
+            }
+            match self.inbox.recv_deadline(deadline) {
+                Ok(pkt) => {
+                    self.handle_packet(pkt);
+                    self.drain_deferred();
+                }
+                Err(_) => {
+                    return Err(RemoteError::Timeout {
+                        millis: self.timeout.as_millis() as u64,
+                    })
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Daemon conveniences (object lifecycle, persistence, introspection)
+    // ------------------------------------------------------------------
+
+    /// `new(machine m) class(args)`: construct an object remotely, blocking
+    /// until the constructor finishes.
+    pub fn create_object(
+        &mut self,
+        machine: MachineId,
+        class: &str,
+        args: Vec<u8>,
+    ) -> RemoteResult<ObjRef> {
+        let req_id = self.create_object_start(machine, class, args)?;
+        let bytes = self.wait_raw(req_id)?;
+        let object: u64 = wire::from_bytes(&bytes)?;
+        Ok(ObjRef { machine, object })
+    }
+
+    /// Async construction by class name; pair with
+    /// [`PendingClient`] via the typed wrapper below.
+    pub fn create_object_start(
+        &mut self,
+        machine: MachineId,
+        class: &str,
+        args: Vec<u8>,
+    ) -> RemoteResult<u64> {
+        self.start_method_raw(ObjRef::daemon(machine), "create", |w| {
+            Wire::encode(&class.to_string(), w);
+            Wire::encode(&Bytes(args), w);
+        })
+    }
+
+    /// Typed remote construction (sync). Prefer the generated
+    /// `Client::new_on` wrappers; this is their engine.
+    pub fn create<C: RemoteClient>(
+        &mut self,
+        machine: MachineId,
+        args: Vec<u8>,
+    ) -> RemoteResult<C> {
+        Ok(C::from_ref(self.create_object(machine, C::CLASS, args)?))
+    }
+
+    /// Typed remote construction (async).
+    pub fn create_async<C: RemoteClient>(
+        &mut self,
+        machine: MachineId,
+        args: Vec<u8>,
+    ) -> RemoteResult<PendingClient<C>> {
+        let req_id = self.create_object_start(machine, C::CLASS, args)?;
+        Ok(PendingClient::new(machine, req_id))
+    }
+
+    /// `delete ptr`: destroy a remote object, running its destructor and
+    /// terminating its process.
+    pub fn destroy(&mut self, r: ObjRef) -> RemoteResult<()> {
+        self.call_method(ObjRef::daemon(r.machine), "destroy", |w| {
+            Wire::encode(&r.object, w)
+        })
+    }
+
+    /// Async destroy.
+    pub fn destroy_async(&mut self, r: ObjRef) -> RemoteResult<Pending<()>> {
+        self.start_method(ObjRef::daemon(r.machine), "destroy", |w| {
+            Wire::encode(&r.object, w)
+        })
+    }
+
+    /// Liveness probe of a machine's daemon.
+    pub fn ping(&mut self, machine: MachineId) -> RemoteResult<()> {
+        self.call_method(ObjRef::daemon(machine), "ping", |_| {})
+    }
+
+    /// Fetch a machine's runtime counters.
+    pub fn stats_of(&mut self, machine: MachineId) -> RemoteResult<NodeStats> {
+        self.call_method(ObjRef::daemon(machine), "stats", |_| {})
+    }
+
+    /// Serialize a remote object's state (persistence, §5).
+    pub fn snapshot_of(&mut self, r: ObjRef) -> RemoteResult<Vec<u8>> {
+        let b: Bytes = self.call_method(ObjRef::daemon(r.machine), "snapshot", |w| {
+            Wire::encode(&r.object, w)
+        })?;
+        Ok(b.0)
+    }
+
+    /// §5 deactivation: snapshot `r` under `key` on its machine, then
+    /// destroy the live process. Reactivate later with [`activate`].
+    ///
+    /// [`activate`]: NodeCtx::activate
+    pub fn deactivate(&mut self, r: ObjRef, key: &str) -> RemoteResult<()> {
+        self.call_method(ObjRef::daemon(r.machine), "deactivate", |w| {
+            Wire::encode(&r.object, w);
+            Wire::encode(&key.to_string(), w);
+        })
+    }
+
+    /// §5 activation: re-create the process stored under `key` on
+    /// `machine`. The snapshot remains stored (activate is not destructive).
+    pub fn activate<C: RemoteClient>(&mut self, machine: MachineId, key: &str) -> RemoteResult<C> {
+        let object: u64 = self.call_method(ObjRef::daemon(machine), "activate", |w| {
+            Wire::encode(&key.to_string(), w);
+        })?;
+        Ok(C::from_ref(ObjRef { machine, object }))
+    }
+
+    /// Remove a stored snapshot; true if one existed.
+    pub fn drop_snapshot(&mut self, machine: MachineId, key: &str) -> RemoteResult<bool> {
+        self.call_method(ObjRef::daemon(machine), "drop_snapshot", |w| {
+            Wire::encode(&key.to_string(), w);
+        })
+    }
+
+    /// Ask a machine's serve loop to stop (used by cluster shutdown).
+    pub fn shutdown_machine(&mut self, machine: MachineId) -> RemoteResult<()> {
+        self.call_method(ObjRef::daemon(machine), "shutdown", |_| {})
+    }
+
+    // ------------------------------------------------------------------
+    // Serving (server role)
+    // ------------------------------------------------------------------
+
+    /// The request currently being dispatched, if any. Objects that defer
+    /// their replies capture this to answer later via [`send_reply`].
+    ///
+    /// [`send_reply`]: NodeCtx::send_reply
+    pub fn current_call(&self) -> Option<CallInfo> {
+        self.current_call
+    }
+
+    /// Send a response for a call whose dispatch returned
+    /// [`DispatchResult::NoReply`].
+    pub fn send_reply(&mut self, call: CallInfo, result: RemoteResult<Vec<u8>>) {
+        self.send_response(call.reply_to, call.req_id, result);
+    }
+
+    /// Serve incoming requests until `dur` elapses. Lets a driver thread
+    /// that hosts objects make them reachable while it has nothing else to
+    /// do. Workers never need this — their serve loop runs continuously.
+    pub fn serve_for(&mut self, dur: Duration) {
+        let deadline = Instant::now() + dur;
+        while let Ok(pkt) = self.inbox.recv_deadline(deadline) {
+            self.handle_packet(pkt);
+            self.drain_deferred();
+        }
+    }
+
+    /// Number of live objects on this node (excluding the daemon).
+    pub fn objects_live(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub(crate) fn serve_loop(&mut self) {
+        while self.alive {
+            match self.inbox.recv() {
+                Ok(pkt) => {
+                    self.handle_packet(pkt);
+                    self.drain_deferred();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn handle_packet(&mut self, pkt: Packet) {
+        let frame = match wire::from_bytes::<Frame>(&pkt.payload) {
+            Ok(f) => f,
+            Err(_) => return, // malformed; nothing to reply to
+        };
+        match frame {
+            Frame::Request { req_id, reply_to, target, payload } => {
+                let req = IncomingReq { req_id, reply_to, target, payload: payload.0 };
+                match self.try_serve(req) {
+                    ServeOutcome::Served => {}
+                    ServeOutcome::Defer(req) => {
+                        self.stats.calls_deferred += 1;
+                        self.deferred.push_back(req);
+                    }
+                }
+            }
+            Frame::Response { req_id, result } => {
+                self.replies.insert(req_id, result.map(|b| b.0));
+            }
+        }
+    }
+
+    fn drain_deferred(&mut self) {
+        loop {
+            let mut progressed = false;
+            for _ in 0..self.deferred.len() {
+                let Some(req) = self.deferred.pop_front() else { break };
+                match self.try_serve(req) {
+                    ServeOutcome::Served => progressed = true,
+                    ServeOutcome::Defer(req) => self.deferred.push_back(req),
+                }
+            }
+            if !progressed || self.deferred.is_empty() {
+                break;
+            }
+        }
+    }
+
+    fn try_serve(&mut self, req: IncomingReq) -> ServeOutcome {
+        if req.target == DAEMON {
+            self.serve_daemon(req)
+        } else {
+            self.serve_object(req)
+        }
+    }
+
+    fn serve_object(&mut self, req: IncomingReq) -> ServeOutcome {
+        // Check the object out of the table for the duration of the call:
+        // one process per object means one call at a time.
+        let mut obj = match self.objects.get_mut(&req.target) {
+            None => {
+                self.send_response(
+                    req.reply_to,
+                    req.req_id,
+                    Err(RemoteError::NoSuchObject {
+                        machine: self.machine,
+                        object: req.target,
+                    }),
+                );
+                return ServeOutcome::Served;
+            }
+            Some(slot) => match slot.take() {
+                Some(obj) => obj,
+                None => return ServeOutcome::Defer(req), // busy: park the request
+            },
+        };
+
+        let saved = self.current_call.replace(CallInfo {
+            req_id: req.req_id,
+            reply_to: req.reply_to,
+        });
+        let mut reader = Reader::new(&req.payload);
+        let outcome = match String::decode(&mut reader) {
+            Ok(method) => obj.dispatch_named(self, &method, &mut reader),
+            Err(e) => Err(e.into()),
+        };
+        self.current_call = saved;
+
+        // Check the object back in (its slot still exists: destroys of a
+        // checked-out object are deferred, never executed mid-call).
+        if let Some(slot) = self.objects.get_mut(&req.target) {
+            *slot = Some(obj);
+        }
+
+        match outcome {
+            Ok(DispatchResult::Reply(bytes)) => {
+                self.send_response(req.reply_to, req.req_id, Ok(bytes))
+            }
+            Ok(DispatchResult::NoReply) => {}
+            Err(e) => self.send_response(req.reply_to, req.req_id, Err(e)),
+        }
+        self.stats.calls_served += 1;
+        ServeOutcome::Served
+    }
+
+    fn serve_daemon(&mut self, req: IncomingReq) -> ServeOutcome {
+        // The payload is cloned so `self` stays borrowable during dispatch
+        // (constructor args live in the payload while `create` runs).
+        let payload = req.payload.clone();
+        let mut reader = Reader::new(&payload);
+        let outcome = match String::decode(&mut reader) {
+            Ok(method) => self.daemon_dispatch(&method, &mut reader),
+            Err(e) => Err(e.into()),
+        };
+        match outcome {
+            Ok(DaemonOutcome::Reply(bytes)) => {
+                self.send_response(req.reply_to, req.req_id, Ok(bytes));
+                self.stats.calls_served += 1;
+                ServeOutcome::Served
+            }
+            Ok(DaemonOutcome::ReplyThenHalt(bytes)) => {
+                self.send_response(req.reply_to, req.req_id, Ok(bytes));
+                self.stats.calls_served += 1;
+                self.alive = false;
+                ServeOutcome::Served
+            }
+            Ok(DaemonOutcome::Busy) => ServeOutcome::Defer(IncomingReq { payload, ..req }),
+            Err(e) => {
+                self.send_response(req.reply_to, req.req_id, Err(e));
+                ServeOutcome::Served
+            }
+        }
+    }
+
+    fn daemon_dispatch(
+        &mut self,
+        method: &str,
+        args: &mut Reader<'_>,
+    ) -> RemoteResult<DaemonOutcome> {
+        match method {
+            "ping" => Ok(DaemonOutcome::Reply(wire::to_bytes(&()))),
+            "create" => {
+                let class = String::decode(args)?;
+                let ctor_args = Bytes::decode(args)?;
+                let registry = self.registry.clone();
+                let mut ctor_reader = Reader::new(&ctor_args.0);
+                let obj = registry.construct(&class, self, &mut ctor_reader)?;
+                let id = self.next_obj_id;
+                self.next_obj_id += 1;
+                self.objects.insert(id, Some(obj));
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&id)))
+            }
+            "destroy" => {
+                let object = u64::decode(args)?;
+                match self.objects.get(&object) {
+                    None => Err(RemoteError::NoSuchObject { machine: self.machine, object }),
+                    Some(None) => Ok(DaemonOutcome::Busy), // mid-call: retry later
+                    Some(Some(_)) => {
+                        self.objects.remove(&object); // Drop runs the destructor
+                        Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
+                    }
+                }
+            }
+            "shutdown" => Ok(DaemonOutcome::ReplyThenHalt(wire::to_bytes(&()))),
+            "snapshot" => {
+                let object = u64::decode(args)?;
+                match self.objects.get(&object) {
+                    None => Err(RemoteError::NoSuchObject { machine: self.machine, object }),
+                    Some(None) => Ok(DaemonOutcome::Busy),
+                    Some(Some(obj)) => {
+                        let state = obj.snapshot_state()?;
+                        Ok(DaemonOutcome::Reply(wire::to_bytes(&Bytes(state))))
+                    }
+                }
+            }
+            "deactivate" => {
+                let object = u64::decode(args)?;
+                let key = String::decode(args)?;
+                match self.objects.get(&object) {
+                    None => Err(RemoteError::NoSuchObject { machine: self.machine, object }),
+                    Some(None) => Ok(DaemonOutcome::Busy),
+                    Some(Some(obj)) => {
+                        let state = obj.snapshot_state()?;
+                        let class = obj.class_name().to_string();
+                        self.snapshots.insert(key, (class, state));
+                        self.objects.remove(&object);
+                        Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
+                    }
+                }
+            }
+            "activate" => {
+                let key = String::decode(args)?;
+                let (class, state) = self
+                    .snapshots
+                    .get(&key)
+                    .cloned()
+                    .ok_or(RemoteError::NoSuchSnapshot { key })?;
+                let registry = self.registry.clone();
+                let obj = registry.restore(&class, self, &state)?;
+                let id = self.next_obj_id;
+                self.next_obj_id += 1;
+                self.objects.insert(id, Some(obj));
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&id)))
+            }
+            "drop_snapshot" => {
+                let key = String::decode(args)?;
+                let existed = self.snapshots.remove(&key).is_some();
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&existed)))
+            }
+            "stats" => {
+                let stats = NodeStats {
+                    objects_live: self.objects.len() as u64,
+                    calls_served: self.stats.calls_served,
+                    calls_deferred: self.stats.calls_deferred,
+                    snapshots_stored: self.snapshots.len() as u64,
+                };
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&stats)))
+            }
+            other => Err(RemoteError::NoSuchMethod {
+                class: "<daemon>".to_string(),
+                method: other.to_string(),
+            }),
+        }
+    }
+
+    fn send_response(&mut self, reply_to: MachineId, req_id: u64, result: RemoteResult<Vec<u8>>) {
+        let frame = Frame::Response { req_id, result: result.map(Bytes) };
+        // A dead caller is not an error for the server.
+        let _ = self.net.send(self.machine, reply_to, wire::to_bytes(&frame));
+    }
+
+    /// Register a locally constructed object (used by the runtime to host
+    /// driver-side objects and by tests). Returns its reference.
+    pub fn adopt(&mut self, obj: Box<dyn ServerObject>) -> ObjRef {
+        let id = self.next_obj_id;
+        self.next_obj_id += 1;
+        self.objects.insert(id, Some(obj));
+        ObjRef { machine: self.machine, object: id }
+    }
+
+    /// Construct and host an object of class `T` on **this** node directly
+    /// (no network round trip). Used by the runtime for built-ins.
+    pub fn adopt_new<T: ServerClass>(&mut self, args: Vec<u8>) -> RemoteResult<ObjRef> {
+        let mut reader = Reader::new(&args);
+        let obj = T::construct(self, &mut reader)?;
+        Ok(self.adopt(Box::new(obj)))
+    }
+}
+
+enum DaemonOutcome {
+    Reply(Vec<u8>),
+    ReplyThenHalt(Vec<u8>),
+    Busy,
+}

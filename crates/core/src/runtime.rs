@@ -1,0 +1,236 @@
+//! Cluster assembly: builder, worker threads, driver handle, shutdown.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use simnet::{ClusterConfig, MachineId, Metrics, MetricsSnapshot, SimCluster};
+use wire::collections::Bytes;
+
+use crate::array::{ByteBlock, DoubleBlock};
+use crate::frame::Frame;
+use crate::group::Barrier;
+use crate::ids::ObjRef;
+use crate::naming::{Directory, DirectoryClient};
+use crate::node::{NodeCtx, DEFAULT_TIMEOUT};
+use crate::process::{ClassRegistry, RemoteClient, ServerClass};
+
+/// Configures and launches an oopp cluster.
+///
+/// ```
+/// use oopp::ClusterBuilder;
+///
+/// let (cluster, mut driver) = ClusterBuilder::new(4).build();
+/// assert_eq!(driver.workers(), 4);
+/// driver.ping(0).unwrap();
+/// cluster.shutdown(driver);
+/// ```
+pub struct ClusterBuilder {
+    workers: usize,
+    sim_config: ClusterConfig,
+    registry: ClassRegistry,
+    timeout: Duration,
+}
+
+impl ClusterBuilder {
+    /// A cluster of `workers` machines (plus the implicit driver endpoint)
+    /// on a zero-cost network — the deterministic test configuration. Use
+    /// [`sim_config`](Self::sim_config) for costed benchmark topologies.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "a cluster needs at least one worker machine");
+        let mut registry = ClassRegistry::new();
+        registry.register::<DoubleBlock>();
+        registry.register::<ByteBlock>();
+        registry.register::<Barrier>();
+        registry.register::<Directory>();
+        ClusterBuilder {
+            workers,
+            sim_config: ClusterConfig::zero_cost(workers + 1),
+            registry,
+            timeout: DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// Replace the substrate configuration (topology, disks, costs). The
+    /// machine count in `cfg` is overridden to `workers + 1` — the extra
+    /// endpoint is the driver's.
+    pub fn sim_config(mut self, mut cfg: ClusterConfig) -> Self {
+        cfg.machines = self.workers + 1;
+        self.sim_config = cfg;
+        self
+    }
+
+    /// Register a user class for remote construction. Built-ins
+    /// ([`DoubleBlock`], [`ByteBlock`], [`Barrier`], [`Directory`]) are
+    /// pre-registered.
+    pub fn register<T: ServerClass>(mut self) -> Self {
+        self.registry.register::<T>();
+        self
+    }
+
+    /// Reply window before a call fails with
+    /// [`RemoteError::Timeout`](crate::RemoteError::Timeout).
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Launch the machines and return the cluster handle plus the driver
+    /// context (the paper's "program running on machine 0").
+    pub fn build(self) -> (Cluster, Driver) {
+        let ClusterBuilder { workers, sim_config, registry, timeout } = self;
+        let sim = SimCluster::new(sim_config);
+        let registry = Arc::new(registry);
+
+        let mut threads = Vec::with_capacity(workers);
+        for m in 0..workers {
+            let mut ctx = NodeCtx::new(
+                m,
+                workers,
+                sim.net().clone(),
+                sim.take_inbox(m),
+                registry.clone(),
+                sim.disks(m).to_vec(),
+                timeout,
+            );
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("oopp-machine-{m}"))
+                    .spawn(move || ctx.serve_loop())
+                    .expect("spawn machine thread"),
+            );
+        }
+
+        let driver_id = workers;
+        let mut driver_ctx = NodeCtx::new(
+            driver_id,
+            workers,
+            sim.net().clone(),
+            sim.take_inbox(driver_id),
+            registry.clone(),
+            sim.disks(driver_id).to_vec(),
+            timeout,
+        );
+
+        // The cluster name service lives on machine 0 (§5 symbolic
+        // addresses resolve against it).
+        let directory = DirectoryClient::new_on(&mut driver_ctx, 0)
+            .expect("create cluster directory")
+            .obj_ref();
+
+        let cluster = Cluster { sim, threads, workers, driver_id };
+        let driver = Driver { ctx: driver_ctx, directory };
+        (cluster, driver)
+    }
+}
+
+/// A running oopp cluster: the simulated machines and their serve threads.
+pub struct Cluster {
+    sim: SimCluster,
+    threads: Vec<JoinHandle<()>>,
+    workers: usize,
+    driver_id: MachineId,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("workers", &self.workers).finish()
+    }
+}
+
+impl Cluster {
+    /// Number of worker machines.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The underlying substrate (disks, metrics, topology).
+    pub fn sim(&self) -> &SimCluster {
+        &self.sim
+    }
+
+    /// Substrate counters (messages, bytes, disk activity).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        self.sim.metrics()
+    }
+
+    /// Snapshot the substrate counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.sim.snapshot()
+    }
+
+    /// Stop every machine and join its thread. The driver is consumed: a
+    /// cluster without machines has nothing left to talk to.
+    pub fn shutdown(mut self, mut driver: Driver) {
+        for m in 0..self.workers {
+            // A machine stuck in a deadlocked dispatch can miss the
+            // shutdown; best effort, the join below still bounds cleanup.
+            let _ = driver.ctx.shutdown_machine(m);
+        }
+        drop(driver);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn emergency_shutdown(&mut self) {
+        // Fire shutdown frames directly into the fabric (no driver context
+        // needed; replies land nowhere, which is fine).
+        for m in 0..self.workers {
+            let frame = Frame::Request {
+                req_id: u64::MAX,
+                reply_to: self.driver_id,
+                target: crate::ids::DAEMON,
+                payload: Bytes(crate::frame::DaemonCall::Shutdown.encode()),
+            };
+            let _ = self.sim.net().send(self.driver_id, m, wire::to_bytes(&frame));
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.emergency_shutdown();
+        }
+    }
+}
+
+/// The driver program's context — the paper's code "executed on machine 0".
+///
+/// Dereferences to [`NodeCtx`], so every client stub and lifecycle method is
+/// available directly: `FooClient::new_on(&mut driver, machine, ...)`.
+pub struct Driver {
+    ctx: NodeCtx,
+    directory: ObjRef,
+}
+
+impl std::fmt::Debug for Driver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Driver").field("machine", &self.ctx.machine()).finish()
+    }
+}
+
+impl Driver {
+    /// The cluster name service (§5 symbolic addresses).
+    pub fn directory(&self) -> DirectoryClient {
+        DirectoryClient::from_ref(self.directory)
+    }
+}
+
+impl Deref for Driver {
+    type Target = NodeCtx;
+    fn deref(&self) -> &NodeCtx {
+        &self.ctx
+    }
+}
+
+impl DerefMut for Driver {
+    fn deref_mut(&mut self) -> &mut NodeCtx {
+        &mut self.ctx
+    }
+}

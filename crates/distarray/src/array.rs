@@ -1,0 +1,444 @@
+//! The distributed `Array` (§5): a three-dimensional array of doubles too
+//! large for one machine, stored as pages across a [`BlockStorage`], with
+//! `read`/`write`/`sum` over arbitrary [`Domain`]s.
+//!
+//! An `Array` value is the paper's *Array client*: a lightweight handle
+//! that any process can hold (it is wire-encodable), performing
+//! computations on a small subdomain at a time. All page I/O inside one
+//! operation is issued with the §4 split loop, so pages on different
+//! devices move in parallel; the [`PageMap`] decides how much parallelism
+//! an access pattern can get.
+
+use oopp::{join, NodeCtx, Pending, RemoteError, RemoteResult};
+use wire::collections::F64s;
+use wire::Wire;
+
+use crate::domain::Domain;
+use crate::pagemap::{PageAddress, PageMap};
+use crate::storage::BlockStorage;
+
+/// How [`Array::read_with`] moves data for partially covered pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStrategy {
+    /// Ask each device for exactly the sub-box needed (computation moves to
+    /// the data; minimal bytes on the wire).
+    SubBox,
+    /// Fetch whole pages and crop locally (data moves to the computation;
+    /// simpler servers, more bytes).
+    WholePage,
+}
+
+/// Distributed 3-D array handle — the paper's `Array` class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Array {
+    n: [u64; 3],
+    p: [u64; 3],
+    storage: BlockStorage,
+    map: PageMap,
+}
+
+impl Wire for Array {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.n.encode(w);
+        self.p.encode(w);
+        self.storage.encode(w);
+        self.map.encode(w);
+    }
+    fn decode(r: &mut wire::Reader<'_>) -> wire::WireResult<Self> {
+        Ok(Array {
+            n: Wire::decode(r)?,
+            p: Wire::decode(r)?,
+            storage: Wire::decode(r)?,
+            map: Wire::decode(r)?,
+        })
+    }
+}
+
+impl Array {
+    /// Assemble an array of logical size `n1 × n2 × n3` from pages of
+    /// `p1 × p2 × p3` doubles laid out by `map` over `storage`.
+    ///
+    /// Page dimensions must divide into the grid the map was built for:
+    /// `map.grid()[d] == ceil(n[d] / p[d])`, and the map must not address
+    /// more devices than `storage` holds.
+    pub fn new(
+        n: [u64; 3],
+        p: [u64; 3],
+        storage: BlockStorage,
+        map: PageMap,
+    ) -> RemoteResult<Self> {
+        if p.iter().any(|&x| x == 0) || n.iter().any(|&x| x == 0) {
+            return Err(RemoteError::app("array and page dimensions must be positive"));
+        }
+        let grid = [n[0].div_ceil(p[0]), n[1].div_ceil(p[1]), n[2].div_ceil(p[2])];
+        if map.grid() != grid {
+            return Err(RemoteError::app(format!(
+                "page map grid {:?} does not match array grid {grid:?}",
+                map.grid()
+            )));
+        }
+        if map.devices() as usize > storage.len() {
+            return Err(RemoteError::app(format!(
+                "map addresses {} devices but storage holds {}",
+                map.devices(),
+                storage.len()
+            )));
+        }
+        Ok(Array { n, p, storage, map })
+    }
+
+    /// Logical dimensions `(N1, N2, N3)`.
+    pub fn dims(&self) -> [u64; 3] {
+        self.n
+    }
+
+    /// Page dimensions `(n1, n2, n3)`.
+    pub fn page_dims(&self) -> [u64; 3] {
+        self.p
+    }
+
+    /// The page grid (pages per axis).
+    pub fn grid(&self) -> [u64; 3] {
+        self.map.grid()
+    }
+
+    /// The whole-array domain.
+    pub fn whole(&self) -> Domain {
+        Domain::whole(self.n[0], self.n[1], self.n[2])
+    }
+
+    /// The layout in use.
+    pub fn map(&self) -> &PageMap {
+        &self.map
+    }
+
+    /// The storage behind the array.
+    pub fn storage(&self) -> &BlockStorage {
+        &self.storage
+    }
+
+    /// Total elements.
+    pub fn len(&self) -> u64 {
+        self.n[0] * self.n[1] * self.n[2]
+    }
+
+    /// Always false: zero-sized arrays are rejected at construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn check_domain(&self, domain: &Domain) -> RemoteResult<()> {
+        if !self.whole().contains_domain(domain) {
+            return Err(RemoteError::app(format!(
+                "domain {domain:?} exceeds array bounds {:?}",
+                self.n
+            )));
+        }
+        Ok(())
+    }
+
+    /// The box of array indices covered by page `c` (edge pages are
+    /// truncated to the array bounds).
+    fn page_box(&self, c: [u64; 3]) -> Domain {
+        let a = [c[0] * self.p[0], c[1] * self.p[1], c[2] * self.p[2]];
+        let b = [
+            (a[0] + self.p[0]).min(self.n[0]),
+            (a[1] + self.p[1]).min(self.n[1]),
+            (a[2] + self.p[2]).min(self.n[2]),
+        ];
+        Domain { a, b }
+    }
+
+    /// Page coordinates whose boxes intersect `domain`, with the
+    /// intersection each contributes.
+    fn pages_of(&self, domain: &Domain) -> Vec<([u64; 3], Domain)> {
+        if domain.is_empty() {
+            return Vec::new();
+        }
+        let lo = [domain.a[0] / self.p[0], domain.a[1] / self.p[1], domain.a[2] / self.p[2]];
+        let hi = [
+            (domain.b[0] - 1) / self.p[0],
+            (domain.b[1] - 1) / self.p[1],
+            (domain.b[2] - 1) / self.p[2],
+        ];
+        let mut out = Vec::new();
+        for c1 in lo[0]..=hi[0] {
+            for c2 in lo[1]..=hi[1] {
+                for c3 in lo[2]..=hi[2] {
+                    let c = [c1, c2, c3];
+                    if let Some(inter) = domain.intersect(&self.page_box(c)) {
+                        out.push((c, inter));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The physical address of the page holding coordinate `c`.
+    pub fn physical(&self, c: [u64; 3]) -> PageAddress {
+        self.map.physical(c)
+    }
+
+    /// Distinct devices an access to `domain` would engage — the paper's
+    /// degree of I/O parallelism (E5).
+    pub fn devices_touched(&self, domain: &Domain) -> usize {
+        self.map
+            .devices_touched(self.pages_of(domain).into_iter().map(|(c, _)| c))
+    }
+
+    // ------------------------------------------------------------------
+    // I/O
+    // ------------------------------------------------------------------
+
+    /// Read `domain` into a row-major buffer (the paper's
+    /// `read(subarray, domain)`), using device-side sub-box extraction.
+    pub fn read(&self, ctx: &mut NodeCtx, domain: &Domain) -> RemoteResult<Vec<f64>> {
+        self.read_with(ctx, domain, ReadStrategy::SubBox)
+    }
+
+    /// Read with an explicit transfer strategy.
+    pub fn read_with(
+        &self,
+        ctx: &mut NodeCtx,
+        domain: &Domain,
+        strategy: ReadStrategy,
+    ) -> RemoteResult<Vec<f64>> {
+        self.check_domain(domain)?;
+        let mut out = vec![0.0f64; domain.len() as usize];
+        // Send loop: one request per intersecting page.
+        let mut pendings: Vec<(Domain, [u64; 3], Pending<F64s>)> = Vec::new();
+        for (c, inter) in self.pages_of(domain) {
+            let addr = self.map.physical(c);
+            let dev = self.storage.device(addr.device_id as usize);
+            let page_origin = self.page_box(c).a;
+            let pending = match strategy {
+                ReadStrategy::SubBox => {
+                    let local = inter.relative_to(page_origin);
+                    dev.read_sub_async(
+                        ctx,
+                        addr.index,
+                        local.a[0],
+                        local.b[0],
+                        local.a[1],
+                        local.b[1],
+                        local.a[2],
+                        local.b[2],
+                    )?
+                }
+                ReadStrategy::WholePage => dev.read_array_async(ctx, addr.index)?,
+            };
+            pendings.push((inter, page_origin, pending));
+        }
+        // Receive loop: scatter each reply into place.
+        for (inter, page_origin, pending) in pendings {
+            let data = pending.wait(ctx)?.0;
+            match strategy {
+                ReadStrategy::SubBox => {
+                    self.scatter(&mut out, domain, &inter, &data, inter.a, inter.extent())
+                }
+                ReadStrategy::WholePage => {
+                    // Crop the sub-box out of the whole page locally.
+                    self.scatter(&mut out, domain, &inter, &data, page_origin, self.p)
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Copy `src` (a row-major box of `src_extent` anchored at
+    /// `src_origin`) into `out` (the row-major buffer for `domain`),
+    /// restricted to `inter`.
+    fn scatter(
+        &self,
+        out: &mut [f64],
+        domain: &Domain,
+        inter: &Domain,
+        src: &[f64],
+        src_origin: [u64; 3],
+        src_extent: [u64; 3],
+    ) {
+        let de = domain.extent();
+        for i1 in inter.a[0]..inter.b[0] {
+            for i2 in inter.a[1]..inter.b[1] {
+                let src_row = ((i1 - src_origin[0]) * src_extent[1] + (i2 - src_origin[1]))
+                    * src_extent[2]
+                    + (inter.a[2] - src_origin[2]);
+                let dst_row = ((i1 - domain.a[0]) * de[1] + (i2 - domain.a[1])) * de[2]
+                    + (inter.a[2] - domain.a[2]);
+                let run = (inter.b[2] - inter.a[2]) as usize;
+                out[dst_row as usize..dst_row as usize + run]
+                    .copy_from_slice(&src[src_row as usize..src_row as usize + run]);
+            }
+        }
+    }
+
+    /// Gather the `inter` portion of `data` (the row-major buffer for
+    /// `domain`) into a contiguous row-major box.
+    fn gather(&self, data: &[f64], domain: &Domain, inter: &Domain) -> Vec<f64> {
+        let de = domain.extent();
+        let mut out = Vec::with_capacity(inter.len() as usize);
+        for i1 in inter.a[0]..inter.b[0] {
+            for i2 in inter.a[1]..inter.b[1] {
+                let row = ((i1 - domain.a[0]) * de[1] + (i2 - domain.a[1])) * de[2]
+                    + (inter.a[2] - domain.a[2]);
+                let run = (inter.b[2] - inter.a[2]) as usize;
+                out.extend_from_slice(&data[row as usize..row as usize + run]);
+            }
+        }
+        out
+    }
+
+    /// Write a row-major buffer into `domain` (the paper's
+    /// `write(subarray, domain)`).
+    pub fn write(&self, ctx: &mut NodeCtx, domain: &Domain, data: &[f64]) -> RemoteResult<()> {
+        self.check_domain(domain)?;
+        if data.len() as u64 != domain.len() {
+            return Err(RemoteError::app(format!(
+                "buffer of {} elements written to domain of {}",
+                data.len(),
+                domain.len()
+            )));
+        }
+        let mut pendings = Vec::new();
+        for (c, inter) in self.pages_of(domain) {
+            let addr = self.map.physical(c);
+            let dev = self.storage.device(addr.device_id as usize);
+            let page_origin = self.page_box(c).a;
+            let local = inter.relative_to(page_origin);
+            let portion = self.gather(data, domain, &inter);
+            pendings.push(dev.write_sub_async(
+                ctx,
+                addr.index,
+                local.a[0],
+                local.b[0],
+                local.a[1],
+                local.b[1],
+                local.a[2],
+                local.b[2],
+                F64s(portion),
+            )?);
+        }
+        join(ctx, pendings)?;
+        Ok(())
+    }
+
+    /// One element — the degenerate single-point read.
+    pub fn get(&self, ctx: &mut NodeCtx, i1: u64, i2: u64, i3: u64) -> RemoteResult<f64> {
+        Ok(self.read(ctx, &Domain::point(i1, i2, i3))?[0])
+    }
+
+    /// Set one element.
+    pub fn set(&self, ctx: &mut NodeCtx, i1: u64, i2: u64, i3: u64, v: f64) -> RemoteResult<()> {
+        self.write(ctx, &Domain::point(i1, i2, i3), &[v])
+    }
+
+    // ------------------------------------------------------------------
+    // Computations
+    // ------------------------------------------------------------------
+
+    /// Sum over `domain`, computed **on the devices**: each device returns
+    /// only its partial sum, which the client combines (§5's sum — "the
+    /// partial sums are computed by the data server processes and combined
+    /// together by the Array client").
+    pub fn sum(&self, ctx: &mut NodeCtx, domain: &Domain) -> RemoteResult<f64> {
+        self.check_domain(domain)?;
+        let mut pendings = Vec::new();
+        for (c, inter) in self.pages_of(domain) {
+            let addr = self.map.physical(c);
+            let dev = self.storage.device(addr.device_id as usize);
+            let local = inter.relative_to(self.page_box(c).a);
+            pendings.push(dev.sum_sub_async(
+                ctx,
+                addr.index,
+                local.a[0],
+                local.b[0],
+                local.a[1],
+                local.b[1],
+                local.a[2],
+                local.b[2],
+            )?);
+        }
+        Ok(join(ctx, pendings)?.into_iter().sum())
+    }
+
+    /// Sum over `domain` by shipping the data to the client — the
+    /// "move the data to the computation" baseline for E2.
+    pub fn sum_by_moving_data(&self, ctx: &mut NodeCtx, domain: &Domain) -> RemoteResult<f64> {
+        Ok(self.read(ctx, domain)?.iter().sum())
+    }
+
+    /// Minimum over `domain`, computed on the devices.
+    pub fn min(&self, ctx: &mut NodeCtx, domain: &Domain) -> RemoteResult<f64> {
+        self.check_domain(domain)?;
+        let mut pendings = Vec::new();
+        for (c, inter) in self.pages_of(domain) {
+            let addr = self.map.physical(c);
+            let dev = self.storage.device(addr.device_id as usize);
+            let local = inter.relative_to(self.page_box(c).a);
+            pendings.push(dev.min_sub_async(
+                ctx, addr.index, local.a[0], local.b[0], local.a[1], local.b[1],
+                local.a[2], local.b[2],
+            )?);
+        }
+        Ok(join(ctx, pendings)?.into_iter().fold(f64::INFINITY, f64::min))
+    }
+
+    /// Maximum over `domain`, computed on the devices.
+    pub fn max(&self, ctx: &mut NodeCtx, domain: &Domain) -> RemoteResult<f64> {
+        self.check_domain(domain)?;
+        let mut pendings = Vec::new();
+        for (c, inter) in self.pages_of(domain) {
+            let addr = self.map.physical(c);
+            let dev = self.storage.device(addr.device_id as usize);
+            let local = inter.relative_to(self.page_box(c).a);
+            pendings.push(dev.max_sub_async(
+                ctx, addr.index, local.a[0], local.b[0], local.a[1], local.b[1],
+                local.a[2], local.b[2],
+            )?);
+        }
+        Ok(join(ctx, pendings)?.into_iter().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Scale `domain` in place on the devices (no data crosses the wire
+    /// except the command).
+    pub fn scale(&self, ctx: &mut NodeCtx, domain: &Domain, alpha: f64) -> RemoteResult<()> {
+        self.check_domain(domain)?;
+        let mut pendings = Vec::new();
+        for (c, inter) in self.pages_of(domain) {
+            let addr = self.map.physical(c);
+            let dev = self.storage.device(addr.device_id as usize);
+            let local = inter.relative_to(self.page_box(c).a);
+            pendings.push(dev.scale_sub_async(
+                ctx, addr.index, local.a[0], local.b[0], local.a[1], local.b[1],
+                local.a[2], local.b[2], alpha,
+            )?);
+        }
+        join(ctx, pendings)?;
+        Ok(())
+    }
+
+    /// Fill `domain` with `v`.
+    pub fn fill(&self, ctx: &mut NodeCtx, domain: &Domain, v: f64) -> RemoteResult<()> {
+        self.check_domain(domain)?;
+        let mut pendings = Vec::new();
+        for (c, inter) in self.pages_of(domain) {
+            let addr = self.map.physical(c);
+            let dev = self.storage.device(addr.device_id as usize);
+            let local = inter.relative_to(self.page_box(c).a);
+            pendings.push(dev.write_sub_async(
+                ctx,
+                addr.index,
+                local.a[0],
+                local.b[0],
+                local.a[1],
+                local.b[1],
+                local.a[2],
+                local.b[2],
+                F64s(vec![v; inter.len() as usize]),
+            )?);
+        }
+        join(ctx, pendings)?;
+        Ok(())
+    }
+}

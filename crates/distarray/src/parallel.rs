@@ -1,0 +1,95 @@
+//! Parallel Array clients (§5): "an application may deploy multiple
+//! coordinating Array client processes in parallel".
+//!
+//! An [`ArrayWorker`] is an object-process holding an [`Array`] handle
+//! (handles are wire-encodable, so shipping one to a worker is just a
+//! constructor argument). The driver splits a domain into slabs, assigns
+//! one slab per worker, and each worker performs its portion — its page
+//! I/O fanning out to the devices from *its* machine, concurrently with
+//! every other worker.
+
+use oopp::{join, remote_class, NodeCtx, ProcessGroup, RemoteError, RemoteResult};
+
+use crate::array::Array;
+use crate::domain::Domain;
+
+/// Server state: an Array client living on a worker machine.
+#[derive(Debug)]
+pub struct ArrayWorker {
+    array: Array,
+}
+
+remote_class! {
+    /// Remote pointer to an [`ArrayWorker`].
+    class ArrayWorker {
+        ctor(array: Array);
+        /// Sum the slab (device-side partial sums, combined by this worker).
+        fn sum(&mut self, domain: Domain) -> f64;
+        /// Fill the slab with a constant.
+        fn fill(&mut self, domain: Domain, v: f64) -> ();
+        /// Read the slab and return a checksum (exercises the read path
+        /// without shipping the slab back to the driver).
+        fn read_checksum(&mut self, domain: Domain) -> f64;
+        /// Scale then sum: a small compute pipeline on the slab.
+        fn scaled_sum(&mut self, domain: Domain, alpha: f64) -> f64;
+    }
+}
+
+impl ArrayWorker {
+    fn new(_ctx: &mut NodeCtx, array: Array) -> RemoteResult<Self> {
+        Ok(ArrayWorker { array })
+    }
+
+    fn sum(&mut self, ctx: &mut NodeCtx, domain: Domain) -> RemoteResult<f64> {
+        self.array.sum(ctx, &domain)
+    }
+
+    fn fill(&mut self, ctx: &mut NodeCtx, domain: Domain, v: f64) -> RemoteResult<()> {
+        self.array.fill(ctx, &domain, v)
+    }
+
+    fn read_checksum(&mut self, ctx: &mut NodeCtx, domain: Domain) -> RemoteResult<f64> {
+        let data = self.array.read(ctx, &domain)?;
+        // Position-weighted checksum: order-sensitive, so layout bugs show.
+        Ok(data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * (1.0 + (i % 97) as f64))
+            .sum())
+    }
+
+    fn scaled_sum(&mut self, ctx: &mut NodeCtx, domain: Domain, alpha: f64) -> RemoteResult<f64> {
+        Ok(self.array.sum(ctx, &domain)? * alpha)
+    }
+}
+
+/// Sum `domain` with `clients` parallel Array workers dealt over the worker
+/// machines: create, split, sum, destroy. Returns the total.
+pub fn parallel_sum(
+    ctx: &mut NodeCtx,
+    array: &Array,
+    domain: &Domain,
+    clients: usize,
+) -> RemoteResult<f64> {
+    if clients == 0 {
+        return Err(RemoteError::app("need at least one client"));
+    }
+    let workers = ctx.workers();
+    let mut pending_workers = Vec::with_capacity(clients);
+    for i in 0..clients {
+        pending_workers.push(ArrayWorkerClient::new_on_async(ctx, i % workers, array.clone())?);
+    }
+    let group: ProcessGroup<ArrayWorkerClient> =
+        ProcessGroup::from_members(oopp::join_clients(ctx, pending_workers)?);
+    let slabs = domain.split_axis0(clients as u64);
+    // Send loop: one slab per worker (extra workers idle if the domain is
+    // shallow); receive loop: combine.
+    let pendings: Vec<_> = slabs
+        .iter()
+        .enumerate()
+        .map(|(i, slab)| group.member(i % group.len()).sum_async(ctx, *slab))
+        .collect::<RemoteResult<_>>()?;
+    let total: f64 = join(ctx, pendings)?.into_iter().sum();
+    group.destroy(ctx)?;
+    Ok(total)
+}

@@ -1,0 +1,627 @@
+//! The paper's §4 parallel FFT: "a collection of processes for a joint
+//! computation of a Fourier transform".
+//!
+//! A 3-D array of shape `n1 × n2 × n3` is slab-decomposed over `P` worker
+//! processes (worker `p` owns planes `i1 ∈ [p·n1/P, (p+1)·n1/P)`). One
+//! distributed transform is:
+//!
+//! 1. each worker runs 2-D FFTs (axes 1, 2) on its planes;
+//! 2. a global **transpose**: every worker sends every other worker one
+//!    block (the paper's inter-process communication "implemented by
+//!    executing methods on remote objects");
+//! 3. each worker runs the axis-0 FFTs on the columns it now owns;
+//! 4. a transpose back, so the output is distributed like the input.
+//!
+//! The master-side code is exactly the paper's listing: create `N`
+//! processes with `new(machine id) FFT(id)`, tell each about the group with
+//! `SetGroup` (deep copy — the peer table is copied into each process), and
+//! invoke `transform(sign, a)` on all of them with the split loop.
+//!
+//! ## Why the [`BlockInbox`] exists
+//!
+//! While a worker's `transform` method is executing, the worker **object**
+//! is checked out — requests addressed to it are deferred (one process per
+//! object, §2). If peers pushed transpose blocks at the worker object
+//! itself, every worker would be waiting for objects that cannot serve:
+//! a distributed deadlock. Each worker therefore pairs with a separate
+//! `BlockInbox` object on the same machine. Inboxes are never busy (their
+//! methods return immediately or defer only their *reply*), so block
+//! transfers flow while every worker is deep inside `transform`. The inbox
+//! parks the worker's `take_all` with [`DispatchResult::NoReply`] until the
+//! last block arrives — the same deferred-reply mechanism as the group
+//! barrier.
+
+use std::collections::HashMap;
+
+use oopp::{
+    join, remote_class, CallInfo, DispatchResult, NodeCtx, ObjRef, RemoteClient, RemoteError,
+    RemoteResult, ServerClass, ServerObject,
+};
+use wire::collections::F64s;
+use wire::{Reader, Wire};
+
+use crate::complex::Complex;
+use crate::dft::Direction;
+use crate::plan::Fft;
+
+// ---------------------------------------------------------------------
+// Interleaved complex <-> f64 wire helpers
+// ---------------------------------------------------------------------
+
+/// Pack complex values as interleaved `re, im` doubles for the wire.
+pub fn pack(data: &[Complex]) -> F64s {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    for z in data {
+        out.push(z.re);
+        out.push(z.im);
+    }
+    F64s(out)
+}
+
+/// Unpack interleaved `re, im` doubles.
+pub fn unpack(data: &F64s) -> RemoteResult<Vec<Complex>> {
+    if data.0.len() % 2 != 0 {
+        return Err(RemoteError::app("interleaved complex payload has odd length"));
+    }
+    Ok(data.0.chunks_exact(2).map(|c| Complex { re: c[0], im: c[1] }).collect())
+}
+
+// ---------------------------------------------------------------------
+// BlockInbox: transpose-block rendezvous (hand-written ServerObject)
+// ---------------------------------------------------------------------
+
+/// Mailbox for transpose blocks, one per FFT worker.
+#[derive(Debug, Default)]
+pub struct BlockInbox {
+    /// Blocks received, bucketed by exchange epoch.
+    buckets: HashMap<u64, Vec<(u64, F64s)>>,
+    /// A parked `take_all`, waiting for its epoch's bucket to fill.
+    waiter: Option<(CallInfo, u64, usize)>,
+}
+
+impl BlockInbox {
+    fn reply_bytes(blocks: Vec<(u64, F64s)>) -> Vec<u8> {
+        wire::to_bytes(&blocks)
+    }
+
+    fn try_release(&mut self, ctx: &mut NodeCtx) {
+        if let Some((call, epoch, expect)) = self.waiter {
+            let ready = self.buckets.get(&epoch).map_or(0, Vec::len);
+            if ready >= expect {
+                let blocks = self.buckets.remove(&epoch).unwrap_or_default();
+                self.waiter = None;
+                ctx.send_reply(call, Ok(Self::reply_bytes(blocks)));
+            }
+        }
+    }
+}
+
+impl ServerObject for BlockInbox {
+    fn class_name(&self) -> &'static str {
+        "BlockInbox"
+    }
+
+    fn dispatch_named(
+        &mut self,
+        ctx: &mut NodeCtx,
+        method: &str,
+        args: &mut Reader<'_>,
+    ) -> RemoteResult<DispatchResult> {
+        match method {
+            "put" => {
+                let epoch = u64::decode(args)?;
+                let from = u64::decode(args)?;
+                let data = F64s::decode(args)?;
+                self.buckets.entry(epoch).or_default().push((from, data));
+                self.try_release(ctx);
+                Ok(DispatchResult::Reply(wire::to_bytes(&())))
+            }
+            "take_all" => {
+                let epoch = u64::decode(args)?;
+                let expect = usize::decode(args)?;
+                if self.waiter.is_some() {
+                    return Err(RemoteError::app("inbox already has a waiter"));
+                }
+                let ready = self.buckets.get(&epoch).map_or(0, Vec::len);
+                if ready >= expect {
+                    let blocks = self.buckets.remove(&epoch).unwrap_or_default();
+                    Ok(DispatchResult::Reply(Self::reply_bytes(blocks)))
+                } else {
+                    let call = ctx.current_call().expect("dispatched outside a call");
+                    self.waiter = Some((call, epoch, expect));
+                    Ok(DispatchResult::NoReply)
+                }
+            }
+            other => Err(RemoteError::NoSuchMethod {
+                class: "BlockInbox".into(),
+                method: other.into(),
+            }),
+        }
+    }
+}
+
+impl ServerClass for BlockInbox {
+    const CLASS: &'static str = "BlockInbox";
+    fn construct(_ctx: &mut NodeCtx, _args: &mut Reader<'_>) -> RemoteResult<Self> {
+        Ok(BlockInbox::default())
+    }
+}
+
+/// Remote pointer to a [`BlockInbox`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInboxClient {
+    r: ObjRef,
+}
+
+impl BlockInboxClient {
+    /// Create an inbox on `machine`.
+    pub fn new_on(ctx: &mut NodeCtx, machine: usize) -> RemoteResult<Self> {
+        ctx.create::<Self>(machine, Vec::new())
+    }
+
+    /// Deposit a block for exchange `epoch` from worker `from`.
+    pub fn put(
+        &self,
+        ctx: &mut NodeCtx,
+        epoch: u64,
+        from: u64,
+        data: F64s,
+    ) -> RemoteResult<()> {
+        ctx.call_method(self.r, "put", |w| {
+            epoch.encode(w);
+            from.encode(w);
+            data.encode(w);
+        })
+    }
+
+    /// Asynchronous [`put`](Self::put).
+    pub fn put_async(
+        &self,
+        ctx: &mut NodeCtx,
+        epoch: u64,
+        from: u64,
+        data: F64s,
+    ) -> RemoteResult<oopp::Pending<()>> {
+        ctx.start_method(self.r, "put", move |w| {
+            epoch.encode(w);
+            from.encode(w);
+            data.encode(w);
+        })
+    }
+
+    /// Collect all `expect` blocks of `epoch`, blocking (server-side
+    /// deferred reply) until they have arrived.
+    pub fn take_all(
+        &self,
+        ctx: &mut NodeCtx,
+        epoch: u64,
+        expect: usize,
+    ) -> RemoteResult<Vec<(u64, F64s)>> {
+        ctx.call_method(self.r, "take_all", |w| {
+            epoch.encode(w);
+            expect.encode(w);
+        })
+    }
+}
+
+impl RemoteClient for BlockInboxClient {
+    const CLASS: &'static str = "BlockInbox";
+    fn from_ref(r: ObjRef) -> Self {
+        BlockInboxClient { r }
+    }
+    fn obj_ref(&self) -> ObjRef {
+        self.r
+    }
+}
+
+impl Wire for BlockInboxClient {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.r.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> wire::WireResult<Self> {
+        Ok(BlockInboxClient { r: ObjRef::decode(r)? })
+    }
+}
+
+// ---------------------------------------------------------------------
+// FftWorker: the paper's `class FFT`
+// ---------------------------------------------------------------------
+
+/// Server state of one FFT process (the paper's `FFT` class: `id`, `N`,
+/// `FFT *fft` — here the deep-copied peer table, §4).
+#[derive(Debug)]
+pub struct FftWorker {
+    id: u64,
+    shape: [u64; 3],
+    parts: u64,
+    peers: Vec<FftWorkerClient>,
+    inboxes: Vec<BlockInboxClient>,
+    my_inbox: Option<BlockInboxClient>,
+    slab: Vec<Complex>,
+    epoch: u64,
+    /// Epoch of the exchange currently in flight (set by the sending
+    /// phase, consumed by the collecting phase).
+    pending_epoch: Option<u64>,
+    /// Intermediate [n1][s2][n3] buffer between the exchange phases.
+    gathered: Vec<Complex>,
+}
+
+remote_class! {
+    /// Remote pointer to an [`FftWorker`] (the paper's `FFT *`).
+    class FftWorker {
+        ctor(id: u64, n1: u64, n2: u64, n3: u64, parts: u64);
+        /// The paper's `SetGroup(N, fft)` with the preferred deep-copy
+        /// semantics: the whole table of remote pointers is copied into
+        /// this process.
+        fn set_group(&mut self, peers: Vec<FftWorkerClient>, inboxes: Vec<BlockInboxClient>) -> ();
+        /// Load this worker's slab (planes `[id·n1/P, (id+1)·n1/P)`),
+        /// interleaved re/im.
+        fn load_slab(&mut self, data: F64s) -> ();
+        /// Read the slab back.
+        fn read_slab(&mut self) -> F64s;
+        /// Phase 1 of `transform(sign, a)`: local 2-D FFTs on this
+        /// worker's planes, then send the forward-transpose blocks.
+        fn transform_local(&mut self, sign: i64) -> ();
+        /// Phase 2: collect the transpose blocks, run the axis-0 FFTs,
+        /// send the blocks back.
+        fn transform_exchange(&mut self, sign: i64) -> ();
+        /// Phase 3: collect the return blocks and reassemble the slab.
+        fn transform_finish(&mut self) -> ();
+        /// Identification (id, group size).
+        fn describe(&mut self) -> (u64, u64);
+    }
+}
+
+impl FftWorker {
+    fn new(_ctx: &mut NodeCtx, id: u64, n1: u64, n2: u64, n3: u64, parts: u64) -> RemoteResult<Self> {
+        if parts == 0 || id >= parts {
+            return Err(RemoteError::app(format!("worker id {id} out of range for {parts} parts")));
+        }
+        if n1 % parts != 0 || n2 % parts != 0 {
+            return Err(RemoteError::app(format!(
+                "shape {n1}x{n2}x{n3} not divisible into {parts} slabs on axes 0 and 1"
+            )));
+        }
+        let slab_len = (n1 / parts * n2 * n3) as usize;
+        Ok(FftWorker {
+            id,
+            shape: [n1, n2, n3],
+            parts,
+            peers: Vec::new(),
+            inboxes: Vec::new(),
+            my_inbox: None,
+            slab: vec![Complex::ZERO; slab_len],
+            epoch: 0,
+            pending_epoch: None,
+            gathered: Vec::new(),
+        })
+    }
+
+    fn set_group(
+        &mut self,
+        _ctx: &mut NodeCtx,
+        peers: Vec<FftWorkerClient>,
+        inboxes: Vec<BlockInboxClient>,
+    ) -> RemoteResult<()> {
+        if peers.len() as u64 != self.parts || inboxes.len() as u64 != self.parts {
+            return Err(RemoteError::app("group tables must have one entry per part"));
+        }
+        self.my_inbox = Some(inboxes[self.id as usize]);
+        self.peers = peers;
+        self.inboxes = inboxes;
+        Ok(())
+    }
+
+    fn load_slab(&mut self, _ctx: &mut NodeCtx, data: F64s) -> RemoteResult<()> {
+        let loaded = unpack(&data)?;
+        if loaded.len() != self.slab.len() {
+            return Err(RemoteError::app(format!(
+                "slab of {} elements loaded into worker expecting {}",
+                loaded.len(),
+                self.slab.len()
+            )));
+        }
+        self.slab = loaded;
+        Ok(())
+    }
+
+    fn read_slab(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<F64s> {
+        Ok(pack(&self.slab))
+    }
+
+    fn describe(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<(u64, u64)> {
+        Ok((self.id, self.parts))
+    }
+
+    /// Why three phases instead of one `transform` method: a machine may
+    /// host several workers, and a nested dispatch cannot resume the one
+    /// beneath it on the stack. Each phase therefore performs all of its
+    /// **sends before any wait**, and the driver joins the whole group
+    /// between phases, so every wait's data is already in flight no matter
+    /// how dispatches nest (see DESIGN.md §4.1).
+    fn transform_local(&mut self, ctx: &mut NodeCtx, sign: i64) -> RemoteResult<()> {
+        if self.my_inbox.is_none() {
+            return Err(RemoteError::app("SetGroup must be called before transform"));
+        }
+        if self.pending_epoch.is_some() {
+            return Err(RemoteError::app("transform phases called out of order"));
+        }
+        let dir = Direction::from_sign(sign as i32);
+        let [n1, n2, n3] =
+            [self.shape[0] as usize, self.shape[1] as usize, self.shape[2] as usize];
+        let p = self.parts as usize;
+        let (s1, s2) = (n1 / p, n2 / p);
+
+        // 2-D FFTs (axes 1, 2) on each local plane.
+        let plan2 = Fft::new(n2);
+        let plan3 = Fft::new(n3);
+        for i in 0..s1 {
+            let plane = &mut self.slab[i * n2 * n3..(i + 1) * n2 * n3];
+            for j in 0..n2 {
+                plan3.process(&mut plane[j * n3..(j + 1) * n3], dir);
+            }
+            let mut line = vec![Complex::ZERO; n2];
+            for k in 0..n3 {
+                for j in 0..n2 {
+                    line[j] = plane[j * n3 + k];
+                }
+                plan2.process(&mut line, dir);
+                for j in 0..n2 {
+                    plane[j * n3 + k] = line[j];
+                }
+            }
+        }
+
+        // Send the forward-transpose block (my planes x q's columns) to
+        // every peer's inbox.
+        let epoch = self.next_epoch();
+        self.pending_epoch = Some(epoch);
+        let mut sends = Vec::with_capacity(p);
+        for q in 0..p {
+            let mut block = Vec::with_capacity(s1 * s2 * n3);
+            for i in 0..s1 {
+                for j in 0..s2 {
+                    let row = (i * n2 + q * s2 + j) * n3;
+                    block.extend_from_slice(&self.slab[row..row + n3]);
+                }
+            }
+            sends.push(self.inboxes[q].put_async(ctx, epoch, self.id, pack(&block))?);
+        }
+        join(ctx, sends)?;
+        Ok(())
+    }
+
+    fn transform_exchange(&mut self, ctx: &mut NodeCtx, sign: i64) -> RemoteResult<()> {
+        let epoch = self
+            .pending_epoch
+            .take()
+            .ok_or_else(|| RemoteError::app("transform_exchange before transform_local"))?;
+        let dir = Direction::from_sign(sign as i32);
+        let [n1, n2, n3] =
+            [self.shape[0] as usize, self.shape[1] as usize, self.shape[2] as usize];
+        let p = self.parts as usize;
+        let (s1, s2) = (n1 / p, n2 / p);
+
+        // Collect the forward-transpose blocks (all in flight: the driver
+        // joined transform_local across the whole group).
+        let blocks = self.my_inbox.unwrap().take_all(ctx, epoch, p)?;
+        let mut gathered = vec![Complex::ZERO; n1 * s2 * n3];
+        for (from, data) in blocks {
+            let block = unpack(&data)?;
+            let q = from as usize;
+            for i in 0..s1 {
+                let dst = ((q * s1 + i) * s2) * n3;
+                let src = (i * s2) * n3;
+                gathered[dst..dst + s2 * n3].copy_from_slice(&block[src..src + s2 * n3]);
+            }
+        }
+
+        // Axis-0 FFTs on the columns I now own.
+        let plan1 = Fft::new(n1);
+        let mut line = vec![Complex::ZERO; n1];
+        for j in 0..s2 {
+            for k in 0..n3 {
+                for i1 in 0..n1 {
+                    line[i1] = gathered[(i1 * s2 + j) * n3 + k];
+                }
+                plan1.process(&mut line, dir);
+                for i1 in 0..n1 {
+                    gathered[(i1 * s2 + j) * n3 + k] = line[i1];
+                }
+            }
+        }
+
+        // Send the blocks back (worker q's planes are contiguous runs).
+        let epoch = self.next_epoch();
+        self.pending_epoch = Some(epoch);
+        let mut sends = Vec::with_capacity(p);
+        for (q, inbox) in self.inboxes.iter().enumerate() {
+            let start = q * s1 * s2 * n3;
+            sends.push(inbox.put_async(ctx, epoch, self.id, pack(&gathered[start..start + s1 * s2 * n3]))?);
+        }
+        join(ctx, sends)?;
+        self.gathered = gathered; // kept only for introspection/debugging
+        Ok(())
+    }
+
+    fn transform_finish(&mut self, ctx: &mut NodeCtx) -> RemoteResult<()> {
+        let epoch = self
+            .pending_epoch
+            .take()
+            .ok_or_else(|| RemoteError::app("transform_finish before transform_exchange"))?;
+        let [n1, n2, n3] =
+            [self.shape[0] as usize, self.shape[1] as usize, self.shape[2] as usize];
+        let p = self.parts as usize;
+        let (s1, s2) = (n1 / p, n2 / p);
+        let _ = n1;
+
+        let blocks = self.my_inbox.unwrap().take_all(ctx, epoch, p)?;
+        for (from, data) in blocks {
+            let block = unpack(&data)?;
+            let q = from as usize;
+            for i in 0..s1 {
+                for j in 0..s2 {
+                    let src = (i * s2 + j) * n3;
+                    let dst = (i * n2 + q * s2 + j) * n3;
+                    self.slab[dst..dst + n3].copy_from_slice(&block[src..src + n3]);
+                }
+            }
+        }
+        self.gathered = Vec::new();
+        Ok(())
+    }
+
+    fn next_epoch(&mut self) -> u64 {
+        let e = self.epoch;
+        self.epoch += 1;
+        e
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver-side handle
+// ---------------------------------------------------------------------
+
+/// Driver handle for a group of FFT worker processes — the paper's master
+/// program, packaged.
+#[derive(Debug)]
+pub struct DistributedFft3 {
+    shape: [u64; 3],
+    parts: usize,
+    workers: Vec<FftWorkerClient>,
+    inboxes: Vec<BlockInboxClient>,
+}
+
+impl DistributedFft3 {
+    /// Register the classes this module needs on a cluster builder.
+    pub fn register(builder: oopp::ClusterBuilder) -> oopp::ClusterBuilder {
+        builder.register::<FftWorker>().register::<BlockInbox>()
+    }
+
+    /// The paper's master listing: create `parts` FFT processes (one per
+    /// machine, round-robin), then `SetGroup` each with the deep-copied
+    /// tables.
+    ///
+    /// `shape[0]` and `shape[1]` must be divisible by `parts`.
+    pub fn new(ctx: &mut NodeCtx, shape: [u64; 3], parts: usize) -> RemoteResult<Self> {
+        if parts == 0 {
+            return Err(RemoteError::app("need at least one FFT process"));
+        }
+        let workers_count = ctx.workers();
+        // for (id = 0; id < N; id++) fft[id] = new(machine id) FFT(id);
+        let mut pending_inboxes = Vec::with_capacity(parts);
+        for id in 0..parts {
+            pending_inboxes.push(ctx.create_async::<BlockInboxClient>(id % workers_count, Vec::new())?);
+        }
+        let inboxes = oopp::join_clients(ctx, pending_inboxes)?;
+        let mut pending_workers = Vec::with_capacity(parts);
+        for id in 0..parts {
+            pending_workers.push(FftWorkerClient::new_on_async(
+                ctx,
+                id % workers_count,
+                id as u64,
+                shape[0],
+                shape[1],
+                shape[2],
+                parts as u64,
+            )?);
+        }
+        let workers = oopp::join_clients(ctx, pending_workers)?;
+        // for (id = 0; id < N; id++) fft[id]->SetGroup(N, fft);
+        let mut pending = Vec::with_capacity(parts);
+        for w in &workers {
+            pending.push(w.set_group_async(ctx, workers.clone(), inboxes.clone())?);
+        }
+        join(ctx, pending)?;
+        Ok(DistributedFft3 { shape, parts, workers, inboxes })
+    }
+
+    /// Grid shape.
+    pub fn shape(&self) -> [u64; 3] {
+        self.shape
+    }
+
+    /// Number of FFT processes.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    fn slab_elems(&self) -> usize {
+        ((self.shape[0] as usize / self.parts) * self.shape[1] as usize * self.shape[2] as usize)
+            .max(1)
+    }
+
+    /// Distribute a full grid (row-major, `n1*n2*n3` values) to the
+    /// workers, slab by slab, in parallel.
+    pub fn scatter(&self, ctx: &mut NodeCtx, data: &[Complex]) -> RemoteResult<()> {
+        let total = (self.shape[0] * self.shape[1] * self.shape[2]) as usize;
+        if data.len() != total {
+            return Err(RemoteError::app(format!(
+                "grid of {} values scattered into shape {:?}",
+                data.len(),
+                self.shape
+            )));
+        }
+        let slab = self.slab_elems();
+        let mut pending = Vec::with_capacity(self.parts);
+        for (id, w) in self.workers.iter().enumerate() {
+            let part = &data[id * slab..(id + 1) * slab];
+            pending.push(w.load_slab_async(ctx, pack(part))?);
+        }
+        join(ctx, pending)?;
+        Ok(())
+    }
+
+    /// Collect the distributed grid back into one buffer.
+    pub fn gather(&self, ctx: &mut NodeCtx) -> RemoteResult<Vec<Complex>> {
+        let mut pending = Vec::with_capacity(self.parts);
+        for w in &self.workers {
+            pending.push(w.read_slab_async(ctx)?);
+        }
+        let slabs = join(ctx, pending)?;
+        let mut out = Vec::with_capacity((self.shape[0] * self.shape[1] * self.shape[2]) as usize);
+        for s in &slabs {
+            out.extend(unpack(s)?);
+        }
+        Ok(out)
+    }
+
+    /// The paper's parallel invocation:
+    /// `for (id = 0; id < N; id++) fft[id]->transform(sign, a);` —
+    /// issued as the split loop, so all workers run concurrently. The
+    /// group is joined between the three internal phases (local FFTs,
+    /// transpose+axis-0, transpose back) so any number of workers may
+    /// share a machine without deadlock.
+    pub fn transform(&self, ctx: &mut NodeCtx, dir: Direction) -> RemoteResult<()> {
+        let sign = dir.sign() as i64;
+        let mut pending = Vec::with_capacity(self.parts);
+        for w in &self.workers {
+            pending.push(w.transform_local_async(ctx, sign)?);
+        }
+        join(ctx, pending)?;
+        let mut pending = Vec::with_capacity(self.parts);
+        for w in &self.workers {
+            pending.push(w.transform_exchange_async(ctx, sign)?);
+        }
+        join(ctx, pending)?;
+        let mut pending = Vec::with_capacity(self.parts);
+        for w in &self.workers {
+            pending.push(w.transform_finish_async(ctx)?);
+        }
+        join(ctx, pending)?;
+        Ok(())
+    }
+
+    /// Destroy the worker and inbox processes.
+    pub fn destroy(self, ctx: &mut NodeCtx) -> RemoteResult<()> {
+        let mut pending = Vec::new();
+        for w in &self.workers {
+            pending.push(ctx.destroy_async(w.obj_ref())?);
+        }
+        for i in &self.inboxes {
+            pending.push(ctx.destroy_async(i.obj_ref())?);
+        }
+        join(ctx, pending)?;
+        Ok(())
+    }
+}

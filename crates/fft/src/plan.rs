@@ -1,0 +1,130 @@
+//! Size-dispatching FFT plans.
+
+use crate::bluestein::Bluestein;
+use crate::complex::Complex;
+use crate::dft::Direction;
+use crate::radix2::Radix2;
+use crate::radix4::{is_power_of_four, Radix4};
+
+#[derive(Debug, Clone)]
+enum Strategy {
+    Radix2(Radix2),
+    Radix4(Radix4),
+    Bluestein(Box<Bluestein>),
+}
+
+/// A reusable 1-D FFT plan: radix-4 for powers of four, radix-2 for other
+/// powers of two, Bluestein otherwise.
+///
+/// ```
+/// use fft::{Fft, Direction, Complex, c64};
+///
+/// let plan = Fft::new(12); // not a power of two — Bluestein under the hood
+/// let x: Vec<Complex> = (0..12).map(|i| c64(i as f64, 0.0)).collect();
+/// let y = plan.forward(&x);
+/// let back = plan.transform(&y, Direction::Inverse);
+/// assert!(fft::max_error(&x, &back) < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    strategy: Strategy,
+}
+
+impl Fft {
+    /// Plan a transform of size `n ≥ 1`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "transform size must be at least 1");
+        let strategy = if is_power_of_four(n) && n > 1 {
+            Strategy::Radix4(Radix4::new(n))
+        } else if n.is_power_of_two() {
+            Strategy::Radix2(Radix2::new(n))
+        } else {
+            Strategy::Bluestein(Box::new(Bluestein::new(n)))
+        };
+        Fft { n, strategy }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never empty (n ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True when a power-of-two fast path (radix-2 or radix-4) is in use.
+    pub fn is_radix2(&self) -> bool {
+        matches!(self.strategy, Strategy::Radix2(_) | Strategy::Radix4(_))
+    }
+
+    /// True when the radix-4 path specifically is in use.
+    pub fn is_radix4(&self) -> bool {
+        matches!(self.strategy, Strategy::Radix4(_))
+    }
+
+    /// In-place transform.
+    pub fn process(&self, data: &mut [Complex], dir: Direction) {
+        match &self.strategy {
+            Strategy::Radix2(p) => p.process(data, dir),
+            Strategy::Radix4(p) => p.process(data, dir),
+            Strategy::Bluestein(p) => p.process(data, dir),
+        }
+    }
+
+    /// Out-of-place transform.
+    pub fn transform(&self, input: &[Complex], dir: Direction) -> Vec<Complex> {
+        let mut out = input.to_vec();
+        self.process(&mut out, dir);
+        out
+    }
+
+    /// Out-of-place forward transform.
+    pub fn forward(&self, input: &[Complex]) -> Vec<Complex> {
+        self.transform(input, Direction::Forward)
+    }
+
+    /// Out-of-place inverse transform.
+    pub fn inverse(&self, input: &[Complex]) -> Vec<Complex> {
+        self.transform(input, Direction::Inverse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, max_error};
+    use crate::dft::dft;
+
+    #[test]
+    fn plan_picks_the_right_strategy() {
+        assert!(Fft::new(64).is_radix4(), "64 = 4^3");
+        assert!(Fft::new(128).is_radix2(), "128 = 2^7, not a power of 4");
+        assert!(!Fft::new(128).is_radix4());
+        assert!(!Fft::new(60).is_radix2());
+        assert!(Fft::new(1).is_radix2());
+    }
+
+    #[test]
+    fn all_sizes_match_reference() {
+        for n in 1..=48 {
+            let plan = Fft::new(n);
+            let x: Vec<Complex> =
+                (0..n).map(|i| c64((i as f64).sqrt(), (i % 3) as f64 - 1.0)).collect();
+            let err = max_error(&plan.forward(&x), &dft(&x, Direction::Forward));
+            assert!(err < 1e-7, "n={n}: error {err}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [8, 13, 27, 64, 100] {
+            let plan = Fft::new(n);
+            let x: Vec<Complex> = (0..n).map(|i| c64(i as f64, -(i as f64))).collect();
+            let back = plan.inverse(&plan.forward(&x));
+            assert!(max_error(&x, &back) < 1e-8, "n={n}");
+        }
+    }
+}

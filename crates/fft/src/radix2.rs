@@ -1,0 +1,174 @@
+//! Iterative radix-2 Cooley–Tukey FFT for power-of-two sizes.
+
+use crate::complex::Complex;
+use crate::dft::Direction;
+
+/// Precomputed machinery for power-of-two transforms: the bit-reversal
+/// permutation and the forward twiddle table (inverse runs conjugate).
+#[derive(Debug, Clone)]
+pub struct Radix2 {
+    n: usize,
+    bitrev: Vec<u32>,
+    /// `e^{-2πi k / n}` for `k in 0..n/2`.
+    twiddles: Vec<Complex>,
+}
+
+impl Radix2 {
+    /// Plan a transform of size `n`.
+    ///
+    /// # Panics
+    /// If `n` is not a power of two (use [`Fft`](crate::plan::Fft) for
+    /// arbitrary sizes).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "Radix2 requires a power-of-two size, got {n}");
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| if n > 1 { i.reverse_bits() >> (32 - bits) } else { 0 })
+            .collect();
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::cis(-std::f64::consts::TAU * k as f64 / n as f64))
+            .collect();
+        Radix2 { n, bitrev, twiddles }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never constructed empty (n = 1 is the minimum meaningful size).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place transform.
+    ///
+    /// # Panics
+    /// If `data.len() != self.len()`.
+    pub fn process(&self, data: &mut [Complex], dir: Direction) {
+        assert_eq!(data.len(), self.n, "buffer length must equal plan size");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+
+        // Butterfly passes. For stage length `len`, the twiddle for offset j
+        // is twiddles[j * (n / len)] (conjugated for the inverse).
+        let conj = dir == Direction::Inverse;
+        let mut len = 2;
+        while len <= n {
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for j in 0..len / 2 {
+                    let mut w = self.twiddles[j * stride];
+                    if conj {
+                        w = w.conj();
+                    }
+                    let a = data[start + j];
+                    let b = data[start + j + len / 2] * w;
+                    data[start + j] = a + b;
+                    data[start + j + len / 2] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+
+        if conj {
+            let inv = 1.0 / n as f64;
+            for v in data.iter_mut() {
+                *v = v.scale(inv);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, max_error};
+    use crate::dft::dft;
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n).map(|i| c64(i as f64 * 0.5, (i as f64 * 0.3).sin())).collect()
+    }
+
+    #[test]
+    fn matches_reference_dft_for_all_small_powers() {
+        for bits in 0..=9 {
+            let n = 1 << bits;
+            let plan = Radix2::new(n);
+            let x = ramp(n);
+            let mut fast = x.clone();
+            plan.process(&mut fast, Direction::Forward);
+            let slow = dft(&x, Direction::Forward);
+            assert!(
+                max_error(&fast, &slow) < 1e-8 * n as f64,
+                "n={n}: error {}",
+                max_error(&fast, &slow)
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let n = 256;
+        let plan = Radix2::new(n);
+        let x = ramp(n);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Inverse);
+        assert!(max_error(&x, &y) < 1e-10);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let plan = Radix2::new(1);
+        let mut x = vec![c64(3.0, -4.0)];
+        plan.process(&mut x, Direction::Forward);
+        assert_eq!(x, vec![c64(3.0, -4.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_panics() {
+        let _ = Radix2::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn wrong_buffer_length_panics() {
+        let plan = Radix2::new(8);
+        let mut x = vec![Complex::ZERO; 4];
+        plan.process(&mut x, Direction::Forward);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let plan = Radix2::new(n);
+        let x = ramp(n);
+        let y: Vec<Complex> = (0..n).map(|i| c64((i as f64).cos(), 0.25)).collect();
+        let alpha = c64(2.0, -1.0);
+
+        let mut fx = x.clone();
+        plan.process(&mut fx, Direction::Forward);
+        let mut fy = y.clone();
+        plan.process(&mut fy, Direction::Forward);
+        let combined_then: Vec<Complex> =
+            fx.iter().zip(&fy).map(|(a, b)| *a * alpha + *b).collect();
+
+        let mut combined_first: Vec<Complex> =
+            x.iter().zip(&y).map(|(a, b)| *a * alpha + *b).collect();
+        plan.process(&mut combined_first, Direction::Forward);
+
+        assert!(max_error(&combined_first, &combined_then) < 1e-9);
+    }
+}

@@ -1,0 +1,201 @@
+//! Iterative radix-4 Cooley–Tukey FFT for sizes that are powers of four.
+//!
+//! Radix-4 butterflies do the work of two radix-2 stages with ~25% fewer
+//! multiplies; [`Fft`](crate::plan::Fft) selects this path when `n = 4^k`.
+
+use crate::complex::Complex;
+use crate::dft::Direction;
+
+/// Precomputed radix-4 plan.
+#[derive(Debug, Clone)]
+pub struct Radix4 {
+    n: usize,
+    /// Base-4 digit-reversal permutation.
+    digitrev: Vec<u32>,
+    /// `e^{-2πi k / n}` for `k in 0..n` (the three twiddles per butterfly
+    /// are `w^j, w^{2j}, w^{3j}`, all read from this table).
+    twiddles: Vec<Complex>,
+}
+
+/// True if `n` is a power of four.
+pub fn is_power_of_four(n: usize) -> bool {
+    n.is_power_of_two() && n.trailing_zeros() % 2 == 0
+}
+
+impl Radix4 {
+    /// Plan a transform of size `n = 4^k`.
+    ///
+    /// # Panics
+    /// If `n` is not a power of four.
+    pub fn new(n: usize) -> Self {
+        assert!(is_power_of_four(n), "Radix4 requires a power-of-four size, got {n}");
+        let pairs = n.trailing_zeros() / 2; // base-4 digits
+        let digitrev = (0..n as u32)
+            .map(|i| {
+                let mut v = i;
+                let mut r = 0u32;
+                for _ in 0..pairs {
+                    r = (r << 2) | (v & 3);
+                    v >>= 2;
+                }
+                r
+            })
+            .collect();
+        let twiddles = (0..n)
+            .map(|k| Complex::cis(-std::f64::consts::TAU * k as f64 / n as f64))
+            .collect();
+        Radix4 { n, digitrev, twiddles }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never empty (n ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place transform.
+    ///
+    /// # Panics
+    /// If `data.len() != self.len()`.
+    pub fn process(&self, data: &mut [Complex], dir: Direction) {
+        assert_eq!(data.len(), self.n, "buffer length must equal plan size");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        // Digit-reversal permutation.
+        for i in 0..n {
+            let j = self.digitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+
+        let conj = dir == Direction::Inverse;
+        // For the forward transform the radix-4 butterfly's "rotation by i"
+        // is -i; for the inverse it is +i.
+        let rot = if conj { Complex::I } else { -Complex::I };
+
+        let mut len = 4;
+        while len <= n {
+            let quarter = len / 4;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for j in 0..quarter {
+                    let (w1, w2, w3);
+                    {
+                        let t1 = self.twiddles[j * stride];
+                        let t2 = self.twiddles[2 * j * stride];
+                        let t3 = self.twiddles[3 * j * stride];
+                        if conj {
+                            w1 = t1.conj();
+                            w2 = t2.conj();
+                            w3 = t3.conj();
+                        } else {
+                            w1 = t1;
+                            w2 = t2;
+                            w3 = t3;
+                        }
+                    }
+                    let a = data[start + j];
+                    let b = data[start + j + quarter] * w1;
+                    let c = data[start + j + 2 * quarter] * w2;
+                    let d = data[start + j + 3 * quarter] * w3;
+
+                    let ac_sum = a + c;
+                    let ac_diff = a - c;
+                    let bd_sum = b + d;
+                    let bd_diff = (b - d) * rot;
+
+                    data[start + j] = ac_sum + bd_sum;
+                    data[start + j + quarter] = ac_diff + bd_diff;
+                    data[start + j + 2 * quarter] = ac_sum - bd_sum;
+                    data[start + j + 3 * quarter] = ac_diff - bd_diff;
+                }
+            }
+            len <<= 2;
+        }
+
+        if conj {
+            let inv = 1.0 / n as f64;
+            for v in data.iter_mut() {
+                *v = v.scale(inv);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, max_error};
+    use crate::dft::dft;
+    use crate::radix2::Radix2;
+
+    fn signal(n: usize) -> Vec<Complex> {
+        (0..n).map(|i| c64((i as f64 * 0.61).sin(), (i as f64 * 0.29).cos())).collect()
+    }
+
+    #[test]
+    fn power_of_four_detector() {
+        for n in [1usize, 4, 16, 64, 256, 1024] {
+            assert!(is_power_of_four(n), "{n}");
+        }
+        for n in [0usize, 2, 8, 12, 32, 128] {
+            assert!(!is_power_of_four(n), "{n}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for n in [1usize, 4, 16, 64, 256] {
+            let plan = Radix4::new(n);
+            let x = signal(n);
+            let mut fast = x.clone();
+            plan.process(&mut fast, Direction::Forward);
+            let slow = dft(&x, Direction::Forward);
+            let err = max_error(&fast, &slow);
+            assert!(err < 1e-8 * n.max(1) as f64, "n={n}: error {err}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_radix2_exactly_in_shape() {
+        let n = 256;
+        let x = signal(n);
+        let mut via4 = x.clone();
+        Radix4::new(n).process(&mut via4, Direction::Forward);
+        let mut via2 = x.clone();
+        Radix2::new(n).process(&mut via2, Direction::Forward);
+        assert!(max_error(&via4, &via2) < 1e-9);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let n = 1024;
+        let plan = Radix4::new(n);
+        let x = signal(n);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Inverse);
+        assert!(max_error(&x, &y) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-four")]
+    fn rejects_non_power_of_four() {
+        let _ = Radix4::new(8);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let plan = Radix4::new(1);
+        let mut x = vec![c64(2.0, -3.0)];
+        plan.process(&mut x, Direction::Forward);
+        assert_eq!(x, vec![c64(2.0, -3.0)]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Real-input FFT via the packed half-length complex transform.
+//!
+//! Scientific workloads (the paper's §5 arrays are `double`s, not complex)
+//! usually transform real data; the standard trick packs even/odd samples
+//! into a half-length complex sequence, transforms once, and untangles the
+//! halves, costing ~half the work of a complex FFT of the same length.
+
+use crate::complex::{c64, Complex};
+use crate::dft::Direction;
+use crate::plan::Fft;
+
+/// Plan for transforming real sequences of even length `n`.
+///
+/// `forward` returns the Hermitian half-spectrum: `n/2 + 1` bins (bins
+/// `k` and `n-k` of a real signal's spectrum are conjugates, so the rest
+/// is redundant). `inverse` reconstructs the real sequence.
+#[derive(Debug, Clone)]
+pub struct RealFft {
+    n: usize,
+    half: Fft,
+    /// `e^{-πik/ (n/2)}`… the untangling twiddles `e^{-2πik/n}`.
+    twiddles: Vec<Complex>,
+}
+
+impl RealFft {
+    /// Plan for real sequences of length `n` (must be even and ≥ 2).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n % 2 == 0, "RealFft requires an even length >= 2, got {n}");
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::cis(-std::f64::consts::TAU * k as f64 / n as f64))
+            .collect();
+        RealFft { n, half: Fft::new(n / 2), twiddles }
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never empty (n ≥ 2).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of spectrum bins returned by [`forward`](Self::forward).
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward transform of `input` (length n) to the half-spectrum
+    /// (length n/2 + 1).
+    ///
+    /// # Panics
+    /// If `input.len() != self.len()`.
+    pub fn forward(&self, input: &[f64]) -> Vec<Complex> {
+        assert_eq!(input.len(), self.n, "input length must equal plan size");
+        let m = self.n / 2;
+        // Pack: z[k] = x[2k] + i x[2k+1].
+        let packed: Vec<Complex> = (0..m).map(|k| c64(input[2 * k], input[2 * k + 1])).collect();
+        let z = self.half.forward(&packed);
+
+        let mut out = Vec::with_capacity(m + 1);
+        for k in 0..=m {
+            let zk = if k == m { z[0] } else { z[k] };
+            let zmk = z[(m - k) % m].conj();
+            // Even part (spectrum of x_even) and odd part (of x_odd).
+            let even = (zk + zmk).scale(0.5);
+            let odd = (zk - zmk) * c64(0.0, -0.5);
+            let w = if k == m { c64(-1.0, 0.0) } else { self.twiddles[k] };
+            out.push(even + odd * w);
+        }
+        out
+    }
+
+    /// Inverse transform of a half-spectrum (length n/2 + 1) back to the
+    /// real sequence (length n). The normalization matches
+    /// [`Direction::Inverse`]: `inverse(forward(x)) == x`.
+    ///
+    /// # Panics
+    /// If `spectrum.len() != self.spectrum_len()`.
+    pub fn inverse(&self, spectrum: &[Complex]) -> Vec<f64> {
+        assert_eq!(
+            spectrum.len(),
+            self.spectrum_len(),
+            "spectrum length must be n/2 + 1"
+        );
+        let m = self.n / 2;
+        // Rebuild the packed half-length spectrum.
+        let mut z = Vec::with_capacity(m);
+        for k in 0..m {
+            let xk = spectrum[k];
+            let xmk = spectrum[m - k].conj();
+            let even = (xk + xmk).scale(0.5);
+            let w_inv = if k == 0 { Complex::ONE } else { self.twiddles[k].conj() };
+            let odd = (xk - xmk).scale(0.5) * w_inv;
+            z.push(even + odd * Complex::I);
+        }
+        let packed = self.half.transform(&z, Direction::Inverse);
+        let mut out = Vec::with_capacity(self.n);
+        for v in packed {
+            out.push(v.re);
+            out.push(v.im);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_error;
+    use crate::dft::dft;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.7).sin() + 0.3 * (i as f64 * 2.1).cos()).collect()
+    }
+
+    #[test]
+    fn matches_complex_dft_half_spectrum() {
+        for n in [2usize, 4, 8, 12, 16, 30, 64] {
+            let x = signal(n);
+            let plan = RealFft::new(n);
+            let got = plan.forward(&x);
+            assert_eq!(got.len(), n / 2 + 1);
+            let as_complex: Vec<Complex> = x.iter().map(|&v| c64(v, 0.0)).collect();
+            let full = dft(&as_complex, Direction::Forward);
+            let err = max_error(&got, &full[..n / 2 + 1]);
+            assert!(err < 1e-8 * n as f64, "n={n}: error {err}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_restores_the_signal() {
+        for n in [2usize, 6, 16, 50, 128] {
+            let x = signal(n);
+            let plan = RealFft::new(n);
+            let back = plan.inverse(&plan.forward(&x));
+            let err = x
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(err < 1e-9, "n={n}: error {err}");
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_bins_are_real() {
+        let n = 32;
+        let x = signal(n);
+        let spec = RealFft::new(n).forward(&x);
+        assert!(spec[0].im.abs() < 1e-12, "DC bin must be real");
+        assert!(spec[n / 2].im.abs() < 1e-12, "Nyquist bin must be real");
+        // DC bin equals the plain sum.
+        assert!((spec[0].re - x.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_lengths_are_rejected() {
+        let _ = RealFft::new(7);
+    }
+
+    #[test]
+    fn spectrum_len_accessor() {
+        let plan = RealFft::new(16);
+        assert_eq!(plan.len(), 16);
+        assert_eq!(plan.spectrum_len(), 9);
+    }
+}

@@ -1,0 +1,166 @@
+//! Distributed FFT tests: the §4 listing end-to-end, checked against the
+//! local 3-D transform, plus property tests of transform invariants.
+
+use oopp::{Cluster, ClusterBuilder, Driver};
+use proptest::prelude::*;
+
+use crate::*;
+
+fn cluster(workers: usize) -> (Cluster, Driver) {
+    DistributedFft3::register(ClusterBuilder::new(workers)).build()
+}
+
+fn sample_grid(shape: [usize; 3], seed: u64) -> Grid3 {
+    let n = shape[0] * shape[1] * shape[2];
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        let mut z = state;
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    Grid3::new(shape, (0..n).map(|_| c64(next(), next())).collect())
+}
+
+#[test]
+fn distributed_matches_local_for_various_part_counts() {
+    let shape = [8usize, 8, 4];
+    let grid = sample_grid(shape, 1);
+    let plan = Fft3::new(shape);
+    let expected = plan.transform(&grid, Direction::Forward);
+
+    for parts in [1usize, 2, 4] {
+        let (cluster, mut driver) = cluster(parts.max(2));
+        let dfft =
+            DistributedFft3::new(&mut driver, [8, 8, 4], parts).unwrap();
+        dfft.scatter(&mut driver, grid.data()).unwrap();
+        dfft.transform(&mut driver, Direction::Forward).unwrap();
+        let got = dfft.gather(&mut driver).unwrap();
+        let err = max_error(&got, expected.data());
+        assert!(err < 1e-9, "parts={parts}: error {err}");
+        dfft.destroy(&mut driver).unwrap();
+        cluster.shutdown(driver);
+    }
+}
+
+#[test]
+fn distributed_roundtrip_forward_inverse() {
+    let shape = [4usize, 4, 4];
+    let grid = sample_grid(shape, 2);
+    let (cluster, mut driver) = cluster(2);
+    let dfft = DistributedFft3::new(&mut driver, [4, 4, 4], 2).unwrap();
+    dfft.scatter(&mut driver, grid.data()).unwrap();
+    dfft.transform(&mut driver, Direction::Forward).unwrap();
+    dfft.transform(&mut driver, Direction::Inverse).unwrap();
+    let back = dfft.gather(&mut driver).unwrap();
+    assert!(max_error(&back, grid.data()) < 1e-10);
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn more_processes_than_machines_works() {
+    // Two FFT processes per machine: the paper's model never requires a
+    // 1:1 process/machine mapping.
+    let shape = [8usize, 8, 2];
+    let grid = sample_grid(shape, 3);
+    let expected = Fft3::new(shape).transform(&grid, Direction::Forward);
+    let (cluster, mut driver) = cluster(2);
+    let dfft = DistributedFft3::new(&mut driver, [8, 8, 2], 4).unwrap();
+    dfft.scatter(&mut driver, grid.data()).unwrap();
+    dfft.transform(&mut driver, Direction::Forward).unwrap();
+    assert!(max_error(&dfft.gather(&mut driver).unwrap(), expected.data()) < 1e-9);
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn invalid_configurations_are_rejected() {
+    let (cluster, mut driver) = cluster(2);
+    // Shape not divisible by parts.
+    assert!(DistributedFft3::new(&mut driver, [6, 4, 4], 4).is_err());
+    assert!(DistributedFft3::new(&mut driver, [4, 6, 4], 4).is_err());
+    // Zero parts.
+    assert!(DistributedFft3::new(&mut driver, [4, 4, 4], 0).is_err());
+    // Scatter with the wrong size.
+    let dfft = DistributedFft3::new(&mut driver, [4, 4, 4], 2).unwrap();
+    assert!(dfft.scatter(&mut driver, &[Complex::ZERO; 7]).is_err());
+    // Transform before SetGroup is impossible through the public API, but
+    // a raw worker rejects it.
+    let w = FftWorkerClient::new_on(&mut driver, 0, 0, 4, 4, 4, 1).unwrap();
+    assert!(w.transform_local(&mut driver, -1).is_err());
+    // ... and the later phases reject out-of-order invocation.
+    assert!(w.transform_exchange(&mut driver, -1).is_err());
+    assert!(w.transform_finish(&mut driver).is_err());
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn workers_report_identity() {
+    let (cluster, mut driver) = cluster(3);
+    let dfft = DistributedFft3::new(&mut driver, [6, 6, 2], 3).unwrap();
+    // describe goes through the same RMI path as transform.
+    let w = FftWorkerClient::new_on(&mut driver, 1, 7, 3, 3, 2, 9).unwrap_err();
+    assert!(matches!(w, oopp::RemoteError::App { .. })); // id out of range
+    let _ = dfft;
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn pack_unpack_roundtrip_and_odd_length_rejected() {
+    let xs = vec![c64(1.0, 2.0), c64(-3.0, 0.5)];
+    let packed = pack(&xs);
+    assert_eq!(packed.0, vec![1.0, 2.0, -3.0, 0.5]);
+    assert_eq!(unpack(&packed).unwrap(), xs);
+    assert!(unpack(&wire::collections::F64s(vec![1.0, 2.0, 3.0])).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parseval's theorem holds for the plan across random sizes/inputs.
+    #[test]
+    fn parseval_holds(n in 1usize..80, seed in 0u64..1000) {
+        let plan = Fft::new(n);
+        let grid = sample_grid([n, 1, 1], seed);
+        let x = grid.data();
+        let y = plan.forward(x);
+        let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum();
+        prop_assert!((ey - ex * n as f64).abs() < 1e-6 * (1.0 + ex) * n as f64);
+    }
+
+    /// forward then inverse is the identity for arbitrary sizes.
+    #[test]
+    fn roundtrip_holds(n in 1usize..64, seed in 0u64..1000) {
+        let plan = Fft::new(n);
+        let grid = sample_grid([n, 1, 1], seed);
+        let back = plan.inverse(&plan.forward(grid.data()));
+        prop_assert!(max_error(grid.data(), &back) < 1e-8);
+    }
+
+    /// The fast plan agrees with the O(n²) definition.
+    #[test]
+    fn fast_matches_slow(n in 1usize..40, seed in 0u64..1000) {
+        let plan = Fft::new(n);
+        let grid = sample_grid([n, 1, 1], seed);
+        let fast = plan.forward(grid.data());
+        let slow = dft(grid.data(), Direction::Forward);
+        prop_assert!(max_error(&fast, &slow) < 1e-7);
+    }
+
+    /// Time shift ⇔ frequency phase ramp (shift theorem).
+    #[test]
+    fn shift_theorem(n in 2usize..48, shift in 1usize..8, seed in 0u64..1000) {
+        let shift = shift % n;
+        let plan = Fft::new(n);
+        let grid = sample_grid([n, 1, 1], seed);
+        let x = grid.data();
+        let shifted: Vec<Complex> = (0..n).map(|i| x[(i + shift) % n]).collect();
+        let fx = plan.forward(x);
+        let fs = plan.forward(&shifted);
+        for k in 0..n {
+            let phase = Complex::cis(std::f64::consts::TAU * (k * shift) as f64 / n as f64);
+            prop_assert!((fs[k] - fx[k] * phase).abs() < 1e-7 * (1.0 + fx[k].abs()));
+        }
+    }
+}

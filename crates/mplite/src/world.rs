@@ -1,0 +1,99 @@
+//! SPMD launcher: one thread per rank over a simulated cluster.
+
+use std::sync::Arc;
+
+use simnet::{ClusterConfig, MetricsSnapshot, SimCluster};
+
+use crate::comm::Comm;
+
+/// A message-passing world: the substrate plus the rank count.
+///
+/// [`run`](MpiWorld::run) is `mpiexec`: it launches the program closure on
+/// every rank simultaneously and joins them. The world can be run multiple
+/// times (each run spawns fresh ranks over a fresh cluster with the same
+/// configuration).
+#[derive(Debug, Clone)]
+pub struct MpiWorld {
+    config: ClusterConfig,
+}
+
+impl MpiWorld {
+    /// A world with one rank per machine of `config`.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.machines > 0, "world needs at least one rank");
+        MpiWorld { config }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.config.machines
+    }
+
+    /// Launch `program` on every rank, wait for all to finish, and return
+    /// the per-rank results (in rank order) plus the substrate counters.
+    ///
+    /// Panics in any rank propagate after all ranks are joined.
+    pub fn run<R, F>(&self, program: F) -> (Vec<R>, MetricsSnapshot)
+    where
+        R: Send + 'static,
+        F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+    {
+        let sim = SimCluster::new(self.config.clone());
+        let program = Arc::new(program);
+        let size = self.size();
+        let mut handles = Vec::with_capacity(size);
+        for rank in 0..size {
+            let mut comm = Comm::new(
+                rank,
+                size,
+                sim.net().clone(),
+                sim.take_inbox(rank),
+                sim.disks(rank).to_vec(),
+            );
+            let program = program.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mplite-rank-{rank}"))
+                    .spawn(move || program(&mut comm))
+                    .expect("spawn rank thread"),
+            );
+        }
+        let results: Vec<R> = handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect();
+        (results, sim.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_rank_once() {
+        let world = MpiWorld::new(ClusterConfig::zero_cost(5));
+        assert_eq!(world.size(), 5);
+        let (ranks, _) = world.run(|comm| comm.rank());
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn world_is_reusable() {
+        let world = MpiWorld::new(ClusterConfig::zero_cost(2));
+        let (a, _) = world.run(|c| c.size());
+        let (b, _) = world.run(|c| c.size());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn rank_panic_propagates() {
+        let world = MpiWorld::new(ClusterConfig::zero_cost(2));
+        let _ = world.run(|comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

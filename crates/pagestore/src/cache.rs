@@ -1,0 +1,221 @@
+//! Client-side page caching.
+//!
+//! The paper's model makes every dereference a round trip; real data-
+//! intensive clients amortize that with a cache in front of the device
+//! process. [`CachedDevice`] is a write-through LRU: reads of cached pages
+//! cost nothing on the network, writes update both the cache and the
+//! remote device. (Coherence caveat: like any client-side cache, it does
+//! not see writes performed by *other* clients — `invalidate`/`clear` are
+//! the escape hatches, and the tests document the visibility rules.)
+
+use std::collections::HashMap;
+
+use oopp::{NodeCtx, RemoteResult};
+use wire::collections::Bytes;
+
+use crate::device::PageDeviceClient;
+
+/// Hit/miss/eviction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served from the cache.
+    pub hits: u64,
+    /// Reads that went to the device.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+/// A write-through LRU cache in front of a [`PageDeviceClient`].
+#[derive(Debug)]
+pub struct CachedDevice {
+    device: PageDeviceClient,
+    capacity: usize,
+    pages: HashMap<u64, Bytes>,
+    /// Recency order, most recent last.
+    order: Vec<u64>,
+    stats: CacheStats,
+}
+
+impl CachedDevice {
+    /// Wrap `device` with a cache of `capacity` pages (≥ 1).
+    pub fn new(device: PageDeviceClient, capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache needs capacity for at least one page");
+        CachedDevice {
+            device,
+            capacity,
+            pages: HashMap::with_capacity(capacity),
+            order: Vec::with_capacity(capacity),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The device behind the cache.
+    pub fn device(&self) -> &PageDeviceClient {
+        &self.device
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn touch(&mut self, page: u64) {
+        if let Some(pos) = self.order.iter().position(|&p| p == page) {
+            self.order.remove(pos);
+        }
+        self.order.push(page);
+    }
+
+    fn insert(&mut self, page: u64, data: Bytes) {
+        if !self.pages.contains_key(&page) && self.pages.len() == self.capacity {
+            // Evict the least recently used.
+            let victim = self.order.remove(0);
+            self.pages.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        self.pages.insert(page, data);
+        self.touch(page);
+    }
+
+    /// Read a page, from cache when possible.
+    pub fn read(&mut self, ctx: &mut NodeCtx, page: u64) -> RemoteResult<Bytes> {
+        if let Some(data) = self.pages.get(&page).cloned() {
+            self.stats.hits += 1;
+            self.touch(page);
+            return Ok(data);
+        }
+        self.stats.misses += 1;
+        let data = self.device.read(ctx, page)?;
+        self.insert(page, data.clone());
+        Ok(data)
+    }
+
+    /// Write a page — through to the device, and into the cache.
+    pub fn write(&mut self, ctx: &mut NodeCtx, page: u64, data: Bytes) -> RemoteResult<()> {
+        self.device.write(ctx, page, data.clone())?;
+        self.insert(page, data);
+        Ok(())
+    }
+
+    /// Drop one page from the cache (after another client may have written
+    /// it). Returns true if it was cached.
+    pub fn invalidate(&mut self, page: u64) -> bool {
+        if let Some(pos) = self.order.iter().position(|&p| p == page) {
+            self.order.remove(pos);
+        }
+        self.pages.remove(&page).is_some()
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Page, PageDevice};
+    use oopp::ClusterBuilder;
+
+    fn setup(pages: u64, cache: usize) -> (oopp::Cluster, oopp::Driver, CachedDevice) {
+        let (cluster, mut driver) = ClusterBuilder::new(1).register::<PageDevice>().build();
+        let dev = PageDeviceClient::new_on(&mut driver, 0, "c".into(), pages, 64, 0).unwrap();
+        (cluster, driver, CachedDevice::new(dev, cache))
+    }
+
+    #[test]
+    fn hits_after_first_read() {
+        let (cluster, mut driver, mut cache) = setup(4, 2);
+        let p = Page::generate(64, 1).into_bytes();
+        cache.write(&mut driver, 0, p.clone()).unwrap();
+        let before = cluster.snapshot();
+        for _ in 0..5 {
+            assert_eq!(cache.read(&mut driver, 0).unwrap(), p);
+        }
+        let delta = cluster.snapshot().since(&before);
+        assert_eq!(delta.messages_sent, 0, "cached reads must not touch the network");
+        assert_eq!(cache.stats(), CacheStats { hits: 5, misses: 0, evictions: 0 });
+        cluster.shutdown(driver);
+    }
+
+    #[test]
+    fn misses_fetch_and_populate() {
+        let (cluster, mut driver, mut cache) = setup(4, 2);
+        let _ = cache.read(&mut driver, 1).unwrap(); // zeroed page
+        assert_eq!(cache.stats().misses, 1);
+        let _ = cache.read(&mut driver, 1).unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+        cluster.shutdown(driver);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_page() {
+        let (cluster, mut driver, mut cache) = setup(4, 2);
+        let _ = cache.read(&mut driver, 0).unwrap();
+        let _ = cache.read(&mut driver, 1).unwrap();
+        let _ = cache.read(&mut driver, 0).unwrap(); // 1 is now coldest
+        let _ = cache.read(&mut driver, 2).unwrap(); // evicts 1
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.cached_pages(), 2);
+        let before_misses = cache.stats().misses;
+        let _ = cache.read(&mut driver, 0).unwrap(); // still cached
+        assert_eq!(cache.stats().misses, before_misses);
+        let _ = cache.read(&mut driver, 1).unwrap(); // evicted: miss
+        assert_eq!(cache.stats().misses, before_misses + 1);
+        cluster.shutdown(driver);
+    }
+
+    #[test]
+    fn write_through_is_visible_to_uncached_readers() {
+        let (cluster, mut driver, mut cache) = setup(4, 2);
+        let p = Page::generate(64, 7).into_bytes();
+        cache.write(&mut driver, 3, p.clone()).unwrap();
+        // A second, cacheless client sees the write immediately.
+        let direct = cache.device().read(&mut driver, 3).unwrap();
+        assert_eq!(direct, p);
+        cluster.shutdown(driver);
+    }
+
+    #[test]
+    fn stale_reads_and_invalidate() {
+        let (cluster, mut driver, mut cache) = setup(4, 2);
+        let old = Page::generate(64, 1).into_bytes();
+        let new = Page::generate(64, 2).into_bytes();
+        cache.write(&mut driver, 0, old.clone()).unwrap();
+        // Another client writes behind the cache's back...
+        cache.device().write(&mut driver, 0, new.clone()).unwrap();
+        // ... the cache still serves the stale page (documented behaviour),
+        assert_eq!(cache.read(&mut driver, 0).unwrap(), old);
+        // ... until invalidated.
+        assert!(cache.invalidate(0));
+        assert_eq!(cache.read(&mut driver, 0).unwrap(), new);
+        assert!(!cache.invalidate(99));
+        cluster.shutdown(driver);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let (cluster, mut driver, mut cache) = setup(4, 4);
+        for p in 0..3 {
+            let _ = cache.read(&mut driver, p).unwrap();
+        }
+        assert_eq!(cache.cached_pages(), 3);
+        cache.clear();
+        assert_eq!(cache.cached_pages(), 0);
+        cluster.shutdown(driver);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_rejected() {
+        let (_c, _d, _cache) = setup(1, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! `PageDevice`: the paper's block storage device as an object-process.
+
+use std::sync::Arc;
+
+use oopp::{remote_class, NodeCtx, RemoteError, RemoteResult};
+use simnet::SimDisk;
+use wire::collections::Bytes;
+use wire::wire_struct;
+
+/// Server state of a page device (§2).
+///
+/// The paper's implementation "creates a file filename of NumberOfPages *
+/// PageSize bytes"; here the file is a region of one of the hosting
+/// machine's simulated disks, so reads and writes pay realistic positioning
+/// and transfer costs and devices on *different* disks operate in parallel
+/// (§4).
+pub struct PageDevice {
+    filename: String,
+    number_of_pages: u64,
+    page_size: u64,
+    disk_index: usize,
+    /// Base offset of this device's region on the shared disk.
+    base: usize,
+    disk: Arc<SimDisk>,
+}
+
+impl std::fmt::Debug for PageDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageDevice")
+            .field("filename", &self.filename)
+            .field("number_of_pages", &self.number_of_pages)
+            .field("page_size", &self.page_size)
+            .finish()
+    }
+}
+
+/// Persisted configuration (§5): the disk keeps the data; the snapshot only
+/// needs the geometry to reattach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageDeviceState {
+    /// Device name (the paper's `filename`).
+    pub filename: String,
+    /// Capacity in pages.
+    pub number_of_pages: u64,
+    /// Bytes per page.
+    pub page_size: u64,
+    /// Which local disk backs the device.
+    pub disk_index: usize,
+    /// Base offset of the device's region on that disk (reattaching must
+    /// find the same pages).
+    pub base: u64,
+}
+
+wire_struct!(PageDeviceState {
+    filename,
+    number_of_pages,
+    page_size,
+    disk_index,
+    base
+});
+
+remote_class! {
+    /// Remote pointer to a [`PageDevice`] (§2's `PageDevice *`).
+    class PageDevice {
+        persistent;
+        ctor(filename: String, number_of_pages: u64, page_size: u64, disk_index: usize);
+        /// Store a page at `page_index` (the paper's `write(Page*, int)`).
+        fn write(&mut self, page_index: u64, data: Bytes) -> ();
+        /// Fetch the page at `page_index` (the paper's `read(Page*, int)`).
+        fn read(&mut self, page_index: u64) -> Bytes;
+        /// Capacity in pages.
+        fn number_of_pages(&mut self) -> u64;
+        /// Bytes per page.
+        fn page_size(&mut self) -> u64;
+        /// Device name.
+        fn filename(&mut self) -> String;
+    }
+}
+
+impl PageDevice {
+    /// Constructor: claim `number_of_pages * page_size` bytes on local disk
+    /// `disk_index` of the hosting machine.
+    pub fn new(
+        ctx: &mut NodeCtx,
+        filename: String,
+        number_of_pages: u64,
+        page_size: u64,
+        disk_index: usize,
+    ) -> RemoteResult<Self> {
+        if page_size == 0 {
+            return Err(RemoteError::app("page_size must be positive"));
+        }
+        let disk = ctx
+            .disks()
+            .get(disk_index)
+            .cloned()
+            .ok_or_else(|| {
+                RemoteError::app(format!(
+                    "machine {} has no disk {disk_index} (it has {})",
+                    ctx.machine(),
+                    ctx.disks().len()
+                ))
+            })?;
+        let needed = number_of_pages
+            .checked_mul(page_size)
+            .filter(|&n| n <= usize::MAX as u64)
+            .ok_or_else(|| RemoteError::app("device size overflows"))?;
+        // "Creates a file filename of NumberOfPages * PageSize bytes":
+        // reserve an exclusive region so devices sharing a disk never
+        // overlap.
+        let base = disk
+            .alloc(needed as usize)
+            .map_err(|e| RemoteError::app(e.to_string()))?;
+        Ok(PageDevice { filename, number_of_pages, page_size, disk_index, base, disk })
+    }
+
+    /// Reattach to an existing region (persistence restore path).
+    fn reattach(
+        ctx: &mut NodeCtx,
+        s: PageDeviceState,
+    ) -> RemoteResult<Self> {
+        let disk = ctx
+            .disks()
+            .get(s.disk_index)
+            .cloned()
+            .ok_or_else(|| {
+                RemoteError::app(format!("machine {} has no disk {}", ctx.machine(), s.disk_index))
+            })?;
+        Ok(PageDevice {
+            filename: s.filename,
+            number_of_pages: s.number_of_pages,
+            page_size: s.page_size,
+            disk_index: s.disk_index,
+            base: s.base as usize,
+            disk,
+        })
+    }
+
+    fn offset_of(&self, page_index: u64) -> RemoteResult<usize> {
+        if page_index >= self.number_of_pages {
+            return Err(RemoteError::app(format!(
+                "page index {page_index} out of range (device {} holds {} pages)",
+                self.filename, self.number_of_pages
+            )));
+        }
+        Ok(self.base + (page_index * self.page_size) as usize)
+    }
+
+    fn write(&mut self, _ctx: &mut NodeCtx, page_index: u64, data: Bytes) -> RemoteResult<()> {
+        if data.0.len() as u64 != self.page_size {
+            return Err(RemoteError::app(format!(
+                "page of {} bytes written to device with page_size {}",
+                data.0.len(),
+                self.page_size
+            )));
+        }
+        let offset = self.offset_of(page_index)?;
+        self.disk
+            .write(offset, &data.0)
+            .map_err(|e| RemoteError::app(e.to_string()))
+    }
+
+    fn read(&mut self, _ctx: &mut NodeCtx, page_index: u64) -> RemoteResult<Bytes> {
+        let offset = self.offset_of(page_index)?;
+        let mut buf = vec![0u8; self.page_size as usize];
+        self.disk
+            .read(offset, &mut buf)
+            .map_err(|e| RemoteError::app(e.to_string()))?;
+        Ok(Bytes(buf))
+    }
+
+    fn number_of_pages(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<u64> {
+        Ok(self.number_of_pages)
+    }
+
+    fn page_size(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<u64> {
+        Ok(self.page_size)
+    }
+
+    fn filename(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<String> {
+        Ok(self.filename.clone())
+    }
+
+    // --- internal accessors used by the derived ArrayPageDevice ---
+
+    pub(crate) fn read_page_raw(&self, page_index: u64) -> RemoteResult<Vec<u8>> {
+        let offset = self.offset_of(page_index)?;
+        let mut buf = vec![0u8; self.page_size as usize];
+        self.disk
+            .read(offset, &mut buf)
+            .map_err(|e| RemoteError::app(e.to_string()))?;
+        Ok(buf)
+    }
+
+    pub(crate) fn write_page_raw(&self, page_index: u64, data: &[u8]) -> RemoteResult<()> {
+        let offset = self.offset_of(page_index)?;
+        self.disk
+            .write(offset, data)
+            .map_err(|e| RemoteError::app(e.to_string()))
+    }
+
+    /// Persistence hook (§5): geometry only — the disk retains the pages.
+    pub fn save_state(&self) -> Vec<u8> {
+        wire::to_bytes(&PageDeviceState {
+            filename: self.filename.clone(),
+            number_of_pages: self.number_of_pages,
+            page_size: self.page_size,
+            disk_index: self.disk_index,
+            base: self.base as u64,
+        })
+    }
+
+    /// Persistence hook (§5): reattach to the same region of the same
+    /// local disk (no fresh allocation — the pages are still there).
+    pub fn load_state(ctx: &mut NodeCtx, state: &[u8]) -> RemoteResult<Self> {
+        let s: PageDeviceState = wire::from_bytes(state)?;
+        PageDevice::reattach(ctx, s)
+    }
+}

@@ -1,0 +1,274 @@
+//! End-to-end tests of the page store against a live cluster: the paper's
+//! §2–§3 listings, inheritance, parallel device I/O, and persistence.
+
+use oopp::{join, Cluster, ClusterBuilder, Driver, RemoteClient, RemoteError};
+use simnet::{ClusterConfig, DiskConfig};
+use wire::collections::{Bytes, F64s};
+
+use crate::array_device::sum_by_moving_data;
+use crate::{ArrayPage, ArrayPageDevice, ArrayPageDeviceClient, Page, PageDevice, PageDeviceClient};
+
+fn cluster(workers: usize) -> (Cluster, Driver) {
+    ClusterBuilder::new(workers)
+        .register::<PageDevice>()
+        .register::<ArrayPageDevice>()
+        .build()
+}
+
+#[test]
+fn paper_listing_create_write_read() {
+    let (cluster, mut driver) = cluster(2);
+    // PageDevice *PageStore = new(machine 1) PageDevice("pagefile", 10, 1024);
+    let store = PageDeviceClient::new_on(&mut driver, 1, "pagefile".into(), 10, 1024, 0).unwrap();
+    // Page *page = GenerateDataPage(); PageStore->write(page, 17 % 10);
+    let page = Page::generate(1024, 17);
+    store.write(&mut driver, 7, page.clone().into_bytes()).unwrap();
+    let back = Page::from_bytes(store.read(&mut driver, 7).unwrap());
+    assert_eq!(back, page);
+    // Untouched pages read back zeroed.
+    assert_eq!(store.read(&mut driver, 3).unwrap().0, vec![0u8; 1024]);
+    assert_eq!(store.number_of_pages(&mut driver).unwrap(), 10);
+    assert_eq!(store.page_size(&mut driver).unwrap(), 1024);
+    assert_eq!(store.filename(&mut driver).unwrap(), "pagefile");
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn page_index_and_size_validation() {
+    let (cluster, mut driver) = cluster(1);
+    let store = PageDeviceClient::new_on(&mut driver, 0, "d".into(), 4, 64, 0).unwrap();
+    assert!(matches!(
+        store.read(&mut driver, 4),
+        Err(RemoteError::App { .. })
+    ));
+    assert!(matches!(
+        store.write(&mut driver, 0, Bytes(vec![0u8; 63])),
+        Err(RemoteError::App { .. })
+    ));
+    // Zero page size rejected at construction.
+    assert!(PageDeviceClient::new_on(&mut driver, 0, "z".into(), 4, 0, 0).is_err());
+    // Device too big for the disk rejected at construction.
+    assert!(PageDeviceClient::new_on(&mut driver, 0, "big".into(), u64::MAX / 4096, 4096, 0).is_err());
+    // Unknown disk index rejected.
+    assert!(PageDeviceClient::new_on(&mut driver, 0, "nd".into(), 1, 64, 9).is_err());
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn devices_on_separate_machines_are_independent() {
+    let (cluster, mut driver) = cluster(3);
+    let stores: Vec<_> = (0..3)
+        .map(|m| PageDeviceClient::new_on(&mut driver, m, format!("dev{m}"), 4, 128, 0).unwrap())
+        .collect();
+    for (i, s) in stores.iter().enumerate() {
+        s.write(&mut driver, 0, Page::generate(128, i as u64).into_bytes()).unwrap();
+    }
+    for (i, s) in stores.iter().enumerate() {
+        let got = Page::from_bytes(s.read(&mut driver, 0).unwrap());
+        assert_eq!(got, Page::generate(128, i as u64));
+    }
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn parallel_reads_via_split_loop() {
+    // §4's loop-splitting example: one page from each of N devices.
+    let n = 4;
+    let (cluster, mut driver) = cluster(n);
+    let devices: Vec<_> = (0..n)
+        .map(|m| PageDeviceClient::new_on(&mut driver, m, format!("d{m}"), 8, 256, 0).unwrap())
+        .collect();
+    let page_address: Vec<u64> = vec![3, 1, 7, 5];
+    for (i, d) in devices.iter().enumerate() {
+        d.write(&mut driver, page_address[i], Page::generate(256, 100 + i as u64).into_bytes())
+            .unwrap();
+    }
+    // Send loop...
+    let pending: Vec<_> = devices
+        .iter()
+        .enumerate()
+        .map(|(i, d)| d.read_async(&mut driver, page_address[i]).unwrap())
+        .collect();
+    // ...receive loop.
+    let buffers = join(&mut driver, pending).unwrap();
+    for (i, buf) in buffers.into_iter().enumerate() {
+        assert_eq!(Page::from_bytes(buf), Page::generate(256, 100 + i as u64));
+    }
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn array_device_sum_both_directions_agree() {
+    // §3: sum by moving the data vs. sum on the device.
+    let (cluster, mut driver) = cluster(2);
+    let blocks = ArrayPageDeviceClient::new_on(
+        &mut driver, 1, "array_blocks".into(), 6, 4, 4, 4, 0, None,
+    )
+    .unwrap();
+    let page = ArrayPage::generate(4, 4, 4, 11);
+    let expected = page.sum();
+    blocks.write_array(&mut driver, 4, page.into_f64s()).unwrap();
+
+    // double result = blocks->sum(PageAddress);  (computation → data)
+    let remote = blocks.sum(&mut driver, 4).unwrap();
+    // read whole page, sum locally            (data → computation)
+    let local = sum_by_moving_data(&mut driver, &blocks, 4).unwrap();
+
+    assert!((remote - expected).abs() < 1e-9);
+    assert!((local - expected).abs() < 1e-9);
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn array_device_reductions_and_scale() {
+    let (cluster, mut driver) = cluster(1);
+    let dev =
+        ArrayPageDeviceClient::new_on(&mut driver, 0, "r".into(), 2, 2, 2, 2, 0, None).unwrap();
+    let mut page = ArrayPage::zeroed(2, 2, 2);
+    for (i, v) in [3.0, -1.0, 4.0, 1.0, -5.0, 9.0, 2.0, 6.0].iter().enumerate() {
+        page.elements_mut()[i] = *v;
+    }
+    dev.write_array(&mut driver, 0, page.into_f64s()).unwrap();
+    assert_eq!(dev.min(&mut driver, 0).unwrap(), -5.0);
+    assert_eq!(dev.max(&mut driver, 0).unwrap(), 9.0);
+    assert_eq!(dev.sum(&mut driver, 0).unwrap(), 19.0);
+    dev.scale(&mut driver, 0, 2.0).unwrap();
+    assert_eq!(dev.sum(&mut driver, 0).unwrap(), 38.0);
+    assert_eq!(dev.shape(&mut driver).unwrap(), (2, 2, 2));
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn sub_box_read_write_sum() {
+    let (cluster, mut driver) = cluster(1);
+    let dev =
+        ArrayPageDeviceClient::new_on(&mut driver, 0, "s".into(), 1, 4, 4, 4, 0, None).unwrap();
+    // Write the sub-box [1,3)x[1,3)x[1,3) with ones.
+    dev.write_sub(&mut driver, 0, 1, 3, 1, 3, 1, 3, F64s(vec![1.0; 8])).unwrap();
+    assert_eq!(dev.sum(&mut driver, 0).unwrap(), 8.0);
+    assert_eq!(dev.sum_sub(&mut driver, 0, 1, 3, 1, 3, 1, 3).unwrap(), 8.0);
+    assert_eq!(dev.sum_sub(&mut driver, 0, 0, 1, 0, 4, 0, 4).unwrap(), 0.0);
+    // Read a sub-box straddling the written region.
+    let got = dev.read_sub(&mut driver, 0, 0, 2, 1, 2, 1, 3).unwrap();
+    assert_eq!(got.0, vec![0.0, 0.0, 1.0, 1.0]);
+    // Degenerate (empty) boxes are fine.
+    assert_eq!(dev.read_sub(&mut driver, 0, 2, 2, 0, 4, 0, 4).unwrap().0, Vec::<f64>::new());
+    // Invalid boxes are rejected.
+    assert!(dev.read_sub(&mut driver, 0, 3, 2, 0, 4, 0, 4).is_err());
+    assert!(dev.read_sub(&mut driver, 0, 0, 5, 0, 4, 0, 4).is_err());
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn inheritance_base_client_operates_on_derived_device() {
+    // §3: "The definition of the derived process ... requires no new
+    // syntax" — and a base-typed pointer still works.
+    let (cluster, mut driver) = cluster(1);
+    let dev =
+        ArrayPageDeviceClient::new_on(&mut driver, 0, "inh".into(), 2, 2, 2, 2, 0, None).unwrap();
+    let base: PageDeviceClient = dev.as_base();
+    assert_eq!(base.page_size(&mut driver).unwrap(), 64); // 8 doubles
+    assert_eq!(base.number_of_pages(&mut driver).unwrap(), 2);
+    // Raw page write through the BASE interface, structured read through
+    // the DERIVED interface.
+    let page = ArrayPage::generate(2, 2, 2, 5);
+    base.write(&mut driver, 1, page.clone().into_page().into_bytes()).unwrap();
+    let got = dev.read_array(&mut driver, 1).unwrap();
+    assert_eq!(got.0, page.elements());
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn copy_construct_from_live_process() {
+    // §5: ArrayPageDevice *new_device = new ArrayPageDevice(page_device);
+    let (cluster, mut driver) = cluster(2);
+    let original =
+        ArrayPageDeviceClient::new_on(&mut driver, 0, "orig".into(), 3, 2, 2, 2, 0, None).unwrap();
+    for p in 0..3 {
+        original
+            .write_array(&mut driver, p, ArrayPage::generate(2, 2, 2, p).into_f64s())
+            .unwrap();
+    }
+    // The new device is on a DIFFERENT machine and copies the state of the
+    // live process through its base-class interface.
+    let copy = ArrayPageDeviceClient::new_on(
+        &mut driver, 1, "copy".into(), 3, 2, 2, 2, 0, Some(original.as_base()),
+    )
+    .unwrap();
+    // ... subsequently shut it down (the paper's `delete page_device`).
+    original.destroy(&mut driver).unwrap();
+    for p in 0..3 {
+        let got = copy.read_array(&mut driver, p).unwrap();
+        assert_eq!(got.0, ArrayPage::generate(2, 2, 2, p).elements());
+    }
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn copy_construct_rejects_mismatched_page_size() {
+    let (cluster, mut driver) = cluster(1);
+    let original =
+        ArrayPageDeviceClient::new_on(&mut driver, 0, "o".into(), 1, 2, 2, 2, 0, None).unwrap();
+    let err = ArrayPageDeviceClient::new_on(
+        &mut driver, 0, "c".into(), 1, 4, 4, 4, 0, Some(original.as_base()),
+    )
+    .unwrap_err();
+    assert!(matches!(err, RemoteError::App { .. }));
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn device_persistence_survives_deactivate_activate() {
+    // §5: the device process is deactivated; its pages stay on the disk;
+    // activation reattaches.
+    let (cluster, mut driver) = cluster(1);
+    let dev =
+        ArrayPageDeviceClient::new_on(&mut driver, 0, "p".into(), 2, 2, 2, 2, 0, None).unwrap();
+    let page = ArrayPage::generate(2, 2, 2, 77);
+    dev.write_array(&mut driver, 1, page.clone().into_f64s()).unwrap();
+
+    let key = oopp::symbolic_addr(&["data", "set", "ArrayPageDevice", "p"]);
+    driver.deactivate(dev.obj_ref(), &key).unwrap();
+    assert!(dev.sum(&mut driver, 1).is_err(), "process must be gone");
+
+    let revived: ArrayPageDeviceClient = driver.activate(0, &key).unwrap();
+    assert_eq!(revived.read_array(&mut driver, 1).unwrap().0, page.elements());
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn costed_disks_still_roundtrip() {
+    // Same logic under a costed disk model (nvme): correctness is
+    // cost-independent.
+    let (cluster, mut driver) = ClusterBuilder::new(2)
+        .register::<PageDevice>()
+        .sim_config(
+            ClusterConfig::zero_cost(0).with_disk(DiskConfig::nvme()).with_disk_capacity(1 << 20),
+        )
+        .build();
+    let store = PageDeviceClient::new_on(&mut driver, 1, "c".into(), 4, 4096, 0).unwrap();
+    let page = Page::generate(4096, 1);
+    store.write(&mut driver, 2, page.clone().into_bytes()).unwrap();
+    assert_eq!(Page::from_bytes(store.read(&mut driver, 2).unwrap()), page);
+    let m = cluster.snapshot();
+    assert_eq!(m.disk_writes, 1);
+    assert_eq!(m.disk_reads, 1);
+    assert!(m.disk_busy_nanos > 0);
+    cluster.shutdown(driver);
+}
+
+#[test]
+fn two_devices_same_machine_different_disks() {
+    let (cluster, mut driver) = ClusterBuilder::new(1)
+        .register::<PageDevice>()
+        .sim_config(ClusterConfig::zero_cost(0).with_disks_per_machine(2))
+        .build();
+    let d0 = PageDeviceClient::new_on(&mut driver, 0, "a".into(), 2, 64, 0).unwrap();
+    let d1 = PageDeviceClient::new_on(&mut driver, 0, "b".into(), 2, 64, 1).unwrap();
+    d0.write(&mut driver, 0, Page::generate(64, 1).into_bytes()).unwrap();
+    d1.write(&mut driver, 0, Page::generate(64, 2).into_bytes()).unwrap();
+    assert_eq!(Page::from_bytes(d0.read(&mut driver, 0).unwrap()), Page::generate(64, 1));
+    assert_eq!(Page::from_bytes(d1.read(&mut driver, 0).unwrap()), Page::generate(64, 2));
+    assert_eq!(cluster.sim().active_disks(), 2);
+    cluster.shutdown(driver);
+}

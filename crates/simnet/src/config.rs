@@ -1,0 +1,232 @@
+//! Cluster, network, and disk configuration.
+
+use std::time::Duration;
+
+/// Cost of sending one message over one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetCost {
+    /// One-way propagation latency (paid once per message, overlappable
+    /// across concurrent messages).
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second; transfers to the same receiver
+    /// serialize against each other. `f64::INFINITY` disables the charge.
+    pub bytes_per_sec: f64,
+}
+
+impl NetCost {
+    /// A free link (tests).
+    pub const fn zero() -> Self {
+        NetCost { latency: Duration::ZERO, bytes_per_sec: f64::INFINITY }
+    }
+
+    /// True if messages on this link cost nothing.
+    pub fn is_zero(&self) -> bool {
+        self.latency.is_zero() && !self.bytes_per_sec.is_finite()
+    }
+
+    /// A typical commodity-cluster link: `latency_us` microseconds one-way,
+    /// `gbps` gigabits per second.
+    pub fn lan(latency_us: u64, gbps: f64) -> Self {
+        NetCost {
+            latency: Duration::from_micros(latency_us),
+            bytes_per_sec: gbps * 1e9 / 8.0,
+        }
+    }
+}
+
+impl Default for NetCost {
+    fn default() -> Self {
+        NetCost::zero()
+    }
+}
+
+/// How a simulated disk stores its blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskBackend {
+    /// In-memory buffer: deterministic, used for tests and benchmarks (the
+    /// *simulated* seek/transfer costs still apply).
+    Memory,
+    /// A real temporary file (exercises the OS I/O path; costs still apply
+    /// on top).
+    TempFile,
+}
+
+/// Performance model of one simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskConfig {
+    /// Fixed positioning cost per operation.
+    pub seek: Duration,
+    /// Sequential transfer rate in bytes per second; `f64::INFINITY`
+    /// disables the charge.
+    pub bytes_per_sec: f64,
+    /// Storage backend.
+    pub backend: DiskBackend,
+}
+
+impl DiskConfig {
+    /// Free, in-memory disk (tests).
+    pub const fn zero() -> Self {
+        DiskConfig {
+            seek: Duration::ZERO,
+            bytes_per_sec: f64::INFINITY,
+            backend: DiskBackend::Memory,
+        }
+    }
+
+    /// True if operations on this disk cost nothing.
+    pub fn is_zero(&self) -> bool {
+        self.seek.is_zero() && !self.bytes_per_sec.is_finite()
+    }
+
+    /// A commodity spinning disk: ~4ms seek, ~150 MB/s transfer.
+    pub fn hdd() -> Self {
+        DiskConfig {
+            seek: Duration::from_millis(4),
+            bytes_per_sec: 150e6,
+            backend: DiskBackend::Memory,
+        }
+    }
+
+    /// A fast NVMe-class device: ~20µs access, ~3 GB/s transfer.
+    pub fn nvme() -> Self {
+        DiskConfig {
+            seek: Duration::from_micros(20),
+            bytes_per_sec: 3e9,
+            backend: DiskBackend::Memory,
+        }
+    }
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig::zero()
+    }
+}
+
+/// Which [`Topology`](crate::topology::Topology) to build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologySpec {
+    /// Every pair of distinct machines shares one [`NetCost`]; loopback
+    /// (src == dst) is free.
+    Uniform(NetCost),
+    /// Machines grouped into racks of `rack_size`; intra-rack links use
+    /// `intra`, inter-rack links use `inter`.
+    Racks { rack_size: usize, intra: NetCost, inter: NetCost },
+}
+
+impl TopologySpec {
+    /// True if no link in this topology ever charges anything.
+    pub fn is_zero(&self) -> bool {
+        match self {
+            TopologySpec::Uniform(c) => c.is_zero(),
+            TopologySpec::Racks { intra, inter, .. } => intra.is_zero() && inter.is_zero(),
+        }
+    }
+}
+
+/// Full description of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of machine endpoints (the oopp runtime typically asks for
+    /// `workers + 1`, reserving the last id for the driver).
+    pub machines: usize,
+    /// Network topology and link costs.
+    pub topology: TopologySpec,
+    /// Performance model for each disk.
+    pub disk: DiskConfig,
+    /// Locally attached disks per machine.
+    pub disks_per_machine: usize,
+    /// Capacity of each disk in bytes.
+    pub disk_capacity: usize,
+}
+
+impl ClusterConfig {
+    /// `n` machines, free network, one free disk each — the deterministic
+    /// configuration unit tests use.
+    pub fn zero_cost(n: usize) -> Self {
+        ClusterConfig {
+            machines: n,
+            topology: TopologySpec::Uniform(NetCost::zero()),
+            disk: DiskConfig::zero(),
+            disks_per_machine: 1,
+            disk_capacity: 64 << 20,
+        }
+    }
+
+    /// `n` machines on a uniform costed network.
+    pub fn lan(n: usize, latency_us: u64, gbps: f64) -> Self {
+        ClusterConfig {
+            machines: n,
+            topology: TopologySpec::Uniform(NetCost::lan(latency_us, gbps)),
+            disk: DiskConfig::zero(),
+            disks_per_machine: 1,
+            disk_capacity: 64 << 20,
+        }
+    }
+
+    /// Override the disk model (builder style).
+    pub fn with_disk(mut self, disk: DiskConfig) -> Self {
+        self.disk = disk;
+        self
+    }
+
+    /// Override disks per machine (builder style).
+    pub fn with_disks_per_machine(mut self, n: usize) -> Self {
+        self.disks_per_machine = n;
+        self
+    }
+
+    /// Override per-disk capacity in bytes (builder style).
+    pub fn with_disk_capacity(mut self, bytes: usize) -> Self {
+        self.disk_capacity = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_configs_report_zero() {
+        assert!(NetCost::zero().is_zero());
+        assert!(DiskConfig::zero().is_zero());
+        assert!(ClusterConfig::zero_cost(4).topology.is_zero());
+    }
+
+    #[test]
+    fn lan_cost_converts_units() {
+        let c = NetCost::lan(50, 8.0); // 8 Gb/s = 1 GB/s
+        assert_eq!(c.latency, Duration::from_micros(50));
+        assert!((c.bytes_per_sec - 1e9).abs() < 1.0);
+        assert!(!c.is_zero());
+    }
+
+    #[test]
+    fn disk_presets_are_costed() {
+        assert!(!DiskConfig::hdd().is_zero());
+        assert!(!DiskConfig::nvme().is_zero());
+        assert!(DiskConfig::hdd().seek > DiskConfig::nvme().seek);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = ClusterConfig::zero_cost(2)
+            .with_disk(DiskConfig::hdd())
+            .with_disks_per_machine(3)
+            .with_disk_capacity(1 << 20);
+        assert_eq!(c.disks_per_machine, 3);
+        assert_eq!(c.disk_capacity, 1 << 20);
+        assert_eq!(c.disk, DiskConfig::hdd());
+    }
+
+    #[test]
+    fn racks_zero_requires_both_links_zero() {
+        let spec = TopologySpec::Racks {
+            rack_size: 4,
+            intra: NetCost::zero(),
+            inter: NetCost::lan(10, 1.0),
+        };
+        assert!(!spec.is_zero());
+    }
+}

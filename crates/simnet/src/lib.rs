@@ -1,0 +1,49 @@
+//! # simnet — a simulated cluster for the oopp runtime
+//!
+//! The paper ("Object-Oriented Parallel Programming") assumes a pool of
+//! machines — `machine 0`, `machine 1`, … — each with a network interface
+//! and locally attached disks. This crate is that substrate, scaled to a
+//! single host: each simulated **machine** is an endpoint with an inbox
+//! served by an OS thread (the oopp runtime supplies the thread), every
+//! **message** pays an explicit `latency + bytes/bandwidth` cost on its
+//! link, and every **disk** operation pays `seek + bytes/rate`, serialized
+//! per device.
+//!
+//! The cost model is the point: the paper's claims are all statements about
+//! communication structure — round trips, overlap, data movement — and those
+//! become *measurable* once messages and disk operations have explicit,
+//! configurable costs. Tests run with [`ClusterConfig::zero_cost`]
+//! (deterministic, as fast as channels); benchmarks run with
+//! microsecond-scale costs so the paper's shapes emerge in wall-clock time.
+//!
+//! ```
+//! use simnet::{ClusterConfig, SimCluster};
+//!
+//! // Four machines, free network (unit tests).
+//! let cluster = SimCluster::new(ClusterConfig::zero_cost(4));
+//! let inbox = cluster.take_inbox(1);
+//! cluster.net().send(0, 1, b"hello".to_vec());
+//! let pkt = inbox.recv().unwrap();
+//! assert_eq!(pkt.src, 0);
+//! assert_eq!(pkt.payload, b"hello");
+//! ```
+
+pub mod cluster;
+pub mod config;
+pub mod disk;
+pub mod message;
+pub mod metrics;
+pub mod network;
+pub mod time;
+pub mod topology;
+
+pub use cluster::SimCluster;
+pub use config::{ClusterConfig, DiskBackend, DiskConfig, NetCost, TopologySpec};
+pub use disk::SimDisk;
+pub use message::{MachineId, Packet};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use network::Network;
+pub use topology::Topology;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,55 @@
+//! Packets and machine identities.
+
+/// Index of a simulated machine within a cluster.
+///
+/// The paper writes `new(machine 1) PageDevice(...)`; a `MachineId` is that
+/// `machine 1`. By convention the oopp runtime reserves the **last** id in a
+/// cluster for the driver program (the paper's "machine 0" where `main`
+/// runs); the substrate itself treats all ids uniformly.
+pub type MachineId = usize;
+
+/// An opaque message in flight between two machines.
+///
+/// The substrate moves bytes; framing and meaning belong to the layer above
+/// (the oopp RMI protocol, or mplite's tagged messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Sending machine.
+    pub src: MachineId,
+    /// Destination machine.
+    pub dst: MachineId,
+    /// Encoded payload.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Construct a packet.
+    pub fn new(src: MachineId, dst: MachineId, payload: Vec<u8>) -> Self {
+        Packet { src, dst, payload }
+    }
+
+    /// Payload size in bytes — the quantity the cost model charges for.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when the payload is empty (control messages).
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_accessors() {
+        let p = Packet::new(2, 5, vec![1, 2, 3]);
+        assert_eq!(p.src, 2);
+        assert_eq!(p.dst, 5);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert!(Packet::new(0, 0, vec![]).is_empty());
+    }
+}

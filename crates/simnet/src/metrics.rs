@@ -1,0 +1,210 @@
+//! Cluster-wide counters.
+//!
+//! Experiments need more than wall-clock time: E5 ("the PageMap determines
+//! the degree of parallelism") is answered by *which devices did work*, and
+//! the RMI-vs-message-passing comparisons need message and byte counts to
+//! show the two models generate the same traffic. All counters are relaxed
+//! atomics — they are statistics, not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters shared by every component of a cluster.
+#[derive(Debug)]
+pub struct Metrics {
+    messages_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    per_machine_sent: Vec<AtomicU64>,
+    per_machine_received: Vec<AtomicU64>,
+    disk_reads: AtomicU64,
+    disk_writes: AtomicU64,
+    disk_bytes_read: AtomicU64,
+    disk_bytes_written: AtomicU64,
+    disk_busy_nanos: AtomicU64,
+}
+
+/// Point-in-time copy of [`Metrics`], cheap to diff.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Total messages injected into the network.
+    pub messages_sent: u64,
+    /// Total payload bytes injected into the network.
+    pub bytes_sent: u64,
+    /// Messages sent, per source machine.
+    pub per_machine_sent: Vec<u64>,
+    /// Messages delivered, per destination machine.
+    pub per_machine_received: Vec<u64>,
+    /// Disk read operations across all disks.
+    pub disk_reads: u64,
+    /// Disk write operations across all disks.
+    pub disk_writes: u64,
+    /// Bytes read from disks.
+    pub disk_bytes_read: u64,
+    /// Bytes written to disks.
+    pub disk_bytes_written: u64,
+    /// Modeled disk busy time, summed over all disks, in nanoseconds.
+    /// `disk_busy_nanos / wall_clock` estimates achieved I/O parallelism.
+    pub disk_busy_nanos: u64,
+}
+
+impl Metrics {
+    /// Counters for a cluster of `machines` endpoints.
+    pub fn new(machines: usize) -> Self {
+        Metrics {
+            messages_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            per_machine_sent: (0..machines).map(|_| AtomicU64::new(0)).collect(),
+            per_machine_received: (0..machines).map(|_| AtomicU64::new(0)).collect(),
+            disk_reads: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
+            disk_bytes_read: AtomicU64::new(0),
+            disk_bytes_written: AtomicU64::new(0),
+            disk_busy_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one message of `bytes` payload from `src`.
+    pub fn record_send(&self, src: usize, bytes: usize) {
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        if let Some(c) = self.per_machine_sent.get(src) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one message delivered to `dst`.
+    pub fn record_delivery(&self, dst: usize) {
+        if let Some(c) = self.per_machine_received.get(dst) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a disk read of `bytes` that kept the device busy `busy_nanos`.
+    pub fn record_disk_read(&self, bytes: usize, busy_nanos: u64) {
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        self.disk_bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.disk_busy_nanos.fetch_add(busy_nanos, Ordering::Relaxed);
+    }
+
+    /// Record a disk write of `bytes` that kept the device busy `busy_nanos`.
+    pub fn record_disk_write(&self, bytes: usize, busy_nanos: u64) {
+        self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        self.disk_bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.disk_busy_nanos.fetch_add(busy_nanos, Ordering::Relaxed);
+    }
+
+    /// Copy every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            per_machine_sent: self
+                .per_machine_sent
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            per_machine_received: self
+                .per_machine_received
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_bytes_read: self.disk_bytes_read.load(Ordering::Relaxed),
+            disk_bytes_written: self.disk_bytes_written.load(Ordering::Relaxed),
+            disk_busy_nanos: self.disk_busy_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Counter-wise difference `self - earlier`: activity between two
+    /// snapshots. Saturating, so a mismatched pair never underflows.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        fn sub_vec(a: &[u64], b: &[u64]) -> Vec<u64> {
+            a.iter()
+                .enumerate()
+                .map(|(i, &v)| v.saturating_sub(b.get(i).copied().unwrap_or(0)))
+                .collect()
+        }
+        MetricsSnapshot {
+            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            per_machine_sent: sub_vec(&self.per_machine_sent, &earlier.per_machine_sent),
+            per_machine_received: sub_vec(
+                &self.per_machine_received,
+                &earlier.per_machine_received,
+            ),
+            disk_reads: self.disk_reads.saturating_sub(earlier.disk_reads),
+            disk_writes: self.disk_writes.saturating_sub(earlier.disk_writes),
+            disk_bytes_read: self.disk_bytes_read.saturating_sub(earlier.disk_bytes_read),
+            disk_bytes_written: self
+                .disk_bytes_written
+                .saturating_sub(earlier.disk_bytes_written),
+            disk_busy_nanos: self.disk_busy_nanos.saturating_sub(earlier.disk_busy_nanos),
+        }
+    }
+
+    /// Number of machines that sent at least one message.
+    pub fn active_senders(&self) -> usize {
+        self.per_machine_sent.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new(3);
+        m.record_send(0, 100);
+        m.record_send(0, 50);
+        m.record_send(2, 7);
+        m.record_delivery(1);
+        m.record_disk_read(4096, 1_000);
+        m.record_disk_write(512, 2_000);
+
+        let s = m.snapshot();
+        assert_eq!(s.messages_sent, 3);
+        assert_eq!(s.bytes_sent, 157);
+        assert_eq!(s.per_machine_sent, vec![2, 0, 1]);
+        assert_eq!(s.per_machine_received, vec![0, 1, 0]);
+        assert_eq!(s.disk_reads, 1);
+        assert_eq!(s.disk_writes, 1);
+        assert_eq!(s.disk_bytes_read, 4096);
+        assert_eq!(s.disk_bytes_written, 512);
+        assert_eq!(s.disk_busy_nanos, 3_000);
+        assert_eq!(s.active_senders(), 2);
+    }
+
+    #[test]
+    fn out_of_range_machine_ids_are_ignored() {
+        let m = Metrics::new(1);
+        m.record_send(5, 10); // machine 5 doesn't exist; totals still count
+        m.record_delivery(9);
+        let s = m.snapshot();
+        assert_eq!(s.messages_sent, 1);
+        assert_eq!(s.per_machine_sent, vec![0]);
+    }
+
+    #[test]
+    fn since_diffs_counters() {
+        let m = Metrics::new(2);
+        m.record_send(0, 10);
+        let before = m.snapshot();
+        m.record_send(1, 20);
+        m.record_disk_read(1, 5);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.messages_sent, 1);
+        assert_eq!(delta.bytes_sent, 20);
+        assert_eq!(delta.per_machine_sent, vec![0, 1]);
+        assert_eq!(delta.disk_reads, 1);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let a = MetricsSnapshot { messages_sent: 1, ..Default::default() };
+        let b = MetricsSnapshot { messages_sent: 5, ..Default::default() };
+        assert_eq!(a.since(&b).messages_sent, 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! The message-switched network.
+//!
+//! Send semantics: `send` stamps the packet with the current instant,
+//! charges nothing to the *sender* beyond the channel push, and hands the
+//! packet to the destination machine's **NIC** — a delivery thread that
+//! models the receive side of the link:
+//!
+//! * each packet becomes visible no earlier than `sent_at + latency`
+//!   (latency overlaps across concurrent packets — this is what makes the
+//!   paper's §4 split-loop transformation pay off), and
+//! * transfer time `bytes / bandwidth` **serializes per receiver** — a
+//!   machine drinking pages from many devices is limited by its own link,
+//!   which is what saturates E3's speedup curve at high fan-in.
+//!
+//! With a zero-cost topology the NIC threads are skipped entirely and
+//! `send` pushes straight into the destination inbox (deterministic and
+//! channel-fast, for tests).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::config::NetCost;
+use crate::message::{MachineId, Packet};
+use crate::metrics::Metrics;
+use crate::time::{sleep_until, transfer_time};
+use crate::topology::Topology;
+
+/// Error returned by [`Network::send`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination machine id does not exist in this cluster.
+    NoSuchMachine(MachineId),
+    /// The destination's inbox has been dropped (machine shut down).
+    Disconnected(MachineId),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::NoSuchMachine(m) => write!(f, "no such machine: {m}"),
+            NetError::Disconnected(m) => write!(f, "machine {m} is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+struct TimedPacket {
+    packet: Packet,
+    sent_at: Instant,
+    cost: NetCost,
+}
+
+enum Route {
+    /// Costed path: packets go through the NIC delivery thread.
+    Nic(Sender<TimedPacket>),
+    /// Free path: packets go straight to the machine inbox.
+    Direct(Sender<Packet>),
+}
+
+/// Handle for sending packets between machines. Cloneable and shareable;
+/// all clones refer to the same simulated fabric.
+pub struct Network {
+    routes: Arc<Vec<Route>>,
+    topology: Arc<dyn Topology>,
+    metrics: Arc<Metrics>,
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Network {
+            routes: self.routes.clone(),
+            topology: self.topology.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("machines", &self.routes.len())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Build the fabric for `machines` endpoints. Returns the network handle
+    /// and one inbox receiver per machine.
+    pub(crate) fn build(
+        machines: usize,
+        topology: Box<dyn Topology>,
+        metrics: Arc<Metrics>,
+    ) -> (Network, Vec<Receiver<Packet>>) {
+        let topology: Arc<dyn Topology> = Arc::from(topology);
+        let zero = topology.is_zero();
+        let mut routes = Vec::with_capacity(machines);
+        let mut inboxes = Vec::with_capacity(machines);
+        for dst in 0..machines {
+            let (inbox_tx, inbox_rx) = unbounded::<Packet>();
+            inboxes.push(inbox_rx);
+            if zero {
+                routes.push(Route::Direct(inbox_tx));
+            } else {
+                let (nic_tx, nic_rx) = unbounded::<TimedPacket>();
+                let nic_metrics = metrics.clone();
+                std::thread::Builder::new()
+                    .name(format!("simnet-nic-{dst}"))
+                    .spawn(move || nic_loop(nic_rx, inbox_tx, nic_metrics, dst))
+                    .expect("spawn NIC thread");
+                routes.push(Route::Nic(nic_tx));
+            }
+        }
+        (Network { routes: Arc::new(routes), topology, metrics }, inboxes)
+    }
+
+    /// Number of machine endpoints.
+    pub fn machines(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Shared metrics for this cluster.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Send `payload` from `src` to `dst`. Returns immediately; the packet
+    /// arrives in `dst`'s inbox after the modeled link delay.
+    pub fn send(&self, src: MachineId, dst: MachineId, payload: Vec<u8>) -> Result<(), NetError> {
+        let route = self.routes.get(dst).ok_or(NetError::NoSuchMachine(dst))?;
+        self.metrics.record_send(src, payload.len());
+        let packet = Packet::new(src, dst, payload);
+        match route {
+            Route::Direct(tx) => {
+                self.metrics.record_delivery(dst);
+                tx.send(packet).map_err(|_| NetError::Disconnected(dst))
+            }
+            Route::Nic(tx) => {
+                let cost = self.topology.cost(src, dst);
+                tx.send(TimedPacket { packet, sent_at: Instant::now(), cost })
+                    .map_err(|_| NetError::Disconnected(dst))
+            }
+        }
+    }
+}
+
+/// Receive-side link model. Runs until the senders disconnect.
+fn nic_loop(
+    rx: Receiver<TimedPacket>,
+    inbox: Sender<Packet>,
+    metrics: Arc<Metrics>,
+    dst: MachineId,
+) {
+    // The instant this machine's link finishes its current transfer.
+    let mut link_free_at = Instant::now();
+    for TimedPacket { packet, sent_at, cost } in rx {
+        let arrival = sent_at + cost.latency;
+        let start = arrival.max(link_free_at);
+        let done = start + transfer_time(packet.len(), cost.bytes_per_sec);
+        link_free_at = done;
+        sleep_until(done);
+        metrics.record_delivery(dst);
+        if inbox.send(packet).is_err() {
+            // Machine shut down; keep draining so senders never block,
+            // but there is nobody to deliver to.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NetCost, TopologySpec};
+    use crate::topology::build;
+    use std::time::Duration;
+
+    fn net(machines: usize, spec: TopologySpec) -> (Network, Vec<Receiver<Packet>>) {
+        Network::build(machines, build(&spec), Arc::new(Metrics::new(machines)))
+    }
+
+    #[test]
+    fn zero_cost_delivery_is_direct_and_ordered() {
+        let (net, inboxes) = net(2, TopologySpec::Uniform(NetCost::zero()));
+        for i in 0..10u8 {
+            net.send(0, 1, vec![i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(inboxes[1].recv().unwrap().payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let (net, _inboxes) = net(2, TopologySpec::Uniform(NetCost::zero()));
+        assert_eq!(net.send(0, 9, vec![]), Err(NetError::NoSuchMachine(9)));
+    }
+
+    #[test]
+    fn dropped_inbox_is_disconnected() {
+        let (net, inboxes) = net(2, TopologySpec::Uniform(NetCost::zero()));
+        drop(inboxes);
+        assert_eq!(net.send(0, 1, vec![1]), Err(NetError::Disconnected(1)));
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let lat = Duration::from_millis(3);
+        let (net, inboxes) = net(
+            2,
+            TopologySpec::Uniform(NetCost { latency: lat, bytes_per_sec: f64::INFINITY }),
+        );
+        let t0 = Instant::now();
+        net.send(0, 1, vec![42]).unwrap();
+        let pkt = inboxes[1].recv().unwrap();
+        assert!(t0.elapsed() >= lat, "delivered too early: {:?}", t0.elapsed());
+        assert_eq!(pkt.payload, vec![42]);
+    }
+
+    #[test]
+    fn latency_overlaps_across_concurrent_sends() {
+        // 10 packets sent back-to-back each pay 3ms latency, but the
+        // latencies overlap: total should be ~3ms, nowhere near 30ms.
+        let lat = Duration::from_millis(3);
+        let (net, inboxes) = net(
+            2,
+            TopologySpec::Uniform(NetCost { latency: lat, bytes_per_sec: f64::INFINITY }),
+        );
+        let t0 = Instant::now();
+        for i in 0..10u8 {
+            net.send(0, 1, vec![i]).unwrap();
+        }
+        for _ in 0..10 {
+            inboxes[1].recv().unwrap();
+        }
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= lat);
+        assert!(
+            elapsed < lat * 5,
+            "latency failed to overlap: {elapsed:?} for 10 packets"
+        );
+    }
+
+    #[test]
+    fn bandwidth_serializes_per_receiver() {
+        // 1 MB/s link, 4 packets of 2 KB each => ~8ms of serialized transfer.
+        let (net, inboxes) = net(
+            2,
+            TopologySpec::Uniform(NetCost {
+                latency: Duration::ZERO,
+                bytes_per_sec: 1e6,
+            }),
+        );
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            net.send(0, 1, vec![0u8; 2000]).unwrap();
+        }
+        for _ in 0..4 {
+            inboxes[1].recv().unwrap();
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(8),
+            "transfers failed to serialize: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn loopback_is_free_even_on_costed_network() {
+        let (net, inboxes) = net(
+            2,
+            TopologySpec::Uniform(NetCost {
+                latency: Duration::from_millis(50),
+                bytes_per_sec: 1.0,
+            }),
+        );
+        let t0 = Instant::now();
+        net.send(1, 1, vec![0u8; 1000]).unwrap();
+        inboxes[1].recv().unwrap();
+        assert!(t0.elapsed() < Duration::from_millis(40), "loopback paid link cost");
+    }
+
+    #[test]
+    fn metrics_count_sends_and_deliveries() {
+        let (net, inboxes) = net(3, TopologySpec::Uniform(NetCost::zero()));
+        net.send(0, 1, vec![0u8; 5]).unwrap();
+        net.send(2, 1, vec![0u8; 7]).unwrap();
+        inboxes[1].recv().unwrap();
+        inboxes[1].recv().unwrap();
+        let s = net.metrics().snapshot();
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.bytes_sent, 12);
+        assert_eq!(s.per_machine_sent, vec![1, 0, 1]);
+        assert_eq!(s.per_machine_received, vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn machines_reports_endpoint_count() {
+        let (net, _rx) = net(5, TopologySpec::Uniform(NetCost::zero()));
+        assert_eq!(net.machines(), 5);
+        assert_eq!(net.clone().machines(), 5);
+    }
+}

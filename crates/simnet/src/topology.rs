@@ -1,0 +1,147 @@
+//! Network topologies: which cost a message pays depends on which link it
+//! crosses.
+
+use crate::config::{NetCost, TopologySpec};
+use crate::message::MachineId;
+
+/// Maps a (source, destination) pair to the cost of that link.
+///
+/// Implementations must be cheap and pure: `cost` is called once per message
+/// on the send path.
+pub trait Topology: Send + Sync + 'static {
+    /// Cost of one message from `src` to `dst`.
+    fn cost(&self, src: MachineId, dst: MachineId) -> NetCost;
+
+    /// True if no link ever charges (lets the cluster skip delivery threads
+    /// entirely).
+    fn is_zero(&self) -> bool {
+        false
+    }
+}
+
+/// Every distinct pair pays the same cost; loopback is free.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    cost: NetCost,
+}
+
+impl Uniform {
+    /// Build a uniform topology with the given per-link cost.
+    pub fn new(cost: NetCost) -> Self {
+        Uniform { cost }
+    }
+}
+
+impl Topology for Uniform {
+    fn cost(&self, src: MachineId, dst: MachineId) -> NetCost {
+        if src == dst {
+            NetCost::zero()
+        } else {
+            self.cost
+        }
+    }
+    fn is_zero(&self) -> bool {
+        self.cost.is_zero()
+    }
+}
+
+/// Machines grouped into fixed-size racks: cheap links inside a rack,
+/// expensive links between racks. Models the two-level networks the paper's
+/// petascale array (§5, hundreds of drives on multiple nodes) would live on.
+#[derive(Debug, Clone, Copy)]
+pub struct Racks {
+    rack_size: usize,
+    intra: NetCost,
+    inter: NetCost,
+}
+
+impl Racks {
+    /// Build a rack topology. `rack_size` must be non-zero.
+    pub fn new(rack_size: usize, intra: NetCost, inter: NetCost) -> Self {
+        assert!(rack_size > 0, "rack_size must be positive");
+        Racks { rack_size, intra, inter }
+    }
+
+    /// Which rack a machine lives in.
+    pub fn rack_of(&self, m: MachineId) -> usize {
+        m / self.rack_size
+    }
+}
+
+impl Topology for Racks {
+    fn cost(&self, src: MachineId, dst: MachineId) -> NetCost {
+        if src == dst {
+            NetCost::zero()
+        } else if self.rack_of(src) == self.rack_of(dst) {
+            self.intra
+        } else {
+            self.inter
+        }
+    }
+    fn is_zero(&self) -> bool {
+        self.intra.is_zero() && self.inter.is_zero()
+    }
+}
+
+/// Materialize a [`TopologySpec`] into a boxed topology.
+pub fn build(spec: &TopologySpec) -> Box<dyn Topology> {
+    match *spec {
+        TopologySpec::Uniform(cost) => Box::new(Uniform::new(cost)),
+        TopologySpec::Racks { rack_size, intra, inter } => {
+            Box::new(Racks::new(rack_size, intra, inter))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn uniform_charges_distinct_pairs_only() {
+        let t = Uniform::new(NetCost::lan(10, 1.0));
+        assert!(t.cost(3, 3).is_zero(), "loopback must be free");
+        assert_eq!(t.cost(0, 1).latency, Duration::from_micros(10));
+        assert_eq!(t.cost(1, 0).latency, Duration::from_micros(10));
+        assert!(!t.is_zero());
+    }
+
+    #[test]
+    fn zero_uniform_reports_zero() {
+        assert!(Uniform::new(NetCost::zero()).is_zero());
+    }
+
+    #[test]
+    fn racks_distinguish_intra_and_inter() {
+        let intra = NetCost::lan(5, 10.0);
+        let inter = NetCost::lan(50, 1.0);
+        let t = Racks::new(4, intra, inter);
+        // Machines 0-3 are rack 0; 4-7 rack 1.
+        assert_eq!(t.cost(0, 3).latency, Duration::from_micros(5));
+        assert_eq!(t.cost(0, 4).latency, Duration::from_micros(50));
+        assert_eq!(t.cost(7, 4).latency, Duration::from_micros(5));
+        assert!(t.cost(6, 6).is_zero());
+        assert_eq!(t.rack_of(11), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rack_size")]
+    fn zero_rack_size_panics() {
+        let _ = Racks::new(0, NetCost::zero(), NetCost::zero());
+    }
+
+    #[test]
+    fn build_dispatches_on_spec() {
+        let t = build(&TopologySpec::Uniform(NetCost::zero()));
+        assert!(t.is_zero());
+        let t = build(&TopologySpec::Racks {
+            rack_size: 2,
+            intra: NetCost::zero(),
+            inter: NetCost::lan(1, 1.0),
+        });
+        assert!(!t.is_zero());
+        assert!(t.cost(0, 1).is_zero());
+        assert!(!t.cost(0, 2).is_zero());
+    }
+}

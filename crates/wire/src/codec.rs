@@ -1,0 +1,75 @@
+//! The [`Wire`] trait: the contract every remote-method argument, return
+//! value, and persisted process state must satisfy.
+
+use crate::error::WireResult;
+use crate::reader::Reader;
+use crate::writer::Writer;
+
+/// A type that can be encoded to and decoded from the oopp wire format.
+///
+/// Implementations must be **self-framing**: `decode` consumes exactly the
+/// bytes `encode` produced, so values can be concatenated without external
+/// framing (this is what lets a request enum carry its arguments inline).
+pub trait Wire: Sized {
+    /// Append this value's encoding to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Decode one value from the front of `r`.
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self>;
+
+    /// Best-effort size hint in bytes, used to pre-reserve buffers for
+    /// large payloads. Exact for fixed-width scalars and bulk slices.
+    fn encoded_len_hint(&self) -> usize {
+        0
+    }
+}
+
+/// Encode a single value to a fresh byte buffer.
+pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
+    let mut w = Writer::with_capacity(value.encoded_len_hint());
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decode a single value from `bytes`, requiring the buffer to be fully
+/// consumed (trailing bytes are a protocol error).
+pub fn from_bytes<T: Wire>(bytes: &[u8]) -> WireResult<T> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    r.expect_end()?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::WireError;
+
+    #[test]
+    fn to_from_bytes_roundtrip() {
+        let v: u64 = 0xdead_beef;
+        assert_eq!(from_bytes::<u64>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing() {
+        let mut bytes = to_bytes(&7u32);
+        bytes.push(0);
+        assert_eq!(from_bytes::<u32>(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn values_are_self_framing() {
+        // Concatenate three values, decode them back in order.
+        let mut w = Writer::new();
+        42u32.encode(&mut w);
+        "hi".to_string().encode(&mut w);
+        (-1i64).encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(u32::decode(&mut r).unwrap(), 42);
+        assert_eq!(String::decode(&mut r).unwrap(), "hi");
+        assert_eq!(i64::decode(&mut r).unwrap(), -1);
+        r.expect_end().unwrap();
+    }
+}

@@ -1,0 +1,210 @@
+//! [`Wire`] implementations for primitive scalars.
+//!
+//! Conventions:
+//! * `u8`/`i8`/`bool` are single bytes.
+//! * Wider integers and floats are fixed-width little-endian — remote array
+//!   elements (§2 of the paper: `data[7] = 3.1415`) must encode to exactly
+//!   `size_of::<T>()` bytes so the bulk encodings in `collections` can be a
+//!   straight memcpy.
+//! * `usize`/`isize` travel as varints: they are lengths and indices, almost
+//!   always small, and their in-memory width is platform-dependent.
+
+use crate::codec::Wire;
+use crate::error::{WireError, WireResult};
+use crate::reader::Reader;
+use crate::writer::Writer;
+
+impl Wire for u8 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        r.take_u8()
+    }
+    fn encoded_len_hint(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for i8 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_i8(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        r.take_i8()
+    }
+    fn encoded_len_hint(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        match r.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::InvalidBool(b)),
+        }
+    }
+    fn encoded_len_hint(&self) -> usize {
+        1
+    }
+}
+
+macro_rules! wire_fixed {
+    ($($ty:ty => ($put:ident, $take:ident)),* $(,)?) => {
+        $(
+            impl Wire for $ty {
+                fn encode(&self, w: &mut Writer) {
+                    w.$put(*self);
+                }
+                fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+                    r.$take()
+                }
+                fn encoded_len_hint(&self) -> usize {
+                    std::mem::size_of::<$ty>()
+                }
+            }
+        )*
+    };
+}
+
+wire_fixed! {
+    u16 => (put_u16, take_u16),
+    u32 => (put_u32, take_u32),
+    u64 => (put_u64, take_u64),
+    u128 => (put_u128, take_u128),
+    i16 => (put_i16, take_i16),
+    i32 => (put_i32, take_i32),
+    i64 => (put_i64, take_i64),
+    i128 => (put_i128, take_i128),
+    f32 => (put_f32, take_f32),
+    f64 => (put_f64, take_f64),
+}
+
+impl Wire for usize {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(*self as u64);
+    }
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(r.take_varint()? as usize)
+    }
+    fn encoded_len_hint(&self) -> usize {
+        crate::varint::encoded_len(*self as u64)
+    }
+}
+
+impl Wire for isize {
+    fn encode(&self, w: &mut Writer) {
+        w.put_signed_varint(*self as i64);
+    }
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(r.take_signed_varint()? as isize)
+    }
+}
+
+impl Wire for char {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(*self as u32);
+    }
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        let scalar = r.take_u32()?;
+        char::from_u32(scalar).ok_or(WireError::InvalidChar(scalar))
+    }
+    fn encoded_len_hint(&self) -> usize {
+        4
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _w: &mut Writer) {}
+    fn decode(_r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(())
+    }
+    fn encoded_len_hint(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{from_bytes, to_bytes};
+
+    fn rt<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(from_bytes::<T>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn integer_roundtrips() {
+        rt(0u8);
+        rt(255u8);
+        rt(-128i8);
+        rt(u16::MAX);
+        rt(i16::MIN);
+        rt(u32::MAX);
+        rt(i32::MIN);
+        rt(u64::MAX);
+        rt(i64::MIN);
+        rt(u128::MAX);
+        rt(i128::MIN);
+        rt(usize::MAX);
+        rt(isize::MIN);
+    }
+
+    #[test]
+    fn float_roundtrips_including_special_values() {
+        rt(0.0f64);
+        rt(-0.0f64);
+        rt(f64::INFINITY);
+        rt(f64::NEG_INFINITY);
+        rt(f64::MIN_POSITIVE);
+        rt(3.141592653589793f64);
+        rt(1.5f32);
+        // NaN != NaN, so check bit pattern instead.
+        let bytes = to_bytes(&f64::NAN);
+        assert!(from_bytes::<f64>(&bytes).unwrap().is_nan());
+    }
+
+    #[test]
+    fn bool_roundtrips_and_rejects_junk() {
+        rt(true);
+        rt(false);
+        assert_eq!(from_bytes::<bool>(&[2]), Err(WireError::InvalidBool(2)));
+    }
+
+    #[test]
+    fn char_roundtrips_and_rejects_surrogates() {
+        rt('a');
+        rt('é');
+        rt('🦀');
+        // 0xD800 is a surrogate, not a valid scalar value.
+        let bytes = to_bytes(&0xD800u32);
+        assert_eq!(
+            from_bytes::<char>(&bytes),
+            Err(WireError::InvalidChar(0xD800))
+        );
+    }
+
+    #[test]
+    fn unit_encodes_to_nothing() {
+        assert!(to_bytes(&()).is_empty());
+        assert_eq!(from_bytes::<()>(&[]), Ok(()));
+    }
+
+    #[test]
+    fn usize_is_varint_compact() {
+        assert_eq!(to_bytes(&5usize).len(), 1);
+        assert_eq!(to_bytes(&300usize).len(), 2);
+    }
+
+    #[test]
+    fn fixed_width_types_have_exact_hints() {
+        assert_eq!(1.0f64.encoded_len_hint(), 8);
+        assert_eq!(7u32.encoded_len_hint(), 4);
+        assert_eq!(to_bytes(&1.0f64).len(), 8);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: every encodable value round-trips, truncation never
+//! panics, and bulk encodings agree with elementwise ones.
+
+use proptest::prelude::*;
+
+use crate::collections::{Bytes, F64s};
+use crate::{from_bytes, to_bytes, Wire};
+
+fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+    let bytes = to_bytes(v);
+    let back = from_bytes::<T>(&bytes).expect("decode of own encoding");
+    assert_eq!(&back, v);
+}
+
+proptest! {
+    #[test]
+    fn u64_roundtrips(v: u64) { roundtrip(&v); }
+
+    #[test]
+    fn i64_roundtrips(v: i64) { roundtrip(&v); }
+
+    #[test]
+    fn usize_roundtrips(v: usize) { roundtrip(&v); }
+
+    #[test]
+    fn f64_roundtrips(v in proptest::num::f64::ANY.prop_filter("NaN compares unequal", |f| !f.is_nan())) {
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn f64_nan_bitpatterns_survive(bits: u64) {
+        let v = f64::from_bits(bits);
+        let back = from_bytes::<f64>(&to_bytes(&v)).unwrap();
+        prop_assert_eq!(back.to_bits(), bits);
+    }
+
+    #[test]
+    fn string_roundtrips(s in ".*") { roundtrip(&s); }
+
+    #[test]
+    fn vec_u32_roundtrips(v: Vec<u32>) { roundtrip(&v); }
+
+    #[test]
+    fn vec_string_roundtrips(v in proptest::collection::vec(".*", 0..16)) {
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn option_roundtrips(v: Option<i32>) { roundtrip(&v); }
+
+    #[test]
+    fn tuple_roundtrips(v: (u8, i64, bool)) { roundtrip(&v); }
+
+    #[test]
+    fn nested_roundtrips(v: Vec<Option<(u16, Vec<u8>)>>) { roundtrip(&v); }
+
+    #[test]
+    fn bytes_roundtrips(v: Vec<u8>) { roundtrip(&Bytes(v)); }
+
+    #[test]
+    fn f64s_roundtrips(v in proptest::collection::vec(
+        proptest::num::f64::ANY.prop_filter("no NaN", |f| !f.is_nan()), 0..512)) {
+        roundtrip(&F64s(v));
+    }
+
+    /// The bulk F64s encoding must be byte-identical to the elementwise
+    /// Vec<f64> body (same length prefix, same IEEE bytes).
+    #[test]
+    fn f64s_bulk_matches_elementwise(v in proptest::collection::vec(
+        proptest::num::f64::ANY, 0..128)) {
+        let bulk = to_bytes(&F64s(v.clone()));
+        let element = to_bytes(&v);
+        prop_assert_eq!(bulk, element);
+    }
+
+    /// Bytes bulk encoding must be byte-identical to elementwise Vec<u8>.
+    #[test]
+    fn bytes_bulk_matches_elementwise(v: Vec<u8>) {
+        prop_assert_eq!(to_bytes(&Bytes(v.clone())), to_bytes(&v));
+    }
+
+    /// Decoding any prefix of a valid encoding must fail cleanly, never
+    /// panic, never succeed with trailing expectations violated.
+    #[test]
+    fn truncation_fails_cleanly(v: Vec<(u32, String)>, cut in 0usize..64) {
+        let bytes = to_bytes(&v);
+        if cut < bytes.len() {
+            let truncated = &bytes[..bytes.len() - cut - 1];
+            let _ = from_bytes::<Vec<(u32, String)>>(truncated); // must not panic
+        }
+    }
+
+    /// Decoding arbitrary junk must never panic.
+    #[test]
+    fn junk_never_panics(bytes: Vec<u8>) {
+        let _ = from_bytes::<Vec<(u32, String)>>(&bytes);
+        let _ = from_bytes::<String>(&bytes);
+        let _ = from_bytes::<F64s>(&bytes);
+        let _ = from_bytes::<Option<Vec<u64>>>(&bytes);
+    }
+
+    /// Self-framing: two concatenated encodings decode back as two values.
+    #[test]
+    fn concatenation_is_self_framing(a: Vec<u16>, b in ".*") {
+        let mut buf = crate::Writer::new();
+        a.encode(&mut buf);
+        let b = b as String;
+        b.encode(&mut buf);
+        let bytes = buf.into_bytes();
+        let mut r = crate::Reader::new(&bytes);
+        prop_assert_eq!(Vec::<u16>::decode(&mut r).unwrap(), a);
+        prop_assert_eq!(String::decode(&mut r).unwrap(), b);
+        r.expect_end().unwrap();
+    }
+
+    /// Varint length prefixes are minimal-width.
+    #[test]
+    fn varint_is_minimal(v: u64) {
+        let mut out = Vec::new();
+        crate::varint::write_u64(&mut out, v);
+        prop_assert_eq!(out.len(), crate::varint::encoded_len(v));
+    }
+}

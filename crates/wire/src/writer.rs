@@ -1,0 +1,149 @@
+//! Encoding buffer.
+
+use crate::varint;
+
+/// Growable output buffer for wire encoding.
+///
+/// `Writer` is a thin wrapper over `Vec<u8>` that fixes the byte order
+/// (little-endian) and the framing conventions (varint lengths) in one
+/// place, so codec implementations cannot disagree about either.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// New, empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// New writer with `cap` bytes pre-reserved — use when the payload size
+    /// is known (e.g. shipping a page of fixed size).
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Append a single raw byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append raw bytes verbatim (no length prefix).
+    #[inline]
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a varint-encoded unsigned value (used for lengths and tags).
+    #[inline]
+    pub fn put_varint(&mut self, v: u64) {
+        varint::write_u64(&mut self.buf, v);
+    }
+
+    /// Append a zigzag+varint-encoded signed value.
+    #[inline]
+    pub fn put_signed_varint(&mut self, v: i64) {
+        varint::write_u64(&mut self.buf, varint::zigzag_encode(v));
+    }
+
+    /// Append a length prefix followed by raw bytes.
+    #[inline]
+    pub fn put_len_prefixed(&mut self, bytes: &[u8]) {
+        self.put_varint(bytes.len() as u64);
+        self.put_bytes(bytes);
+    }
+}
+
+macro_rules! put_le {
+    ($($name:ident: $ty:ty),* $(,)?) => {
+        impl Writer {
+            $(
+                #[doc = concat!("Append a little-endian `", stringify!($ty), "`.")]
+                #[inline]
+                pub fn $name(&mut self, v: $ty) {
+                    self.buf.extend_from_slice(&v.to_le_bytes());
+                }
+            )*
+        }
+    };
+}
+
+put_le! {
+    put_u16: u16,
+    put_u32: u32,
+    put_u64: u64,
+    put_u128: u128,
+    put_i8: i8,
+    put_i16: i16,
+    put_i32: i32,
+    put_i64: i64,
+    put_i128: i128,
+    put_f32: f32,
+    put_f64: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_are_little_endian() {
+        let mut w = Writer::new();
+        w.put_u32(0x0403_0201);
+        assert_eq!(w.as_slice(), &[0x01, 0x02, 0x03, 0x04]);
+
+        let mut w = Writer::new();
+        w.put_u16(0x0201);
+        assert_eq!(w.as_slice(), &[0x01, 0x02]);
+    }
+
+    #[test]
+    fn f64_encodes_ieee_bits() {
+        let mut w = Writer::new();
+        w.put_f64(1.0);
+        assert_eq!(w.as_slice(), &1.0f64.to_le_bytes());
+    }
+
+    #[test]
+    fn len_prefixed_frames() {
+        let mut w = Writer::new();
+        w.put_len_prefixed(b"abc");
+        assert_eq!(w.as_slice(), &[3, b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn with_capacity_reserves() {
+        let w = Writer::with_capacity(4096);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn signed_varint_small_negative_is_short() {
+        let mut w = Writer::new();
+        w.put_signed_varint(-1);
+        assert_eq!(w.len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Map-reduce on object-processes — the paper's §6 claim that the
+//! framework "is rich enough to include … other programming models
+//! (client-server applications, map-reduce, etc.)".
+//!
+//! A word-count: mapper processes tokenize document shards and push
+//! `(word, count)` pairs to reducer processes chosen by hash; reducers
+//! aggregate; the driver collects. Every arrow is a remote method call.
+//!
+//! ```text
+//! cargo run --release --example map_reduce
+//! ```
+
+use std::collections::HashMap;
+
+use oopp::{join, remote_class, ClusterBuilder, NodeCtx, RemoteError, RemoteResult};
+
+/// Reducer: owns one shard of the key space.
+#[derive(Debug, Default)]
+pub struct Reducer {
+    counts: HashMap<String, u64>,
+}
+
+remote_class! {
+    class Reducer {
+        ctor();
+        /// Absorb a batch of (word, count) pairs.
+        fn absorb(&mut self, pairs: Vec<(String, u64)>) -> ();
+        /// Emit the aggregated counts (sorted by word).
+        fn emit(&mut self) -> Vec<(String, u64)>;
+    }
+}
+
+impl Reducer {
+    fn new(_ctx: &mut NodeCtx) -> RemoteResult<Self> {
+        Ok(Reducer::default())
+    }
+    fn absorb(&mut self, _ctx: &mut NodeCtx, pairs: Vec<(String, u64)>) -> RemoteResult<()> {
+        for (word, n) in pairs {
+            *self.counts.entry(word).or_insert(0) += n;
+        }
+        Ok(())
+    }
+    fn emit(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<Vec<(String, u64)>> {
+        let mut v: Vec<_> = self.counts.iter().map(|(w, n)| (w.clone(), *n)).collect();
+        v.sort();
+        Ok(v)
+    }
+}
+
+/// Mapper: tokenizes shards and shuffles pairs to the reducers it was
+/// introduced to (the paper's `SetGroup` pattern, deep copy).
+#[derive(Debug, Default)]
+pub struct Mapper {
+    reducers: Vec<ReducerClient>,
+}
+
+remote_class! {
+    class Mapper {
+        ctor();
+        /// Deep-copy the reducer table into this process (§4 SetGroup).
+        fn set_reducers(&mut self, reducers: Vec<ReducerClient>) -> ();
+        /// Map one document shard and shuffle the pairs to the reducers.
+        /// Returns the number of tokens processed.
+        fn map_shard(&mut self, text: String) -> u64;
+    }
+}
+
+fn key_hash(word: &str) -> u64 {
+    // FNV-1a, stable across runs.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in word.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl Mapper {
+    fn new(_ctx: &mut NodeCtx) -> RemoteResult<Self> {
+        Ok(Mapper::default())
+    }
+    fn set_reducers(&mut self, _ctx: &mut NodeCtx, reducers: Vec<ReducerClient>) -> RemoteResult<()> {
+        self.reducers = reducers;
+        Ok(())
+    }
+    fn map_shard(&mut self, ctx: &mut NodeCtx, text: String) -> RemoteResult<u64> {
+        if self.reducers.is_empty() {
+            return Err(RemoteError::app("set_reducers must run before map_shard"));
+        }
+        // Local combine before the shuffle (the classic optimization).
+        let mut local: HashMap<String, u64> = HashMap::new();
+        let mut tokens = 0u64;
+        for word in text.split_whitespace() {
+            let w: String = word
+                .chars()
+                .filter(|c| c.is_alphanumeric())
+                .flat_map(|c| c.to_lowercase())
+                .collect();
+            if w.is_empty() {
+                continue;
+            }
+            tokens += 1;
+            *local.entry(w).or_insert(0) += 1;
+        }
+        // Shuffle: one batch per reducer, all pushed with the split loop.
+        let r = self.reducers.len() as u64;
+        let mut batches: Vec<Vec<(String, u64)>> = vec![Vec::new(); r as usize];
+        for (w, n) in local {
+            batches[(key_hash(&w) % r) as usize].push((w, n));
+        }
+        let mut pending = Vec::new();
+        for (reducer, batch) in self.reducers.iter().zip(batches) {
+            if !batch.is_empty() {
+                pending.push(reducer.absorb_async(ctx, batch)?);
+            }
+        }
+        join(ctx, pending)?;
+        Ok(tokens)
+    }
+}
+
+fn main() {
+    let mappers_n = 3;
+    let reducers_n = 2;
+    let (cluster, mut driver) = ClusterBuilder::new(4)
+        .register::<Mapper>()
+        .register::<Reducer>()
+        .build();
+
+    // Deploy reducers and mappers round-robin over the machines.
+    let reducers: Vec<_> = (0..reducers_n)
+        .map(|i| ReducerClient::new_on(&mut driver, i % 4).unwrap())
+        .collect();
+    let mappers: Vec<_> = (0..mappers_n)
+        .map(|i| MapperClient::new_on(&mut driver, (reducers_n + i) % 4).unwrap())
+        .collect();
+    for m in &mappers {
+        m.set_reducers(&mut driver, reducers.clone()).unwrap();
+    }
+    println!("{mappers_n} mappers and {reducers_n} reducers deployed");
+
+    // The corpus, sharded one document per mapper call.
+    let shards = [
+        "objects are processes and processes are objects",
+        "the compiler generates the protocol, the runtime moves the data",
+        "move the computation to the data or move the data to the computation",
+        "a parallel program is a collection of persistent processes",
+        "processes communicate by executing methods on remote objects",
+        "the page map determines the degree of parallelism of the computation",
+    ];
+    // Map phase: shards dealt to mappers, all in flight at once.
+    let pending: Vec<_> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            mappers[i % mappers_n].map_shard_async(&mut driver, text.to_string()).unwrap()
+        })
+        .collect();
+    let tokens: u64 = join(&mut driver, pending).unwrap().into_iter().sum();
+    println!("map phase done: {tokens} tokens across {} shards", shards.len());
+
+    // Reduce phase: collect.
+    let mut all: Vec<(String, u64)> = Vec::new();
+    for r in &reducers {
+        all.extend(r.emit(&mut driver).unwrap());
+    }
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    println!("top words:");
+    for (word, n) in all.iter().take(8) {
+        println!("  {n:>3}  {word}");
+    }
+    let total: u64 = all.iter().map(|(_, n)| n).sum();
+    assert_eq!(total, tokens, "every token counted exactly once");
+    println!("total {total} == mapped tokens: exact");
+    cluster.shutdown(driver);
+}

@@ -1,0 +1,75 @@
+#![allow(clippy::approx_constant)] // 3.1415 is the paper’s own literal
+
+//! Quickstart: the paper's §2 listings, line for line.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use oopp::{ClusterBuilder, DoubleBlockClient};
+use pagestore::{Page, PageDevice, PageDeviceClient};
+
+fn main() {
+    // "Consider now the situation where multiple computers machine 0,
+    //  machine 1, machine 2, etc. are available..."
+    let (cluster, mut driver) = ClusterBuilder::new(3).register::<PageDevice>().build();
+    println!("cluster up: {} machines + driver", cluster.workers());
+
+    // int NumberOfPages = 10;  int PageSize = 1024;
+    let number_of_pages = 10u64;
+    let page_size = 1024u64;
+
+    // PageDevice *PageStore = new(machine 1)
+    //     PageDevice("pagefile", NumberOfPages, PageSize);
+    let page_store = PageDeviceClient::new_on(
+        &mut driver,
+        1,
+        "pagefile".to_string(),
+        number_of_pages,
+        page_size,
+        0, // which of machine 1's disks backs the device
+    )
+    .expect("create PageDevice on machine 1");
+    println!(
+        "PageDevice \"pagefile\" created on machine 1: {} pages x {} bytes",
+        number_of_pages, page_size
+    );
+
+    // Page *page = GenerateDataPage();
+    let page = Page::generate(page_size as usize, 17);
+
+    // int PageAddress = 17;  PageStore->write(page, PageAddress % 10);
+    let page_address = 17 % number_of_pages;
+    page_store
+        .write(&mut driver, page_address, page.clone().into_bytes())
+        .expect("remote write");
+    println!("wrote a generated page to address {page_address}");
+
+    // ... and read it back.
+    let back = Page::from_bytes(page_store.read(&mut driver, page_address).expect("remote read"));
+    assert_eq!(back, page);
+    println!("read it back: {} bytes, identical", back.len());
+
+    // "Process semantics extend naturally to simple objects:"
+    // double *data = new(machine 2) double[1024];
+    let data = DoubleBlockClient::new_on(&mut driver, 2, 1024).expect("remote new double[1024]");
+    // data[7] = 3.1415;
+    data.set(&mut driver, 7, 3.1415).expect("remote store");
+    // double x = data[2];
+    let x = data.get(&mut driver, 2).expect("remote load");
+    println!("data[7] = 3.1415 stored on machine 2; data[2] read back as {x}");
+    assert_eq!(x, 0.0);
+    assert_eq!(data.get(&mut driver, 7).unwrap(), 3.1415);
+
+    // "destruction of a remote object causes termination of the remote
+    //  process":  delete data;
+    data.destroy(&mut driver).expect("remote delete");
+    match data.get(&mut driver, 7) {
+        Err(e) => println!("after delete, dereferencing fails as expected: {e}"),
+        Ok(_) => unreachable!("destroyed object must not answer"),
+    }
+
+    page_store.destroy(&mut driver).unwrap();
+    cluster.shutdown(driver);
+    println!("cluster shut down cleanly");
+}

@@ -1,0 +1,22 @@
+//! # oopp-repro — umbrella crate
+//!
+//! Re-exports the whole workspace of the *Object-Oriented Parallel
+//! Programming* reproduction so examples and integration tests can reach
+//! every layer through one dependency:
+//!
+//! * [`oopp`] — the paper's contribution: objects as processes, remote
+//!   method invocation, groups, persistence;
+//! * [`simnet`] — the simulated cluster substrate;
+//! * [`wire`] — the RMI wire format;
+//! * [`pagestore`] — §2–§3 page devices;
+//! * [`distarray`] — §5 distributed arrays;
+//! * [`fft`] — §4 Fourier transforms (local and distributed);
+//! * [`mplite`] — the MPI-like message-passing baseline.
+
+pub use distarray;
+pub use fft;
+pub use mplite;
+pub use oopp;
+pub use pagestore;
+pub use simnet;
+pub use wire;
