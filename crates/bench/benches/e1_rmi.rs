@@ -17,6 +17,8 @@ fn bench_rmi(c: &mut Criterion) {
             x.destroy(&mut driver).unwrap();
         })
     });
+    // The constant is the paper's own literal, not an approximation of pi.
+    #[allow(clippy::approx_constant)]
     g.bench_function("set_element", |b| {
         b.iter(|| block.set(&mut driver, 7, 3.1415).unwrap())
     });

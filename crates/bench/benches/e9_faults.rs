@@ -1,0 +1,69 @@
+//! E9: per-call cost of the reliability layer itself, zero-cost substrate.
+//!
+//! Two axes: the bookkeeping a retrying [`CallPolicy`] adds to calls that
+//! never need a retry (outstanding-frame tracking + server-side dedup),
+//! and the cost of actually riding out seeded packet loss. The experiment
+//! table (completion time vs drop rate) comes from `reproduce e9`; these
+//! benches track the framework overhead.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oopp::{Backoff, CallPolicy, ClusterBuilder, DoubleBlockClient};
+use simnet::{ClusterConfig, FaultPlan};
+
+fn policy() -> CallPolicy {
+    CallPolicy::reliable(Duration::from_millis(50))
+        .with_max_retries(8)
+        .with_backoff(Backoff::fixed(Duration::from_millis(5)))
+}
+
+fn bench_faults(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_faults");
+
+    // Reliability bookkeeping on a loss-free fabric: no-retry vs retrying
+    // policy, same call. The difference is pure dedup/retransmit overhead.
+    for (name, pol) in [
+        ("no_retry_policy", CallPolicy::default()),
+        ("retry_policy", policy()),
+    ] {
+        let (_cluster, mut driver) = ClusterBuilder::new(1).call_policy(pol).build();
+        let block = DoubleBlockClient::new_on(&mut driver, 0, 64).unwrap();
+        g.bench_function(BenchmarkId::new("clean_get", name), |b| {
+            b.iter(|| std::hint::black_box(block.get(&mut driver, 7).unwrap()))
+        });
+    }
+
+    // Riding out real loss: median per-call time at increasing drop rates.
+    // Retry windows dominate, so keep the sample counts small.
+    for drop_p in [0.01f64, 0.05] {
+        let (cluster, mut driver) = ClusterBuilder::new(1)
+            .sim_config(
+                ClusterConfig::zero_cost(0)
+                    .with_faults(FaultPlan::seeded(0xE9).with_drop(drop_p)),
+            )
+            .call_policy(policy())
+            .build();
+        let block = DoubleBlockClient::new_on(&mut driver, 0, 64).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("lossy_get", format!("{drop_p}")),
+            &drop_p,
+            |b, _| b.iter(|| std::hint::black_box(block.get(&mut driver, 7).unwrap())),
+        );
+        cluster.sim().faults().calm();
+        cluster.shutdown(driver);
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Fast profile: the experiment tables come from `reproduce`; these
+    // benches track framework overhead, so short measurements suffice.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_faults
+}
+criterion_main!(benches);

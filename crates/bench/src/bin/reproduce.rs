@@ -8,11 +8,13 @@
 use bench::experiments as ex;
 use bench::Table;
 
+type Experiment = (&'static str, &'static str, fn() -> Table);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
 
-    let all: &[(&str, &str, fn() -> Table)] = &[
+    let all: &[Experiment] = &[
         (
             "E1",
             "remote object semantics: creation, calls, element access (§2)",
@@ -48,6 +50,11 @@ fn main() {
             "E8",
             "N computing processes vs one shared object (§2/§4)",
             ex::e8_shared_memory,
+        ),
+        (
+            "E9",
+            "fault injection: completion time vs drop rate under retrying RMI",
+            ex::e9_faults,
         ),
         ("A1", "ablation: wire codec throughput", ex::a1_wire),
         (

@@ -11,9 +11,9 @@ use distarray::{register_classes, Array, BlockStorage, Domain, PageMap};
 use fft::{c64, Complex, Direction, DistributedFft3, Fft3, Grid3};
 use mplite::apps::{fft_run, pageio_run, IoMode};
 use mplite::{MpiWorld, Op};
-use oopp::{join, BarrierClient, ClusterBuilder, DoubleBlockClient, RemoteClient};
+use oopp::{join, Backoff, BarrierClient, CallPolicy, ClusterBuilder, DoubleBlockClient, RemoteClient};
 use pagestore::{ArrayPage, ArrayPageDevice, ArrayPageDeviceClient, Page, PageDevice};
-use simnet::ClusterConfig;
+use simnet::{ClusterConfig, FaultPlan};
 use wire::collections::F64s;
 
 use crate::{lan_config, ms, spinny_disk, time_median, time_once, us, GroupTable, GroupTableClient, Syncer, SyncerClient, Table};
@@ -467,6 +467,83 @@ pub fn e8_shared_memory() -> Table {
             ms(one_obj),
         ]);
         cluster.shutdown(driver);
+    }
+    t
+}
+
+/// E9 (robustness): completion time of an E3-style split-loop workload as
+/// the seeded per-packet drop rate rises, under a retrying [`CallPolicy`].
+///
+/// The fabric drops request and response frames silently; callers recover
+/// by retransmitting after a short reply window, and servers suppress the
+/// resulting duplicates, so every run computes the same answer — losses
+/// buy latency, never wrong results. Zero-cost substrate: all reported
+/// time is retry windows and backoff, none of it simulated wire time.
+pub fn e9_faults() -> Table {
+    let mut t = Table::new(&[
+        "drop rate",
+        "completion ms",
+        "retries",
+        "frames dropped",
+        "matches 0% run",
+    ]);
+    let workers = 4usize;
+    let n = 256usize;
+    let rounds = 6usize;
+
+    let run = |plan: FaultPlan| -> (Vec<f64>, u64, u64, Duration) {
+        // Short windows: a drop costs ~55 ms, not DEFAULT_TIMEOUT.
+        let policy = CallPolicy::reliable(Duration::from_millis(50))
+            .with_max_retries(8)
+            .with_backoff(Backoff::fixed(Duration::from_millis(5)));
+        let (cluster, mut driver) = ClusterBuilder::new(workers)
+            .sim_config(ClusterConfig::zero_cost(0).with_faults(plan))
+            .call_policy(policy)
+            .build();
+        let t0 = std::time::Instant::now();
+        let blocks: Vec<_> = (0..workers)
+            .map(|m| {
+                let b = DoubleBlockClient::new_on(&mut driver, m, n).unwrap();
+                b.fill(&mut driver, (m + 1) as f64).unwrap();
+                b
+            })
+            .collect();
+        for round in 0..rounds {
+            let addend = F64s(vec![round as f64 + 0.25; n]);
+            let pending: Vec<_> = blocks
+                .iter()
+                .map(|b| b.axpy_range_async(&mut driver, 0, 0.5, addend.clone()).unwrap())
+                .collect();
+            join(&mut driver, pending).unwrap();
+        }
+        let mut data = Vec::with_capacity(workers * n);
+        for b in &blocks {
+            data.extend(b.read_range(&mut driver, 0, n).unwrap().0);
+        }
+        let elapsed = t0.elapsed();
+        let retries = driver.local_stats().calls_retried;
+        // Quiesce the fault plan so the shutdown frames cannot be dropped.
+        cluster.sim().faults().calm();
+        let drops = cluster.snapshot().total_fault_drops();
+        cluster.shutdown(driver);
+        (data, retries, drops, elapsed)
+    };
+
+    let (baseline, ..) = run(FaultPlan::none());
+    for p in [0.0f64, 0.01, 0.05, 0.10] {
+        let plan = if p == 0.0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan::seeded(0xE9).with_drop(p)
+        };
+        let (data, retries, drops, elapsed) = run(plan);
+        t.row(&[
+            format!("{:.0}%", p * 100.0),
+            ms(elapsed),
+            retries.to_string(),
+            drops.to_string(),
+            if data == baseline { "yes" } else { "NO" }.into(),
+        ]);
     }
     t
 }

@@ -18,6 +18,7 @@ pub fn lan_config() -> ClusterConfig {
         disk: DiskConfig::nvme(),
         disks_per_machine: 1,
         disk_capacity: 256 << 20,
+        faults: simnet::FaultPlan::none(),
     }
 }
 

@@ -1,0 +1,172 @@
+//! Server-side request deduplication: at-most-once execution.
+//!
+//! A caller under a retrying [`CallPolicy`](crate::CallPolicy) retransmits
+//! the same request frame (same `req_id`) when a reply window lapses. The
+//! lapse proves nothing about the first copy: it may have been dropped, or
+//! executed with only its *response* dropped, or it may still be parked in
+//! the server's deferred queue. Executing a retransmitted copy again would
+//! break non-idempotent methods (`create`, `activate`, accumulating
+//! updates), so every server keeps a [`DedupWindow`] keyed on
+//! `(reply_to, req_id)` — unique per caller, since each caller numbers its
+//! requests from a private counter.
+//!
+//! Three states per key:
+//! - **new** — never seen: execute it (and remember it is in flight).
+//! - **in flight** — received but not yet answered (executing now, or
+//!   parked deferred): *suppress* the copy; the original will answer.
+//! - **done** — answered already: *replay* the cached response without
+//!   re-executing.
+//!
+//! Completed entries are evicted FIFO once the window exceeds its capacity.
+//! An evicted entry makes a very late duplicate executable again — the
+//! window trades unbounded memory for a duplicate-suppression horizon, the
+//! standard at-most-once compromise.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use simnet::MachineId;
+
+use crate::error::RemoteResult;
+
+/// Identity of a request as the server sees it.
+pub(crate) type ReqKey = (MachineId, u64);
+
+/// What to do with a just-received request.
+#[derive(Debug, PartialEq)]
+pub(crate) enum DedupVerdict {
+    /// First sighting: execute.
+    New,
+    /// A copy is already being served (or parked): drop this one.
+    InFlight,
+    /// Already executed: re-send this cached response, do not re-execute.
+    Done(RemoteResult<Vec<u8>>),
+}
+
+/// Completed-call cache capacity. Old enough entries stop being protected
+/// against duplicates; 1024 comfortably covers any plausible retry horizon
+/// (a caller retransmits at most `max_retries` times, immediately or after
+/// millisecond-scale backoff).
+pub(crate) const DEFAULT_DEDUP_CAPACITY: usize = 1024;
+
+#[derive(Debug)]
+pub(crate) struct DedupWindow {
+    in_flight: HashSet<ReqKey>,
+    done: HashMap<ReqKey, RemoteResult<Vec<u8>>>,
+    order: VecDeque<ReqKey>,
+    capacity: usize,
+}
+
+impl DedupWindow {
+    pub(crate) fn new(capacity: usize) -> Self {
+        DedupWindow {
+            in_flight: HashSet::new(),
+            done: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Classify an incoming request and, if new, mark it in flight.
+    pub(crate) fn admit(&mut self, key: ReqKey) -> DedupVerdict {
+        if let Some(result) = self.done.get(&key) {
+            return DedupVerdict::Done(clone_result(result));
+        }
+        if !self.in_flight.insert(key) {
+            return DedupVerdict::InFlight;
+        }
+        DedupVerdict::New
+    }
+
+    /// Record the response sent for `key`, making later duplicates replay
+    /// it. Evicts the oldest completed entries beyond capacity.
+    pub(crate) fn complete(&mut self, key: ReqKey, result: &RemoteResult<Vec<u8>>) {
+        self.in_flight.remove(&key);
+        if self.done.insert(key, clone_result(result)).is_none() {
+            self.order.push_back(key);
+        }
+        while self.done.len() > self.capacity {
+            let Some(oldest) = self.order.pop_front() else { break };
+            self.done.remove(&oldest);
+        }
+    }
+
+    /// Completed entries currently protected against re-execution.
+    #[cfg(test)]
+    pub(crate) fn done_len(&self) -> usize {
+        self.done.len()
+    }
+}
+
+impl Default for DedupWindow {
+    fn default() -> Self {
+        DedupWindow::new(DEFAULT_DEDUP_CAPACITY)
+    }
+}
+
+fn clone_result(r: &RemoteResult<Vec<u8>>) -> RemoteResult<Vec<u8>> {
+    match r {
+        Ok(b) => Ok(b.clone()),
+        Err(e) => Err(e.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RemoteError;
+
+    #[test]
+    fn first_sighting_is_new_then_in_flight() {
+        let mut w = DedupWindow::default();
+        assert_eq!(w.admit((3, 7)), DedupVerdict::New);
+        assert_eq!(w.admit((3, 7)), DedupVerdict::InFlight);
+        // A different caller with the same req_id is a different request.
+        assert_eq!(w.admit((4, 7)), DedupVerdict::New);
+    }
+
+    #[test]
+    fn completed_requests_replay_their_response() {
+        let mut w = DedupWindow::default();
+        assert_eq!(w.admit((0, 1)), DedupVerdict::New);
+        w.complete((0, 1), &Ok(vec![9, 9]));
+        match w.admit((0, 1)) {
+            DedupVerdict::Done(Ok(bytes)) => assert_eq!(bytes, vec![9, 9]),
+            other => panic!("expected cached response, got {other:?}"),
+        }
+        // Errors are cached too: a failed create must not re-run either.
+        assert_eq!(w.admit((0, 2)), DedupVerdict::New);
+        w.complete(
+            (0, 2),
+            &Err(RemoteError::NoSuchClass { class: "X".into() }),
+        );
+        assert!(matches!(w.admit((0, 2)), DedupVerdict::Done(Err(_))));
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let mut w = DedupWindow::new(3);
+        for id in 0..5u64 {
+            assert_eq!(w.admit((0, id)), DedupVerdict::New);
+            w.complete((0, id), &Ok(vec![id as u8]));
+        }
+        assert_eq!(w.done_len(), 3);
+        // The two oldest were evicted: their duplicates execute again.
+        assert_eq!(w.admit((0, 0)), DedupVerdict::New);
+        assert_eq!(w.admit((0, 1)), DedupVerdict::New);
+        // The newest three still replay.
+        assert!(matches!(w.admit((0, 4)), DedupVerdict::Done(Ok(_))));
+    }
+
+    #[test]
+    fn completing_twice_does_not_double_count() {
+        let mut w = DedupWindow::new(2);
+        w.admit((1, 1));
+        w.complete((1, 1), &Ok(vec![1]));
+        w.complete((1, 1), &Ok(vec![2])); // replayed response re-completed
+        w.admit((1, 2));
+        w.complete((1, 2), &Ok(vec![3]));
+        assert_eq!(w.done_len(), 2);
+        // (1,1) was not evicted by its own double-complete.
+        assert!(matches!(w.admit((1, 1)), DedupVerdict::Done(Ok(_))));
+    }
+}

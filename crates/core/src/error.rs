@@ -27,11 +27,25 @@ pub enum RemoteError {
     BadMachine { machine: usize, machines: usize },
     /// The far machine has shut down or its inbox is gone.
     Disconnected { machine: usize },
-    /// No reply within the configured window. The usual cause in oopp
-    /// programs is distributed deadlock: object A's method is blocked on a
-    /// call to object B while B's method is blocked on a call back to A
-    /// (each request parked in the other's deferred queue).
-    Timeout { millis: u64 },
+    /// No reply within the configured window, across every attempt the
+    /// [`CallPolicy`](crate::CallPolicy) allowed. With a single-attempt
+    /// policy the usual cause in oopp programs is distributed deadlock:
+    /// object A's method is blocked on a call to object B while B's method
+    /// is blocked on a call back to A (each request parked in the other's
+    /// deferred queue). With retries enabled, exhausting them usually means
+    /// the target machine is crashed or partitioned away — the caller can
+    /// fail over via snapshot reactivation (see
+    /// [`resolve_or_activate_supervised`](crate::naming::resolve_or_activate_supervised)).
+    Timeout {
+        /// Machine the unanswered call targeted.
+        machine: usize,
+        /// Object the unanswered call targeted (0 = daemon).
+        object: u64,
+        /// Send attempts made (1 = no retries were configured).
+        attempts: u32,
+        /// Total time spent waiting, summed over all attempts.
+        millis: u64,
+    },
     /// The class is not persistent: no snapshot/restore support.
     NotPersistent { class: String },
     /// No stored snapshot under this key on this machine.
@@ -47,7 +61,7 @@ wire_enum!(RemoteError {
     3 => Decode { detail },
     4 => BadMachine { machine, machines },
     5 => Disconnected { machine },
-    6 => Timeout { millis },
+    6 => Timeout { machine, object, attempts, millis },
     7 => NotPersistent { class },
     8 => NoSuchSnapshot { key },
     9 => App { detail },
@@ -79,8 +93,21 @@ impl fmt::Display for RemoteError {
             RemoteError::Disconnected { machine } => {
                 write!(f, "machine {machine} is disconnected")
             }
-            RemoteError::Timeout { millis } => {
-                write!(f, "no reply after {millis} ms (possible distributed deadlock)")
+            RemoteError::Timeout { machine, object, attempts, millis } => {
+                if *attempts <= 1 {
+                    write!(
+                        f,
+                        "no reply from machine {machine} object {object} after \
+                         {millis} ms (possible distributed deadlock)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "no reply from machine {machine} object {object} after \
+                         {attempts} attempts over {millis} ms (machine crashed \
+                         or partitioned?)"
+                    )
+                }
             }
             RemoteError::NotPersistent { class } => {
                 write!(f, "class {class:?} does not support persistence")
@@ -118,7 +145,7 @@ mod tests {
             RemoteError::Decode { detail: "bad varint".into() },
             RemoteError::BadMachine { machine: 9, machines: 4 },
             RemoteError::Disconnected { machine: 1 },
-            RemoteError::Timeout { millis: 10_000 },
+            RemoteError::Timeout { machine: 2, object: 11, attempts: 3, millis: 10_000 },
             RemoteError::NotPersistent { class: "Barrier".into() },
             RemoteError::NoSuchSnapshot { key: "oopp://x".into() },
             RemoteError::app("page index 99 out of range"),
@@ -139,7 +166,11 @@ mod tests {
     fn display_mentions_key_facts() {
         let e = RemoteError::NoSuchObject { machine: 2, object: 5 };
         assert!(e.to_string().contains("machine 2"));
-        let e = RemoteError::Timeout { millis: 250 };
+        let e = RemoteError::Timeout { machine: 0, object: 4, attempts: 1, millis: 250 };
         assert!(e.to_string().contains("deadlock"));
+        assert!(e.to_string().contains("machine 0"));
+        let e = RemoteError::Timeout { machine: 3, object: 4, attempts: 5, millis: 900 };
+        assert!(e.to_string().contains("5 attempts"), "got {e}");
+        assert!(!e.to_string().contains("deadlock"));
     }
 }

@@ -65,6 +65,10 @@ pub enum DaemonCall {
     Activate { key: String },
     /// Remove a stored snapshot. Returns `true` if one existed.
     DropSnapshot { key: String },
+    /// Store a snapshot taken elsewhere under `key` on this machine —
+    /// replication, so a crashed machine's objects can be reactivated from
+    /// a surviving replica. Returns `()`.
+    PutSnapshot { key: String, class: String, state: Bytes },
     /// Introspection. Returns [`NodeStats`].
     Stats,
 }
@@ -80,13 +84,24 @@ pub struct NodeStats {
     pub calls_deferred: u64,
     /// Snapshots currently stored on this machine.
     pub snapshots_stored: u64,
+    /// Outbound requests this machine retransmitted (client role).
+    pub calls_retried: u64,
+    /// Duplicate requests answered from the dedup window's response cache
+    /// (the original executed; only its response had been lost).
+    pub dup_replayed: u64,
+    /// Duplicate requests dropped because the original was still being
+    /// served (or parked deferred) when the copy arrived.
+    pub dup_suppressed: u64,
 }
 
 wire_struct!(NodeStats {
     objects_live,
     calls_served,
     calls_deferred,
-    snapshots_stored
+    snapshots_stored,
+    calls_retried,
+    dup_replayed,
+    dup_suppressed
 });
 
 impl DaemonCall {
@@ -121,6 +136,12 @@ impl DaemonCall {
             DaemonCall::DropSnapshot { key } => {
                 w.put_len_prefixed(b"drop_snapshot");
                 wire::Wire::encode(key, &mut w);
+            }
+            DaemonCall::PutSnapshot { key, class, state } => {
+                w.put_len_prefixed(b"put_snapshot");
+                wire::Wire::encode(key, &mut w);
+                wire::Wire::encode(class, &mut w);
+                wire::Wire::encode(state, &mut w);
             }
             DaemonCall::Stats => w.put_len_prefixed(b"stats"),
         }
@@ -174,8 +195,27 @@ mod tests {
             calls_served: 100,
             calls_deferred: 2,
             snapshots_stored: 1,
+            calls_retried: 4,
+            dup_replayed: 5,
+            dup_suppressed: 6,
         };
         assert_eq!(from_bytes::<NodeStats>(&to_bytes(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn put_snapshot_encodes_all_fields() {
+        let payload = DaemonCall::PutSnapshot {
+            key: "oopp://backup/7".into(),
+            class: "DoubleBlock".into(),
+            state: Bytes(vec![1, 2, 3]),
+        }
+        .encode();
+        let mut r = Reader::new(&payload);
+        assert_eq!(String::decode(&mut r).unwrap(), "put_snapshot");
+        assert_eq!(String::decode(&mut r).unwrap(), "oopp://backup/7");
+        assert_eq!(String::decode(&mut r).unwrap(), "DoubleBlock");
+        assert_eq!(Bytes::decode(&mut r).unwrap(), Bytes(vec![1, 2, 3]));
+        r.expect_end().unwrap();
     }
 
     #[test]

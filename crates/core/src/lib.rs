@@ -48,6 +48,7 @@
 pub mod macros;
 
 pub mod array;
+pub(crate) mod dedup;
 pub mod error;
 pub mod frame;
 pub mod future;
@@ -55,6 +56,7 @@ pub mod group;
 pub mod ids;
 pub mod naming;
 pub mod node;
+pub mod policy;
 pub mod process;
 pub mod runtime;
 
@@ -64,8 +66,12 @@ pub use frame::NodeStats;
 pub use future::{join, join_clients, Pending, PendingClient};
 pub use group::{Barrier, BarrierClient, ProcessGroup};
 pub use ids::{ObjRef, ObjectId, DAEMON};
-pub use naming::{resolve_or_activate, symbolic_addr, Directory, DirectoryClient};
+pub use naming::{
+    resolve_or_activate, resolve_or_activate_supervised, symbolic_addr, Directory,
+    DirectoryClient,
+};
 pub use node::{CallInfo, NodeCtx, DEFAULT_TIMEOUT};
+pub use policy::{Backoff, CallPolicy};
 pub use process::{ClassRegistry, DispatchResult, RemoteClient, ServerClass, ServerObject};
 pub use runtime::{Cluster, ClusterBuilder, Driver};
 

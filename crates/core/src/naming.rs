@@ -112,6 +112,53 @@ pub fn resolve_or_activate<C: crate::RemoteClient>(
     Ok(client)
 }
 
+/// Crash-tolerant name resolution: [`resolve_or_activate`] for a fabric
+/// where machines can die.
+///
+/// A live binding is *verified* (the bound machine's daemon must answer a
+/// ping) before it is trusted; a binding to a dead machine is unbound as
+/// stale. Activation then walks `candidates` — machines that hold a
+/// replica of the snapshot stored under `addr` (see
+/// [`NodeCtx::replicate_snapshot`](crate::NodeCtx::replicate_snapshot)) —
+/// and reactivates the process on the first one that is alive, rebinding
+/// the name so later resolutions find the fresh process directly.
+///
+/// This is the recovery path for a call that exhausted its retries with
+/// [`RemoteError::Timeout`](crate::RemoteError::Timeout): the caller drops
+/// its stale remote pointer, resolves the symbolic address again through
+/// this function, and resumes against the reactivated process.
+///
+/// Pings against dead machines cost a full retry cycle each, so keep the
+/// [`CallPolicy`](crate::CallPolicy) windows short when supervision is in
+/// play.
+pub fn resolve_or_activate_supervised<C: crate::RemoteClient>(
+    ctx: &mut NodeCtx,
+    dir: &DirectoryClient,
+    addr: &str,
+    candidates: &[usize],
+) -> RemoteResult<C> {
+    if let Some(r) = dir.lookup(ctx, addr.to_string())? {
+        if ctx.ping(r.machine).is_ok() {
+            return Ok(C::from_ref(r));
+        }
+        dir.unbind(ctx, addr.to_string())?;
+    }
+    let mut last_err = None;
+    for &m in candidates {
+        if ctx.ping(m).is_err() {
+            continue;
+        }
+        match ctx.activate::<C>(m, addr) {
+            Ok(client) => {
+                dir.bind(ctx, addr.to_string(), client.obj_ref())?;
+                return Ok(client);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or(crate::RemoteError::NoSuchSnapshot { key: addr.to_string() }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

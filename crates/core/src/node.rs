@@ -24,10 +24,12 @@ use simnet::{MachineId, Network, Packet, SimDisk};
 use wire::collections::Bytes;
 use wire::{Reader, Wire, Writer};
 
+use crate::dedup::{DedupVerdict, DedupWindow};
 use crate::error::{RemoteError, RemoteResult};
 use crate::frame::{Frame, NodeStats};
 use crate::future::{Pending, PendingClient};
 use crate::ids::{ObjRef, ObjectId, DAEMON};
+use crate::policy::CallPolicy;
 use crate::process::{ClassRegistry, DispatchResult, RemoteClient, ServerClass, ServerObject};
 
 /// Identity of an in-flight request, handed to objects that defer their
@@ -52,10 +54,21 @@ enum ServeOutcome {
     Defer(IncomingReq),
 }
 
+/// An issued request kept around for retransmission: the encoded frame is
+/// resent verbatim (same `req_id`) when a reply window lapses, so the
+/// server's dedup window can recognize the copy.
+struct OutboundCall {
+    target: ObjRef,
+    bytes: Vec<u8>,
+}
+
 #[derive(Default)]
 struct Stats {
     calls_served: u64,
     calls_deferred: u64,
+    calls_retried: u64,
+    dup_replayed: u64,
+    dup_suppressed: u64,
 }
 
 /// Default reply window. Long enough for heavily costed benchmark runs,
@@ -75,11 +88,13 @@ pub struct NodeCtx {
     deferred: VecDeque<IncomingReq>,
     replies: HashMap<u64, Result<Vec<u8>, RemoteError>>,
     snapshots: HashMap<String, (String, Vec<u8>)>,
+    outstanding: HashMap<u64, OutboundCall>,
+    dedup: DedupWindow,
     current_call: Option<CallInfo>,
     next_req_id: u64,
     next_obj_id: u64,
     alive: bool,
-    timeout: Duration,
+    policy: CallPolicy,
     stats: Stats,
 }
 
@@ -101,7 +116,7 @@ impl NodeCtx {
         inbox: Receiver<Packet>,
         registry: Arc<ClassRegistry>,
         disks: Vec<Arc<SimDisk>>,
-        timeout: Duration,
+        policy: CallPolicy,
     ) -> Self {
         NodeCtx {
             machine,
@@ -114,11 +129,13 @@ impl NodeCtx {
             deferred: VecDeque::new(),
             replies: HashMap::new(),
             snapshots: HashMap::new(),
+            outstanding: HashMap::new(),
+            dedup: DedupWindow::default(),
             current_call: None,
             next_req_id: 1,
             next_obj_id: DAEMON + 1,
             alive: true,
-            timeout,
+            policy,
             stats: Stats::default(),
         }
     }
@@ -213,18 +230,44 @@ impl NodeCtx {
             target: target.object,
             payload: Bytes(payload),
         };
+        let bytes = wire::to_bytes(&frame);
         self.net
-            .send(self.machine, target.machine, wire::to_bytes(&frame))
+            .send(self.machine, target.machine, bytes.clone())
             .map_err(|_| RemoteError::Disconnected { machine: target.machine })?;
+        // Kept for retransmission until the reply is consumed (or retries
+        // are exhausted). On a lossy fabric the send above may silently
+        // vanish; the stored frame is what wait_raw resends.
+        self.outstanding.insert(req_id, OutboundCall { target, bytes });
         Ok(req_id)
+    }
+
+    /// The reliability policy applied by [`wait_raw`](NodeCtx::wait_raw).
+    pub fn call_policy(&self) -> CallPolicy {
+        self.policy
+    }
+
+    /// Replace the reliability policy. Takes effect for the next wait; a
+    /// driver can tighten or relax it mid-program.
+    pub fn set_call_policy(&mut self, policy: CallPolicy) {
+        self.policy = policy;
     }
 
     /// Block until the reply for `req_id` arrives, serving incoming
     /// requests in the meantime (the re-entrant progress engine).
+    ///
+    /// Each attempt gets the policy's reply window. When one lapses and
+    /// retries remain, the engine waits out the backoff delay — still
+    /// serving — and retransmits the identical frame (same `req_id`; the
+    /// server's dedup window guarantees at-most-once execution). When the
+    /// budget is exhausted the call fails with an enriched
+    /// [`RemoteError::Timeout`] naming the target and attempt count.
     pub fn wait_raw(&mut self, req_id: u64) -> RemoteResult<Vec<u8>> {
-        let deadline = Instant::now() + self.timeout;
+        let started = Instant::now();
+        let mut attempts: u32 = 1;
+        let mut deadline = started + self.policy.timeout;
         loop {
             if let Some(result) = self.replies.remove(&req_id) {
+                self.outstanding.remove(&req_id);
                 return result;
             }
             match self.inbox.recv_deadline(deadline) {
@@ -233,9 +276,42 @@ impl NodeCtx {
                     self.drain_deferred();
                 }
                 Err(_) => {
-                    return Err(RemoteError::Timeout {
-                        millis: self.timeout.as_millis() as u64,
-                    })
+                    if attempts > self.policy.max_retries {
+                        let target = self
+                            .outstanding
+                            .remove(&req_id)
+                            .map(|c| c.target)
+                            .unwrap_or(ObjRef { machine: self.machine, object: DAEMON });
+                        return Err(RemoteError::Timeout {
+                            machine: target.machine,
+                            object: target.object,
+                            attempts,
+                            millis: started.elapsed().as_millis() as u64,
+                        });
+                    }
+                    let pause = self.policy.backoff.delay(attempts);
+                    if !pause.is_zero() {
+                        let pause_deadline = Instant::now() + pause;
+                        while !self.replies.contains_key(&req_id) {
+                            match self.inbox.recv_deadline(pause_deadline) {
+                                Ok(pkt) => {
+                                    self.handle_packet(pkt);
+                                    self.drain_deferred();
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        if self.replies.contains_key(&req_id) {
+                            continue; // answered during the backoff
+                        }
+                    }
+                    if let Some(call) = self.outstanding.get(&req_id) {
+                        let (dst, bytes) = (call.target.machine, call.bytes.clone());
+                        let _ = self.net.send(self.machine, dst, bytes);
+                        self.stats.calls_retried += 1;
+                    }
+                    attempts += 1;
+                    deadline = Instant::now() + self.policy.timeout;
                 }
             }
         }
@@ -353,6 +429,41 @@ impl NodeCtx {
         })
     }
 
+    /// Store a snapshot taken elsewhere under `key` on `machine` — the
+    /// replication half of crash recovery. The snapshot can later be
+    /// [`activate`](NodeCtx::activate)d on that machine even though the
+    /// object never lived there.
+    pub fn put_snapshot(
+        &mut self,
+        machine: MachineId,
+        key: &str,
+        class: &str,
+        state: Vec<u8>,
+    ) -> RemoteResult<()> {
+        self.call_method(ObjRef::daemon(machine), "put_snapshot", |w| {
+            Wire::encode(&key.to_string(), w);
+            Wire::encode(&class.to_string(), w);
+            Wire::encode(&Bytes(state), w);
+        })
+    }
+
+    /// Snapshot a live object and store a copy under `key` on each of
+    /// `backups`. If the object's home machine later crashes, any backup
+    /// can reactivate it (see
+    /// [`resolve_or_activate_supervised`](crate::naming::resolve_or_activate_supervised)).
+    pub fn replicate_snapshot<C: RemoteClient>(
+        &mut self,
+        client: &C,
+        key: &str,
+        backups: &[MachineId],
+    ) -> RemoteResult<()> {
+        let state = self.snapshot_of(client.obj_ref())?;
+        for &m in backups {
+            self.put_snapshot(m, key, C::CLASS, state.clone())?;
+        }
+        Ok(())
+    }
+
     /// Ask a machine's serve loop to stop (used by cluster shutdown).
     pub fn shutdown_machine(&mut self, machine: MachineId) -> RemoteResult<()> {
         self.call_method(ObjRef::daemon(machine), "shutdown", |_| {})
@@ -392,6 +503,22 @@ impl NodeCtx {
         self.objects.len()
     }
 
+    /// This node's own counters, without a network round trip — what
+    /// [`stats_of`](NodeCtx::stats_of) would report about this machine.
+    /// The driver uses it to read its client-role counters
+    /// (`calls_retried`) after a chaotic run.
+    pub fn local_stats(&self) -> NodeStats {
+        NodeStats {
+            objects_live: self.objects.len() as u64,
+            calls_served: self.stats.calls_served,
+            calls_deferred: self.stats.calls_deferred,
+            snapshots_stored: self.snapshots.len() as u64,
+            calls_retried: self.stats.calls_retried,
+            dup_replayed: self.stats.dup_replayed,
+            dup_suppressed: self.stats.dup_suppressed,
+        }
+    }
+
     pub(crate) fn serve_loop(&mut self) {
         while self.alive {
             match self.inbox.recv() {
@@ -411,6 +538,23 @@ impl NodeCtx {
         };
         match frame {
             Frame::Request { req_id, reply_to, target, payload } => {
+                // At-most-once execution: a retransmitted request either
+                // replays its cached response or is dropped while the
+                // original is still in flight. Only genuinely new requests
+                // reach dispatch.
+                match self.dedup.admit((reply_to, req_id)) {
+                    DedupVerdict::Done(result) => {
+                        self.stats.dup_replayed += 1;
+                        let frame = Frame::Response { req_id, result: result.map(Bytes) };
+                        let _ = self.net.send(self.machine, reply_to, wire::to_bytes(&frame));
+                        return;
+                    }
+                    DedupVerdict::InFlight => {
+                        self.stats.dup_suppressed += 1;
+                        return;
+                    }
+                    DedupVerdict::New => {}
+                }
                 let req = IncomingReq { req_id, reply_to, target, payload: payload.0 };
                 match self.try_serve(req) {
                     ServeOutcome::Served => {}
@@ -603,15 +747,14 @@ impl NodeCtx {
                 let existed = self.snapshots.remove(&key).is_some();
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&existed)))
             }
-            "stats" => {
-                let stats = NodeStats {
-                    objects_live: self.objects.len() as u64,
-                    calls_served: self.stats.calls_served,
-                    calls_deferred: self.stats.calls_deferred,
-                    snapshots_stored: self.snapshots.len() as u64,
-                };
-                Ok(DaemonOutcome::Reply(wire::to_bytes(&stats)))
+            "put_snapshot" => {
+                let key = String::decode(args)?;
+                let class = String::decode(args)?;
+                let state = Bytes::decode(args)?;
+                self.snapshots.insert(key, (class, state.0));
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
             }
+            "stats" => Ok(DaemonOutcome::Reply(wire::to_bytes(&self.local_stats()))),
             other => Err(RemoteError::NoSuchMethod {
                 class: "<daemon>".to_string(),
                 method: other.to_string(),
@@ -620,6 +763,9 @@ impl NodeCtx {
     }
 
     fn send_response(&mut self, reply_to: MachineId, req_id: u64, result: RemoteResult<Vec<u8>>) {
+        // Cache the response so a retransmitted copy of this request is
+        // answered without re-executing (at-most-once).
+        self.dedup.complete((reply_to, req_id), &result);
         let frame = Frame::Response { req_id, result: result.map(Bytes) };
         // A dead caller is not an error for the server.
         let _ = self.net.send(self.machine, reply_to, wire::to_bytes(&frame));

@@ -1,0 +1,178 @@
+//! Call reliability policy: timeout, retries, backoff.
+//!
+//! The paper's sequential RMI semantics say nothing about lost messages —
+//! on a faulty fabric (see `simnet::FaultPlan`) a request or its response
+//! can vanish, and the caller's only recourse is to resend. A [`CallPolicy`]
+//! makes that recourse explicit: each attempt gets a reply window of
+//! `timeout`; when it lapses the caller waits out a [`Backoff`] delay
+//! (still serving incoming requests — the progress engine never stalls)
+//! and retransmits the *same* frame, same `req_id`. The server side holds
+//! up the other half of the contract: a dedup window keyed on
+//! `(reply_to, req_id)` ensures retransmitted requests are executed at
+//! most once (see [`crate::dedup`]).
+
+use std::time::Duration;
+
+/// Delay schedule between retransmissions.
+///
+/// Retry `n` (1-based) sleeps `initial * factor^(n-1)`, capped at `cap`.
+/// The schedule is a pure function of `n` — no jitter — so a run under a
+/// seeded fault plan is byte-identical on replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    /// Delay before the first retransmission.
+    pub initial: Duration,
+    /// Multiplier applied per subsequent retry (>= 1.0).
+    pub factor: f64,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+}
+
+impl Backoff {
+    /// The same delay before every retransmission.
+    pub const fn fixed(delay: Duration) -> Self {
+        Backoff { initial: delay, factor: 1.0, cap: delay }
+    }
+
+    /// Exponential schedule: `initial, initial*factor, ...` capped at `cap`.
+    pub const fn exponential(initial: Duration, factor: f64, cap: Duration) -> Self {
+        Backoff { initial, factor, cap }
+    }
+
+    /// Delay before retry `retry` (1-based). `delay(0)` is defined as zero:
+    /// the first attempt is never delayed.
+    pub fn delay(&self, retry: u32) -> Duration {
+        if retry == 0 {
+            return Duration::ZERO;
+        }
+        let scale = self.factor.powi(retry as i32 - 1);
+        let nanos = self.initial.as_secs_f64() * scale;
+        let d = Duration::from_secs_f64(nanos.min(self.cap.as_secs_f64()));
+        d.min(self.cap)
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::exponential(Duration::from_millis(10), 2.0, Duration::from_millis(200))
+    }
+}
+
+/// Reliability contract for outbound calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallPolicy {
+    /// Reply window per attempt.
+    pub timeout: Duration,
+    /// Retransmissions after the first attempt (0 = classic single-shot).
+    pub max_retries: u32,
+    /// Delay schedule between attempts.
+    pub backoff: Backoff,
+}
+
+impl CallPolicy {
+    /// Single-shot semantics: one attempt, fail with
+    /// [`Timeout`](crate::RemoteError::Timeout) when the window lapses.
+    /// This is the default, and exactly the pre-fault-injection behavior.
+    pub const fn no_retry(timeout: Duration) -> Self {
+        CallPolicy {
+            timeout,
+            max_retries: 0,
+            backoff: Backoff::fixed(Duration::ZERO),
+        }
+    }
+
+    /// A policy suited to lossy fabrics: per-attempt window `timeout`,
+    /// four retransmissions, default exponential backoff.
+    pub fn reliable(timeout: Duration) -> Self {
+        CallPolicy {
+            timeout,
+            max_retries: 4,
+            backoff: Backoff::default(),
+        }
+    }
+
+    /// Override the retry budget (builder style).
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Override the backoff schedule (builder style).
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Total attempts this policy allows (first send + retries).
+    pub fn max_attempts(&self) -> u32 {
+        1 + self.max_retries
+    }
+}
+
+impl Default for CallPolicy {
+    fn default() -> Self {
+        CallPolicy::no_retry(crate::node::DEFAULT_TIMEOUT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_backoff_sequence_is_deterministic() {
+        let b = Backoff::exponential(
+            Duration::from_millis(10),
+            2.0,
+            Duration::from_millis(200),
+        );
+        let seq: Vec<u64> = (1..=7).map(|n| b.delay(n).as_millis() as u64).collect();
+        assert_eq!(seq, vec![10, 20, 40, 80, 160, 200, 200]);
+        // Re-evaluating gives the identical sequence: no hidden state.
+        let again: Vec<u64> = (1..=7).map(|n| b.delay(n).as_millis() as u64).collect();
+        assert_eq!(seq, again);
+    }
+
+    #[test]
+    fn fixed_backoff_never_grows() {
+        let b = Backoff::fixed(Duration::from_millis(25));
+        for n in 1..10 {
+            assert_eq!(b.delay(n), Duration::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn attempt_zero_is_never_delayed() {
+        assert_eq!(Backoff::default().delay(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn cap_bounds_every_delay() {
+        let b = Backoff::exponential(
+            Duration::from_millis(1),
+            10.0,
+            Duration::from_millis(50),
+        );
+        assert_eq!(b.delay(1), Duration::from_millis(1));
+        assert_eq!(b.delay(2), Duration::from_millis(10));
+        assert_eq!(b.delay(3), Duration::from_millis(50)); // 100 capped
+        assert_eq!(b.delay(30), Duration::from_millis(50)); // overflow-safe
+    }
+
+    #[test]
+    fn no_retry_matches_classic_semantics() {
+        let p = CallPolicy::no_retry(Duration::from_secs(30));
+        assert_eq!(p.max_retries, 0);
+        assert_eq!(p.max_attempts(), 1);
+        assert_eq!(p.timeout, Duration::from_secs(30));
+    }
+
+    #[test]
+    fn reliable_policy_retries() {
+        let p = CallPolicy::reliable(Duration::from_millis(100))
+            .with_max_retries(7)
+            .with_backoff(Backoff::fixed(Duration::from_millis(5)));
+        assert_eq!(p.max_attempts(), 8);
+        assert_eq!(p.backoff.delay(3), Duration::from_millis(5));
+    }
+}

@@ -13,7 +13,8 @@ use crate::frame::Frame;
 use crate::group::Barrier;
 use crate::ids::ObjRef;
 use crate::naming::{Directory, DirectoryClient};
-use crate::node::{NodeCtx, DEFAULT_TIMEOUT};
+use crate::node::NodeCtx;
+use crate::policy::CallPolicy;
 use crate::process::{ClassRegistry, RemoteClient, ServerClass};
 
 /// Configures and launches an oopp cluster.
@@ -30,7 +31,7 @@ pub struct ClusterBuilder {
     workers: usize,
     sim_config: ClusterConfig,
     registry: ClassRegistry,
-    timeout: Duration,
+    policy: CallPolicy,
 }
 
 impl ClusterBuilder {
@@ -48,7 +49,7 @@ impl ClusterBuilder {
             workers,
             sim_config: ClusterConfig::zero_cost(workers + 1),
             registry,
-            timeout: DEFAULT_TIMEOUT,
+            policy: CallPolicy::default(),
         }
     }
 
@@ -70,16 +71,26 @@ impl ClusterBuilder {
     }
 
     /// Reply window before a call fails with
-    /// [`RemoteError::Timeout`](crate::RemoteError::Timeout).
+    /// [`RemoteError::Timeout`](crate::RemoteError::Timeout). Keeps the
+    /// current retry/backoff settings (none, by default).
     pub fn timeout(mut self, timeout: Duration) -> Self {
-        self.timeout = timeout;
+        self.policy.timeout = timeout;
+        self
+    }
+
+    /// Full reliability contract for every machine's calls: per-attempt
+    /// timeout, retransmission budget, and backoff schedule. Use
+    /// [`CallPolicy::reliable`] on faulty fabrics (see
+    /// [`simnet::FaultPlan`]).
+    pub fn call_policy(mut self, policy: CallPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
     /// Launch the machines and return the cluster handle plus the driver
     /// context (the paper's "program running on machine 0").
     pub fn build(self) -> (Cluster, Driver) {
-        let ClusterBuilder { workers, sim_config, registry, timeout } = self;
+        let ClusterBuilder { workers, sim_config, registry, policy } = self;
         let sim = SimCluster::new(sim_config);
         let registry = Arc::new(registry);
 
@@ -92,7 +103,7 @@ impl ClusterBuilder {
                 sim.take_inbox(m),
                 registry.clone(),
                 sim.disks(m).to_vec(),
-                timeout,
+                policy,
             );
             threads.push(
                 std::thread::Builder::new()
@@ -110,7 +121,7 @@ impl ClusterBuilder {
             sim.take_inbox(driver_id),
             registry.clone(),
             sim.disks(driver_id).to_vec(),
-            timeout,
+            policy,
         );
 
         // The cluster name service lives on machine 0 (§5 symbolic

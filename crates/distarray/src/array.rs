@@ -67,7 +67,7 @@ impl Array {
         storage: BlockStorage,
         map: PageMap,
     ) -> RemoteResult<Self> {
-        if p.iter().any(|&x| x == 0) || n.iter().any(|&x| x == 0) {
+        if p.contains(&0) || n.contains(&0) {
             return Err(RemoteError::app("array and page dimensions must be positive"));
         }
         let grid = [n[0].div_ceil(p[0]), n[1].div_ceil(p[1]), n[2].div_ceil(p[2])];

@@ -40,6 +40,7 @@ impl BlockStorage {
     /// Device `d` lands on machine `d % workers`, disk
     /// `(d / workers) % disks_per_machine`. Creating more devices than
     /// `(machine, disk)` pairs is allowed but devices then share disks.
+    #[allow(clippy::too_many_arguments)]
     pub fn create(
         ctx: &mut NodeCtx,
         name: &str,

@@ -94,7 +94,7 @@ fn edge_pages_truncate_correctly() {
     // 5x5x5 array with 2x2x2 pages: grid 3x3x3, edge pages are partial.
     let (cluster, mut driver) = cluster(2);
     let array =
-        build_array(&mut driver, [5, 5, 5], [2, 2, 2], 3, |g, d| PageMap::zcurve(g, d));
+        build_array(&mut driver, [5, 5, 5], [2, 2, 2], 3, PageMap::zcurve);
     let whole = array.whole();
     let data = patterned(125, 3);
     array.write(&mut driver, &whole, &data).unwrap();
@@ -195,9 +195,9 @@ fn devices_touched_matches_pagemap_prediction() {
 
     // blocked: ceil(8/4) = 2 consecutive pages per device → the slab's two
     // pages share one device; round-robin spreads them over two.
-    let rr = build_array(&mut driver, n, p, 4, |g, d| PageMap::round_robin(g, d));
+    let rr = build_array(&mut driver, n, p, 4, PageMap::round_robin);
     assert_eq!(rr.devices_touched(&slab), 2);
-    let bl = build_array(&mut driver, n, p, 4, |g, d| PageMap::blocked(g, d));
+    let bl = build_array(&mut driver, n, p, 4, PageMap::blocked);
     assert_eq!(bl.devices_touched(&slab), 1, "blocked packs the slab on one device");
     cluster.shutdown(driver);
 }
@@ -212,7 +212,7 @@ fn active_disk_count_reflects_layout() {
 
     let disks_for = |map_of: fn([u64; 3], u64) -> PageMap| {
         let (cluster, mut driver) = cluster(4);
-        let array = build_array(&mut driver, n, p, 4, |g, d| map_of(g, d));
+        let array = build_array(&mut driver, n, p, 4, map_of);
         array.fill(&mut driver, &slab, 1.0).unwrap();
         let touched = cluster.sim().active_disks();
         cluster.shutdown(driver);

@@ -60,7 +60,7 @@ pub fn pack(data: &[Complex]) -> F64s {
 
 /// Unpack interleaved `re, im` doubles.
 pub fn unpack(data: &F64s) -> RemoteResult<Vec<Complex>> {
-    if data.0.len() % 2 != 0 {
+    if !data.0.len().is_multiple_of(2) {
         return Err(RemoteError::app("interleaved complex payload has odd length"));
     }
     Ok(data.0.chunks_exact(2).map(|c| Complex { re: c[0], im: c[1] }).collect())
@@ -277,7 +277,7 @@ impl FftWorker {
         if parts == 0 || id >= parts {
             return Err(RemoteError::app(format!("worker id {id} out of range for {parts} parts")));
         }
-        if n1 % parts != 0 || n2 % parts != 0 {
+        if !n1.is_multiple_of(parts) || !n2.is_multiple_of(parts) {
             return Err(RemoteError::app(format!(
                 "shape {n1}x{n2}x{n3} not divisible into {parts} slabs on axes 0 and 1"
             )));

@@ -108,12 +108,12 @@ impl Fft3 {
         let mut line = vec![Complex::ZERO; n2];
         for i in 0..n1 {
             for k in 0..n3 {
-                for j in 0..n2 {
-                    line[j] = grid.at(i, j, k);
+                for (j, slot) in line.iter_mut().enumerate() {
+                    *slot = grid.at(i, j, k);
                 }
                 self.plans[1].process(&mut line, dir);
-                for j in 0..n2 {
-                    *grid.at_mut(i, j, k) = line[j];
+                for (j, &v) in line.iter().enumerate() {
+                    *grid.at_mut(i, j, k) = v;
                 }
             }
         }
@@ -121,12 +121,12 @@ impl Fft3 {
         let mut line = vec![Complex::ZERO; n1];
         for j in 0..n2 {
             for k in 0..n3 {
-                for i in 0..n1 {
-                    line[i] = grid.at(i, j, k);
+                for (i, slot) in line.iter_mut().enumerate() {
+                    *slot = grid.at(i, j, k);
                 }
                 self.plans[0].process(&mut line, dir);
-                for i in 0..n1 {
-                    *grid.at_mut(i, j, k) = line[i];
+                for (i, &v) in line.iter().enumerate() {
+                    *grid.at_mut(i, j, k) = v;
                 }
             }
         }

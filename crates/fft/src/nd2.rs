@@ -85,12 +85,12 @@ impl Fft2 {
         // Columns (strided).
         let mut line = vec![Complex::ZERO; n1];
         for j in 0..n2 {
-            for i in 0..n1 {
-                line[i] = grid.at(i, j);
+            for (i, slot) in line.iter_mut().enumerate() {
+                *slot = grid.at(i, j);
             }
             self.plans[0].process(&mut line, dir);
-            for i in 0..n1 {
-                *grid.at_mut(i, j) = line[i];
+            for (i, &v) in line.iter().enumerate() {
+                *grid.at_mut(i, j) = v;
             }
         }
     }

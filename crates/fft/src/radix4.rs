@@ -19,7 +19,7 @@ pub struct Radix4 {
 
 /// True if `n` is a power of four.
 pub fn is_power_of_four(n: usize) -> bool {
-    n.is_power_of_two() && n.trailing_zeros() % 2 == 0
+    n.is_power_of_two() && n.trailing_zeros().is_multiple_of(2)
 }
 
 impl Radix4 {

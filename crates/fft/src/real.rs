@@ -25,7 +25,7 @@ pub struct RealFft {
 impl RealFft {
     /// Plan for real sequences of length `n` (must be even and ≥ 2).
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n % 2 == 0, "RealFft requires an even length >= 2, got {n}");
+        assert!(n >= 2 && n.is_multiple_of(2), "RealFft requires an even length >= 2, got {n}");
         let twiddles = (0..n / 2)
             .map(|k| Complex::cis(-std::f64::consts::TAU * k as f64 / n as f64))
             .collect();

@@ -134,9 +134,9 @@ impl Comm {
         let result = if rank == root {
             let mut all = vec![Vec::new(); size];
             all[rank] = data;
-            for r in 0..size {
+            for (r, slot) in all.iter_mut().enumerate() {
                 if r != root {
-                    all[r] = self.recv(r, tag)?;
+                    *slot = self.recv(r, tag)?;
                 }
             }
             Some(all)

@@ -7,6 +7,7 @@ use parking_lot::Mutex;
 
 use crate::config::ClusterConfig;
 use crate::disk::SimDisk;
+use crate::faults::{FaultInjector, FaultState};
 use crate::message::{MachineId, Packet};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::network::Network;
@@ -41,7 +42,9 @@ impl SimCluster {
         assert!(config.machines > 0, "a cluster needs at least one machine");
         let metrics = Arc::new(Metrics::new(config.machines));
         let topo = topology::build(&config.topology);
-        let (network, inbox_rxs) = Network::build(config.machines, topo, metrics.clone());
+        let faults = Arc::new(FaultState::new(config.faults.clone(), config.machines));
+        let (network, inbox_rxs) =
+            Network::build(config.machines, topo, metrics.clone(), faults);
         let inboxes = inbox_rxs
             .into_iter()
             .map(|rx| Mutex::new(Some(rx)))
@@ -100,6 +103,11 @@ impl SimCluster {
     /// One disk handle (machine `m`, disk `d`).
     pub fn disk(&self, m: MachineId, d: usize) -> Arc<SimDisk> {
         self.disks[m][d].clone()
+    }
+
+    /// Runtime handle for scripting partitions and machine crashes.
+    pub fn faults(&self) -> FaultInjector {
+        self.network.fault_injector()
     }
 
     /// Cluster-wide counters.

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::faults::FaultPlan;
+
 /// Cost of sending one message over one link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetCost {
@@ -138,6 +140,8 @@ pub struct ClusterConfig {
     pub disks_per_machine: usize,
     /// Capacity of each disk in bytes.
     pub disk_capacity: usize,
+    /// Seeded fault-injection plan ([`FaultPlan::none`] by default).
+    pub faults: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -150,6 +154,7 @@ impl ClusterConfig {
             disk: DiskConfig::zero(),
             disks_per_machine: 1,
             disk_capacity: 64 << 20,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -161,7 +166,14 @@ impl ClusterConfig {
             disk: DiskConfig::zero(),
             disks_per_machine: 1,
             disk_capacity: 64 << 20,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Override the fault-injection plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Override the disk model (builder style).

@@ -1,0 +1,425 @@
+//! Seeded, deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] gives every link an independent, **seeded** probability
+//! of dropping, duplicating, or delaying each packet. Decisions are pure
+//! functions of `(seed, src, dst, per-link sequence number)` — a SplitMix64
+//! hash, not a shared RNG — so a chaos test replays the identical fault
+//! pattern run after run regardless of thread interleaving, as long as each
+//! link carries the same packet sequence.
+//!
+//! On top of the probabilistic plan, a [`FaultInjector`] handle scripts
+//! coarse failures at runtime: cutting and healing **partitions** between
+//! machine pairs, and **crashing**/**restarting** whole machines. A crashed
+//! machine goes dark at the network: every packet to or from it is dropped
+//! (and counted) until `restart`. The machine's thread is not killed — a
+//! restart models a transient outage; durable recovery of the *objects* on
+//! a machine that stays dark goes through the oopp snapshot store instead.
+//!
+//! Faults are applied in [`Network::send`](crate::network::Network::send)
+//! and the NIC delivery threads; dropped packets vanish silently (lossy
+//! links do not report loss to senders) but are always counted in
+//! [`Metrics`](crate::metrics::Metrics).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::message::MachineId;
+
+/// Probabilistic per-link fault model, driven by a fixed seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all per-packet decisions.
+    pub seed: u64,
+    /// Probability a packet is silently dropped.
+    pub drop_p: f64,
+    /// Probability a packet is delivered twice.
+    pub dup_p: f64,
+    /// Probability a packet pays extra delay.
+    pub delay_p: f64,
+    /// Upper bound of the extra delay, drawn uniformly from `[0, max_delay]`.
+    pub max_delay: Duration,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the default).
+    pub const fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// An empty plan with the given seed; combine with the `with_*`
+    /// builders.
+    pub const fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, ..FaultPlan::none() }
+    }
+
+    /// Drop each packet with probability `p`.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        self.drop_p = p;
+        self
+    }
+
+    /// Duplicate each packet with probability `p`.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "dup probability out of range");
+        self.dup_p = p;
+        self
+    }
+
+    /// Delay each packet with probability `p` by up to `max_delay`.
+    pub fn with_delay(mut self, p: f64, max_delay: Duration) -> Self {
+        assert!((0.0..=1.0).contains(&p), "delay probability out of range");
+        self.delay_p = p;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// True if this plan never injects anything.
+    pub fn is_noop(&self) -> bool {
+        self.drop_p == 0.0 && self.dup_p == 0.0 && self.delay_p == 0.0
+    }
+
+    /// True if this plan can inject extra delay (which requires the timed
+    /// NIC delivery path even on an otherwise free topology).
+    pub fn has_delay(&self) -> bool {
+        self.delay_p > 0.0 && !self.max_delay.is_zero()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// SplitMix64 finalizer: one well-mixed word from one input word.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in [0, 1) from the top 53 bits of a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// What the fault layer decided for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// Deliver `copies` copies (1 normally, 2 when duplicated), each after
+    /// `extra_delay` of injected latency.
+    Deliver { copies: u8, extra_delay: Duration },
+    /// Source or destination machine is crashed.
+    DropCrashed,
+    /// The (src, dst) pair is partitioned.
+    DropPartitioned,
+    /// The seeded plan dropped the packet.
+    DropRandom,
+}
+
+/// Shared fault state: the plan plus the scripted runtime faults.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    machines: usize,
+    /// Per-link packet sequence numbers; the hash input that makes
+    /// decisions deterministic per link regardless of scheduling.
+    link_seq: Vec<AtomicU64>,
+    /// Cut links, row-major `[src * machines + dst]`, both directions set.
+    partitioned: Vec<AtomicBool>,
+    /// Machines currently dark.
+    crashed: Vec<AtomicBool>,
+    /// Runtime mute for the seeded plan (scripted crashes/partitions still
+    /// apply). Lets a chaos test quiesce the fabric before shutdown.
+    plan_suppressed: AtomicBool,
+    /// Fast-path gate: false until the plan is non-noop or any runtime
+    /// fault is injected, so fault-free clusters pay one load per send.
+    active: AtomicBool,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, machines: usize) -> Self {
+        let links = machines * machines;
+        FaultState {
+            active: AtomicBool::new(!plan.is_noop()),
+            plan,
+            machines,
+            link_seq: (0..links).map(|_| AtomicU64::new(0)).collect(),
+            partitioned: (0..links).map(|_| AtomicBool::new(false)).collect(),
+            crashed: (0..machines).map(|_| AtomicBool::new(false)).collect(),
+            plan_suppressed: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn link(&self, src: MachineId, dst: MachineId) -> usize {
+        src * self.machines + dst
+    }
+
+    fn is_crashed(&self, m: MachineId) -> bool {
+        self.crashed.get(m).is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    fn is_partitioned(&self, src: MachineId, dst: MachineId) -> bool {
+        self.partitioned
+            .get(self.link(src, dst))
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Decide the fate of the next packet on `src -> dst`.
+    pub(crate) fn verdict(&self, src: MachineId, dst: MachineId) -> Verdict {
+        const NONE: Verdict = Verdict::Deliver { copies: 1, extra_delay: Duration::ZERO };
+        if !self.active.load(Ordering::Relaxed) {
+            return NONE;
+        }
+        if self.is_crashed(src) || self.is_crashed(dst) {
+            return Verdict::DropCrashed;
+        }
+        if src == dst {
+            // Loopback never traverses a link; only a crash silences it.
+            return NONE;
+        }
+        if self.is_partitioned(src, dst) {
+            return Verdict::DropPartitioned;
+        }
+        if self.plan.is_noop() || self.plan_suppressed.load(Ordering::Relaxed) {
+            return NONE;
+        }
+        let seq = self.link_seq[self.link(src, dst)].fetch_add(1, Ordering::Relaxed);
+        let h = mix(self.plan.seed ^ mix((src as u64) << 32 | dst as u64) ^ mix(seq));
+        if self.plan.drop_p > 0.0 && unit(mix(h ^ 1)) < self.plan.drop_p {
+            return Verdict::DropRandom;
+        }
+        let copies = if self.plan.dup_p > 0.0 && unit(mix(h ^ 2)) < self.plan.dup_p {
+            2
+        } else {
+            1
+        };
+        let extra_delay = if self.plan.has_delay() && unit(mix(h ^ 3)) < self.plan.delay_p {
+            self.plan.max_delay.mul_f64(unit(mix(h ^ 4)))
+        } else {
+            Duration::ZERO
+        };
+        Verdict::Deliver { copies, extra_delay }
+    }
+
+    fn activate(&self) {
+        self.active.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Runtime handle for scripting partitions and crashes. Cloneable; all
+/// clones steer the same cluster.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    state: Arc<FaultState>,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(state: Arc<FaultState>) -> Self {
+        FaultInjector { state }
+    }
+
+    /// Cut the links between `a` and `b` in both directions.
+    pub fn partition(&self, a: MachineId, b: MachineId) {
+        self.state.activate();
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(c) = self.state.partitioned.get(self.state.link(x, y)) {
+                c.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Restore the links between `a` and `b`.
+    pub fn heal(&self, a: MachineId, b: MachineId) {
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(c) = self.state.partitioned.get(self.state.link(x, y)) {
+                c.store(false, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Take machine `m` off the network: every packet to or from it is
+    /// dropped until [`restart`](FaultInjector::restart).
+    pub fn crash(&self, m: MachineId) {
+        self.state.activate();
+        if let Some(c) = self.state.crashed.get(m) {
+            c.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Bring machine `m` back onto the network (transient-outage model:
+    /// in-memory state survives; packets dropped while dark are gone).
+    pub fn restart(&self, m: MachineId) {
+        if let Some(c) = self.state.crashed.get(m) {
+            c.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// True if machine `m` is currently dark.
+    pub fn is_crashed(&self, m: MachineId) -> bool {
+        self.state.is_crashed(m)
+    }
+
+    /// True if the pair `(a, b)` is currently partitioned.
+    pub fn is_partitioned(&self, a: MachineId, b: MachineId) -> bool {
+        self.state.is_partitioned(a, b)
+    }
+
+    /// Mute the seeded probabilistic plan (drops, dups, delays). Scripted
+    /// crashes and partitions still apply. A chaos test calls this before
+    /// shutdown so control frames cannot be lost; note that calm segments
+    /// do not consume link sequence numbers, so the replay property holds
+    /// as long as calm/resume points are program-deterministic.
+    pub fn calm(&self) {
+        self.state.plan_suppressed.store(true, Ordering::Relaxed);
+    }
+
+    /// Undo [`calm`](FaultInjector::calm): the seeded plan applies again.
+    pub fn resume(&self) {
+        self.state.plan_suppressed.store(false, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drop_pattern(state: &FaultState, n: usize) -> Vec<bool> {
+        (0..n)
+            .map(|_| state.verdict(0, 1) == Verdict::DropRandom)
+            .collect()
+    }
+
+    #[test]
+    fn noop_plan_always_delivers() {
+        let s = FaultState::new(FaultPlan::none(), 2);
+        for _ in 0..100 {
+            assert_eq!(
+                s.verdict(0, 1),
+                Verdict::Deliver { copies: 1, extra_delay: Duration::ZERO }
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_pattern() {
+        let a = FaultState::new(FaultPlan::seeded(7).with_drop(0.3), 2);
+        let b = FaultState::new(FaultPlan::seeded(7).with_drop(0.3), 2);
+        assert_eq!(drop_pattern(&a, 500), drop_pattern(&b, 500));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultState::new(FaultPlan::seeded(7).with_drop(0.3), 2);
+        let b = FaultState::new(FaultPlan::seeded(8).with_drop(0.3), 2);
+        assert_ne!(drop_pattern(&a, 500), drop_pattern(&b, 500));
+    }
+
+    #[test]
+    fn links_are_independent() {
+        // Interleaving traffic on another link must not perturb this one.
+        let a = FaultState::new(FaultPlan::seeded(7).with_drop(0.3), 3);
+        let b = FaultState::new(FaultPlan::seeded(7).with_drop(0.3), 3);
+        let pat_a = drop_pattern(&a, 200);
+        let pat_b: Vec<bool> = (0..200)
+            .map(|_| {
+                let _ = b.verdict(2, 1); // extra traffic on another link
+                b.verdict(0, 1) == Verdict::DropRandom
+            })
+            .collect();
+        assert_eq!(pat_a, pat_b);
+    }
+
+    #[test]
+    fn drop_rate_close_to_p() {
+        let s = FaultState::new(FaultPlan::seeded(1).with_drop(0.2), 2);
+        let drops = drop_pattern(&s, 10_000).iter().filter(|&&d| d).count();
+        assert!((1_500..2_500).contains(&drops), "drop count {drops} far from 20%");
+    }
+
+    #[test]
+    fn duplicates_appear() {
+        let s = FaultState::new(FaultPlan::seeded(1).with_dup(0.5), 2);
+        let dups = (0..100)
+            .filter(|_| matches!(s.verdict(0, 1), Verdict::Deliver { copies: 2, .. }))
+            .count();
+        assert!(dups > 10, "expected duplicates, got {dups}");
+    }
+
+    #[test]
+    fn crash_and_restart_gate_traffic() {
+        let s = Arc::new(FaultState::new(FaultPlan::none(), 3));
+        let inj = FaultInjector::new(s.clone());
+        inj.crash(1);
+        assert_eq!(s.verdict(0, 1), Verdict::DropCrashed);
+        assert_eq!(s.verdict(1, 2), Verdict::DropCrashed);
+        assert_eq!(s.verdict(1, 1), Verdict::DropCrashed);
+        assert!(matches!(s.verdict(0, 2), Verdict::Deliver { .. }));
+        inj.restart(1);
+        assert!(matches!(s.verdict(0, 1), Verdict::Deliver { .. }));
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_until_healed() {
+        let s = Arc::new(FaultState::new(FaultPlan::none(), 3));
+        let inj = FaultInjector::new(s.clone());
+        inj.partition(0, 2);
+        assert_eq!(s.verdict(0, 2), Verdict::DropPartitioned);
+        assert_eq!(s.verdict(2, 0), Verdict::DropPartitioned);
+        assert!(matches!(s.verdict(0, 1), Verdict::Deliver { .. }));
+        inj.heal(0, 2);
+        assert!(matches!(s.verdict(0, 2), Verdict::Deliver { .. }));
+        assert!(!inj.is_partitioned(0, 2));
+    }
+
+    #[test]
+    fn loopback_is_exempt_from_the_plan() {
+        let s = FaultState::new(FaultPlan::seeded(3).with_drop(1.0), 2);
+        for _ in 0..50 {
+            assert!(matches!(s.verdict(1, 1), Verdict::Deliver { .. }));
+        }
+    }
+
+    #[test]
+    fn calm_mutes_the_plan_but_not_scripted_faults() {
+        let s = Arc::new(FaultState::new(FaultPlan::seeded(3).with_drop(1.0), 3));
+        let inj = FaultInjector::new(s.clone());
+        assert_eq!(s.verdict(0, 1), Verdict::DropRandom);
+        inj.calm();
+        assert!(matches!(s.verdict(0, 1), Verdict::Deliver { .. }));
+        inj.crash(2);
+        assert_eq!(s.verdict(0, 2), Verdict::DropCrashed);
+        inj.resume();
+        assert_eq!(s.verdict(0, 1), Verdict::DropRandom);
+    }
+
+    #[test]
+    fn delay_draws_are_bounded() {
+        let max = Duration::from_millis(5);
+        let s = FaultState::new(FaultPlan::seeded(9).with_delay(1.0, max), 2);
+        let mut saw_nonzero = false;
+        for _ in 0..100 {
+            match s.verdict(0, 1) {
+                Verdict::Deliver { extra_delay, .. } => {
+                    assert!(extra_delay <= max);
+                    saw_nonzero |= !extra_delay.is_zero();
+                }
+                v => panic!("unexpected verdict {v:?}"),
+            }
+        }
+        assert!(saw_nonzero, "delay plan never delayed");
+    }
+}

@@ -31,6 +31,7 @@
 pub mod cluster;
 pub mod config;
 pub mod disk;
+pub mod faults;
 pub mod message;
 pub mod metrics;
 pub mod network;
@@ -40,6 +41,7 @@ pub mod topology;
 pub use cluster::SimCluster;
 pub use config::{ClusterConfig, DiskBackend, DiskConfig, NetCost, TopologySpec};
 pub use disk::SimDisk;
+pub use faults::{FaultInjector, FaultPlan};
 pub use message::{MachineId, Packet};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use network::Network;

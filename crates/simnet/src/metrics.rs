@@ -20,6 +20,11 @@ pub struct Metrics {
     disk_bytes_read: AtomicU64,
     disk_bytes_written: AtomicU64,
     disk_busy_nanos: AtomicU64,
+    deliveries_dropped: AtomicU64,
+    faults_dropped: AtomicU64,
+    faults_duplicated: AtomicU64,
+    partition_dropped: AtomicU64,
+    crash_dropped: AtomicU64,
 }
 
 /// Point-in-time copy of [`Metrics`], cheap to diff.
@@ -44,6 +49,17 @@ pub struct MetricsSnapshot {
     /// Modeled disk busy time, summed over all disks, in nanoseconds.
     /// `disk_busy_nanos / wall_clock` estimates achieved I/O parallelism.
     pub disk_busy_nanos: u64,
+    /// Packets that reached a NIC whose machine inbox was already gone
+    /// (machine shut down mid-delivery).
+    pub deliveries_dropped: u64,
+    /// Packets dropped by the seeded [`FaultPlan`](crate::FaultPlan).
+    pub faults_dropped: u64,
+    /// Packets duplicated by the seeded fault plan.
+    pub faults_duplicated: u64,
+    /// Packets dropped because their (src, dst) pair was partitioned.
+    pub partition_dropped: u64,
+    /// Packets dropped because their source or destination was crashed.
+    pub crash_dropped: u64,
 }
 
 impl Metrics {
@@ -59,6 +75,11 @@ impl Metrics {
             disk_bytes_read: AtomicU64::new(0),
             disk_bytes_written: AtomicU64::new(0),
             disk_busy_nanos: AtomicU64::new(0),
+            deliveries_dropped: AtomicU64::new(0),
+            faults_dropped: AtomicU64::new(0),
+            faults_duplicated: AtomicU64::new(0),
+            partition_dropped: AtomicU64::new(0),
+            crash_dropped: AtomicU64::new(0),
         }
     }
 
@@ -83,6 +104,31 @@ impl Metrics {
         self.disk_reads.fetch_add(1, Ordering::Relaxed);
         self.disk_bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
         self.disk_busy_nanos.fetch_add(busy_nanos, Ordering::Relaxed);
+    }
+
+    /// Record a packet whose destination inbox was gone at delivery time.
+    pub fn record_delivery_dropped(&self) {
+        self.deliveries_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a packet dropped by the seeded fault plan.
+    pub fn record_fault_drop(&self) {
+        self.faults_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a packet duplicated by the seeded fault plan.
+    pub fn record_fault_dup(&self) {
+        self.faults_duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a packet dropped by a scripted partition.
+    pub fn record_partition_drop(&self) {
+        self.partition_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a packet dropped because a machine was crashed.
+    pub fn record_crash_drop(&self) {
+        self.crash_dropped.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a disk write of `bytes` that kept the device busy `busy_nanos`.
@@ -112,6 +158,11 @@ impl Metrics {
             disk_bytes_read: self.disk_bytes_read.load(Ordering::Relaxed),
             disk_bytes_written: self.disk_bytes_written.load(Ordering::Relaxed),
             disk_busy_nanos: self.disk_busy_nanos.load(Ordering::Relaxed),
+            deliveries_dropped: self.deliveries_dropped.load(Ordering::Relaxed),
+            faults_dropped: self.faults_dropped.load(Ordering::Relaxed),
+            faults_duplicated: self.faults_duplicated.load(Ordering::Relaxed),
+            partition_dropped: self.partition_dropped.load(Ordering::Relaxed),
+            crash_dropped: self.crash_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -141,7 +192,23 @@ impl MetricsSnapshot {
                 .disk_bytes_written
                 .saturating_sub(earlier.disk_bytes_written),
             disk_busy_nanos: self.disk_busy_nanos.saturating_sub(earlier.disk_busy_nanos),
+            deliveries_dropped: self
+                .deliveries_dropped
+                .saturating_sub(earlier.deliveries_dropped),
+            faults_dropped: self.faults_dropped.saturating_sub(earlier.faults_dropped),
+            faults_duplicated: self
+                .faults_duplicated
+                .saturating_sub(earlier.faults_duplicated),
+            partition_dropped: self
+                .partition_dropped
+                .saturating_sub(earlier.partition_dropped),
+            crash_dropped: self.crash_dropped.saturating_sub(earlier.crash_dropped),
         }
+    }
+
+    /// Total packets the fault layer removed from the fabric.
+    pub fn total_fault_drops(&self) -> u64 {
+        self.faults_dropped + self.partition_dropped + self.crash_dropped
     }
 
     /// Number of machines that sent at least one message.

@@ -17,11 +17,12 @@
 //! channel-fast, for tests).
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::config::NetCost;
+use crate::faults::{FaultInjector, FaultState, Verdict};
 use crate::message::{MachineId, Packet};
 use crate::metrics::Metrics;
 use crate::time::{sleep_until, transfer_time};
@@ -66,6 +67,7 @@ pub struct Network {
     routes: Arc<Vec<Route>>,
     topology: Arc<dyn Topology>,
     metrics: Arc<Metrics>,
+    faults: Arc<FaultState>,
 }
 
 impl Clone for Network {
@@ -74,6 +76,7 @@ impl Clone for Network {
             routes: self.routes.clone(),
             topology: self.topology.clone(),
             metrics: self.metrics.clone(),
+            faults: self.faults.clone(),
         }
     }
 }
@@ -93,9 +96,11 @@ impl Network {
         machines: usize,
         topology: Box<dyn Topology>,
         metrics: Arc<Metrics>,
+        faults: Arc<FaultState>,
     ) -> (Network, Vec<Receiver<Packet>>) {
         let topology: Arc<dyn Topology> = Arc::from(topology);
-        let zero = topology.is_zero();
+        // Injected delay needs the timed NIC path even on a free topology.
+        let zero = topology.is_zero() && !faults.plan().has_delay();
         let mut routes = Vec::with_capacity(machines);
         let mut inboxes = Vec::with_capacity(machines);
         for dst in 0..machines {
@@ -113,7 +118,7 @@ impl Network {
                 routes.push(Route::Nic(nic_tx));
             }
         }
-        (Network { routes: Arc::new(routes), topology, metrics }, inboxes)
+        (Network { routes: Arc::new(routes), topology, metrics, faults }, inboxes)
     }
 
     /// Number of machine endpoints.
@@ -126,19 +131,55 @@ impl Network {
         &self.metrics
     }
 
+    /// Runtime handle for scripting partitions and machine crashes.
+    pub fn fault_injector(&self) -> FaultInjector {
+        FaultInjector::new(self.faults.clone())
+    }
+
     /// Send `payload` from `src` to `dst`. Returns immediately; the packet
     /// arrives in `dst`'s inbox after the modeled link delay.
+    ///
+    /// Packets removed by the fault layer (seeded drops, partitions,
+    /// crashed machines) are counted in [`Metrics`] but do **not** error:
+    /// a lossy link gives the sender no failure signal. `Err` is reserved
+    /// for structural problems — an unknown machine id, or a destination
+    /// whose inbox is gone.
     pub fn send(&self, src: MachineId, dst: MachineId, payload: Vec<u8>) -> Result<(), NetError> {
         let route = self.routes.get(dst).ok_or(NetError::NoSuchMachine(dst))?;
         self.metrics.record_send(src, payload.len());
+        let (copies, extra_delay) = match self.faults.verdict(src, dst) {
+            Verdict::Deliver { copies, extra_delay } => (copies, extra_delay),
+            Verdict::DropRandom => {
+                self.metrics.record_fault_drop();
+                return Ok(());
+            }
+            Verdict::DropPartitioned => {
+                self.metrics.record_partition_drop();
+                return Ok(());
+            }
+            Verdict::DropCrashed => {
+                self.metrics.record_crash_drop();
+                return Ok(());
+            }
+        };
         let packet = Packet::new(src, dst, payload);
+        if copies == 2 {
+            self.metrics.record_fault_dup();
+            self.deliver(route, packet.clone(), extra_delay)?;
+        }
+        self.deliver(route, packet, extra_delay)
+    }
+
+    fn deliver(&self, route: &Route, packet: Packet, extra_delay: Duration) -> Result<(), NetError> {
+        let (src, dst) = (packet.src, packet.dst);
         match route {
             Route::Direct(tx) => {
                 self.metrics.record_delivery(dst);
                 tx.send(packet).map_err(|_| NetError::Disconnected(dst))
             }
             Route::Nic(tx) => {
-                let cost = self.topology.cost(src, dst);
+                let mut cost = self.topology.cost(src, dst);
+                cost.latency += extra_delay;
                 tx.send(TimedPacket { packet, sent_at: Instant::now(), cost })
                     .map_err(|_| NetError::Disconnected(dst))
             }
@@ -161,10 +202,12 @@ fn nic_loop(
         let done = start + transfer_time(packet.len(), cost.bytes_per_sec);
         link_free_at = done;
         sleep_until(done);
-        metrics.record_delivery(dst);
         if inbox.send(packet).is_err() {
-            // Machine shut down; keep draining so senders never block,
-            // but there is nobody to deliver to.
+            // Machine shut down mid-delivery; keep draining so senders
+            // never block, and count the loss instead of swallowing it.
+            metrics.record_delivery_dropped();
+        } else {
+            metrics.record_delivery(dst);
         }
     }
 }
@@ -176,8 +219,23 @@ mod tests {
     use crate::topology::build;
     use std::time::Duration;
 
+    use crate::faults::FaultPlan;
+
     fn net(machines: usize, spec: TopologySpec) -> (Network, Vec<Receiver<Packet>>) {
-        Network::build(machines, build(&spec), Arc::new(Metrics::new(machines)))
+        net_faulty(machines, spec, FaultPlan::none())
+    }
+
+    fn net_faulty(
+        machines: usize,
+        spec: TopologySpec,
+        plan: FaultPlan,
+    ) -> (Network, Vec<Receiver<Packet>>) {
+        Network::build(
+            machines,
+            build(&spec),
+            Arc::new(Metrics::new(machines)),
+            Arc::new(FaultState::new(plan, machines)),
+        )
     }
 
     #[test]
@@ -300,5 +358,114 @@ mod tests {
         let (net, _rx) = net(5, TopologySpec::Uniform(NetCost::zero()));
         assert_eq!(net.machines(), 5);
         assert_eq!(net.clone().machines(), 5);
+    }
+
+    #[test]
+    fn nic_counts_deliveries_to_a_dead_inbox() {
+        // Costed path so delivery goes through the NIC thread; drop the
+        // destination inbox before the packet lands.
+        let (net, mut inboxes) = net(
+            2,
+            TopologySpec::Uniform(NetCost {
+                latency: Duration::from_millis(1),
+                bytes_per_sec: f64::INFINITY,
+            }),
+        );
+        drop(inboxes.remove(1));
+        net.send(0, 1, vec![1, 2, 3]).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while net.metrics().snapshot().deliveries_dropped == 0 {
+            assert!(Instant::now() < deadline, "delivery drop never counted");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let s = net.metrics().snapshot();
+        assert_eq!(s.deliveries_dropped, 1);
+        assert_eq!(s.per_machine_received, vec![0, 0]);
+    }
+
+    #[test]
+    fn plan_drops_are_counted_and_silent() {
+        let (net, inboxes) = net_faulty(
+            2,
+            TopologySpec::Uniform(NetCost::zero()),
+            FaultPlan::seeded(11).with_drop(0.5),
+        );
+        for i in 0..100u8 {
+            net.send(0, 1, vec![i]).unwrap(); // loss never errors the sender
+        }
+        let s = net.metrics().snapshot();
+        assert!(s.faults_dropped > 10, "expected drops, got {}", s.faults_dropped);
+        assert_eq!(s.messages_sent, 100);
+        let mut delivered = 0;
+        while inboxes[1].try_recv().is_ok() {
+            delivered += 1;
+        }
+        assert_eq!(delivered as u64 + s.faults_dropped, 100);
+    }
+
+    #[test]
+    fn plan_duplicates_deliver_twice() {
+        let (net, inboxes) = net_faulty(
+            2,
+            TopologySpec::Uniform(NetCost::zero()),
+            FaultPlan::seeded(5).with_dup(1.0),
+        );
+        net.send(0, 1, vec![9]).unwrap();
+        assert_eq!(inboxes[1].recv().unwrap().payload, vec![9]);
+        assert_eq!(inboxes[1].recv().unwrap().payload, vec![9]);
+        let s = net.metrics().snapshot();
+        assert_eq!(s.faults_duplicated, 1);
+        assert_eq!(s.per_machine_received, vec![0, 2]);
+    }
+
+    #[test]
+    fn crashed_machine_is_dark_until_restart() {
+        let (net, inboxes) = net(2, TopologySpec::Uniform(NetCost::zero()));
+        let inj = net.fault_injector();
+        inj.crash(1);
+        net.send(0, 1, vec![1]).unwrap(); // inbound: dropped
+        net.send(1, 0, vec![2]).unwrap(); // outbound: dropped
+        assert_eq!(net.metrics().snapshot().crash_dropped, 2);
+        assert!(inboxes[1].try_recv().is_err());
+        assert!(inboxes[0].try_recv().is_err());
+        inj.restart(1);
+        net.send(0, 1, vec![3]).unwrap();
+        assert_eq!(inboxes[1].recv().unwrap().payload, vec![3]);
+    }
+
+    #[test]
+    fn partition_drops_are_counted() {
+        let (net, inboxes) = net(3, TopologySpec::Uniform(NetCost::zero()));
+        let inj = net.fault_injector();
+        inj.partition(0, 1);
+        net.send(0, 1, vec![1]).unwrap();
+        net.send(1, 0, vec![2]).unwrap();
+        net.send(0, 2, vec![3]).unwrap(); // unaffected pair
+        assert_eq!(net.metrics().snapshot().partition_dropped, 2);
+        assert_eq!(inboxes[2].recv().unwrap().payload, vec![3]);
+        inj.heal(0, 1);
+        net.send(0, 1, vec![4]).unwrap();
+        assert_eq!(inboxes[1].recv().unwrap().payload, vec![4]);
+    }
+
+    #[test]
+    fn seeded_loss_pattern_is_reproducible_across_networks() {
+        let survivors = |seed: u64| -> Vec<u8> {
+            let (net, inboxes) = net_faulty(
+                2,
+                TopologySpec::Uniform(NetCost::zero()),
+                FaultPlan::seeded(seed).with_drop(0.3),
+            );
+            for i in 0..50u8 {
+                net.send(0, 1, vec![i]).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Ok(p) = inboxes[1].try_recv() {
+                got.push(p.payload[0]);
+            }
+            got
+        };
+        assert_eq!(survivors(42), survivors(42));
+        assert_ne!(survivors(42), survivors(43));
     }
 }

@@ -162,7 +162,7 @@ mod tests {
         rt(f64::INFINITY);
         rt(f64::NEG_INFINITY);
         rt(f64::MIN_POSITIVE);
-        rt(3.141592653589793f64);
+        rt(std::f64::consts::PI);
         rt(1.5f32);
         // NaN != NaN, so check bit pattern instead.
         let bytes = to_bytes(&f64::NAN);

@@ -104,7 +104,7 @@ proptest! {
     fn concatenation_is_self_framing(a: Vec<u16>, b in ".*") {
         let mut buf = crate::Writer::new();
         a.encode(&mut buf);
-        let b = b as String;
+        let b: String = b;
         b.encode(&mut buf);
         let bytes = buf.into_bytes();
         let mut r = crate::Reader::new(&bytes);

@@ -21,6 +21,7 @@ fn main() {
         disk: simnet::DiskConfig::nvme(),
         disks_per_machine: 1,
         disk_capacity: 256 << 20,
+        faults: simnet::FaultPlan::none(),
     };
     let (cluster, mut driver) = register_classes(ClusterBuilder::new(workers))
         .sim_config(config)

@@ -1,0 +1,314 @@
+//! Chaos suite: the reliable RMI layer under seeded fault injection.
+//!
+//! Exercises the full contract of DESIGN.md §6 end to end: at-least-once
+//! delivery (client retransmission under a lossy [`FaultPlan`]),
+//! at-most-once execution (server dedup window), deterministic replay of a
+//! chaotic run under a fixed seed, and crash recovery through snapshot
+//! replication + supervised symbolic-address resolution.
+
+use std::time::Duration;
+
+use oopp_repro::oopp::wire::collections::F64s;
+use oopp_repro::oopp::{
+    join, resolve_or_activate_supervised, symbolic_addr, Backoff, CallPolicy, ClusterBuilder,
+    DoubleBlockClient, NodeCtx, RemoteClient, RemoteError, RemoteResult,
+};
+use oopp_repro::simnet::{ClusterConfig, FaultPlan};
+
+/// A deliberately non-idempotent class: executing a duplicated `add` twice
+/// is observable in `total`. The dedup window must prevent exactly that.
+#[derive(Debug, Default)]
+pub struct Counter {
+    total: u64,
+}
+
+oopp_repro::oopp::remote_class! {
+    class Counter {
+        ctor();
+        /// Add `n`; returns the new total.
+        fn add(&mut self, n: u64) -> u64;
+        /// Current total.
+        fn total(&mut self) -> u64;
+    }
+}
+
+impl Counter {
+    pub fn new(_ctx: &mut NodeCtx) -> RemoteResult<Self> {
+        Ok(Counter::default())
+    }
+
+    fn add(&mut self, _ctx: &mut NodeCtx, n: u64) -> RemoteResult<u64> {
+        self.total += n;
+        Ok(self.total)
+    }
+
+    fn total(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<u64> {
+        Ok(self.total)
+    }
+}
+
+/// A retry policy tuned for zero-cost test fabrics: short per-attempt
+/// windows (replies normally arrive in microseconds), enough retries to
+/// ride out several consecutive losses.
+fn chaos_policy() -> CallPolicy {
+    CallPolicy::reliable(Duration::from_millis(150))
+        .with_max_retries(6)
+        .with_backoff(Backoff::fixed(Duration::from_millis(8)))
+}
+
+/// The E3-style split-loop workload: one DoubleBlock per worker, async
+/// axpy rounds joined per round, then a gather. Returns the gathered data
+/// plus (driver retransmissions, fabric-level fault drops).
+fn split_loop_run(workers: usize, n: usize, faults: FaultPlan) -> (Vec<f64>, u64, u64) {
+    let (cluster, mut driver) = ClusterBuilder::new(workers)
+        .sim_config(ClusterConfig::zero_cost(0).with_faults(faults))
+        .call_policy(chaos_policy())
+        .build();
+
+    let blocks: Vec<_> = (0..workers)
+        .map(|m| DoubleBlockClient::new_on(&mut driver, m, n).unwrap())
+        .collect();
+    for (i, b) in blocks.iter().enumerate() {
+        b.fill(&mut driver, i as f64).unwrap();
+    }
+    for round in 1..=4 {
+        let addend = F64s((0..n).map(|j| (round * j) as f64).collect());
+        let pending: Vec<_> = blocks
+            .iter()
+            .map(|b| b.axpy_range_async(&mut driver, 0, 0.5, addend.clone()).unwrap())
+            .collect();
+        join(&mut driver, pending).unwrap();
+    }
+    let mut out = Vec::with_capacity(workers * n);
+    for b in &blocks {
+        out.extend(b.read_range(&mut driver, 0, n).unwrap().0);
+    }
+    // Every machine must hold exactly its one block (machine 0 also hosts
+    // the cluster directory): a retried `create` that executed twice would
+    // show up right here.
+    for m in 0..workers {
+        let expected = if m == 0 { 2 } else { 1 };
+        assert_eq!(driver.stats_of(m).unwrap().objects_live, expected);
+    }
+
+    let retried = driver.local_stats().calls_retried;
+    let dropped = cluster.snapshot().total_fault_drops();
+    cluster.sim().faults().calm(); // shutdown frames must not be lost
+    cluster.shutdown(driver);
+    (out, retried, dropped)
+}
+
+/// Acceptance shape: 5% loss plus duplicates; the chaotic run computes
+/// bit-identical results to the clean run, and the same seed replays the
+/// identical fault pattern.
+#[test]
+fn split_loop_under_loss_matches_zero_fault_run() {
+    let plan = FaultPlan::seeded(0xC0FFEE).with_drop(0.05).with_dup(0.02);
+    let (clean, clean_retries, clean_drops) = split_loop_run(4, 64, FaultPlan::none());
+    let (chaos, chaos_retries, chaos_drops) = split_loop_run(4, 64, plan.clone());
+
+    assert_eq!(clean_retries, 0);
+    assert_eq!(clean_drops, 0);
+    assert!(chaos_drops > 0, "5% loss plan never dropped anything");
+    assert!(chaos_retries > 0, "losses should have forced retransmissions");
+    assert_eq!(chaos, clean, "retries must be invisible to the computation");
+
+    // Determinism: the same seed yields the same drops, retries, and bits.
+    let (replay, replay_retries, replay_drops) = split_loop_run(4, 64, plan);
+    assert_eq!(replay, chaos);
+    assert_eq!(replay_retries, chaos_retries);
+    assert_eq!(replay_drops, chaos_drops);
+}
+
+/// Duplicated requests must execute at most once even though the fabric
+/// delivers them twice: the server either suppresses the copy (original
+/// still in flight) or replays the cached response.
+#[test]
+fn duplicated_requests_execute_at_most_once() {
+    let plan = FaultPlan::seeded(7).with_dup(0.3);
+    let (cluster, mut driver) = ClusterBuilder::new(1)
+        .register::<Counter>()
+        .sim_config(ClusterConfig::zero_cost(0).with_faults(plan))
+        .call_policy(chaos_policy())
+        .build();
+
+    let c = CounterClient::new_on(&mut driver, 0).unwrap();
+    const CALLS: u64 = 50;
+    for _ in 0..CALLS {
+        c.add(&mut driver, 1).unwrap();
+    }
+    assert_eq!(c.total(&mut driver).unwrap(), CALLS);
+
+    let stats = driver.stats_of(0).unwrap();
+    assert!(
+        stats.dup_replayed + stats.dup_suppressed > 0,
+        "a 30% dup plan must have produced duplicate requests ({stats:?})"
+    );
+    let dups = cluster.snapshot().faults_duplicated;
+    assert!(dups > 0);
+
+    cluster.sim().faults().calm();
+    cluster.shutdown(driver);
+}
+
+/// Losing the *response* of a non-idempotent call is the classic
+/// at-most-once trap: the retried request must be answered from the dedup
+/// cache, not re-executed. Heavy loss makes that case certain to occur.
+#[test]
+fn lost_responses_are_replayed_not_reexecuted() {
+    let plan = FaultPlan::seeded(11).with_drop(0.25);
+    let (cluster, mut driver) = ClusterBuilder::new(1)
+        .register::<Counter>()
+        .sim_config(ClusterConfig::zero_cost(0).with_faults(plan))
+        .call_policy(chaos_policy())
+        .build();
+
+    let c = CounterClient::new_on(&mut driver, 0).unwrap();
+    const CALLS: u64 = 40;
+    let mut totals = Vec::new();
+    for _ in 0..CALLS {
+        totals.push(c.add(&mut driver, 1).unwrap());
+    }
+    // Exactly-once observable effect: totals are the exact sequence 1..=N,
+    // and replayed responses returned the *original* total, not a fresh one.
+    assert_eq!(totals, (1..=CALLS).collect::<Vec<_>>());
+
+    let stats = driver.stats_of(0).unwrap();
+    let retried = driver.local_stats().calls_retried;
+    assert!(retried > 0, "25% loss must force retransmissions");
+    assert!(
+        stats.dup_replayed + stats.dup_suppressed > 0,
+        "some retransmitted request must have hit the dedup window ({stats:?})"
+    );
+
+    cluster.sim().faults().calm();
+    cluster.shutdown(driver);
+}
+
+/// The headline acceptance scenario: an E3-style workload with 5% message
+/// loss AND a mid-run machine crash completes with results identical to a
+/// zero-fault run, because the crashed object is reactivated from its
+/// replicated snapshot via the directory.
+#[test]
+fn crash_mid_run_recovers_from_replicated_snapshot() {
+    const N: usize = 32;
+
+    // What the workload computes when nothing fails. Phase 1 writes i,
+    // phase 2 adds 2*(10+j).
+    fn run_phases(
+        driver: &mut oopp_repro::oopp::Driver,
+        block: &DoubleBlockClient,
+        phase: usize,
+    ) {
+        match phase {
+            1 => {
+                for i in 0..N {
+                    block.set(driver, i, i as f64).unwrap();
+                }
+            }
+            _ => {
+                let addend = F64s((0..N).map(|j| (10 + j) as f64).collect());
+                block.axpy_range(driver, 0, 2.0, addend).unwrap();
+            }
+        }
+    }
+
+    // Clean reference run, no faults at all.
+    let expected: Vec<f64> = {
+        let (cluster, mut driver) = ClusterBuilder::new(3).build();
+        let block = DoubleBlockClient::new_on(&mut driver, 1, N).unwrap();
+        run_phases(&mut driver, &block, 1);
+        run_phases(&mut driver, &block, 2);
+        let data = block.read_range(&mut driver, 0, N).unwrap().0;
+        cluster.shutdown(driver);
+        data
+    };
+
+    // Chaotic run: 5% loss the whole time, machine 1 crashes between the
+    // phases. Short attempt windows keep the dead-machine probes cheap.
+    let plan = FaultPlan::seeded(42).with_drop(0.05);
+    let policy = CallPolicy::reliable(Duration::from_millis(80))
+        .with_max_retries(2)
+        .with_backoff(Backoff::fixed(Duration::from_millis(8)));
+    let (cluster, mut driver) = ClusterBuilder::new(3)
+        .sim_config(ClusterConfig::zero_cost(0).with_faults(plan))
+        .call_policy(policy)
+        .build();
+    let dir = driver.directory();
+    let addr = symbolic_addr(&["chaos", "DoubleBlock", "0"]);
+
+    // The process lives on machine 1; its name is bound in the directory
+    // and its snapshot is replicated to machine 2 after phase 1.
+    let block = DoubleBlockClient::new_on(&mut driver, 1, N).unwrap();
+    dir.bind(&mut driver, addr.clone(), block.obj_ref()).unwrap();
+    run_phases(&mut driver, &block, 1);
+    driver.replicate_snapshot(&block, &addr, &[2]).unwrap();
+
+    cluster.sim().faults().crash(1);
+
+    // The stale pointer now exhausts its retries with an enriched Timeout
+    // naming the dead machine and the attempt count.
+    let err = block.get(&mut driver, 0).unwrap_err();
+    match err {
+        RemoteError::Timeout { machine, attempts, .. } => {
+            assert_eq!(machine, 1);
+            assert_eq!(attempts, 3); // 1 try + max_retries
+        }
+        other => panic!("expected Timeout against the crashed machine, got {other:?}"),
+    }
+
+    // Recovery: resolve the symbolic address under supervision. The dead
+    // binding is detected and unbound; candidate 1 (still dark) is
+    // skipped; the replica on machine 2 is activated and rebound.
+    let recovered: DoubleBlockClient =
+        resolve_or_activate_supervised(&mut driver, &dir, &addr, &[1, 2]).unwrap();
+    assert_eq!(recovered.obj_ref().machine, 2);
+
+    run_phases(&mut driver, &recovered, 2);
+    let data = recovered.read_range(&mut driver, 0, N).unwrap().0;
+    assert_eq!(data, expected, "recovered run must match the zero-fault run");
+
+    // A later resolution finds the live rebinding directly.
+    let again: DoubleBlockClient =
+        resolve_or_activate_supervised(&mut driver, &dir, &addr, &[1, 2]).unwrap();
+    assert_eq!(again.obj_ref(), recovered.obj_ref());
+
+    // Restart the dark machine so shutdown can reach it, quiesce the plan,
+    // and tear down.
+    cluster.sim().faults().restart(1);
+    cluster.sim().faults().calm();
+    cluster.shutdown(driver);
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        /// Any seeded plan with drop p < 1 eventually delivers every
+        /// retried call exactly once: the counter ends exactly at the call
+        /// count, never above (duplicate execution) or below (lost call).
+        #[test]
+        fn retried_calls_deliver_exactly_once(seed: u64, drop_p in 0.0..0.25f64) {
+            let plan = FaultPlan::seeded(seed).with_drop(drop_p).with_dup(drop_p / 2.0);
+            let policy = CallPolicy::reliable(Duration::from_millis(80))
+                .with_max_retries(10)
+                .with_backoff(Backoff::fixed(Duration::from_millis(5)));
+            let (cluster, mut driver) = ClusterBuilder::new(1)
+                .register::<Counter>()
+                .sim_config(ClusterConfig::zero_cost(0).with_faults(plan))
+                .call_policy(policy)
+                .build();
+            let c = CounterClient::new_on(&mut driver, 0).unwrap();
+            const CALLS: u64 = 12;
+            for _ in 0..CALLS {
+                c.add(&mut driver, 1).unwrap();
+            }
+            let total = c.total(&mut driver).unwrap();
+            cluster.sim().faults().calm();
+            cluster.shutdown(driver);
+            prop_assert_eq!(total, CALLS);
+        }
+    }
+}

@@ -90,6 +90,7 @@ fn costed_rack_topology_end_to_end() {
         disk: DiskConfig::nvme(),
         disks_per_machine: 1,
         disk_capacity: 8 << 20,
+        faults: simnet::FaultPlan::none(),
     };
     let (cluster, mut driver) = DistributedFft3::register(ClusterBuilder::new(4))
         .sim_config(config)

@@ -160,7 +160,7 @@ fn section5_array_and_persistence() {
     assert!((par - expected).abs() < 1e-9);
 
     // Persist one device and reactivate it; the array still answers.
-    let dev0 = array.storage().device(0).clone();
+    let dev0 = *array.storage().device(0);
     let key = oopp_repro::oopp::symbolic_addr(&["snapshots", "set", "0"]);
     driver.deactivate(dev0.obj_ref(), &key).unwrap();
     let revived: ArrayPageDeviceClient = driver.activate(dev0.machine(), &key).unwrap();

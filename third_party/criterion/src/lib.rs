@@ -1,0 +1,263 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Implements the subset this workspace's benches use: `Criterion` with
+//! `sample_size`/`measurement_time`/`warm_up_time`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Throughput`, `BenchmarkId`, and
+//! the `criterion_group!`/`criterion_main!` macros. No statistics — each
+//! benchmark runs a warm-up pass plus `sample_size` timed iterations and
+//! prints the mean time per iteration (and throughput when declared).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark runner configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            config: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+
+    /// Parity with real criterion's CLI handling; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Unit reported alongside timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Benchmark name + parameter label.
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.param.is_empty() {
+            f.write_str(&self.name)
+        } else {
+            write!(f, "{}/{}", self.name, self.param)
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput and config.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    config: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = join_label(&self.name, id);
+        let mut b = Bencher::new(self.config);
+        f(&mut b);
+        b.report(&label, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = join_label(&self.name, id);
+        let mut b = Bencher::new(self.config);
+        f(&mut b, input);
+        b.report(&label, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn join_label(group: &str, id: impl Display) -> String {
+    let id = id.to_string();
+    if id.is_empty() {
+        group.to_string()
+    } else {
+        format!("{group}/{id}")
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// (total elapsed, iterations) from the measured pass.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(config: &Criterion) -> Self {
+        Bencher {
+            sample_size: config.sample_size,
+            warm_up_time: config.warm_up_time,
+            measurement_time: config.measurement_time,
+            measured: None,
+        }
+    }
+
+    /// Run the routine: warm up until `warm_up_time` elapses (at least
+    /// once), then time `sample_size` iterations (stopping early if
+    /// `measurement_time` is exceeded).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            std::hint::black_box(routine());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+
+        let started = Instant::now();
+        let deadline = started + self.measurement_time;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            std::hint::black_box(routine());
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.measured = Some((started.elapsed(), iters));
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        let Some((elapsed, iters)) = self.measured else {
+            println!("{label:<48} (no measurement)");
+            return;
+        };
+        let per_iter = elapsed.as_secs_f64() / iters as f64;
+        let time = format_time(per_iter);
+        match throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let rate = bytes as f64 / per_iter / (1 << 30) as f64;
+                println!("{label:<48} {time:>12}/iter  {rate:>8.3} GiB/s");
+            }
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / per_iter / 1e6;
+                println!("{label:<48} {time:>12}/iter  {rate:>8.3} Melem/s");
+            }
+            None => println!("{label:<48} {time:>12}/iter"),
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Re-export point used by some criterion idioms.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,74 @@
+//! Minimal offline stand-in for the `paste` crate.
+//!
+//! Supports the one feature this workspace uses: `[<a b c>]` groups inside
+//! `paste! { ... }` are concatenated into a single identifier. Idents and
+//! integer/string literals inside the group are pasted in order; all other
+//! token structure passes through untouched (including nested groups).
+
+use proc_macro::{Delimiter, Group, Ident, Punct, Spacing, TokenStream, TokenTree};
+
+#[proc_macro]
+pub fn paste(input: TokenStream) -> TokenStream {
+    transform(input)
+}
+
+fn transform(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g) => {
+                if g.delimiter() == Delimiter::Bracket {
+                    if let Some(ident) = try_paste_group(g) {
+                        out.push(TokenTree::Ident(ident));
+                        i += 1;
+                        continue;
+                    }
+                }
+                let mut ng = Group::new(g.delimiter(), transform(g.stream()));
+                ng.set_span(g.span());
+                out.push(TokenTree::Group(ng));
+            }
+            other => out.push(other.clone()),
+        }
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// If `g` is a `[< ... >]` paste group, concatenate its pieces into one
+/// identifier; otherwise return `None` so the group passes through.
+fn try_paste_group(g: &Group) -> Option<Ident> {
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    if inner.len() < 2 {
+        return None;
+    }
+    let opens = matches!(&inner[0], TokenTree::Punct(p) if p.as_char() == '<');
+    let closes = matches!(&inner[inner.len() - 1], TokenTree::Punct(p) if p.as_char() == '>');
+    if !opens || !closes {
+        return None;
+    }
+    let mut name = String::new();
+    for t in &inner[1..inner.len() - 1] {
+        match t {
+            TokenTree::Ident(id) => name.push_str(&id.to_string()),
+            TokenTree::Literal(lit) => {
+                let s = lit.to_string();
+                name.push_str(s.trim_matches('"'));
+            }
+            TokenTree::Punct(p) if p.as_char() == '_' => name.push('_'),
+            _ => return None,
+        }
+    }
+    if name.is_empty() {
+        return None;
+    }
+    Some(Ident::new(&name, g.span()))
+}
+
+// Silence an unused-import warning when the set above changes.
+#[allow(unused)]
+fn _touch(p: Punct) -> Spacing {
+    p.spacing()
+}

@@ -1,0 +1,72 @@
+//! Minimal offline stand-in for `rand`: a SplitMix64-based RNG with the
+//! `Rng`/`SeedableRng` entry points this workspace could reasonably need.
+//! Not cryptographic; for tests and benchmarks only.
+
+use std::ops::Range;
+
+/// Generator trait: uniform values and ranges.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range_u64(&mut self, range: Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        assert!(span > 0, "empty range");
+        range.start + self.next_u64() % span
+    }
+
+    fn gen_range(&mut self, range: Range<usize>) -> usize {
+        self.gen_range_u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Uniform f64 in [0, 1).
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+/// Construct a generator from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    /// SplitMix64: tiny, fast, decent equidistribution for test data.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// A generator seeded from the system clock (still deterministic within a
+/// process run if the clock call fails).
+pub fn thread_rng() -> rngs::StdRng {
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed);
+    <rngs::StdRng as SeedableRng>::seed_from_u64(seed)
+}
+
+pub mod prelude {
+    pub use crate::{rngs::StdRng, thread_rng, Rng, SeedableRng};
+}
