@@ -8,7 +8,10 @@
 use bench::experiments as ex;
 use bench::Table;
 
-type Experiment = (&'static str, &'static str, fn() -> Table);
+// Traced experiments (E1/E3/E9) return their main table plus a per-method
+// flight-recorder table; the rest return a single table, wrapped here by
+// capture-less closures so everything shares one signature.
+type Experiment = (&'static str, &'static str, fn() -> Vec<Table>);
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,49 +26,49 @@ fn main() {
         (
             "E2",
             "move data vs move computation: page sum (§3)",
-            ex::e2_move_compute,
+            || vec![ex::e2_move_compute()],
         ),
         (
             "E3",
             "split-loop parallel I/O over N devices (§4)",
             ex::e3_parallel_io,
         ),
-        ("E4", "distributed 3-D FFT scaling (§4)", ex::e4_fft),
+        ("E4", "distributed 3-D FFT scaling (§4)", || vec![ex::e4_fft()]),
         (
             "E5",
             "PageMap determines I/O parallelism (§5)",
-            ex::e5_pagemap,
+            || vec![ex::e5_pagemap()],
         ),
         (
             "E6",
             "parallel Array clients summing a distributed array (§5)",
-            ex::e6_array_sum,
+            || vec![ex::e6_array_sum()],
         ),
         (
             "E7",
             "persistent processes: deactivate/activate, symbolic lookup (§5)",
-            ex::e7_persistence,
+            || vec![ex::e7_persistence()],
         ),
         (
             "E8",
             "N computing processes vs one shared object (§2/§4)",
-            ex::e8_shared_memory,
+            || vec![ex::e8_shared_memory()],
         ),
         (
             "E9",
             "fault injection: completion time vs drop rate under retrying RMI",
             ex::e9_faults,
         ),
-        ("A1", "ablation: wire codec throughput", ex::a1_wire),
+        ("A1", "ablation: wire codec throughput", || vec![ex::a1_wire()]),
         (
             "A2",
             "ablation: oopp barrier vs mplite collectives",
-            ex::a2_collectives,
+            || vec![ex::a2_collectives()],
         ),
         (
             "A3",
             "ablation: deep-copy vs shallow SetGroup (§4)",
-            ex::a3_deepcopy,
+            || vec![ex::a3_deepcopy()],
         ),
     ];
 
@@ -77,8 +80,13 @@ fn main() {
         }
         println!("\n=== {id}: {title} ===");
         let t0 = std::time::Instant::now();
-        let table = run();
-        print!("{}", table.render());
+        let tables = run();
+        for (i, table) in tables.iter().enumerate() {
+            if i > 0 {
+                println!("--- per-method flight-recorder account ---");
+            }
+            print!("{}", table.render());
+        }
         println!("[{id} took {:.1?}]", t0.elapsed());
     }
 }

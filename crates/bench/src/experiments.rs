@@ -16,18 +16,23 @@ use pagestore::{ArrayPage, ArrayPageDevice, ArrayPageDeviceClient, Page, PageDev
 use simnet::{ClusterConfig, FaultPlan};
 use wire::collections::F64s;
 
-use crate::{lan_config, ms, spinny_disk, time_median, time_once, us, GroupTable, GroupTableClient, Syncer, SyncerClient, Table};
+use crate::{lan_config, method_stats_table, ms, spinny_disk, time_median, time_once, us, GroupTable, GroupTableClient, Syncer, SyncerClient, Table};
 
 /// E1 (§2): cost of remote object semantics — creation, method call,
-/// element access — against the substrate's analytic cost model.
-pub fn e1_rmi_overhead() -> Table {
+/// element access — against the substrate's analytic cost model. Runs with
+/// the flight recorder on; the second table is the per-method account of
+/// the same run (attempts, p50/p99 latency, bytes).
+pub fn e1_rmi_overhead() -> Vec<Table> {
     let mut t = Table::new(&[
         "operation",
         "payload B",
         "median us",
         "model us (2*lat + b/bw)",
     ]);
-    let (cluster, mut driver) = ClusterBuilder::new(2).sim_config(lan_config()).build();
+    let (cluster, mut driver) = ClusterBuilder::new(2)
+        .sim_config(lan_config())
+        .tracing(true)
+        .build();
     let lat_us = 50.0;
     let bw = 10e9 / 8.0;
 
@@ -66,8 +71,9 @@ pub fn e1_rmi_overhead() -> Table {
             format!("{model:.1}"),
         ]);
     }
+    let recorder = cluster.recorder().expect("tracing enabled");
     cluster.shutdown(driver);
-    t
+    vec![t, method_stats_table(&recorder.merge())]
 }
 
 /// E2 (§3): "moving the data to the computation" vs "moving the computation
@@ -126,7 +132,7 @@ pub fn e2_move_compute() -> Table {
 /// E3 (§4): the split-loop transformation — one page from each of N
 /// devices, sequential vs split, plus the hand-written message-passing
 /// pipeline on identical hardware.
-pub fn e3_parallel_io() -> Table {
+pub fn e3_parallel_io() -> Vec<Table> {
     let mut t = Table::new(&[
         "devices",
         "sequential ms",
@@ -135,6 +141,7 @@ pub fn e3_parallel_io() -> Table {
         "mplite pipelined ms",
     ]);
     let page_elems = 1 << 14; // 128 KiB pages
+    let mut last_trace = None;
     for n in [1usize, 2, 4, 8, 16] {
         let mut cfg = lan_config();
         cfg.disk = spinny_disk();
@@ -142,6 +149,7 @@ pub fn e3_parallel_io() -> Table {
             .register::<PageDevice>()
             .register::<ArrayPageDevice>()
             .sim_config(cfg.clone())
+            .tracing(true)
             .build();
         let devices: Vec<_> = (0..n)
             .map(|m| {
@@ -173,7 +181,10 @@ pub fn e3_parallel_io() -> Table {
                 .collect();
             let _ = join(&mut driver, pending).unwrap();
         });
+        let recorder = cluster.recorder().expect("tracing enabled");
         cluster.shutdown(driver);
+        // One per-method table is enough; keep the widest configuration.
+        last_trace = Some(recorder.merge());
 
         // The message-passing baseline: n servers + 1 client.
         let mut mp_cfg = cfg.clone();
@@ -188,7 +199,7 @@ pub fn e3_parallel_io() -> Table {
             ms(mp),
         ]);
     }
-    t
+    vec![t, method_stats_table(&last_trace.expect("loop ran"))]
 }
 
 /// E4 (§4): the distributed FFT — scaling with process count, oopp RMI vs.
@@ -479,7 +490,7 @@ pub fn e8_shared_memory() -> Table {
 /// resulting duplicates, so every run computes the same answer — losses
 /// buy latency, never wrong results. Zero-cost substrate: all reported
 /// time is retry windows and backoff, none of it simulated wire time.
-pub fn e9_faults() -> Table {
+pub fn e9_faults() -> Vec<Table> {
     let mut t = Table::new(&[
         "drop rate",
         "completion ms",
@@ -491,7 +502,7 @@ pub fn e9_faults() -> Table {
     let n = 256usize;
     let rounds = 6usize;
 
-    let run = |plan: FaultPlan| -> (Vec<f64>, u64, u64, Duration) {
+    let run = |plan: FaultPlan| -> (Vec<f64>, u64, u64, Duration, oopp::Trace) {
         // Short windows: a drop costs ~55 ms, not DEFAULT_TIMEOUT.
         let policy = CallPolicy::reliable(Duration::from_millis(50))
             .with_max_retries(8)
@@ -499,6 +510,7 @@ pub fn e9_faults() -> Table {
         let (cluster, mut driver) = ClusterBuilder::new(workers)
             .sim_config(ClusterConfig::zero_cost(0).with_faults(plan))
             .call_policy(policy)
+            .tracing(true)
             .build();
         let t0 = std::time::Instant::now();
         let blocks: Vec<_> = (0..workers)
@@ -525,18 +537,20 @@ pub fn e9_faults() -> Table {
         // Quiesce the fault plan so the shutdown frames cannot be dropped.
         cluster.sim().faults().calm();
         let drops = cluster.snapshot().total_fault_drops();
+        let recorder = cluster.recorder().expect("tracing enabled");
         cluster.shutdown(driver);
-        (data, retries, drops, elapsed)
+        (data, retries, drops, elapsed, recorder.merge())
     };
 
     let (baseline, ..) = run(FaultPlan::none());
+    let mut lossiest_trace = None;
     for p in [0.0f64, 0.01, 0.05, 0.10] {
         let plan = if p == 0.0 {
             FaultPlan::none()
         } else {
             FaultPlan::seeded(0xE9).with_drop(p)
         };
-        let (data, retries, drops, elapsed) = run(plan);
+        let (data, retries, drops, elapsed, trace) = run(plan);
         t.row(&[
             format!("{:.0}%", p * 100.0),
             ms(elapsed),
@@ -544,8 +558,11 @@ pub fn e9_faults() -> Table {
             drops.to_string(),
             if data == baseline { "yes" } else { "NO" }.into(),
         ]);
+        lossiest_trace = Some(trace);
     }
-    t
+    // Per-method account of the 10%-drop run: where the retries landed and
+    // what they did to tail latency.
+    vec![t, method_stats_table(&lossiest_trace.expect("loop ran"))]
 }
 
 /// A1: wire codec throughput (the cost of the "compiler-generated"

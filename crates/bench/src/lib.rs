@@ -32,6 +32,56 @@ pub fn spinny_disk() -> DiskConfig {
     }
 }
 
+/// Render a merged flight-recorder trace as a per-method table: how many
+/// calls each method made, how many wire transmissions they cost, and the
+/// client-observed latency distribution (see `oopp::trace`).
+pub fn method_stats_table(trace: &oopp::Trace) -> Table {
+    let mut t = Table::new(&[
+        "method",
+        "calls",
+        "attempts",
+        "retx",
+        "dups",
+        "p50 us",
+        "p99 us",
+        "queue us",
+        "svc us",
+        "KiB out",
+        "KiB in",
+    ]);
+    for s in trace.method_stats() {
+        t.row(&[
+            s.method.clone(),
+            s.calls.to_string(),
+            s.attempts.to_string(),
+            s.retransmits.to_string(),
+            s.dups.to_string(),
+            s.p50_micros.to_string(),
+            s.p99_micros.to_string(),
+            s.queue_micros.to_string(),
+            s.service_micros.to_string(),
+            format!("{:.1}", s.bytes_out as f64 / 1024.0),
+            format!("{:.1}", s.bytes_in as f64 / 1024.0),
+        ]);
+    }
+    if trace.dropped > 0 {
+        t.row(&[
+            format!("({} events dropped to ring wrap)", trace.dropped),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    t
+}
+
 /// Time one closure invocation.
 pub fn time_once<R>(f: impl FnOnce() -> R) -> (Duration, R) {
     let t0 = Instant::now();

@@ -21,8 +21,18 @@
 //! An evicted entry makes a very late duplicate executable again — the
 //! window trades unbounded memory for a duplicate-suppression horizon, the
 //! standard at-most-once compromise.
+//!
+//! In-flight entries get the same treatment. A request can be admitted and
+//! then *never* completed — the canonical case is a deferred reply whose
+//! object is destroyed before it answers (a `Barrier` torn down with
+//! waiters parked: `enter` returns `NoReply` and the stored `CallInfo` is
+//! dropped with the object). Before this bound existed, each such key sat
+//! in the in-flight set forever; a long-lived server accumulated them
+//! without limit. Now the oldest in-flight keys are evicted FIFO beyond
+//! `capacity`, with the same horizon compromise: a duplicate of an evicted
+//! in-flight request becomes executable again.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 use simnet::MachineId;
 
@@ -50,7 +60,13 @@ pub(crate) const DEFAULT_DEDUP_CAPACITY: usize = 1024;
 
 #[derive(Debug)]
 pub(crate) struct DedupWindow {
-    in_flight: HashSet<ReqKey>,
+    /// In-flight keys, each stamped with the admission sequence number that
+    /// positions it in `in_flight_order`. The stamp lets eviction tell a
+    /// live queue entry from a stale one (completed, or evicted and later
+    /// re-admitted under a fresh stamp).
+    in_flight: HashMap<ReqKey, u64>,
+    in_flight_order: VecDeque<(u64, ReqKey)>,
+    next_seq: u64,
     done: HashMap<ReqKey, RemoteResult<Vec<u8>>>,
     order: VecDeque<ReqKey>,
     capacity: usize,
@@ -59,7 +75,9 @@ pub(crate) struct DedupWindow {
 impl DedupWindow {
     pub(crate) fn new(capacity: usize) -> Self {
         DedupWindow {
-            in_flight: HashSet::new(),
+            in_flight: HashMap::new(),
+            in_flight_order: VecDeque::new(),
+            next_seq: 0,
             done: HashMap::new(),
             order: VecDeque::new(),
             capacity,
@@ -71,9 +89,14 @@ impl DedupWindow {
         if let Some(result) = self.done.get(&key) {
             return DedupVerdict::Done(clone_result(result));
         }
-        if !self.in_flight.insert(key) {
+        if self.in_flight.contains_key(&key) {
             return DedupVerdict::InFlight;
         }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.in_flight.insert(key, seq);
+        self.in_flight_order.push_back((seq, key));
+        self.evict_in_flight();
         DedupVerdict::New
     }
 
@@ -81,6 +104,7 @@ impl DedupWindow {
     /// it. Evicts the oldest completed entries beyond capacity.
     pub(crate) fn complete(&mut self, key: ReqKey, result: &RemoteResult<Vec<u8>>) {
         self.in_flight.remove(&key);
+        self.trim_in_flight_order();
         if self.done.insert(key, clone_result(result)).is_none() {
             self.order.push_back(key);
         }
@@ -90,10 +114,56 @@ impl DedupWindow {
         }
     }
 
+    /// Bound the in-flight set: drop the oldest live keys beyond capacity
+    /// (abandoned deferred calls are the ones that age to the front), and
+    /// keep the order queue itself from accumulating stale entries.
+    fn evict_in_flight(&mut self) {
+        while self.in_flight.len() > self.capacity {
+            let Some((seq, key)) = self.in_flight_order.pop_front() else {
+                break;
+            };
+            if self.in_flight.get(&key) == Some(&seq) {
+                self.in_flight.remove(&key);
+            }
+        }
+        self.trim_in_flight_order();
+        // The queue holds one entry per admission, not per live key; churn
+        // (admit + complete) leaves stale entries behind the front. Compact
+        // once the backlog dominates, which amortizes to O(1) per call.
+        if self.in_flight_order.len() > 2 * self.in_flight.len() + 64 {
+            let in_flight = &self.in_flight;
+            self.in_flight_order
+                .retain(|(seq, key)| in_flight.get(key) == Some(seq));
+        }
+    }
+
+    /// Pop stale (completed or superseded) entries off the queue front so
+    /// eviction always sees the genuinely oldest live key first.
+    fn trim_in_flight_order(&mut self) {
+        while let Some(&(seq, key)) = self.in_flight_order.front() {
+            if self.in_flight.get(&key) == Some(&seq) {
+                break;
+            }
+            self.in_flight_order.pop_front();
+        }
+    }
+
     /// Completed entries currently protected against re-execution.
     #[cfg(test)]
     pub(crate) fn done_len(&self) -> usize {
         self.done.len()
+    }
+
+    /// Keys admitted but not yet completed.
+    #[cfg(test)]
+    pub(crate) fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Internal queue length, including stale entries awaiting compaction.
+    #[cfg(test)]
+    pub(crate) fn in_flight_order_len(&self) -> usize {
+        self.in_flight_order.len()
     }
 }
 
@@ -155,6 +225,74 @@ mod tests {
         assert_eq!(w.admit((0, 1)), DedupVerdict::New);
         // The newest three still replay.
         assert!(matches!(w.admit((0, 4)), DedupVerdict::Done(Ok(_))));
+    }
+
+    #[test]
+    fn abandoned_in_flight_entries_are_bounded() {
+        // Regression: keys admitted but never completed (e.g. a Barrier
+        // destroyed with deferred waiters parked) used to accumulate in the
+        // in-flight set forever. They must now be evicted FIFO at capacity.
+        let mut w = DedupWindow::new(64);
+        for id in 0..5_000u64 {
+            assert_eq!(w.admit((0, id)), DedupVerdict::New);
+        }
+        assert!(w.in_flight_len() <= 64, "in_flight grew to {}", w.in_flight_len());
+        assert!(
+            w.in_flight_order_len() <= 2 * 64 + 64,
+            "order queue grew to {}",
+            w.in_flight_order_len()
+        );
+        // Recent keys are still protected; ancient evicted ones re-execute
+        // (the same horizon compromise the done-cache already makes).
+        assert_eq!(w.admit((0, 4_999)), DedupVerdict::InFlight);
+        assert_eq!(w.admit((0, 0)), DedupVerdict::New);
+    }
+
+    #[test]
+    fn admit_complete_churn_keeps_order_queue_bounded() {
+        // Every admission pushes a queue entry; completion leaves it stale
+        // in place. Compaction must keep the queue proportional to the live
+        // set, not to the total call count.
+        let mut w = DedupWindow::new(32);
+        for id in 0..10_000u64 {
+            assert_eq!(w.admit((1, id)), DedupVerdict::New);
+            w.complete((1, id), &Ok(vec![]));
+        }
+        assert_eq!(w.in_flight_len(), 0);
+        assert!(
+            w.in_flight_order_len() <= 2 * 32 + 64,
+            "order queue grew to {}",
+            w.in_flight_order_len()
+        );
+    }
+
+    #[test]
+    fn completing_an_evicted_in_flight_key_still_caches_the_response() {
+        // The original executes, gets evicted from in-flight by pressure,
+        // then finishes: its response must still enter the done cache so
+        // late duplicates replay instead of re-executing.
+        let mut w = DedupWindow::new(4);
+        assert_eq!(w.admit((2, 0)), DedupVerdict::New);
+        for id in 1..=8u64 {
+            assert_eq!(w.admit((2, id)), DedupVerdict::New);
+        }
+        // (2,0) was evicted; completing it anyway records the response.
+        w.complete((2, 0), &Ok(vec![7]));
+        assert!(matches!(w.admit((2, 0)), DedupVerdict::Done(Ok(_))));
+    }
+
+    #[test]
+    fn re_admitted_key_after_eviction_gets_a_fresh_stamp() {
+        // Evict (3,0), re-admit it, then evict again: the stale first-stamp
+        // queue entry must not cause the fresh admission to be dropped out
+        // of order or double-removed.
+        let mut w = DedupWindow::new(2);
+        assert_eq!(w.admit((3, 0)), DedupVerdict::New);
+        assert_eq!(w.admit((3, 1)), DedupVerdict::New);
+        assert_eq!(w.admit((3, 2)), DedupVerdict::New); // evicts (3,0)
+        assert_eq!(w.admit((3, 0)), DedupVerdict::New); // fresh stamp, evicts (3,1)
+        assert_eq!(w.admit((3, 0)), DedupVerdict::InFlight);
+        assert!(w.in_flight_len() <= 2);
     }
 
     #[test]

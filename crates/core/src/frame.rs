@@ -10,6 +10,7 @@ use wire::{wire_enum, wire_struct};
 
 use crate::error::RemoteError;
 use crate::ids::ObjectId;
+use crate::trace::TraceCtx;
 
 /// One frame on the wire.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +26,9 @@ pub enum Frame {
         target: ObjectId,
         /// Method name + encoded arguments.
         payload: Bytes,
+        /// Flight-recorder identity (all-zero when tracing is off; costs
+        /// two bytes on the wire then — both fields are varints).
+        trace: TraceCtx,
     },
     /// The outcome of a previous request.
     Response {
@@ -36,7 +40,8 @@ pub enum Frame {
 }
 
 wire_enum!(Frame {
-    0 => Request { req_id, reply_to, target, payload },
+    // `trace` is appended last: wire_enum fields are positional.
+    0 => Request { req_id, reply_to, target, payload, trace },
     1 => Response { req_id, result },
 });
 
@@ -162,6 +167,14 @@ mod tests {
                 reply_to: 3,
                 target: 7,
                 payload: Bytes(b"read".to_vec()),
+                trace: TraceCtx::default(),
+            },
+            Frame::Request {
+                req_id: 44,
+                reply_to: 1,
+                target: 9,
+                payload: Bytes(b"write".to_vec()),
+                trace: TraceCtx { trace_id: 0x1_0000_0001.into(), span: 0x2_0000_0007.into() },
             },
             Frame::Response { req_id: 42, result: Ok(Bytes(vec![1, 2, 3])) },
             Frame::Response {
@@ -221,8 +234,32 @@ mod tests {
     #[test]
     fn request_with_large_payload_is_dominated_by_payload() {
         let payload = Bytes(vec![0u8; 10_000]);
-        let f = Frame::Request { req_id: 1, reply_to: 0, target: 1, payload };
+        let f = Frame::Request {
+            req_id: 1,
+            reply_to: 0,
+            target: 1,
+            payload,
+            trace: TraceCtx::default(),
+        };
         let encoded = to_bytes(&f);
         assert!(encoded.len() < 10_000 + 32, "framing overhead too large");
+    }
+
+    #[test]
+    fn untraced_request_pays_two_bytes_for_the_trace_ctx() {
+        let mk = |trace| Frame::Request {
+            req_id: 1,
+            reply_to: 0,
+            target: 1,
+            payload: Bytes(b"ping".to_vec()),
+            trace,
+        };
+        let untraced = to_bytes(&mk(TraceCtx::default()));
+        let traced = to_bytes(&mk(TraceCtx {
+            trace_id: (1u64 << 48).into(),
+            span: (1u64 << 48).into(),
+        }));
+        // Zero trace ids are single-byte varints each.
+        assert_eq!(untraced.len() + 12, traced.len());
     }
 }

@@ -59,6 +59,7 @@ pub mod node;
 pub mod policy;
 pub mod process;
 pub mod runtime;
+pub mod trace;
 
 pub use array::{ByteBlock, ByteBlockClient, DoubleBlock, DoubleBlockClient};
 pub use error::{RemoteError, RemoteResult};
@@ -74,6 +75,9 @@ pub use node::{CallInfo, NodeCtx, DEFAULT_TIMEOUT};
 pub use policy::{Backoff, CallPolicy};
 pub use process::{ClassRegistry, DispatchResult, RemoteClient, ServerClass, ServerObject};
 pub use runtime::{Cluster, ClusterBuilder, Driver};
+pub use trace::{
+    EventKind, MethodStats, Recorder, SpanEvent, Trace, TraceCtx, DEFAULT_TRACE_CAPACITY,
+};
 
 // Re-exported for macro expansion and downstream convenience.
 pub use paste;

@@ -31,6 +31,7 @@ use crate::future::{Pending, PendingClient};
 use crate::ids::{ObjRef, ObjectId, DAEMON};
 use crate::policy::CallPolicy;
 use crate::process::{ClassRegistry, DispatchResult, RemoteClient, ServerClass, ServerObject};
+use crate::trace::{EventKind, TraceCtx, Tracer};
 
 /// Identity of an in-flight request, handed to objects that defer their
 /// replies (see [`DispatchResult::NoReply`]).
@@ -47,11 +48,25 @@ struct IncomingReq {
     reply_to: MachineId,
     target: ObjectId,
     payload: Vec<u8>,
+    /// Trace identity from the request frame (zeros when untraced).
+    trace_id: u64,
+    span: u64,
 }
 
 enum ServeOutcome {
     Served,
     Defer(IncomingReq),
+}
+
+/// Trace identity of one call, kept alongside the client's outstanding
+/// entry (to stamp retransmit/recv events) and the server's serving table
+/// (to stamp the reply event).
+#[derive(Clone)]
+struct CallTrace {
+    trace_id: u64,
+    span: u64,
+    parent_span: u64,
+    method: Arc<str>,
 }
 
 /// An issued request kept around for retransmission: the encoded frame is
@@ -60,6 +75,8 @@ enum ServeOutcome {
 struct OutboundCall {
     target: ObjRef,
     bytes: Vec<u8>,
+    /// Present only while tracing is on.
+    trace: Option<CallTrace>,
 }
 
 #[derive(Default)]
@@ -96,6 +113,16 @@ pub struct NodeCtx {
     alive: bool,
     policy: CallPolicy,
     stats: Stats,
+    /// Flight recorder handle; `None` (the default) disables tracing.
+    tracer: Option<Tracer>,
+    /// Monotone counter behind span-id allocation (see `alloc_span`).
+    next_span: u64,
+    /// Trace identity of the request currently being dispatched, so calls
+    /// issued from inside a method inherit its trace and parent span.
+    current_trace: Option<(u64, u64)>,
+    /// Traced requests admitted but not yet answered, keyed like the dedup
+    /// window, so `send_response` can stamp the reply event.
+    serving_spans: HashMap<(MachineId, u64), CallTrace>,
 }
 
 impl std::fmt::Debug for NodeCtx {
@@ -109,6 +136,7 @@ impl std::fmt::Debug for NodeCtx {
 }
 
 impl NodeCtx {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         machine: MachineId,
         workers: usize,
@@ -117,6 +145,7 @@ impl NodeCtx {
         registry: Arc<ClassRegistry>,
         disks: Vec<Arc<SimDisk>>,
         policy: CallPolicy,
+        tracer: Option<Tracer>,
     ) -> Self {
         NodeCtx {
             machine,
@@ -137,7 +166,20 @@ impl NodeCtx {
             alive: true,
             policy,
             stats: Stats::default(),
+            tracer,
+            next_span: 1,
+            current_trace: None,
+            serving_spans: HashMap::new(),
         }
+    }
+
+    /// Cluster-unique span id: machine-prefixed so two machines can never
+    /// mint the same id, `machine + 1` so id 0 stays reserved for
+    /// "untraced".
+    fn alloc_span(&mut self) -> u64 {
+        let span = ((self.machine as u64 + 1) << 48) | self.next_span;
+        self.next_span += 1;
+        span
     }
 
     // ------------------------------------------------------------------
@@ -188,7 +230,7 @@ impl NodeCtx {
         let mut w = Writer::new();
         w.put_len_prefixed(method.as_bytes());
         encode_args(&mut w);
-        self.start_call_raw(target, w.into_bytes())
+        self.start_call_raw(target, method, w.into_bytes())
     }
 
     /// Typed async call: returns a [`Pending`] decodable as `Ret`.
@@ -215,7 +257,12 @@ impl NodeCtx {
         Ok(wire::from_bytes(&bytes)?)
     }
 
-    fn start_call_raw(&mut self, target: ObjRef, payload: Vec<u8>) -> RemoteResult<u64> {
+    fn start_call_raw(
+        &mut self,
+        target: ObjRef,
+        method: &str,
+        payload: Vec<u8>,
+    ) -> RemoteResult<u64> {
         if target.machine >= self.machines() {
             return Err(RemoteError::BadMachine {
                 machine: target.machine,
@@ -224,20 +271,52 @@ impl NodeCtx {
         }
         let req_id = self.next_req_id;
         self.next_req_id += 1;
+        let call_trace = if self.tracer.is_some() {
+            let span = self.alloc_span();
+            // A call issued mid-dispatch belongs to the serving request's
+            // trace; a root call (driver code) opens a trace named after
+            // its own span.
+            let (trace_id, parent_span) = match self.current_trace {
+                Some((tid, serving)) => (tid, serving),
+                None => (span, 0),
+            };
+            Some(CallTrace { trace_id, span, parent_span, method: method.into() })
+        } else {
+            None
+        };
+        let trace = call_trace
+            .as_ref()
+            .map(|t| TraceCtx { trace_id: t.trace_id.into(), span: t.span.into() })
+            .unwrap_or_default();
         let frame = Frame::Request {
             req_id,
             reply_to: self.machine,
             target: target.object,
             payload: Bytes(payload),
+            trace,
         };
         let bytes = wire::to_bytes(&frame);
+        if let (Some(tracer), Some(t)) = (&self.tracer, &call_trace) {
+            tracer.record(
+                EventKind::ClientSend,
+                target.machine,
+                t.trace_id,
+                t.span,
+                t.parent_span,
+                req_id,
+                1,
+                bytes.len() as u32,
+                t.method.clone(),
+            );
+        }
         self.net
             .send(self.machine, target.machine, bytes.clone())
             .map_err(|_| RemoteError::Disconnected { machine: target.machine })?;
         // Kept for retransmission until the reply is consumed (or retries
         // are exhausted). On a lossy fabric the send above may silently
         // vanish; the stored frame is what wait_raw resends.
-        self.outstanding.insert(req_id, OutboundCall { target, bytes });
+        self.outstanding
+            .insert(req_id, OutboundCall { target, bytes, trace: call_trace });
         Ok(req_id)
     }
 
@@ -267,7 +346,23 @@ impl NodeCtx {
         let mut deadline = started + self.policy.timeout;
         loop {
             if let Some(result) = self.replies.remove(&req_id) {
-                self.outstanding.remove(&req_id);
+                let call = self.outstanding.remove(&req_id);
+                if let (Some(tracer), Some(call)) = (&self.tracer, &call) {
+                    if let Some(t) = &call.trace {
+                        let bytes = result.as_ref().map(|b| b.len()).unwrap_or(0);
+                        tracer.record(
+                            EventKind::ClientRecv,
+                            call.target.machine,
+                            t.trace_id,
+                            t.span,
+                            t.parent_span,
+                            req_id,
+                            attempts,
+                            bytes as u32,
+                            t.method.clone(),
+                        );
+                    }
+                }
                 return result;
             }
             match self.inbox.recv_deadline(deadline) {
@@ -307,6 +402,21 @@ impl NodeCtx {
                     }
                     if let Some(call) = self.outstanding.get(&req_id) {
                         let (dst, bytes) = (call.target.machine, call.bytes.clone());
+                        if let Some(tracer) = &self.tracer {
+                            if let Some(t) = &call.trace {
+                                tracer.record(
+                                    EventKind::ClientRetransmit,
+                                    dst,
+                                    t.trace_id,
+                                    t.span,
+                                    t.parent_span,
+                                    req_id,
+                                    attempts + 1,
+                                    bytes.len() as u32,
+                                    t.method.clone(),
+                                );
+                            }
+                        }
                         let _ = self.net.send(self.machine, dst, bytes);
                         self.stats.calls_retried += 1;
                     }
@@ -537,7 +647,28 @@ impl NodeCtx {
             Err(_) => return, // malformed; nothing to reply to
         };
         match frame {
-            Frame::Request { req_id, reply_to, target, payload } => {
+            Frame::Request { req_id, reply_to, target, payload, trace } => {
+                // The admit-verdict events all want the method name; parse
+                // it from the payload head only when tracing is on.
+                let traced_method = self
+                    .tracer
+                    .as_ref()
+                    .map(|_| payload_method(&payload.0));
+                let record_admit = |node: &NodeCtx, kind: EventKind| {
+                    if let (Some(tracer), Some(method)) = (&node.tracer, &traced_method) {
+                        tracer.record(
+                            kind,
+                            reply_to,
+                            trace.trace_id.0,
+                            trace.span.0,
+                            0,
+                            req_id,
+                            0,
+                            0,
+                            method.clone(),
+                        );
+                    }
+                };
                 // At-most-once execution: a retransmitted request either
                 // replays its cached response or is dropped while the
                 // original is still in flight. Only genuinely new requests
@@ -545,21 +676,63 @@ impl NodeCtx {
                 match self.dedup.admit((reply_to, req_id)) {
                     DedupVerdict::Done(result) => {
                         self.stats.dup_replayed += 1;
+                        record_admit(self, EventKind::ServerAdmitDone);
                         let frame = Frame::Response { req_id, result: result.map(Bytes) };
                         let _ = self.net.send(self.machine, reply_to, wire::to_bytes(&frame));
                         return;
                     }
                     DedupVerdict::InFlight => {
                         self.stats.dup_suppressed += 1;
+                        record_admit(self, EventKind::ServerAdmitInFlight);
                         return;
                     }
-                    DedupVerdict::New => {}
+                    DedupVerdict::New => {
+                        record_admit(self, EventKind::ServerAdmitNew);
+                        if let Some(method) = &traced_method {
+                            // Bound the table against requests that never
+                            // get a reply (abandoned deferred calls): a
+                            // flight-recorder table may drop stale entries,
+                            // never grow without limit.
+                            if self.serving_spans.len() >= 65_536 {
+                                self.serving_spans.clear();
+                            }
+                            self.serving_spans.insert(
+                                (reply_to, req_id),
+                                CallTrace {
+                                    trace_id: trace.trace_id.0,
+                                    span: trace.span.0,
+                                    parent_span: 0,
+                                    method: method.clone(),
+                                },
+                            );
+                        }
+                    }
                 }
-                let req = IncomingReq { req_id, reply_to, target, payload: payload.0 };
+                let req = IncomingReq {
+                    req_id,
+                    reply_to,
+                    target,
+                    payload: payload.0,
+                    trace_id: trace.trace_id.0,
+                    span: trace.span.0,
+                };
                 match self.try_serve(req) {
                     ServeOutcome::Served => {}
                     ServeOutcome::Defer(req) => {
                         self.stats.calls_deferred += 1;
+                        if let (Some(tracer), Some(method)) = (&self.tracer, &traced_method) {
+                            tracer.record(
+                                EventKind::ServerDefer,
+                                req.reply_to,
+                                req.trace_id,
+                                req.span,
+                                0,
+                                req.req_id,
+                                0,
+                                0,
+                                method.clone(),
+                            );
+                        }
                         self.deferred.push_back(req);
                     }
                 }
@@ -619,12 +792,22 @@ impl NodeCtx {
             req_id: req.req_id,
             reply_to: req.reply_to,
         });
+        // Calls the method issues while running inherit this request's
+        // trace identity (nested spans).
+        let saved_trace = std::mem::replace(
+            &mut self.current_trace,
+            (req.span != 0).then_some((req.trace_id, req.span)),
+        );
         let mut reader = Reader::new(&req.payload);
         let outcome = match String::decode(&mut reader) {
-            Ok(method) => obj.dispatch_named(self, &method, &mut reader),
+            Ok(method) => {
+                self.record_dispatch(&req, &method);
+                obj.dispatch_named(self, &method, &mut reader)
+            }
             Err(e) => Err(e.into()),
         };
         self.current_call = saved;
+        self.current_trace = saved_trace;
 
         // Check the object back in (its slot still exists: destroys of a
         // checked-out object are deferred, never executed mid-call).
@@ -647,11 +830,19 @@ impl NodeCtx {
         // The payload is cloned so `self` stays borrowable during dispatch
         // (constructor args live in the payload while `create` runs).
         let payload = req.payload.clone();
+        let saved_trace = std::mem::replace(
+            &mut self.current_trace,
+            (req.span != 0).then_some((req.trace_id, req.span)),
+        );
         let mut reader = Reader::new(&payload);
         let outcome = match String::decode(&mut reader) {
-            Ok(method) => self.daemon_dispatch(&method, &mut reader),
+            Ok(method) => {
+                self.record_dispatch(&req, &method);
+                self.daemon_dispatch(&method, &mut reader)
+            }
             Err(e) => Err(e.into()),
         };
+        self.current_trace = saved_trace;
         match outcome {
             Ok(DaemonOutcome::Reply(bytes)) => {
                 self.send_response(req.reply_to, req.req_id, Ok(bytes));
@@ -762,13 +953,46 @@ impl NodeCtx {
         }
     }
 
+    /// Stamp the moment a request's method body starts executing.
+    fn record_dispatch(&self, req: &IncomingReq, method: &str) {
+        if let Some(tracer) = &self.tracer {
+            tracer.record(
+                EventKind::ServerDispatch,
+                req.reply_to,
+                req.trace_id,
+                req.span,
+                0,
+                req.req_id,
+                0,
+                0,
+                method.into(),
+            );
+        }
+    }
+
     fn send_response(&mut self, reply_to: MachineId, req_id: u64, result: RemoteResult<Vec<u8>>) {
         // Cache the response so a retransmitted copy of this request is
         // answered without re-executing (at-most-once).
         self.dedup.complete((reply_to, req_id), &result);
         let frame = Frame::Response { req_id, result: result.map(Bytes) };
+        let bytes = wire::to_bytes(&frame);
+        if let Some(tracer) = &self.tracer {
+            if let Some(t) = self.serving_spans.remove(&(reply_to, req_id)) {
+                tracer.record(
+                    EventKind::ServerReply,
+                    reply_to,
+                    t.trace_id,
+                    t.span,
+                    t.parent_span,
+                    req_id,
+                    0,
+                    bytes.len() as u32,
+                    t.method,
+                );
+            }
+        }
         // A dead caller is not an error for the server.
-        let _ = self.net.send(self.machine, reply_to, wire::to_bytes(&frame));
+        let _ = self.net.send(self.machine, reply_to, bytes);
     }
 
     /// Register a locally constructed object (used by the runtime to host
@@ -793,4 +1017,14 @@ enum DaemonOutcome {
     Reply(Vec<u8>),
     ReplyThenHalt(Vec<u8>),
     Busy,
+}
+
+/// First len-prefixed string of a request payload — the method name. Only
+/// the flight recorder calls this; malformed payloads trace as `"?"`.
+fn payload_method(payload: &[u8]) -> Arc<str> {
+    let mut r = Reader::new(payload);
+    match String::decode(&mut r) {
+        Ok(m) => m.into(),
+        Err(_) => "?".into(),
+    }
 }

@@ -35,20 +35,51 @@ impl Backoff {
     }
 
     /// Exponential schedule: `initial, initial*factor, ...` capped at `cap`.
+    ///
+    /// `factor` is clamped to `>= 1.0`: a shrinking or negative multiplier
+    /// would make the schedule non-monotone (and a negative one would drive
+    /// the computed delay below zero, which `Duration` cannot represent).
+    /// NaN also clamps to `1.0`.
     pub const fn exponential(initial: Duration, factor: f64, cap: Duration) -> Self {
-        Backoff { initial, factor, cap }
+        Backoff { initial, factor: Self::clamp_factor(factor), cap }
+    }
+
+    /// `factor >= 1.0`, with NaN mapped to `1.0`. (`f64::max` keeps the
+    /// non-NaN operand, but spell the comparison out so the NaN case is
+    /// visible: `NaN >= 1.0` is false.)
+    const fn clamp_factor(factor: f64) -> f64 {
+        if factor >= 1.0 {
+            factor
+        } else {
+            1.0
+        }
     }
 
     /// Delay before retry `retry` (1-based). `delay(0)` is defined as zero:
     /// the first attempt is never delayed.
+    ///
+    /// Total for every input: the fields are public, so a hand-built
+    /// `Backoff` can carry a junk factor the constructors would have
+    /// clamped — re-clamp here rather than let a negative or NaN product
+    /// reach `Duration::from_secs_f64`, which panics on both.
     pub fn delay(&self, retry: u32) -> Duration {
         if retry == 0 {
             return Duration::ZERO;
         }
-        let scale = self.factor.powi(retry as i32 - 1);
-        let nanos = self.initial.as_secs_f64() * scale;
-        let d = Duration::from_secs_f64(nanos.min(self.cap.as_secs_f64()));
-        d.min(self.cap)
+        let factor = Self::clamp_factor(self.factor);
+        // retry can exceed i32::MAX; saturate the exponent instead of
+        // letting `as i32` wrap negative (which would shrink the delay).
+        let exp = (retry - 1).min(i32::MAX as u32) as i32;
+        let scale = factor.powi(exp);
+        let secs = self.initial.as_secs_f64() * scale;
+        if !secs.is_finite() || secs >= self.cap.as_secs_f64() {
+            // Overflow to +inf, 0 * inf = NaN, or simply past the ceiling.
+            // Return `cap` itself rather than round-tripping it through f64:
+            // `as_secs_f64` rounds up near `Duration::MAX`, and feeding the
+            // rounded value back to `from_secs_f64` panics on overflow.
+            return self.cap;
+        }
+        Duration::from_secs_f64(secs).min(self.cap)
     }
 }
 
@@ -160,6 +191,55 @@ mod tests {
     }
 
     #[test]
+    fn constructor_clamps_shrinking_and_junk_factors() {
+        // Anything below 1.0 — including negatives and NaN — clamps to 1.0,
+        // i.e. degrades to a fixed schedule instead of a shrinking (or
+        // panicking) one.
+        for junk in [0.5, 0.0, -3.0, f64::NEG_INFINITY, f64::NAN] {
+            let b = Backoff::exponential(
+                Duration::from_millis(10),
+                junk,
+                Duration::from_millis(200),
+            );
+            assert_eq!(b.factor, 1.0);
+            assert_eq!(b.delay(5), Duration::from_millis(10));
+        }
+        // Legitimate factors pass through untouched.
+        assert_eq!(
+            Backoff::exponential(Duration::from_millis(1), 3.0, Duration::from_secs(1)).factor,
+            3.0
+        );
+    }
+
+    #[test]
+    fn delay_is_total_for_hand_built_backoff() {
+        // Fields are public: `delay` must not panic even when the factor
+        // bypassed the constructor clamp.
+        let b = Backoff {
+            initial: Duration::from_millis(10),
+            factor: -2.0,
+            cap: Duration::from_millis(100),
+        };
+        for n in 0..10 {
+            assert!(b.delay(n) <= b.cap);
+        }
+        // NaN factor, zero initial with infinite scale, huge retry counts.
+        let weird = Backoff {
+            initial: Duration::ZERO,
+            factor: f64::INFINITY,
+            cap: Duration::from_millis(50),
+        };
+        assert!(weird.delay(3) <= weird.cap);
+        assert!(weird.delay(u32::MAX) <= weird.cap);
+        let near_max = Backoff {
+            initial: Duration::from_secs(1),
+            factor: 10.0,
+            cap: Duration::MAX,
+        };
+        let _ = near_max.delay(u32::MAX); // must not panic on f64 rounding
+    }
+
+    #[test]
     fn no_retry_matches_classic_semantics() {
         let p = CallPolicy::no_retry(Duration::from_secs(30));
         assert_eq!(p.max_retries, 0);
@@ -174,5 +254,60 @@ mod tests {
             .with_backoff(Backoff::fixed(Duration::from_millis(5)));
         assert_eq!(p.max_attempts(), 8);
         assert_eq!(p.backoff.delay(3), Duration::from_millis(5));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The schedule contract, for *any* bit pattern in `factor`
+            /// (NaN, infinities, negatives included): `delay` is total
+            /// (never panics), non-decreasing in the retry number, and
+            /// never exceeds `cap`.
+            #[test]
+            fn delay_is_total_monotone_and_capped(
+                initial_ns in 0u64..5_000_000_000,
+                factor in proptest::num::f64::ANY,
+                cap_ns in 0u64..5_000_000_000,
+            ) {
+                let b = Backoff {
+                    initial: Duration::from_nanos(initial_ns),
+                    factor,
+                    cap: Duration::from_nanos(cap_ns),
+                };
+                // Total, including extreme retry counts.
+                let _ = b.delay(0);
+                let _ = b.delay(u32::MAX);
+                // Capped and monotone over a representative prefix.
+                let mut prev = Duration::ZERO;
+                for n in 1..64u32 {
+                    let d = b.delay(n);
+                    prop_assert!(d <= b.cap);
+                    prop_assert!(d >= prev);
+                    prev = d;
+                }
+            }
+
+            /// Constructor clamping means the constructed schedule always
+            /// starts at `min(initial, cap)` — a shrinking factor can't
+            /// push later delays below the first.
+            #[test]
+            fn constructed_schedule_floor_is_first_delay(
+                initial_ns in 0u64..1_000_000_000,
+                factor in proptest::num::f64::ANY,
+                cap_ns in 0u64..1_000_000_000,
+            ) {
+                let b = Backoff::exponential(
+                    Duration::from_nanos(initial_ns),
+                    factor,
+                    Duration::from_nanos(cap_ns),
+                );
+                let first = b.delay(1);
+                for n in 2..32u32 {
+                    prop_assert!(b.delay(n) >= first);
+                }
+            }
+        }
     }
 }

@@ -16,6 +16,7 @@ use crate::naming::{Directory, DirectoryClient};
 use crate::node::NodeCtx;
 use crate::policy::CallPolicy;
 use crate::process::{ClassRegistry, RemoteClient, ServerClass};
+use crate::trace::{Recorder, TraceCtx, DEFAULT_TRACE_CAPACITY};
 
 /// Configures and launches an oopp cluster.
 ///
@@ -32,6 +33,7 @@ pub struct ClusterBuilder {
     sim_config: ClusterConfig,
     registry: ClassRegistry,
     policy: CallPolicy,
+    tracing: bool,
 }
 
 impl ClusterBuilder {
@@ -50,6 +52,7 @@ impl ClusterBuilder {
             sim_config: ClusterConfig::zero_cost(workers + 1),
             registry,
             policy: CallPolicy::default(),
+            tracing: false,
         }
     }
 
@@ -87,12 +90,24 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enable the flight recorder: every machine records the full lifecycle
+    /// of every call into a per-machine ring (see [`crate::trace`]). Read
+    /// the result by cloning [`Cluster::recorder`] before shutdown and
+    /// calling [`Recorder::merge`] after it. Off by default — a disabled
+    /// recorder costs two zero bytes per request frame.
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
     /// Launch the machines and return the cluster handle plus the driver
     /// context (the paper's "program running on machine 0").
     pub fn build(self) -> (Cluster, Driver) {
-        let ClusterBuilder { workers, sim_config, registry, policy } = self;
+        let ClusterBuilder { workers, sim_config, registry, policy, tracing } = self;
         let sim = SimCluster::new(sim_config);
         let registry = Arc::new(registry);
+        let recorder =
+            tracing.then(|| Arc::new(Recorder::new(workers + 1, DEFAULT_TRACE_CAPACITY)));
 
         let mut threads = Vec::with_capacity(workers);
         for m in 0..workers {
@@ -104,6 +119,7 @@ impl ClusterBuilder {
                 registry.clone(),
                 sim.disks(m).to_vec(),
                 policy,
+                recorder.as_ref().map(|r| r.tracer(m)),
             );
             threads.push(
                 std::thread::Builder::new()
@@ -122,6 +138,7 @@ impl ClusterBuilder {
             registry.clone(),
             sim.disks(driver_id).to_vec(),
             policy,
+            recorder.as_ref().map(|r| r.tracer(driver_id)),
         );
 
         // The cluster name service lives on machine 0 (§5 symbolic
@@ -130,7 +147,7 @@ impl ClusterBuilder {
             .expect("create cluster directory")
             .obj_ref();
 
-        let cluster = Cluster { sim, threads, workers, driver_id };
+        let cluster = Cluster { sim, threads, workers, driver_id, recorder };
         let driver = Driver { ctx: driver_ctx, directory };
         (cluster, driver)
     }
@@ -142,6 +159,7 @@ pub struct Cluster {
     threads: Vec<JoinHandle<()>>,
     workers: usize,
     driver_id: MachineId,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -171,6 +189,15 @@ impl Cluster {
         self.sim.snapshot()
     }
 
+    /// The flight recorder, when the cluster was built with
+    /// [`ClusterBuilder::tracing`]. Clone the `Arc` out *before* calling
+    /// [`shutdown`](Cluster::shutdown) (which consumes the cluster), then
+    /// [`merge`](Recorder::merge) *after* it — the rings are only safe to
+    /// read once the machine threads have joined.
+    pub fn recorder(&self) -> Option<Arc<Recorder>> {
+        self.recorder.clone()
+    }
+
     /// Stop every machine and join its thread. The driver is consumed: a
     /// cluster without machines has nothing left to talk to.
     pub fn shutdown(mut self, mut driver: Driver) {
@@ -194,6 +221,7 @@ impl Cluster {
                 reply_to: self.driver_id,
                 target: crate::ids::DAEMON,
                 payload: Bytes(crate::frame::DaemonCall::Shutdown.encode()),
+                trace: TraceCtx::default(),
             };
             let _ = self.sim.net().send(self.driver_id, m, wire::to_bytes(&frame));
         }

@@ -1,0 +1,793 @@
+//! Flight recorder: causal RMI tracing and per-call latency accounting.
+//!
+//! The paper's claims are statements about communication structure — how
+//! many messages a construct costs, where time is spent between "issue the
+//! remote instruction" and "instruction complete". The counters in
+//! [`NodeStats`](crate::frame::NodeStats) aggregate that structure away;
+//! the flight recorder keeps it. Every call attempt leaves a trail of
+//! [`SpanEvent`]s — queued, sent, dispatched, replied, plus retransmits and
+//! dedup verdicts — in a per-machine lock-free ring, stamped by a cluster
+//! wide [`TraceClock`](simnet::TraceClock). At teardown the rings merge
+//! into a [`Trace`] that can answer causal questions ("which original send
+//! does this retransmit belong to?"), render per-method latency statistics
+//! ([`MethodStats`]), and export Chrome/Perfetto `trace_event` JSON.
+//!
+//! ## The trace contract
+//!
+//! Each outbound call is one **span**. The client allocates the span id
+//! (machine-prefixed, cluster-unique, never 0) and sends it inside the
+//! request frame as a [`TraceCtx`]; the server stamps its own events with
+//! the same id, so client and server halves of one call join on `span`.
+//! Nested calls — a dispatched method issuing its own RMI — inherit the
+//! serving request's `trace_id` and record the serving span as
+//! `parent_span`, producing the causal tree of an entire top-level
+//! operation under one `trace_id`. Root calls start a fresh trace whose id
+//! is the root span's id.
+//!
+//! Tracing off (the default) costs two zero bytes per request frame and
+//! one branch per event site.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use simnet::{MachineId, TraceClock};
+use wire::{wire_struct, V64};
+
+/// Per-call trace identity carried in every request frame.
+///
+/// Both fields travel as varints: an untraced frame (`trace_id == span ==
+/// 0`) pays two bytes. `span` is the id of *this* call's span, allocated by
+/// the caller; `trace_id` groups every span of one top-level operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Id of the top-level operation this call belongs to (0 = untraced).
+    pub trace_id: V64,
+    /// Id of this call's span, allocated by the caller (0 = untraced).
+    pub span: V64,
+}
+
+wire_struct!(TraceCtx { trace_id, span });
+
+impl TraceCtx {
+    /// True when this frame carries no trace identity.
+    pub fn is_empty(&self) -> bool {
+        self.span.0 == 0
+    }
+}
+
+/// What happened at one point of a call's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Client encoded and transmitted the first copy of a request.
+    ClientSend,
+    /// Client retransmitted the identical frame after a reply window lapsed.
+    ClientRetransmit,
+    /// Client consumed the reply; the span is complete.
+    ClientRecv,
+    /// Server admitted a first-sighting request for execution.
+    ServerAdmitNew,
+    /// Server dropped a duplicate whose original is still in flight.
+    ServerAdmitInFlight,
+    /// Server replayed a cached response for an already-executed duplicate.
+    ServerAdmitDone,
+    /// Server parked the request because its target object was busy.
+    ServerDefer,
+    /// Server began executing the method body.
+    ServerDispatch,
+    /// Server transmitted the response.
+    ServerReply,
+}
+
+impl EventKind {
+    /// Short stable label used in exports and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::ClientSend => "send",
+            EventKind::ClientRetransmit => "retransmit",
+            EventKind::ClientRecv => "recv",
+            EventKind::ServerAdmitNew => "admit_new",
+            EventKind::ServerAdmitInFlight => "admit_in_flight",
+            EventKind::ServerAdmitDone => "admit_done",
+            EventKind::ServerDefer => "defer",
+            EventKind::ServerDispatch => "dispatch",
+            EventKind::ServerReply => "reply",
+        }
+    }
+}
+
+/// One recorded point in a call's lifecycle.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Nanoseconds since the cluster's trace epoch.
+    pub at_nanos: u64,
+    /// Lifecycle point.
+    pub kind: EventKind,
+    /// Machine that recorded the event.
+    pub machine: MachineId,
+    /// The other endpoint: target machine for client events, `reply_to`
+    /// for server events.
+    pub peer: MachineId,
+    /// Top-level operation id.
+    pub trace_id: u64,
+    /// This call's span id (joins client and server halves).
+    pub span_id: u64,
+    /// Span of the serving request that issued this call (0 = root).
+    pub parent_span: u64,
+    /// Caller-chosen correlation id (unique per caller, not cluster-wide).
+    pub req_id: u64,
+    /// 1-based attempt number for client events, 0 for server events.
+    pub attempt: u32,
+    /// Frame bytes on the wire for send/retransmit/recv/reply, 0 otherwise.
+    pub bytes: u32,
+    /// Method name (`Arc` so retransmits clone a pointer, not a string).
+    pub method: Arc<str>,
+}
+
+/// Default per-machine ring capacity (events). At ~100 bytes per event a
+/// machine's ring tops out around 3 MB; longer runs wrap, and the merge
+/// reports how many events were overwritten.
+pub const DEFAULT_TRACE_CAPACITY: usize = 32_768;
+
+/// A lock-free single-producer ring of [`SpanEvent`]s.
+///
+/// ## Safety contract
+///
+/// Exactly one thread — the owning machine's engine — calls
+/// [`record`](SpanRing::record); the runtime hands each machine its own
+/// ring. [`drain`](SpanRing::drain) must only run after the producer has
+/// quiesced (the machine thread is joined, or the driver context dropped):
+/// the `Release` store in `record` paired with the `Acquire` load in
+/// `drain` then makes every slot write visible. The runtime upholds this by
+/// merging at cluster teardown.
+pub struct SpanRing {
+    slots: Box<[UnsafeCell<Option<SpanEvent>>]>,
+    /// Total events ever recorded (not clamped to capacity).
+    head: AtomicU64,
+}
+
+// SAFETY: slots are only written by the single producer and only read
+// after it quiesces (see the struct-level contract above).
+unsafe impl Sync for SpanRing {}
+unsafe impl Send for SpanRing {}
+
+impl SpanRing {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a trace ring needs at least one slot");
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(None))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SpanRing { slots, head: AtomicU64::new(0) }
+    }
+
+    /// Append an event, overwriting the oldest once full. Producer-only.
+    pub fn record(&self, ev: SpanEvent) {
+        let h = self.head.load(Ordering::Relaxed);
+        let idx = (h % self.slots.len() as u64) as usize;
+        // SAFETY: single producer (struct contract); no reader runs
+        // concurrently with this write.
+        unsafe { *self.slots[idx].get() = Some(ev) };
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Total events ever recorded, including overwritten ones.
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Copy out the retained events, oldest first. Only safe to call after
+    /// the producer has quiesced (struct contract).
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        let h = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let retained = h.min(cap);
+        let mut out = Vec::with_capacity(retained as usize);
+        for i in (h - retained)..h {
+            let idx = (i % cap) as usize;
+            // SAFETY: producer quiesced; Acquire pairs with its Release.
+            if let Some(ev) = unsafe { (*self.slots[idx].get()).clone() } {
+                out.push(ev);
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// One machine's handle into the recorder: its ring plus the shared clock.
+#[derive(Clone)]
+pub struct Tracer {
+    machine: MachineId,
+    clock: TraceClock,
+    ring: Arc<SpanRing>,
+}
+
+impl Tracer {
+    /// Current trace time in nanoseconds since the cluster epoch.
+    pub fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    /// Record one event, stamped with the current trace time and this
+    /// machine's id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        kind: EventKind,
+        peer: MachineId,
+        trace_id: u64,
+        span_id: u64,
+        parent_span: u64,
+        req_id: u64,
+        attempt: u32,
+        bytes: u32,
+        method: Arc<str>,
+    ) {
+        self.ring.record(SpanEvent {
+            at_nanos: self.clock.now_nanos(),
+            kind,
+            machine: self.machine,
+            peer,
+            trace_id,
+            span_id,
+            parent_span,
+            req_id,
+            attempt,
+            bytes,
+            method,
+        });
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("machine", &self.machine).finish()
+    }
+}
+
+/// The cluster-wide flight recorder: one ring per machine, one clock.
+///
+/// Built by the runtime when tracing is enabled
+/// ([`ClusterBuilder::tracing`](crate::ClusterBuilder::tracing)); clone the
+/// `Arc` out of [`Cluster::recorder`](crate::Cluster::recorder) *before*
+/// shutdown, then call [`merge`](Recorder::merge) *after* it — the rings'
+/// safety contract requires the machine threads to be joined first.
+#[derive(Debug)]
+pub struct Recorder {
+    clock: TraceClock,
+    rings: Vec<Arc<SpanRing>>,
+}
+
+impl Recorder {
+    /// A recorder for `machines` endpoints (workers + driver), each with a
+    /// ring of `capacity` events.
+    pub fn new(machines: usize, capacity: usize) -> Self {
+        let clock = TraceClock::new();
+        let rings = (0..machines).map(|_| Arc::new(SpanRing::new(capacity))).collect();
+        Recorder { clock, rings }
+    }
+
+    /// The handle machine `m` records through.
+    pub fn tracer(&self, machine: MachineId) -> Tracer {
+        Tracer {
+            machine,
+            clock: self.clock,
+            ring: self.rings[machine].clone(),
+        }
+    }
+
+    /// Merge every machine's retained events into one time-ordered
+    /// [`Trace`]. Only call after the producers quiesced (post-shutdown).
+    pub fn merge(&self) -> Trace {
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for ring in &self.rings {
+            let retained = ring.drain();
+            dropped += ring.recorded() - retained.len() as u64;
+            events.extend(retained);
+        }
+        events.sort_by_key(|e| (e.at_nanos, e.machine, e.span_id));
+        Trace { events, dropped }
+    }
+}
+
+/// Per-method latency and traffic accounting, derived from a [`Trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodStats {
+    /// Method name.
+    pub method: String,
+    /// Completed client spans (send … recv matched).
+    pub calls: u64,
+    /// Wire transmissions: first sends plus retransmits.
+    pub attempts: u64,
+    /// Retransmissions alone.
+    pub retransmits: u64,
+    /// Duplicate admissions observed server-side (replayed + suppressed).
+    pub dups: u64,
+    /// Median client latency (send → recv), microseconds.
+    pub p50_micros: u64,
+    /// 99th-percentile client latency, microseconds.
+    pub p99_micros: u64,
+    /// Mean server queue time (admit → dispatch), microseconds.
+    pub queue_micros: u64,
+    /// Mean server service time (dispatch → reply), microseconds.
+    pub service_micros: u64,
+    /// Request bytes put on the wire (including retransmits).
+    pub bytes_out: u64,
+    /// Response bytes received by clients.
+    pub bytes_in: u64,
+}
+
+/// The merged, time-ordered record of a traced run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Every retained event, ordered by timestamp.
+    pub events: Vec<SpanEvent>,
+    /// Events lost to ring wrap-around (0 unless a ring overflowed).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Events of one kind.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Client retransmissions across all machines.
+    pub fn retransmits(&self) -> usize {
+        self.count(EventKind::ClientRetransmit)
+    }
+
+    /// Causal-integrity check: every retransmit and server event must
+    /// belong to a span that recorded a `ClientSend`, and parent spans must
+    /// exist. Returns human-readable violations (empty = sound).
+    pub fn causal_violations(&self) -> Vec<String> {
+        use std::collections::HashSet;
+        let sends: HashSet<u64> = self
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::ClientSend)
+            .map(|e| e.span_id)
+            .collect();
+        let known: HashSet<u64> = self.events.iter().map(|e| e.span_id).collect();
+        let mut violations = Vec::new();
+        for e in &self.events {
+            if e.kind != EventKind::ClientSend && !sends.contains(&e.span_id) {
+                violations.push(format!(
+                    "{} for span {:#x} ({}) has no originating send",
+                    e.kind.label(),
+                    e.span_id,
+                    e.method
+                ));
+            }
+            if e.parent_span != 0 && !known.contains(&e.parent_span) {
+                violations.push(format!(
+                    "span {:#x} ({}) names unknown parent {:#x}",
+                    e.span_id, e.method, e.parent_span
+                ));
+            }
+        }
+        violations
+    }
+
+    /// Timestamp-free shape of the run: one tuple per event, ordered by
+    /// span then lifecycle, for comparing deterministic replays. Two runs
+    /// under the same seed and workload must produce equal structures even
+    /// though wall-clock timings differ.
+    pub fn structure(&self) -> Vec<(u64, &'static str, String, bool)> {
+        let mut shape: Vec<_> = self
+            .events
+            .iter()
+            .map(|e| {
+                (
+                    e.span_id,
+                    e.kind.label(),
+                    e.method.to_string(),
+                    e.parent_span != 0,
+                )
+            })
+            .collect();
+        shape.sort();
+        shape
+    }
+
+    /// Per-method statistics, sorted by method name.
+    pub fn method_stats(&self) -> Vec<MethodStats> {
+        use std::collections::HashMap;
+
+        #[derive(Default)]
+        struct Acc {
+            calls: u64,
+            attempts: u64,
+            retransmits: u64,
+            dups: u64,
+            latencies: Vec<u64>,
+            queue_total: u64,
+            queue_n: u64,
+            service_total: u64,
+            service_n: u64,
+            bytes_out: u64,
+            bytes_in: u64,
+        }
+
+        // span → timestamps of its lifecycle points.
+        let mut send_at: HashMap<u64, u64> = HashMap::new();
+        let mut admit_at: HashMap<u64, u64> = HashMap::new();
+        let mut dispatch_at: HashMap<u64, u64> = HashMap::new();
+        let mut acc: HashMap<&str, Acc> = HashMap::new();
+
+        for e in &self.events {
+            let a = acc.entry(&e.method).or_default();
+            match e.kind {
+                EventKind::ClientSend => {
+                    a.attempts += 1;
+                    a.bytes_out += e.bytes as u64;
+                    send_at.insert(e.span_id, e.at_nanos);
+                }
+                EventKind::ClientRetransmit => {
+                    a.attempts += 1;
+                    a.retransmits += 1;
+                    a.bytes_out += e.bytes as u64;
+                }
+                EventKind::ClientRecv => {
+                    a.bytes_in += e.bytes as u64;
+                    if let Some(&s) = send_at.get(&e.span_id) {
+                        a.calls += 1;
+                        a.latencies.push(e.at_nanos.saturating_sub(s));
+                    }
+                }
+                EventKind::ServerAdmitNew => {
+                    admit_at.insert(e.span_id, e.at_nanos);
+                }
+                EventKind::ServerAdmitInFlight | EventKind::ServerAdmitDone => {
+                    a.dups += 1;
+                }
+                EventKind::ServerDefer => {}
+                EventKind::ServerDispatch => {
+                    dispatch_at.insert(e.span_id, e.at_nanos);
+                    if let Some(&adm) = admit_at.get(&e.span_id) {
+                        a.queue_total += e.at_nanos.saturating_sub(adm);
+                        a.queue_n += 1;
+                    }
+                }
+                EventKind::ServerReply => {
+                    if let Some(&d) = dispatch_at.get(&e.span_id) {
+                        a.service_total += e.at_nanos.saturating_sub(d);
+                        a.service_n += 1;
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<MethodStats> = acc
+            .into_iter()
+            .map(|(method, mut a)| {
+                a.latencies.sort_unstable();
+                let pct = |p: usize| -> u64 {
+                    if a.latencies.is_empty() {
+                        0
+                    } else {
+                        let idx = (a.latencies.len() - 1) * p / 100;
+                        a.latencies[idx] / 1_000
+                    }
+                };
+                MethodStats {
+                    method: method.to_string(),
+                    calls: a.calls,
+                    attempts: a.attempts,
+                    retransmits: a.retransmits,
+                    dups: a.dups,
+                    p50_micros: pct(50),
+                    p99_micros: pct(99),
+                    queue_micros: a.queue_total.checked_div(a.queue_n).unwrap_or(0) / 1_000,
+                    service_micros: a.service_total.checked_div(a.service_n).unwrap_or(0)
+                        / 1_000,
+                    bytes_out: a.bytes_out,
+                    bytes_in: a.bytes_in,
+                }
+            })
+            .collect();
+        out.sort_by(|x, y| x.method.cmp(&y.method));
+        out
+    }
+
+    /// Export as Chrome/Perfetto `trace_event` JSON (load in `ui.perfetto.dev`
+    /// or `chrome://tracing`).
+    ///
+    /// * Completed client spans become `"X"` (complete) events on the
+    ///   caller's track, send → recv.
+    /// * Server executions become `"X"` events on the server's track,
+    ///   dispatch → reply.
+    /// * Retransmits, dedup verdicts, and deferrals become `"i"` (instant)
+    ///   events.
+    ///
+    /// Timestamps are microseconds with nanosecond fractions; `pid` is the
+    /// machine id; `args` carry the causal identity (`trace_id`, `span`,
+    /// `parent_span`, `req_id`).
+    pub fn to_chrome_json(&self) -> String {
+        use std::collections::HashMap;
+        let mut out = String::with_capacity(self.events.len() * 160 + 64);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+
+        let mut emit = |out: &mut String, body: &str| {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push_str(body);
+        };
+
+        // span → (send event index) and (dispatch event index) for pairing.
+        let mut open_send: HashMap<u64, &SpanEvent> = HashMap::new();
+        let mut open_dispatch: HashMap<u64, &SpanEvent> = HashMap::new();
+
+        for e in &self.events {
+            match e.kind {
+                EventKind::ClientSend => {
+                    open_send.insert(e.span_id, e);
+                }
+                EventKind::ServerDispatch => {
+                    open_dispatch.insert(e.span_id, e);
+                }
+                EventKind::ClientRecv => {
+                    if let Some(s) = open_send.remove(&e.span_id) {
+                        let body = format!(
+                            "{{\"name\":{},\"cat\":\"rmi\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                             \"pid\":{},\"tid\":{},\"args\":{{\"trace_id\":{},\"span\":{},\
+                             \"parent_span\":{},\"req_id\":{},\"server\":{},\"attempts\":{}}}}}",
+                            json_string(&s.method),
+                            micros(s.at_nanos),
+                            micros(e.at_nanos.saturating_sub(s.at_nanos)),
+                            s.machine,
+                            s.machine,
+                            s.trace_id,
+                            s.span_id,
+                            s.parent_span,
+                            s.req_id,
+                            s.peer,
+                            e.attempt,
+                        );
+                        emit(&mut out, &body);
+                    }
+                }
+                EventKind::ServerReply => {
+                    if let Some(d) = open_dispatch.remove(&e.span_id) {
+                        let body = format!(
+                            "{{\"name\":{},\"cat\":\"serve\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                             \"pid\":{},\"tid\":{},\"args\":{{\"trace_id\":{},\"span\":{},\
+                             \"parent_span\":{},\"req_id\":{},\"client\":{}}}}}",
+                            json_string(&d.method),
+                            micros(d.at_nanos),
+                            micros(e.at_nanos.saturating_sub(d.at_nanos)),
+                            d.machine,
+                            d.machine,
+                            d.trace_id,
+                            d.span_id,
+                            d.parent_span,
+                            d.req_id,
+                            d.peer,
+                        );
+                        emit(&mut out, &body);
+                    }
+                }
+                EventKind::ClientRetransmit
+                | EventKind::ServerAdmitInFlight
+                | EventKind::ServerAdmitDone
+                | EventKind::ServerDefer => {
+                    let name = format!("{}:{}", e.kind.label(), e.method);
+                    let body = format!(
+                        "{{\"name\":{},\"cat\":\"reliability\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"trace_id\":{},\
+                         \"span\":{},\"req_id\":{},\"attempt\":{}}}}}",
+                        json_string(&name),
+                        micros(e.at_nanos),
+                        e.machine,
+                        e.machine,
+                        e.trace_id,
+                        e.span_id,
+                        e.req_id,
+                        e.attempt,
+                    );
+                    emit(&mut out, &body);
+                }
+                EventKind::ServerAdmitNew => {}
+            }
+        }
+
+        // Timed-out client spans never saw a recv; surface them as instants
+        // rather than dropping them silently. (Sorted so the export is
+        // byte-stable for a given trace.)
+        let mut unanswered: Vec<_> = open_send.into_iter().collect();
+        unanswered.sort_by_key(|(span, _)| *span);
+        for (_, s) in unanswered {
+            let name = format!("unanswered:{}", s.method);
+            let body = format!(
+                "{{\"name\":{},\"cat\":\"reliability\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+                 \"pid\":{},\"tid\":{},\"args\":{{\"span\":{},\"req_id\":{}}}}}",
+                json_string(&name),
+                micros(s.at_nanos),
+                s.machine,
+                s.machine,
+                s.span_id,
+                s.req_id,
+            );
+            emit(&mut out, &body);
+        }
+
+        out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":");
+        out.push_str(&self.dropped.to_string());
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Nanoseconds → microseconds with three decimals (Chrome `ts` is µs).
+fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+/// Minimal JSON string encoder for method names and labels.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, at: u64, span: u64, method: &str) -> SpanEvent {
+        SpanEvent {
+            at_nanos: at,
+            kind,
+            machine: 0,
+            peer: 1,
+            trace_id: span,
+            span_id: span,
+            parent_span: 0,
+            req_id: span,
+            attempt: 1,
+            bytes: 10,
+            method: method.into(),
+        }
+    }
+
+    #[test]
+    fn ring_retains_most_recent_events_after_wrap() {
+        let ring = SpanRing::new(4);
+        for i in 0..10u64 {
+            ring.record(ev(EventKind::ClientSend, i, i, "m"));
+        }
+        let drained = ring.drain();
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(drained.len(), 4);
+        let ats: Vec<u64> = drained.iter().map(|e| e.at_nanos).collect();
+        assert_eq!(ats, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn recorder_merge_orders_events_and_counts_drops() {
+        let rec = Recorder::new(2, 4);
+        let t0 = rec.tracer(0);
+        let t1 = rec.tracer(1);
+        t0.record(EventKind::ClientSend, 1, 5, 5, 0, 5, 1, 10, "a".into());
+        t1.record(EventKind::ServerDispatch, 0, 5, 5, 0, 5, 0, 0, "a".into());
+        let trace = rec.merge();
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.dropped, 0);
+        assert!(trace.events.windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos));
+    }
+
+    #[test]
+    fn method_stats_compute_latency_and_attempts() {
+        let t = Trace {
+            events: vec![
+                ev(EventKind::ClientSend, 1_000, 7, "get"),
+                ev(EventKind::ServerAdmitNew, 2_000, 7, "get"),
+                ev(EventKind::ServerDispatch, 3_000, 7, "get"),
+                ev(EventKind::ServerReply, 5_000, 7, "get"),
+                ev(EventKind::ClientRecv, 9_000, 7, "get"),
+                ev(EventKind::ClientSend, 0, 8, "set"),
+                ev(EventKind::ClientRetransmit, 500, 8, "set"),
+                ev(EventKind::ClientRecv, 10_500, 8, "set"),
+            ],
+            dropped: 0,
+        };
+        let stats = t.method_stats();
+        assert_eq!(stats.len(), 2);
+        let get = &stats[0];
+        assert_eq!(get.method, "get");
+        assert_eq!(get.calls, 1);
+        assert_eq!(get.attempts, 1);
+        assert_eq!(get.p50_micros, 8); // 9_000 - 1_000 ns = 8 µs
+        assert_eq!(get.queue_micros, 1);
+        assert_eq!(get.service_micros, 2);
+        let set = &stats[1];
+        assert_eq!(set.retransmits, 1);
+        assert_eq!(set.attempts, 2);
+        assert_eq!(set.bytes_out, 20); // both transmissions count
+        assert_eq!(set.p50_micros, 10);
+    }
+
+    #[test]
+    fn causal_violations_catch_orphan_retransmits() {
+        let sound = Trace {
+            events: vec![
+                ev(EventKind::ClientSend, 0, 1, "m"),
+                ev(EventKind::ClientRetransmit, 1, 1, "m"),
+            ],
+            dropped: 0,
+        };
+        assert!(sound.causal_violations().is_empty());
+
+        let orphan = Trace {
+            events: vec![ev(EventKind::ClientRetransmit, 1, 2, "m")],
+            dropped: 0,
+        };
+        assert_eq!(orphan.causal_violations().len(), 1);
+    }
+
+    #[test]
+    fn chrome_export_is_balanced_json_with_expected_events() {
+        let t = Trace {
+            events: vec![
+                ev(EventKind::ClientSend, 1_000, 7, "get\"x\""),
+                ev(EventKind::ServerDispatch, 3_000, 7, "get\"x\""),
+                ev(EventKind::ServerReply, 5_000, 7, "get\"x\""),
+                ev(EventKind::ClientRecv, 9_000, 7, "get\"x\""),
+                ev(EventKind::ClientRetransmit, 2_000, 7, "get\"x\""),
+                ev(EventKind::ClientSend, 100, 9, "lost"),
+            ],
+            dropped: 3,
+        };
+        let json = t.to_chrome_json();
+        // Structural sanity: balanced braces/brackets, no raw quotes leaked.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("retransmit:get\\\"x\\\""));
+        assert!(json.contains("unanswered:lost"));
+        assert!(json.contains("\"dropped_events\":3"));
+        // Client complete span: 1µs start, 8µs duration.
+        assert!(json.contains("\"ts\":1.000,\"dur\":8.000"));
+    }
+
+    #[test]
+    fn structure_is_timestamp_free() {
+        let a = Trace {
+            events: vec![
+                ev(EventKind::ClientSend, 10, 1, "m"),
+                ev(EventKind::ClientRecv, 20, 1, "m"),
+            ],
+            dropped: 0,
+        };
+        let b = Trace {
+            events: vec![
+                ev(EventKind::ClientRecv, 9_999, 1, "m"),
+                ev(EventKind::ClientSend, 5, 1, "m"),
+            ],
+            dropped: 0,
+        };
+        assert_eq!(a.structure(), b.structure());
+    }
+}

@@ -45,6 +45,7 @@ pub use faults::{FaultInjector, FaultPlan};
 pub use message::{MachineId, Packet};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use network::Network;
+pub use time::TraceClock;
 pub use topology::Topology;
 
 #[cfg(test)]

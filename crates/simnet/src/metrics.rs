@@ -15,6 +15,7 @@ pub struct Metrics {
     bytes_sent: AtomicU64,
     per_machine_sent: Vec<AtomicU64>,
     per_machine_received: Vec<AtomicU64>,
+    per_machine_bytes_received: Vec<AtomicU64>,
     disk_reads: AtomicU64,
     disk_writes: AtomicU64,
     disk_bytes_read: AtomicU64,
@@ -38,6 +39,11 @@ pub struct MetricsSnapshot {
     pub per_machine_sent: Vec<u64>,
     /// Messages delivered, per destination machine.
     pub per_machine_received: Vec<u64>,
+    /// Payload bytes delivered, per destination machine. Under faults this
+    /// diverges from a sender-side view: a machine behind a lossy or
+    /// partitioned link *receives* fewer bytes than its peers sent it, and
+    /// that asymmetry is only visible receiver-side.
+    pub per_machine_bytes_received: Vec<u64>,
     /// Disk read operations across all disks.
     pub disk_reads: u64,
     /// Disk write operations across all disks.
@@ -70,6 +76,7 @@ impl Metrics {
             bytes_sent: AtomicU64::new(0),
             per_machine_sent: (0..machines).map(|_| AtomicU64::new(0)).collect(),
             per_machine_received: (0..machines).map(|_| AtomicU64::new(0)).collect(),
+            per_machine_bytes_received: (0..machines).map(|_| AtomicU64::new(0)).collect(),
             disk_reads: AtomicU64::new(0),
             disk_writes: AtomicU64::new(0),
             disk_bytes_read: AtomicU64::new(0),
@@ -92,10 +99,13 @@ impl Metrics {
         }
     }
 
-    /// Record one message delivered to `dst`.
-    pub fn record_delivery(&self, dst: usize) {
+    /// Record one message of `bytes` payload delivered to `dst`.
+    pub fn record_delivery(&self, dst: usize, bytes: usize) {
         if let Some(c) = self.per_machine_received.get(dst) {
             c.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(c) = self.per_machine_bytes_received.get(dst) {
+            c.fetch_add(bytes as u64, Ordering::Relaxed);
         }
     }
 
@@ -153,6 +163,11 @@ impl Metrics {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            per_machine_bytes_received: self
+                .per_machine_bytes_received
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
             disk_reads: self.disk_reads.load(Ordering::Relaxed),
             disk_writes: self.disk_writes.load(Ordering::Relaxed),
             disk_bytes_read: self.disk_bytes_read.load(Ordering::Relaxed),
@@ -184,6 +199,10 @@ impl MetricsSnapshot {
             per_machine_received: sub_vec(
                 &self.per_machine_received,
                 &earlier.per_machine_received,
+            ),
+            per_machine_bytes_received: sub_vec(
+                &self.per_machine_bytes_received,
+                &earlier.per_machine_bytes_received,
             ),
             disk_reads: self.disk_reads.saturating_sub(earlier.disk_reads),
             disk_writes: self.disk_writes.saturating_sub(earlier.disk_writes),
@@ -227,7 +246,7 @@ mod tests {
         m.record_send(0, 100);
         m.record_send(0, 50);
         m.record_send(2, 7);
-        m.record_delivery(1);
+        m.record_delivery(1, 100);
         m.record_disk_read(4096, 1_000);
         m.record_disk_write(512, 2_000);
 
@@ -236,6 +255,7 @@ mod tests {
         assert_eq!(s.bytes_sent, 157);
         assert_eq!(s.per_machine_sent, vec![2, 0, 1]);
         assert_eq!(s.per_machine_received, vec![0, 1, 0]);
+        assert_eq!(s.per_machine_bytes_received, vec![0, 100, 0]);
         assert_eq!(s.disk_reads, 1);
         assert_eq!(s.disk_writes, 1);
         assert_eq!(s.disk_bytes_read, 4096);
@@ -248,10 +268,28 @@ mod tests {
     fn out_of_range_machine_ids_are_ignored() {
         let m = Metrics::new(1);
         m.record_send(5, 10); // machine 5 doesn't exist; totals still count
-        m.record_delivery(9);
+        m.record_delivery(9, 10);
         let s = m.snapshot();
         assert_eq!(s.messages_sent, 1);
         assert_eq!(s.per_machine_sent, vec![0]);
+        assert_eq!(s.per_machine_bytes_received, vec![0]);
+    }
+
+    #[test]
+    fn delivered_bytes_accumulate_per_machine() {
+        let m = Metrics::new(2);
+        m.record_delivery(0, 64);
+        m.record_delivery(0, 36);
+        m.record_delivery(1, 8);
+        let s = m.snapshot();
+        assert_eq!(s.per_machine_received, vec![2, 1]);
+        assert_eq!(s.per_machine_bytes_received, vec![100, 8]);
+
+        // And they diff like every other counter.
+        let before = s;
+        m.record_delivery(1, 5);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.per_machine_bytes_received, vec![0, 5]);
     }
 
     #[test]

@@ -174,7 +174,7 @@ impl Network {
         let (src, dst) = (packet.src, packet.dst);
         match route {
             Route::Direct(tx) => {
-                self.metrics.record_delivery(dst);
+                self.metrics.record_delivery(dst, packet.len());
                 tx.send(packet).map_err(|_| NetError::Disconnected(dst))
             }
             Route::Nic(tx) => {
@@ -202,12 +202,13 @@ fn nic_loop(
         let done = start + transfer_time(packet.len(), cost.bytes_per_sec);
         link_free_at = done;
         sleep_until(done);
+        let bytes = packet.len();
         if inbox.send(packet).is_err() {
             // Machine shut down mid-delivery; keep draining so senders
             // never block, and count the loss instead of swallowing it.
             metrics.record_delivery_dropped();
         } else {
-            metrics.record_delivery(dst);
+            metrics.record_delivery(dst, bytes);
         }
     }
 }
@@ -351,6 +352,30 @@ mod tests {
         assert_eq!(s.bytes_sent, 12);
         assert_eq!(s.per_machine_sent, vec![1, 0, 1]);
         assert_eq!(s.per_machine_received, vec![0, 2, 0]);
+        assert_eq!(s.per_machine_bytes_received, vec![0, 12, 0]);
+    }
+
+    #[test]
+    fn fault_drops_show_up_as_received_byte_asymmetry() {
+        // Machine 1 sits behind a lossy link: bytes_sent counts everything,
+        // but its per_machine_bytes_received only counts what survived.
+        let (net, inboxes) = net_faulty(
+            2,
+            TopologySpec::Uniform(NetCost::zero()),
+            FaultPlan::seeded(3).with_drop(0.5),
+        );
+        for _ in 0..40 {
+            net.send(0, 1, vec![0u8; 10]).unwrap();
+        }
+        let s = net.metrics().snapshot();
+        assert!(s.faults_dropped > 0);
+        assert_eq!(s.bytes_sent, 400);
+        assert_eq!(
+            s.per_machine_bytes_received[1],
+            400 - 10 * s.faults_dropped,
+            "delivered bytes must equal sent bytes minus dropped frames"
+        );
+        drop(inboxes);
     }
 
     #[test]

@@ -41,6 +41,41 @@ pub fn precise_sleep(dur: Duration) {
     sleep_until(Instant::now() + dur);
 }
 
+/// A monotonic clock anchored at a fixed epoch, for stamping trace events.
+///
+/// Every machine in a cluster shares one `TraceClock` (it is `Copy` and
+/// epoch-anchored, so clones agree), which makes timestamps taken on
+/// different simulated machines directly comparable — the property a
+/// cross-machine span merge needs. Nanosecond resolution in a `u64` covers
+/// ~584 years of run time, far past any simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceClock {
+    epoch: Instant,
+}
+
+impl TraceClock {
+    /// A clock whose epoch is "now". Create once per cluster, then share.
+    pub fn new() -> Self {
+        TraceClock { epoch: Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since the epoch.
+    pub fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Nanoseconds from the epoch to `at` (zero if `at` precedes it).
+    pub fn nanos_at(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_nanos() as u64
+    }
+}
+
+impl Default for TraceClock {
+    fn default() -> Self {
+        TraceClock::new()
+    }
+}
+
 /// Time to push `bytes` through a link or device of `bytes_per_sec`.
 ///
 /// An infinite (or non-positive — treated as "uncosted") rate yields zero.
@@ -99,5 +134,26 @@ mod tests {
         let t0 = Instant::now();
         sleep_until(t0); // already-elapsed deadline
         assert!(t0.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn trace_clock_is_monotone_and_shared() {
+        let clock = TraceClock::new();
+        let copy = clock; // all copies share the epoch
+        let a = clock.now_nanos();
+        precise_sleep(Duration::from_micros(200));
+        let b = copy.now_nanos();
+        assert!(b > a, "clock went backwards: {a} -> {b}");
+        assert!(b - a >= 200_000, "slept 200us but clock advanced {}ns", b - a);
+    }
+
+    #[test]
+    fn trace_clock_nanos_at_saturates_before_epoch() {
+        let before = Instant::now();
+        precise_sleep(Duration::from_micros(200));
+        let clock = TraceClock::new();
+        assert_eq!(clock.nanos_at(before), 0);
+        let later = Instant::now() + Duration::from_millis(1);
+        assert!(clock.nanos_at(later) > 0);
     }
 }

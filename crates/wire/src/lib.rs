@@ -50,6 +50,7 @@ mod macros;
 
 pub use codec::{from_bytes, to_bytes, Wire};
 pub use error::{WireError, WireResult};
+pub use primitives::V64;
 pub use reader::Reader;
 pub use writer::Writer;
 

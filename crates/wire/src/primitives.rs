@@ -106,6 +106,42 @@ impl Wire for isize {
     }
 }
 
+/// A `u64` that travels as a LEB128 varint instead of 8 fixed bytes.
+///
+/// `u64` itself encodes fixed-width (array elements must be memcpy-able —
+/// see the module conventions above), but protocol *header* fields are a
+/// different regime: the RMI frame carries per-call trace identifiers in
+/// every request, and those are zero when tracing is off and small for the
+/// first ~2^28 calls when it is on. `V64` gives such fields the varint
+/// treatment lengths already get, so an untraced frame pays two bytes of
+/// header, not sixteen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct V64(pub u64);
+
+impl Wire for V64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> WireResult<Self> {
+        Ok(V64(r.take_varint()?))
+    }
+    fn encoded_len_hint(&self) -> usize {
+        crate::varint::encoded_len(self.0)
+    }
+}
+
+impl From<u64> for V64 {
+    fn from(v: u64) -> Self {
+        V64(v)
+    }
+}
+
+impl From<V64> for u64 {
+    fn from(v: V64) -> Self {
+        v.0
+    }
+}
+
 impl Wire for char {
     fn encode(&self, w: &mut Writer) {
         w.put_u32(*self as u32);
@@ -199,6 +235,20 @@ mod tests {
     fn usize_is_varint_compact() {
         assert_eq!(to_bytes(&5usize).len(), 1);
         assert_eq!(to_bytes(&300usize).len(), 2);
+    }
+
+    #[test]
+    fn v64_is_varint_compact_and_roundtrips() {
+        rt(V64(0));
+        rt(V64(127));
+        rt(V64(128));
+        rt(V64(u64::MAX));
+        assert_eq!(to_bytes(&V64(0)).len(), 1);
+        assert_eq!(to_bytes(&V64(127)).len(), 1);
+        assert_eq!(to_bytes(&V64(1 << 20)).len(), 3);
+        assert_eq!(to_bytes(&V64(u64::MAX)).len(), 10);
+        assert_eq!(V64(7).encoded_len_hint(), to_bytes(&V64(7)).len());
+        assert_eq!(u64::from(V64::from(42u64)), 42);
     }
 
     #[test]

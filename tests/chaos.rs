@@ -280,6 +280,147 @@ fn crash_mid_run_recovers_from_replicated_snapshot() {
     cluster.shutdown(driver);
 }
 
+/// The split-loop workload again, with the flight recorder on. Returns the
+/// gathered data, the merged trace, the driver's retransmission counter,
+/// and the fabric's (drops, duplicates).
+fn traced_chaos_run(
+    workers: usize,
+    n: usize,
+    faults: FaultPlan,
+) -> (Vec<f64>, oopp_repro::oopp::Trace, u64, (u64, u64)) {
+    let (cluster, mut driver) = ClusterBuilder::new(workers)
+        .sim_config(ClusterConfig::zero_cost(0).with_faults(faults))
+        .call_policy(chaos_policy())
+        .tracing(true)
+        .build();
+
+    let blocks: Vec<_> = (0..workers)
+        .map(|m| DoubleBlockClient::new_on(&mut driver, m, n).unwrap())
+        .collect();
+    for (i, b) in blocks.iter().enumerate() {
+        b.fill(&mut driver, i as f64).unwrap();
+    }
+    for round in 1..=4 {
+        let addend = F64s((0..n).map(|j| (round * j) as f64).collect());
+        let pending: Vec<_> = blocks
+            .iter()
+            .map(|b| b.axpy_range_async(&mut driver, 0, 0.5, addend.clone()).unwrap())
+            .collect();
+        join(&mut driver, pending).unwrap();
+    }
+    let mut out = Vec::with_capacity(workers * n);
+    for b in &blocks {
+        out.extend(b.read_range(&mut driver, 0, n).unwrap().0);
+    }
+
+    let retried = driver.local_stats().calls_retried;
+    let snap = cluster.snapshot();
+    let fabric = (snap.total_fault_drops(), snap.faults_duplicated);
+    let recorder = cluster.recorder().expect("tracing enabled");
+    cluster.sim().faults().calm();
+    cluster.shutdown(driver);
+    (out, recorder.merge(), retried, fabric)
+}
+
+/// The flight recorder must agree with the reliability layer's own
+/// accounting: its retransmit events match the driver's `calls_retried`
+/// counter exactly, and every retransmission is explained by a fabric
+/// fault (a dropped or duplicated frame) — no spurious timeouts.
+#[test]
+fn trace_retransmits_cross_check_fault_counters() {
+    use oopp_repro::oopp::EventKind;
+
+    let plan = FaultPlan::seeded(0xBEEF).with_drop(0.08).with_dup(0.03);
+    let (data, trace, retried, (drops, dups)) = traced_chaos_run(3, 48, plan);
+
+    let (clean, ..) = traced_chaos_run(3, 48, FaultPlan::none());
+    assert_eq!(data, clean, "retries must be invisible to the computation");
+
+    assert!(retried > 0, "an 8% loss plan must force retransmissions");
+    assert_eq!(
+        trace.retransmits() as u64,
+        retried,
+        "flight recorder and NodeStats disagree on retransmissions"
+    );
+    // On a zero-cost fabric a reply window only lapses because the attempt's
+    // request or response was lost; every retransmit therefore maps to a
+    // distinct injected fault.
+    assert!(
+        trace.retransmits() as u64 <= drops + dups,
+        "{} retransmits cannot be explained by {drops} drops + {dups} dups",
+        trace.retransmits()
+    );
+    // Server-side dedup verdicts appear as events too: a retransmitted
+    // request whose original executed shows up as admit_done/admit_in_flight.
+    let verdicts = trace.count(EventKind::ServerAdmitInFlight)
+        + trace.count(EventKind::ServerAdmitDone);
+    assert!(
+        verdicts > 0,
+        "retransmissions under duplication must produce dedup verdict events"
+    );
+}
+
+/// Causality: every retransmit, server admit, dispatch, and reply event
+/// belongs to a span that recorded an originating `ClientSend`, and every
+/// retransmitted `req_id` pairs 1:1 with its original send.
+#[test]
+fn every_retransmit_links_to_its_original_span() {
+    use oopp_repro::oopp::EventKind;
+    use std::collections::HashMap;
+
+    let plan = FaultPlan::seeded(0xCAFE).with_drop(0.10).with_dup(0.05);
+    let (_, trace, retried, _) = traced_chaos_run(2, 32, plan);
+    assert!(retried > 0);
+
+    let violations = trace.causal_violations();
+    assert!(violations.is_empty(), "causal violations: {violations:?}");
+
+    // Each retransmitted span has exactly one original ClientSend, with the
+    // same req_id and method.
+    let mut sends: HashMap<u64, (&str, u64)> = HashMap::new();
+    for e in &trace.events {
+        if e.kind == EventKind::ClientSend {
+            let prev = sends.insert(e.span_id, (&e.method, e.req_id));
+            assert!(prev.is_none(), "span {:#x} sent twice", e.span_id);
+        }
+    }
+    for e in &trace.events {
+        if e.kind == EventKind::ClientRetransmit {
+            let (method, req_id) = sends[&e.span_id];
+            assert_eq!(*e.method, *method);
+            assert_eq!(e.req_id, req_id);
+            assert!(e.attempt >= 2, "a retransmit is never the first attempt");
+        }
+    }
+
+    // And the nested-call structure is visible: worker-side create calls
+    // issued by the directory bootstrap aside, every span with a parent
+    // names a span that exists.
+    let export = trace.to_chrome_json();
+    assert!(export.contains("\"traceEvents\""));
+    assert_eq!(export.matches('{').count(), export.matches('}').count());
+}
+
+/// Deterministic replay extends to the flight recorder: the same seed must
+/// produce the identical span tree (same spans, same lifecycle events, same
+/// methods), timestamps aside.
+#[test]
+fn same_seed_replays_identical_span_tree() {
+    let plan = FaultPlan::seeded(0x5EED).with_drop(0.07).with_dup(0.02);
+    let (data_a, trace_a, retried_a, faults_a) = traced_chaos_run(3, 40, plan.clone());
+    let (data_b, trace_b, retried_b, faults_b) = traced_chaos_run(3, 40, plan);
+
+    assert_eq!(data_a, data_b);
+    assert_eq!(retried_a, retried_b);
+    assert_eq!(faults_a, faults_b);
+    assert_eq!(
+        trace_a.structure(),
+        trace_b.structure(),
+        "same seed, different span trees"
+    );
+    assert_eq!(trace_a.dropped, 0, "test workload must fit the rings");
+}
+
 mod proptests {
     use super::*;
     use proptest::prelude::*;
