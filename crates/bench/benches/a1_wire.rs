@@ -11,7 +11,11 @@ struct CallHeader {
     target: u64,
     method: String,
 }
-wire_struct!(CallHeader { req_id, target, method });
+wire_struct!(CallHeader {
+    req_id,
+    target,
+    method
+});
 
 #[derive(Debug, PartialEq)]
 enum SampleCall {
@@ -27,14 +31,21 @@ fn bench_wire(c: &mut Criterion) {
     let mut g = c.benchmark_group("a1_wire");
 
     // Small structured messages (per-call framing cost).
-    let header = CallHeader { req_id: 42, target: 7, method: "read_sub".into() };
+    let header = CallHeader {
+        req_id: 42,
+        target: 7,
+        method: "read_sub".into(),
+    };
     g.bench_function("encode_call_header", |b| b.iter(|| wire::to_bytes(&header)));
     let header_bytes = wire::to_bytes(&header);
     g.bench_function("decode_call_header", |b| {
         b.iter(|| wire::from_bytes::<CallHeader>(&header_bytes).unwrap())
     });
 
-    let call = SampleCall::Write { page: 3, data: vec![7u8; 256] };
+    let call = SampleCall::Write {
+        page: 3,
+        data: vec![7u8; 256],
+    };
     g.bench_function("encode_enum_call", |b| b.iter(|| wire::to_bytes(&call)));
     let call_bytes = wire::to_bytes(&call);
     g.bench_function("decode_enum_call", |b| {
@@ -47,18 +58,22 @@ fn bench_wire(c: &mut Criterion) {
         let doubles = F64s((0..elems).map(|i| i as f64).collect());
         let plain: Vec<f64> = doubles.0.clone();
         g.throughput(Throughput::Bytes(bytes));
-        g.bench_with_input(BenchmarkId::new("encode_f64s_bulk", bytes), &doubles, |b, d| {
-            b.iter(|| wire::to_bytes(d))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("encode_f64s_bulk", bytes),
+            &doubles,
+            |b, d| b.iter(|| wire::to_bytes(d)),
+        );
         g.bench_with_input(
             BenchmarkId::new("encode_vec_f64_elementwise", bytes),
             &plain,
             |b, d| b.iter(|| wire::to_bytes(d)),
         );
         let encoded = wire::to_bytes(&doubles);
-        g.bench_with_input(BenchmarkId::new("decode_f64s_bulk", bytes), &encoded, |b, e| {
-            b.iter(|| wire::from_bytes::<F64s>(e).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("decode_f64s_bulk", bytes),
+            &encoded,
+            |b, e| b.iter(|| wire::from_bytes::<F64s>(e).unwrap()),
+        );
     }
 
     let page = Bytes(vec![0xa5u8; 1 << 20]);

@@ -12,21 +12,25 @@ fn bench_collectives(c: &mut Criterion) {
 
     for n in [2usize, 4, 8] {
         // oopp barrier: n workers + driver.
-        let (_cluster, mut driver) =
-            ClusterBuilder::new(n).register::<Syncer>().build();
+        let (_cluster, mut driver) = ClusterBuilder::new(n).register::<Syncer>().build();
         let barrier = BarrierClient::new_on(&mut driver, 0, n + 1).unwrap();
-        let syncers: Vec<_> =
-            (0..n).map(|m| SyncerClient::new_on(&mut driver, m).unwrap()).collect();
-        g.bench_with_input(BenchmarkId::new("oopp_barrier", n), &syncers, |b, syncers| {
-            b.iter(|| {
-                let pending: Vec<_> = syncers
-                    .iter()
-                    .map(|s| s.sync_async(&mut driver, barrier).unwrap())
-                    .collect();
-                barrier.enter(&mut driver).unwrap();
-                join(&mut driver, pending).unwrap();
-            })
-        });
+        let syncers: Vec<_> = (0..n)
+            .map(|m| SyncerClient::new_on(&mut driver, m).unwrap())
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("oopp_barrier", n),
+            &syncers,
+            |b, syncers| {
+                b.iter(|| {
+                    let pending: Vec<_> = syncers
+                        .iter()
+                        .map(|s| s.sync_async(&mut driver, barrier).unwrap())
+                        .collect();
+                    barrier.enter(&mut driver).unwrap();
+                    join(&mut driver, pending).unwrap();
+                })
+            },
+        );
 
         // mplite: whole-world run of K barriers (amortizes spawn).
         g.bench_with_input(BenchmarkId::new("mplite_barrier_x16", n), &n, |b, &n| {

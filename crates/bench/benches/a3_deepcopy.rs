@@ -7,8 +7,9 @@ use oopp::{ClusterBuilder, DoubleBlockClient, RemoteClient};
 fn bench_deepcopy(c: &mut Criterion) {
     let n = 4usize;
     let (_cluster, mut driver) = ClusterBuilder::new(n).register::<GroupTable>().build();
-    let members: Vec<_> =
-        (0..n).map(|m| DoubleBlockClient::new_on(&mut driver, m, 16).unwrap()).collect();
+    let members: Vec<_> = (0..n)
+        .map(|m| DoubleBlockClient::new_on(&mut driver, m, 16).unwrap())
+        .collect();
     let table = GroupTableClient::new_on(
         &mut driver,
         0,
@@ -18,23 +19,31 @@ fn bench_deepcopy(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("a3_deepcopy");
     for calls in [16usize, 64] {
-        g.bench_with_input(BenchmarkId::new("deep_local_table", calls), &calls, |b, &k| {
-            b.iter(|| {
-                for i in 0..k {
-                    std::hint::black_box(members[i % n].get(&mut driver, 0).unwrap());
-                }
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("shallow_remote_table", calls), &calls, |b, &k| {
-            b.iter(|| {
-                for i in 0..k {
-                    let r = table.get(&mut driver, i % n).unwrap();
-                    std::hint::black_box(
-                        DoubleBlockClient::from_ref(r).get(&mut driver, 0).unwrap(),
-                    );
-                }
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("deep_local_table", calls),
+            &calls,
+            |b, &k| {
+                b.iter(|| {
+                    for i in 0..k {
+                        std::hint::black_box(members[i % n].get(&mut driver, 0).unwrap());
+                    }
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("shallow_remote_table", calls),
+            &calls,
+            |b, &k| {
+                b.iter(|| {
+                    for i in 0..k {
+                        let r = table.get(&mut driver, i % n).unwrap();
+                        std::hint::black_box(
+                            DoubleBlockClient::from_ref(r).get(&mut driver, 0).unwrap(),
+                        );
+                    }
+                })
+            },
+        );
     }
     g.finish();
 }

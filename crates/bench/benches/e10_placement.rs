@@ -1,0 +1,68 @@
+//! E10: cost of the migration machinery itself, zero-cost substrate.
+//!
+//! The experiment table (Zipf workload, Static vs GreedyRebalance, chaos
+//! variant) comes from `reproduce e10`; these benches track the price of
+//! one live migration round trip — quiesce, transfer, commit — and of a
+//! call that lands on a forwarding stub and chases one redirect.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oopp::{Backoff, CallPolicy, ClusterBuilder, DoubleBlockClient, RemoteClient};
+
+fn policy() -> CallPolicy {
+    CallPolicy::reliable(Duration::from_millis(100))
+        .with_max_retries(6)
+        .with_backoff(Backoff::fixed(Duration::from_millis(5)))
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_placement");
+
+    // One full migration round trip, ping-ponging a block between two
+    // machines, at increasing state sizes.
+    for n in [1usize << 8, 1 << 12, 1 << 16] {
+        let (_cluster, mut driver) = ClusterBuilder::new(2).call_policy(policy()).build();
+        let block = DoubleBlockClient::new_on(&mut driver, 0, n).unwrap();
+        block.fill(&mut driver, 1.5).unwrap();
+        let mut at = block.obj_ref();
+        g.bench_with_input(BenchmarkId::new("migrate", n * 8), &n, |b, _| {
+            b.iter(|| {
+                let to = 1 - at.machine;
+                at = driver.migrate(at, to).unwrap();
+                std::hint::black_box(at);
+            })
+        });
+    }
+
+    // A call through a forwarding stub: the stale pointer costs one extra
+    // hop (Moved redirect + re-send) over a direct call.
+    let (_cluster, mut driver) = ClusterBuilder::new(2).call_policy(policy()).build();
+    let block = DoubleBlockClient::new_on(&mut driver, 0, 64).unwrap();
+    block.fill(&mut driver, 2.0).unwrap();
+    let direct = block.obj_ref();
+    driver.migrate(direct, 1).unwrap();
+    g.bench_function("forwarded_get", |b| {
+        b.iter(|| {
+            // Re-point the client at the stale address each iteration so
+            // every call pays the redirect, not just the first.
+            driver.forget_move(direct);
+            std::hint::black_box(
+                DoubleBlockClient::from_ref(direct)
+                    .get(&mut driver, 7)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_migration
+}
+criterion_main!(benches);

@@ -28,9 +28,11 @@ fn bench_rmi(c: &mut Criterion) {
 
     for elems in [1usize << 10, 1 << 14, 1 << 18] {
         g.throughput(Throughput::Bytes((elems * 8) as u64));
-        g.bench_with_input(BenchmarkId::new("read_range", elems * 8), &elems, |b, &n| {
-            b.iter(|| block.read_range(&mut driver, 0, n).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("read_range", elems * 8),
+            &elems,
+            |b, &n| b.iter(|| block.read_range(&mut driver, 0, n).unwrap()),
+        );
     }
     g.finish();
 }

@@ -25,8 +25,12 @@ fn bench_move_compute(c: &mut Criterion) {
             None,
         )
         .unwrap();
-        dev.write_array(&mut driver, 0, ArrayPage::generate(side, side, side, 1).into_f64s())
-            .unwrap();
+        dev.write_array(
+            &mut driver,
+            0,
+            ArrayPage::generate(side, side, side, 1).into_f64s(),
+        )
+        .unwrap();
         let bytes = (side * side * side * 8) as u64;
 
         g.throughput(Throughput::Bytes(bytes));

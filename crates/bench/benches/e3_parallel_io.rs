@@ -16,11 +16,11 @@ fn bench_parallel_io(c: &mut Criterion) {
         let (_cluster, mut driver) = ClusterBuilder::new(n).register::<PageDevice>().build();
         let devices: Vec<_> = (0..n)
             .map(|m| {
-                let d = PageDeviceClient::new_on(
-                    &mut driver, m, format!("d{m}"), 4, PAGE as u64, 0,
-                )
-                .unwrap();
-                d.write(&mut driver, 1, Page::generate(PAGE, m as u64).into_bytes()).unwrap();
+                let d =
+                    PageDeviceClient::new_on(&mut driver, m, format!("d{m}"), 4, PAGE as u64, 0)
+                        .unwrap();
+                d.write(&mut driver, 1, Page::generate(PAGE, m as u64).into_bytes())
+                    .unwrap();
                 d
             })
             .collect();
@@ -34,8 +34,10 @@ fn bench_parallel_io(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("split_loop", n), &devices, |b, devices| {
             b.iter(|| {
-                let pending: Vec<_> =
-                    devices.iter().map(|d| d.read_async(&mut driver, 1).unwrap()).collect();
+                let pending: Vec<_> = devices
+                    .iter()
+                    .map(|d| d.read_async(&mut driver, 1).unwrap())
+                    .collect();
                 std::hint::black_box(join(&mut driver, pending).unwrap());
             })
         });

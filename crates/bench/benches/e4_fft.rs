@@ -27,8 +27,7 @@ fn bench_fft(c: &mut Criterion) {
 
     for parts in [2usize, 4] {
         // oopp: persistent group, repeated transforms.
-        let (_cluster, mut driver) =
-            DistributedFft3::register(ClusterBuilder::new(parts)).build();
+        let (_cluster, mut driver) = DistributedFft3::register(ClusterBuilder::new(parts)).build();
         let dfft = DistributedFft3::new(
             &mut driver,
             [SHAPE[0] as u64, SHAPE[1] as u64, SHAPE[2] as u64],
@@ -44,7 +43,12 @@ fn bench_fft(c: &mut Criterion) {
         // EXPERIMENTS.md).
         g.bench_with_input(BenchmarkId::new("mplite_world", parts), &parts, |b, &p| {
             b.iter(|| {
-                fft_run(ClusterConfig::zero_cost(p), SHAPE, data.clone(), Direction::Forward)
+                fft_run(
+                    ClusterConfig::zero_cost(p),
+                    SHAPE,
+                    data.clone(),
+                    Direction::Forward,
+                )
             })
         });
     }

@@ -22,7 +22,14 @@ fn bench_pagemap(c: &mut Criterion) {
         let (_cluster, mut driver) =
             register_classes(ClusterBuilder::new(devices as usize)).build();
         let storage = BlockStorage::create(
-            &mut driver, "e5", devices as usize, map.pages_per_device(), p[0], p[1], p[2], 1,
+            &mut driver,
+            "e5",
+            devices as usize,
+            map.pages_per_device(),
+            p[0],
+            p[1],
+            p[2],
+            1,
         )
         .unwrap();
         let array = Array::new(n, p, storage, map).unwrap();

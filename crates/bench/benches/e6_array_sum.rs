@@ -10,7 +10,14 @@ fn bench_array_sum(c: &mut Criterion) {
     let grid = [4u64, 2, 2];
     let map = PageMap::round_robin(grid, devices as u64);
     let storage = BlockStorage::create(
-        &mut driver, "e6", devices, map.pages_per_device(), 8, 8, 8, 1,
+        &mut driver,
+        "e6",
+        devices,
+        map.pages_per_device(),
+        8,
+        8,
+        8,
+        1,
     )
     .unwrap();
     let array = Array::new([32, 16, 16], [8, 8, 8], storage, map).unwrap();
@@ -25,9 +32,11 @@ fn bench_array_sum(c: &mut Criterion) {
         b.iter(|| array.sum_by_moving_data(&mut driver, &whole).unwrap())
     });
     for clients in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("parallel_clients", clients), &clients, |b, &k| {
-            b.iter(|| parallel_sum(&mut driver, &array, &whole, k).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("parallel_clients", clients),
+            &clients,
+            |b, &k| b.iter(|| parallel_sum(&mut driver, &array, &whole, k).unwrap()),
+        );
     }
     g.finish();
 }

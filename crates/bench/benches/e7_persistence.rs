@@ -36,8 +36,15 @@ fn bench_persistence(c: &mut Criterion) {
     }
 
     g.bench_function("directory_lookup", |b| {
-        dir.bind(&mut driver, "oopp://x".into(), oopp::ObjRef { machine: 0, object: 1 })
-            .unwrap();
+        dir.bind(
+            &mut driver,
+            "oopp://x".into(),
+            oopp::ObjRef {
+                machine: 0,
+                object: 1,
+            },
+        )
+        .unwrap();
         b.iter(|| dir.lookup(&mut driver, "oopp://x".into()).unwrap())
     });
     g.finish();

@@ -39,8 +39,7 @@ fn bench_faults(c: &mut Criterion) {
     for drop_p in [0.01f64, 0.05] {
         let (cluster, mut driver) = ClusterBuilder::new(1)
             .sim_config(
-                ClusterConfig::zero_cost(0)
-                    .with_faults(FaultPlan::seeded(0xE9).with_drop(drop_p)),
+                ClusterConfig::zero_cost(0).with_faults(FaultPlan::seeded(0xE9).with_drop(drop_p)),
             )
             .call_policy(policy())
             .build();

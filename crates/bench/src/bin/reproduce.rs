@@ -33,12 +33,12 @@ fn main() {
             "split-loop parallel I/O over N devices (§4)",
             ex::e3_parallel_io,
         ),
-        ("E4", "distributed 3-D FFT scaling (§4)", || vec![ex::e4_fft()]),
-        (
-            "E5",
-            "PageMap determines I/O parallelism (§5)",
-            || vec![ex::e5_pagemap()],
-        ),
+        ("E4", "distributed 3-D FFT scaling (§4)", || {
+            vec![ex::e4_fft()]
+        }),
+        ("E5", "PageMap determines I/O parallelism (§5)", || {
+            vec![ex::e5_pagemap()]
+        }),
         (
             "E6",
             "parallel Array clients summing a distributed array (§5)",
@@ -59,12 +59,17 @@ fn main() {
             "fault injection: completion time vs drop rate under retrying RMI",
             ex::e9_faults,
         ),
-        ("A1", "ablation: wire codec throughput", || vec![ex::a1_wire()]),
         (
-            "A2",
-            "ablation: oopp barrier vs mplite collectives",
-            || vec![ex::a2_collectives()],
+            "E10",
+            "adaptive placement: live migration vs static placement on a Zipf workload",
+            ex::e10_placement,
         ),
+        ("A1", "ablation: wire codec throughput", || {
+            vec![ex::a1_wire()]
+        }),
+        ("A2", "ablation: oopp barrier vs mplite collectives", || {
+            vec![ex::a2_collectives()]
+        }),
         (
             "A3",
             "ablation: deep-copy vs shallow SetGroup (§4)",

@@ -11,12 +11,18 @@ use distarray::{register_classes, Array, BlockStorage, Domain, PageMap};
 use fft::{c64, Complex, Direction, DistributedFft3, Fft3, Grid3};
 use mplite::apps::{fft_run, pageio_run, IoMode};
 use mplite::{MpiWorld, Op};
-use oopp::{join, Backoff, BarrierClient, CallPolicy, ClusterBuilder, DoubleBlockClient, RemoteClient};
+use oopp::{
+    join, Backoff, BarrierClient, CallPolicy, ClusterBuilder, DoubleBlockClient, RemoteClient,
+};
 use pagestore::{ArrayPage, ArrayPageDevice, ArrayPageDeviceClient, Page, PageDevice};
+use placement::{Balancer, PlacementPolicy};
 use simnet::{ClusterConfig, FaultPlan};
 use wire::collections::F64s;
 
-use crate::{lan_config, method_stats_table, ms, spinny_disk, time_median, time_once, us, GroupTable, GroupTableClient, Syncer, SyncerClient, Table};
+use crate::{
+    lan_config, method_stats_table, ms, spinny_disk, time_median, time_once, us, GroupTable,
+    GroupTableClient, Syncer, SyncerClient, Table,
+};
 
 /// E1 (§2): cost of remote object semantics — creation, method call,
 /// element access — against the substrate's analytic cost model. Runs with
@@ -53,9 +59,19 @@ pub fn e1_rmi_overhead() -> Vec<Table> {
     let block = DoubleBlockClient::new_on(&mut driver, 0, 1 << 17).unwrap();
     #[allow(clippy::approx_constant)]
     let set = time_median(19, || block.set(&mut driver, 7, 3.1415).unwrap());
-    t.row(&["data[7]=v".into(), "~20".into(), us(set), format!("{:.1}", 2.0 * lat_us)]);
+    t.row(&[
+        "data[7]=v".into(),
+        "~20".into(),
+        us(set),
+        format!("{:.1}", 2.0 * lat_us),
+    ]);
     let get = time_median(19, || block.get(&mut driver, 2).unwrap());
-    t.row(&["x=data[2]".into(), "~16".into(), us(get), format!("{:.1}", 2.0 * lat_us)]);
+    t.row(&[
+        "x=data[2]".into(),
+        "~16".into(),
+        us(get),
+        format!("{:.1}", 2.0 * lat_us),
+    ]);
 
     // Bulk payload sweep: read_range of increasing size.
     for elems in [16usize, 1 << 10, 1 << 14, 1 << 17] {
@@ -154,7 +170,15 @@ pub fn e3_parallel_io() -> Vec<Table> {
         let devices: Vec<_> = (0..n)
             .map(|m| {
                 let d = ArrayPageDeviceClient::new_on(
-                    &mut driver, m, format!("e3.{m}"), 4, 32, 32, 16, 0, None,
+                    &mut driver,
+                    m,
+                    format!("e3.{m}"),
+                    4,
+                    32,
+                    32,
+                    16,
+                    0,
+                    None,
                 )
                 .unwrap();
                 d.write_array(
@@ -240,8 +264,7 @@ pub fn e4_fft() -> Table {
 
         let mut cfg = lan_config();
         cfg.machines = parts;
-        let (mpi_time, _) =
-            time_once(|| fft_run(cfg, shape, data.clone(), Direction::Forward));
+        let (mpi_time, _) = time_once(|| fft_run(cfg, shape, data.clone(), Direction::Forward));
 
         t.row(&[
             parts.to_string(),
@@ -258,12 +281,7 @@ pub fn e4_fft() -> Table {
 /// E5 (§5): "the PageMap determines the degree of parallelism of the I/O":
 /// the same slab read under four layouts.
 pub fn e5_pagemap() -> Table {
-    let mut t = Table::new(&[
-        "page map",
-        "read ms",
-        "devices touched",
-        "disk parallelism",
-    ]);
+    let mut t = Table::new(&["page map", "read ms", "devices touched", "disk parallelism"]);
     let n = [64u64, 32, 32];
     let p = [4u64, 32, 32]; // pages stack along axis 0: grid [16,1,1]
     let grid = [16u64, 1, 1];
@@ -317,7 +335,12 @@ pub fn e5_pagemap() -> Table {
 /// reduction where a single client's link is the bottleneck, so adding
 /// coordinating Array client processes spreads the transfer.
 pub fn e6_array_sum() -> Table {
-    let mut t = Table::new(&["clients", "checksum ms", "speedup vs 1", "device-side sum ms"]);
+    let mut t = Table::new(&[
+        "clients",
+        "checksum ms",
+        "speedup vs 1",
+        "device-side sum ms",
+    ]);
     let devices = 8usize;
     // 1 Gb/s links: the transfer term dominates, so the bottleneck is each
     // client's receive link — exactly the regime where extra clients help.
@@ -331,7 +354,14 @@ pub fn e6_array_sum() -> Table {
     let grid = [8u64, 1, 1];
     let map = PageMap::round_robin(grid, devices as u64);
     let storage = BlockStorage::create(
-        &mut driver, "e6", devices, map.pages_per_device(), 8, 256, 256, 1,
+        &mut driver,
+        "e6",
+        devices,
+        map.pages_per_device(),
+        8,
+        256,
+        256,
+        1,
     )
     .unwrap();
     let array = Array::new([64, 256, 256], [8, 256, 256], storage, map).unwrap();
@@ -359,7 +389,11 @@ pub fn e6_array_sum() -> Table {
             let pending: Vec<_> = slabs
                 .iter()
                 .enumerate()
-                .map(|(i, slab)| workers[i % workers.len()].read_checksum_async(&mut driver, *slab).unwrap())
+                .map(|(i, slab)| {
+                    workers[i % workers.len()]
+                        .read_checksum_async(&mut driver, *slab)
+                        .unwrap()
+                })
                 .collect();
             let _total: f64 = join(&mut driver, pending).unwrap().into_iter().sum();
         });
@@ -381,12 +415,7 @@ pub fn e6_array_sum() -> Table {
 /// E7 (§5): persistence — deactivate/activate cycles vs. state size, and
 /// symbolic-address resolution.
 pub fn e7_persistence() -> Table {
-    let mut t = Table::new(&[
-        "state KiB",
-        "deactivate ms",
-        "activate ms",
-        "lookup us",
-    ]);
+    let mut t = Table::new(&["state KiB", "deactivate ms", "activate ms", "lookup us"]);
     let (cluster, mut driver) = ClusterBuilder::new(1).sim_config(lan_config()).build();
     let dir = driver.directory();
     for elems in [1usize << 7, 1 << 10, 1 << 13, 1 << 16, 1 << 19] {
@@ -396,8 +425,7 @@ pub fn e7_persistence() -> Table {
         dir.bind(&mut driver, key.clone(), block.obj_ref()).unwrap();
 
         let (deact, _) = time_once(|| driver.deactivate(block.obj_ref(), &key).unwrap());
-        let (act, revived) =
-            time_once(|| driver.activate::<DoubleBlockClient>(0, &key).unwrap());
+        let (act, revived) = time_once(|| driver.activate::<DoubleBlockClient>(0, &key).unwrap());
         assert_eq!(revived.get(&mut driver, 0).unwrap(), 1.5);
         let lookup = time_median(9, || {
             dir.lookup(&mut driver, key.clone()).unwrap();
@@ -437,7 +465,15 @@ pub fn e8_shared_memory() -> Table {
         let devices: Vec<_> = (0..n)
             .map(|m| {
                 let d = ArrayPageDeviceClient::new_on(
-                    &mut driver, m, format!("e8.{m}"), 2, 16, 16, 16, 0, None,
+                    &mut driver,
+                    m,
+                    format!("e8.{m}"),
+                    2,
+                    16,
+                    16,
+                    16,
+                    0,
+                    None,
                 )
                 .unwrap();
                 d.write_array(
@@ -458,16 +494,19 @@ pub fn e8_shared_memory() -> Table {
         });
         // The split loop over N device-processes: seeks overlap.
         let par = time_median(3, || {
-            let pending: Vec<_> =
-                devices.iter().map(|d| d.sum_async(&mut driver, 0).unwrap()).collect();
+            let pending: Vec<_> = devices
+                .iter()
+                .map(|d| d.sum_async(&mut driver, 0).unwrap())
+                .collect();
             let _ = join(&mut driver, pending).unwrap();
         });
         // The same N calls at ONE device-process: one process per object,
         // so its seeks serialize even under the split loop.
         let one = &devices[0];
         let one_obj = time_median(3, || {
-            let pending: Vec<_> =
-                (0..n).map(|_| one.sum_async(&mut driver, 0).unwrap()).collect();
+            let pending: Vec<_> = (0..n)
+                .map(|_| one.sum_async(&mut driver, 0).unwrap())
+                .collect();
             let _ = join(&mut driver, pending).unwrap();
         });
         t.row(&[
@@ -524,7 +563,10 @@ pub fn e9_faults() -> Vec<Table> {
             let addend = F64s(vec![round as f64 + 0.25; n]);
             let pending: Vec<_> = blocks
                 .iter()
-                .map(|b| b.axpy_range_async(&mut driver, 0, 0.5, addend.clone()).unwrap())
+                .map(|b| {
+                    b.axpy_range_async(&mut driver, 0, 0.5, addend.clone())
+                        .unwrap()
+                })
                 .collect();
             join(&mut driver, pending).unwrap();
         }
@@ -565,6 +607,289 @@ pub fn e9_faults() -> Vec<Table> {
     vec![t, method_stats_table(&lossiest_trace.expect("loop ran"))]
 }
 
+/// E10's workload object: modest state (so migrations are cheap) with a
+/// *modeled* device-side service cost per call. Like the substrate's
+/// network and disk, compute is costed analytically — a calibrated
+/// [`precise_sleep`](simnet::time::precise_sleep) — so each simulated
+/// machine's service capacity is independent of how many host cores the
+/// harness happens to get (machine threads sleep concurrently even on one
+/// core, exactly as real cluster machines would compute concurrently).
+#[derive(Debug)]
+pub struct HotBlock {
+    data: Vec<f64>,
+}
+
+oopp::remote_class! {
+    class HotBlock {
+        persistent;
+        ctor(n: usize);
+        /// Fill the whole block with `v`.
+        fn fill(&mut self, v: f64) -> ();
+        /// The synthetic hot method: one reduction over the block plus
+        /// `micros` of modeled compute.
+        fn work(&mut self, micros: u64) -> f64;
+        /// Deterministic state mutation (adds `delta` to every element).
+        fn bump(&mut self, delta: f64) -> ();
+        /// The whole block, for the byte-identical witness.
+        fn read(&mut self) -> F64s;
+        /// Cheap no-op; called once as the steady-state trace marker.
+        fn probe(&mut self) -> u64;
+    }
+}
+
+impl HotBlock {
+    pub fn new(_ctx: &mut oopp::NodeCtx, n: usize) -> oopp::RemoteResult<Self> {
+        Ok(HotBlock { data: vec![0.0; n] })
+    }
+
+    fn fill(&mut self, _ctx: &mut oopp::NodeCtx, v: f64) -> oopp::RemoteResult<()> {
+        self.data.fill(v);
+        Ok(())
+    }
+
+    fn work(&mut self, _ctx: &mut oopp::NodeCtx, micros: u64) -> oopp::RemoteResult<f64> {
+        // Dependent chain so the reduction isn't folded away; the result
+        // is a pure function of the state, so it is placement-invariant.
+        let mut s = 0.0f64;
+        for &x in &self.data {
+            s = s * 0.999_999_9 + x;
+        }
+        simnet::time::precise_sleep(Duration::from_micros(micros));
+        Ok(s)
+    }
+
+    fn bump(&mut self, _ctx: &mut oopp::NodeCtx, delta: f64) -> oopp::RemoteResult<()> {
+        for x in &mut self.data {
+            *x += delta;
+        }
+        Ok(())
+    }
+
+    fn read(&mut self, _ctx: &mut oopp::NodeCtx) -> oopp::RemoteResult<F64s> {
+        Ok(F64s(self.data.clone()))
+    }
+
+    fn probe(&mut self, _ctx: &mut oopp::NodeCtx) -> oopp::RemoteResult<u64> {
+        Ok(self.data.len() as u64)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        wire::to_bytes(&F64s(self.data.clone()))
+    }
+
+    fn load_state(_ctx: &mut oopp::NodeCtx, state: &[u8]) -> oopp::RemoteResult<Self> {
+        Ok(HotBlock {
+            data: wire::from_bytes::<F64s>(state)?.0,
+        })
+    }
+}
+
+/// E10 (DESIGN.md §9): adaptive placement under a Zipf-skewed workload.
+///
+/// Every object is born on machine 0 — the paper's static placement — and
+/// a skewed client stream hammers them while the rest of the cluster
+/// idles. With the balancer off ([`PlacementPolicy::Static`]) machine 0
+/// serializes everything; with [`PlacementPolicy::GreedyRebalance`] the
+/// hot objects are live-migrated to the idle machines between rounds. The
+/// chaos variant reruns the balanced workload under 5% seeded loss and
+/// forces one migration into a crashed machine mid-run: the move must
+/// roll back and the final data must stay byte-identical to the
+/// fault-free runs — a migration never loses or duplicates an object.
+pub fn e10_placement() -> Vec<Table> {
+    const WORKERS: usize = 4;
+    const NOBJ: usize = 16;
+    const N: usize = 4096; // 32 KiB of f64 state per object
+    const SERVICE_US: u64 = 300; // modeled device-side compute per call
+    const ROUNDS: usize = 16;
+    const CALLS: usize = 48;
+    const ZIPF_S: f64 = 0.9;
+
+    // Zipf(s) CDF over object ranks; sampled with a splitmix64 stream so
+    // every run draws the identical schedule.
+    let mut cdf = Vec::with_capacity(NOBJ);
+    let mut acc = 0.0f64;
+    for k in 0..NOBJ {
+        acc += 1.0 / ((k + 1) as f64).powf(ZIPF_S);
+        cdf.push(acc);
+    }
+    let total = acc;
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    struct Outcome {
+        data: Vec<f64>,
+        p50: u64,
+        p99: u64,
+        elapsed: Duration,
+        moves: u64,
+        per_machine: Vec<u64>,
+        rolled_back: Option<bool>,
+        trace: oopp::Trace,
+    }
+
+    let run = |policy: PlacementPolicy, plan: FaultPlan, chaos: bool| -> Outcome {
+        let call_policy = CallPolicy::reliable(Duration::from_millis(50))
+            .with_max_retries(8)
+            .with_backoff(Backoff::fixed(Duration::from_millis(5)));
+        let (cluster, mut driver) = ClusterBuilder::new(WORKERS)
+            .register::<HotBlock>()
+            .sim_config(ClusterConfig::zero_cost(0).with_faults(plan))
+            .call_policy(call_policy)
+            .tracing(true)
+            .build();
+        let blocks: Vec<_> = (0..NOBJ)
+            .map(|k| {
+                let b = HotBlockClient::new_on(&mut driver, 0, N).unwrap();
+                b.fill(&mut driver, (k + 1) as f64 * 0.5).unwrap();
+                b
+            })
+            .collect();
+        let mut balancer = Balancer::new(policy, (0..WORKERS).collect()).with_cooldown(1);
+        balancer.pin(driver.directory().obj_ref());
+        // The coldest object stays put in every run so the chaos variant
+        // can deterministically aim a migration at the crashed machine.
+        balancer.pin(blocks[NOBJ - 1].obj_ref());
+
+        let mut rng = 0xE10_2026u64;
+        let mut rolled_back = None;
+        let t0 = std::time::Instant::now();
+        for round in 0..ROUNDS {
+            if round == ROUNDS / 2 {
+                // Steady-state marker: `probe` is called exactly once,
+                // here, so the trace can be sliced at the point where the
+                // balancer has converged (latency columns below exclude
+                // the convergence transient the Static run doesn't pay).
+                blocks[0].probe(&mut driver).unwrap();
+            }
+            if chaos && round == ROUNDS / 2 {
+                // A crash races the transfer: migrate_out quiesces the
+                // object, adopt_state hits a dark machine, the core must
+                // roll back to the original address.
+                cluster.sim().faults().crash(WORKERS - 1);
+                let refused = driver
+                    .migrate(blocks[NOBJ - 1].obj_ref(), WORKERS - 1)
+                    .is_err();
+                cluster.sim().faults().restart(WORKERS - 1);
+                rolled_back = Some(refused);
+            }
+            let sums: Vec<_> = (0..CALLS)
+                .map(|_| {
+                    let u = (splitmix(&mut rng) >> 11) as f64 / (1u64 << 53) as f64 * total;
+                    let k = cdf.iter().position(|&c| u < c).unwrap_or(NOBJ - 1);
+                    blocks[k].work_async(&mut driver, SERVICE_US).unwrap()
+                })
+                .collect();
+            // One mutation per round, totally ordered by the round joins,
+            // so the final state is identical however objects are placed.
+            let write = blocks[round % NOBJ]
+                .bump_async(&mut driver, round as f64 * 0.5 + 0.125)
+                .unwrap();
+            join(&mut driver, sums).unwrap();
+            join(&mut driver, vec![write]).unwrap();
+            balancer
+                .step(&mut driver, Some(&cluster.snapshot()))
+                .unwrap();
+        }
+        let elapsed = t0.elapsed();
+        let mut data = Vec::with_capacity(NOBJ * N);
+        for b in &blocks {
+            data.extend(b.read(&mut driver).unwrap().0);
+        }
+        let per_machine: Vec<u64> = (0..WORKERS)
+            .map(|m| driver.stats_of(m).unwrap().calls_served)
+            .collect();
+        cluster.sim().faults().calm();
+        let recorder = cluster.recorder().expect("tracing enabled");
+        let moves = balancer.moves_executed();
+        cluster.shutdown(driver);
+        let trace = recorder.merge();
+        // Slice at the marker: per-call latency over the second half of
+        // the run, after the balancer converged.
+        let cutoff = trace
+            .events
+            .iter()
+            .find(|e| &*e.method == "probe")
+            .map(|e| e.at_nanos)
+            .unwrap_or(0);
+        let steady = oopp::Trace {
+            events: trace
+                .events
+                .iter()
+                .filter(|e| e.at_nanos >= cutoff)
+                .cloned()
+                .collect(),
+            dropped: trace.dropped,
+        };
+        let stats = steady
+            .method_stats()
+            .into_iter()
+            .find(|s| s.method == "work")
+            .expect("hot method traced");
+        Outcome {
+            data,
+            p50: stats.p50_micros,
+            p99: stats.p99_micros,
+            elapsed,
+            moves,
+            per_machine,
+            rolled_back,
+            trace,
+        }
+    };
+
+    let greedy = PlacementPolicy::GreedyRebalance {
+        imbalance_ratio: 1.3,
+        max_moves_per_round: 3,
+    };
+    let baseline = run(PlacementPolicy::Static, FaultPlan::none(), false);
+    let balanced = run(greedy, FaultPlan::none(), false);
+    let chaotic = run(greedy, FaultPlan::seeded(0xE10).with_drop(0.05), true);
+
+    let mut t = Table::new(&[
+        "policy",
+        "steady p50 us",
+        "steady p99 us",
+        "wall ms",
+        "moves",
+        "calls/machine",
+        "mid-move crash",
+        "matches static",
+    ]);
+    for (name, o) in [
+        ("Static", &baseline),
+        ("GreedyRebalance", &balanced),
+        ("Greedy + 5% loss", &chaotic),
+    ] {
+        let spread = o
+            .per_machine
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        t.row(&[
+            name.into(),
+            o.p50.to_string(),
+            o.p99.to_string(),
+            ms(o.elapsed),
+            o.moves.to_string(),
+            spread,
+            match o.rolled_back {
+                None => "-".into(),
+                Some(true) => "rolled back".into(),
+                Some(false) => "NOT ROLLED BACK".into(),
+            },
+            if o.data == baseline.data { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    // Per-method account of the balanced run: migration markers included.
+    vec![t, method_stats_table(&balanced.trace)]
+}
+
 /// A1: wire codec throughput (the cost of the "compiler-generated"
 /// protocol layer itself, no network).
 pub fn a1_wire() -> Table {
@@ -603,9 +928,7 @@ pub fn a1_wire() -> Table {
     let encoded = wire::to_bytes(&page);
     let dec = time_median(3, || {
         for _ in 0..reps {
-            std::hint::black_box(
-                wire::from_bytes::<wire::collections::Bytes>(&encoded).unwrap(),
-            );
+            std::hint::black_box(wire::from_bytes::<wire::collections::Bytes>(&encoded).unwrap());
         }
     });
     let gbps = |d: Duration| ((1usize << 20) * reps) as f64 / d.as_secs_f64() / 1e9;
@@ -634,8 +957,9 @@ pub fn a2_collectives() -> Table {
             .sim_config(lan_config())
             .build();
         let barrier = BarrierClient::new_on(&mut driver, 0, n + 1).unwrap();
-        let syncers: Vec<_> =
-            (0..n).map(|m| SyncerClient::new_on(&mut driver, m).unwrap()).collect();
+        let syncers: Vec<_> = (0..n)
+            .map(|m| SyncerClient::new_on(&mut driver, m).unwrap())
+            .collect();
         let oopp_time = time_median(5, || {
             let pending: Vec<_> = syncers
                 .iter()

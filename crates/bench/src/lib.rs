@@ -37,17 +37,8 @@ pub fn spinny_disk() -> DiskConfig {
 /// client-observed latency distribution (see `oopp::trace`).
 pub fn method_stats_table(trace: &oopp::Trace) -> Table {
     let mut t = Table::new(&[
-        "method",
-        "calls",
-        "attempts",
-        "retx",
-        "dups",
-        "p50 us",
-        "p99 us",
-        "queue us",
-        "svc us",
-        "KiB out",
-        "KiB in",
+        "method", "calls", "attempts", "retx", "dups", "p50 us", "p99 us", "queue us", "svc us",
+        "KiB out", "KiB in",
     ]);
     for s in trace.method_stats() {
         t.row(&[
@@ -113,7 +104,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header count).
@@ -265,11 +259,17 @@ mod tests {
         let table = GroupTableClient::new_on(
             &mut driver,
             0,
-            vec![oopp::RemoteClient::obj_ref(&s0), oopp::RemoteClient::obj_ref(&s1)],
+            vec![
+                oopp::RemoteClient::obj_ref(&s0),
+                oopp::RemoteClient::obj_ref(&s1),
+            ],
         )
         .unwrap();
         assert_eq!(table.len(&mut driver).unwrap(), 2);
-        assert_eq!(table.get(&mut driver, 1).unwrap(), oopp::RemoteClient::obj_ref(&s1));
+        assert_eq!(
+            table.get(&mut driver, 1).unwrap(),
+            oopp::RemoteClient::obj_ref(&s1)
+        );
         assert!(table.get(&mut driver, 5).is_err());
         cluster.shutdown(driver);
     }

@@ -19,7 +19,6 @@ use wire::collections::{Bytes, F64s};
 use crate::error::{RemoteError, RemoteResult};
 use crate::node::NodeCtx;
 
-
 /// Server state for a remote block of doubles.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DoubleBlock {
@@ -56,7 +55,10 @@ remote_class! {
 
 impl DoubleBlock {
     fn check_range(&self, start: usize, len: usize) -> RemoteResult<()> {
-        if start.checked_add(len).is_none_or(|end| end > self.data.len()) {
+        if start
+            .checked_add(len)
+            .is_none_or(|end| end > self.data.len())
+        {
             return Err(RemoteError::app(format!(
                 "range [{start}, {start}+{len}) out of bounds for block of {}",
                 self.data.len()
@@ -123,7 +125,10 @@ impl DoubleBlock {
         other: F64s,
     ) -> RemoteResult<()> {
         self.check_range(start, other.0.len())?;
-        for (dst, src) in self.data[start..start + other.0.len()].iter_mut().zip(&other.0) {
+        for (dst, src) in self.data[start..start + other.0.len()]
+            .iter_mut()
+            .zip(&other.0)
+        {
             *dst += alpha * src;
         }
         Ok(())
@@ -167,7 +172,10 @@ remote_class! {
 
 impl ByteBlock {
     fn check_range(&self, start: usize, len: usize) -> RemoteResult<()> {
-        if start.checked_add(len).is_none_or(|end| end > self.data.len()) {
+        if start
+            .checked_add(len)
+            .is_none_or(|end| end > self.data.len())
+        {
             return Err(RemoteError::app(format!(
                 "range [{start}, {start}+{len}) out of bounds for block of {}",
                 self.data.len()

@@ -109,7 +109,9 @@ impl DedupWindow {
             self.order.push_back(key);
         }
         while self.done.len() > self.capacity {
-            let Some(oldest) = self.order.pop_front() else { break };
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
             self.done.remove(&oldest);
         }
     }
@@ -205,11 +207,37 @@ mod tests {
         }
         // Errors are cached too: a failed create must not re-run either.
         assert_eq!(w.admit((0, 2)), DedupVerdict::New);
-        w.complete(
-            (0, 2),
-            &Err(RemoteError::NoSuchClass { class: "X".into() }),
-        );
+        w.complete((0, 2), &Err(RemoteError::NoSuchClass { class: "X".into() }));
         assert!(matches!(w.admit((0, 2)), DedupVerdict::Done(Err(_))));
+    }
+
+    #[test]
+    fn forwarding_redirects_replay_like_any_response() {
+        // After a migration the source answers forwarded requests with
+        // `Moved`. The redirect enters the done cache like any result, so a
+        // retransmitted copy of a forwarded request replays the redirect
+        // instead of re-executing — the dedup window "survives the move".
+        let mut w = DedupWindow::default();
+        assert_eq!(w.admit((5, 1)), DedupVerdict::New);
+        let moved = Err(RemoteError::Moved {
+            to: crate::ids::ObjRef {
+                machine: 2,
+                object: 9,
+            },
+        });
+        w.complete((5, 1), &moved);
+        match w.admit((5, 1)) {
+            DedupVerdict::Done(Err(RemoteError::Moved { to })) => {
+                assert_eq!(
+                    to,
+                    crate::ids::ObjRef {
+                        machine: 2,
+                        object: 9
+                    }
+                );
+            }
+            other => panic!("expected cached redirect, got {other:?}"),
+        }
     }
 
     #[test]
@@ -236,7 +264,11 @@ mod tests {
         for id in 0..5_000u64 {
             assert_eq!(w.admit((0, id)), DedupVerdict::New);
         }
-        assert!(w.in_flight_len() <= 64, "in_flight grew to {}", w.in_flight_len());
+        assert!(
+            w.in_flight_len() <= 64,
+            "in_flight grew to {}",
+            w.in_flight_len()
+        );
         assert!(
             w.in_flight_order_len() <= 2 * 64 + 64,
             "order queue grew to {}",

@@ -9,6 +9,8 @@ use std::fmt;
 
 use wire::{wire_enum, WireError};
 
+use crate::ids::ObjRef;
+
 /// Any failure of a remote operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RemoteError {
@@ -52,6 +54,13 @@ pub enum RemoteError {
     NoSuchSnapshot { key: String },
     /// Application-level failure raised by a server method body.
     App { detail: String },
+    /// The object was migrated away; a forwarding stub at its old address
+    /// redirects the caller to `to` (see
+    /// [`NodeCtx::migrate`](crate::NodeCtx::migrate)). Callers normally
+    /// never observe this: the engine chases one forward transparently and
+    /// only surfaces `Moved` when the forward itself points at a second
+    /// forward — the signal to re-resolve through the naming directory.
+    Moved { to: ObjRef },
 }
 
 wire_enum!(RemoteError {
@@ -65,12 +74,15 @@ wire_enum!(RemoteError {
     7 => NotPersistent { class },
     8 => NoSuchSnapshot { key },
     9 => App { detail },
+    10 => Moved { to },
 });
 
 impl RemoteError {
     /// Construct an application-level error from anything printable.
     pub fn app(detail: impl fmt::Display) -> Self {
-        RemoteError::App { detail: detail.to_string() }
+        RemoteError::App {
+            detail: detail.to_string(),
+        }
     }
 }
 
@@ -93,7 +105,12 @@ impl fmt::Display for RemoteError {
             RemoteError::Disconnected { machine } => {
                 write!(f, "machine {machine} is disconnected")
             }
-            RemoteError::Timeout { machine, object, attempts, millis } => {
+            RemoteError::Timeout {
+                machine,
+                object,
+                attempts,
+                millis,
+            } => {
                 if *attempts <= 1 {
                     write!(
                         f,
@@ -116,6 +133,13 @@ impl fmt::Display for RemoteError {
                 write!(f, "no snapshot stored under key {key:?}")
             }
             RemoteError::App { detail } => write!(f, "application error: {detail}"),
+            RemoteError::Moved { to } => {
+                write!(
+                    f,
+                    "object migrated to machine {} object {} (stale pointer; re-resolve)",
+                    to.machine, to.object
+                )
+            }
         }
     }
 }
@@ -124,7 +148,9 @@ impl std::error::Error for RemoteError {}
 
 impl From<WireError> for RemoteError {
     fn from(e: WireError) -> Self {
-        RemoteError::Decode { detail: e.to_string() }
+        RemoteError::Decode {
+            detail: e.to_string(),
+        }
     }
 }
 
@@ -139,16 +165,44 @@ mod tests {
     #[test]
     fn errors_roundtrip_the_wire() {
         for e in [
-            RemoteError::NoSuchObject { machine: 3, object: 17 },
-            RemoteError::NoSuchClass { class: "FFT".into() },
-            RemoteError::NoSuchMethod { class: "PageDevice".into(), method: "frobnicate".into() },
-            RemoteError::Decode { detail: "bad varint".into() },
-            RemoteError::BadMachine { machine: 9, machines: 4 },
+            RemoteError::NoSuchObject {
+                machine: 3,
+                object: 17,
+            },
+            RemoteError::NoSuchClass {
+                class: "FFT".into(),
+            },
+            RemoteError::NoSuchMethod {
+                class: "PageDevice".into(),
+                method: "frobnicate".into(),
+            },
+            RemoteError::Decode {
+                detail: "bad varint".into(),
+            },
+            RemoteError::BadMachine {
+                machine: 9,
+                machines: 4,
+            },
             RemoteError::Disconnected { machine: 1 },
-            RemoteError::Timeout { machine: 2, object: 11, attempts: 3, millis: 10_000 },
-            RemoteError::NotPersistent { class: "Barrier".into() },
-            RemoteError::NoSuchSnapshot { key: "oopp://x".into() },
+            RemoteError::Timeout {
+                machine: 2,
+                object: 11,
+                attempts: 3,
+                millis: 10_000,
+            },
+            RemoteError::NotPersistent {
+                class: "Barrier".into(),
+            },
+            RemoteError::NoSuchSnapshot {
+                key: "oopp://x".into(),
+            },
             RemoteError::app("page index 99 out of range"),
+            RemoteError::Moved {
+                to: ObjRef {
+                    machine: 2,
+                    object: 41,
+                },
+            },
         ] {
             assert_eq!(from_bytes::<RemoteError>(&to_bytes(&e)).unwrap(), e);
         }
@@ -164,12 +218,25 @@ mod tests {
 
     #[test]
     fn display_mentions_key_facts() {
-        let e = RemoteError::NoSuchObject { machine: 2, object: 5 };
+        let e = RemoteError::NoSuchObject {
+            machine: 2,
+            object: 5,
+        };
         assert!(e.to_string().contains("machine 2"));
-        let e = RemoteError::Timeout { machine: 0, object: 4, attempts: 1, millis: 250 };
+        let e = RemoteError::Timeout {
+            machine: 0,
+            object: 4,
+            attempts: 1,
+            millis: 250,
+        };
         assert!(e.to_string().contains("deadlock"));
         assert!(e.to_string().contains("machine 0"));
-        let e = RemoteError::Timeout { machine: 3, object: 4, attempts: 5, millis: 900 };
+        let e = RemoteError::Timeout {
+            machine: 3,
+            object: 4,
+            attempts: 5,
+            millis: 900,
+        };
         assert!(e.to_string().contains("5 attempts"), "got {e}");
         assert!(!e.to_string().contains("deadlock"));
     }

@@ -9,7 +9,7 @@ use wire::collections::Bytes;
 use wire::{wire_enum, wire_struct};
 
 use crate::error::RemoteError;
-use crate::ids::ObjectId;
+use crate::ids::{ObjRef, ObjectId};
 use crate::trace::TraceCtx;
 
 /// One frame on the wire.
@@ -73,10 +73,45 @@ pub enum DaemonCall {
     /// Store a snapshot taken elsewhere under `key` on this machine —
     /// replication, so a crashed machine's objects can be reactivated from
     /// a surviving replica. Returns `()`.
-    PutSnapshot { key: String, class: String, state: Bytes },
+    PutSnapshot {
+        key: String,
+        class: String,
+        state: Bytes,
+    },
     /// Introspection. Returns [`NodeStats`].
     Stats,
+    /// Begin a live migration: quiesce the object (defer new calls),
+    /// snapshot its state, and park it in the migrating set. Returns a
+    /// [`MigrationPayload`]. The object serves nothing until the
+    /// coordinator commits or rolls back.
+    MigrateOut { object: ObjectId },
+    /// Finish a migration on the source: drop the parked state and install
+    /// a forwarding stub at the old address pointing at `to`. Returns `()`.
+    MigrateCommit { object: ObjectId, to: ObjRef },
+    /// Abort a migration on the source: restore the parked state as a live
+    /// object under its **original** id, so old pointers stay valid.
+    /// Returns `()`.
+    MigrateRollback { object: ObjectId },
+    /// Target half of a migration: restore `state` as a fresh process of
+    /// `class` (like [`DaemonCall::Activate`], but the state travels inline
+    /// instead of via the snapshot store). Returns the new [`ObjectId`].
+    AdoptState { class: String, state: Bytes },
+    /// Per-object served-call counters, the placement subsystem's load
+    /// signal. Returns `Vec<(ObjectId, u64)>` sorted by object id.
+    Loads,
 }
+
+/// A quiesced object's portable identity: what [`DaemonCall::MigrateOut`]
+/// returns and [`DaemonCall::AdoptState`] consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationPayload {
+    /// Registered class name (picks the restore constructor on the target).
+    pub class: String,
+    /// Snapshot bytes from the object's persistence codec.
+    pub state: Bytes,
+}
+
+wire_struct!(MigrationPayload { class, state });
 
 /// Per-machine runtime counters, returned by [`DaemonCall::Stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -97,6 +132,13 @@ pub struct NodeStats {
     /// Duplicate requests dropped because the original was still being
     /// served (or parked deferred) when the copy arrived.
     pub dup_suppressed: u64,
+    /// Requests answered with a forwarding redirect because their target
+    /// object had migrated away from this machine.
+    pub calls_forwarded: u64,
+    /// Objects this machine adopted through live migration.
+    pub migrated_in: u64,
+    /// Objects this machine migrated away (forwarding stubs installed).
+    pub migrated_out: u64,
 }
 
 wire_struct!(NodeStats {
@@ -106,7 +148,10 @@ wire_struct!(NodeStats {
     snapshots_stored,
     calls_retried,
     dup_replayed,
-    dup_suppressed
+    dup_suppressed,
+    calls_forwarded,
+    migrated_in,
+    migrated_out
 });
 
 impl DaemonCall {
@@ -149,6 +194,25 @@ impl DaemonCall {
                 wire::Wire::encode(state, &mut w);
             }
             DaemonCall::Stats => w.put_len_prefixed(b"stats"),
+            DaemonCall::MigrateOut { object } => {
+                w.put_len_prefixed(b"migrate_out");
+                wire::Wire::encode(object, &mut w);
+            }
+            DaemonCall::MigrateCommit { object, to } => {
+                w.put_len_prefixed(b"migrate_commit");
+                wire::Wire::encode(object, &mut w);
+                wire::Wire::encode(to, &mut w);
+            }
+            DaemonCall::MigrateRollback { object } => {
+                w.put_len_prefixed(b"migrate_rollback");
+                wire::Wire::encode(object, &mut w);
+            }
+            DaemonCall::AdoptState { class, state } => {
+                w.put_len_prefixed(b"adopt_state");
+                wire::Wire::encode(class, &mut w);
+                wire::Wire::encode(state, &mut w);
+            }
+            DaemonCall::Loads => w.put_len_prefixed(b"loads"),
         }
         w.into_bytes()
     }
@@ -174,12 +238,21 @@ mod tests {
                 reply_to: 1,
                 target: 9,
                 payload: Bytes(b"write".to_vec()),
-                trace: TraceCtx { trace_id: 0x1_0000_0001.into(), span: 0x2_0000_0007.into() },
+                trace: TraceCtx {
+                    trace_id: 0x1_0000_0001.into(),
+                    span: 0x2_0000_0007.into(),
+                },
             },
-            Frame::Response { req_id: 42, result: Ok(Bytes(vec![1, 2, 3])) },
+            Frame::Response {
+                req_id: 42,
+                result: Ok(Bytes(vec![1, 2, 3])),
+            },
             Frame::Response {
                 req_id: 43,
-                result: Err(RemoteError::NoSuchObject { machine: 1, object: 9 }),
+                result: Err(RemoteError::NoSuchObject {
+                    machine: 1,
+                    object: 9,
+                }),
             },
         ];
         for f in frames {
@@ -211,8 +284,54 @@ mod tests {
             calls_retried: 4,
             dup_replayed: 5,
             dup_suppressed: 6,
+            calls_forwarded: 7,
+            migrated_in: 8,
+            migrated_out: 9,
         };
         assert_eq!(from_bytes::<NodeStats>(&to_bytes(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn migration_calls_use_method_name_framing() {
+        let payload = DaemonCall::MigrateCommit {
+            object: 7,
+            to: ObjRef {
+                machine: 2,
+                object: 19,
+            },
+        }
+        .encode();
+        let mut r = Reader::new(&payload);
+        assert_eq!(String::decode(&mut r).unwrap(), "migrate_commit");
+        assert_eq!(u64::decode(&mut r).unwrap(), 7);
+        assert_eq!(
+            ObjRef::decode(&mut r).unwrap(),
+            ObjRef {
+                machine: 2,
+                object: 19
+            }
+        );
+        r.expect_end().unwrap();
+
+        let payload = DaemonCall::AdoptState {
+            class: "DoubleBlock".into(),
+            state: Bytes(vec![1, 2, 3]),
+        }
+        .encode();
+        let mut r = Reader::new(&payload);
+        assert_eq!(String::decode(&mut r).unwrap(), "adopt_state");
+        assert_eq!(String::decode(&mut r).unwrap(), "DoubleBlock");
+        assert_eq!(Bytes::decode(&mut r).unwrap(), Bytes(vec![1, 2, 3]));
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn migration_payload_roundtrips() {
+        let p = MigrationPayload {
+            class: "Counter".into(),
+            state: Bytes(vec![9; 40]),
+        };
+        assert_eq!(from_bytes::<MigrationPayload>(&to_bytes(&p)).unwrap(), p);
     }
 
     #[test]

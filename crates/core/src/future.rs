@@ -33,7 +33,10 @@ pub struct Pending<T> {
 
 impl<T: Wire> Pending<T> {
     pub(crate) fn new(req_id: u64) -> Self {
-        Pending { req_id, _result: PhantomData }
+        Pending {
+            req_id,
+            _result: PhantomData,
+        }
     }
 
     /// Block until the reply arrives (serving incoming requests meanwhile)
@@ -74,14 +77,21 @@ pub struct PendingClient<C> {
 
 impl<C: RemoteClient> PendingClient<C> {
     pub(crate) fn new(machine: usize, req_id: u64) -> Self {
-        PendingClient { machine, req_id, _client: PhantomData }
+        PendingClient {
+            machine,
+            req_id,
+            _client: PhantomData,
+        }
     }
 
     /// Block until construction completes; returns the typed client.
     pub fn wait(self, ctx: &mut NodeCtx) -> RemoteResult<C> {
         let bytes = ctx.wait_raw(self.req_id)?;
         let object: u64 = wire::from_bytes(&bytes)?;
-        Ok(C::from_ref(ObjRef { machine: self.machine, object }))
+        Ok(C::from_ref(ObjRef {
+            machine: self.machine,
+            object,
+        }))
     }
 }
 

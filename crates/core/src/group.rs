@@ -35,7 +35,11 @@ impl Barrier {
         if parties == 0 {
             return Err(RemoteError::app("a barrier needs at least one party"));
         }
-        Ok(Barrier { parties, waiting: Vec::with_capacity(parties), generations: 0 })
+        Ok(Barrier {
+            parties,
+            waiting: Vec::with_capacity(parties),
+            generations: 0,
+        })
     }
 }
 
@@ -133,7 +137,9 @@ impl Wire for BarrierClient {
         self.r.encode(w);
     }
     fn decode(r: &mut Reader<'_>) -> wire::WireResult<Self> {
-        Ok(BarrierClient { r: ObjRef::decode(r)? })
+        Ok(BarrierClient {
+            r: ObjRef::decode(r)?,
+        })
     }
 }
 
@@ -161,7 +167,9 @@ impl<C: RemoteClient> ProcessGroup<C> {
         let pendings: Vec<PendingClient<C>> = (0..n)
             .map(|id| ctx.create_async::<C>(id, make_args(id)))
             .collect::<RemoteResult<_>>()?;
-        Ok(ProcessGroup { members: join_clients(ctx, pendings)? })
+        Ok(ProcessGroup {
+            members: join_clients(ctx, pendings)?,
+        })
     }
 
     /// Group size.
@@ -245,7 +253,10 @@ mod tests {
 
     #[test]
     fn barrier_client_is_wire_encodable() {
-        let c = BarrierClient::from_ref(ObjRef { machine: 1, object: 5 });
+        let c = BarrierClient::from_ref(ObjRef {
+            machine: 1,
+            object: 5,
+        });
         let back: BarrierClient = wire::from_bytes(&wire::to_bytes(&c)).unwrap();
         assert_eq!(back, c);
     }
@@ -253,8 +264,14 @@ mod tests {
     #[test]
     fn group_accessors() {
         let g = ProcessGroup::from_members(vec![
-            BarrierClient::from_ref(ObjRef { machine: 0, object: 1 }),
-            BarrierClient::from_ref(ObjRef { machine: 1, object: 1 }),
+            BarrierClient::from_ref(ObjRef {
+                machine: 0,
+                object: 1,
+            }),
+            BarrierClient::from_ref(ObjRef {
+                machine: 1,
+                object: 1,
+            }),
         ]);
         assert_eq!(g.len(), 2);
         assert!(!g.is_empty());

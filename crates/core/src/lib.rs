@@ -63,12 +63,12 @@ pub mod trace;
 
 pub use array::{ByteBlock, ByteBlockClient, DoubleBlock, DoubleBlockClient};
 pub use error::{RemoteError, RemoteResult};
-pub use frame::NodeStats;
+pub use frame::{MigrationPayload, NodeStats};
 pub use future::{join, join_clients, Pending, PendingClient};
 pub use group::{Barrier, BarrierClient, ProcessGroup};
 pub use ids::{ObjRef, ObjectId, DAEMON};
 pub use naming::{
-    resolve_or_activate, resolve_or_activate_supervised, symbolic_addr, Directory,
+    migrate_bound, resolve_or_activate, resolve_or_activate_supervised, symbolic_addr, Directory,
     DirectoryClient,
 };
 pub use node::{CallInfo, NodeCtx, DEFAULT_TIMEOUT};

@@ -15,7 +15,6 @@ use crate::error::RemoteResult;
 use crate::ids::ObjRef;
 use crate::node::NodeCtx;
 
-
 /// Conventional scheme prefix for oopp symbolic addresses.
 pub const SCHEME: &str = "oopp://";
 
@@ -131,14 +130,31 @@ pub fn resolve_or_activate<C: crate::RemoteClient>(
 /// Pings against dead machines cost a full retry cycle each, so keep the
 /// [`CallPolicy`](crate::CallPolicy) windows short when supervision is in
 /// play.
+///
+/// Resolutions are cached **per node** (see
+/// [`NodeCtx::cached_resolve`](crate::NodeCtx::cached_resolve)), and a
+/// cache hit is verified exactly like a directory binding — the bound
+/// machine must answer a ping — before it is trusted. Staleness is
+/// therefore repaired lazily on *every* machine, not just the one that
+/// noticed the crash and re-bound the name: a third machine holding a
+/// cached pointer to the dead home fails its own ping, invalidates its
+/// own cache entry, and falls through to the directory, which already
+/// points at the reactivated process. No invalidation broadcast needed.
 pub fn resolve_or_activate_supervised<C: crate::RemoteClient>(
     ctx: &mut NodeCtx,
     dir: &DirectoryClient,
     addr: &str,
     candidates: &[usize],
 ) -> RemoteResult<C> {
+    if let Some(r) = ctx.cached_resolve(addr) {
+        if ctx.ping(r.machine).is_ok() {
+            return Ok(C::from_ref(r));
+        }
+        ctx.invalidate_resolve(addr);
+    }
     if let Some(r) = dir.lookup(ctx, addr.to_string())? {
         if ctx.ping(r.machine).is_ok() {
+            ctx.cache_resolve(addr, r);
             return Ok(C::from_ref(r));
         }
         dir.unbind(ctx, addr.to_string())?;
@@ -151,12 +167,37 @@ pub fn resolve_or_activate_supervised<C: crate::RemoteClient>(
         match ctx.activate::<C>(m, addr) {
             Ok(client) => {
                 dir.bind(ctx, addr.to_string(), client.obj_ref())?;
+                ctx.cache_resolve(addr, client.obj_ref());
                 return Ok(client);
             }
             Err(e) => last_err = Some(e),
         }
     }
-    Err(last_err.unwrap_or(crate::RemoteError::NoSuchSnapshot { key: addr.to_string() }))
+    Err(last_err.unwrap_or(crate::RemoteError::NoSuchSnapshot {
+        key: addr.to_string(),
+    }))
+}
+
+/// Re-bind `addr` to an object's post-migration address and migrate it —
+/// the placement subsystem's name-aware move. The directory is updated
+/// *after* the migration commits, so a resolver racing the move sees
+/// either the old binding (whose forward it chases once) or the new one;
+/// never a dangling name.
+pub fn migrate_bound(
+    ctx: &mut NodeCtx,
+    dir: &DirectoryClient,
+    addr: &str,
+    target: usize,
+) -> RemoteResult<ObjRef> {
+    let old = dir
+        .lookup(ctx, addr.to_string())?
+        .ok_or_else(|| crate::RemoteError::app(format!("{addr}: not bound")))?;
+    let new_ref = ctx.migrate(old, target)?;
+    if new_ref != old {
+        dir.bind(ctx, addr.to_string(), new_ref)?;
+        ctx.cache_resolve(addr, new_ref);
+    }
+    Ok(new_ref)
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ use wire::{Reader, Wire, Writer};
 
 use crate::dedup::{DedupVerdict, DedupWindow};
 use crate::error::{RemoteError, RemoteResult};
-use crate::frame::{Frame, NodeStats};
+use crate::frame::{Frame, MigrationPayload, NodeStats};
 use crate::future::{Pending, PendingClient};
 use crate::ids::{ObjRef, ObjectId, DAEMON};
 use crate::policy::CallPolicy;
@@ -77,6 +77,9 @@ struct OutboundCall {
     bytes: Vec<u8>,
     /// Present only while tracing is on.
     trace: Option<CallTrace>,
+    /// Forward chases performed for this call (at most one: a second
+    /// redirect surfaces to the caller as [`RemoteError::Moved`]).
+    hops: u8,
 }
 
 #[derive(Default)]
@@ -86,7 +89,17 @@ struct Stats {
     calls_retried: u64,
     dup_replayed: u64,
     dup_suppressed: u64,
+    calls_forwarded: u64,
+    migrated_in: u64,
+    migrated_out: u64,
 }
+
+/// Bound on the client-side forwarding cache; clearing it on overflow only
+/// costs the next call through each stale pointer one extra chase.
+const MOVED_CACHE_CAPACITY: usize = 4096;
+
+/// Bound on the per-node symbolic-address resolution cache.
+const RESOLVE_CACHE_CAPACITY: usize = 1024;
 
 /// Default reply window. Long enough for heavily costed benchmark runs,
 /// short enough that a deadlocked test fails rather than hangs.
@@ -105,6 +118,23 @@ pub struct NodeCtx {
     deferred: VecDeque<IncomingReq>,
     replies: HashMap<u64, Result<Vec<u8>, RemoteError>>,
     snapshots: HashMap<String, (String, Vec<u8>)>,
+    /// Objects mid-migration: quiesced (removed from `objects`, their
+    /// requests parked deferred) with their snapshot held for rollback.
+    migrating: HashMap<ObjectId, (String, Vec<u8>)>,
+    /// Forwarding stubs left by committed migrations: old object id →
+    /// the object's new address. Requests for these ids are answered with
+    /// [`RemoteError::Moved`] so stale pointers chase one hop.
+    forwards: HashMap<ObjectId, ObjRef>,
+    /// Client-side forwarding cache: addresses this node has learned are
+    /// stale, mapped to their replacement, so repeat calls start at the
+    /// object's last known home instead of re-chasing.
+    moved_cache: HashMap<ObjRef, ObjRef>,
+    /// Per-node cache of symbolic-address resolutions (see
+    /// [`crate::naming`]); invalidated when a cached pointer fails.
+    resolve_cache: HashMap<String, ObjRef>,
+    /// Served calls per live object — the placement subsystem's per-object
+    /// load signal (daemon method `loads`).
+    object_calls: HashMap<ObjectId, u64>,
     outstanding: HashMap<u64, OutboundCall>,
     dedup: DedupWindow,
     current_call: Option<CallInfo>,
@@ -158,6 +188,11 @@ impl NodeCtx {
             deferred: VecDeque::new(),
             replies: HashMap::new(),
             snapshots: HashMap::new(),
+            migrating: HashMap::new(),
+            forwards: HashMap::new(),
+            moved_cache: HashMap::new(),
+            resolve_cache: HashMap::new(),
+            object_calls: HashMap::new(),
             outstanding: HashMap::new(),
             dedup: DedupWindow::default(),
             current_call: None,
@@ -240,7 +275,11 @@ impl NodeCtx {
         method: &str,
         encode_args: impl FnOnce(&mut Writer),
     ) -> RemoteResult<Pending<Ret>> {
-        Ok(Pending::new(self.start_method_raw(target, method, encode_args)?))
+        Ok(Pending::new(self.start_method_raw(
+            target,
+            method,
+            encode_args,
+        )?))
     }
 
     /// Typed synchronous call — the paper's default sequential semantics:
@@ -263,6 +302,10 @@ impl NodeCtx {
         method: &str,
         payload: Vec<u8>,
     ) -> RemoteResult<u64> {
+        // Start at the object's last known address: a pointer this node
+        // has already learned is stale is rewritten before the send, so
+        // only the *first* call through it pays the forward chase.
+        let target = self.forwarded_target(target);
         if target.machine >= self.machines() {
             return Err(RemoteError::BadMachine {
                 machine: target.machine,
@@ -280,13 +323,21 @@ impl NodeCtx {
                 Some((tid, serving)) => (tid, serving),
                 None => (span, 0),
             };
-            Some(CallTrace { trace_id, span, parent_span, method: method.into() })
+            Some(CallTrace {
+                trace_id,
+                span,
+                parent_span,
+                method: method.into(),
+            })
         } else {
             None
         };
         let trace = call_trace
             .as_ref()
-            .map(|t| TraceCtx { trace_id: t.trace_id.into(), span: t.span.into() })
+            .map(|t| TraceCtx {
+                trace_id: t.trace_id.into(),
+                span: t.span.into(),
+            })
             .unwrap_or_default();
         let frame = Frame::Request {
             req_id,
@@ -311,13 +362,63 @@ impl NodeCtx {
         }
         self.net
             .send(self.machine, target.machine, bytes.clone())
-            .map_err(|_| RemoteError::Disconnected { machine: target.machine })?;
+            .map_err(|_| RemoteError::Disconnected {
+                machine: target.machine,
+            })?;
         // Kept for retransmission until the reply is consumed (or retries
         // are exhausted). On a lossy fabric the send above may silently
         // vanish; the stored frame is what wait_raw resends.
-        self.outstanding
-            .insert(req_id, OutboundCall { target, bytes, trace: call_trace });
+        self.outstanding.insert(
+            req_id,
+            OutboundCall {
+                target,
+                bytes,
+                trace: call_trace,
+                hops: 0,
+            },
+        );
         Ok(req_id)
+    }
+
+    /// Resolve `target` through the client-side forwarding cache (with
+    /// path compression, so a chain learned over several migrations costs
+    /// one lookup next time). Daemon addresses never forward.
+    fn forwarded_target(&mut self, start: ObjRef) -> ObjRef {
+        if start.object == DAEMON || self.moved_cache.is_empty() {
+            return start;
+        }
+        let mut target = start;
+        // Bounded walk: the cache is only ever appended with commit-time
+        // facts, but a bound keeps even a corrupted chain finite.
+        for _ in 0..8 {
+            match self.moved_cache.get(&target) {
+                Some(&next) if next != target => target = next,
+                _ => break,
+            }
+        }
+        if target != start {
+            self.moved_cache.insert(start, target);
+        }
+        target
+    }
+
+    /// Learn a forwarding fact (from a `Moved` reply or a migration this
+    /// node coordinated).
+    fn note_move(&mut self, old: ObjRef, new: ObjRef) {
+        if old == new || old.object == DAEMON || new.object == DAEMON {
+            return;
+        }
+        if self.moved_cache.len() >= MOVED_CACHE_CAPACITY {
+            self.moved_cache.clear();
+        }
+        self.moved_cache.insert(old, new);
+    }
+
+    /// Drop a learned forwarding fact so the next call to `old` pays the
+    /// redirect again. Benchmarks and tests use this to measure the
+    /// stale-pointer path; production code never needs it.
+    pub fn forget_move(&mut self, old: ObjRef) {
+        self.moved_cache.remove(&old);
     }
 
     /// The reliability policy applied by [`wait_raw`](NodeCtx::wait_raw).
@@ -346,6 +447,34 @@ impl NodeCtx {
         let mut deadline = started + self.policy.timeout;
         loop {
             if let Some(result) = self.replies.remove(&req_id) {
+                // A `Moved` reply is a forwarding stub redirecting us, not
+                // an answer. Chase exactly one hop — re-issue the same
+                // frame (same `req_id`) at the new address — and keep
+                // waiting. A *second* redirect surfaces to the caller: the
+                // signal to re-resolve through the naming directory.
+                if let Err(RemoteError::Moved { to }) = &result {
+                    let to = *to;
+                    let learned = match self.outstanding.get(&req_id) {
+                        Some(c) if c.target.object != DAEMON => Some((c.target, c.hops)),
+                        _ => None,
+                    };
+                    if let Some((old, hops)) = learned {
+                        if old == to {
+                            // Stale replay: a retransmit that raced the
+                            // chase bounced off the old address again.
+                            // The real reply is still coming from `to`.
+                            continue;
+                        }
+                        self.note_move(old, to);
+                        if hops == 0
+                            && to.machine < self.machines()
+                            && self.chase_forward(req_id, to, attempts)
+                        {
+                            deadline = Instant::now() + self.policy.timeout;
+                            continue;
+                        }
+                    }
+                }
                 let call = self.outstanding.remove(&req_id);
                 if let (Some(tracer), Some(call)) = (&self.tracer, &call) {
                     if let Some(t) = &call.trace {
@@ -376,7 +505,10 @@ impl NodeCtx {
                             .outstanding
                             .remove(&req_id)
                             .map(|c| c.target)
-                            .unwrap_or(ObjRef { machine: self.machine, object: DAEMON });
+                            .unwrap_or(ObjRef {
+                                machine: self.machine,
+                                object: DAEMON,
+                            });
                         return Err(RemoteError::Timeout {
                             machine: target.machine,
                             object: target.object,
@@ -425,6 +557,54 @@ impl NodeCtx {
                 }
             }
         }
+    }
+
+    /// Redirect the outstanding call `req_id` to `to`: rebuild the stored
+    /// frame with the new target object id (everything else — `req_id`,
+    /// payload, trace — identical, so the new home's dedup window treats
+    /// retransmits normally) and send it. Returns false if the stored
+    /// frame could not be rebuilt, in which case the `Moved` error
+    /// surfaces to the caller instead.
+    fn chase_forward(&mut self, req_id: u64, to: ObjRef, attempts: u32) -> bool {
+        let Some(call) = self.outstanding.get_mut(&req_id) else {
+            return false;
+        };
+        let rebuilt = match wire::from_bytes::<Frame>(&call.bytes) {
+            Ok(Frame::Request {
+                req_id,
+                reply_to,
+                payload,
+                trace,
+                ..
+            }) => Frame::Request {
+                req_id,
+                reply_to,
+                target: to.object,
+                payload,
+                trace,
+            },
+            _ => return false,
+        };
+        let bytes = wire::to_bytes(&rebuilt);
+        call.target = to;
+        call.bytes = bytes.clone();
+        call.hops += 1;
+        let trace = call.trace.clone();
+        if let (Some(tracer), Some(t)) = (&self.tracer, &trace) {
+            tracer.record(
+                EventKind::ClientForward,
+                to.machine,
+                t.trace_id,
+                t.span,
+                t.parent_span,
+                req_id,
+                attempts,
+                bytes.len() as u32,
+                t.method.clone(),
+            );
+        }
+        let _ = self.net.send(self.machine, to.machine, bytes);
+        true
     }
 
     // ------------------------------------------------------------------
@@ -580,6 +760,173 @@ impl NodeCtx {
     }
 
     // ------------------------------------------------------------------
+    // Live migration (placement subsystem)
+    // ------------------------------------------------------------------
+
+    /// Live-migrate a **persistent** object to `target`, transparently to
+    /// its callers: quiesce (the source parks the object; its calls
+    /// defer), transfer (snapshot shipped through this coordinator),
+    /// reactivate on the target, commit (a forwarding stub replaces the
+    /// object at the old address; parked and in-flight calls redirect and
+    /// execute exactly once at the new home). Stale pointers on other
+    /// machines chase at most one forward before needing to re-resolve.
+    ///
+    /// On failure before the commit the object is rolled back — restored
+    /// at the source under its original id — so old pointers stay valid
+    /// and the object is never lost. Returns the object's new address.
+    pub fn migrate(&mut self, obj: ObjRef, target: MachineId) -> RemoteResult<ObjRef> {
+        if target >= self.machines() {
+            return Err(RemoteError::BadMachine {
+                machine: target,
+                machines: self.machines(),
+            });
+        }
+        if obj.object == DAEMON {
+            return Err(RemoteError::app("the daemon cannot migrate"));
+        }
+        let obj = self.forwarded_target(obj);
+        if obj.machine == target {
+            return Ok(obj); // already home
+        }
+        // The move's control-plane RMIs must survive a lossy fabric even
+        // under a caller's single-shot policy: a lost commit would strand
+        // the object in quiesce forever.
+        let saved_policy = self.policy;
+        self.policy = saved_policy.with_min_retries(3);
+        let result = match self.migrate_inner(obj, target) {
+            // The ref was stale (someone else moved it first): follow the
+            // forward once and retry — or accept it if it already ended up
+            // on the requested machine.
+            Err(RemoteError::Moved { to }) => {
+                self.note_move(obj, to);
+                if to.machine == target {
+                    Ok(to)
+                } else {
+                    self.migrate_inner(to, target)
+                }
+            }
+            r => r,
+        };
+        self.policy = saved_policy;
+        result
+    }
+
+    fn migrate_inner(&mut self, obj: ObjRef, target: MachineId) -> RemoteResult<ObjRef> {
+        let span = self.migration_marker(EventKind::MigrateBegin, obj.machine, 0, 0);
+        // 1. Quiesce + snapshot at the source.
+        let bundle: MigrationPayload =
+            self.call_method(ObjRef::daemon(obj.machine), "migrate_out", |w| {
+                Wire::encode(&obj.object, w);
+            })?;
+        self.migration_marker(
+            EventKind::MigrateTransfer,
+            target,
+            span,
+            bundle.state.0.len() as u32,
+        );
+        // 2. Reactivate on the target from the shipped state.
+        let adopted: RemoteResult<u64> =
+            self.call_method(ObjRef::daemon(target), "adopt_state", |w| {
+                Wire::encode(&bundle.class, w);
+                Wire::encode(&bundle.state, w);
+            });
+        match adopted {
+            Ok(object) => {
+                let new_ref = ObjRef {
+                    machine: target,
+                    object,
+                };
+                // 3. Commit: install the forwarding stub at the source.
+                let committed: RemoteResult<()> =
+                    self.call_method(ObjRef::daemon(obj.machine), "migrate_commit", |w| {
+                        Wire::encode(&obj.object, w);
+                        Wire::encode(&new_ref, w);
+                    });
+                match committed {
+                    Ok(()) => {
+                        self.migration_marker(EventKind::MigrateCommit, target, span, 0);
+                        self.note_move(obj, new_ref);
+                        Ok(new_ref)
+                    }
+                    Err(e) => {
+                        // Commit unreachable: the fresh copy must not
+                        // become a second live identity. Undo it and try
+                        // to restore the source; if the source is down,
+                        // its parked state survives for a later rollback.
+                        let _ = self.destroy(new_ref);
+                        let _: RemoteResult<()> = self.call_method(
+                            ObjRef::daemon(obj.machine),
+                            "migrate_rollback",
+                            |w| {
+                                Wire::encode(&obj.object, w);
+                            },
+                        );
+                        self.migration_marker(EventKind::MigrateRollback, obj.machine, span, 0);
+                        Err(e)
+                    }
+                }
+            }
+            Err(e) => {
+                // 2'. Target dead or rejected the state: roll back — the
+                // object is restored at the source under its original id.
+                self.call_method::<()>(ObjRef::daemon(obj.machine), "migrate_rollback", |w| {
+                    Wire::encode(&obj.object, w);
+                })?;
+                self.migration_marker(EventKind::MigrateRollback, obj.machine, span, 0);
+                Err(e)
+            }
+        }
+    }
+
+    /// Record a coordinator-side migration lifecycle marker. Pass span 0
+    /// to open the move's span; the returned id threads the later markers
+    /// of the same move together.
+    fn migration_marker(&mut self, kind: EventKind, peer: MachineId, span: u64, bytes: u32) -> u64 {
+        if self.tracer.is_none() {
+            return span;
+        }
+        let span = if span == 0 { self.alloc_span() } else { span };
+        let trace_id = self.current_trace.map(|(tid, _)| tid).unwrap_or(span);
+        if let Some(tracer) = &self.tracer {
+            tracer.record(kind, peer, trace_id, span, 0, 0, 0, bytes, "migrate".into());
+        }
+        span
+    }
+
+    /// Per-object served-call counters of `machine` (sorted by object id)
+    /// — the placement subsystem's load probe.
+    pub fn loads_of(&mut self, machine: MachineId) -> RemoteResult<Vec<(u64, u64)>> {
+        self.call_method(ObjRef::daemon(machine), "loads", |_| {})
+    }
+
+    // ------------------------------------------------------------------
+    // Resolution cache (used by crate::naming's supervised resolution)
+    // ------------------------------------------------------------------
+
+    /// Cached result of a previous symbolic-address resolution, if any.
+    /// Callers must treat a hit as a hint and verify liveness — see
+    /// [`resolve_or_activate_supervised`](crate::naming::resolve_or_activate_supervised).
+    pub fn cached_resolve(&self, addr: &str) -> Option<ObjRef> {
+        self.resolve_cache.get(addr).copied()
+    }
+
+    /// Remember a verified resolution for `addr`.
+    pub fn cache_resolve(&mut self, addr: &str, r: ObjRef) {
+        if self.resolve_cache.len() >= RESOLVE_CACHE_CAPACITY
+            && !self.resolve_cache.contains_key(addr)
+        {
+            self.resolve_cache.clear();
+        }
+        self.resolve_cache.insert(addr.to_string(), r);
+    }
+
+    /// Drop a cached resolution that turned out stale (its machine
+    /// crashed, or the pointer double-forwarded).
+    pub fn invalidate_resolve(&mut self, addr: &str) {
+        self.resolve_cache.remove(addr);
+    }
+
+    // ------------------------------------------------------------------
     // Serving (server role)
     // ------------------------------------------------------------------
 
@@ -626,6 +973,9 @@ impl NodeCtx {
             calls_retried: self.stats.calls_retried,
             dup_replayed: self.stats.dup_replayed,
             dup_suppressed: self.stats.dup_suppressed,
+            calls_forwarded: self.stats.calls_forwarded,
+            migrated_in: self.stats.migrated_in,
+            migrated_out: self.stats.migrated_out,
         }
     }
 
@@ -647,13 +997,16 @@ impl NodeCtx {
             Err(_) => return, // malformed; nothing to reply to
         };
         match frame {
-            Frame::Request { req_id, reply_to, target, payload, trace } => {
+            Frame::Request {
+                req_id,
+                reply_to,
+                target,
+                payload,
+                trace,
+            } => {
                 // The admit-verdict events all want the method name; parse
                 // it from the payload head only when tracing is on.
-                let traced_method = self
-                    .tracer
-                    .as_ref()
-                    .map(|_| payload_method(&payload.0));
+                let traced_method = self.tracer.as_ref().map(|_| payload_method(&payload.0));
                 let record_admit = |node: &NodeCtx, kind: EventKind| {
                     if let (Some(tracer), Some(method)) = (&node.tracer, &traced_method) {
                         tracer.record(
@@ -677,8 +1030,13 @@ impl NodeCtx {
                     DedupVerdict::Done(result) => {
                         self.stats.dup_replayed += 1;
                         record_admit(self, EventKind::ServerAdmitDone);
-                        let frame = Frame::Response { req_id, result: result.map(Bytes) };
-                        let _ = self.net.send(self.machine, reply_to, wire::to_bytes(&frame));
+                        let frame = Frame::Response {
+                            req_id,
+                            result: result.map(Bytes),
+                        };
+                        let _ = self
+                            .net
+                            .send(self.machine, reply_to, wire::to_bytes(&frame));
                         return;
                     }
                     DedupVerdict::InFlight => {
@@ -747,7 +1105,9 @@ impl NodeCtx {
         loop {
             let mut progressed = false;
             for _ in 0..self.deferred.len() {
-                let Some(req) = self.deferred.pop_front() else { break };
+                let Some(req) = self.deferred.pop_front() else {
+                    break;
+                };
                 match self.try_serve(req) {
                     ServeOutcome::Served => progressed = true,
                     ServeOutcome::Defer(req) => self.deferred.push_back(req),
@@ -772,14 +1132,23 @@ impl NodeCtx {
         // one process per object means one call at a time.
         let mut obj = match self.objects.get_mut(&req.target) {
             None => {
-                self.send_response(
-                    req.reply_to,
-                    req.req_id,
-                    Err(RemoteError::NoSuchObject {
+                // Quiesce: requests for an object mid-migration park in
+                // the deferred queue; commit releases them into the
+                // forwarding stub, rollback back into the live object.
+                if self.migrating.contains_key(&req.target) {
+                    return ServeOutcome::Defer(req);
+                }
+                let err = match self.forwards.get(&req.target) {
+                    Some(&to) => {
+                        self.stats.calls_forwarded += 1;
+                        RemoteError::Moved { to }
+                    }
+                    None => RemoteError::NoSuchObject {
                         machine: self.machine,
                         object: req.target,
-                    }),
-                );
+                    },
+                };
+                self.send_response(req.reply_to, req.req_id, Err(err));
                 return ServeOutcome::Served;
             }
             Some(slot) => match slot.take() {
@@ -823,6 +1192,8 @@ impl NodeCtx {
             Err(e) => self.send_response(req.reply_to, req.req_id, Err(e)),
         }
         self.stats.calls_served += 1;
+        // Per-object load signal for the placement subsystem.
+        *self.object_calls.entry(req.target).or_insert(0) += 1;
         ServeOutcome::Served
     }
 
@@ -884,10 +1255,11 @@ impl NodeCtx {
             "destroy" => {
                 let object = u64::decode(args)?;
                 match self.objects.get(&object) {
-                    None => Err(RemoteError::NoSuchObject { machine: self.machine, object }),
+                    None => self.absent_outcome(object),
                     Some(None) => Ok(DaemonOutcome::Busy), // mid-call: retry later
                     Some(Some(_)) => {
                         self.objects.remove(&object); // Drop runs the destructor
+                        self.object_calls.remove(&object);
                         Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
                     }
                 }
@@ -896,7 +1268,7 @@ impl NodeCtx {
             "snapshot" => {
                 let object = u64::decode(args)?;
                 match self.objects.get(&object) {
-                    None => Err(RemoteError::NoSuchObject { machine: self.machine, object }),
+                    None => self.absent_outcome(object),
                     Some(None) => Ok(DaemonOutcome::Busy),
                     Some(Some(obj)) => {
                         let state = obj.snapshot_state()?;
@@ -908,13 +1280,14 @@ impl NodeCtx {
                 let object = u64::decode(args)?;
                 let key = String::decode(args)?;
                 match self.objects.get(&object) {
-                    None => Err(RemoteError::NoSuchObject { machine: self.machine, object }),
+                    None => self.absent_outcome(object),
                     Some(None) => Ok(DaemonOutcome::Busy),
                     Some(Some(obj)) => {
                         let state = obj.snapshot_state()?;
                         let class = obj.class_name().to_string();
                         self.snapshots.insert(key, (class, state));
                         self.objects.remove(&object);
+                        self.object_calls.remove(&object);
                         Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
                     }
                 }
@@ -946,11 +1319,122 @@ impl NodeCtx {
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
             }
             "stats" => Ok(DaemonOutcome::Reply(wire::to_bytes(&self.local_stats()))),
+            "migrate_out" => {
+                // Quiesce + transfer: park the object's state in
+                // `migrating` (its requests defer from here on) and ship a
+                // snapshot to the coordinator. The object is gone from the
+                // live table but fully recoverable until commit.
+                let object = u64::decode(args)?;
+                match self.objects.get(&object) {
+                    None => self.absent_outcome(object),
+                    Some(None) => Ok(DaemonOutcome::Busy), // mid-call: quiesce later
+                    Some(Some(obj)) => {
+                        // Snapshot first: a non-persistent class fails here
+                        // with the object untouched.
+                        let state = obj.snapshot_state()?;
+                        let class = obj.class_name().to_string();
+                        self.objects.remove(&object);
+                        self.migrating
+                            .insert(object, (class.clone(), state.clone()));
+                        let payload = MigrationPayload {
+                            class,
+                            state: Bytes(state),
+                        };
+                        Ok(DaemonOutcome::Reply(wire::to_bytes(&payload)))
+                    }
+                }
+            }
+            "migrate_commit" => {
+                let object = u64::decode(args)?;
+                let to = ObjRef::decode(args)?;
+                if self.migrating.remove(&object).is_some() {
+                    self.forwards.insert(object, to);
+                    self.object_calls.remove(&object);
+                    self.stats.migrated_out += 1;
+                    Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
+                } else if self.forwards.get(&object) == Some(&to) {
+                    // Dedup normally absorbs commit retransmits; this arm
+                    // keeps the verb idempotent even across a dedup reset.
+                    Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
+                } else {
+                    Err(RemoteError::app(format!(
+                        "migrate_commit: object {object} is not migrating"
+                    )))
+                }
+            }
+            "migrate_rollback" => {
+                let object = u64::decode(args)?;
+                match self.migrating.remove(&object) {
+                    Some((class, state)) => {
+                        let registry = self.registry.clone();
+                        match registry.restore(&class, self, &state) {
+                            Ok(obj) => {
+                                // Restore under the ORIGINAL id: every
+                                // pointer minted before the aborted move
+                                // stays valid, no directory update needed.
+                                self.objects.insert(object, Some(obj));
+                                Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
+                            }
+                            Err(e) => {
+                                // Keep the state parked rather than lose
+                                // the object; a later rollback can retry.
+                                self.migrating.insert(object, (class, state));
+                                Err(e)
+                            }
+                        }
+                    }
+                    // Idempotent: already rolled back.
+                    None if self.objects.contains_key(&object) => {
+                        Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
+                    }
+                    None => Err(RemoteError::app(format!(
+                        "migrate_rollback: object {object} is not migrating"
+                    ))),
+                }
+            }
+            "adopt_state" => {
+                // Reactivation half of a migration: build the object from
+                // its shipped snapshot under a fresh local id.
+                let class = String::decode(args)?;
+                let state = Bytes::decode(args)?;
+                let registry = self.registry.clone();
+                let obj = registry.restore(&class, self, &state.0)?;
+                let id = self.next_obj_id;
+                self.next_obj_id += 1;
+                self.objects.insert(id, Some(obj));
+                self.stats.migrated_in += 1;
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&id)))
+            }
+            "loads" => {
+                // Per-object served-call counters, sorted by id so the
+                // reply is deterministic — the balancer's load signal.
+                let mut loads: Vec<(u64, u64)> =
+                    self.object_calls.iter().map(|(&o, &c)| (o, c)).collect();
+                loads.sort_unstable();
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&loads)))
+            }
             other => Err(RemoteError::NoSuchMethod {
                 class: "<daemon>".to_string(),
                 method: other.to_string(),
             }),
         }
+    }
+
+    /// Daemon-side disposition of a lifecycle verb aimed at an object id
+    /// with no live entry: mid-migration ids ask the caller to retry
+    /// (quiesce), forwarded ids redirect, anything else never existed
+    /// here.
+    fn absent_outcome(&self, object: ObjectId) -> RemoteResult<DaemonOutcome> {
+        if self.migrating.contains_key(&object) {
+            return Ok(DaemonOutcome::Busy);
+        }
+        if let Some(&to) = self.forwards.get(&object) {
+            return Err(RemoteError::Moved { to });
+        }
+        Err(RemoteError::NoSuchObject {
+            machine: self.machine,
+            object,
+        })
     }
 
     /// Stamp the moment a request's method body starts executing.
@@ -974,7 +1458,10 @@ impl NodeCtx {
         // Cache the response so a retransmitted copy of this request is
         // answered without re-executing (at-most-once).
         self.dedup.complete((reply_to, req_id), &result);
-        let frame = Frame::Response { req_id, result: result.map(Bytes) };
+        let frame = Frame::Response {
+            req_id,
+            result: result.map(Bytes),
+        };
         let bytes = wire::to_bytes(&frame);
         if let Some(tracer) = &self.tracer {
             if let Some(t) = self.serving_spans.remove(&(reply_to, req_id)) {
@@ -1001,7 +1488,10 @@ impl NodeCtx {
         let id = self.next_obj_id;
         self.next_obj_id += 1;
         self.objects.insert(id, Some(obj));
-        ObjRef { machine: self.machine, object: id }
+        ObjRef {
+            machine: self.machine,
+            object: id,
+        }
     }
 
     /// Construct and host an object of class `T` on **this** node directly

@@ -31,7 +31,11 @@ pub struct Backoff {
 impl Backoff {
     /// The same delay before every retransmission.
     pub const fn fixed(delay: Duration) -> Self {
-        Backoff { initial: delay, factor: 1.0, cap: delay }
+        Backoff {
+            initial: delay,
+            factor: 1.0,
+            cap: delay,
+        }
     }
 
     /// Exponential schedule: `initial, initial*factor, ...` capped at `cap`.
@@ -41,7 +45,11 @@ impl Backoff {
     /// the computed delay below zero, which `Duration` cannot represent).
     /// NaN also clamps to `1.0`.
     pub const fn exponential(initial: Duration, factor: f64, cap: Duration) -> Self {
-        Backoff { initial, factor: Self::clamp_factor(factor), cap }
+        Backoff {
+            initial,
+            factor: Self::clamp_factor(factor),
+            cap,
+        }
     }
 
     /// `factor >= 1.0`, with NaN mapped to `1.0`. (`f64::max` keeps the
@@ -134,6 +142,15 @@ impl CallPolicy {
         self
     }
 
+    /// Raise the retry budget to at least `retries`, keeping everything
+    /// else. Control-plane sequences that must survive a lossy fabric —
+    /// migration's quiesce/transfer/commit RMIs — use this to guarantee a
+    /// retransmission floor even under a caller's single-shot policy.
+    pub fn with_min_retries(mut self, retries: u32) -> Self {
+        self.max_retries = self.max_retries.max(retries);
+        self
+    }
+
     /// Total attempts this policy allows (first send + retries).
     pub fn max_attempts(&self) -> u32 {
         1 + self.max_retries
@@ -152,11 +169,7 @@ mod tests {
 
     #[test]
     fn exponential_backoff_sequence_is_deterministic() {
-        let b = Backoff::exponential(
-            Duration::from_millis(10),
-            2.0,
-            Duration::from_millis(200),
-        );
+        let b = Backoff::exponential(Duration::from_millis(10), 2.0, Duration::from_millis(200));
         let seq: Vec<u64> = (1..=7).map(|n| b.delay(n).as_millis() as u64).collect();
         assert_eq!(seq, vec![10, 20, 40, 80, 160, 200, 200]);
         // Re-evaluating gives the identical sequence: no hidden state.
@@ -179,11 +192,7 @@ mod tests {
 
     #[test]
     fn cap_bounds_every_delay() {
-        let b = Backoff::exponential(
-            Duration::from_millis(1),
-            10.0,
-            Duration::from_millis(50),
-        );
+        let b = Backoff::exponential(Duration::from_millis(1), 10.0, Duration::from_millis(50));
         assert_eq!(b.delay(1), Duration::from_millis(1));
         assert_eq!(b.delay(2), Duration::from_millis(10));
         assert_eq!(b.delay(3), Duration::from_millis(50)); // 100 capped
@@ -196,11 +205,8 @@ mod tests {
         // i.e. degrades to a fixed schedule instead of a shrinking (or
         // panicking) one.
         for junk in [0.5, 0.0, -3.0, f64::NEG_INFINITY, f64::NAN] {
-            let b = Backoff::exponential(
-                Duration::from_millis(10),
-                junk,
-                Duration::from_millis(200),
-            );
+            let b =
+                Backoff::exponential(Duration::from_millis(10), junk, Duration::from_millis(200));
             assert_eq!(b.factor, 1.0);
             assert_eq!(b.delay(5), Duration::from_millis(10));
         }
@@ -245,6 +251,14 @@ mod tests {
         assert_eq!(p.max_retries, 0);
         assert_eq!(p.max_attempts(), 1);
         assert_eq!(p.timeout, Duration::from_secs(30));
+    }
+
+    #[test]
+    fn min_retries_is_a_floor_not_an_override() {
+        let single = CallPolicy::no_retry(Duration::from_millis(100));
+        assert_eq!(single.with_min_retries(3).max_retries, 3);
+        let generous = CallPolicy::reliable(Duration::from_millis(100)).with_max_retries(8);
+        assert_eq!(generous.with_min_retries(3).max_retries, 8);
     }
 
     #[test]

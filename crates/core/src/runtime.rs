@@ -103,7 +103,13 @@ impl ClusterBuilder {
     /// Launch the machines and return the cluster handle plus the driver
     /// context (the paper's "program running on machine 0").
     pub fn build(self) -> (Cluster, Driver) {
-        let ClusterBuilder { workers, sim_config, registry, policy, tracing } = self;
+        let ClusterBuilder {
+            workers,
+            sim_config,
+            registry,
+            policy,
+            tracing,
+        } = self;
         let sim = SimCluster::new(sim_config);
         let registry = Arc::new(registry);
         let recorder =
@@ -147,8 +153,17 @@ impl ClusterBuilder {
             .expect("create cluster directory")
             .obj_ref();
 
-        let cluster = Cluster { sim, threads, workers, driver_id, recorder };
-        let driver = Driver { ctx: driver_ctx, directory };
+        let cluster = Cluster {
+            sim,
+            threads,
+            workers,
+            driver_id,
+            recorder,
+        };
+        let driver = Driver {
+            ctx: driver_ctx,
+            directory,
+        };
         (cluster, driver)
     }
 }
@@ -164,7 +179,9 @@ pub struct Cluster {
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cluster").field("workers", &self.workers).finish()
+        f.debug_struct("Cluster")
+            .field("workers", &self.workers)
+            .finish()
     }
 }
 
@@ -223,7 +240,10 @@ impl Cluster {
                 payload: Bytes(crate::frame::DaemonCall::Shutdown.encode()),
                 trace: TraceCtx::default(),
             };
-            let _ = self.sim.net().send(self.driver_id, m, wire::to_bytes(&frame));
+            let _ = self
+                .sim
+                .net()
+                .send(self.driver_id, m, wire::to_bytes(&frame));
         }
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -250,7 +270,9 @@ pub struct Driver {
 
 impl std::fmt::Debug for Driver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Driver").field("machine", &self.ctx.machine()).finish()
+        f.debug_struct("Driver")
+            .field("machine", &self.ctx.machine())
+            .finish()
     }
 }
 

@@ -47,7 +47,11 @@ remote_class! {
 
 impl Computer {
     fn new(_ctx: &mut NodeCtx, id: u64) -> RemoteResult<Self> {
-        Ok(Computer { id, peers: Vec::new(), scratch: 0.0 })
+        Ok(Computer {
+            id,
+            peers: Vec::new(),
+            scratch: 0.0,
+        })
     }
 
     fn set_group(&mut self, _ctx: &mut NodeCtx, peers: Vec<ComputerClient>) -> RemoteResult<()> {
@@ -136,7 +140,10 @@ remote_class! {
 
 impl ScaledCounter {
     fn new(ctx: &mut NodeCtx, start: i64, scale: i64) -> RemoteResult<Self> {
-        Ok(ScaledCounter { base: Counter::new(ctx, start)?, scale })
+        Ok(ScaledCounter {
+            base: Counter::new(ctx, start)?,
+            scale,
+        })
     }
     fn scaled_value(&mut self, ctx: &mut NodeCtx) -> RemoteResult<i64> {
         Ok(self.base.value(ctx)? * self.scale)
@@ -202,7 +209,12 @@ fn destroy_terminates_the_process() {
 fn unknown_class_is_reported() {
     let (cluster, mut driver) = ClusterBuilder::new(1).build();
     let err = driver.create_object(0, "Phantom", vec![]).unwrap_err();
-    assert_eq!(err, RemoteError::NoSuchClass { class: "Phantom".into() });
+    assert_eq!(
+        err,
+        RemoteError::NoSuchClass {
+            class: "Phantom".into()
+        }
+    );
     cluster.shutdown(driver);
 }
 
@@ -213,7 +225,10 @@ fn unknown_method_is_reported() {
     let err: RemoteResult<()> = driver.call_method(c.obj_ref(), "frobnicate", |_| {});
     assert_eq!(
         err.unwrap_err(),
-        RemoteError::NoSuchMethod { class: "Counter".into(), method: "frobnicate".into() }
+        RemoteError::NoSuchMethod {
+            class: "Counter".into(),
+            method: "frobnicate".into()
+        }
     );
     cluster.shutdown(driver);
 }
@@ -234,7 +249,10 @@ fn application_errors_propagate() {
     assert_eq!(err, RemoteError::app("kaboom"));
     // Out-of-bounds block access is an App error, not a panic.
     let d = DoubleBlockClient::new_on(&mut driver, 0, 4).unwrap();
-    assert!(matches!(d.get(&mut driver, 4), Err(RemoteError::App { .. })));
+    assert!(matches!(
+        d.get(&mut driver, 4),
+        Err(RemoteError::App { .. })
+    ));
     cluster.shutdown(driver);
 }
 
@@ -261,7 +279,8 @@ fn bulk_ranges_roundtrip() {
     let (cluster, mut driver) = cluster(1);
     let d = DoubleBlockClient::new_on(&mut driver, 0, 100).unwrap();
     let payload: Vec<f64> = (0..50).map(|i| i as f64 * 0.5).collect();
-    d.write_range(&mut driver, 25, F64s(payload.clone())).unwrap();
+    d.write_range(&mut driver, 25, F64s(payload.clone()))
+        .unwrap();
     let back = d.read_range(&mut driver, 25, 50).unwrap();
     assert_eq!(back.0, payload);
     // Device-side reductions (§3 "move the computation to the data").
@@ -269,7 +288,8 @@ fn bulk_ranges_roundtrip() {
     assert_eq!(s, payload.iter().sum::<f64>());
     let dot = d.dot_range(&mut driver, 25, F64s(vec![2.0; 50])).unwrap();
     assert!((dot - 2.0 * s).abs() < 1e-9);
-    d.axpy_range(&mut driver, 25, -1.0, F64s(payload.clone())).unwrap();
+    d.axpy_range(&mut driver, 25, -1.0, F64s(payload.clone()))
+        .unwrap();
     assert_eq!(d.sum_range(&mut driver, 0, 100).unwrap(), 0.0);
     cluster.shutdown(driver);
 }
@@ -280,7 +300,8 @@ fn byte_blocks_work() {
     let b = ByteBlockClient::new_on(&mut driver, 0, 16).unwrap();
     b.set(&mut driver, 3, 0xab).unwrap();
     assert_eq!(b.get(&mut driver, 3).unwrap(), 0xab);
-    b.write_range(&mut driver, 8, wire::collections::Bytes(vec![1, 2, 3])).unwrap();
+    b.write_range(&mut driver, 8, wire::collections::Bytes(vec![1, 2, 3]))
+        .unwrap();
     assert_eq!(b.read_range(&mut driver, 8, 3).unwrap().0, vec![1, 2, 3]);
     assert_eq!(b.len(&mut driver).unwrap(), 16);
     cluster.shutdown(driver);
@@ -373,7 +394,9 @@ fn process_group_create_and_set_group() {
     assert_eq!(group.len(), 4);
     let members = group.members().to_vec();
     group
-        .par_each(&mut driver, |ctx, m, _| m.set_group_async(ctx, members.clone()))
+        .par_each(&mut driver, |ctx, m, _| {
+            m.set_group_async(ctx, members.clone())
+        })
         .unwrap();
     let descriptions = group
         .par_each(&mut driver, |ctx, m, _| m.describe_async(ctx))
@@ -392,7 +415,9 @@ fn workers_call_each_other_through_remote_pointers() {
         ProcessGroup::create(&mut driver, 3, |id| wire::to_bytes(&(id as u64))).unwrap();
     let members = group.members().to_vec();
     group
-        .par_each(&mut driver, |ctx, m, _| m.set_group_async(ctx, members.clone()))
+        .par_each(&mut driver, |ctx, m, _| {
+            m.set_group_async(ctx, members.clone())
+        })
         .unwrap();
     // Stash a value on worker 2, then ask worker 0 to fetch it from its
     // peer table: a worker→worker remote call.
@@ -473,7 +498,10 @@ fn busy_object_defers_requests_instead_of_failing() {
     assert_eq!(p1.wait(&mut driver).unwrap(), 7);
     assert_eq!(p2.wait(&mut driver).unwrap(), 0.0);
     let stats = driver.stats_of(1).unwrap();
-    assert!(stats.calls_deferred >= 1, "expected a deferred call, got {stats:?}");
+    assert!(
+        stats.calls_deferred >= 1,
+        "expected a deferred call, got {stats:?}"
+    );
     cluster.shutdown(driver);
 }
 
@@ -508,7 +536,7 @@ fn self_call_deadlock_times_out() {
         .register::<Narcissist>()
         .timeout(Duration::from_millis(300))
         .build();
-    let n = NarcissistClient::new_on(&mut driver, 0, ).unwrap();
+    let n = NarcissistClient::new_on(&mut driver, 0).unwrap();
     let err = n.admire(&mut driver, n).unwrap_err();
     assert!(matches!(err, RemoteError::Timeout { .. }), "got {err:?}");
     // The machine recovered: it can serve fresh calls afterwards.
@@ -524,7 +552,8 @@ fn self_call_deadlock_times_out() {
 fn snapshot_deactivate_activate_cycle() {
     let (cluster, mut driver) = cluster(2);
     let d = DoubleBlockClient::new_on(&mut driver, 1, 4).unwrap();
-    d.write_range(&mut driver, 0, F64s(vec![1.0, 2.0, 3.0, 4.0])).unwrap();
+    d.write_range(&mut driver, 0, F64s(vec![1.0, 2.0, 3.0, 4.0]))
+        .unwrap();
 
     // Deactivate: state stored under a symbolic key, process destroyed.
     let key = symbolic_addr(&["data", "set", "DoubleBlock", "0"]);
@@ -536,12 +565,19 @@ fn snapshot_deactivate_activate_cycle() {
 
     // Activate: a fresh process with the same state.
     let revived: DoubleBlockClient = driver.activate(1, &key).unwrap();
-    assert_eq!(revived.read_range(&mut driver, 0, 4).unwrap().0, vec![1.0, 2.0, 3.0, 4.0]);
+    assert_eq!(
+        revived.read_range(&mut driver, 0, 4).unwrap().0,
+        vec![1.0, 2.0, 3.0, 4.0]
+    );
 
     // Activation is non-destructive: a second activation yields another copy.
     let twin: DoubleBlockClient = driver.activate(1, &key).unwrap();
     twin.set(&mut driver, 0, 9.0).unwrap();
-    assert_eq!(revived.get(&mut driver, 0).unwrap(), 1.0, "copies are independent");
+    assert_eq!(
+        revived.get(&mut driver, 0).unwrap(),
+        1.0,
+        "copies are independent"
+    );
 
     assert!(driver.drop_snapshot(1, &key).unwrap());
     assert!(!driver.drop_snapshot(1, &key).unwrap());
@@ -567,7 +603,12 @@ fn non_persistent_classes_refuse_snapshots() {
     let (cluster, mut driver) = cluster(1);
     let c = CounterClient::new_on(&mut driver, 0, 1).unwrap();
     let err = driver.snapshot_of(c.obj_ref()).unwrap_err();
-    assert_eq!(err, RemoteError::NotPersistent { class: "Counter".into() });
+    assert_eq!(
+        err,
+        RemoteError::NotPersistent {
+            class: "Counter".into()
+        }
+    );
     cluster.shutdown(driver);
 }
 
@@ -587,8 +628,14 @@ fn directory_binds_symbolic_names() {
     let d2 = DoubleBlockClient::from_ref(resolved);
     assert_eq!(d2.get(&mut driver, 0).unwrap(), 3.25);
 
-    assert_eq!(dir.lookup(&mut driver, "oopp://missing".into()).unwrap(), None);
-    assert_eq!(dir.list(&mut driver, "oopp://data/".into()).unwrap(), vec![name.clone()]);
+    assert_eq!(
+        dir.lookup(&mut driver, "oopp://missing".into()).unwrap(),
+        None
+    );
+    assert_eq!(
+        dir.list(&mut driver, "oopp://data/".into()).unwrap(),
+        vec![name.clone()]
+    );
     assert_eq!(dir.len(&mut driver).unwrap(), 1);
     assert!(dir.unbind(&mut driver, name.clone()).unwrap());
     assert!(!dir.unbind(&mut driver, name).unwrap());
@@ -629,7 +676,11 @@ fn simnet_metrics_visible_through_cluster() {
     d.set(&mut driver, 0, 1.0).unwrap();
     let delta = cluster.snapshot().since(&before);
     // create req/resp + set req/resp = at least 4 messages.
-    assert!(delta.messages_sent >= 4, "saw {} messages", delta.messages_sent);
+    assert!(
+        delta.messages_sent >= 4,
+        "saw {} messages",
+        delta.messages_sent
+    );
     assert!(delta.bytes_sent > 0);
     cluster.shutdown(driver);
 }
@@ -727,8 +778,7 @@ fn malformed_arguments_are_a_decode_error() {
     let (cluster, mut driver) = cluster(1);
     let c = CounterClient::new_on(&mut driver, 0, 0).unwrap();
     // `increment` wants an i64; send it a truncated payload.
-    let err: RemoteResult<i64> =
-        driver.call_method(c.obj_ref(), "increment", |w| w.put_u8(1));
+    let err: RemoteResult<i64> = driver.call_method(c.obj_ref(), "increment", |w| w.put_u8(1));
     assert!(matches!(err.unwrap_err(), RemoteError::Decode { .. }));
     cluster.shutdown(driver);
 }
@@ -740,7 +790,11 @@ fn stats_count_snapshots() {
     driver.deactivate(d.obj_ref(), "k1").unwrap();
     assert_eq!(driver.stats_of(0).unwrap().snapshots_stored, 1);
     let revived: DoubleBlockClient = driver.activate(0, "k1").unwrap();
-    assert_eq!(driver.stats_of(0).unwrap().snapshots_stored, 1, "activate keeps the snapshot");
+    assert_eq!(
+        driver.stats_of(0).unwrap().snapshots_stored,
+        1,
+        "activate keeps the snapshot"
+    );
     driver.drop_snapshot(0, "k1").unwrap();
     assert_eq!(driver.stats_of(0).unwrap().snapshots_stored, 0);
     revived.destroy(&mut driver).unwrap();
@@ -758,25 +812,22 @@ fn resolve_or_activate_finds_live_then_dormant() {
     dir.bind(&mut driver, addr.clone(), d.obj_ref()).unwrap();
 
     // Live resolution.
-    let got: DoubleBlockClient =
-        resolve_or_activate(&mut driver, &dir, 1, &addr).unwrap();
+    let got: DoubleBlockClient = resolve_or_activate(&mut driver, &dir, 1, &addr).unwrap();
     assert_eq!(got.get(&mut driver, 0).unwrap(), 2.5);
 
     // Deactivate under the SAME address, drop the binding: resolution now
     // activates from the snapshot and rebinds.
     driver.deactivate(d.obj_ref(), &addr).unwrap();
     dir.unbind(&mut driver, addr.clone()).unwrap();
-    let revived: DoubleBlockClient =
-        resolve_or_activate(&mut driver, &dir, 1, &addr).unwrap();
+    let revived: DoubleBlockClient = resolve_or_activate(&mut driver, &dir, 1, &addr).unwrap();
     assert_eq!(revived.get(&mut driver, 0).unwrap(), 2.5);
     // The fresh process is bound: a second resolve returns the same object.
-    let again: DoubleBlockClient =
-        resolve_or_activate(&mut driver, &dir, 1, &addr).unwrap();
+    let again: DoubleBlockClient = resolve_or_activate(&mut driver, &dir, 1, &addr).unwrap();
     assert_eq!(again.obj_ref(), revived.obj_ref());
 
     // Unknown address with no snapshot: clean error.
-    let err = resolve_or_activate::<DoubleBlockClient>(&mut driver, &dir, 1, "oopp://nope")
-        .unwrap_err();
+    let err =
+        resolve_or_activate::<DoubleBlockClient>(&mut driver, &dir, 1, "oopp://nope").unwrap_err();
     assert!(matches!(err, RemoteError::NoSuchSnapshot { .. }));
     cluster.shutdown(driver);
 }
@@ -814,8 +865,14 @@ fn seq_each_preserves_order_and_sequencing() {
 fn directory_rebind_replaces() {
     let (cluster, mut driver) = cluster(1);
     let dir = driver.directory();
-    let a = ObjRef { machine: 0, object: 10 };
-    let b = ObjRef { machine: 0, object: 20 };
+    let a = ObjRef {
+        machine: 0,
+        object: 10,
+    };
+    let b = ObjRef {
+        machine: 0,
+        object: 20,
+    };
     dir.bind(&mut driver, "x".into(), a).unwrap();
     dir.bind(&mut driver, "x".into(), b).unwrap();
     assert_eq!(dir.lookup(&mut driver, "x".into()).unwrap(), Some(b));
@@ -826,7 +883,10 @@ fn directory_rebind_replaces() {
 #[test]
 fn clients_travel_the_wire_inside_collections() {
     // Remote pointers nest in arbitrary wire structures (§4 deep copy).
-    let c = ComputerClient::from_ref(ObjRef { machine: 2, object: 9 });
+    let c = ComputerClient::from_ref(ObjRef {
+        machine: 2,
+        object: 9,
+    });
     let table = vec![Some((c, "label".to_string())), None];
     let bytes = wire::to_bytes(&table);
     let back: Vec<Option<(ComputerClient, String)>> = wire::from_bytes(&bytes).unwrap();

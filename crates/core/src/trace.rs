@@ -77,6 +77,19 @@ pub enum EventKind {
     ServerDispatch,
     /// Server transmitted the response.
     ServerReply,
+    /// Client chased a forwarding stub: a reply said the target object had
+    /// migrated, and the engine re-issued the same request (same `req_id`)
+    /// at the object's new address.
+    ClientForward,
+    /// Migration coordinator started moving an object (quiesce requested).
+    MigrateBegin,
+    /// Source quiesced and snapshotted; state is in flight to the target.
+    MigrateTransfer,
+    /// Target activated the object; forward installed at the old address.
+    MigrateCommit,
+    /// The move failed mid-flight; the object was restored at the source
+    /// under its original identity.
+    MigrateRollback,
 }
 
 impl EventKind {
@@ -92,7 +105,25 @@ impl EventKind {
             EventKind::ServerDefer => "defer",
             EventKind::ServerDispatch => "dispatch",
             EventKind::ServerReply => "reply",
+            EventKind::ClientForward => "forward",
+            EventKind::MigrateBegin => "migrate_begin",
+            EventKind::MigrateTransfer => "migrate_transfer",
+            EventKind::MigrateCommit => "migrate_commit",
+            EventKind::MigrateRollback => "migrate_rollback",
         }
+    }
+
+    /// True for the coordinator-side migration lifecycle markers. They are
+    /// root events of their own span — no `ClientSend` precedes them — so
+    /// causal checks treat them as origins, not orphans.
+    pub fn is_migration_marker(&self) -> bool {
+        matches!(
+            self,
+            EventKind::MigrateBegin
+                | EventKind::MigrateTransfer
+                | EventKind::MigrateCommit
+                | EventKind::MigrateRollback
+        )
     }
 }
 
@@ -158,7 +189,10 @@ impl SpanRing {
             .map(|_| UnsafeCell::new(None))
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        SpanRing { slots, head: AtomicU64::new(0) }
+        SpanRing {
+            slots,
+            head: AtomicU64::new(0),
+        }
     }
 
     /// Append an event, overwriting the oldest once full. Producer-only.
@@ -250,7 +284,9 @@ impl Tracer {
 
 impl std::fmt::Debug for Tracer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Tracer").field("machine", &self.machine).finish()
+        f.debug_struct("Tracer")
+            .field("machine", &self.machine)
+            .finish()
     }
 }
 
@@ -272,7 +308,9 @@ impl Recorder {
     /// ring of `capacity` events.
     pub fn new(machines: usize, capacity: usize) -> Self {
         let clock = TraceClock::new();
-        let rings = (0..machines).map(|_| Arc::new(SpanRing::new(capacity))).collect();
+        let rings = (0..machines)
+            .map(|_| Arc::new(SpanRing::new(capacity)))
+            .collect();
         Recorder { clock, rings }
     }
 
@@ -361,7 +399,10 @@ impl Trace {
         let known: HashSet<u64> = self.events.iter().map(|e| e.span_id).collect();
         let mut violations = Vec::new();
         for e in &self.events {
-            if e.kind != EventKind::ClientSend && !sends.contains(&e.span_id) {
+            if e.kind != EventKind::ClientSend
+                && !e.kind.is_migration_marker()
+                && !sends.contains(&e.span_id)
+            {
                 violations.push(format!(
                     "{} for span {:#x} ({}) has no originating send",
                     e.kind.label(),
@@ -465,6 +506,16 @@ impl Trace {
                         a.service_n += 1;
                     }
                 }
+                // A chase is another transmission of the same request (the
+                // span's latency already spans it: send … recv).
+                EventKind::ClientForward => {
+                    a.attempts += 1;
+                    a.bytes_out += e.bytes as u64;
+                }
+                EventKind::MigrateBegin
+                | EventKind::MigrateTransfer
+                | EventKind::MigrateCommit
+                | EventKind::MigrateRollback => {}
             }
         }
 
@@ -489,8 +540,7 @@ impl Trace {
                     p50_micros: pct(50),
                     p99_micros: pct(99),
                     queue_micros: a.queue_total.checked_div(a.queue_n).unwrap_or(0) / 1_000,
-                    service_micros: a.service_total.checked_div(a.service_n).unwrap_or(0)
-                        / 1_000,
+                    service_micros: a.service_total.checked_div(a.service_n).unwrap_or(0) / 1_000,
                     bytes_out: a.bytes_out,
                     bytes_in: a.bytes_in,
                 }
@@ -582,7 +632,8 @@ impl Trace {
                 EventKind::ClientRetransmit
                 | EventKind::ServerAdmitInFlight
                 | EventKind::ServerAdmitDone
-                | EventKind::ServerDefer => {
+                | EventKind::ServerDefer
+                | EventKind::ClientForward => {
                     let name = format!("{}:{}", e.kind.label(), e.method);
                     let body = format!(
                         "{{\"name\":{},\"cat\":\"reliability\",\"ph\":\"i\",\"s\":\"t\",\
@@ -596,6 +647,26 @@ impl Trace {
                         e.span_id,
                         e.req_id,
                         e.attempt,
+                    );
+                    emit(&mut out, &body);
+                }
+                EventKind::MigrateBegin
+                | EventKind::MigrateTransfer
+                | EventKind::MigrateCommit
+                | EventKind::MigrateRollback => {
+                    let name = format!("{}:{}", e.kind.label(), e.method);
+                    let body = format!(
+                        "{{\"name\":{},\"cat\":\"placement\",\"ph\":\"i\",\"s\":\"p\",\
+                         \"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"trace_id\":{},\
+                         \"span\":{},\"target\":{},\"bytes\":{}}}}}",
+                        json_string(&name),
+                        micros(e.at_nanos),
+                        e.machine,
+                        e.machine,
+                        e.trace_id,
+                        e.span_id,
+                        e.peer,
+                        e.bytes,
                     );
                     emit(&mut out, &body);
                 }
@@ -694,7 +765,10 @@ mod tests {
         let trace = rec.merge();
         assert_eq!(trace.events.len(), 2);
         assert_eq!(trace.dropped, 0);
-        assert!(trace.events.windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos));
+        assert!(trace
+            .events
+            .windows(2)
+            .all(|w| w[0].at_nanos <= w[1].at_nanos));
     }
 
     #[test]
@@ -770,6 +844,47 @@ mod tests {
         assert!(json.contains("\"dropped_events\":3"));
         // Client complete span: 1µs start, 8µs duration.
         assert!(json.contains("\"ts\":1.000,\"dur\":8.000"));
+    }
+
+    #[test]
+    fn migration_markers_are_causal_roots_and_export_as_instants() {
+        let t = Trace {
+            events: vec![
+                ev(EventKind::MigrateBegin, 10, 100, "migrate"),
+                ev(EventKind::MigrateTransfer, 20, 100, "migrate"),
+                ev(EventKind::MigrateCommit, 30, 100, "migrate"),
+                ev(EventKind::MigrateRollback, 40, 101, "migrate"),
+            ],
+            dropped: 0,
+        };
+        // Markers have no ClientSend; they must not read as orphans.
+        assert!(
+            t.causal_violations().is_empty(),
+            "{:?}",
+            t.causal_violations()
+        );
+        let json = t.to_chrome_json();
+        assert!(json.contains("migrate_begin:migrate"));
+        assert!(json.contains("migrate_rollback:migrate"));
+        assert!(json.contains("\"cat\":\"placement\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn forward_chase_counts_as_an_attempt() {
+        let t = Trace {
+            events: vec![
+                ev(EventKind::ClientSend, 0, 5, "get"),
+                ev(EventKind::ClientForward, 100, 5, "get"),
+                ev(EventKind::ClientRecv, 2_000, 5, "get"),
+            ],
+            dropped: 0,
+        };
+        assert!(t.causal_violations().is_empty());
+        let stats = t.method_stats();
+        assert_eq!(stats[0].attempts, 2);
+        assert_eq!(stats[0].calls, 1);
+        assert_eq!(stats[0].p50_micros, 2); // latency spans the chase
     }
 
     #[test]

@@ -68,9 +68,15 @@ impl Array {
         map: PageMap,
     ) -> RemoteResult<Self> {
         if p.contains(&0) || n.contains(&0) {
-            return Err(RemoteError::app("array and page dimensions must be positive"));
+            return Err(RemoteError::app(
+                "array and page dimensions must be positive",
+            ));
         }
-        let grid = [n[0].div_ceil(p[0]), n[1].div_ceil(p[1]), n[2].div_ceil(p[2])];
+        let grid = [
+            n[0].div_ceil(p[0]),
+            n[1].div_ceil(p[1]),
+            n[2].div_ceil(p[2]),
+        ];
         if map.grid() != grid {
             return Err(RemoteError::app(format!(
                 "page map grid {:?} does not match array grid {grid:?}",
@@ -155,7 +161,11 @@ impl Array {
         if domain.is_empty() {
             return Vec::new();
         }
-        let lo = [domain.a[0] / self.p[0], domain.a[1] / self.p[1], domain.a[2] / self.p[2]];
+        let lo = [
+            domain.a[0] / self.p[0],
+            domain.a[1] / self.p[1],
+            domain.a[2] / self.p[2],
+        ];
         let hi = [
             (domain.b[0] - 1) / self.p[0],
             (domain.b[1] - 1) / self.p[1],
@@ -216,14 +226,8 @@ impl Array {
                 ReadStrategy::SubBox => {
                     let local = inter.relative_to(page_origin);
                     dev.read_sub_async(
-                        ctx,
-                        addr.index,
-                        local.a[0],
-                        local.b[0],
-                        local.a[1],
-                        local.b[1],
-                        local.a[2],
-                        local.b[2],
+                        ctx, addr.index, local.a[0], local.b[0], local.a[1], local.b[1],
+                        local.a[2], local.b[2],
                     )?
                 }
                 ReadStrategy::WholePage => dev.read_array_async(ctx, addr.index)?,
@@ -349,13 +353,7 @@ impl Array {
             let dev = self.storage.device(addr.device_id as usize);
             let local = inter.relative_to(self.page_box(c).a);
             pendings.push(dev.sum_sub_async(
-                ctx,
-                addr.index,
-                local.a[0],
-                local.b[0],
-                local.a[1],
-                local.b[1],
-                local.a[2],
+                ctx, addr.index, local.a[0], local.b[0], local.a[1], local.b[1], local.a[2],
                 local.b[2],
             )?);
         }
@@ -377,11 +375,13 @@ impl Array {
             let dev = self.storage.device(addr.device_id as usize);
             let local = inter.relative_to(self.page_box(c).a);
             pendings.push(dev.min_sub_async(
-                ctx, addr.index, local.a[0], local.b[0], local.a[1], local.b[1],
-                local.a[2], local.b[2],
+                ctx, addr.index, local.a[0], local.b[0], local.a[1], local.b[1], local.a[2],
+                local.b[2],
             )?);
         }
-        Ok(join(ctx, pendings)?.into_iter().fold(f64::INFINITY, f64::min))
+        Ok(join(ctx, pendings)?
+            .into_iter()
+            .fold(f64::INFINITY, f64::min))
     }
 
     /// Maximum over `domain`, computed on the devices.
@@ -393,11 +393,13 @@ impl Array {
             let dev = self.storage.device(addr.device_id as usize);
             let local = inter.relative_to(self.page_box(c).a);
             pendings.push(dev.max_sub_async(
-                ctx, addr.index, local.a[0], local.b[0], local.a[1], local.b[1],
-                local.a[2], local.b[2],
+                ctx, addr.index, local.a[0], local.b[0], local.a[1], local.b[1], local.a[2],
+                local.b[2],
             )?);
         }
-        Ok(join(ctx, pendings)?.into_iter().fold(f64::NEG_INFINITY, f64::max))
+        Ok(join(ctx, pendings)?
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max))
     }
 
     /// Scale `domain` in place on the devices (no data crosses the wire
@@ -410,8 +412,8 @@ impl Array {
             let dev = self.storage.device(addr.device_id as usize);
             let local = inter.relative_to(self.page_box(c).a);
             pendings.push(dev.scale_sub_async(
-                ctx, addr.index, local.a[0], local.b[0], local.a[1], local.b[1],
-                local.a[2], local.b[2], alpha,
+                ctx, addr.index, local.a[0], local.b[0], local.a[1], local.b[1], local.a[2],
+                local.b[2], alpha,
             )?);
         }
         join(ctx, pendings)?;

@@ -24,23 +24,39 @@ impl Domain {
     /// # Panics
     /// If any `a > b`.
     pub fn new(a1: u64, b1: u64, a2: u64, b2: u64, a3: u64, b3: u64) -> Self {
-        assert!(a1 <= b1 && a2 <= b2 && a3 <= b3, "domain bounds must satisfy a <= b");
-        Domain { a: [a1, a2, a3], b: [b1, b2, b3] }
+        assert!(
+            a1 <= b1 && a2 <= b2 && a3 <= b3,
+            "domain bounds must satisfy a <= b"
+        );
+        Domain {
+            a: [a1, a2, a3],
+            b: [b1, b2, b3],
+        }
     }
 
     /// The whole `[0,n1) × [0,n2) × [0,n3)` box.
     pub fn whole(n1: u64, n2: u64, n3: u64) -> Self {
-        Domain { a: [0, 0, 0], b: [n1, n2, n3] }
+        Domain {
+            a: [0, 0, 0],
+            b: [n1, n2, n3],
+        }
     }
 
     /// A single point.
     pub fn point(i1: u64, i2: u64, i3: u64) -> Self {
-        Domain { a: [i1, i2, i3], b: [i1 + 1, i2 + 1, i3 + 1] }
+        Domain {
+            a: [i1, i2, i3],
+            b: [i1 + 1, i2 + 1, i3 + 1],
+        }
     }
 
     /// Extent along each axis.
     pub fn extent(&self) -> [u64; 3] {
-        [self.b[0] - self.a[0], self.b[1] - self.a[1], self.b[2] - self.a[2]]
+        [
+            self.b[0] - self.a[0],
+            self.b[1] - self.a[1],
+            self.b[2] - self.a[2],
+        ]
     }
 
     /// Number of points.
@@ -62,8 +78,7 @@ impl Domain {
 
     /// True if `other` lies entirely inside `self`.
     pub fn contains_domain(&self, other: &Domain) -> bool {
-        other.is_empty()
-            || (0..3).all(|d| self.a[d] <= other.a[d] && other.b[d] <= self.b[d])
+        other.is_empty() || (0..3).all(|d| self.a[d] <= other.a[d] && other.b[d] <= self.b[d])
     }
 
     /// The common box, or `None` when disjoint (or the overlap is empty).

@@ -107,7 +107,13 @@ impl PageMap {
     ) -> Self {
         assert!(devices > 0, "a page map needs at least one device");
         let total = grid[0] * grid[1] * grid[2];
-        let mut table = vec![PageAddress { device_id: 0, index: 0 }; total as usize];
+        let mut table = vec![
+            PageAddress {
+                device_id: 0,
+                index: 0
+            };
+            total as usize
+        ];
         // Sort pages by the ordering key, then deal them to devices; the
         // per-device slot counter guarantees bijectivity for any strategy.
         let mut keyed: Vec<(u64, u64)> = (0..total)
@@ -131,7 +137,12 @@ impl PageMap {
             MapKind::Hashed => 2,
             MapKind::ZCurve => 3,
         };
-        PageMap { grid, devices, table, kind_tag }
+        PageMap {
+            grid,
+            devices,
+            table,
+            kind_tag,
+        }
     }
 
     /// Consecutive pages (row-major order) on consecutive devices.
@@ -143,14 +154,24 @@ impl PageMap {
     pub fn blocked(grid: [u64; 3], devices: u64) -> Self {
         let total = grid[0] * grid[1] * grid[2];
         let per = total.div_ceil(devices).max(1);
-        Self::build(grid, devices, MapKind::Blocked, |l, _| l, move |l, _| l / per)
+        Self::build(
+            grid,
+            devices,
+            MapKind::Blocked,
+            |l, _| l,
+            move |l, _| l / per,
+        )
     }
 
     /// Pseudo-random placement, deterministic in `seed`.
     pub fn hashed(grid: [u64; 3], devices: u64, seed: u64) -> Self {
-        Self::build(grid, devices, MapKind::Hashed, |l, _| l, move |_, c| {
-            splitmix(seed ^ morton3(c[0], c[1], c[2]))
-        })
+        Self::build(
+            grid,
+            devices,
+            MapKind::Hashed,
+            |l, _| l,
+            move |_, c| splitmix(seed ^ morton3(c[0], c[1], c[2])),
+        )
     }
 
     /// Z-order traversal dealt round-robin: neighbours in 3-D stay close in
@@ -273,8 +294,7 @@ mod tests {
     #[test]
     fn round_robin_spreads_consecutive_pages() {
         let map = PageMap::round_robin([1, 1, 8], 4);
-        let devices: Vec<u64> =
-            (0..8).map(|l| map.physical([0, 0, l]).device_id).collect();
+        let devices: Vec<u64> = (0..8).map(|l| map.physical([0, 0, l]).device_id).collect();
         assert_eq!(devices, vec![0, 1, 2, 3, 0, 1, 2, 3]);
         assert_eq!(map.pages_per_device(), 2);
     }
@@ -282,8 +302,7 @@ mod tests {
     #[test]
     fn blocked_clusters_consecutive_pages() {
         let map = PageMap::blocked([1, 1, 8], 4);
-        let devices: Vec<u64> =
-            (0..8).map(|l| map.physical([0, 0, l]).device_id).collect();
+        let devices: Vec<u64> = (0..8).map(|l| map.physical([0, 0, l]).device_id).collect();
         assert_eq!(devices, vec![0, 0, 1, 1, 2, 2, 3, 3]);
     }
 
@@ -334,7 +353,10 @@ mod tests {
         let map = PageMap::round_robin([2, 2, 2], 1);
         assert_bijective(&map);
         assert_eq!(map.pages_per_device(), 8);
-        assert_eq!(map.devices_touched((0..8).map(|l| PageMap::coord_of([2, 2, 2], l))), 1);
+        assert_eq!(
+            map.devices_touched((0..8).map(|l| PageMap::coord_of([2, 2, 2], l))),
+            1
+        );
     }
 
     #[test]
@@ -354,7 +376,10 @@ mod tests {
 
     #[test]
     fn kind_names() {
-        assert_eq!(PageMap::round_robin([1, 1, 1], 1).kind().name(), "round-robin");
+        assert_eq!(
+            PageMap::round_robin([1, 1, 1], 1).kind().name(),
+            "round-robin"
+        );
         assert_eq!(PageMap::blocked([1, 1, 1], 1).kind().name(), "blocked");
         assert_eq!(PageMap::hashed([1, 1, 1], 1, 0).kind().name(), "hashed");
         assert_eq!(PageMap::zcurve([1, 1, 1], 1).kind().name(), "z-curve");

@@ -77,7 +77,11 @@ pub fn parallel_sum(
     let workers = ctx.workers();
     let mut pending_workers = Vec::with_capacity(clients);
     for i in 0..clients {
-        pending_workers.push(ArrayWorkerClient::new_on_async(ctx, i % workers, array.clone())?);
+        pending_workers.push(ArrayWorkerClient::new_on_async(
+            ctx,
+            i % workers,
+            array.clone(),
+        )?);
     }
     let group: ProcessGroup<ArrayWorkerClient> =
         ProcessGroup::from_members(oopp::join_clients(ctx, pending_workers)?);

@@ -22,7 +22,9 @@ impl Wire for BlockStorage {
         self.devices.encode(w);
     }
     fn decode(r: &mut wire::Reader<'_>) -> wire::WireResult<Self> {
-        Ok(BlockStorage { devices: Vec::decode(r)? })
+        Ok(BlockStorage {
+            devices: Vec::decode(r)?,
+        })
     }
 }
 
@@ -75,7 +77,9 @@ impl BlockStorage {
                 )
             })
             .collect::<RemoteResult<_>>()?;
-        Ok(BlockStorage { devices: join_clients(ctx, pendings)? })
+        Ok(BlockStorage {
+            devices: join_clients(ctx, pendings)?,
+        })
     }
 
     /// Number of devices.

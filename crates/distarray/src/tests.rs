@@ -15,7 +15,10 @@ struct Mirror {
 
 impl Mirror {
     fn new(n: [u64; 3]) -> Self {
-        Mirror { n, data: vec![0.0; (n[0] * n[1] * n[2]) as usize] }
+        Mirror {
+            n,
+            data: vec![0.0; (n[0] * n[1] * n[2]) as usize],
+        }
     }
     fn idx(&self, i1: u64, i2: u64, i3: u64) -> usize {
         ((i1 * self.n[1] + i2) * self.n[2] + i3) as usize
@@ -28,7 +31,9 @@ impl Mirror {
         }
     }
     fn read(&self, d: &Domain) -> Vec<f64> {
-        d.points().map(|(i1, i2, i3)| self.data[self.idx(i1, i2, i3)]).collect()
+        d.points()
+            .map(|(i1, i2, i3)| self.data[self.idx(i1, i2, i3)])
+            .collect()
     }
     fn sum(&self, d: &Domain) -> f64 {
         self.read(d).iter().sum()
@@ -39,8 +44,18 @@ fn cluster(workers: usize) -> (Cluster, Driver) {
     register_classes(ClusterBuilder::new(workers)).build()
 }
 
-fn build_array(driver: &mut Driver, n: [u64; 3], p: [u64; 3], devices: u64, map_of: impl Fn([u64; 3], u64) -> PageMap) -> Array {
-    let grid = [n[0].div_ceil(p[0]), n[1].div_ceil(p[1]), n[2].div_ceil(p[2])];
+fn build_array(
+    driver: &mut Driver,
+    n: [u64; 3],
+    p: [u64; 3],
+    devices: u64,
+    map_of: impl Fn([u64; 3], u64) -> PageMap,
+) -> Array {
+    let grid = [
+        n[0].div_ceil(p[0]),
+        n[1].div_ceil(p[1]),
+        n[2].div_ceil(p[2]),
+    ];
     let map = map_of(grid, devices);
     let storage = BlockStorage::create(
         driver,
@@ -57,7 +72,9 @@ fn build_array(driver: &mut Driver, n: [u64; 3], p: [u64; 3], devices: u64, map_
 }
 
 fn patterned(len: usize, seed: u64) -> Vec<f64> {
-    (0..len).map(|i| ((i as u64 * 37 + seed * 101) % 1000) as f64 / 8.0).collect()
+    (0..len)
+        .map(|i| ((i as u64 * 37 + seed * 101) % 1000) as f64 / 8.0)
+        .collect()
 }
 
 #[test]
@@ -93,13 +110,15 @@ fn partial_page_domains_roundtrip() {
 fn edge_pages_truncate_correctly() {
     // 5x5x5 array with 2x2x2 pages: grid 3x3x3, edge pages are partial.
     let (cluster, mut driver) = cluster(2);
-    let array =
-        build_array(&mut driver, [5, 5, 5], [2, 2, 2], 3, PageMap::zcurve);
+    let array = build_array(&mut driver, [5, 5, 5], [2, 2, 2], 3, PageMap::zcurve);
     let whole = array.whole();
     let data = patterned(125, 3);
     array.write(&mut driver, &whole, &data).unwrap();
     assert_eq!(array.read(&mut driver, &whole).unwrap(), data);
-    assert_eq!(array.sum(&mut driver, &whole).unwrap(), data.iter().sum::<f64>());
+    assert_eq!(
+        array.sum(&mut driver, &whole).unwrap(),
+        data.iter().sum::<f64>()
+    );
     cluster.shutdown(driver);
 }
 
@@ -110,10 +129,16 @@ fn both_read_strategies_agree() {
         PageMap::round_robin(g, d)
     });
     let whole = array.whole();
-    array.write(&mut driver, &whole, &patterned(216, 4)).unwrap();
+    array
+        .write(&mut driver, &whole, &patterned(216, 4))
+        .unwrap();
     let d = Domain::new(1, 5, 0, 6, 2, 6);
-    let sub = array.read_with(&mut driver, &d, ReadStrategy::SubBox).unwrap();
-    let page = array.read_with(&mut driver, &d, ReadStrategy::WholePage).unwrap();
+    let sub = array
+        .read_with(&mut driver, &d, ReadStrategy::SubBox)
+        .unwrap();
+    let page = array
+        .read_with(&mut driver, &d, ReadStrategy::WholePage)
+        .unwrap();
     assert_eq!(sub, page);
     cluster.shutdown(driver);
 }
@@ -140,9 +165,16 @@ fn fill_then_sum() {
     let array = build_array(&mut driver, [4, 4, 4], [2, 2, 2], 2, |g, d| {
         PageMap::round_robin(g, d)
     });
-    array.fill(&mut driver, &Domain::new(0, 4, 0, 4, 0, 2), 2.0).unwrap();
-    array.fill(&mut driver, &Domain::new(0, 4, 0, 4, 2, 4), -1.0).unwrap();
-    assert_eq!(array.sum(&mut driver, &array.whole()).unwrap(), 32.0 * 2.0 - 32.0);
+    array
+        .fill(&mut driver, &Domain::new(0, 4, 0, 4, 0, 2), 2.0)
+        .unwrap();
+    array
+        .fill(&mut driver, &Domain::new(0, 4, 0, 4, 2, 4), -1.0)
+        .unwrap();
+    assert_eq!(
+        array.sum(&mut driver, &array.whole()).unwrap(),
+        32.0 * 2.0 - 32.0
+    );
     cluster.shutdown(driver);
 }
 
@@ -166,8 +198,12 @@ fn out_of_bounds_and_size_mismatches_error() {
     let array = build_array(&mut driver, [4, 4, 4], [2, 2, 2], 1, |g, d| {
         PageMap::round_robin(g, d)
     });
-    assert!(array.read(&mut driver, &Domain::new(0, 5, 0, 4, 0, 4)).is_err());
-    assert!(array.write(&mut driver, &Domain::new(0, 2, 0, 2, 0, 2), &[0.0; 7]).is_err());
+    assert!(array
+        .read(&mut driver, &Domain::new(0, 5, 0, 4, 0, 4))
+        .is_err());
+    assert!(array
+        .write(&mut driver, &Domain::new(0, 2, 0, 2, 0, 2), &[0.0; 7])
+        .is_err());
     cluster.shutdown(driver);
 }
 
@@ -198,7 +234,11 @@ fn devices_touched_matches_pagemap_prediction() {
     let rr = build_array(&mut driver, n, p, 4, PageMap::round_robin);
     assert_eq!(rr.devices_touched(&slab), 2);
     let bl = build_array(&mut driver, n, p, 4, PageMap::blocked);
-    assert_eq!(bl.devices_touched(&slab), 1, "blocked packs the slab on one device");
+    assert_eq!(
+        bl.devices_touched(&slab),
+        1,
+        "blocked packs the slab on one device"
+    );
     cluster.shutdown(driver);
 }
 
@@ -235,7 +275,10 @@ fn parallel_clients_compute_the_same_sum() {
     let serial = array.sum(&mut driver, &whole).unwrap();
     for clients in [1, 2, 3, 5] {
         let par = parallel_sum(&mut driver, &array, &whole, clients).unwrap();
-        assert!((par - serial).abs() < 1e-9, "clients={clients}: {par} vs {serial}");
+        assert!(
+            (par - serial).abs() < 1e-9,
+            "clients={clients}: {par} vs {serial}"
+        );
     }
     cluster.shutdown(driver);
 }
@@ -253,7 +296,11 @@ fn array_worker_operations() {
     assert_eq!(w.scaled_sum(&mut driver, d, 0.5).unwrap(), 96.0);
     // Checksum through the worker equals checksum computed driver-side.
     let local = array.read(&mut driver, &d).unwrap();
-    let expect: f64 = local.iter().enumerate().map(|(i, v)| v * (1.0 + (i % 97) as f64)).sum();
+    let expect: f64 = local
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v * (1.0 + (i % 97) as f64))
+        .sum();
     assert!((w.read_checksum(&mut driver, d).unwrap() - expect).abs() < 1e-9);
     w.destroy(&mut driver).unwrap();
     cluster.shutdown(driver);

@@ -46,7 +46,13 @@ impl Bluestein {
         }
         let mut kernel_fft = kernel;
         inner.process(&mut kernel_fft, Direction::Forward);
-        Bluestein { n, m, inner, chirp, kernel_fft }
+        Bluestein {
+            n,
+            m,
+            inner,
+            chirp,
+            kernel_fft,
+        }
     }
 
     /// Transform size.
@@ -110,7 +116,12 @@ mod tests {
 
     fn signal(n: usize) -> Vec<Complex> {
         (0..n)
-            .map(|i| c64((i as f64 * 0.7).sin() + 0.1 * i as f64, (i as f64 * 1.3).cos()))
+            .map(|i| {
+                c64(
+                    (i as f64 * 0.7).sin() + 0.1 * i as f64,
+                    (i as f64 * 1.3).cos(),
+                )
+            })
             .collect()
     }
 

@@ -134,7 +134,9 @@ mod tests {
 
     #[test]
     fn parseval_energy_is_preserved() {
-        let x: Vec<Complex> = (0..10).map(|i| c64((i as f64).sin(), (i as f64).cos())).collect();
+        let x: Vec<Complex> = (0..10)
+            .map(|i| c64((i as f64).sin(), (i as f64).cos()))
+            .collect();
         let y = dft(&x, Direction::Forward);
         let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
         let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum();

@@ -61,9 +61,15 @@ pub fn pack(data: &[Complex]) -> F64s {
 /// Unpack interleaved `re, im` doubles.
 pub fn unpack(data: &F64s) -> RemoteResult<Vec<Complex>> {
     if !data.0.len().is_multiple_of(2) {
-        return Err(RemoteError::app("interleaved complex payload has odd length"));
+        return Err(RemoteError::app(
+            "interleaved complex payload has odd length",
+        ));
     }
-    Ok(data.0.chunks_exact(2).map(|c| Complex { re: c[0], im: c[1] }).collect())
+    Ok(data
+        .0
+        .chunks_exact(2)
+        .map(|c| Complex { re: c[0], im: c[1] })
+        .collect())
 }
 
 // ---------------------------------------------------------------------
@@ -160,13 +166,7 @@ impl BlockInboxClient {
     }
 
     /// Deposit a block for exchange `epoch` from worker `from`.
-    pub fn put(
-        &self,
-        ctx: &mut NodeCtx,
-        epoch: u64,
-        from: u64,
-        data: F64s,
-    ) -> RemoteResult<()> {
+    pub fn put(&self, ctx: &mut NodeCtx, epoch: u64, from: u64, data: F64s) -> RemoteResult<()> {
         ctx.call_method(self.r, "put", |w| {
             epoch.encode(w);
             from.encode(w);
@@ -219,7 +219,9 @@ impl Wire for BlockInboxClient {
         self.r.encode(w);
     }
     fn decode(r: &mut Reader<'_>) -> wire::WireResult<Self> {
-        Ok(BlockInboxClient { r: ObjRef::decode(r)? })
+        Ok(BlockInboxClient {
+            r: ObjRef::decode(r)?,
+        })
     }
 }
 
@@ -273,9 +275,18 @@ remote_class! {
 }
 
 impl FftWorker {
-    fn new(_ctx: &mut NodeCtx, id: u64, n1: u64, n2: u64, n3: u64, parts: u64) -> RemoteResult<Self> {
+    fn new(
+        _ctx: &mut NodeCtx,
+        id: u64,
+        n1: u64,
+        n2: u64,
+        n3: u64,
+        parts: u64,
+    ) -> RemoteResult<Self> {
         if parts == 0 || id >= parts {
-            return Err(RemoteError::app(format!("worker id {id} out of range for {parts} parts")));
+            return Err(RemoteError::app(format!(
+                "worker id {id} out of range for {parts} parts"
+            )));
         }
         if !n1.is_multiple_of(parts) || !n2.is_multiple_of(parts) {
             return Err(RemoteError::app(format!(
@@ -304,7 +315,9 @@ impl FftWorker {
         inboxes: Vec<BlockInboxClient>,
     ) -> RemoteResult<()> {
         if peers.len() as u64 != self.parts || inboxes.len() as u64 != self.parts {
-            return Err(RemoteError::app("group tables must have one entry per part"));
+            return Err(RemoteError::app(
+                "group tables must have one entry per part",
+            ));
         }
         self.my_inbox = Some(inboxes[self.id as usize]);
         self.peers = peers;
@@ -347,8 +360,11 @@ impl FftWorker {
             return Err(RemoteError::app("transform phases called out of order"));
         }
         let dir = Direction::from_sign(sign as i32);
-        let [n1, n2, n3] =
-            [self.shape[0] as usize, self.shape[1] as usize, self.shape[2] as usize];
+        let [n1, n2, n3] = [
+            self.shape[0] as usize,
+            self.shape[1] as usize,
+            self.shape[2] as usize,
+        ];
         let p = self.parts as usize;
         let (s1, s2) = (n1 / p, n2 / p);
 
@@ -397,8 +413,11 @@ impl FftWorker {
             .take()
             .ok_or_else(|| RemoteError::app("transform_exchange before transform_local"))?;
         let dir = Direction::from_sign(sign as i32);
-        let [n1, n2, n3] =
-            [self.shape[0] as usize, self.shape[1] as usize, self.shape[2] as usize];
+        let [n1, n2, n3] = [
+            self.shape[0] as usize,
+            self.shape[1] as usize,
+            self.shape[2] as usize,
+        ];
         let p = self.parts as usize;
         let (s1, s2) = (n1 / p, n2 / p);
 
@@ -437,7 +456,12 @@ impl FftWorker {
         let mut sends = Vec::with_capacity(p);
         for (q, inbox) in self.inboxes.iter().enumerate() {
             let start = q * s1 * s2 * n3;
-            sends.push(inbox.put_async(ctx, epoch, self.id, pack(&gathered[start..start + s1 * s2 * n3]))?);
+            sends.push(inbox.put_async(
+                ctx,
+                epoch,
+                self.id,
+                pack(&gathered[start..start + s1 * s2 * n3]),
+            )?);
         }
         join(ctx, sends)?;
         self.gathered = gathered; // kept only for introspection/debugging
@@ -449,8 +473,11 @@ impl FftWorker {
             .pending_epoch
             .take()
             .ok_or_else(|| RemoteError::app("transform_finish before transform_exchange"))?;
-        let [n1, n2, n3] =
-            [self.shape[0] as usize, self.shape[1] as usize, self.shape[2] as usize];
+        let [n1, n2, n3] = [
+            self.shape[0] as usize,
+            self.shape[1] as usize,
+            self.shape[2] as usize,
+        ];
         let p = self.parts as usize;
         let (s1, s2) = (n1 / p, n2 / p);
         let _ = n1;
@@ -511,7 +538,8 @@ impl DistributedFft3 {
         // for (id = 0; id < N; id++) fft[id] = new(machine id) FFT(id);
         let mut pending_inboxes = Vec::with_capacity(parts);
         for id in 0..parts {
-            pending_inboxes.push(ctx.create_async::<BlockInboxClient>(id % workers_count, Vec::new())?);
+            pending_inboxes
+                .push(ctx.create_async::<BlockInboxClient>(id % workers_count, Vec::new())?);
         }
         let inboxes = oopp::join_clients(ctx, pending_inboxes)?;
         let mut pending_workers = Vec::with_capacity(parts);
@@ -533,7 +561,12 @@ impl DistributedFft3 {
             pending.push(w.set_group_async(ctx, workers.clone(), inboxes.clone())?);
         }
         join(ctx, pending)?;
-        Ok(DistributedFft3 { shape, parts, workers, inboxes })
+        Ok(DistributedFft3 {
+            shape,
+            parts,
+            workers,
+            inboxes,
+        })
     }
 
     /// Grid shape.

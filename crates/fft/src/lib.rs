@@ -30,9 +30,9 @@ pub mod distributed;
 pub mod nd;
 pub mod nd2;
 pub mod plan;
-pub mod real;
 pub mod radix2;
 pub mod radix4;
+pub mod real;
 
 pub use bluestein::Bluestein;
 pub use complex::{c64, max_error, Complex};
@@ -42,10 +42,10 @@ pub use distributed::{
 };
 pub use nd::{dft3, Fft3, Grid3};
 pub use nd2::{Fft2, Grid2};
-pub use real::RealFft;
 pub use plan::Fft;
 pub use radix2::Radix2;
 pub use radix4::Radix4;
+pub use real::RealFft;
 
 #[cfg(test)]
 mod tests;

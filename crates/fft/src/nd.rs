@@ -18,7 +18,10 @@ pub struct Grid3 {
 impl Grid3 {
     /// A zeroed `n1 × n2 × n3` grid.
     pub fn zeroed(shape: [usize; 3]) -> Self {
-        Grid3 { shape, data: vec![Complex::ZERO; shape[0] * shape[1] * shape[2]] }
+        Grid3 {
+            shape,
+            data: vec![Complex::ZERO; shape[0] * shape[1] * shape[2]],
+        }
     }
 
     /// Wrap existing data.
@@ -26,7 +29,11 @@ impl Grid3 {
     /// # Panics
     /// If `data.len()` does not match the shape.
     pub fn new(shape: [usize; 3], data: Vec<Complex>) -> Self {
-        assert_eq!(data.len(), shape[0] * shape[1] * shape[2], "shape/data mismatch");
+        assert_eq!(
+            data.len(),
+            shape[0] * shape[1] * shape[2],
+            "shape/data mismatch"
+        );
         Grid3 { shape, data }
     }
 
@@ -183,7 +190,9 @@ mod tests {
         let n = shape[0] * shape[1] * shape[2];
         Grid3::new(
             shape,
-            (0..n).map(|i| c64((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect(),
+            (0..n)
+                .map(|i| c64((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect(),
         )
     }
 
@@ -204,7 +213,10 @@ mod tests {
         let shape = [8, 4, 6];
         let grid = sample(shape);
         let plan = Fft3::new(shape);
-        let back = plan.transform(&plan.transform(&grid, Direction::Forward), Direction::Inverse);
+        let back = plan.transform(
+            &plan.transform(&grid, Direction::Forward),
+            Direction::Inverse,
+        );
         assert!(max_error(grid.data(), back.data()) < 1e-9);
     }
 

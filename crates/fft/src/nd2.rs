@@ -15,7 +15,10 @@ pub struct Grid2 {
 impl Grid2 {
     /// A zeroed `n1 × n2` grid.
     pub fn zeroed(shape: [usize; 2]) -> Self {
-        Grid2 { shape, data: vec![Complex::ZERO; shape[0] * shape[1]] }
+        Grid2 {
+            shape,
+            data: vec![Complex::ZERO; shape[0] * shape[1]],
+        }
     }
 
     /// Wrap existing data.
@@ -63,7 +66,10 @@ pub struct Fft2 {
 impl Fft2 {
     /// Plan a transform for `n1 × n2` grids.
     pub fn new(shape: [usize; 2]) -> Self {
-        Fft2 { shape, plans: [Fft::new(shape[0]), Fft::new(shape[1])] }
+        Fft2 {
+            shape,
+            plans: [Fft::new(shape[0]), Fft::new(shape[1])],
+        }
     }
 
     /// Grid shape this plan covers.
@@ -113,7 +119,9 @@ mod tests {
         let n = shape[0] * shape[1];
         Grid2::new(
             shape,
-            (0..n).map(|i| c64((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos())).collect(),
+            (0..n)
+                .map(|i| c64((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()))
+                .collect(),
         )
     }
 

@@ -111,8 +111,9 @@ mod tests {
     fn all_sizes_match_reference() {
         for n in 1..=48 {
             let plan = Fft::new(n);
-            let x: Vec<Complex> =
-                (0..n).map(|i| c64((i as f64).sqrt(), (i % 3) as f64 - 1.0)).collect();
+            let x: Vec<Complex> = (0..n)
+                .map(|i| c64((i as f64).sqrt(), (i % 3) as f64 - 1.0))
+                .collect();
             let err = max_error(&plan.forward(&x), &dft(&x, Direction::Forward));
             assert!(err < 1e-7, "n={n}: error {err}");
         }

@@ -20,15 +20,28 @@ impl Radix2 {
     /// If `n` is not a power of two (use [`Fft`](crate::plan::Fft) for
     /// arbitrary sizes).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "Radix2 requires a power-of-two size, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "Radix2 requires a power-of-two size, got {n}"
+        );
         let bits = n.trailing_zeros();
         let bitrev = (0..n as u32)
-            .map(|i| if n > 1 { i.reverse_bits() >> (32 - bits) } else { 0 })
+            .map(|i| {
+                if n > 1 {
+                    i.reverse_bits() >> (32 - bits)
+                } else {
+                    0
+                }
+            })
             .collect();
         let twiddles = (0..n / 2)
             .map(|k| Complex::cis(-std::f64::consts::TAU * k as f64 / n as f64))
             .collect();
-        Radix2 { n, bitrev, twiddles }
+        Radix2 {
+            n,
+            bitrev,
+            twiddles,
+        }
     }
 
     /// Transform size.
@@ -97,7 +110,9 @@ mod tests {
     use crate::dft::dft;
 
     fn ramp(n: usize) -> Vec<Complex> {
-        (0..n).map(|i| c64(i as f64 * 0.5, (i as f64 * 0.3).sin())).collect()
+        (0..n)
+            .map(|i| c64(i as f64 * 0.5, (i as f64 * 0.3).sin()))
+            .collect()
     }
 
     #[test]

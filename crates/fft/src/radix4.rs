@@ -28,7 +28,10 @@ impl Radix4 {
     /// # Panics
     /// If `n` is not a power of four.
     pub fn new(n: usize) -> Self {
-        assert!(is_power_of_four(n), "Radix4 requires a power-of-four size, got {n}");
+        assert!(
+            is_power_of_four(n),
+            "Radix4 requires a power-of-four size, got {n}"
+        );
         let pairs = n.trailing_zeros() / 2; // base-4 digits
         let digitrev = (0..n as u32)
             .map(|i| {
@@ -44,7 +47,11 @@ impl Radix4 {
         let twiddles = (0..n)
             .map(|k| Complex::cis(-std::f64::consts::TAU * k as f64 / n as f64))
             .collect();
-        Radix4 { n, digitrev, twiddles }
+        Radix4 {
+            n,
+            digitrev,
+            twiddles,
+        }
     }
 
     /// Transform size.
@@ -137,7 +144,9 @@ mod tests {
     use crate::radix2::Radix2;
 
     fn signal(n: usize) -> Vec<Complex> {
-        (0..n).map(|i| c64((i as f64 * 0.61).sin(), (i as f64 * 0.29).cos())).collect()
+        (0..n)
+            .map(|i| c64((i as f64 * 0.61).sin(), (i as f64 * 0.29).cos()))
+            .collect()
     }
 
     #[test]

@@ -25,11 +25,18 @@ pub struct RealFft {
 impl RealFft {
     /// Plan for real sequences of length `n` (must be even and ≥ 2).
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n.is_multiple_of(2), "RealFft requires an even length >= 2, got {n}");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "RealFft requires an even length >= 2, got {n}"
+        );
         let twiddles = (0..n / 2)
             .map(|k| Complex::cis(-std::f64::consts::TAU * k as f64 / n as f64))
             .collect();
-        RealFft { n, half: Fft::new(n / 2), twiddles }
+        RealFft {
+            n,
+            half: Fft::new(n / 2),
+            twiddles,
+        }
     }
 
     /// Sequence length.
@@ -56,7 +63,9 @@ impl RealFft {
         assert_eq!(input.len(), self.n, "input length must equal plan size");
         let m = self.n / 2;
         // Pack: z[k] = x[2k] + i x[2k+1].
-        let packed: Vec<Complex> = (0..m).map(|k| c64(input[2 * k], input[2 * k + 1])).collect();
+        let packed: Vec<Complex> = (0..m)
+            .map(|k| c64(input[2 * k], input[2 * k + 1]))
+            .collect();
         let z = self.half.forward(&packed);
 
         let mut out = Vec::with_capacity(m + 1);
@@ -66,7 +75,11 @@ impl RealFft {
             // Even part (spectrum of x_even) and odd part (of x_odd).
             let even = (zk + zmk).scale(0.5);
             let odd = (zk - zmk) * c64(0.0, -0.5);
-            let w = if k == m { c64(-1.0, 0.0) } else { self.twiddles[k] };
+            let w = if k == m {
+                c64(-1.0, 0.0)
+            } else {
+                self.twiddles[k]
+            };
             out.push(even + odd * w);
         }
         out
@@ -91,7 +104,11 @@ impl RealFft {
             let xk = spectrum[k];
             let xmk = spectrum[m - k].conj();
             let even = (xk + xmk).scale(0.5);
-            let w_inv = if k == 0 { Complex::ONE } else { self.twiddles[k].conj() };
+            let w_inv = if k == 0 {
+                Complex::ONE
+            } else {
+                self.twiddles[k].conj()
+            };
             let odd = (xk - xmk).scale(0.5) * w_inv;
             z.push(even + odd * Complex::I);
         }
@@ -112,7 +129,9 @@ mod tests {
     use crate::dft::dft;
 
     fn signal(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.7).sin() + 0.3 * (i as f64 * 2.1).cos()).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.7).sin() + 0.3 * (i as f64 * 2.1).cos())
+            .collect()
     }
 
     #[test]

@@ -32,8 +32,7 @@ fn distributed_matches_local_for_various_part_counts() {
 
     for parts in [1usize, 2, 4] {
         let (cluster, mut driver) = cluster(parts.max(2));
-        let dfft =
-            DistributedFft3::new(&mut driver, [8, 8, 4], parts).unwrap();
+        let dfft = DistributedFft3::new(&mut driver, [8, 8, 4], parts).unwrap();
         dfft.scatter(&mut driver, grid.data()).unwrap();
         dfft.transform(&mut driver, Direction::Forward).unwrap();
         let got = dfft.gather(&mut driver).unwrap();

@@ -182,7 +182,8 @@ fn page_server(comm: &mut Comm, client: usize, page_size: usize) {
             return;
         }
         let mut buf = vec![0u8; page_size];
-        disk.read(page_index as usize * page_size, &mut buf).expect("page read");
+        disk.read(page_index as usize * page_size, &mut buf)
+            .expect("page read");
         comm.send(client, TAG_PAGE, &buf).expect("server send");
     }
 }
@@ -229,7 +230,9 @@ mod tests {
 
     fn sample(shape: [usize; 3]) -> Vec<Complex> {
         let n = shape[0] * shape[1] * shape[2];
-        (0..n).map(|i| c64((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos())).collect()
+        (0..n)
+            .map(|i| c64((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect()
     }
 
     #[test]
@@ -260,15 +263,19 @@ mod tests {
             data.clone(),
             Direction::Forward,
         );
-        let back = fft_run(ClusterConfig::zero_cost(2), shape, forward, Direction::Inverse);
+        let back = fft_run(
+            ClusterConfig::zero_cost(2),
+            shape,
+            forward,
+            Direction::Inverse,
+        );
         assert!(max_error(&back, &data) < 1e-10);
     }
 
     #[test]
     fn pageio_both_modes_complete() {
         for mode in [IoMode::Sequential, IoMode::Pipelined] {
-            let (elapsed, metrics) =
-                pageio_run(ClusterConfig::zero_cost(5), 1024, 8, mode);
+            let (elapsed, metrics) = pageio_run(ClusterConfig::zero_cost(5), 1024, 8, mode);
             assert!(elapsed > Duration::ZERO);
             // 4 servers: 4 requests + 4 pages + 4 stops = 12 messages.
             assert_eq!(metrics.messages_sent, 12);

@@ -78,7 +78,11 @@ impl Comm {
         }
         // Forward to children: vrank | b for every power of two b below
         // vrank's lowest set bit (all powers for the root).
-        let limit = if vrank == 0 { size } else { vrank & vrank.wrapping_neg() };
+        let limit = if vrank == 0 {
+            size
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
         let mut b = 1;
         while b < limit {
             let vchild = vrank | b;
@@ -285,9 +289,8 @@ mod tests {
     #[test]
     fn reduce_sums_at_root() {
         for n in [1, 2, 3, 5, 8] {
-            let (results, _) = world(n).run(|c| {
-                c.reduce_f64(0, (c.rank() + 1) as f64, Op::Sum).unwrap()
-            });
+            let (results, _) =
+                world(n).run(|c| c.reduce_f64(0, (c.rank() + 1) as f64, Op::Sum).unwrap());
             let expect = (n * (n + 1)) as f64 / 2.0;
             assert_eq!(results[0], Some(expect));
             for r in &results[1..] {
@@ -309,10 +312,7 @@ mod tests {
     #[test]
     fn gather_collects_in_rank_order() {
         let (results, _) = world(4).run(|c| c.gather(2, vec![c.rank() as u8]).unwrap());
-        assert_eq!(
-            results[2],
-            Some(vec![vec![0u8], vec![1], vec![2], vec![3]])
-        );
+        assert_eq!(results[2], Some(vec![vec![0u8], vec![1], vec![2], vec![3]]));
         assert_eq!(results[0], None);
     }
 
@@ -326,7 +326,10 @@ mod tests {
             };
             c.scatter(0, data).unwrap()
         });
-        assert_eq!(results, vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()]);
+        assert_eq!(
+            results,
+            vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()]
+        );
     }
 
     #[test]
@@ -340,8 +343,9 @@ mod tests {
     #[test]
     fn alltoall_transposes() {
         let (results, _) = world(3).run(|c| {
-            let data: Vec<Vec<u8>> =
-                (0..3).map(|dst| vec![(c.rank() * 10 + dst) as u8]).collect();
+            let data: Vec<Vec<u8>> = (0..3)
+                .map(|dst| vec![(c.rank() * 10 + dst) as u8])
+                .collect();
             c.alltoall(data).unwrap()
         });
         // Rank r receives [0r, 1r, 2r].
@@ -354,8 +358,9 @@ mod tests {
     #[test]
     fn alltoall_f64_roundtrips() {
         let (results, _) = world(2).run(|c| {
-            let data: Vec<Vec<f64>> =
-                (0..2).map(|dst| vec![c.rank() as f64 + dst as f64 * 0.5]).collect();
+            let data: Vec<Vec<f64>> = (0..2)
+                .map(|dst| vec![c.rank() as f64 + dst as f64 * 0.5])
+                .collect();
             c.alltoall_f64(data).unwrap()
         });
         assert_eq!(results[0], vec![vec![0.0], vec![1.0]]);

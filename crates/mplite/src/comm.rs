@@ -138,11 +138,14 @@ impl Comm {
         }
         let deadline = Instant::now() + self.timeout;
         loop {
-            let pkt = self.inbox.recv_deadline(deadline).map_err(|_| MpError::Timeout {
-                src,
-                tag,
-                millis: self.timeout.as_millis() as u64,
-            })?;
+            let pkt = self
+                .inbox
+                .recv_deadline(deadline)
+                .map_err(|_| MpError::Timeout {
+                    src,
+                    tag,
+                    millis: self.timeout.as_millis() as u64,
+                })?;
             let mut r = Reader::new(&pkt.payload);
             let got_tag = r
                 .take_varint()
@@ -215,7 +218,10 @@ mod tests {
                 vec![a, b]
             }
         });
-        assert_eq!(results[1], vec![b"first-sent".to_vec(), b"second-sent".to_vec()]);
+        assert_eq!(
+            results[1],
+            vec![b"first-sent".to_vec(), b"second-sent".to_vec()]
+        );
     }
 
     #[test]
@@ -241,7 +247,10 @@ mod tests {
             comm.set_timeout(Duration::from_millis(50));
             comm.recv(0, 99).unwrap_err()
         });
-        assert!(matches!(results[0], crate::MpError::Timeout { tag: 99, .. }));
+        assert!(matches!(
+            results[0],
+            crate::MpError::Timeout { tag: 99, .. }
+        ));
     }
 
     #[test]

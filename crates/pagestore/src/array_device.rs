@@ -181,7 +181,15 @@ impl ArrayPageDevice {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn check_sub(&self, a1: u64, b1: u64, a2: u64, b2: u64, a3: u64, b3: u64) -> RemoteResult<SubBox> {
+    fn check_sub(
+        &self,
+        a1: u64,
+        b1: u64,
+        a2: u64,
+        b2: u64,
+        a3: u64,
+        b3: u64,
+    ) -> RemoteResult<SubBox> {
         if a1 > b1 || b1 > self.n1 || a2 > b2 || b2 > self.n2 || a3 > b3 || b3 > self.n3 {
             return Err(RemoteError::app(format!(
                 "sub-box [{a1},{b1})x[{a2},{b2})x[{a3},{b3}) invalid for page {}x{}x{}",
@@ -203,7 +211,10 @@ impl ArrayPageDevice {
     }
 
     fn min(&mut self, _ctx: &mut NodeCtx, page_index: u64) -> RemoteResult<f64> {
-        Ok(self.load(page_index)?.into_iter().fold(f64::INFINITY, f64::min))
+        Ok(self
+            .load(page_index)?
+            .into_iter()
+            .fold(f64::INFINITY, f64::min))
     }
 
     fn max(&mut self, _ctx: &mut NodeCtx, page_index: u64) -> RemoteResult<f64> {
@@ -251,8 +262,7 @@ impl ArrayPageDevice {
         let sb = self.check_sub(a1, b1, a2, b2, a3, b3)?;
         let page = self.load(page_index)?;
         let (n2, n3) = (self.n2 as usize, self.n3 as usize);
-        let mut out =
-            Vec::with_capacity((sb.b1 - sb.a1) * (sb.b2 - sb.a2) * (sb.b3 - sb.a3));
+        let mut out = Vec::with_capacity((sb.b1 - sb.a1) * (sb.b2 - sb.a2) * (sb.b3 - sb.a3));
         for i1 in sb.a1..sb.b1 {
             for i2 in sb.a2..sb.b2 {
                 let row = (i1 * n2 + i2) * n3;

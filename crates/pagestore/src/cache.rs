@@ -141,8 +141,18 @@ mod tests {
             assert_eq!(cache.read(&mut driver, 0).unwrap(), p);
         }
         let delta = cluster.snapshot().since(&before);
-        assert_eq!(delta.messages_sent, 0, "cached reads must not touch the network");
-        assert_eq!(cache.stats(), CacheStats { hits: 5, misses: 0, evictions: 0 });
+        assert_eq!(
+            delta.messages_sent, 0,
+            "cached reads must not touch the network"
+        );
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 5,
+                misses: 0,
+                evictions: 0
+            }
+        );
         cluster.shutdown(driver);
     }
 
@@ -152,7 +162,14 @@ mod tests {
         let _ = cache.read(&mut driver, 1).unwrap(); // zeroed page
         assert_eq!(cache.stats().misses, 1);
         let _ = cache.read(&mut driver, 1).unwrap();
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
         cluster.shutdown(driver);
     }
 

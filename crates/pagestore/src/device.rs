@@ -90,17 +90,13 @@ impl PageDevice {
         if page_size == 0 {
             return Err(RemoteError::app("page_size must be positive"));
         }
-        let disk = ctx
-            .disks()
-            .get(disk_index)
-            .cloned()
-            .ok_or_else(|| {
-                RemoteError::app(format!(
-                    "machine {} has no disk {disk_index} (it has {})",
-                    ctx.machine(),
-                    ctx.disks().len()
-                ))
-            })?;
+        let disk = ctx.disks().get(disk_index).cloned().ok_or_else(|| {
+            RemoteError::app(format!(
+                "machine {} has no disk {disk_index} (it has {})",
+                ctx.machine(),
+                ctx.disks().len()
+            ))
+        })?;
         let needed = number_of_pages
             .checked_mul(page_size)
             .filter(|&n| n <= usize::MAX as u64)
@@ -111,21 +107,25 @@ impl PageDevice {
         let base = disk
             .alloc(needed as usize)
             .map_err(|e| RemoteError::app(e.to_string()))?;
-        Ok(PageDevice { filename, number_of_pages, page_size, disk_index, base, disk })
+        Ok(PageDevice {
+            filename,
+            number_of_pages,
+            page_size,
+            disk_index,
+            base,
+            disk,
+        })
     }
 
     /// Reattach to an existing region (persistence restore path).
-    fn reattach(
-        ctx: &mut NodeCtx,
-        s: PageDeviceState,
-    ) -> RemoteResult<Self> {
-        let disk = ctx
-            .disks()
-            .get(s.disk_index)
-            .cloned()
-            .ok_or_else(|| {
-                RemoteError::app(format!("machine {} has no disk {}", ctx.machine(), s.disk_index))
-            })?;
+    fn reattach(ctx: &mut NodeCtx, s: PageDeviceState) -> RemoteResult<Self> {
+        let disk = ctx.disks().get(s.disk_index).cloned().ok_or_else(|| {
+            RemoteError::app(format!(
+                "machine {} has no disk {}",
+                ctx.machine(),
+                s.disk_index
+            ))
+        })?;
         Ok(PageDevice {
             filename: s.filename,
             number_of_pages: s.number_of_pages,

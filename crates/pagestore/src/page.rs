@@ -87,7 +87,12 @@ pub struct ArrayPage {
 impl ArrayPage {
     /// A zero-filled `n1 × n2 × n3` array page.
     pub fn zeroed(n1: usize, n2: usize, n3: usize) -> Self {
-        ArrayPage { n1, n2, n3, data: vec![0.0; n1 * n2 * n3] }
+        ArrayPage {
+            n1,
+            n2,
+            n3,
+            data: vec![0.0; n1 * n2 * n3],
+        }
     }
 
     /// Wrap existing data.
@@ -149,7 +154,10 @@ impl ArrayPage {
     /// # Panics
     /// If any index is out of range.
     pub fn at(&self, i1: usize, i2: usize, i3: usize) -> f64 {
-        assert!(i1 < self.n1 && i2 < self.n2 && i3 < self.n3, "ArrayPage index out of range");
+        assert!(
+            i1 < self.n1 && i2 < self.n2 && i3 < self.n3,
+            "ArrayPage index out of range"
+        );
         self.data[self.offset(i1, i2, i3)]
     }
 
@@ -158,7 +166,10 @@ impl ArrayPage {
     /// # Panics
     /// If any index is out of range.
     pub fn set(&mut self, i1: usize, i2: usize, i3: usize, v: f64) {
-        assert!(i1 < self.n1 && i2 < self.n2 && i3 < self.n3, "ArrayPage index out of range");
+        assert!(
+            i1 < self.n1 && i2 < self.n2 && i3 < self.n3,
+            "ArrayPage index out of range"
+        );
         let off = self.offset(i1, i2, i3);
         self.data[off] = v;
     }
@@ -209,7 +220,11 @@ impl ArrayPage {
     /// If the byte length does not equal `n1 * n2 * n3 * 8`.
     pub fn from_page(n1: usize, n2: usize, n3: usize, page: Page) -> Self {
         let bytes = page.bytes();
-        assert_eq!(bytes.len(), n1 * n2 * n3 * 8, "page size does not match array shape");
+        assert_eq!(
+            bytes.len(),
+            n1 * n2 * n3 * 8,
+            "page size does not match array shape"
+        );
         let data = bytes
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().unwrap()))

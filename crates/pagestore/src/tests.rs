@@ -6,7 +6,9 @@ use simnet::{ClusterConfig, DiskConfig};
 use wire::collections::{Bytes, F64s};
 
 use crate::array_device::sum_by_moving_data;
-use crate::{ArrayPage, ArrayPageDevice, ArrayPageDeviceClient, Page, PageDevice, PageDeviceClient};
+use crate::{
+    ArrayPage, ArrayPageDevice, ArrayPageDeviceClient, Page, PageDevice, PageDeviceClient,
+};
 
 fn cluster(workers: usize) -> (Cluster, Driver) {
     ClusterBuilder::new(workers)
@@ -22,7 +24,9 @@ fn paper_listing_create_write_read() {
     let store = PageDeviceClient::new_on(&mut driver, 1, "pagefile".into(), 10, 1024, 0).unwrap();
     // Page *page = GenerateDataPage(); PageStore->write(page, 17 % 10);
     let page = Page::generate(1024, 17);
-    store.write(&mut driver, 7, page.clone().into_bytes()).unwrap();
+    store
+        .write(&mut driver, 7, page.clone().into_bytes())
+        .unwrap();
     let back = Page::from_bytes(store.read(&mut driver, 7).unwrap());
     assert_eq!(back, page);
     // Untouched pages read back zeroed.
@@ -48,7 +52,9 @@ fn page_index_and_size_validation() {
     // Zero page size rejected at construction.
     assert!(PageDeviceClient::new_on(&mut driver, 0, "z".into(), 4, 0, 0).is_err());
     // Device too big for the disk rejected at construction.
-    assert!(PageDeviceClient::new_on(&mut driver, 0, "big".into(), u64::MAX / 4096, 4096, 0).is_err());
+    assert!(
+        PageDeviceClient::new_on(&mut driver, 0, "big".into(), u64::MAX / 4096, 4096, 0).is_err()
+    );
     // Unknown disk index rejected.
     assert!(PageDeviceClient::new_on(&mut driver, 0, "nd".into(), 1, 64, 9).is_err());
     cluster.shutdown(driver);
@@ -61,7 +67,8 @@ fn devices_on_separate_machines_are_independent() {
         .map(|m| PageDeviceClient::new_on(&mut driver, m, format!("dev{m}"), 4, 128, 0).unwrap())
         .collect();
     for (i, s) in stores.iter().enumerate() {
-        s.write(&mut driver, 0, Page::generate(128, i as u64).into_bytes()).unwrap();
+        s.write(&mut driver, 0, Page::generate(128, i as u64).into_bytes())
+            .unwrap();
     }
     for (i, s) in stores.iter().enumerate() {
         let got = Page::from_bytes(s.read(&mut driver, 0).unwrap());
@@ -80,8 +87,12 @@ fn parallel_reads_via_split_loop() {
         .collect();
     let page_address: Vec<u64> = vec![3, 1, 7, 5];
     for (i, d) in devices.iter().enumerate() {
-        d.write(&mut driver, page_address[i], Page::generate(256, 100 + i as u64).into_bytes())
-            .unwrap();
+        d.write(
+            &mut driver,
+            page_address[i],
+            Page::generate(256, 100 + i as u64).into_bytes(),
+        )
+        .unwrap();
     }
     // Send loop...
     let pending: Vec<_> = devices
@@ -101,13 +112,14 @@ fn parallel_reads_via_split_loop() {
 fn array_device_sum_both_directions_agree() {
     // §3: sum by moving the data vs. sum on the device.
     let (cluster, mut driver) = cluster(2);
-    let blocks = ArrayPageDeviceClient::new_on(
-        &mut driver, 1, "array_blocks".into(), 6, 4, 4, 4, 0, None,
-    )
-    .unwrap();
+    let blocks =
+        ArrayPageDeviceClient::new_on(&mut driver, 1, "array_blocks".into(), 6, 4, 4, 4, 0, None)
+            .unwrap();
     let page = ArrayPage::generate(4, 4, 4, 11);
     let expected = page.sum();
-    blocks.write_array(&mut driver, 4, page.into_f64s()).unwrap();
+    blocks
+        .write_array(&mut driver, 4, page.into_f64s())
+        .unwrap();
 
     // double result = blocks->sum(PageAddress);  (computation → data)
     let remote = blocks.sum(&mut driver, 4).unwrap();
@@ -125,7 +137,10 @@ fn array_device_reductions_and_scale() {
     let dev =
         ArrayPageDeviceClient::new_on(&mut driver, 0, "r".into(), 2, 2, 2, 2, 0, None).unwrap();
     let mut page = ArrayPage::zeroed(2, 2, 2);
-    for (i, v) in [3.0, -1.0, 4.0, 1.0, -5.0, 9.0, 2.0, 6.0].iter().enumerate() {
+    for (i, v) in [3.0, -1.0, 4.0, 1.0, -5.0, 9.0, 2.0, 6.0]
+        .iter()
+        .enumerate()
+    {
         page.elements_mut()[i] = *v;
     }
     dev.write_array(&mut driver, 0, page.into_f64s()).unwrap();
@@ -144,7 +159,8 @@ fn sub_box_read_write_sum() {
     let dev =
         ArrayPageDeviceClient::new_on(&mut driver, 0, "s".into(), 1, 4, 4, 4, 0, None).unwrap();
     // Write the sub-box [1,3)x[1,3)x[1,3) with ones.
-    dev.write_sub(&mut driver, 0, 1, 3, 1, 3, 1, 3, F64s(vec![1.0; 8])).unwrap();
+    dev.write_sub(&mut driver, 0, 1, 3, 1, 3, 1, 3, F64s(vec![1.0; 8]))
+        .unwrap();
     assert_eq!(dev.sum(&mut driver, 0).unwrap(), 8.0);
     assert_eq!(dev.sum_sub(&mut driver, 0, 1, 3, 1, 3, 1, 3).unwrap(), 8.0);
     assert_eq!(dev.sum_sub(&mut driver, 0, 0, 1, 0, 4, 0, 4).unwrap(), 0.0);
@@ -152,7 +168,10 @@ fn sub_box_read_write_sum() {
     let got = dev.read_sub(&mut driver, 0, 0, 2, 1, 2, 1, 3).unwrap();
     assert_eq!(got.0, vec![0.0, 0.0, 1.0, 1.0]);
     // Degenerate (empty) boxes are fine.
-    assert_eq!(dev.read_sub(&mut driver, 0, 2, 2, 0, 4, 0, 4).unwrap().0, Vec::<f64>::new());
+    assert_eq!(
+        dev.read_sub(&mut driver, 0, 2, 2, 0, 4, 0, 4).unwrap().0,
+        Vec::<f64>::new()
+    );
     // Invalid boxes are rejected.
     assert!(dev.read_sub(&mut driver, 0, 3, 2, 0, 4, 0, 4).is_err());
     assert!(dev.read_sub(&mut driver, 0, 0, 5, 0, 4, 0, 4).is_err());
@@ -172,7 +191,8 @@ fn inheritance_base_client_operates_on_derived_device() {
     // Raw page write through the BASE interface, structured read through
     // the DERIVED interface.
     let page = ArrayPage::generate(2, 2, 2, 5);
-    base.write(&mut driver, 1, page.clone().into_page().into_bytes()).unwrap();
+    base.write(&mut driver, 1, page.clone().into_page().into_bytes())
+        .unwrap();
     let got = dev.read_array(&mut driver, 1).unwrap();
     assert_eq!(got.0, page.elements());
     cluster.shutdown(driver);
@@ -192,7 +212,15 @@ fn copy_construct_from_live_process() {
     // The new device is on a DIFFERENT machine and copies the state of the
     // live process through its base-class interface.
     let copy = ArrayPageDeviceClient::new_on(
-        &mut driver, 1, "copy".into(), 3, 2, 2, 2, 0, Some(original.as_base()),
+        &mut driver,
+        1,
+        "copy".into(),
+        3,
+        2,
+        2,
+        2,
+        0,
+        Some(original.as_base()),
     )
     .unwrap();
     // ... subsequently shut it down (the paper's `delete page_device`).
@@ -210,7 +238,15 @@ fn copy_construct_rejects_mismatched_page_size() {
     let original =
         ArrayPageDeviceClient::new_on(&mut driver, 0, "o".into(), 1, 2, 2, 2, 0, None).unwrap();
     let err = ArrayPageDeviceClient::new_on(
-        &mut driver, 0, "c".into(), 1, 4, 4, 4, 0, Some(original.as_base()),
+        &mut driver,
+        0,
+        "c".into(),
+        1,
+        4,
+        4,
+        4,
+        0,
+        Some(original.as_base()),
     )
     .unwrap_err();
     assert!(matches!(err, RemoteError::App { .. }));
@@ -225,14 +261,18 @@ fn device_persistence_survives_deactivate_activate() {
     let dev =
         ArrayPageDeviceClient::new_on(&mut driver, 0, "p".into(), 2, 2, 2, 2, 0, None).unwrap();
     let page = ArrayPage::generate(2, 2, 2, 77);
-    dev.write_array(&mut driver, 1, page.clone().into_f64s()).unwrap();
+    dev.write_array(&mut driver, 1, page.clone().into_f64s())
+        .unwrap();
 
     let key = oopp::symbolic_addr(&["data", "set", "ArrayPageDevice", "p"]);
     driver.deactivate(dev.obj_ref(), &key).unwrap();
     assert!(dev.sum(&mut driver, 1).is_err(), "process must be gone");
 
     let revived: ArrayPageDeviceClient = driver.activate(0, &key).unwrap();
-    assert_eq!(revived.read_array(&mut driver, 1).unwrap().0, page.elements());
+    assert_eq!(
+        revived.read_array(&mut driver, 1).unwrap().0,
+        page.elements()
+    );
     cluster.shutdown(driver);
 }
 
@@ -243,12 +283,16 @@ fn costed_disks_still_roundtrip() {
     let (cluster, mut driver) = ClusterBuilder::new(2)
         .register::<PageDevice>()
         .sim_config(
-            ClusterConfig::zero_cost(0).with_disk(DiskConfig::nvme()).with_disk_capacity(1 << 20),
+            ClusterConfig::zero_cost(0)
+                .with_disk(DiskConfig::nvme())
+                .with_disk_capacity(1 << 20),
         )
         .build();
     let store = PageDeviceClient::new_on(&mut driver, 1, "c".into(), 4, 4096, 0).unwrap();
     let page = Page::generate(4096, 1);
-    store.write(&mut driver, 2, page.clone().into_bytes()).unwrap();
+    store
+        .write(&mut driver, 2, page.clone().into_bytes())
+        .unwrap();
     assert_eq!(Page::from_bytes(store.read(&mut driver, 2).unwrap()), page);
     let m = cluster.snapshot();
     assert_eq!(m.disk_writes, 1);
@@ -265,10 +309,18 @@ fn two_devices_same_machine_different_disks() {
         .build();
     let d0 = PageDeviceClient::new_on(&mut driver, 0, "a".into(), 2, 64, 0).unwrap();
     let d1 = PageDeviceClient::new_on(&mut driver, 0, "b".into(), 2, 64, 1).unwrap();
-    d0.write(&mut driver, 0, Page::generate(64, 1).into_bytes()).unwrap();
-    d1.write(&mut driver, 0, Page::generate(64, 2).into_bytes()).unwrap();
-    assert_eq!(Page::from_bytes(d0.read(&mut driver, 0).unwrap()), Page::generate(64, 1));
-    assert_eq!(Page::from_bytes(d1.read(&mut driver, 0).unwrap()), Page::generate(64, 2));
+    d0.write(&mut driver, 0, Page::generate(64, 1).into_bytes())
+        .unwrap();
+    d1.write(&mut driver, 0, Page::generate(64, 2).into_bytes())
+        .unwrap();
+    assert_eq!(
+        Page::from_bytes(d0.read(&mut driver, 0).unwrap()),
+        Page::generate(64, 1)
+    );
+    assert_eq!(
+        Page::from_bytes(d1.read(&mut driver, 0).unwrap()),
+        Page::generate(64, 2)
+    );
     assert_eq!(cluster.sim().active_disks(), 2);
     cluster.shutdown(driver);
 }

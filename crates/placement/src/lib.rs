@@ -1,0 +1,535 @@
+//! Adaptive object placement: move hot objects to idle machines.
+//!
+//! The paper's programs place every object explicitly (`new(machine 1)
+//! PageDevice(...)`) and the placement is then fixed for the object's
+//! lifetime. Under a skewed workload that static choice is the whole
+//! performance story: one machine serializes the hot objects while the
+//! rest of the cluster idles. This crate closes the loop. A [`Balancer`]
+//! polls per-machine load signals — served calls and queueing pressure
+//! from the daemons' runtime counters, per-object call counts from the
+//! `loads` probe, sender-side bytes from the simnet metrics — feeds them
+//! to a pluggable [`PlacementPolicy`], and executes the resulting
+//! [`MigrationPlan`]s with the core's live migration
+//! ([`NodeCtx::migrate`]): quiesce, transfer, commit, forward.
+//!
+//! Planning is **pure** (`policy.plan(&samples)` is a function of the
+//! samples and nothing else), so policies are unit-testable without a
+//! cluster, and the balancer's decisions under a seeded workload are
+//! deterministic. Execution adds two dampers the pure plan can't express:
+//! a **cooldown** (after any round that migrates, the balancer sits out
+//! the next `cooldown_rounds` polls, so two policies reacting to each
+//! other's traffic can't thrash an object back and forth) and an
+//! **unmovable set** (objects whose migration failed — e.g. a
+//! non-persistent class — are not proposed again).
+
+use std::collections::{HashMap, HashSet};
+
+use oopp::{NodeCtx, ObjRef, RemoteResult};
+use simnet::MetricsSnapshot;
+
+/// One machine's load over the window since the previous poll.
+///
+/// All counters are **deltas**, not lifetime totals: the balancer diffs
+/// each poll against the last so a machine that was hot an hour ago and
+/// idle now looks idle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineSample {
+    /// Machine id.
+    pub machine: usize,
+    /// Object calls served this window (the primary load signal).
+    pub calls: u64,
+    /// Calls that had to be parked this window — queueing pressure; a
+    /// machine can show few served calls precisely because it is
+    /// saturated.
+    pub deferred: u64,
+    /// Payload bytes this machine injected into the fabric this window
+    /// (reply traffic of hot objects), when a [`MetricsSnapshot`] was
+    /// supplied.
+    pub bytes_sent: u64,
+    /// Per-object served-call deltas, sorted by object id.
+    pub objects: Vec<(u64, u64)>,
+}
+
+impl MachineSample {
+    /// Scalar load: served calls plus queueing pressure. Deferred calls
+    /// count double — they mean the machine is not keeping up, which is
+    /// worse than being busy.
+    pub fn load(&self) -> u64 {
+        self.calls + 2 * self.deferred
+    }
+}
+
+/// One planned move: migrate `object` to `target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// The object to move (at its current address).
+    pub object: ObjRef,
+    /// Destination machine.
+    pub target: usize,
+    /// The load (per-object call delta) that motivated the move.
+    pub load: u64,
+}
+
+/// How the balancer turns samples into moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementPolicy {
+    /// Never move anything — the paper's fixed placement, and the
+    /// experimental control.
+    Static,
+    /// Move the hottest object off any machine whose load exceeds
+    /// `overload_ratio` × the cluster mean, onto the least-loaded
+    /// machine. One move per overloaded machine per round.
+    Threshold {
+        /// Overload trigger as a multiple of mean load (e.g. `2.0`).
+        overload_ratio: f64,
+    },
+    /// Repeatedly move the best-fitting object from the most- to the
+    /// least-loaded machine while the extremes differ by more than
+    /// `imbalance_ratio`, up to `max_moves_per_round` moves. Each
+    /// candidate object must actually shrink the gap: its load must be
+    /// less than the load difference, else moving it would just swap
+    /// which machine is hot.
+    GreedyRebalance {
+        /// Keep rebalancing while `max_load > imbalance_ratio * min_load`.
+        imbalance_ratio: f64,
+        /// Upper bound on moves per planning round.
+        max_moves_per_round: usize,
+    },
+}
+
+impl PlacementPolicy {
+    /// Plan migrations for one poll window. Pure: no I/O, no hidden
+    /// state; the same samples always produce the same plans.
+    pub fn plan(&self, samples: &[MachineSample]) -> Vec<MigrationPlan> {
+        match *self {
+            PlacementPolicy::Static => Vec::new(),
+            PlacementPolicy::Threshold { overload_ratio } => {
+                Self::plan_threshold(samples, overload_ratio)
+            }
+            PlacementPolicy::GreedyRebalance {
+                imbalance_ratio,
+                max_moves_per_round,
+            } => Self::plan_greedy(samples, imbalance_ratio, max_moves_per_round),
+        }
+    }
+
+    fn plan_threshold(samples: &[MachineSample], overload_ratio: f64) -> Vec<MigrationPlan> {
+        if samples.len() < 2 {
+            return Vec::new();
+        }
+        let mean = samples.iter().map(|s| s.load()).sum::<u64>() as f64 / samples.len() as f64;
+        if mean == 0.0 {
+            return Vec::new();
+        }
+        let mut plans = Vec::new();
+        // Overload is judged on the *measured* loads; the working copy
+        // only steers targets, so a machine that just received a move
+        // doesn't become a source in the same round.
+        let mut loads: Vec<u64> = samples.iter().map(|s| s.load()).collect();
+        for (i, s) in samples.iter().enumerate() {
+            if (s.load() as f64) <= overload_ratio * mean {
+                continue;
+            }
+            let Some(&(object, load)) = s.objects.iter().max_by_key(|&&(o, c)| (c, o)) else {
+                continue;
+            };
+            if load == 0 {
+                continue;
+            }
+            let (coolest, _) = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(m, &l)| (l, m))
+                .expect("non-empty");
+            if coolest == i {
+                continue;
+            }
+            plans.push(MigrationPlan {
+                object: ObjRef {
+                    machine: s.machine,
+                    object,
+                },
+                target: samples[coolest].machine,
+                load,
+            });
+            loads[i] -= load.min(loads[i]);
+            loads[coolest] += load;
+        }
+        plans
+    }
+
+    fn plan_greedy(
+        samples: &[MachineSample],
+        imbalance_ratio: f64,
+        max_moves_per_round: usize,
+    ) -> Vec<MigrationPlan> {
+        if samples.len() < 2 {
+            return Vec::new();
+        }
+        let ratio = imbalance_ratio.max(1.0);
+        let mut loads: Vec<u64> = samples.iter().map(|s| s.load()).collect();
+        // Working copy of per-object loads, so one round can plan several
+        // moves off the same machine without proposing the same object
+        // twice.
+        let mut objects: Vec<Vec<(u64, u64)>> = samples.iter().map(|s| s.objects.clone()).collect();
+        let mut plans = Vec::new();
+        while plans.len() < max_moves_per_round {
+            let (hot, _) = match loads
+                .iter()
+                .enumerate()
+                .max_by_key(|&(m, &l)| (l, usize::MAX - m))
+            {
+                Some(x) => x,
+                None => break,
+            };
+            let (cool, _) = match loads.iter().enumerate().min_by_key(|&(m, &l)| (l, m)) {
+                Some(x) => x,
+                None => break,
+            };
+            if hot == cool || (loads[hot] as f64) <= ratio * (loads[cool].max(1) as f64) {
+                break;
+            }
+            let gap = loads[hot] - loads[cool];
+            // Hottest object that still shrinks the gap when moved.
+            let candidate = objects[hot]
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(_, c))| c > 0 && c < gap)
+                .max_by_key(|&(_, &(o, c))| (c, o))
+                .map(|(idx, &(o, c))| (idx, o, c));
+            let Some((idx, object, load)) = candidate else {
+                break;
+            };
+            plans.push(MigrationPlan {
+                object: ObjRef {
+                    machine: samples[hot].machine,
+                    object,
+                },
+                target: samples[cool].machine,
+                load,
+            });
+            objects[hot].remove(idx);
+            loads[hot] -= load;
+            loads[cool] += load;
+        }
+        plans
+    }
+}
+
+/// Closed-loop placement controller for one cluster.
+///
+/// Owns the polling state (previous counter values, so each round works
+/// on deltas), the hysteresis, and the set of objects that refused to
+/// move. Drive it from the machine that coordinates the workload —
+/// typically the driver — by calling [`step`](Balancer::step) between
+/// workload rounds.
+#[derive(Debug)]
+pub struct Balancer {
+    policy: PlacementPolicy,
+    machines: Vec<usize>,
+    cooldown_rounds: u32,
+    cooldown: u32,
+    prev_object_calls: HashMap<usize, HashMap<u64, u64>>,
+    prev_node: HashMap<usize, (u64, u64)>,
+    prev_bytes_sent: Vec<u64>,
+    unmovable: HashSet<ObjRef>,
+    pinned: HashSet<ObjRef>,
+    moves_executed: u64,
+    moves_failed: u64,
+}
+
+impl Balancer {
+    /// A balancer managing `machines` under `policy`, with a default
+    /// hysteresis of one round.
+    pub fn new(policy: PlacementPolicy, machines: Vec<usize>) -> Self {
+        Balancer {
+            policy,
+            machines,
+            cooldown_rounds: 1,
+            cooldown: 0,
+            prev_object_calls: HashMap::new(),
+            prev_node: HashMap::new(),
+            prev_bytes_sent: Vec::new(),
+            unmovable: HashSet::new(),
+            pinned: HashSet::new(),
+            moves_executed: 0,
+            moves_failed: 0,
+        }
+    }
+
+    /// Rounds to sit out after a round that migrated (0 disables the
+    /// damper).
+    pub fn with_cooldown(mut self, rounds: u32) -> Self {
+        self.cooldown_rounds = rounds;
+        self
+    }
+
+    /// Never propose moving `obj` (e.g. an object with machine-local
+    /// state such as an open device, or the naming directory).
+    pub fn pin(&mut self, obj: ObjRef) {
+        self.pinned.insert(obj);
+    }
+
+    /// Migrations executed over this balancer's lifetime.
+    pub fn moves_executed(&self) -> u64 {
+        self.moves_executed
+    }
+
+    /// Planned migrations that failed (and blacklisted their object).
+    pub fn moves_failed(&self) -> u64 {
+        self.moves_failed
+    }
+
+    /// Poll every managed machine and return this window's load deltas.
+    /// `net` is the cluster's current metrics snapshot, if the caller
+    /// wants byte counts in the samples.
+    pub fn sample(
+        &mut self,
+        ctx: &mut NodeCtx,
+        net: Option<&MetricsSnapshot>,
+    ) -> RemoteResult<Vec<MachineSample>> {
+        let mut samples = Vec::with_capacity(self.machines.len());
+        for &m in &self.machines.clone() {
+            let stats = ctx.stats_of(m)?;
+            let loads = ctx.loads_of(m)?;
+            let prev = self
+                .prev_node
+                .insert(m, (stats.calls_served, stats.calls_deferred));
+            let (pc, pd) = prev.unwrap_or((0, 0));
+            let prev_objects = self.prev_object_calls.entry(m).or_default();
+            let mut objects = Vec::with_capacity(loads.len());
+            for &(o, c) in &loads {
+                let before = prev_objects.insert(o, c).unwrap_or(0);
+                objects.push((o, c.saturating_sub(before)));
+            }
+            // Objects that disappeared (destroyed or migrated away) drop
+            // out of the previous-poll table too.
+            prev_objects.retain(|o, _| loads.binary_search_by_key(o, |&(id, _)| id).is_ok());
+            let bytes_now = net
+                .and_then(|s| s.per_machine_bytes_sent.get(m).copied())
+                .unwrap_or(0);
+            let bytes_before = self.prev_bytes_sent.get(m).copied().unwrap_or(0);
+            if self.prev_bytes_sent.len() <= m {
+                self.prev_bytes_sent.resize(m + 1, 0);
+            }
+            self.prev_bytes_sent[m] = bytes_now;
+            samples.push(MachineSample {
+                machine: m,
+                calls: stats.calls_served.saturating_sub(pc),
+                deferred: stats.calls_deferred.saturating_sub(pd),
+                bytes_sent: bytes_now.saturating_sub(bytes_before),
+                objects,
+            });
+        }
+        Ok(samples)
+    }
+
+    /// One control round: poll, plan, execute. Returns the plans that
+    /// were actually executed. During a cooldown the balancer still polls
+    /// (so the deltas stay one window wide) but plans nothing.
+    pub fn step(
+        &mut self,
+        ctx: &mut NodeCtx,
+        net: Option<&MetricsSnapshot>,
+    ) -> RemoteResult<Vec<MigrationPlan>> {
+        let samples = self.sample(ctx, net)?;
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return Ok(Vec::new());
+        }
+        let mut executed = Vec::new();
+        for plan in self.policy.plan(&samples) {
+            if self.unmovable.contains(&plan.object) || self.pinned.contains(&plan.object) {
+                continue;
+            }
+            match ctx.migrate(plan.object, plan.target) {
+                Ok(_) => {
+                    self.moves_executed += 1;
+                    // The object's counters live on its new machine now;
+                    // forget the old identity.
+                    if let Some(prev) = self.prev_object_calls.get_mut(&plan.object.machine) {
+                        prev.remove(&plan.object.object);
+                    }
+                    executed.push(plan);
+                }
+                Err(_) => {
+                    // NotPersistent, dead target, mid-move crash — the
+                    // core rolled back; don't propose this object again.
+                    self.moves_failed += 1;
+                    self.unmovable.insert(plan.object);
+                }
+            }
+        }
+        if !executed.is_empty() {
+            self.cooldown = self.cooldown_rounds;
+        }
+        Ok(executed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(machine: usize, objects: &[(u64, u64)]) -> MachineSample {
+        MachineSample {
+            machine,
+            calls: objects.iter().map(|&(_, c)| c).sum(),
+            deferred: 0,
+            bytes_sent: 0,
+            objects: objects.to_vec(),
+        }
+    }
+
+    fn max_load(samples: &[MachineSample]) -> u64 {
+        samples.iter().map(|s| s.load()).max().unwrap_or(0)
+    }
+
+    fn apply(samples: &mut [MachineSample], plans: &[MigrationPlan]) {
+        for p in plans {
+            let src = samples
+                .iter_mut()
+                .find(|s| s.machine == p.object.machine)
+                .expect("source sampled");
+            let idx = src
+                .objects
+                .iter()
+                .position(|&(o, _)| o == p.object.object)
+                .expect("object sampled");
+            let (_, load) = src.objects.remove(idx);
+            src.calls -= load;
+            let dst = samples
+                .iter_mut()
+                .find(|s| s.machine == p.target)
+                .expect("target sampled");
+            dst.calls += load;
+            dst.objects.push((p.object.object, load));
+        }
+    }
+
+    #[test]
+    fn static_policy_never_moves() {
+        let samples = vec![
+            sample(0, &[(1, 1000), (2, 900)]),
+            sample(1, &[]),
+            sample(2, &[(3, 1)]),
+        ];
+        assert!(PlacementPolicy::Static.plan(&samples).is_empty());
+    }
+
+    #[test]
+    fn greedy_moves_hot_objects_to_idle_machines_and_reduces_imbalance() {
+        let mut samples = vec![
+            sample(0, &[(1, 400), (2, 300), (3, 200), (4, 100)]),
+            sample(1, &[(5, 10)]),
+            sample(2, &[]),
+        ];
+        let policy = PlacementPolicy::GreedyRebalance {
+            imbalance_ratio: 1.5,
+            max_moves_per_round: 8,
+        };
+        let before = max_load(&samples);
+        let plans = policy.plan(&samples);
+        assert!(!plans.is_empty());
+        // Every move leaves the hot machine, none enters it.
+        assert!(plans.iter().all(|p| p.object.machine == 0 && p.target != 0));
+        apply(&mut samples, &plans);
+        assert!(
+            max_load(&samples) < before,
+            "rebalancing must shrink the peak"
+        );
+    }
+
+    #[test]
+    fn greedy_never_swaps_hot_for_hot() {
+        // One object carries all the load: moving it would just relocate
+        // the hotspot, so the plan must be empty.
+        let samples = vec![sample(0, &[(1, 1000)]), sample(1, &[])];
+        let policy = PlacementPolicy::GreedyRebalance {
+            imbalance_ratio: 1.2,
+            max_moves_per_round: 8,
+        };
+        assert!(policy.plan(&samples).is_empty());
+    }
+
+    #[test]
+    fn greedy_respects_move_budget() {
+        let samples = vec![
+            sample(
+                0,
+                &[(1, 100), (2, 100), (3, 100), (4, 100), (5, 100), (6, 100)],
+            ),
+            sample(1, &[]),
+        ];
+        let policy = PlacementPolicy::GreedyRebalance {
+            imbalance_ratio: 1.1,
+            max_moves_per_round: 2,
+        };
+        assert!(policy.plan(&samples).len() <= 2);
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let samples = vec![
+            sample(0, &[(1, 250), (2, 250), (3, 100)]),
+            sample(1, &[(7, 20)]),
+            sample(2, &[]),
+        ];
+        let policy = PlacementPolicy::GreedyRebalance {
+            imbalance_ratio: 1.3,
+            max_moves_per_round: 4,
+        };
+        assert_eq!(policy.plan(&samples), policy.plan(&samples));
+    }
+
+    #[test]
+    fn balanced_cluster_plans_nothing() {
+        let samples = vec![
+            sample(0, &[(1, 100)]),
+            sample(1, &[(2, 110)]),
+            sample(2, &[(3, 95)]),
+        ];
+        let policy = PlacementPolicy::GreedyRebalance {
+            imbalance_ratio: 1.5,
+            max_moves_per_round: 8,
+        };
+        assert!(policy.plan(&samples).is_empty());
+        let threshold = PlacementPolicy::Threshold {
+            overload_ratio: 2.0,
+        };
+        assert!(threshold.plan(&samples).is_empty());
+    }
+
+    #[test]
+    fn threshold_moves_hottest_object_off_the_overloaded_machine() {
+        let samples = vec![
+            sample(0, &[(1, 50), (2, 800)]),
+            sample(1, &[(3, 40)]),
+            sample(2, &[(4, 30)]),
+        ];
+        let plans = PlacementPolicy::Threshold {
+            overload_ratio: 1.5,
+        }
+        .plan(&samples);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(
+            plans[0].object,
+            ObjRef {
+                machine: 0,
+                object: 2
+            }
+        );
+        assert_eq!(plans[0].target, 2); // least loaded
+        assert_eq!(plans[0].load, 800);
+    }
+
+    #[test]
+    fn deferred_calls_count_as_extra_load() {
+        let busy = MachineSample {
+            deferred: 10,
+            calls: 5,
+            ..Default::default()
+        };
+        assert_eq!(busy.load(), 25);
+    }
+}

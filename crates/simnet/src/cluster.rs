@@ -43,8 +43,7 @@ impl SimCluster {
         let metrics = Arc::new(Metrics::new(config.machines));
         let topo = topology::build(&config.topology);
         let faults = Arc::new(FaultState::new(config.faults.clone(), config.machines));
-        let (network, inbox_rxs) =
-            Network::build(config.machines, topo, metrics.clone(), faults);
+        let (network, inbox_rxs) = Network::build(config.machines, topo, metrics.clone(), faults);
         let inboxes = inbox_rxs
             .into_iter()
             .map(|rx| Mutex::new(Some(rx)))
@@ -62,7 +61,13 @@ impl SimCluster {
                     .collect()
             })
             .collect();
-        SimCluster { config, network, inboxes, disks, metrics }
+        SimCluster {
+            config,
+            network,
+            inboxes,
+            disks,
+            metrics,
+        }
     }
 
     /// Number of machine endpoints.

@@ -18,7 +18,10 @@ pub struct NetCost {
 impl NetCost {
     /// A free link (tests).
     pub const fn zero() -> Self {
-        NetCost { latency: Duration::ZERO, bytes_per_sec: f64::INFINITY }
+        NetCost {
+            latency: Duration::ZERO,
+            bytes_per_sec: f64::INFINITY,
+        }
     }
 
     /// True if messages on this link cost nothing.
@@ -113,7 +116,11 @@ pub enum TopologySpec {
     Uniform(NetCost),
     /// Machines grouped into racks of `rack_size`; intra-rack links use
     /// `intra`, inter-rack links use `inter`.
-    Racks { rack_size: usize, intra: NetCost, inter: NetCost },
+    Racks {
+        rack_size: usize,
+        intra: NetCost,
+        inter: NetCost,
+    },
 }
 
 impl TopologySpec {

@@ -26,7 +26,11 @@ use crate::time::{precise_sleep, transfer_time};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DiskError {
     /// The operation would cross the end of the device.
-    OutOfBounds { offset: usize, len: usize, capacity: usize },
+    OutOfBounds {
+        offset: usize,
+        len: usize,
+        capacity: usize,
+    },
     /// An allocation request exceeds the free space.
     OutOfSpace { requested: usize, free: usize },
     /// The file backend failed (message carries the OS error text).
@@ -36,7 +40,11 @@ pub enum DiskError {
 impl fmt::Display for DiskError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DiskError::OutOfBounds { offset, len, capacity } => write!(
+            DiskError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "disk access [{offset}, {offset}+{len}) exceeds capacity {capacity}"
             ),
@@ -65,7 +73,8 @@ impl Backend {
             Backend::File { file, .. } => {
                 file.seek(SeekFrom::Start(offset as u64))
                     .map_err(|e| DiskError::Io(e.to_string()))?;
-                file.read_exact(buf).map_err(|e| DiskError::Io(e.to_string()))
+                file.read_exact(buf)
+                    .map_err(|e| DiskError::Io(e.to_string()))
             }
         }
     }
@@ -79,7 +88,8 @@ impl Backend {
             Backend::File { file, .. } => {
                 file.seek(SeekFrom::Start(offset as u64))
                     .map_err(|e| DiskError::Io(e.to_string()))?;
-                file.write_all(data).map_err(|e| DiskError::Io(e.to_string()))
+                file.write_all(data)
+                    .map_err(|e| DiskError::Io(e.to_string()))
             }
         }
     }
@@ -130,7 +140,8 @@ impl SimDisk {
                     .truncate(true)
                     .open(&path)
                     .expect("create disk backing file");
-                file.set_len(capacity as u64).expect("size disk backing file");
+                file.set_len(capacity as u64)
+                    .expect("size disk backing file");
                 Backend::File { file, path }
             }
         };
@@ -154,7 +165,10 @@ impl SimDisk {
         loop {
             let free = self.capacity - cur as usize;
             if bytes > free {
-                return Err(DiskError::OutOfSpace { requested: bytes, free });
+                return Err(DiskError::OutOfSpace {
+                    requested: bytes,
+                    free,
+                });
             }
             match self.next_alloc.compare_exchange_weak(
                 cur,
@@ -180,8 +194,15 @@ impl SimDisk {
     }
 
     fn check_bounds(&self, offset: usize, len: usize) -> Result<(), DiskError> {
-        if offset.checked_add(len).is_none_or(|end| end > self.capacity) {
-            return Err(DiskError::OutOfBounds { offset, len, capacity: self.capacity });
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.capacity)
+        {
+            return Err(DiskError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.capacity,
+            });
         }
         Ok(())
     }
@@ -267,7 +288,11 @@ mod tests {
         let mut buf = [0u8; 8];
         assert!(matches!(
             d.read(10, &mut buf),
-            Err(DiskError::OutOfBounds { offset: 10, len: 8, capacity: 16 })
+            Err(DiskError::OutOfBounds {
+                offset: 10,
+                len: 8,
+                capacity: 16
+            })
         ));
         assert!(d.write(16, &[1]).is_err());
         // Boundary-exact access is fine.
@@ -283,7 +308,10 @@ mod tests {
 
     #[test]
     fn file_backend_roundtrips_and_cleans_up() {
-        let cfg = DiskConfig { backend: DiskBackend::TempFile, ..DiskConfig::zero() };
+        let cfg = DiskConfig {
+            backend: DiskBackend::TempFile,
+            ..DiskConfig::zero()
+        };
         let d = SimDisk::new(cfg, 4096, Arc::new(Metrics::new(0)));
         d.write(1000, b"persistent").unwrap();
         let mut buf = vec![0u8; 10];

@@ -56,7 +56,10 @@ impl FaultPlan {
     /// An empty plan with the given seed; combine with the `with_*`
     /// builders.
     pub const fn seeded(seed: u64) -> Self {
-        FaultPlan { seed, ..FaultPlan::none() }
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
     }
 
     /// Drop each packet with probability `p`.
@@ -169,7 +172,9 @@ impl FaultState {
     }
 
     fn is_crashed(&self, m: MachineId) -> bool {
-        self.crashed.get(m).is_some_and(|c| c.load(Ordering::Relaxed))
+        self.crashed
+            .get(m)
+            .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
     fn is_partitioned(&self, src: MachineId, dst: MachineId) -> bool {
@@ -180,7 +185,10 @@ impl FaultState {
 
     /// Decide the fate of the next packet on `src -> dst`.
     pub(crate) fn verdict(&self, src: MachineId, dst: MachineId) -> Verdict {
-        const NONE: Verdict = Verdict::Deliver { copies: 1, extra_delay: Duration::ZERO };
+        const NONE: Verdict = Verdict::Deliver {
+            copies: 1,
+            extra_delay: Duration::ZERO,
+        };
         if !self.active.load(Ordering::Relaxed) {
             return NONE;
         }
@@ -212,7 +220,10 @@ impl FaultState {
         } else {
             Duration::ZERO
         };
-        Verdict::Deliver { copies, extra_delay }
+        Verdict::Deliver {
+            copies,
+            extra_delay,
+        }
     }
 
     fn activate(&self) {
@@ -309,7 +320,10 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(
                 s.verdict(0, 1),
-                Verdict::Deliver { copies: 1, extra_delay: Duration::ZERO }
+                Verdict::Deliver {
+                    copies: 1,
+                    extra_delay: Duration::ZERO
+                }
             );
         }
     }
@@ -347,7 +361,10 @@ mod tests {
     fn drop_rate_close_to_p() {
         let s = FaultState::new(FaultPlan::seeded(1).with_drop(0.2), 2);
         let drops = drop_pattern(&s, 10_000).iter().filter(|&&d| d).count();
-        assert!((1_500..2_500).contains(&drops), "drop count {drops} far from 20%");
+        assert!(
+            (1_500..2_500).contains(&drops),
+            "drop count {drops} far from 20%"
+        );
     }
 
     #[test]

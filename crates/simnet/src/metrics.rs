@@ -14,6 +14,7 @@ pub struct Metrics {
     messages_sent: AtomicU64,
     bytes_sent: AtomicU64,
     per_machine_sent: Vec<AtomicU64>,
+    per_machine_bytes_sent: Vec<AtomicU64>,
     per_machine_received: Vec<AtomicU64>,
     per_machine_bytes_received: Vec<AtomicU64>,
     disk_reads: AtomicU64,
@@ -37,6 +38,11 @@ pub struct MetricsSnapshot {
     pub bytes_sent: u64,
     /// Messages sent, per source machine.
     pub per_machine_sent: Vec<u64>,
+    /// Payload bytes injected, per source machine. The sender-side load
+    /// signal the placement balancer consumes: a machine serving hot
+    /// objects shows up here through its reply traffic even when its
+    /// receive side is quiet.
+    pub per_machine_bytes_sent: Vec<u64>,
     /// Messages delivered, per destination machine.
     pub per_machine_received: Vec<u64>,
     /// Payload bytes delivered, per destination machine. Under faults this
@@ -75,6 +81,7 @@ impl Metrics {
             messages_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             per_machine_sent: (0..machines).map(|_| AtomicU64::new(0)).collect(),
+            per_machine_bytes_sent: (0..machines).map(|_| AtomicU64::new(0)).collect(),
             per_machine_received: (0..machines).map(|_| AtomicU64::new(0)).collect(),
             per_machine_bytes_received: (0..machines).map(|_| AtomicU64::new(0)).collect(),
             disk_reads: AtomicU64::new(0),
@@ -97,6 +104,9 @@ impl Metrics {
         if let Some(c) = self.per_machine_sent.get(src) {
             c.fetch_add(1, Ordering::Relaxed);
         }
+        if let Some(c) = self.per_machine_bytes_sent.get(src) {
+            c.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
     }
 
     /// Record one message of `bytes` payload delivered to `dst`.
@@ -112,8 +122,10 @@ impl Metrics {
     /// Record a disk read of `bytes` that kept the device busy `busy_nanos`.
     pub fn record_disk_read(&self, bytes: usize, busy_nanos: u64) {
         self.disk_reads.fetch_add(1, Ordering::Relaxed);
-        self.disk_bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.disk_busy_nanos.fetch_add(busy_nanos, Ordering::Relaxed);
+        self.disk_bytes_read
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.disk_busy_nanos
+            .fetch_add(busy_nanos, Ordering::Relaxed);
     }
 
     /// Record a packet whose destination inbox was gone at delivery time.
@@ -144,8 +156,10 @@ impl Metrics {
     /// Record a disk write of `bytes` that kept the device busy `busy_nanos`.
     pub fn record_disk_write(&self, bytes: usize, busy_nanos: u64) {
         self.disk_writes.fetch_add(1, Ordering::Relaxed);
-        self.disk_bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.disk_busy_nanos.fetch_add(busy_nanos, Ordering::Relaxed);
+        self.disk_bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.disk_busy_nanos
+            .fetch_add(busy_nanos, Ordering::Relaxed);
     }
 
     /// Copy every counter.
@@ -155,6 +169,11 @@ impl Metrics {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             per_machine_sent: self
                 .per_machine_sent
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            per_machine_bytes_sent: self
+                .per_machine_bytes_sent
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
@@ -196,6 +215,10 @@ impl MetricsSnapshot {
             messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
             bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
             per_machine_sent: sub_vec(&self.per_machine_sent, &earlier.per_machine_sent),
+            per_machine_bytes_sent: sub_vec(
+                &self.per_machine_bytes_sent,
+                &earlier.per_machine_bytes_sent,
+            ),
             per_machine_received: sub_vec(
                 &self.per_machine_received,
                 &earlier.per_machine_received,
@@ -254,6 +277,7 @@ mod tests {
         assert_eq!(s.messages_sent, 3);
         assert_eq!(s.bytes_sent, 157);
         assert_eq!(s.per_machine_sent, vec![2, 0, 1]);
+        assert_eq!(s.per_machine_bytes_sent, vec![150, 0, 7]);
         assert_eq!(s.per_machine_received, vec![0, 1, 0]);
         assert_eq!(s.per_machine_bytes_received, vec![0, 100, 0]);
         assert_eq!(s.disk_reads, 1);
@@ -303,13 +327,20 @@ mod tests {
         assert_eq!(delta.messages_sent, 1);
         assert_eq!(delta.bytes_sent, 20);
         assert_eq!(delta.per_machine_sent, vec![0, 1]);
+        assert_eq!(delta.per_machine_bytes_sent, vec![0, 20]);
         assert_eq!(delta.disk_reads, 1);
     }
 
     #[test]
     fn since_saturates_instead_of_underflowing() {
-        let a = MetricsSnapshot { messages_sent: 1, ..Default::default() };
-        let b = MetricsSnapshot { messages_sent: 5, ..Default::default() };
+        let a = MetricsSnapshot {
+            messages_sent: 1,
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            messages_sent: 5,
+            ..Default::default()
+        };
         assert_eq!(a.since(&b).messages_sent, 0);
     }
 }

@@ -118,7 +118,15 @@ impl Network {
                 routes.push(Route::Nic(nic_tx));
             }
         }
-        (Network { routes: Arc::new(routes), topology, metrics, faults }, inboxes)
+        (
+            Network {
+                routes: Arc::new(routes),
+                topology,
+                metrics,
+                faults,
+            },
+            inboxes,
+        )
     }
 
     /// Number of machine endpoints.
@@ -148,7 +156,10 @@ impl Network {
         let route = self.routes.get(dst).ok_or(NetError::NoSuchMachine(dst))?;
         self.metrics.record_send(src, payload.len());
         let (copies, extra_delay) = match self.faults.verdict(src, dst) {
-            Verdict::Deliver { copies, extra_delay } => (copies, extra_delay),
+            Verdict::Deliver {
+                copies,
+                extra_delay,
+            } => (copies, extra_delay),
             Verdict::DropRandom => {
                 self.metrics.record_fault_drop();
                 return Ok(());
@@ -170,7 +181,12 @@ impl Network {
         self.deliver(route, packet, extra_delay)
     }
 
-    fn deliver(&self, route: &Route, packet: Packet, extra_delay: Duration) -> Result<(), NetError> {
+    fn deliver(
+        &self,
+        route: &Route,
+        packet: Packet,
+        extra_delay: Duration,
+    ) -> Result<(), NetError> {
         let (src, dst) = (packet.src, packet.dst);
         match route {
             Route::Direct(tx) => {
@@ -180,8 +196,12 @@ impl Network {
             Route::Nic(tx) => {
                 let mut cost = self.topology.cost(src, dst);
                 cost.latency += extra_delay;
-                tx.send(TimedPacket { packet, sent_at: Instant::now(), cost })
-                    .map_err(|_| NetError::Disconnected(dst))
+                tx.send(TimedPacket {
+                    packet,
+                    sent_at: Instant::now(),
+                    cost,
+                })
+                .map_err(|_| NetError::Disconnected(dst))
             }
         }
     }
@@ -196,7 +216,12 @@ fn nic_loop(
 ) {
     // The instant this machine's link finishes its current transfer.
     let mut link_free_at = Instant::now();
-    for TimedPacket { packet, sent_at, cost } in rx {
+    for TimedPacket {
+        packet,
+        sent_at,
+        cost,
+    } in rx
+    {
         let arrival = sent_at + cost.latency;
         let start = arrival.max(link_free_at);
         let done = start + transfer_time(packet.len(), cost.bytes_per_sec);
@@ -268,12 +293,19 @@ mod tests {
         let lat = Duration::from_millis(3);
         let (net, inboxes) = net(
             2,
-            TopologySpec::Uniform(NetCost { latency: lat, bytes_per_sec: f64::INFINITY }),
+            TopologySpec::Uniform(NetCost {
+                latency: lat,
+                bytes_per_sec: f64::INFINITY,
+            }),
         );
         let t0 = Instant::now();
         net.send(0, 1, vec![42]).unwrap();
         let pkt = inboxes[1].recv().unwrap();
-        assert!(t0.elapsed() >= lat, "delivered too early: {:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() >= lat,
+            "delivered too early: {:?}",
+            t0.elapsed()
+        );
         assert_eq!(pkt.payload, vec![42]);
     }
 
@@ -284,7 +316,10 @@ mod tests {
         let lat = Duration::from_millis(3);
         let (net, inboxes) = net(
             2,
-            TopologySpec::Uniform(NetCost { latency: lat, bytes_per_sec: f64::INFINITY }),
+            TopologySpec::Uniform(NetCost {
+                latency: lat,
+                bytes_per_sec: f64::INFINITY,
+            }),
         );
         let t0 = Instant::now();
         for i in 0..10u8 {
@@ -337,7 +372,10 @@ mod tests {
         let t0 = Instant::now();
         net.send(1, 1, vec![0u8; 1000]).unwrap();
         inboxes[1].recv().unwrap();
-        assert!(t0.elapsed() < Duration::from_millis(40), "loopback paid link cost");
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "loopback paid link cost"
+        );
     }
 
     #[test]
@@ -419,7 +457,11 @@ mod tests {
             net.send(0, 1, vec![i]).unwrap(); // loss never errors the sender
         }
         let s = net.metrics().snapshot();
-        assert!(s.faults_dropped > 10, "expected drops, got {}", s.faults_dropped);
+        assert!(
+            s.faults_dropped > 10,
+            "expected drops, got {}",
+            s.faults_dropped
+        );
         assert_eq!(s.messages_sent, 100);
         let mut delivered = 0;
         while inboxes[1].try_recv().is_ok() {

@@ -56,7 +56,9 @@ pub struct TraceClock {
 impl TraceClock {
     /// A clock whose epoch is "now". Create once per cluster, then share.
     pub fn new() -> Self {
-        TraceClock { epoch: Instant::now() }
+        TraceClock {
+            epoch: Instant::now(),
+        }
     }
 
     /// Nanoseconds elapsed since the epoch.
@@ -95,10 +97,7 @@ mod tests {
         let bw = 1_000_000.0; // 1 MB/s
         assert_eq!(transfer_time(0, bw), Duration::ZERO);
         assert_eq!(transfer_time(1_000_000, bw), Duration::from_secs(1));
-        assert_eq!(
-            transfer_time(500_000, bw),
-            Duration::from_millis(500)
-        );
+        assert_eq!(transfer_time(500_000, bw), Duration::from_millis(500));
     }
 
     #[test]
@@ -144,7 +143,11 @@ mod tests {
         precise_sleep(Duration::from_micros(200));
         let b = copy.now_nanos();
         assert!(b > a, "clock went backwards: {a} -> {b}");
-        assert!(b - a >= 200_000, "slept 200us but clock advanced {}ns", b - a);
+        assert!(
+            b - a >= 200_000,
+            "slept 200us but clock advanced {}ns",
+            b - a
+        );
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl Racks {
     /// Build a rack topology. `rack_size` must be non-zero.
     pub fn new(rack_size: usize, intra: NetCost, inter: NetCost) -> Self {
         assert!(rack_size > 0, "rack_size must be positive");
-        Racks { rack_size, intra, inter }
+        Racks {
+            rack_size,
+            intra,
+            inter,
+        }
     }
 
     /// Which rack a machine lives in.
@@ -87,9 +91,11 @@ impl Topology for Racks {
 pub fn build(spec: &TopologySpec) -> Box<dyn Topology> {
     match *spec {
         TopologySpec::Uniform(cost) => Box::new(Uniform::new(cost)),
-        TopologySpec::Racks { rack_size, intra, inter } => {
-            Box::new(Racks::new(rack_size, intra, inter))
-        }
+        TopologySpec::Racks {
+            rack_size,
+            intra,
+            inter,
+        } => Box::new(Racks::new(rack_size, intra, inter)),
     }
 }
 

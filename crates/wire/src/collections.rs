@@ -234,11 +234,7 @@ impl Wire for F64s {
         {
             // Safety: writing raw LE bytes into the f64 buffer we just sized.
             unsafe {
-                std::ptr::copy_nonoverlapping(
-                    raw.as_ptr(),
-                    out.as_mut_ptr() as *mut u8,
-                    len * 8,
-                );
+                std::ptr::copy_nonoverlapping(raw.as_ptr(), out.as_mut_ptr() as *mut u8, len * 8);
             }
         }
         #[cfg(not(target_endian = "little"))]

@@ -54,7 +54,10 @@ impl fmt::Display for WireError {
             WireError::UnknownVariant { ty, tag } => {
                 write!(f, "unknown variant tag {tag} for enum {ty}")
             }
-            WireError::LengthOverrun { declared, remaining } => write!(
+            WireError::LengthOverrun {
+                declared,
+                remaining,
+            } => write!(
                 f,
                 "declared length {declared} exceeds {remaining} bytes remaining"
             ),
@@ -75,15 +78,24 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = WireError::UnexpectedEof { needed: 8, remaining: 3 };
+        let e = WireError::UnexpectedEof {
+            needed: 8,
+            remaining: 3,
+        };
         assert!(e.to_string().contains("needed 8"));
         assert!(e.to_string().contains("3 remaining"));
 
-        let e = WireError::UnknownVariant { ty: "FooCall", tag: 42 };
+        let e = WireError::UnknownVariant {
+            ty: "FooCall",
+            tag: 42,
+        };
         assert!(e.to_string().contains("FooCall"));
         assert!(e.to_string().contains("42"));
 
-        let e = WireError::LengthOverrun { declared: 1 << 40, remaining: 16 };
+        let e = WireError::LengthOverrun {
+            declared: 1 << 40,
+            remaining: 16,
+        };
         assert!(e.to_string().contains("16 bytes remaining"));
     }
 

@@ -51,7 +51,10 @@ impl<'a> Reader<'a> {
     #[inline]
     pub fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
         if self.remaining() < n {
-            return Err(WireError::UnexpectedEof { needed: n, remaining: self.remaining() });
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let slice = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -88,7 +91,10 @@ impl<'a> Reader<'a> {
         let declared = self.take_varint()? as usize;
         let min_bytes = declared.saturating_mul(min_elem_size.max(1));
         if min_bytes > self.remaining() {
-            return Err(WireError::LengthOverrun { declared, remaining: self.remaining() });
+            return Err(WireError::LengthOverrun {
+                declared,
+                remaining: self.remaining(),
+            });
         }
         Ok(declared)
     }
@@ -154,7 +160,10 @@ mod tests {
         let mut r = Reader::new(&[1, 2, 3]);
         assert!(matches!(
             r.take_u64(),
-            Err(WireError::UnexpectedEof { needed: 8, remaining: 3 })
+            Err(WireError::UnexpectedEof {
+                needed: 8,
+                remaining: 3
+            })
         ));
     }
 

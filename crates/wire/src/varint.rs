@@ -45,7 +45,10 @@ pub fn read_u64(buf: &[u8]) -> WireResult<(u64, usize)> {
         }
         shift += 7;
     }
-    Err(WireError::UnexpectedEof { needed: 1, remaining: 0 })
+    Err(WireError::UnexpectedEof {
+        needed: 1,
+        remaining: 0,
+    })
 }
 
 /// ZigZag-encode a signed integer so small negative values stay short.
@@ -149,7 +152,17 @@ mod tests {
 
     #[test]
     fn zigzag_roundtrips() {
-        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -123456789, 987654321] {
+        for v in [
+            0i64,
+            -1,
+            1,
+            -2,
+            2,
+            i64::MIN,
+            i64::MAX,
+            -123456789,
+            987654321,
+        ] {
             assert_eq!(zigzag_decode(zigzag_encode(v)), v);
         }
     }

@@ -21,7 +21,9 @@ impl Writer {
     /// New writer with `cap` bytes pre-reserved — use when the payload size
     /// is known (e.g. shipping a page of fixed size).
     pub fn with_capacity(cap: usize) -> Self {
-        Writer { buf: Vec::with_capacity(cap) }
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.

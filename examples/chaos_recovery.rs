@@ -29,18 +29,27 @@ fn main() {
     // A process on machine 1, reachable by symbolic address (§5).
     let addr = symbolic_addr(&["demo", "block"]);
     let block = DoubleBlockClient::new_on(&mut driver, 1, 64).unwrap();
-    dir.bind(&mut driver, addr.clone(), block.obj_ref()).unwrap();
+    dir.bind(&mut driver, addr.clone(), block.obj_ref())
+        .unwrap();
     for i in 0..64 {
         block.set(&mut driver, i, i as f64).unwrap();
     }
     // Replicate its snapshot to machine 2 so a crash is survivable.
     driver.replicate_snapshot(&block, &addr, &[2]).unwrap();
-    println!("block live on machine {}, snapshot replicated to machine 2", block.machine());
+    println!(
+        "block live on machine {}, snapshot replicated to machine 2",
+        block.machine()
+    );
 
     // The crash: machine 1 goes network-dark mid-run.
     cluster.sim().faults().crash(1);
     match block.get(&mut driver, 7) {
-        Err(RemoteError::Timeout { machine, attempts, millis, .. }) => println!(
+        Err(RemoteError::Timeout {
+            machine,
+            attempts,
+            millis,
+            ..
+        }) => println!(
             "call failed after {attempts} attempts over {millis} ms: machine {machine} is down"
         ),
         other => panic!("expected a timeout against the crashed machine, got {other:?}"),
@@ -50,7 +59,10 @@ fn main() {
     // dead machine and reactivates the process from the replica.
     let revived: DoubleBlockClient =
         resolve_or_activate_supervised(&mut driver, &dir, &addr, &[1, 2]).unwrap();
-    println!("reactivated on machine {} from its snapshot", revived.machine());
+    println!(
+        "reactivated on machine {} from its snapshot",
+        revived.machine()
+    );
     let x = revived.get(&mut driver, 7).unwrap();
     println!("state survived the crash: block[7] = {x}");
     assert_eq!(x, 7.0);

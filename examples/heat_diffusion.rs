@@ -39,9 +39,8 @@ fn step_slab(driver: &mut Driver, src: &Array, dst: &Array, lo: u64, hi: u64) {
     let halo = Domain::new(glo, ghi, 0, N, 0, N);
     let buf = src.read(driver, &halo).expect("read slab+halo");
     let ext = halo.extent();
-    let at = |i: u64, j: u64, k: u64| -> f64 {
-        buf[(((i - glo) * ext[1] + j) * ext[2] + k) as usize]
-    };
+    let at =
+        |i: u64, j: u64, k: u64| -> f64 { buf[(((i - glo) * ext[1] + j) * ext[2] + k) as usize] };
 
     let mut out = Vec::with_capacity(((hi - lo) * N * N) as usize);
     for i in lo..hi {
@@ -63,7 +62,8 @@ fn step_slab(driver: &mut Driver, src: &Array, dst: &Array, lo: u64, hi: u64) {
             }
         }
     }
-    dst.write(driver, &Domain::new(lo, hi, 0, N, 0, N), &out).expect("write slab");
+    dst.write(driver, &Domain::new(lo, hi, 0, N, 0, N), &out)
+        .expect("write slab");
 }
 
 fn main() {
@@ -74,14 +74,15 @@ fn main() {
 
     // Initial condition: one hot plate at i = 0 (value 100), cold elsewhere.
     a.fill(&mut driver, &a.whole(), 0.0).unwrap();
-    a.fill(&mut driver, &Domain::new(0, 1, 0, N, 0, N), 100.0).unwrap();
+    a.fill(&mut driver, &Domain::new(0, 1, 0, N, 0, N), 100.0)
+        .unwrap();
     b.fill(&mut driver, &b.whole(), 0.0).unwrap();
-    b.fill(&mut driver, &Domain::new(0, 1, 0, N, 0, N), 100.0).unwrap();
+    b.fill(&mut driver, &Domain::new(0, 1, 0, N, 0, N), 100.0)
+        .unwrap();
 
     println!("3-D heat diffusion, {N}^3 grid over {devices} devices");
-    let probe = |driver: &mut Driver, arr: &Array, i: u64| {
-        arr.get(driver, i, N / 2, N / 2).unwrap()
-    };
+    let probe =
+        |driver: &mut Driver, arr: &Array, i: u64| arr.get(driver, i, N / 2, N / 2).unwrap();
 
     let (mut src, mut dst) = (&a, &b);
     let mut prev_probe = probe(&mut driver, src, 2);
@@ -97,7 +98,10 @@ fn main() {
                 "step {step_no:>2}: T(2, mid, mid) = {t:>7.4}   max = {:>7.3}",
                 src.max(&mut driver, &src.whole()).unwrap()
             );
-            assert!(t >= prev_probe, "heat must flow toward the probe monotonically");
+            assert!(
+                t >= prev_probe,
+                "heat must flow toward the probe monotonically"
+            );
             prev_probe = t;
         }
     }
@@ -107,7 +111,11 @@ fn main() {
     let max = src.max(&mut driver, &src.whole()).unwrap();
     let min = src.min(&mut driver, &src.whole()).unwrap();
     assert!((0.0..=100.0).contains(&min) && (0.0..=100.0).contains(&max));
-    assert_eq!(src.max(&mut driver, &Domain::new(0, 1, 0, N, 0, N)).unwrap(), 100.0);
+    assert_eq!(
+        src.max(&mut driver, &Domain::new(0, 1, 0, N, 0, N))
+            .unwrap(),
+        100.0
+    );
     println!("bounds hold: {min:.3} ..= {max:.3}; hot plate intact");
     cluster.shutdown(driver);
 }

@@ -79,7 +79,11 @@ impl Mapper {
     fn new(_ctx: &mut NodeCtx) -> RemoteResult<Self> {
         Ok(Mapper::default())
     }
-    fn set_reducers(&mut self, _ctx: &mut NodeCtx, reducers: Vec<ReducerClient>) -> RemoteResult<()> {
+    fn set_reducers(
+        &mut self,
+        _ctx: &mut NodeCtx,
+        reducers: Vec<ReducerClient>,
+    ) -> RemoteResult<()> {
         self.reducers = reducers;
         Ok(())
     }
@@ -153,11 +157,16 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, text)| {
-            mappers[i % mappers_n].map_shard_async(&mut driver, text.to_string()).unwrap()
+            mappers[i % mappers_n]
+                .map_shard_async(&mut driver, text.to_string())
+                .unwrap()
         })
         .collect();
     let tokens: u64 = join(&mut driver, pending).unwrap().into_iter().sum();
-    println!("map phase done: {tokens} tokens across {} shards", shards.len());
+    println!(
+        "map phase done: {tokens} tokens across {} shards",
+        shards.len()
+    );
 
     // Reduce phase: collect.
     let mut all: Vec<(String, u64)> = Vec::new();

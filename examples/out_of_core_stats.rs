@@ -16,7 +16,7 @@ fn main() {
     // A costed network so the two strategies differ measurably.
     let workers = 4;
     let config = ClusterConfig {
-        machines: 0, // overridden by the builder
+        machines: 0,                                             // overridden by the builder
         topology: TopologySpec::Uniform(NetCost::lan(50, 10.0)), // 50µs, 10 Gb/s
         disk: simnet::DiskConfig::nvme(),
         disks_per_machine: 1,
@@ -56,9 +56,13 @@ fn main() {
 
     // Load a synthetic field: f(i,j,k) varies so reductions are checkable.
     let whole = array.whole();
-    let data: Vec<f64> = (0..array.len()).map(|i| ((i % 1000) as f64) / 100.0).collect();
+    let data: Vec<f64> = (0..array.len())
+        .map(|i| ((i % 1000) as f64) / 100.0)
+        .collect();
     let t = Instant::now();
-    array.write(&mut driver, &whole, &data).expect("load dataset");
+    array
+        .write(&mut driver, &whole, &data)
+        .expect("load dataset");
     println!("loaded in {:?}", t.elapsed());
     let expected: f64 = data.iter().sum();
 
@@ -71,7 +75,9 @@ fn main() {
     // Strategy B: move the data to the computation — ship every page to
     // the driver and sum locally.
     let t = Instant::now();
-    let client_side = array.sum_by_moving_data(&mut driver, &whole).expect("client-side sum");
+    let client_side = array
+        .sum_by_moving_data(&mut driver, &whole)
+        .expect("client-side sum");
     let tb = t.elapsed();
 
     assert!((device_side - expected).abs() < 1e-6);
@@ -89,7 +95,10 @@ fn main() {
         let t = Instant::now();
         let s = parallel_sum(&mut driver, &array, &whole, clients).expect("parallel sum");
         assert!((s - expected).abs() < 1e-6);
-        println!("  parallel sum with {clients} Array client(s): {:?}", t.elapsed());
+        println!(
+            "  parallel sum with {clients} Array client(s): {:?}",
+            t.elapsed()
+        );
     }
 
     let m = cluster.snapshot();

@@ -38,8 +38,7 @@ fn main() {
 
     for parts in [2usize, 4, 8] {
         // --- oopp: the paper's FFT process group.
-        let (cluster, mut driver) =
-            DistributedFft3::register(ClusterBuilder::new(parts)).build();
+        let (cluster, mut driver) = DistributedFft3::register(ClusterBuilder::new(parts)).build();
         let dfft = DistributedFft3::new(
             &mut driver,
             [shape[0] as u64, shape[1] as u64, shape[2] as u64],
@@ -48,7 +47,8 @@ fn main() {
         .expect("create FFT group");
         dfft.scatter(&mut driver, &data).expect("scatter");
         let t = Instant::now();
-        dfft.transform(&mut driver, Direction::Forward).expect("transform");
+        dfft.transform(&mut driver, Direction::Forward)
+            .expect("transform");
         let oopp_time = t.elapsed();
         let got = dfft.gather(&mut driver).expect("gather");
         let err = max_error(&got, local.data());
@@ -67,9 +67,7 @@ fn main() {
         let err = max_error(&got, local.data());
         assert!(err < 1e-9, "mplite parts={parts}: error {err}");
 
-        println!(
-            "{parts} processes:  oopp RMI {oopp_time:?}   message-passing {mpi_time:?}"
-        );
+        println!("{parts} processes:  oopp RMI {oopp_time:?}   message-passing {mpi_time:?}");
     }
 
     // Roundtrip sanity: forward then inverse restores the input.

@@ -32,15 +32,22 @@ fn main() {
     .expect("create dataset device");
     for page in 0..4 {
         device
-            .write_array(&mut driver, page, ArrayPage::generate(8, 8, 8, page).into_f64s())
+            .write_array(
+                &mut driver,
+                page,
+                ArrayPage::generate(8, 8, 8, page).into_f64s(),
+            )
             .expect("write page");
     }
-    let sums: Vec<f64> = (0..4).map(|p| device.sum(&mut driver, p).unwrap()).collect();
+    let sums: Vec<f64> = (0..4)
+        .map(|p| device.sum(&mut driver, p).unwrap())
+        .collect();
     println!("dataset built; per-page sums: {sums:?}");
 
     // Publish under a DAP-style symbolic address...
     let name = symbolic_addr(&["data", "set", "ArrayPageDevice", "34"]);
-    dir.bind(&mut driver, name.clone(), device.obj_ref()).unwrap();
+    dir.bind(&mut driver, name.clone(), device.obj_ref())
+        .unwrap();
     println!("published as {name}");
 
     // ... and deactivate the live process (its pages stay on the disk).
@@ -50,12 +57,19 @@ fn main() {
     println!("process deactivated to snapshot {snapshot_key}");
 
     // --- Program 2 (later): reactivate by symbolic address.
-    let revived: ArrayPageDeviceClient =
-        driver.activate(0, &snapshot_key).expect("reactivate dataset");
-    dir.bind(&mut driver, name.clone(), revived.obj_ref()).unwrap();
-    let resolved = dir.lookup(&mut driver, name.clone()).unwrap().expect("name resolves");
+    let revived: ArrayPageDeviceClient = driver
+        .activate(0, &snapshot_key)
+        .expect("reactivate dataset");
+    dir.bind(&mut driver, name.clone(), revived.obj_ref())
+        .unwrap();
+    let resolved = dir
+        .lookup(&mut driver, name.clone())
+        .unwrap()
+        .expect("name resolves");
     let handle = ArrayPageDeviceClient::from_ref(resolved);
-    let sums2: Vec<f64> = (0..4).map(|p| handle.sum(&mut driver, p).unwrap()).collect();
+    let sums2: Vec<f64> = (0..4)
+        .map(|p| handle.sum(&mut driver, p).unwrap())
+        .collect();
     assert_eq!(sums, sums2, "reactivated process sees the same data");
     println!("reactivated via {name}; sums match");
 

@@ -46,7 +46,11 @@ fn main() {
     println!("wrote a generated page to address {page_address}");
 
     // ... and read it back.
-    let back = Page::from_bytes(page_store.read(&mut driver, page_address).expect("remote read"));
+    let back = Page::from_bytes(
+        page_store
+            .read(&mut driver, page_address)
+            .expect("remote read"),
+    );
     assert_eq!(back, page);
     println!("read it back: {} bytes, identical", back.len());
 

@@ -15,8 +15,7 @@ use oopp::{join, Backoff, CallPolicy, ClusterBuilder, DoubleBlockClient, EventKi
 use simnet::{ClusterConfig, FaultPlan};
 
 fn main() {
-    let out_path =
-        std::env::var("OOPP_TRACE").unwrap_or_else(|_| "trace_out.json".to_string());
+    let out_path = std::env::var("OOPP_TRACE").unwrap_or_else(|_| "trace_out.json".to_string());
 
     // A lossy, duplicating fabric with a seeded plan: every run of this
     // example records the identical span tree.
@@ -43,13 +42,21 @@ fn main() {
         let addend = F64s((0..n).map(|j| (round * j) as f64).collect());
         let pending: Vec<_> = blocks
             .iter()
-            .map(|b| b.axpy_range_async(&mut driver, 0, 0.5, addend.clone()).unwrap())
+            .map(|b| {
+                b.axpy_range_async(&mut driver, 0, 0.5, addend.clone())
+                    .unwrap()
+            })
             .collect();
         join(&mut driver, pending).unwrap();
     }
     let mut checksum = 0.0;
     for b in &blocks {
-        checksum += b.read_range(&mut driver, 0, n).unwrap().0.iter().sum::<f64>();
+        checksum += b
+            .read_range(&mut driver, 0, n)
+            .unwrap()
+            .0
+            .iter()
+            .sum::<f64>();
     }
 
     // Keep the recorder alive past shutdown, then merge all machine rings.
@@ -67,9 +74,16 @@ fn main() {
         trace.count(EventKind::ClientSend),
         trace.retransmits(),
         trace.count(EventKind::ServerAdmitDone),
-        if trace.causal_violations().is_empty() { "ok" } else { "VIOLATED" },
+        if trace.causal_violations().is_empty() {
+            "ok"
+        } else {
+            "VIOLATED"
+        },
     );
-    assert!(trace.causal_violations().is_empty(), "trace must be causally sound");
+    assert!(
+        trace.causal_violations().is_empty(),
+        "trace must be causally sound"
+    );
 
     println!("\nper-method flight-recorder account:");
     println!(
@@ -84,5 +98,7 @@ fn main() {
     }
 
     std::fs::write(&out_path, trace.to_chrome_json()).expect("write trace JSON");
-    println!("\nwrote Chrome trace_event JSON to {out_path} — open it in Perfetto or chrome://tracing");
+    println!(
+        "\nwrote Chrome trace_event JSON to {out_path} — open it in Perfetto or chrome://tracing"
+    );
 }

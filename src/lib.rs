@@ -5,18 +5,28 @@
 //! every layer through one dependency:
 //!
 //! * [`oopp`] — the paper's contribution: objects as processes, remote
-//!   method invocation, groups, persistence;
+//!   method invocation, groups, persistence, live migration;
 //! * [`simnet`] — the simulated cluster substrate;
 //! * [`wire`] — the RMI wire format;
 //! * [`pagestore`] — §2–§3 page devices;
 //! * [`distarray`] — §5 distributed arrays;
 //! * [`fft`] — §4 Fourier transforms (local and distributed);
-//! * [`mplite`] — the MPI-like message-passing baseline.
+//! * [`mplite`] — the MPI-like message-passing baseline;
+//! * [`placement`] — adaptive placement: the balancer that live-migrates
+//!   hot objects to idle machines (DESIGN §9).
+//!
+//! This crate exists *only* as that aggregation point: `examples/` and
+//! `tests/` at the workspace root attach to it, so one `cargo run
+//! --example`/`cargo test` invocation can exercise cross-crate scenarios
+//! without each example declaring seven path dependencies. It adds no
+//! code of its own and is not meant to be depended on by the member
+//! crates.
 
 pub use distarray;
 pub use fft;
 pub use mplite;
 pub use oopp;
 pub use pagestore;
+pub use placement;
 pub use simnet;
 pub use wire;

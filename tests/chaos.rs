@@ -75,7 +75,10 @@ fn split_loop_run(workers: usize, n: usize, faults: FaultPlan) -> (Vec<f64>, u64
         let addend = F64s((0..n).map(|j| (round * j) as f64).collect());
         let pending: Vec<_> = blocks
             .iter()
-            .map(|b| b.axpy_range_async(&mut driver, 0, 0.5, addend.clone()).unwrap())
+            .map(|b| {
+                b.axpy_range_async(&mut driver, 0, 0.5, addend.clone())
+                    .unwrap()
+            })
             .collect();
         join(&mut driver, pending).unwrap();
     }
@@ -110,7 +113,10 @@ fn split_loop_under_loss_matches_zero_fault_run() {
     assert_eq!(clean_retries, 0);
     assert_eq!(clean_drops, 0);
     assert!(chaos_drops > 0, "5% loss plan never dropped anything");
-    assert!(chaos_retries > 0, "losses should have forced retransmissions");
+    assert!(
+        chaos_retries > 0,
+        "losses should have forced retransmissions"
+    );
     assert_eq!(chaos, clean, "retries must be invisible to the computation");
 
     // Determinism: the same seed yields the same drops, retries, and bits.
@@ -195,11 +201,7 @@ fn crash_mid_run_recovers_from_replicated_snapshot() {
 
     // What the workload computes when nothing fails. Phase 1 writes i,
     // phase 2 adds 2*(10+j).
-    fn run_phases(
-        driver: &mut oopp_repro::oopp::Driver,
-        block: &DoubleBlockClient,
-        phase: usize,
-    ) {
+    fn run_phases(driver: &mut oopp_repro::oopp::Driver, block: &DoubleBlockClient, phase: usize) {
         match phase {
             1 => {
                 for i in 0..N {
@@ -240,7 +242,8 @@ fn crash_mid_run_recovers_from_replicated_snapshot() {
     // The process lives on machine 1; its name is bound in the directory
     // and its snapshot is replicated to machine 2 after phase 1.
     let block = DoubleBlockClient::new_on(&mut driver, 1, N).unwrap();
-    dir.bind(&mut driver, addr.clone(), block.obj_ref()).unwrap();
+    dir.bind(&mut driver, addr.clone(), block.obj_ref())
+        .unwrap();
     run_phases(&mut driver, &block, 1);
     driver.replicate_snapshot(&block, &addr, &[2]).unwrap();
 
@@ -250,7 +253,9 @@ fn crash_mid_run_recovers_from_replicated_snapshot() {
     // naming the dead machine and the attempt count.
     let err = block.get(&mut driver, 0).unwrap_err();
     match err {
-        RemoteError::Timeout { machine, attempts, .. } => {
+        RemoteError::Timeout {
+            machine, attempts, ..
+        } => {
             assert_eq!(machine, 1);
             assert_eq!(attempts, 3); // 1 try + max_retries
         }
@@ -266,7 +271,10 @@ fn crash_mid_run_recovers_from_replicated_snapshot() {
 
     run_phases(&mut driver, &recovered, 2);
     let data = recovered.read_range(&mut driver, 0, N).unwrap().0;
-    assert_eq!(data, expected, "recovered run must match the zero-fault run");
+    assert_eq!(
+        data, expected,
+        "recovered run must match the zero-fault run"
+    );
 
     // A later resolution finds the live rebinding directly.
     let again: DoubleBlockClient =
@@ -304,7 +312,10 @@ fn traced_chaos_run(
         let addend = F64s((0..n).map(|j| (round * j) as f64).collect());
         let pending: Vec<_> = blocks
             .iter()
-            .map(|b| b.axpy_range_async(&mut driver, 0, 0.5, addend.clone()).unwrap())
+            .map(|b| {
+                b.axpy_range_async(&mut driver, 0, 0.5, addend.clone())
+                    .unwrap()
+            })
             .collect();
         join(&mut driver, pending).unwrap();
     }
@@ -352,8 +363,8 @@ fn trace_retransmits_cross_check_fault_counters() {
     );
     // Server-side dedup verdicts appear as events too: a retransmitted
     // request whose original executed shows up as admit_done/admit_in_flight.
-    let verdicts = trace.count(EventKind::ServerAdmitInFlight)
-        + trace.count(EventKind::ServerAdmitDone);
+    let verdicts =
+        trace.count(EventKind::ServerAdmitInFlight) + trace.count(EventKind::ServerAdmitDone);
     assert!(
         verdicts > 0,
         "retransmissions under duplication must produce dedup verdict events"

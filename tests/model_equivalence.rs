@@ -11,7 +11,9 @@ use oopp_repro::simnet::{ClusterConfig, DiskConfig, NetCost, TopologySpec};
 
 fn sample(shape: [usize; 3]) -> Vec<Complex> {
     let n = shape[0] * shape[1] * shape[2];
-    (0..n).map(|i| c64((i as f64 * 0.23).sin(), (i as f64 * 0.81).cos())).collect()
+    (0..n)
+        .map(|i| c64((i as f64 * 0.23).sin(), (i as f64 * 0.81).cos()))
+        .collect()
 }
 
 /// Both models compute the same FFT, bit-for-bit against the local plan.
@@ -19,8 +21,7 @@ fn sample(shape: [usize; 3]) -> Vec<Complex> {
 fn fft_same_answer_under_both_models() {
     let shape = [8usize, 4, 4];
     let data = sample(shape);
-    let expected =
-        Fft3::new(shape).transform(&Grid3::new(shape, data.clone()), Direction::Forward);
+    let expected = Fft3::new(shape).transform(&Grid3::new(shape, data.clone()), Direction::Forward);
 
     // oopp object processes.
     let (cluster, mut driver) = DistributedFft3::register(ClusterBuilder::new(2)).build();
@@ -35,7 +36,10 @@ fn fft_same_answer_under_both_models() {
 
     assert!(max_error(&oopp_result, expected.data()) < 1e-9);
     assert!(max_error(&mpi_result, expected.data()) < 1e-9);
-    assert!(max_error(&oopp_result, &mpi_result) < 1e-12, "identical algorithm, identical bits");
+    assert!(
+        max_error(&oopp_result, &mpi_result) < 1e-12,
+        "identical algorithm, identical bits"
+    );
 }
 
 /// Page I/O: the oopp split loop and the hand-pipelined MPI client move the
@@ -54,18 +58,25 @@ fn pageio_traffic_comparable_across_models() {
         })
         .collect();
     for d in &devices {
-        d.write(&mut driver, 0, Page::zeroed(page_size).into_bytes()).unwrap();
+        d.write(&mut driver, 0, Page::zeroed(page_size).into_bytes())
+            .unwrap();
     }
     let before = cluster.snapshot();
-    let pending: Vec<_> =
-        devices.iter().map(|d| d.read_async(&mut driver, 0).unwrap()).collect();
+    let pending: Vec<_> = devices
+        .iter()
+        .map(|d| d.read_async(&mut driver, 0).unwrap())
+        .collect();
     join(&mut driver, pending).unwrap();
     let oopp_delta = cluster.snapshot().since(&before);
     cluster.shutdown(driver);
 
     // mplite version.
-    let (_, mpi_metrics) =
-        pageio_run(ClusterConfig::zero_cost(n + 1), page_size, 8, IoMode::Pipelined);
+    let (_, mpi_metrics) = pageio_run(
+        ClusterConfig::zero_cost(n + 1),
+        page_size,
+        8,
+        IoMode::Pipelined,
+    );
 
     // Both move n pages of payload; allow generous framing slack.
     let payload = (n * page_size) as u64;
@@ -97,8 +108,7 @@ fn costed_rack_topology_end_to_end() {
         .build();
     let shape = [8usize, 8, 4];
     let data = sample(shape);
-    let expected =
-        Fft3::new(shape).transform(&Grid3::new(shape, data.clone()), Direction::Forward);
+    let expected = Fft3::new(shape).transform(&Grid3::new(shape, data.clone()), Direction::Forward);
     let dfft = DistributedFft3::new(&mut driver, [8, 8, 4], 4).unwrap();
     dfft.scatter(&mut driver, &data).unwrap();
     dfft.transform(&mut driver, Direction::Forward).unwrap();

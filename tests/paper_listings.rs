@@ -3,12 +3,12 @@
 //! Integration tests: the paper's complete program listings, transliterated
 //! and executed across every crate of the workspace.
 
-use oopp_repro::distarray::{
-    parallel_sum, register_classes, Array, BlockStorage, Domain, PageMap,
-};
+use oopp_repro::distarray::{parallel_sum, register_classes, Array, BlockStorage, Domain, PageMap};
 use oopp_repro::fft::{c64, max_error, Complex, Direction, DistributedFft3, Fft3, Grid3};
 use oopp_repro::oopp::{join, ClusterBuilder, DoubleBlockClient, RemoteClient};
-use oopp_repro::pagestore::{ArrayPage, ArrayPageDevice, ArrayPageDeviceClient, Page, PageDevice, PageDeviceClient};
+use oopp_repro::pagestore::{
+    ArrayPage, ArrayPageDevice, ArrayPageDeviceClient, Page, PageDevice, PageDeviceClient,
+};
 
 /// §2: the first listing of the paper, end to end.
 #[test]
@@ -17,8 +17,13 @@ fn section2_page_device_listing() {
     let page_store =
         PageDeviceClient::new_on(&mut driver, 1, "pagefile".into(), 10, 1024, 0).unwrap();
     let page = Page::generate(1024, 99);
-    page_store.write(&mut driver, 7, page.clone().into_bytes()).unwrap();
-    assert_eq!(Page::from_bytes(page_store.read(&mut driver, 7).unwrap()), page);
+    page_store
+        .write(&mut driver, 7, page.clone().into_bytes())
+        .unwrap();
+    assert_eq!(
+        Page::from_bytes(page_store.read(&mut driver, 7).unwrap()),
+        page
+    );
     cluster.shutdown(driver);
 }
 
@@ -37,7 +42,9 @@ fn section2_shared_memory_sketch() {
         .map(|i| data.set_async(&mut driver, i, i as f64).unwrap())
         .collect();
     join(&mut driver, writes).unwrap();
-    let reads: Vec<_> = (0..n).map(|i| data.get_async(&mut driver, i).unwrap()).collect();
+    let reads: Vec<_> = (0..n)
+        .map(|i| data.get_async(&mut driver, i).unwrap())
+        .collect();
     assert_eq!(join(&mut driver, reads).unwrap(), vec![0.0, 1.0, 2.0, 3.0]);
     cluster.shutdown(driver);
 }
@@ -49,12 +56,13 @@ fn section3_move_data_vs_move_computation() {
         .register::<PageDevice>()
         .register::<ArrayPageDevice>()
         .build();
-    let blocks = ArrayPageDeviceClient::new_on(
-        &mut driver, 1, "array_blocks".into(), 6, 8, 8, 8, 0, None,
-    )
-    .unwrap();
+    let blocks =
+        ArrayPageDeviceClient::new_on(&mut driver, 1, "array_blocks".into(), 6, 8, 8, 8, 0, None)
+            .unwrap();
     let page = ArrayPage::generate(8, 8, 8, 4);
-    blocks.write_array(&mut driver, 4, page.clone().into_f64s()).unwrap();
+    blocks
+        .write_array(&mut driver, 4, page.clone().into_f64s())
+        .unwrap();
 
     // Move the data: read the page, sum locally.
     let raw = blocks.as_base().read(&mut driver, 4).unwrap();
@@ -119,8 +127,7 @@ fn section4_parallel_device_read() {
 fn section4_fft_group_listing() {
     let shape = [8usize, 8, 8];
     let grid: Vec<Complex> = (0..512).map(|i| c64((i as f64 * 0.1).sin(), 0.0)).collect();
-    let expected =
-        Fft3::new(shape).transform(&Grid3::new(shape, grid.clone()), Direction::Forward);
+    let expected = Fft3::new(shape).transform(&Grid3::new(shape, grid.clone()), Direction::Forward);
 
     let (cluster, mut driver) = DistributedFft3::register(ClusterBuilder::new(4)).build();
     let dfft = DistributedFft3::new(&mut driver, [8, 8, 8], 4).unwrap();
@@ -175,7 +182,10 @@ fn section5_array_and_persistence() {
     )
     .unwrap();
     let after = array2.sum(&mut driver, &whole).unwrap();
-    assert!((after - expected).abs() < 1e-9, "data survived deactivation");
+    assert!(
+        (after - expected).abs() < 1e-9,
+        "data survived deactivation"
+    );
     cluster.shutdown(driver);
 }
 
