@@ -1,0 +1,89 @@
+//! E11: cost of the self-healing machinery itself, zero-cost substrate.
+//!
+//! The experiment table (Zipf workload, crash/partition variants, MTTR
+//! breakdown) comes from `reproduce e11`; these benches track the price
+//! of the pieces on the hot path: one supervisor step over a healthy
+//! cluster (heartbeat pump + reply reaping + verdicts), and a stale-epoch
+//! call that bounces off the fence and transparently retries at the
+//! taught epoch.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oopp::{symbolic_addr, Backoff, CallPolicy, ClusterBuilder, DoubleBlockClient, RemoteClient};
+use supervision::{DetectorConfig, RestartPolicy, Supervisor, SupervisorConfig};
+
+fn policy() -> CallPolicy {
+    CallPolicy::reliable(Duration::from_millis(100))
+        .with_max_retries(6)
+        .with_backoff(Backoff::fixed(Duration::from_millis(5)))
+}
+
+fn config() -> SupervisorConfig {
+    let heartbeat_interval = Duration::from_millis(5);
+    SupervisorConfig {
+        heartbeat_interval,
+        lease_ttl: Duration::from_millis(500),
+        detector: DetectorConfig {
+            expected_interval: heartbeat_interval,
+            ..DetectorConfig::default()
+        },
+        restart: RestartPolicy::Retries {
+            max_retries: 2,
+            backoff: Backoff::fixed(Duration::from_millis(10)),
+        },
+    }
+}
+
+fn bench_self_healing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_self_healing");
+
+    // One supervisor step over a healthy 3-worker cluster. Most steps
+    // send nothing (the heartbeat interval gates the pump); the figure is
+    // the amortized per-step cost of liveness monitoring.
+    {
+        let (_cluster, mut driver) = ClusterBuilder::new(3).call_policy(policy()).build();
+        let dir = driver.directory();
+        let mut sup = Supervisor::new(config(), vec![1, 2], dir);
+        let b = DoubleBlockClient::new_on(&mut driver, 1, 64).unwrap();
+        sup.register(&mut driver, &symbolic_addr(&["bench", "b"]), &b, &[2])
+            .unwrap();
+        g.bench_function("supervisor_step_healthy", |bch| {
+            bch.iter(|| {
+                std::hint::black_box(sup.step(&mut driver).unwrap());
+                driver.serve_for(Duration::from_micros(200));
+            })
+        });
+    }
+
+    // A call carrying a stale epoch: the server fences it, the client
+    // learns the live epoch and re-issues under a fresh request id. Two
+    // round trips instead of one — the price of being taught.
+    {
+        let (_cluster, mut driver) = ClusterBuilder::new(2).call_policy(policy()).build();
+        let b = DoubleBlockClient::new_on(&mut driver, 1, 64).unwrap();
+        b.fill(&mut driver, 3.0).unwrap();
+        let r = b.obj_ref();
+        driver.set_epoch_of(r, 5).unwrap();
+        g.bench_function("fenced_then_retried_get", |bch| {
+            bch.iter(|| {
+                // Reset the belief to a stale epoch so every iteration
+                // pays the bounce, not just the first.
+                driver.forget_epoch(r);
+                driver.note_epoch(r, 4);
+                std::hint::black_box(b.get(&mut driver, 7).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_self_healing
+}
+criterion_main!(benches);

@@ -64,6 +64,11 @@ fn main() {
             "adaptive placement: live migration vs static placement on a Zipf workload",
             ex::e10_placement,
         ),
+        (
+            "E11",
+            "self-healing: crash/partition mid-Zipf, supervised recovery with bounded MTTR",
+            ex::e11_self_healing,
+        ),
         ("A1", "ablation: wire codec throughput", || {
             vec![ex::a1_wire()]
         }),

@@ -890,6 +890,251 @@ pub fn e10_placement() -> Vec<Table> {
     vec![t, method_stats_table(&balanced.trace)]
 }
 
+/// E11 (DESIGN.md §10): self-healing under the E10-style Zipf workload.
+///
+/// Supervised [`HotBlock`]s live on machines 1–3 (machine 0 keeps the
+/// naming directory) while a skewed client stream works them and one
+/// deterministic write per round mutates state. Mid-run, the hottest
+/// object's home is killed — a real crash in one variant, a full
+/// partition (a *false* suspicion: the machine is alive but unreachable)
+/// in the other. The supervisor must detect the silence, reactivate the
+/// lost objects from replicated snapshots at a bumped lease epoch, and
+/// the run must end **byte-identical** to the fault-free baseline: every
+/// acknowledged write applied exactly once, zero split-brain writes from
+/// the stale incarnation. The table reports the MTTR split into its
+/// detection and reactivation components, straight from the supervisor's
+/// recovery ledger.
+pub fn e11_self_healing() -> Vec<Table> {
+    use oopp::symbolic_addr;
+    use supervision::{DetectorConfig, RestartPolicy, Supervisor, SupervisorConfig};
+
+    const WORKERS: usize = 4;
+    const NOBJ: usize = 6;
+    const N: usize = 2048; // 16 KiB of f64 state per object
+    const SERVICE_US: u64 = 150;
+    const ROUNDS: usize = 12;
+    const CALLS: usize = 24;
+    const ZIPF_S: f64 = 0.9;
+    const HOMES: [usize; 3] = [1, 2, 3];
+
+    let mut cdf = Vec::with_capacity(NOBJ);
+    let mut acc = 0.0f64;
+    for k in 0..NOBJ {
+        acc += 1.0 / ((k + 1) as f64).powf(ZIPF_S);
+        cdf.push(acc);
+    }
+    let total = acc;
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Fault {
+        None,
+        Crash,
+        Partition,
+    }
+
+    struct Outcome {
+        data: Vec<f64>,
+        elapsed: Duration,
+        detect: Duration,
+        reactivate: Duration,
+        recovered: u64,
+        false_suspicions: u64,
+        fenced: u64,
+        write_retries: u64,
+        failed_reads: u64,
+    }
+
+    let run = |fault: Fault| -> Outcome {
+        // Single-shot 40 ms windows: on a zero-cost fabric a live machine
+        // answers in microseconds, and a call into a dead one must fail
+        // *faster than the lease*, or the blocked driver would starve the
+        // heartbeat pump and take the healthy machines down with it.
+        let call_policy = CallPolicy::no_retry(Duration::from_millis(40));
+        let (cluster, mut driver) = ClusterBuilder::new(WORKERS)
+            .register::<HotBlock>()
+            .sim_config(ClusterConfig::zero_cost(0))
+            .call_policy(call_policy)
+            .build();
+        let dir = driver.directory();
+        let heartbeat_interval = Duration::from_millis(10);
+        let config = SupervisorConfig {
+            heartbeat_interval,
+            lease_ttl: Duration::from_millis(250),
+            detector: DetectorConfig {
+                expected_interval: heartbeat_interval,
+                ..DetectorConfig::default()
+            },
+            restart: RestartPolicy::Retries {
+                max_retries: 2,
+                backoff: Backoff::fixed(Duration::from_millis(10)),
+            },
+        };
+        let mut sup =
+            Supervisor::new(config, HOMES.to_vec(), dir).with_metrics(cluster.metrics().clone());
+
+        // Object k lives on HOMES[k % 3]; the hottest (k = 0) on machine 1,
+        // which is the machine every fault variant kills.
+        let mut addrs = Vec::with_capacity(NOBJ);
+        for k in 0..NOBJ {
+            let home = HOMES[k % HOMES.len()];
+            let addr = symbolic_addr(&["e11", "HotBlock", &k.to_string()]);
+            let b = HotBlockClient::new_on(&mut driver, home, N).unwrap();
+            b.fill(&mut driver, (k + 1) as f64 * 0.5).unwrap();
+            let backups: Vec<usize> = HOMES.iter().copied().filter(|&m| m != home).collect();
+            sup.register(&mut driver, &addr, &b, &backups).unwrap();
+            addrs.push(addr);
+        }
+        const VICTIM: usize = 1;
+        let peers: Vec<usize> = (0..=WORKERS).filter(|&p| p != VICTIM).collect();
+        // Warm the detector with a few real heartbeat rounds.
+        for _ in 0..8 {
+            sup.step(&mut driver).unwrap();
+            driver.serve_for(Duration::from_millis(3));
+        }
+
+        let mut rng = 0xE11_2026u64;
+        let mut recoveries = Vec::new();
+        let mut write_retries = 0u64;
+        let mut failed_reads = 0u64;
+        let t0 = std::time::Instant::now();
+        for round in 0..ROUNDS {
+            if fault != Fault::None && round == ROUNDS / 2 {
+                // Checkpoint, then strike: every acknowledged write is in a
+                // replicated snapshot before the home goes dark, so the
+                // takeover incarnation resumes with nothing lost.
+                sup.checkpoint(&mut driver);
+                match fault {
+                    Fault::Crash => cluster.sim().faults().crash(VICTIM),
+                    Fault::Partition => cluster.sim().faults().isolate(VICTIM, &peers),
+                    Fault::None => unreachable!(),
+                }
+            }
+            for _ in 0..CALLS {
+                // A driver-resident supervisor is a cooperative controller:
+                // it must be stepped *within* the round too, or a long
+                // round of synchronous calls would starve the heartbeat
+                // pump past the lease and fail the whole cluster.
+                recoveries.extend(sup.step(&mut driver).unwrap());
+                let u = (splitmix(&mut rng) >> 11) as f64 / (1u64 << 53) as f64 * total;
+                let k = cdf.iter().position(|&c| u < c).unwrap_or(NOBJ - 1);
+                let target = HotBlockClient::from_ref(sup.current_of(&addrs[k]).unwrap());
+                // `work` is read-only; a call that dies with the machine is
+                // counted and dropped, not replayed (the client would
+                // re-issue it in a real system — either way no state moves).
+                if target.work(&mut driver, SERVICE_US).is_err() {
+                    failed_reads += 1;
+                    recoveries.extend(sup.step(&mut driver).unwrap());
+                }
+            }
+            // The one mutation per round must land exactly once: retry
+            // through re-resolution until an incarnation acknowledges it.
+            // At-most-once dedup plus epoch fencing make the retries safe.
+            let delta = round as f64 * 0.5 + 0.125;
+            let kw = round % NOBJ;
+            loop {
+                let target = HotBlockClient::from_ref(sup.current_of(&addrs[kw]).unwrap());
+                match target.bump(&mut driver, delta) {
+                    Ok(()) => break,
+                    Err(_) => {
+                        write_retries += 1;
+                        recoveries.extend(sup.step(&mut driver).unwrap());
+                        driver.serve_for(Duration::from_millis(5));
+                    }
+                }
+            }
+            recoveries.extend(sup.step(&mut driver).unwrap());
+        }
+        let elapsed = t0.elapsed();
+
+        // Heal and readmit, so shutdown finds every machine reachable.
+        match fault {
+            Fault::Crash => cluster.sim().faults().restart(VICTIM),
+            Fault::Partition => cluster.sim().faults().rejoin(VICTIM, &peers),
+            Fault::None => {}
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while fault != Fault::None && sup.is_dead(VICTIM) {
+            assert!(std::time::Instant::now() < deadline, "readmission stalled");
+            sup.step(&mut driver).unwrap();
+            driver.serve_for(Duration::from_millis(2));
+        }
+
+        let mut data = Vec::with_capacity(NOBJ * N);
+        for addr in &addrs {
+            let b = HotBlockClient::from_ref(sup.current_of(addr).unwrap());
+            data.extend(b.read(&mut driver).unwrap().0);
+        }
+        let fenced: u64 = (0..WORKERS)
+            .map(|m| driver.stats_of(m).unwrap().calls_fenced)
+            .sum();
+        let stats = sup.stats();
+        assert_eq!(stats.names_poisoned, 0, "supervision gave up: {stats:?}");
+        let recovered = recoveries.len() as u64;
+        let (detect, reactivate) = if recoveries.is_empty() {
+            (Duration::ZERO, Duration::ZERO)
+        } else {
+            let d: Duration = recoveries.iter().map(|r| r.detect).sum();
+            let t: Duration = recoveries.iter().map(|r| r.total).sum();
+            (d / recovered as u32, (t - d) / recovered as u32)
+        };
+        cluster.shutdown(driver);
+        Outcome {
+            data,
+            elapsed,
+            detect,
+            reactivate,
+            recovered,
+            false_suspicions: stats.false_suspicions,
+            fenced,
+            write_retries,
+            failed_reads,
+        }
+    };
+
+    let baseline = run(Fault::None);
+    let crashed = run(Fault::Crash);
+    let partitioned = run(Fault::Partition);
+
+    let mut t = Table::new(&[
+        "variant",
+        "wall ms",
+        "recovered",
+        "MTTR detect ms",
+        "MTTR reactivate ms",
+        "false suspicions",
+        "fenced calls",
+        "write retries",
+        "dropped reads",
+        "matches fault-free",
+    ]);
+    for (name, o) in [
+        ("fault-free", &baseline),
+        ("crash mid-Zipf", &crashed),
+        ("partition (false suspicion)", &partitioned),
+    ] {
+        t.row(&[
+            name.into(),
+            ms(o.elapsed),
+            o.recovered.to_string(),
+            format!("{:.1}", o.detect.as_secs_f64() * 1e3),
+            format!("{:.1}", o.reactivate.as_secs_f64() * 1e3),
+            o.false_suspicions.to_string(),
+            o.fenced.to_string(),
+            o.write_retries.to_string(),
+            o.failed_reads.to_string(),
+            if o.data == baseline.data { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    vec![t]
+}
+
 /// A1: wire codec throughput (the cost of the "compiler-generated"
 /// protocol layer itself, no network).
 pub fn a1_wire() -> Table {

@@ -61,6 +61,13 @@ pub enum RemoteError {
     /// only surfaces `Moved` when the forward itself points at a second
     /// forward — the signal to re-resolve through the naming directory.
     Moved { to: ObjRef },
+    /// The request carried an incarnation epoch below (or above) the one the
+    /// server holds for the target object — the caller's pointer refers to a
+    /// superseded incarnation, or the server itself has been superseded and
+    /// self-fenced. Either way the write must not happen here: the caller
+    /// re-resolves through the naming directory, which records the epoch of
+    /// the live incarnation (see DESIGN.md §10).
+    Fenced { current_epoch: u64 },
 }
 
 wire_enum!(RemoteError {
@@ -75,6 +82,7 @@ wire_enum!(RemoteError {
     8 => NoSuchSnapshot { key },
     9 => App { detail },
     10 => Moved { to },
+    11 => Fenced { current_epoch },
 });
 
 impl RemoteError {
@@ -140,6 +148,13 @@ impl fmt::Display for RemoteError {
                     to.machine, to.object
                 )
             }
+            RemoteError::Fenced { current_epoch } => {
+                write!(
+                    f,
+                    "request fenced: object is at incarnation epoch {current_epoch} \
+                     (stale or superseded pointer; re-resolve)"
+                )
+            }
         }
     }
 }
@@ -203,6 +218,7 @@ mod tests {
                     object: 41,
                 },
             },
+            RemoteError::Fenced { current_epoch: 7 },
         ] {
             assert_eq!(from_bytes::<RemoteError>(&to_bytes(&e)).unwrap(), e);
         }

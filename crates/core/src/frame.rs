@@ -29,6 +29,13 @@ pub enum Frame {
         /// Flight-recorder identity (all-zero when tracing is off; costs
         /// two bytes on the wire then — both fields are varints).
         trace: TraceCtx,
+        /// Caller's believed incarnation epoch for `target`. `0` means
+        /// "unfenced" — the object has never been placed under supervision
+        /// and no epoch checks apply (one varint byte on the wire). A
+        /// nonzero epoch below the server's is rejected with
+        /// [`RemoteError::Fenced`](crate::RemoteError::Fenced); above it,
+        /// the *server* is the stale party and fences itself.
+        epoch: u64,
     },
     /// The outcome of a previous request.
     Response {
@@ -40,8 +47,9 @@ pub enum Frame {
 }
 
 wire_enum!(Frame {
-    // `trace` is appended last: wire_enum fields are positional.
-    0 => Request { req_id, reply_to, target, payload, trace },
+    // wire_enum fields are positional: `trace` and `epoch` were appended
+    // in the order they were introduced.
+    0 => Request { req_id, reply_to, target, payload, trace, epoch },
     1 => Response { req_id, result },
 });
 
@@ -99,6 +107,28 @@ pub enum DaemonCall {
     /// Per-object served-call counters, the placement subsystem's load
     /// signal. Returns `Vec<(ObjectId, u64)>` sorted by object id.
     Loads,
+    /// Supervisor liveness beacon. Renews this machine's serving lease for
+    /// `ttl_millis` (see DESIGN.md §10): while the lease is live the
+    /// machine may serve its supervised objects; once it expires the
+    /// machine self-fences them. Returns `()`.
+    Heartbeat { ttl_millis: u64 },
+    /// Place `object` under epoch fencing at `epoch` (supervision
+    /// registration, or a takeover bumping the incarnation). Returns `()`.
+    SetEpoch { object: ObjectId, epoch: u64 },
+    /// Takeover half of a recovery: restore the snapshot stored under `key`
+    /// as a fresh process *and* register it at `epoch` atomically, so no
+    /// call can reach the new incarnation unfenced. Returns the new
+    /// [`ObjectId`].
+    ActivateFenced { key: String, epoch: u64 },
+    /// Fence a (possibly still live) old incarnation after a takeover:
+    /// destroy the local object if present, record `epoch` as its fence,
+    /// and install a forwarding stub toward `to` so stale pointers learn
+    /// the new address via the `Moved` chase. Returns `()`.
+    Fence {
+        object: ObjectId,
+        epoch: u64,
+        to: ObjRef,
+    },
 }
 
 /// A quiesced object's portable identity: what [`DaemonCall::MigrateOut`]
@@ -139,6 +169,11 @@ pub struct NodeStats {
     pub migrated_in: u64,
     /// Objects this machine migrated away (forwarding stubs installed).
     pub migrated_out: u64,
+    /// Supervisor heartbeats this machine has answered (lease renewals).
+    pub heartbeats_served: u64,
+    /// Requests rejected with [`RemoteError::Fenced`] — stale-epoch
+    /// callers plus calls refused because the serving lease had expired.
+    pub calls_fenced: u64,
 }
 
 wire_struct!(NodeStats {
@@ -151,7 +186,9 @@ wire_struct!(NodeStats {
     dup_suppressed,
     calls_forwarded,
     migrated_in,
-    migrated_out
+    migrated_out,
+    heartbeats_served,
+    calls_fenced
 });
 
 impl DaemonCall {
@@ -213,6 +250,26 @@ impl DaemonCall {
                 wire::Wire::encode(state, &mut w);
             }
             DaemonCall::Loads => w.put_len_prefixed(b"loads"),
+            DaemonCall::Heartbeat { ttl_millis } => {
+                w.put_len_prefixed(b"heartbeat");
+                wire::Wire::encode(ttl_millis, &mut w);
+            }
+            DaemonCall::SetEpoch { object, epoch } => {
+                w.put_len_prefixed(b"set_epoch");
+                wire::Wire::encode(object, &mut w);
+                wire::Wire::encode(epoch, &mut w);
+            }
+            DaemonCall::ActivateFenced { key, epoch } => {
+                w.put_len_prefixed(b"activate_fenced");
+                wire::Wire::encode(key, &mut w);
+                wire::Wire::encode(epoch, &mut w);
+            }
+            DaemonCall::Fence { object, epoch, to } => {
+                w.put_len_prefixed(b"fence");
+                wire::Wire::encode(object, &mut w);
+                wire::Wire::encode(epoch, &mut w);
+                wire::Wire::encode(to, &mut w);
+            }
         }
         w.into_bytes()
     }
@@ -232,6 +289,7 @@ mod tests {
                 target: 7,
                 payload: Bytes(b"read".to_vec()),
                 trace: TraceCtx::default(),
+                epoch: 0,
             },
             Frame::Request {
                 req_id: 44,
@@ -242,6 +300,7 @@ mod tests {
                     trace_id: 0x1_0000_0001.into(),
                     span: 0x2_0000_0007.into(),
                 },
+                epoch: 12,
             },
             Frame::Response {
                 req_id: 42,
@@ -287,6 +346,8 @@ mod tests {
             calls_forwarded: 7,
             migrated_in: 8,
             migrated_out: 9,
+            heartbeats_served: 10,
+            calls_fenced: 11,
         };
         assert_eq!(from_bytes::<NodeStats>(&to_bytes(&s)).unwrap(), s);
     }
@@ -326,6 +387,48 @@ mod tests {
     }
 
     #[test]
+    fn supervision_calls_use_method_name_framing() {
+        let payload = DaemonCall::Heartbeat { ttl_millis: 250 }.encode();
+        let mut r = Reader::new(&payload);
+        assert_eq!(String::decode(&mut r).unwrap(), "heartbeat");
+        assert_eq!(u64::decode(&mut r).unwrap(), 250);
+        r.expect_end().unwrap();
+
+        let payload = DaemonCall::ActivateFenced {
+            key: "oopp://backup/7".into(),
+            epoch: 3,
+        }
+        .encode();
+        let mut r = Reader::new(&payload);
+        assert_eq!(String::decode(&mut r).unwrap(), "activate_fenced");
+        assert_eq!(String::decode(&mut r).unwrap(), "oopp://backup/7");
+        assert_eq!(u64::decode(&mut r).unwrap(), 3);
+        r.expect_end().unwrap();
+
+        let payload = DaemonCall::Fence {
+            object: 7,
+            epoch: 3,
+            to: ObjRef {
+                machine: 2,
+                object: 19,
+            },
+        }
+        .encode();
+        let mut r = Reader::new(&payload);
+        assert_eq!(String::decode(&mut r).unwrap(), "fence");
+        assert_eq!(u64::decode(&mut r).unwrap(), 7);
+        assert_eq!(u64::decode(&mut r).unwrap(), 3);
+        assert_eq!(
+            ObjRef::decode(&mut r).unwrap(),
+            ObjRef {
+                machine: 2,
+                object: 19
+            }
+        );
+        r.expect_end().unwrap();
+    }
+
+    #[test]
     fn migration_payload_roundtrips() {
         let p = MigrationPayload {
             class: "Counter".into(),
@@ -359,6 +462,7 @@ mod tests {
             target: 1,
             payload,
             trace: TraceCtx::default(),
+            epoch: 0,
         };
         let encoded = to_bytes(&f);
         assert!(encoded.len() < 10_000 + 32, "framing overhead too large");
@@ -372,6 +476,7 @@ mod tests {
             target: 1,
             payload: Bytes(b"ping".to_vec()),
             trace,
+            epoch: 0,
         };
         let untraced = to_bytes(&mk(TraceCtx::default()));
         let traced = to_bytes(&mk(TraceCtx {

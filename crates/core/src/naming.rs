@@ -32,10 +32,21 @@ pub fn symbolic_addr(segments: &[&str]) -> String {
     s
 }
 
+/// One directory entry: where the name points, which incarnation epoch
+/// that pointer is at (0 = never supervised), and whether the supervisor
+/// has given up on the name — a give-up poisons the name so resolvers
+/// fail fast instead of re-activating an unrecoverable object forever.
+#[derive(Debug, Clone, Copy)]
+struct LeaseRecord {
+    target: ObjRef,
+    epoch: u64,
+    poisoned: bool,
+}
+
 /// Server state of the cluster name service.
 #[derive(Debug, Default)]
 pub struct Directory {
-    entries: BTreeMap<String, ObjRef>,
+    entries: BTreeMap<String, LeaseRecord>,
 }
 
 remote_class! {
@@ -43,9 +54,10 @@ remote_class! {
     /// 0; get it from [`Driver::directory`](crate::Driver::directory)).
     class Directory {
         ctor();
-        /// Bind `name` to a live object. Rebinding replaces the old entry.
+        /// Bind `name` to a live object. Rebinding replaces the old entry
+        /// (its epoch, if any, is preserved; a poisoned name is revived).
         fn bind(&mut self, name: String, target: ObjRef) -> ();
-        /// Resolve a name, if bound.
+        /// Resolve a name, if bound and not poisoned.
         fn lookup(&mut self, name: String) -> Option<ObjRef>;
         /// Remove a binding; true if it existed.
         fn unbind(&mut self, name: String) -> bool;
@@ -53,6 +65,21 @@ remote_class! {
         fn list(&mut self, prefix: String) -> Vec<String>;
         /// Number of bindings.
         fn len(&mut self) -> usize;
+        /// Full lease record of a name: `(target, epoch, poisoned)`.
+        fn lease_of(&mut self, name: String) -> Option<(ObjRef, u64, bool)>;
+        /// Atomically bump a name's epoch — the takeover arbiter. Succeeds
+        /// (returning the new epoch) only when the recorded epoch still
+        /// equals `expect`: of two racing claimants exactly one wins, and
+        /// the loser learns the epoch moved under it. Directory calls
+        /// serialize (one process per object), which makes this a CAS.
+        fn claim(&mut self, name: String, expect: u64) -> Option<u64>;
+        /// Bind `name` to a reactivated incarnation at `epoch`. Refused
+        /// (false) if the record has meanwhile advanced past `epoch` —
+        /// a later takeover must never be overwritten by an earlier one.
+        fn bind_fenced(&mut self, name: String, target: ObjRef, epoch: u64) -> bool;
+        /// Mark a name as given-up: resolvers see the poison instead of
+        /// re-activating an unrecoverable object forever.
+        fn poison(&mut self, name: String) -> ();
     }
 }
 
@@ -63,12 +90,24 @@ impl Directory {
     }
 
     fn bind(&mut self, _ctx: &mut NodeCtx, name: String, target: ObjRef) -> RemoteResult<()> {
-        self.entries.insert(name, target);
+        let epoch = self.entries.get(&name).map(|r| r.epoch).unwrap_or(0);
+        self.entries.insert(
+            name,
+            LeaseRecord {
+                target,
+                epoch,
+                poisoned: false,
+            },
+        );
         Ok(())
     }
 
     fn lookup(&mut self, _ctx: &mut NodeCtx, name: String) -> RemoteResult<Option<ObjRef>> {
-        Ok(self.entries.get(&name).copied())
+        Ok(self
+            .entries
+            .get(&name)
+            .filter(|r| !r.poisoned)
+            .map(|r| r.target))
     }
 
     fn unbind(&mut self, _ctx: &mut NodeCtx, name: String) -> RemoteResult<bool> {
@@ -86,6 +125,68 @@ impl Directory {
 
     fn len(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<usize> {
         Ok(self.entries.len())
+    }
+
+    fn lease_of(
+        &mut self,
+        _ctx: &mut NodeCtx,
+        name: String,
+    ) -> RemoteResult<Option<(ObjRef, u64, bool)>> {
+        Ok(self
+            .entries
+            .get(&name)
+            .map(|r| (r.target, r.epoch, r.poisoned)))
+    }
+
+    fn claim(
+        &mut self,
+        _ctx: &mut NodeCtx,
+        name: String,
+        expect: u64,
+    ) -> RemoteResult<Option<u64>> {
+        match self.entries.get_mut(&name) {
+            Some(r) if !r.poisoned && r.epoch == expect => {
+                r.epoch += 1;
+                Ok(Some(r.epoch))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn bind_fenced(
+        &mut self,
+        _ctx: &mut NodeCtx,
+        name: String,
+        target: ObjRef,
+        epoch: u64,
+    ) -> RemoteResult<bool> {
+        match self.entries.get_mut(&name) {
+            Some(r) if r.epoch <= epoch => {
+                r.target = target;
+                r.epoch = epoch;
+                r.poisoned = false;
+                Ok(true)
+            }
+            Some(_) => Ok(false),
+            None => {
+                self.entries.insert(
+                    name,
+                    LeaseRecord {
+                        target,
+                        epoch,
+                        poisoned: false,
+                    },
+                );
+                Ok(true)
+            }
+        }
+    }
+
+    fn poison(&mut self, _ctx: &mut NodeCtx, name: String) -> RemoteResult<()> {
+        if let Some(r) = self.entries.get_mut(&name) {
+            r.poisoned = true;
+        }
+        Ok(())
     }
 }
 
@@ -152,25 +253,83 @@ pub fn resolve_or_activate_supervised<C: crate::RemoteClient>(
         }
         ctx.invalidate_resolve(addr);
     }
-    if let Some(r) = dir.lookup(ctx, addr.to_string())? {
-        if ctx.ping(r.machine).is_ok() {
-            ctx.cache_resolve(addr, r);
-            return Ok(C::from_ref(r));
-        }
-        dir.unbind(ctx, addr.to_string())?;
-    }
+    // Recovery is arbitrated through the name's lease epoch: the
+    // directory's `claim` is a CAS, so of N clients that all watched the
+    // home machine die, exactly one bumps the epoch and activates a
+    // replica. A loser's claim fails — the epoch moved under it — and it
+    // never claims again in this invocation (claiming the *bumped* epoch
+    // would re-open the double-activation it just lost); it waits for the
+    // winner's `bind_fenced` and adopts that incarnation, or gives up
+    // with [`Fenced`](crate::RemoteError::Fenced) so the caller
+    // re-resolves. Without the claim, both clients would activate and the
+    // name would flap between two live copies (split-brain).
     let mut last_err = None;
-    for &m in candidates {
-        if ctx.ping(m).is_err() {
-            continue;
-        }
-        match ctx.activate::<C>(m, addr) {
-            Ok(client) => {
-                dir.bind(ctx, addr.to_string(), client.obj_ref())?;
-                ctx.cache_resolve(addr, client.obj_ref());
-                return Ok(client);
+    let mut may_claim = true;
+    for _ in 0..6 {
+        match dir.lease_of(ctx, addr.to_string())? {
+            Some((_, _, true)) => {
+                // The supervisor gave up on this name; don't dig it up.
+                return Err(crate::RemoteError::app(format!(
+                    "{addr}: name is poisoned (supervision gave up)"
+                )));
             }
-            Err(e) => last_err = Some(e),
+            Some((r, epoch, false)) => {
+                if ctx.ping(r.machine).is_ok() {
+                    ctx.note_epoch(r, epoch);
+                    ctx.cache_resolve(addr, r);
+                    return Ok(C::from_ref(r));
+                }
+                if may_claim {
+                    may_claim = false;
+                    if let Some(new_epoch) = dir.claim(ctx, addr.to_string(), epoch)? {
+                        for &m in candidates {
+                            if m == r.machine || ctx.ping(m).is_err() {
+                                continue;
+                            }
+                            match ctx.activate_fenced::<C>(m, addr, new_epoch) {
+                                Ok(client) => {
+                                    dir.bind_fenced(
+                                        ctx,
+                                        addr.to_string(),
+                                        client.obj_ref(),
+                                        new_epoch,
+                                    )?;
+                                    ctx.cache_resolve(addr, client.obj_ref());
+                                    return Ok(client);
+                                }
+                                Err(e) => last_err = Some(e),
+                            }
+                        }
+                        // We hold the claim but found no live candidate;
+                        // surface the activation failure.
+                        break;
+                    }
+                }
+                // Claim lost (now or in an earlier round): a concurrent
+                // takeover is in flight. Serve for a beat to let the
+                // winner's bind land, then re-read.
+                last_err = Some(crate::RemoteError::Fenced {
+                    current_epoch: epoch,
+                });
+                ctx.serve_for(std::time::Duration::from_millis(20));
+            }
+            None => {
+                // Never bound: first activation, no incarnation to fence.
+                for &m in candidates {
+                    if ctx.ping(m).is_err() {
+                        continue;
+                    }
+                    match ctx.activate::<C>(m, addr) {
+                        Ok(client) => {
+                            dir.bind(ctx, addr.to_string(), client.obj_ref())?;
+                            ctx.cache_resolve(addr, client.obj_ref());
+                            return Ok(client);
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                break;
+            }
         }
     }
     Err(last_err.unwrap_or(crate::RemoteError::NoSuchSnapshot {

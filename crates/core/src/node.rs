@@ -51,6 +51,8 @@ struct IncomingReq {
     /// Trace identity from the request frame (zeros when untraced).
     trace_id: u64,
     span: u64,
+    /// Caller's believed incarnation epoch (0 = unfenced).
+    epoch: u64,
 }
 
 enum ServeOutcome {
@@ -92,6 +94,8 @@ struct Stats {
     calls_forwarded: u64,
     migrated_in: u64,
     migrated_out: u64,
+    heartbeats_served: u64,
+    calls_fenced: u64,
 }
 
 /// Bound on the client-side forwarding cache; clearing it on overflow only
@@ -135,6 +139,20 @@ pub struct NodeCtx {
     /// Served calls per live object — the placement subsystem's per-object
     /// load signal (daemon method `loads`).
     object_calls: HashMap<ObjectId, u64>,
+    /// Server-side incarnation epochs of supervised objects. A request
+    /// whose nonzero epoch is below the entry is rejected with
+    /// [`RemoteError::Fenced`]; one *above* it proves this node missed a
+    /// takeover, so the local incarnation self-fences (see DESIGN.md §10).
+    epochs: HashMap<ObjectId, u64>,
+    /// Serving lease granted by supervisor heartbeats. `None` until the
+    /// first heartbeat arrives (unsupervised machines never check leases);
+    /// once granted, supervised objects are only served while the lease is
+    /// live — an isolated machine self-fences when it expires.
+    lease_deadline: Option<Instant>,
+    /// Client-side epoch beliefs: the incarnation epoch this node last
+    /// learned for a supervised address (from the naming directory or a
+    /// `Fenced` reply). Stamped onto outgoing frames.
+    believed_epochs: HashMap<ObjRef, u64>,
     outstanding: HashMap<u64, OutboundCall>,
     dedup: DedupWindow,
     current_call: Option<CallInfo>,
@@ -193,6 +211,9 @@ impl NodeCtx {
             moved_cache: HashMap::new(),
             resolve_cache: HashMap::new(),
             object_calls: HashMap::new(),
+            epochs: HashMap::new(),
+            lease_deadline: None,
+            believed_epochs: HashMap::new(),
             outstanding: HashMap::new(),
             dedup: DedupWindow::default(),
             current_call: None,
@@ -345,6 +366,9 @@ impl NodeCtx {
             target: target.object,
             payload: Bytes(payload),
             trace,
+            // Fence stamp: 0 (no check) unless this node has learned an
+            // incarnation epoch for the target address.
+            epoch: self.believed_epochs.get(&target).copied().unwrap_or(0),
         };
         let bytes = wire::to_bytes(&frame);
         if let (Some(tracer), Some(t)) = (&self.tracer, &call_trace) {
@@ -421,6 +445,51 @@ impl NodeCtx {
         self.moved_cache.remove(&old);
     }
 
+    /// Drop a learned epoch belief so the next call to `target` can be
+    /// stamped stale again. Benchmarks and tests use this to measure the
+    /// fence-bounce path (epochs are otherwise forward-only, see
+    /// [`note_epoch`](NodeCtx::note_epoch)); production code never needs
+    /// it.
+    pub fn forget_epoch(&mut self, target: ObjRef) {
+        self.believed_epochs.remove(&target);
+    }
+
+    /// Drop every client-side fact that points **at** `machine`: learned
+    /// forwards whose replacement lives there and cached symbolic
+    /// resolutions. Called when a machine is declared dead, so a chase
+    /// never hops *through* a corpse — the next call re-resolves and finds
+    /// the reactivated incarnation instead of timing out on the old one.
+    pub fn purge_moves_to(&mut self, machine: MachineId) {
+        self.moved_cache.retain(|_, to| to.machine != machine);
+        self.resolve_cache.retain(|_, r| r.machine != machine);
+    }
+
+    /// Record the incarnation epoch this node believes `target` is at.
+    /// Epochs only move forward; outgoing frames to `target` are stamped
+    /// with the recorded value (0 = never supervised, no fencing).
+    pub fn note_epoch(&mut self, target: ObjRef, epoch: u64) {
+        if epoch == 0 || target.object == DAEMON {
+            return;
+        }
+        if self.believed_epochs.len() >= MOVED_CACHE_CAPACITY
+            && !self.believed_epochs.contains_key(&target)
+        {
+            // Losing a belief is safe: an unstamped (epoch-0) frame skips
+            // the staleness check but an old incarnation is still fenced
+            // server-side by its lease and its own epoch table.
+            self.believed_epochs.clear();
+        }
+        let e = self.believed_epochs.entry(target).or_insert(0);
+        if epoch > *e {
+            *e = epoch;
+        }
+    }
+
+    /// The epoch this node last learned for `target` (0 = none).
+    pub fn believed_epoch(&self, target: ObjRef) -> u64 {
+        self.believed_epochs.get(&target).copied().unwrap_or(0)
+    }
+
     /// The reliability policy applied by [`wait_raw`](NodeCtx::wait_raw).
     pub fn call_policy(&self) -> CallPolicy {
         self.policy
@@ -441,7 +510,7 @@ impl NodeCtx {
     /// server's dedup window guarantees at-most-once execution). When the
     /// budget is exhausted the call fails with an enriched
     /// [`RemoteError::Timeout`] naming the target and attempt count.
-    pub fn wait_raw(&mut self, req_id: u64) -> RemoteResult<Vec<u8>> {
+    pub fn wait_raw(&mut self, mut req_id: u64) -> RemoteResult<Vec<u8>> {
         let started = Instant::now();
         let mut attempts: u32 = 1;
         let mut deadline = started + self.policy.timeout;
@@ -475,7 +544,29 @@ impl NodeCtx {
                         }
                     }
                 }
+                // A fence rejection that teaches a *newer* epoch than the
+                // frame carried means the pointer was stale, not the
+                // call: retry transparently at the taught epoch, under a
+                // fresh request id (the server's dedup window cached the
+                // Fenced verdict for the old one). Safe for at-most-once:
+                // a fence is a rejection — the call never executed.
+                if let Err(RemoteError::Fenced { current_epoch }) = &result {
+                    let taught = *current_epoch;
+                    if let Some(fresh) = self.refence_call(req_id, taught) {
+                        req_id = fresh;
+                        attempts = 1;
+                        deadline = Instant::now() + self.policy.timeout;
+                        continue;
+                    }
+                }
                 let call = self.outstanding.remove(&req_id);
+                // A fence at the frame's own epoch (lapsed lease,
+                // poisoned home) surfaces to the caller; still remember
+                // the incarnation epoch so the caller's next attempt
+                // (after re-resolving) is stamped correctly.
+                if let (Err(RemoteError::Fenced { current_epoch }), Some(c)) = (&result, &call) {
+                    self.note_epoch(c.target, *current_epoch);
+                }
                 if let (Some(tracer), Some(call)) = (&self.tracer, &call) {
                     if let Some(t) = &call.trace {
                         let bytes = result.as_ref().map(|b| b.len()).unwrap_or(0);
@@ -569,12 +660,14 @@ impl NodeCtx {
         let Some(call) = self.outstanding.get_mut(&req_id) else {
             return false;
         };
+        let believed = self.believed_epochs.get(&to).copied().unwrap_or(0);
         let rebuilt = match wire::from_bytes::<Frame>(&call.bytes) {
             Ok(Frame::Request {
                 req_id,
                 reply_to,
                 payload,
                 trace,
+                epoch,
                 ..
             }) => Frame::Request {
                 req_id,
@@ -582,6 +675,10 @@ impl NodeCtx {
                 target: to.object,
                 payload,
                 trace,
+                // A chase may cross a takeover: carry the freshest epoch
+                // this node knows for the new address so the redirected
+                // frame is not fenced for being stale.
+                epoch: epoch.max(believed),
             },
             _ => return false,
         };
@@ -605,6 +702,69 @@ impl NodeCtx {
         }
         let _ = self.net.send(self.machine, to.machine, bytes);
         true
+    }
+
+    /// Re-issue the outstanding call `old_id` stamped with epoch `taught`,
+    /// under a **fresh** request id — the server's dedup window has cached
+    /// the `Fenced` verdict for the old id, so a same-id retry would only
+    /// replay the rejection. Returns the new id, or `None` when the call
+    /// must not be retried: the frame already carried `taught` or newer
+    /// (the fence names the *current* incarnation — a lapsed lease or a
+    /// poisoned home — and the caller has to re-resolve), or the stored
+    /// frame cannot be rebuilt. Each retry strictly raises the frame's
+    /// epoch, so the upgrade loop terminates.
+    fn refence_call(&mut self, old_id: u64, taught: u64) -> Option<u64> {
+        let call = self.outstanding.get(&old_id)?;
+        if call.target.object == DAEMON || taught == 0 {
+            return None;
+        }
+        let target = call.target;
+        let (reply_to, target_obj, payload, trace, old_epoch) =
+            match wire::from_bytes::<Frame>(&call.bytes) {
+                Ok(Frame::Request {
+                    reply_to,
+                    target,
+                    payload,
+                    trace,
+                    epoch,
+                    ..
+                }) => (reply_to, target, payload, trace, epoch),
+                _ => return None,
+            };
+        if old_epoch >= taught {
+            return None;
+        }
+        self.note_epoch(target, taught);
+        let new_id = self.next_req_id;
+        self.next_req_id += 1;
+        let frame = Frame::Request {
+            req_id: new_id,
+            reply_to,
+            target: target_obj,
+            payload,
+            trace,
+            epoch: taught,
+        };
+        let bytes = wire::to_bytes(&frame);
+        let mut call = self.outstanding.remove(&old_id)?;
+        call.bytes = bytes.clone();
+        let trace = call.trace.clone();
+        self.outstanding.insert(new_id, call);
+        if let (Some(tracer), Some(t)) = (&self.tracer, &trace) {
+            tracer.record(
+                EventKind::ClientForward,
+                target.machine,
+                t.trace_id,
+                t.span,
+                t.parent_span,
+                new_id,
+                1,
+                bytes.len() as u32,
+                t.method.clone(),
+            );
+        }
+        let _ = self.net.send(self.machine, target.machine, bytes);
+        Some(new_id)
     }
 
     // ------------------------------------------------------------------
@@ -710,6 +870,72 @@ impl NodeCtx {
             Wire::encode(&key.to_string(), w);
         })?;
         Ok(C::from_ref(ObjRef { machine, object }))
+    }
+
+    /// Takeover activation: restore the snapshot under `key` on `machine`
+    /// with the incarnation registered at `epoch` before any call can
+    /// reach it. This node also records the epoch belief so its own calls
+    /// to the fresh incarnation are stamped correctly.
+    pub fn activate_fenced<C: RemoteClient>(
+        &mut self,
+        machine: MachineId,
+        key: &str,
+        epoch: u64,
+    ) -> RemoteResult<C> {
+        let r = self.activate_fenced_raw(machine, key, epoch)?;
+        Ok(C::from_ref(r))
+    }
+
+    /// Untyped [`activate_fenced`](NodeCtx::activate_fenced) — the
+    /// supervisor's form, which knows objects by name and snapshot rather
+    /// than by compile-time class.
+    pub fn activate_fenced_raw(
+        &mut self,
+        machine: MachineId,
+        key: &str,
+        epoch: u64,
+    ) -> RemoteResult<ObjRef> {
+        let object: u64 = self.call_method(ObjRef::daemon(machine), "activate_fenced", |w| {
+            Wire::encode(&key.to_string(), w);
+            Wire::encode(&epoch, w);
+        })?;
+        let r = ObjRef { machine, object };
+        self.note_epoch(r, epoch);
+        Ok(r)
+    }
+
+    /// Register `r` for epoch fencing at `epoch` on its home machine
+    /// (supervision enrollment; see DESIGN.md §10).
+    pub fn set_epoch_of(&mut self, r: ObjRef, epoch: u64) -> RemoteResult<()> {
+        let out: RemoteResult<()> = self.call_method(ObjRef::daemon(r.machine), "set_epoch", |w| {
+            Wire::encode(&r.object, w);
+            Wire::encode(&epoch, w);
+        });
+        if out.is_ok() {
+            self.note_epoch(r, epoch);
+        }
+        out
+    }
+
+    /// Fence the (possibly still live) incarnation at `old` after a
+    /// takeover: its machine destroys the local copy, records `epoch`,
+    /// and forwards stale pointers to `to`.
+    pub fn fence_object(&mut self, old: ObjRef, epoch: u64, to: ObjRef) -> RemoteResult<()> {
+        self.call_method(ObjRef::daemon(old.machine), "fence", |w| {
+            Wire::encode(&old.object, w);
+            Wire::encode(&epoch, w);
+            Wire::encode(&to, w);
+        })
+    }
+
+    /// Fire one supervisor heartbeat at `machine` without waiting: the
+    /// reply (collected with [`try_take_reply`](NodeCtx::try_take_reply))
+    /// is the detector's liveness sample, and its arrival at the far side
+    /// renewed that machine's serving lease for `ttl_millis`.
+    pub fn start_heartbeat(&mut self, machine: MachineId, ttl_millis: u64) -> RemoteResult<u64> {
+        self.start_method_raw(ObjRef::daemon(machine), "heartbeat", |w| {
+            Wire::encode(&ttl_millis, w);
+        })
     }
 
     /// Remove a stored snapshot; true if one existed.
@@ -899,6 +1125,20 @@ impl NodeCtx {
         self.call_method(ObjRef::daemon(machine), "loads", |_| {})
     }
 
+    /// Record a supervision lifecycle marker in the flight recorder (no-op
+    /// when tracing is off). `peer` is the machine the event is about;
+    /// `bytes` carries the marker's scalar payload (phi ×1000 for
+    /// suspicion events, MTTR in microseconds for reactivations).
+    pub fn supervision_marker(&mut self, kind: EventKind, peer: MachineId, bytes: u32) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let span = self.alloc_span();
+        if let Some(tracer) = &self.tracer {
+            tracer.record(kind, peer, span, span, 0, 0, 0, bytes, "supervise".into());
+        }
+    }
+
     // ------------------------------------------------------------------
     // Resolution cache (used by crate::naming's supervised resolution)
     // ------------------------------------------------------------------
@@ -955,6 +1195,37 @@ impl NodeCtx {
         }
     }
 
+    /// Drain whatever is already in the inbox without blocking. The
+    /// supervisor's step loop interleaves this with its own bookkeeping:
+    /// heartbeat replies land in the reply table for
+    /// [`try_take_reply`](NodeCtx::try_take_reply) while any requests
+    /// aimed at this node still get served.
+    pub fn poll(&mut self) {
+        while let Ok(pkt) = self.inbox.try_recv() {
+            self.handle_packet(pkt);
+        }
+        self.drain_deferred();
+    }
+
+    /// Take the reply for `req_id` if it has arrived — the non-blocking
+    /// sibling of [`wait_raw`](NodeCtx::wait_raw), for calls issued with
+    /// [`start_method_raw`](NodeCtx::start_method_raw) whose latency the
+    /// caller measures itself (heartbeats). No retransmission, no `Moved`
+    /// chase: absent replies are simply not there yet.
+    pub fn try_take_reply(&mut self, req_id: u64) -> Option<RemoteResult<Vec<u8>>> {
+        let result = self.replies.remove(&req_id)?;
+        self.outstanding.remove(&req_id);
+        Some(result)
+    }
+
+    /// Abandon an in-flight call: its reply, if it ever arrives, is
+    /// dropped on the floor instead of accumulating. Heartbeats to a dead
+    /// machine are abandoned once the detector has made up its mind.
+    pub fn abandon_call(&mut self, req_id: u64) {
+        self.outstanding.remove(&req_id);
+        self.replies.remove(&req_id);
+    }
+
     /// Number of live objects on this node (excluding the daemon).
     pub fn objects_live(&self) -> usize {
         self.objects.len()
@@ -976,6 +1247,8 @@ impl NodeCtx {
             calls_forwarded: self.stats.calls_forwarded,
             migrated_in: self.stats.migrated_in,
             migrated_out: self.stats.migrated_out,
+            heartbeats_served: self.stats.heartbeats_served,
+            calls_fenced: self.stats.calls_fenced,
         }
     }
 
@@ -1003,6 +1276,7 @@ impl NodeCtx {
                 target,
                 payload,
                 trace,
+                epoch,
             } => {
                 // The admit-verdict events all want the method name; parse
                 // it from the payload head only when tracing is on.
@@ -1073,6 +1347,7 @@ impl NodeCtx {
                     payload: payload.0,
                     trace_id: trace.trace_id.0,
                     span: trace.span.0,
+                    epoch,
                 };
                 match self.try_serve(req) {
                     ServeOutcome::Served => {}
@@ -1096,7 +1371,12 @@ impl NodeCtx {
                 }
             }
             Frame::Response { req_id, result } => {
-                self.replies.insert(req_id, result.map(|b| b.0));
+                // Replies for calls nobody is waiting on anymore (timed
+                // out, abandoned) are dropped, not hoarded: the reply
+                // table only ever holds answers someone can still take.
+                if self.outstanding.contains_key(&req_id) {
+                    self.replies.insert(req_id, result.map(|b| b.0));
+                }
             }
         }
     }
@@ -1128,6 +1408,56 @@ impl NodeCtx {
     }
 
     fn serve_object(&mut self, req: IncomingReq) -> ServeOutcome {
+        // Epoch fence (supervised objects only — `epochs` has an entry).
+        if let Some(&current) = self.epochs.get(&req.target) {
+            if req.epoch != 0 && req.epoch < current {
+                // Stale caller: its pointer names a superseded
+                // incarnation. Never execute; teach it the live epoch.
+                self.stats.calls_fenced += 1;
+                let err = RemoteError::Fenced {
+                    current_epoch: current,
+                };
+                self.send_response(req.reply_to, req.req_id, Err(err));
+                return ServeOutcome::Served;
+            }
+            if req.epoch > current {
+                // Stale *server*: the caller carries proof of a takeover
+                // this node never saw (it was partitioned through the
+                // recovery). Quarantine the superseded incarnation —
+                // defense in depth on top of the lease — and make the
+                // caller re-resolve.
+                if matches!(self.objects.get(&req.target), Some(None)) {
+                    return ServeOutcome::Defer(req); // mid-call: fence after
+                }
+                self.objects.remove(&req.target);
+                self.object_calls.remove(&req.target);
+                self.epochs.insert(req.target, req.epoch);
+                self.stats.calls_fenced += 1;
+                let err = RemoteError::Fenced {
+                    current_epoch: req.epoch,
+                };
+                self.send_response(req.reply_to, req.req_id, Err(err));
+                return ServeOutcome::Served;
+            }
+            // Lease self-fence: a supervised object is only served while
+            // the supervisor's lease is live. An isolated machine stops
+            // serving these *itself*, which is what makes takeover safe
+            // even when the suspicion was false (DESIGN.md §10). Only
+            // *live* objects are gated: a forwarding stub is immutable
+            // routing metadata, and answering `Moved` while the lease is
+            // lapsed cannot split the brain — it is how stale pointers
+            // heal toward the takeover incarnation.
+            if self.objects.contains_key(&req.target)
+                && matches!(self.lease_deadline, Some(d) if Instant::now() > d)
+            {
+                self.stats.calls_fenced += 1;
+                let err = RemoteError::Fenced {
+                    current_epoch: current,
+                };
+                self.send_response(req.reply_to, req.req_id, Err(err));
+                return ServeOutcome::Served;
+            }
+        }
         // Check the object out of the table for the duration of the call:
         // one process per object means one call at a time.
         let mut obj = match self.objects.get_mut(&req.target) {
@@ -1143,9 +1473,18 @@ impl NodeCtx {
                         self.stats.calls_forwarded += 1;
                         RemoteError::Moved { to }
                     }
-                    None => RemoteError::NoSuchObject {
-                        machine: self.machine,
-                        object: req.target,
+                    // A fenced id with no forwarding stub (quarantined by
+                    // traffic, not by the `fence` verb) still answers with
+                    // its epoch so callers know to re-resolve.
+                    None => match self.epochs.get(&req.target) {
+                        Some(&e) => {
+                            self.stats.calls_fenced += 1;
+                            RemoteError::Fenced { current_epoch: e }
+                        }
+                        None => RemoteError::NoSuchObject {
+                            machine: self.machine,
+                            object: req.target,
+                        },
                     },
                 };
                 self.send_response(req.reply_to, req.req_id, Err(err));
@@ -1412,6 +1751,66 @@ impl NodeCtx {
                     self.object_calls.iter().map(|(&o, &c)| (o, c)).collect();
                 loads.sort_unstable();
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&loads)))
+            }
+            "heartbeat" => {
+                // Supervisor liveness beacon; the reply is the detector's
+                // interval sample. Arrival also renews the serving lease —
+                // the machine may serve supervised objects for another
+                // `ttl` from *now*.
+                let ttl = u64::decode(args)?;
+                self.lease_deadline = Some(Instant::now() + Duration::from_millis(ttl));
+                self.stats.heartbeats_served += 1;
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
+            }
+            "set_epoch" => {
+                // Supervision registration (or a takeover bump). Epochs
+                // only move forward; a lower value is a stale retransmit.
+                let object = u64::decode(args)?;
+                let epoch = u64::decode(args)?;
+                let e = self.epochs.entry(object).or_insert(0);
+                if epoch > *e {
+                    *e = epoch;
+                }
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
+            }
+            "activate_fenced" => {
+                // Takeover half of a recovery: the restored incarnation is
+                // registered at its bumped epoch before any call can reach
+                // it (activation and fencing are one atomic daemon step).
+                let key = String::decode(args)?;
+                let epoch = u64::decode(args)?;
+                let (class, state) = self
+                    .snapshots
+                    .get(&key)
+                    .cloned()
+                    .ok_or(RemoteError::NoSuchSnapshot { key })?;
+                let registry = self.registry.clone();
+                let obj = registry.restore(&class, self, &state)?;
+                let id = self.next_obj_id;
+                self.next_obj_id += 1;
+                self.objects.insert(id, Some(obj));
+                self.epochs.insert(id, epoch);
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&id)))
+            }
+            "fence" => {
+                // Kill an old incarnation after a takeover. Idempotent:
+                // fencing an already-fenced or never-lived id just
+                // (re)installs the epoch and the forwarding stub.
+                let object = u64::decode(args)?;
+                let epoch = u64::decode(args)?;
+                let to = ObjRef::decode(args)?;
+                if matches!(self.objects.get(&object), Some(None)) {
+                    return Ok(DaemonOutcome::Busy); // mid-call: fence after
+                }
+                self.objects.remove(&object);
+                self.migrating.remove(&object);
+                self.object_calls.remove(&object);
+                let e = self.epochs.entry(object).or_insert(0);
+                if epoch > *e {
+                    *e = epoch;
+                }
+                self.forwards.insert(object, to);
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
             }
             other => Err(RemoteError::NoSuchMethod {
                 class: "<daemon>".to_string(),

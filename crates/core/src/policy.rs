@@ -155,6 +155,16 @@ impl CallPolicy {
     pub fn max_attempts(&self) -> u32 {
         1 + self.max_retries
     }
+
+    /// A probe policy: one attempt, short window, no backoff. Liveness
+    /// checks against possibly-dead machines (supervision pings, the
+    /// detector's bookkeeping calls) must fail *fast* — a probe that
+    /// inherits a chaos-hardened retry budget turns every dead-machine
+    /// touch into seconds of retransmission. Derived from the per-attempt
+    /// window so cost scales with the caller's latency expectations.
+    pub fn probe(timeout: Duration) -> Self {
+        CallPolicy::no_retry(timeout)
+    }
 }
 
 impl Default for CallPolicy {
@@ -259,6 +269,15 @@ mod tests {
         assert_eq!(single.with_min_retries(3).max_retries, 3);
         let generous = CallPolicy::reliable(Duration::from_millis(100)).with_max_retries(8);
         assert_eq!(generous.with_min_retries(3).max_retries, 8);
+    }
+
+    #[test]
+    fn probe_is_single_shot_and_cheap() {
+        let p = CallPolicy::probe(Duration::from_millis(40));
+        assert_eq!(p.max_attempts(), 1);
+        assert_eq!(p.timeout, Duration::from_millis(40));
+        // No hidden backoff: a probe that fails, fails now.
+        assert_eq!(p.backoff.delay(1), Duration::ZERO);
     }
 
     #[test]

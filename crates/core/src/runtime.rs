@@ -239,6 +239,7 @@ impl Cluster {
                 target: crate::ids::DAEMON,
                 payload: Bytes(crate::frame::DaemonCall::Shutdown.encode()),
                 trace: TraceCtx::default(),
+                epoch: 0,
             };
             let _ = self
                 .sim

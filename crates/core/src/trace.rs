@@ -90,6 +90,18 @@ pub enum EventKind {
     /// The move failed mid-flight; the object was restored at the source
     /// under its original identity.
     MigrateRollback,
+    /// Failure detector crossed its suspect threshold for a machine (the
+    /// `peer` field). `bytes` carries the phi value ×1000.
+    SuspectRaised,
+    /// Failure detector declared a machine (`peer`) dead; recovery starts.
+    MachineDeclaredDead,
+    /// Supervisor reactivated one lost object onto a survivor (`peer`).
+    /// `bytes` carries the recovery's MTTR in microseconds, so E11's
+    /// per-recovery tables come straight from the trace.
+    ObjectReactivated,
+    /// A machine previously declared dead heartbeated again — the
+    /// suspicion was false. `peer` is the resurrected machine.
+    FalseSuspicion,
 }
 
 impl EventKind {
@@ -110,6 +122,10 @@ impl EventKind {
             EventKind::MigrateTransfer => "migrate_transfer",
             EventKind::MigrateCommit => "migrate_commit",
             EventKind::MigrateRollback => "migrate_rollback",
+            EventKind::SuspectRaised => "suspect_raised",
+            EventKind::MachineDeclaredDead => "machine_dead",
+            EventKind::ObjectReactivated => "object_reactivated",
+            EventKind::FalseSuspicion => "false_suspicion",
         }
     }
 
@@ -123,6 +139,19 @@ impl EventKind {
                 | EventKind::MigrateTransfer
                 | EventKind::MigrateCommit
                 | EventKind::MigrateRollback
+        )
+    }
+
+    /// True for the supervisor-side lifecycle markers (suspicion, death,
+    /// reactivation). Like migration markers they are root events — causal
+    /// checks treat them as origins.
+    pub fn is_supervision_marker(&self) -> bool {
+        matches!(
+            self,
+            EventKind::SuspectRaised
+                | EventKind::MachineDeclaredDead
+                | EventKind::ObjectReactivated
+                | EventKind::FalseSuspicion
         )
     }
 }
@@ -401,6 +430,7 @@ impl Trace {
         for e in &self.events {
             if e.kind != EventKind::ClientSend
                 && !e.kind.is_migration_marker()
+                && !e.kind.is_supervision_marker()
                 && !sends.contains(&e.span_id)
             {
                 violations.push(format!(
@@ -515,7 +545,11 @@ impl Trace {
                 EventKind::MigrateBegin
                 | EventKind::MigrateTransfer
                 | EventKind::MigrateCommit
-                | EventKind::MigrateRollback => {}
+                | EventKind::MigrateRollback
+                | EventKind::SuspectRaised
+                | EventKind::MachineDeclaredDead
+                | EventKind::ObjectReactivated
+                | EventKind::FalseSuspicion => {}
             }
         }
 
@@ -665,6 +699,28 @@ impl Trace {
                         e.machine,
                         e.trace_id,
                         e.span_id,
+                        e.peer,
+                        e.bytes,
+                    );
+                    emit(&mut out, &body);
+                }
+                EventKind::SuspectRaised
+                | EventKind::MachineDeclaredDead
+                | EventKind::ObjectReactivated
+                | EventKind::FalseSuspicion => {
+                    // Process-scoped instants in their own category so a
+                    // timeline shows detection and recovery against the
+                    // workload's calls. `value` is the marker's scalar
+                    // (phi ×1000 or MTTR µs).
+                    let name = format!("{}:m{}", e.kind.label(), e.peer);
+                    let body = format!(
+                        "{{\"name\":{},\"cat\":\"supervision\",\"ph\":\"i\",\"s\":\"p\",\
+                         \"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"machine\":{},\
+                         \"value\":{}}}}}",
+                        json_string(&name),
+                        micros(e.at_nanos),
+                        e.machine,
+                        e.machine,
                         e.peer,
                         e.bytes,
                     );

@@ -59,6 +59,27 @@ impl MachineSample {
     }
 }
 
+/// Pick the machine that should adopt an object whose home died.
+///
+/// Pure, like [`PlacementPolicy::plan`]: the least-loaded sampled machine
+/// that is not in `excluded` (the dead machine itself, plus any peers the
+/// supervisor currently suspects), ties broken by the lower machine id so
+/// a seeded recovery is deterministic. Returns `None` when every sampled
+/// machine is excluded — the caller should treat that as "no survivors"
+/// and escalate rather than reactivate onto a corpse.
+///
+/// The supervisor uses this instead of [`PlacementPolicy`] because
+/// reactivation is not rebalancing: the object *must* land somewhere even
+/// on a perfectly balanced cluster, and it must never land on a machine
+/// the failure detector distrusts.
+pub fn reactivation_target(samples: &[MachineSample], excluded: &[usize]) -> Option<usize> {
+    samples
+        .iter()
+        .filter(|s| !excluded.contains(&s.machine))
+        .min_by_key(|s| (s.load(), s.machine))
+        .map(|s| s.machine)
+}
+
 /// One planned move: migrate `object` to `target`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MigrationPlan {
@@ -521,6 +542,28 @@ mod tests {
         );
         assert_eq!(plans[0].target, 2); // least loaded
         assert_eq!(plans[0].load, 800);
+    }
+
+    #[test]
+    fn reactivation_target_picks_least_loaded_survivor() {
+        let samples = vec![
+            sample(0, &[(1, 500)]),
+            sample(1, &[(2, 10)]),
+            sample(2, &[(3, 200)]),
+        ];
+        // Machine 1 is the coolest survivor once the dead machine is out.
+        assert_eq!(reactivation_target(&samples, &[0]), Some(1));
+        // Excluding the coolest too falls through to the next one.
+        assert_eq!(reactivation_target(&samples, &[0, 1]), Some(2));
+        // No survivors at all: refuse rather than pick a corpse.
+        assert_eq!(reactivation_target(&samples, &[0, 1, 2]), None);
+    }
+
+    #[test]
+    fn reactivation_target_breaks_ties_deterministically() {
+        let samples = vec![sample(2, &[]), sample(1, &[]), sample(3, &[])];
+        // Equal loads: lowest machine id wins regardless of sample order.
+        assert_eq!(reactivation_target(&samples, &[]), Some(1));
     }
 
     #[test]

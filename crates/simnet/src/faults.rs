@@ -262,6 +262,28 @@ impl FaultInjector {
         }
     }
 
+    /// Cut machine `m` away from every one of `peers` at once — the
+    /// asymmetric-failure shape that induces *false* suspicion: `m` is
+    /// perfectly healthy but the supervisor (and whoever else is listed)
+    /// cannot tell it from a corpse. Equivalent to
+    /// [`partition`](FaultInjector::partition) pairwise.
+    pub fn isolate(&self, m: MachineId, peers: &[MachineId]) {
+        for &p in peers {
+            if p != m {
+                self.partition(m, p);
+            }
+        }
+    }
+
+    /// Undo [`isolate`](FaultInjector::isolate) for the same peer set.
+    pub fn rejoin(&self, m: MachineId, peers: &[MachineId]) {
+        for &p in peers {
+            if p != m {
+                self.heal(m, p);
+            }
+        }
+    }
+
     /// Take machine `m` off the network: every packet to or from it is
     /// dropped until [`restart`](FaultInjector::restart).
     pub fn crash(&self, m: MachineId) {
@@ -400,6 +422,22 @@ mod tests {
         inj.heal(0, 2);
         assert!(matches!(s.verdict(0, 2), Verdict::Deliver { .. }));
         assert!(!inj.is_partitioned(0, 2));
+    }
+
+    #[test]
+    fn isolate_cuts_every_listed_peer_and_rejoin_restores() {
+        let s = Arc::new(FaultState::new(FaultPlan::none(), 4));
+        let inj = FaultInjector::new(s.clone());
+        inj.isolate(1, &[0, 2, 3, 1]); // own id in the list is ignored
+        for p in [0, 2, 3] {
+            assert_eq!(s.verdict(p, 1), Verdict::DropPartitioned);
+            assert_eq!(s.verdict(1, p), Verdict::DropPartitioned);
+        }
+        assert!(matches!(s.verdict(0, 2), Verdict::Deliver { .. }));
+        inj.rejoin(1, &[0, 2, 3]);
+        for p in [0, 2, 3] {
+            assert!(matches!(s.verdict(p, 1), Verdict::Deliver { .. }));
+        }
     }
 
     #[test]

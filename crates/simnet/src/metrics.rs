@@ -27,6 +27,11 @@ pub struct Metrics {
     faults_duplicated: AtomicU64,
     partition_dropped: AtomicU64,
     crash_dropped: AtomicU64,
+    suspicions_raised: AtomicU64,
+    false_suspicions: AtomicU64,
+    recoveries: AtomicU64,
+    recovery_detect_nanos: AtomicU64,
+    recovery_total_nanos: AtomicU64,
 }
 
 /// Point-in-time copy of [`Metrics`], cheap to diff.
@@ -72,6 +77,20 @@ pub struct MetricsSnapshot {
     pub partition_dropped: u64,
     /// Packets dropped because their source or destination was crashed.
     pub crash_dropped: u64,
+    /// Machines the failure detector moved to `Suspect` or beyond.
+    pub suspicions_raised: u64,
+    /// Suspicions that proved false — a machine declared dead heartbeated
+    /// again. The detector's measured false-positive count.
+    pub false_suspicions: u64,
+    /// Objects the supervisor reactivated after a death verdict.
+    pub recoveries: u64,
+    /// Detection latency summed over recoveries (last heartbeat → death
+    /// verdict), in nanoseconds. `/ recoveries` is the mean detection
+    /// share of MTTR.
+    pub recovery_detect_nanos: u64,
+    /// Full MTTR summed over recoveries (last heartbeat → object serving
+    /// again), in nanoseconds.
+    pub recovery_total_nanos: u64,
 }
 
 impl Metrics {
@@ -94,7 +113,33 @@ impl Metrics {
             faults_duplicated: AtomicU64::new(0),
             partition_dropped: AtomicU64::new(0),
             crash_dropped: AtomicU64::new(0),
+            suspicions_raised: AtomicU64::new(0),
+            false_suspicions: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            recovery_detect_nanos: AtomicU64::new(0),
+            recovery_total_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// Record the failure detector crossing its suspect threshold.
+    pub fn record_suspicion(&self) {
+        self.suspicions_raised.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a suspicion that proved false (the machine came back).
+    pub fn record_false_suspicion(&self) {
+        self.false_suspicions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one completed object recovery: `detect_nanos` from last
+    /// heartbeat to the death verdict, `total_nanos` to the object serving
+    /// again.
+    pub fn record_recovery(&self, detect_nanos: u64, total_nanos: u64) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.recovery_detect_nanos
+            .fetch_add(detect_nanos, Ordering::Relaxed);
+        self.recovery_total_nanos
+            .fetch_add(total_nanos, Ordering::Relaxed);
     }
 
     /// Record one message of `bytes` payload from `src`.
@@ -197,6 +242,11 @@ impl Metrics {
             faults_duplicated: self.faults_duplicated.load(Ordering::Relaxed),
             partition_dropped: self.partition_dropped.load(Ordering::Relaxed),
             crash_dropped: self.crash_dropped.load(Ordering::Relaxed),
+            suspicions_raised: self.suspicions_raised.load(Ordering::Relaxed),
+            false_suspicions: self.false_suspicions.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            recovery_detect_nanos: self.recovery_detect_nanos.load(Ordering::Relaxed),
+            recovery_total_nanos: self.recovery_total_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -245,7 +295,29 @@ impl MetricsSnapshot {
                 .partition_dropped
                 .saturating_sub(earlier.partition_dropped),
             crash_dropped: self.crash_dropped.saturating_sub(earlier.crash_dropped),
+            suspicions_raised: self
+                .suspicions_raised
+                .saturating_sub(earlier.suspicions_raised),
+            false_suspicions: self
+                .false_suspicions
+                .saturating_sub(earlier.false_suspicions),
+            recoveries: self.recoveries.saturating_sub(earlier.recoveries),
+            recovery_detect_nanos: self
+                .recovery_detect_nanos
+                .saturating_sub(earlier.recovery_detect_nanos),
+            recovery_total_nanos: self
+                .recovery_total_nanos
+                .saturating_sub(earlier.recovery_total_nanos),
         }
+    }
+
+    /// Mean time to repair across recorded recoveries, in nanoseconds
+    /// (0 when none happened). Detection share via
+    /// `recovery_detect_nanos / recoveries`.
+    pub fn mean_mttr_nanos(&self) -> u64 {
+        self.recovery_total_nanos
+            .checked_div(self.recoveries)
+            .unwrap_or(0)
     }
 
     /// Total packets the fault layer removed from the fabric.
@@ -329,6 +401,31 @@ mod tests {
         assert_eq!(delta.per_machine_sent, vec![0, 1]);
         assert_eq!(delta.per_machine_bytes_sent, vec![0, 20]);
         assert_eq!(delta.disk_reads, 1);
+    }
+
+    #[test]
+    fn supervision_counters_accumulate_and_diff() {
+        let m = Metrics::new(2);
+        m.record_suspicion();
+        m.record_suspicion();
+        m.record_false_suspicion();
+        m.record_recovery(1_000, 5_000);
+        m.record_recovery(3_000, 7_000);
+        let s = m.snapshot();
+        assert_eq!(s.suspicions_raised, 2);
+        assert_eq!(s.false_suspicions, 1);
+        assert_eq!(s.recoveries, 2);
+        assert_eq!(s.recovery_detect_nanos, 4_000);
+        assert_eq!(s.recovery_total_nanos, 12_000);
+        assert_eq!(s.mean_mttr_nanos(), 6_000);
+        assert_eq!(MetricsSnapshot::default().mean_mttr_nanos(), 0);
+
+        let before = s;
+        m.record_recovery(10, 20);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.recoveries, 1);
+        assert_eq!(delta.recovery_total_nanos, 20);
+        assert_eq!(delta.suspicions_raised, 0);
     }
 
     #[test]

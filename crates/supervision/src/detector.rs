@@ -1,0 +1,360 @@
+//! Phi-accrual failure detection over heartbeat arrivals.
+//!
+//! A boolean timeout detector answers "is the machine dead?" with a yes/no
+//! whose error rate is invisible: pick the timeout too short and a slow
+//! fabric produces false positives, too long and real crashes go unnoticed
+//! for seconds. The phi-accrual detector (Hayashibara et al., SRDS 2004)
+//! answers with a *suspicion level* instead: `phi(t)` is `-log10` of the
+//! probability that a heartbeat would still be outstanding at time `t`
+//! given the empirical inter-arrival distribution. `phi = 1` means the
+//! silence would be this long in ~10% of healthy windows, `phi = 3` in
+//! ~0.1%. Callers choose thresholds, and thereby their own false-positive
+//! rate, without touching the detector.
+//!
+//! The implementation is **pure**: time enters only as explicit `Duration`
+//! offsets from an origin the caller picks, so unit tests drive the clock
+//! without sleeping and a seeded simulation replays bit-identically.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// Tuning for a [`FailureDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Heartbeat period the supervisor intends to send at. Used as the
+    /// prior mean until enough real intervals accumulate.
+    pub expected_interval: Duration,
+    /// Sliding-window length (number of inter-arrival samples kept).
+    pub window: usize,
+    /// Suspicion level at which a machine becomes [`Verdict::Suspect`].
+    pub suspect_phi: f64,
+    /// Suspicion level at which a machine becomes [`Verdict::Dead`].
+    pub dead_phi: f64,
+    /// Floor on the interval standard deviation, as a fraction of the
+    /// mean. A perfectly regular simulated fabric would otherwise drive
+    /// the std toward zero and make phi explode on the first late beat.
+    pub min_std_fraction: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            expected_interval: Duration::from_millis(20),
+            window: 64,
+            suspect_phi: 1.0,
+            dead_phi: 3.0,
+            min_std_fraction: 0.25,
+        }
+    }
+}
+
+/// Three-state liveness assessment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Heartbeats arriving within the learned distribution.
+    Alive,
+    /// Unusually silent (`phi >= suspect_phi`): stop trusting, start
+    /// watching. Not yet grounds for takeover.
+    Suspect,
+    /// Silent beyond plausibility (`phi >= dead_phi`).
+    Dead,
+}
+
+#[derive(Debug, Default)]
+struct History {
+    /// Offset of the most recent heartbeat from the detector origin.
+    last: Option<Duration>,
+    /// Recent inter-arrival times, seconds.
+    intervals: VecDeque<f64>,
+}
+
+/// Suspicion accumulator over a set of machines.
+#[derive(Debug)]
+pub struct FailureDetector {
+    config: DetectorConfig,
+    histories: HashMap<usize, History>,
+}
+
+impl FailureDetector {
+    /// A detector with no observations yet.
+    pub fn new(config: DetectorConfig) -> Self {
+        FailureDetector {
+            config,
+            histories: HashMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Record a heartbeat from `machine` observed at offset `now`.
+    pub fn heartbeat(&mut self, machine: usize, now: Duration) {
+        let h = self.histories.entry(machine).or_default();
+        if let Some(last) = h.last {
+            if now > last {
+                if h.intervals.len() >= self.config.window.max(1) {
+                    h.intervals.pop_front();
+                }
+                h.intervals.push_back((now - last).as_secs_f64());
+            }
+        }
+        h.last = Some(now);
+    }
+
+    /// Drop everything known about `machine` — used when a machine
+    /// declared dead turns out to be alive (restart or healed partition):
+    /// its pre-failure rhythm says nothing about the new incarnation.
+    pub fn forget(&mut self, machine: usize) {
+        self.histories.remove(&machine);
+    }
+
+    /// Suspicion level for `machine` at offset `now`.
+    ///
+    /// `0.0` until the first heartbeat: a machine that has never spoken
+    /// is booting, not dying, and suspecting it would make every cluster
+    /// start-up a mass false positive. After the first heartbeat the
+    /// configured `expected_interval` serves as the distribution's prior
+    /// mean until the window fills with real samples.
+    pub fn phi(&self, machine: usize, now: Duration) -> f64 {
+        let Some(h) = self.histories.get(&machine) else {
+            return 0.0;
+        };
+        let Some(last) = h.last else { return 0.0 };
+        let elapsed = now.saturating_sub(last).as_secs_f64();
+        let prior = self.config.expected_interval.as_secs_f64();
+        let (mean, std) = if h.intervals.is_empty() {
+            (
+                prior,
+                prior * self.config.min_std_fraction.max(f64::EPSILON),
+            )
+        } else {
+            let n = h.intervals.len() as f64;
+            let mean = h.intervals.iter().sum::<f64>() / n;
+            let var = h
+                .intervals
+                .iter()
+                .map(|x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / n;
+            let floor = mean * self.config.min_std_fraction.max(f64::EPSILON);
+            (mean, var.sqrt().max(floor).max(1e-9))
+        };
+        // Tail probability of a normal N(mean, std) at `elapsed`, via the
+        // logistic approximation used by production phi detectors: cheap,
+        // smooth, and monotone in `elapsed` — which is all a threshold
+        // comparison needs.
+        let y = (elapsed - mean) / std;
+        let e = (-y * (1.5976 + 0.070566 * y * y)).exp();
+        let p = if y > 0.0 {
+            e / (1.0 + e)
+        } else {
+            1.0 - 1.0 / (1.0 + e)
+        };
+        if p < 1e-300 {
+            300.0 // silence beyond f64 tail resolution: saturate
+        } else {
+            -p.log10()
+        }
+    }
+
+    /// Threshold [`phi`](FailureDetector::phi) into a [`Verdict`].
+    pub fn verdict(&self, machine: usize, now: Duration) -> Verdict {
+        let phi = self.phi(machine, now);
+        if phi >= self.config.dead_phi {
+            Verdict::Dead
+        } else if phi >= self.config.suspect_phi {
+            Verdict::Suspect
+        } else {
+            Verdict::Alive
+        }
+    }
+
+    /// Offset of the last heartbeat from `machine`, if any arrived.
+    pub fn last_heartbeat(&self, machine: usize) -> Option<Duration> {
+        self.histories.get(&machine).and_then(|h| h.last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn fed_detector(beats: u64, period: u64) -> FailureDetector {
+        let mut d = FailureDetector::new(DetectorConfig::default());
+        for i in 0..beats {
+            d.heartbeat(7, ms(i * period));
+        }
+        d
+    }
+
+    #[test]
+    fn silent_from_birth_is_not_suspected() {
+        let d = FailureDetector::new(DetectorConfig::default());
+        assert_eq!(d.phi(3, ms(10_000)), 0.0);
+        assert_eq!(d.verdict(3, ms(10_000)), Verdict::Alive);
+    }
+
+    #[test]
+    fn regular_heartbeats_keep_phi_low() {
+        let d = fed_detector(50, 20);
+        // Right on schedule: negligible suspicion.
+        assert_eq!(d.verdict(7, ms(50 * 20)), Verdict::Alive);
+        assert!(d.phi(7, ms(50 * 20)) < 1.0);
+    }
+
+    #[test]
+    fn suspicion_grows_monotonically_with_silence() {
+        let d = fed_detector(50, 20);
+        let t0 = 49 * 20;
+        let mut prev = 0.0;
+        for extra in [10u64, 40, 80, 200, 1000, 10_000] {
+            let phi = d.phi(7, ms(t0 + extra));
+            assert!(phi >= prev, "phi must not shrink as silence grows");
+            prev = phi;
+        }
+        // A silence 500x the period is beyond any plausible jitter.
+        assert_eq!(d.verdict(7, ms(t0 + 10_000)), Verdict::Dead);
+    }
+
+    #[test]
+    fn suspect_precedes_dead() {
+        let d = fed_detector(50, 20);
+        let t0 = 49 * 20;
+        let mut seen_suspect_before_dead = false;
+        let mut died = false;
+        for extra in (0..5000).step_by(5) {
+            match d.verdict(7, ms(t0 + extra)) {
+                Verdict::Alive => assert!(!died),
+                Verdict::Suspect => seen_suspect_before_dead = !died,
+                Verdict::Dead => died = true,
+            }
+        }
+        assert!(died, "sustained silence must eventually read as dead");
+        assert!(seen_suspect_before_dead, "dead must be preceded by suspect");
+    }
+
+    #[test]
+    fn higher_dead_threshold_tolerates_longer_silence() {
+        // The tunable false-positive contract: raising dead_phi strictly
+        // delays the Dead verdict for the same observation stream.
+        let mut touchy = FailureDetector::new(DetectorConfig {
+            dead_phi: 1.5,
+            ..DetectorConfig::default()
+        });
+        let mut patient = FailureDetector::new(DetectorConfig {
+            dead_phi: 8.0,
+            ..DetectorConfig::default()
+        });
+        for i in 0..50u64 {
+            touchy.heartbeat(1, ms(i * 20));
+            patient.heartbeat(1, ms(i * 20));
+        }
+        let t0 = 49 * 20;
+        let first_dead = |d: &FailureDetector| {
+            (0..20_000u64)
+                .step_by(5)
+                .find(|&x| d.verdict(1, ms(t0 + x)) == Verdict::Dead)
+                .expect("eventually dead")
+        };
+        assert!(first_dead(&touchy) < first_dead(&patient));
+    }
+
+    #[test]
+    fn jittery_fabric_earns_more_patience_than_a_steady_one() {
+        let mut steady = FailureDetector::new(DetectorConfig::default());
+        let mut jittery = FailureDetector::new(DetectorConfig::default());
+        let mut t_s = 0u64;
+        let mut t_j = 0u64;
+        for i in 0..60u64 {
+            t_s += 20;
+            steady.heartbeat(0, ms(t_s));
+            // Same mean period, high variance (alternating 5ms / 35ms).
+            t_j += if i % 2 == 0 { 5 } else { 35 };
+            jittery.heartbeat(0, ms(t_j));
+        }
+        // After the same absolute silence, the steady stream is more
+        // suspicious: its distribution says the beat is overdue.
+        let silence = 60;
+        assert!(steady.phi(0, ms(t_s + silence)) > jittery.phi(0, ms(t_j + silence)));
+    }
+
+    #[test]
+    fn forget_resets_suspicion() {
+        let mut d = fed_detector(50, 20);
+        assert_eq!(d.verdict(7, ms(49 * 20 + 10_000)), Verdict::Dead);
+        d.forget(7);
+        assert_eq!(d.verdict(7, ms(49 * 20 + 10_000)), Verdict::Alive);
+        // And the next heartbeat starts a fresh history.
+        d.heartbeat(7, ms(20_000));
+        assert_eq!(d.verdict(7, ms(20_010)), Verdict::Alive);
+    }
+
+    #[test]
+    fn phi_saturates_instead_of_overflowing() {
+        let d = fed_detector(50, 20);
+        let phi = d.phi(7, Duration::from_secs(3600));
+        assert!(phi.is_finite());
+        assert!(phi >= 300.0 - f64::EPSILON);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Monotonicity is the detector's core contract: more silence
+            /// never lowers suspicion, for any heartbeat history.
+            #[test]
+            fn phi_is_monotone_in_silence(
+                periods in proptest::collection::vec(1u64..200, 2..80),
+                probe_a in 0u64..50_000,
+                probe_b in 0u64..50_000,
+            ) {
+                let mut d = FailureDetector::new(DetectorConfig::default());
+                let mut t = 0u64;
+                for p in &periods {
+                    t += p;
+                    d.heartbeat(0, ms(t));
+                }
+                let (lo, hi) = if probe_a <= probe_b { (probe_a, probe_b) } else { (probe_b, probe_a) };
+                let phi_lo = d.phi(0, ms(t + lo));
+                let phi_hi = d.phi(0, ms(t + hi));
+                prop_assert!(phi_hi >= phi_lo - 1e-12);
+                prop_assert!(phi_lo.is_finite() && phi_hi.is_finite());
+            }
+
+            /// Verdicts escalate in threshold order for any config where
+            /// suspect_phi <= dead_phi.
+            #[test]
+            fn verdict_ordering_respects_thresholds(
+                suspect in 0.5f64..4.0,
+                extra in 0.1f64..6.0,
+                probe in 0u64..30_000,
+            ) {
+                let cfg = DetectorConfig {
+                    suspect_phi: suspect,
+                    dead_phi: suspect + extra,
+                    ..DetectorConfig::default()
+                };
+                let mut d = FailureDetector::new(cfg);
+                for i in 0..40u64 {
+                    d.heartbeat(0, ms(i * 20));
+                }
+                let now = ms(39 * 20 + probe);
+                let phi = d.phi(0, now);
+                let v = d.verdict(0, now);
+                match v {
+                    Verdict::Dead => prop_assert!(phi >= cfg.dead_phi),
+                    Verdict::Suspect => prop_assert!(phi >= cfg.suspect_phi && phi < cfg.dead_phi),
+                    Verdict::Alive => prop_assert!(phi < cfg.suspect_phi),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,696 @@
+//! The supervisor: heartbeats out, verdicts in, takeovers executed.
+//!
+//! One supervisor runs on the driver (the coordinating machine, which
+//! also hosts the naming directory — machine 0 is the supervision root
+//! and is not itself supervised). Like the placement `Balancer` it is a
+//! step-driven controller: [`Supervisor::step`] pumps heartbeats, reaps
+//! replies into the phi-accrual detector, and when a machine's suspicion
+//! crosses the dead threshold *and* its serving lease has verifiably
+//! lapsed, reactivates every registered object of that machine from its
+//! replicated snapshot on a surviving backup.
+//!
+//! ## Why the lease gate
+//!
+//! The detector can be wrong — a partition looks exactly like a crash
+//! from here. Safety therefore never rests on the verdict alone. Every
+//! supervised object is enrolled for epoch fencing on its home machine,
+//! and that machine's willingness to serve it is a *lease* renewed only
+//! by our heartbeats. When we stop hearing a machine, it has also stopped
+//! hearing us: by the time `lease_ttl` has passed since its last
+//! acknowledged heartbeat, the machine — alive or not — is refusing calls
+//! to supervised objects with [`Fenced`](oopp::RemoteError::Fenced).
+//! Taking over after that point cannot split the brain: the old
+//! incarnation is self-fenced, the new one carries a higher epoch won by
+//! a CAS [`claim`](oopp::DirectoryClient) in the directory, and stale
+//! pointers learn the new epoch from the fence replies.
+//!
+//! ## Resurrection
+//!
+//! A machine declared dead is probed (lease-neutral pings, never
+//! heartbeats — its lease must stay expired). If it answers, the
+//! suspicion was false: the supervisor first *re-fences* every object it
+//! took away — the resurrected machine destroys its stale incarnations
+//! and forwards to the new homes — and only once every fence has been
+//! acknowledged does the machine rejoin as Up and receive lease-renewing
+//! heartbeats again. The ordering is the whole point: resuming heartbeats
+//! first would revive the old incarnations' lease while two copies exist.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use oopp::{
+    Backoff, CallPolicy, DirectoryClient, EventKind, NodeCtx, ObjRef, RemoteClient, RemoteResult,
+};
+use placement::{reactivation_target, MachineSample};
+use simnet::Metrics;
+
+use crate::detector::{DetectorConfig, FailureDetector, Verdict};
+
+/// What to do when a takeover attempt fails (no live backup, activation
+/// refused, snapshot missing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RestartPolicy {
+    /// One attempt; failure immediately poisons the name.
+    OneShot,
+    /// Retry up to `max_retries` additional times, pausing per `backoff`
+    /// between attempts (the supervisor keeps serving while it waits).
+    /// Exhaustion poisons the name.
+    Retries {
+        /// Additional attempts after the first.
+        max_retries: u32,
+        /// Pause schedule between attempts.
+        backoff: Backoff,
+    },
+}
+
+impl RestartPolicy {
+    fn max_attempts(&self) -> u32 {
+        match *self {
+            RestartPolicy::OneShot => 1,
+            RestartPolicy::Retries { max_retries, .. } => 1 + max_retries,
+        }
+    }
+
+    fn delay(&self, attempt: u32) -> Duration {
+        match *self {
+            RestartPolicy::OneShot => Duration::ZERO,
+            RestartPolicy::Retries { backoff, .. } => backoff.delay(attempt),
+        }
+    }
+}
+
+/// Tuning for a [`Supervisor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Heartbeat (and dead-machine probe) period.
+    pub heartbeat_interval: Duration,
+    /// Serving-lease lifetime granted by each heartbeat. Must comfortably
+    /// exceed `heartbeat_interval` (several missed beats should not
+    /// expire a healthy machine's lease) and bounds how early a takeover
+    /// may start after the last acknowledged heartbeat.
+    pub lease_ttl: Duration,
+    /// Failure-detector tuning. `expected_interval` should match
+    /// `heartbeat_interval`.
+    pub detector: DetectorConfig,
+    /// Takeover retry discipline.
+    pub restart: RestartPolicy,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        let heartbeat_interval = Duration::from_millis(20);
+        SupervisorConfig {
+            heartbeat_interval,
+            lease_ttl: Duration::from_millis(200),
+            detector: DetectorConfig {
+                expected_interval: heartbeat_interval,
+                ..DetectorConfig::default()
+            },
+            restart: RestartPolicy::Retries {
+                max_retries: 2,
+                backoff: Backoff::fixed(Duration::from_millis(20)),
+            },
+        }
+    }
+}
+
+/// Lifetime counters of one supervisor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisionStats {
+    /// Machines whose suspicion crossed the suspect threshold (counted
+    /// once per suspicion episode).
+    pub suspicions_raised: u64,
+    /// Machines that answered probes after being declared dead. This is
+    /// the detector's observable false-positive count, with one caveat: a
+    /// machine that genuinely crashed and was later restarted also lands
+    /// here — from the supervisor's seat the two are indistinguishable,
+    /// and both require the same re-fencing before rejoin.
+    pub false_suspicions: u64,
+    /// Machines declared dead (takeover initiated).
+    pub machines_declared_dead: u64,
+    /// Objects successfully reactivated on a survivor.
+    pub objects_reactivated: u64,
+    /// Takeovers that exhausted the restart policy.
+    pub recoveries_failed: u64,
+    /// Names poisoned after a failed recovery.
+    pub names_poisoned: u64,
+}
+
+/// One completed takeover, as reported by [`Supervisor::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// Symbolic name of the recovered object.
+    pub name: String,
+    /// Machine it was lost with.
+    pub from: usize,
+    /// Its new incarnation.
+    pub to: ObjRef,
+    /// The new incarnation's fencing epoch.
+    pub epoch: u64,
+    /// Detection latency: time from the machine's last acknowledged
+    /// heartbeat to the dead verdict. An upper bound on true detection
+    /// time — the crash happened somewhere inside this window.
+    pub detect: Duration,
+    /// Full MTTR: `detect` plus the reactivation work (claim, choose
+    /// survivor, restore snapshot, rebind).
+    pub total: Duration,
+}
+
+#[derive(Debug)]
+struct Registration {
+    name: String,
+    class: &'static str,
+    current: ObjRef,
+    epoch: u64,
+    backups: Vec<usize>,
+    /// Every address this object has been lost at, oldest first. Each
+    /// takeover re-points the forwarding stubs on all *live* prior homes
+    /// at the newest incarnation, so a client holding an arbitrarily old
+    /// pointer still reaches the object in one forward hop instead of
+    /// walking a chain through machines that may since have died.
+    history: Vec<ObjRef>,
+}
+
+#[derive(Debug)]
+enum MState {
+    Up {
+        suspected: bool,
+    },
+    Dead {
+        /// Indices of registrations taken away from this machine; kept so
+        /// a resurrection can re-fence their stale incarnations here
+        /// before the machine rejoins.
+        taken: Vec<usize>,
+        seen_alive: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BeatKind {
+    /// Lease-renewing heartbeat (only sent to Up machines).
+    Beat,
+    /// Lease-neutral liveness probe (only sent to Dead machines).
+    Probe,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    machine: usize,
+    kind: BeatKind,
+    sent: Instant,
+}
+
+/// Step-driven self-healing controller. See the module docs for the
+/// protocol; see [`SupervisorConfig`] for tuning.
+#[derive(Debug)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    machines: Vec<usize>,
+    dir: DirectoryClient,
+    detector: FailureDetector,
+    start: Instant,
+    state: HashMap<usize, MState>,
+    last_sent: HashMap<usize, Instant>,
+    in_flight: HashMap<u64, InFlight>,
+    regs: Vec<Registration>,
+    stats: SupervisionStats,
+    metrics: Option<Arc<Metrics>>,
+}
+
+impl Supervisor {
+    /// A supervisor for `machines`, arbitrating takeovers through the
+    /// naming directory `dir`. The driver's own machine (and the
+    /// directory's) must not be in `machines`: the supervision root
+    /// cannot fail over itself.
+    pub fn new(config: SupervisorConfig, machines: Vec<usize>, dir: DirectoryClient) -> Self {
+        let state = machines
+            .iter()
+            .map(|&m| (m, MState::Up { suspected: false }))
+            .collect();
+        let mut detector = FailureDetector::new(config.detector);
+        // Seed every history with an enrollment-time sample: a machine
+        // that dies before its first heartbeat reply must still
+        // accumulate suspicion (an empty history reads as "never heard
+        // from" and pins phi at 0).
+        let start = Instant::now();
+        for &m in &machines {
+            detector.heartbeat(m, Duration::ZERO);
+        }
+        Supervisor {
+            detector,
+            config,
+            machines,
+            dir,
+            start,
+            state,
+            last_sent: HashMap::new(),
+            in_flight: HashMap::new(),
+            regs: Vec::new(),
+            stats: SupervisionStats::default(),
+            metrics: None,
+        }
+    }
+
+    /// Also mirror supervision events into the substrate metrics (so
+    /// `MetricsSnapshot` carries suspicion/recovery counters and MTTR).
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> SupervisionStats {
+        self.stats
+    }
+
+    /// The failure detector (for inspecting phi levels).
+    pub fn detector(&self) -> &FailureDetector {
+        &self.detector
+    }
+
+    /// Is `machine` currently declared dead?
+    pub fn is_dead(&self, machine: usize) -> bool {
+        matches!(self.state.get(&machine), Some(MState::Dead { .. }))
+    }
+
+    /// Current address of a supervised name, per this supervisor's view.
+    pub fn current_of(&self, name: &str) -> Option<ObjRef> {
+        self.regs.iter().find(|r| r.name == name).map(|r| r.current)
+    }
+
+    /// Place `client` under supervision as `name`: replicate its snapshot
+    /// to `backups`, record (or inherit) a fencing epoch in the
+    /// directory, and enroll the live incarnation for epoch checks on its
+    /// home machine. From this point a crash of the home machine is
+    /// recoverable and a lease lapse self-fences the object.
+    pub fn register<C: RemoteClient>(
+        &mut self,
+        ctx: &mut NodeCtx,
+        name: &str,
+        client: &C,
+        backups: &[usize],
+    ) -> RemoteResult<()> {
+        let dir = self.dir;
+        ctx.replicate_snapshot(client, name, backups)?;
+        let epoch = match dir.lease_of(ctx, name.to_string())? {
+            Some((_, e, _)) => e.max(1),
+            None => 1,
+        };
+        dir.bind_fenced(ctx, name.to_string(), client.obj_ref(), epoch)?;
+        ctx.set_epoch_of(client.obj_ref(), epoch)?;
+        self.regs.push(Registration {
+            name: name.to_string(),
+            class: C::CLASS,
+            current: client.obj_ref(),
+            epoch,
+            backups: backups.to_vec(),
+            history: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Refresh the replicated snapshots of every supervised object whose
+    /// machine is Up. Recovery restores the *last replicated* state, so
+    /// call this at workload checkpoints; an object busy mid-call is
+    /// skipped (best effort). Returns how many objects were refreshed.
+    pub fn checkpoint(&mut self, ctx: &mut NodeCtx) -> usize {
+        let mut refreshed = 0;
+        let live: Vec<usize> = (0..self.regs.len())
+            .filter(|&i| {
+                matches!(
+                    self.state.get(&self.regs[i].current.machine),
+                    None | Some(MState::Up { .. })
+                )
+            })
+            .collect();
+        for i in live {
+            let (current, class) = (self.regs[i].current, self.regs[i].class);
+            let name = self.regs[i].name.clone();
+            let backups = self.regs[i].backups.clone();
+            let Ok(state) = ctx.snapshot_of(current) else {
+                continue;
+            };
+            let mut ok = true;
+            for b in backups {
+                if b != current.machine && ctx.put_snapshot(b, &name, class, state.clone()).is_err()
+                {
+                    ok = false;
+                }
+            }
+            if ok {
+                refreshed += 1;
+            }
+        }
+        refreshed
+    }
+
+    /// One control round: pump heartbeats and probes, fold replies into
+    /// the detector, execute takeovers for machines that crossed the dead
+    /// threshold with a lapsed lease, and advance resurrections. Returns
+    /// the takeovers completed this round.
+    ///
+    /// Errors are remote-fatal only: an unreachable *directory* aborts
+    /// the step (the arbiter is gone; nothing safe can happen). Failures
+    /// against supervised machines are the expected input, not errors.
+    pub fn step(&mut self, ctx: &mut NodeCtx) -> RemoteResult<Vec<Recovery>> {
+        let now = Instant::now();
+        ctx.poll();
+        self.reap(ctx, now);
+        let mut recoveries = Vec::new();
+        for m in self.machines.clone() {
+            match self.state.get(&m) {
+                Some(MState::Up { .. }) => {
+                    self.pump(ctx, m, now, BeatKind::Beat);
+                    self.judge(ctx, m, now, &mut recoveries)?;
+                }
+                Some(MState::Dead { seen_alive, .. }) => {
+                    if *seen_alive {
+                        self.advance_resurrection(ctx, m);
+                    } else {
+                        self.pump(ctx, m, now, BeatKind::Probe);
+                    }
+                }
+                None => {}
+            }
+        }
+        Ok(recoveries)
+    }
+
+    /// Offset of `t` from this supervisor's clock origin.
+    fn offset(&self, t: Instant) -> Duration {
+        t.saturating_duration_since(self.start)
+    }
+
+    /// Collect heartbeat/probe replies; expire requests nothing will
+    /// answer. A reply that is an *error* (the fabric is up but the
+    /// daemon refused) still proves the machine is alive — it counts.
+    fn reap(&mut self, ctx: &mut NodeCtx, now: Instant) {
+        let ids: Vec<u64> = self.in_flight.keys().copied().collect();
+        for id in ids {
+            let Some(fl) = self.in_flight.get(&id).copied() else {
+                continue;
+            };
+            if ctx.try_take_reply(id).is_some() {
+                self.in_flight.remove(&id);
+                match fl.kind {
+                    BeatKind::Beat => {
+                        let off = self.offset(now);
+                        self.detector.heartbeat(fl.machine, off);
+                    }
+                    BeatKind::Probe => self.note_resurrection(ctx, fl.machine),
+                }
+            } else if now.saturating_duration_since(fl.sent) > self.config.lease_ttl {
+                ctx.abandon_call(id);
+                self.in_flight.remove(&id);
+            }
+        }
+    }
+
+    /// Send the next heartbeat or probe to `m` if its period elapsed.
+    fn pump(&mut self, ctx: &mut NodeCtx, m: usize, now: Instant, kind: BeatKind) {
+        let due = match self.last_sent.get(&m) {
+            Some(&t) => now.saturating_duration_since(t) >= self.config.heartbeat_interval,
+            None => true,
+        };
+        if !due {
+            return;
+        }
+        let started = match kind {
+            BeatKind::Beat => {
+                let ttl = self.config.lease_ttl.as_millis() as u64;
+                ctx.start_heartbeat(m, ttl)
+            }
+            // Probes must not renew the lease: a plain daemon ping.
+            BeatKind::Probe => ctx.start_method_raw(ObjRef::daemon(m), "ping", |_| {}),
+        };
+        self.last_sent.insert(m, now);
+        if let Ok(req_id) = started {
+            self.in_flight.insert(
+                req_id,
+                InFlight {
+                    machine: m,
+                    kind,
+                    sent: now,
+                },
+            );
+        }
+        // A synchronous send failure (machine thread gone) is itself a
+        // liveness datum; the missing heartbeat raises phi on its own.
+    }
+
+    /// Evaluate an Up machine's verdict; escalate to takeover when the
+    /// verdict is Dead *and* the lease has verifiably lapsed.
+    fn judge(
+        &mut self,
+        ctx: &mut NodeCtx,
+        m: usize,
+        now: Instant,
+        recoveries: &mut Vec<Recovery>,
+    ) -> RemoteResult<()> {
+        let off = self.offset(now);
+        let verdict = self.detector.verdict(m, off);
+        let Some(MState::Up { suspected }) = self.state.get_mut(&m) else {
+            return Ok(());
+        };
+        match verdict {
+            Verdict::Alive => *suspected = false,
+            Verdict::Suspect => {
+                if !*suspected {
+                    *suspected = true;
+                    self.stats.suspicions_raised += 1;
+                    if let Some(mx) = &self.metrics {
+                        mx.record_suspicion();
+                    }
+                    let phi = self.detector.phi(m, off);
+                    let milli_phi = (phi * 1000.0).min(u32::MAX as f64) as u32;
+                    ctx.supervision_marker(EventKind::SuspectRaised, m, milli_phi);
+                }
+            }
+            Verdict::Dead => {
+                // The lease gate: takeover only after the machine has
+                // gone `lease_ttl` without an acknowledged heartbeat, at
+                // which point it is self-fenced whether dead or merely
+                // unreachable.
+                let last = self.detector.last_heartbeat(m).unwrap_or_default();
+                if off.saturating_sub(last) >= self.config.lease_ttl {
+                    let detect = off.saturating_sub(last);
+                    self.declare_dead(ctx, m, detect, recoveries)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn declare_dead(
+        &mut self,
+        ctx: &mut NodeCtx,
+        m: usize,
+        detect: Duration,
+        recoveries: &mut Vec<Recovery>,
+    ) -> RemoteResult<()> {
+        self.stats.machines_declared_dead += 1;
+        ctx.supervision_marker(EventKind::MachineDeclaredDead, m, 0);
+        // Our own routing caches must not send anyone *to* the corpse:
+        // drop forwarding-chase and resolution entries targeting it.
+        ctx.purge_moves_to(m);
+        let mut taken = Vec::new();
+        let lost: Vec<usize> = (0..self.regs.len())
+            .filter(|&i| self.regs[i].current.machine == m)
+            .collect();
+        for i in lost {
+            let begun = Instant::now();
+            if self.takeover(ctx, i, m)?.is_some() {
+                let total = detect + begun.elapsed();
+                taken.push(i);
+                self.stats.objects_reactivated += 1;
+                if let Some(mx) = &self.metrics {
+                    mx.record_recovery(detect.as_nanos() as u64, total.as_nanos() as u64);
+                }
+                let micros = total.as_micros().min(u32::MAX as u128) as u32;
+                ctx.supervision_marker(EventKind::ObjectReactivated, m, micros);
+                recoveries.push(Recovery {
+                    name: self.regs[i].name.clone(),
+                    from: m,
+                    to: self.regs[i].current,
+                    epoch: self.regs[i].epoch,
+                    detect,
+                    total,
+                });
+            }
+        }
+        self.state.insert(
+            m,
+            MState::Dead {
+                taken,
+                seen_alive: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Reactivate registration `i` away from dead machine `m`. Returns
+    /// the old incarnation on success (for later re-fencing), `None` when
+    /// someone else already recovered it or the name was poisoned.
+    fn takeover(&mut self, ctx: &mut NodeCtx, i: usize, m: usize) -> RemoteResult<Option<ObjRef>> {
+        let dir = self.dir;
+        let name = self.regs[i].name.clone();
+        let Some((bound, epoch, poisoned)) = dir.lease_of(ctx, name.clone())? else {
+            return Ok(None);
+        };
+        if poisoned {
+            return Ok(None);
+        }
+        if bound.machine != m {
+            // A client's supervised resolution beat us to it; adopt.
+            self.regs[i].current = bound;
+            self.regs[i].epoch = epoch;
+            return Ok(None);
+        }
+        let new_epoch = match dir.claim(ctx, name.clone(), epoch)? {
+            Some(e) => e,
+            None => {
+                // Lost the CAS: a concurrent recovery holds the claim.
+                if let Some((r2, e2, false)) = dir.lease_of(ctx, name.clone())? {
+                    self.regs[i].current = r2;
+                    self.regs[i].epoch = e2;
+                }
+                return Ok(None);
+            }
+        };
+        let samples = self.sample_survivors(ctx, &self.regs[i].backups.clone(), m);
+        for attempt in 0..self.config.restart.max_attempts() {
+            if attempt > 0 {
+                ctx.serve_for(self.config.restart.delay(attempt));
+            }
+            let mut excluded: Vec<usize> = Vec::new();
+            while let Some(target) = reactivation_target(&samples, &excluded) {
+                match ctx.activate_fenced_raw(target, &name, new_epoch) {
+                    Ok(fresh) => {
+                        dir.bind_fenced(ctx, name.clone(), fresh, new_epoch)?;
+                        // Keep every *live* old home forwarding straight
+                        // to the newest incarnation — without this, a
+                        // pointer from two takeovers ago would chase a
+                        // forward into the machine that died in between.
+                        for h in self.regs[i].history.clone() {
+                            let live = h.machine != m
+                                && matches!(
+                                    self.state.get(&h.machine),
+                                    None | Some(MState::Up { .. })
+                                );
+                            if live {
+                                let _ = ctx.fence_object(h, new_epoch, fresh);
+                            }
+                        }
+                        let old = self.regs[i].current;
+                        self.regs[i].history.push(old);
+                        self.regs[i].current = fresh;
+                        self.regs[i].epoch = new_epoch;
+                        return Ok(Some(old));
+                    }
+                    Err(_) => excluded.push(target),
+                }
+            }
+        }
+        // Restart policy exhausted: the name is unrecoverable. Poison it
+        // so resolvers stop exhuming it, and say so in the stats.
+        dir.poison(ctx, name)?;
+        self.stats.recoveries_failed += 1;
+        self.stats.names_poisoned += 1;
+        Ok(None)
+    }
+
+    /// Load-sample the live backups of a registration, excluding the dead
+    /// machine and anything else not currently Up. Runs under a probe
+    /// call policy: a backup that just died must cost one short window,
+    /// not a full retry cycle.
+    fn sample_survivors(
+        &mut self,
+        ctx: &mut NodeCtx,
+        backups: &[usize],
+        dead: usize,
+    ) -> Vec<MachineSample> {
+        let saved = ctx.call_policy();
+        ctx.set_call_policy(CallPolicy::probe(self.config.lease_ttl));
+        let mut samples = Vec::new();
+        for &b in backups {
+            let up = b != dead && matches!(self.state.get(&b), None | Some(MState::Up { .. }));
+            if !up {
+                continue;
+            }
+            if let Ok(st) = ctx.stats_of(b) {
+                samples.push(MachineSample {
+                    machine: b,
+                    calls: st.calls_served,
+                    deferred: st.calls_deferred,
+                    ..MachineSample::default()
+                });
+            }
+        }
+        ctx.set_call_policy(saved);
+        samples
+    }
+
+    /// A probe reply arrived from a machine we declared dead.
+    fn note_resurrection(&mut self, ctx: &mut NodeCtx, m: usize) {
+        if let Some(MState::Dead { seen_alive, .. }) = self.state.get_mut(&m) {
+            if !*seen_alive {
+                *seen_alive = true;
+                self.stats.false_suspicions += 1;
+                if let Some(mx) = &self.metrics {
+                    mx.record_false_suspicion();
+                }
+                ctx.supervision_marker(EventKind::FalseSuspicion, m, 0);
+            }
+        }
+    }
+
+    /// Drive a resurrected machine back to Up: re-fence its stale
+    /// incarnations (each fence makes the machine destroy its copy and
+    /// forward to the takeover home), and only when none remain, forget
+    /// its old heartbeat rhythm and readmit it. Until then it gets no
+    /// heartbeats, so its lease stays expired — the safety net under any
+    /// fence we could not yet deliver.
+    fn advance_resurrection(&mut self, ctx: &mut NodeCtx, m: usize) {
+        let Some(MState::Dead { taken, .. }) = self.state.get(&m) else {
+            return;
+        };
+        let pending = taken.clone();
+        let mut remaining = Vec::new();
+        for t in pending {
+            let reg = &self.regs[t];
+            // Every incarnation this object ever had on the resurrected
+            // machine must forward to wherever it lives *now* — the
+            // registration may have moved on again (double failure) since
+            // this machine last saw it.
+            let stale: Vec<ObjRef> = reg
+                .history
+                .iter()
+                .copied()
+                .filter(|h| h.machine == m)
+                .collect();
+            let fenced = reg.current.machine != m
+                && stale
+                    .iter()
+                    .all(|&h| ctx.fence_object(h, reg.epoch, reg.current).is_ok());
+            if !fenced {
+                remaining.push(t);
+            }
+        }
+        let done = remaining.is_empty();
+        if let Some(MState::Dead { taken, .. }) = self.state.get_mut(&m) {
+            *taken = remaining;
+        }
+        if done {
+            self.detector.forget(m);
+            // The probe replies that proved the resurrection are liveness
+            // evidence: seed the fresh history with one sample so a
+            // machine killed again *before its first post-readmission
+            // heartbeat* still accumulates suspicion (an empty history
+            // would read as "never heard from", i.e. phi = 0, forever).
+            self.detector.heartbeat(m, self.offset(Instant::now()));
+            self.last_sent.remove(&m);
+            self.state.insert(m, MState::Up { suspected: false });
+        }
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`fft`] — §4 Fourier transforms (local and distributed);
 //! * [`mplite`] — the MPI-like message-passing baseline;
 //! * [`placement`] — adaptive placement: the balancer that live-migrates
-//!   hot objects to idle machines (DESIGN §9).
+//!   hot objects to idle machines (DESIGN §9);
+//! * [`supervision`] — self-healing: heartbeat failure detection,
+//!   epoch-fenced leases, automatic reactivation of lost objects
+//!   (DESIGN §10).
 //!
 //! This crate exists *only* as that aggregation point: `examples/` and
 //! `tests/` at the workspace root attach to it, so one `cargo run
@@ -29,4 +32,5 @@ pub use oopp;
 pub use pagestore;
 pub use placement;
 pub use simnet;
+pub use supervision;
 pub use wire;

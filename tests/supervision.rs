@@ -1,0 +1,601 @@
+//! Self-healing suite (DESIGN.md §10).
+//!
+//! Exercises the supervision stack end to end: heartbeat failure
+//! detection with phi-accrual verdicts, epoch-fenced takeover of a
+//! crashed machine's objects from replicated snapshots, lease-based
+//! self-fencing under a partition-induced *false* suspicion (zero
+//! split-brain writes), the CAS-arbitrated recovery race (exactly one
+//! activation no matter how many clients notice the crash), stale
+//! moved-cache invalidation when a forward's target dies, and restart
+//! policies that poison unrecoverable names.
+
+use std::time::{Duration, Instant};
+
+use oopp_repro::oopp::{
+    join, resolve_or_activate_supervised, symbolic_addr, wire, Backoff, CallPolicy, ClusterBuilder,
+    DirectoryClient, Driver, NodeCtx, ObjRef, RemoteClient, RemoteError, RemoteResult,
+};
+use oopp_repro::simnet::ClusterConfig;
+use supervision::{DetectorConfig, RestartPolicy, Supervisor, SupervisorConfig};
+
+/// Persistent, deliberately non-idempotent counter: every recovered total
+/// is evidence about exactly-once execution and snapshot fidelity.
+#[derive(Debug, Default)]
+pub struct PCounter {
+    total: u64,
+}
+
+oopp_repro::oopp::remote_class! {
+    class PCounter {
+        persistent;
+        ctor();
+        /// Add `n`; returns the new total.
+        fn add(&mut self, n: u64) -> u64;
+        /// Current total.
+        fn total(&mut self) -> u64;
+    }
+}
+
+impl PCounter {
+    pub fn new(_ctx: &mut NodeCtx) -> RemoteResult<Self> {
+        Ok(PCounter::default())
+    }
+
+    fn add(&mut self, _ctx: &mut NodeCtx, n: u64) -> RemoteResult<u64> {
+        self.total += n;
+        Ok(self.total)
+    }
+
+    fn total(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<u64> {
+        Ok(self.total)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        wire::to_bytes(&self.total)
+    }
+
+    fn load_state(_ctx: &mut NodeCtx, state: &[u8]) -> RemoteResult<Self> {
+        Ok(PCounter {
+            total: wire::from_bytes(state)?,
+        })
+    }
+}
+
+/// A worker-side recoverer: runs the supervised resolution *on its own
+/// machine*, so two of these on different machines genuinely race for the
+/// takeover claim in parallel threads.
+#[derive(Debug)]
+pub struct Reviver;
+
+oopp_repro::oopp::remote_class! {
+    class Reviver {
+        ctor();
+        /// Resolve `addr` under supervision (activating from a replica if
+        /// the home is dead) and return the resolved address.
+        fn revive(&mut self, dir: ObjRef, addr: String, candidates: Vec<usize>) -> ObjRef;
+    }
+}
+
+impl Reviver {
+    pub fn new(_ctx: &mut NodeCtx) -> RemoteResult<Self> {
+        Ok(Reviver)
+    }
+
+    fn revive(
+        &mut self,
+        ctx: &mut NodeCtx,
+        dir: ObjRef,
+        addr: String,
+        candidates: Vec<usize>,
+    ) -> RemoteResult<ObjRef> {
+        let dir = DirectoryClient::from_ref(dir);
+        let c: PCounterClient = resolve_or_activate_supervised(ctx, &dir, &addr, &candidates)?;
+        Ok(c.obj_ref())
+    }
+}
+
+/// Fast-failure call policy for supervision tests: dead machines must
+/// cost short windows, not 30-second defaults.
+fn test_policy() -> CallPolicy {
+    CallPolicy::reliable(Duration::from_millis(100))
+        .with_max_retries(2)
+        .with_backoff(Backoff::fixed(Duration::from_millis(5)))
+}
+
+/// Supervisor tuning scaled to a zero-cost fabric, with a lease long
+/// enough that a scheduler hiccup on the test thread cannot expire it.
+fn test_config() -> SupervisorConfig {
+    let heartbeat_interval = Duration::from_millis(10);
+    SupervisorConfig {
+        heartbeat_interval,
+        lease_ttl: Duration::from_millis(150),
+        detector: DetectorConfig {
+            expected_interval: heartbeat_interval,
+            ..DetectorConfig::default()
+        },
+        restart: RestartPolicy::Retries {
+            max_retries: 2,
+            backoff: Backoff::fixed(Duration::from_millis(10)),
+        },
+    }
+}
+
+/// Step the supervisor until `done` says so (or panic after `limit`),
+/// collecting every completed recovery along the way.
+fn settle(
+    sup: &mut Supervisor,
+    driver: &mut Driver,
+    limit: Duration,
+    mut done: impl FnMut(&Supervisor, &[supervision::Recovery]) -> bool,
+) -> Vec<supervision::Recovery> {
+    let deadline = Instant::now() + limit;
+    let mut recoveries = Vec::new();
+    loop {
+        recoveries.extend(sup.step(driver).expect("directory must stay reachable"));
+        if done(sup, &recoveries) {
+            return recoveries;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "supervisor did not settle in {limit:?}: stats {:?}, recoveries {recoveries:?}",
+            sup.stats()
+        );
+        driver.serve_for(Duration::from_millis(2));
+    }
+}
+
+/// A healthy cluster under supervision: heartbeats renew leases, nothing
+/// is suspected to death, and supervised objects keep serving.
+#[test]
+fn healthy_cluster_is_never_declared_dead() {
+    let (cluster, mut driver) = ClusterBuilder::new(3)
+        .register::<PCounter>()
+        .sim_config(ClusterConfig::zero_cost(0))
+        .call_policy(test_policy())
+        .build();
+    let dir = driver.directory();
+    let mut sup =
+        Supervisor::new(test_config(), vec![1, 2], dir).with_metrics(cluster.metrics().clone());
+
+    let c = PCounterClient::new_on(&mut driver, 1).unwrap();
+    sup.register(
+        &mut driver,
+        &symbolic_addr(&["sup", "PCounter", "0"]),
+        &c,
+        &[2],
+    )
+    .unwrap();
+
+    let until = Instant::now() + Duration::from_millis(600);
+    let mut adds = 0;
+    while Instant::now() < until {
+        sup.step(&mut driver).unwrap();
+        c.add(&mut driver, 1).unwrap();
+        adds += 1;
+        driver.serve_for(Duration::from_millis(5));
+    }
+    assert_eq!(c.total(&mut driver).unwrap(), adds);
+
+    let stats = sup.stats();
+    assert_eq!(stats.machines_declared_dead, 0, "{stats:?}");
+    assert_eq!(stats.false_suspicions, 0, "{stats:?}");
+    assert_eq!(stats.objects_reactivated, 0, "{stats:?}");
+    for m in [1, 2] {
+        let ns = driver.stats_of(m).unwrap();
+        assert!(ns.heartbeats_served > 0, "machine {m} never served a beat");
+        assert_eq!(ns.calls_fenced, 0, "machine {m} fenced a healthy call");
+    }
+
+    cluster.shutdown(driver);
+}
+
+/// The tentpole path: a crashed machine is detected, its supervised
+/// object is reactivated from the replicated snapshot on a survivor at a
+/// bumped epoch, state carries over, and MTTR is bounded and accounted.
+#[test]
+fn crashed_machine_is_detected_and_its_object_reactivated() {
+    let (cluster, mut driver) = ClusterBuilder::new(3)
+        .register::<PCounter>()
+        .sim_config(ClusterConfig::zero_cost(0))
+        .call_policy(test_policy())
+        .build();
+    let dir = driver.directory();
+    let cfg = test_config();
+    let mut sup = Supervisor::new(cfg, vec![1, 2], dir).with_metrics(cluster.metrics().clone());
+
+    let addr = symbolic_addr(&["sup", "PCounter", "0"]);
+    let c = PCounterClient::new_on(&mut driver, 1).unwrap();
+    sup.register(&mut driver, &addr, &c, &[2]).unwrap();
+
+    // Build up state, then checkpoint so the replica carries it.
+    for _ in 0..5 {
+        c.add(&mut driver, 1).unwrap();
+    }
+    assert_eq!(sup.checkpoint(&mut driver), 1);
+
+    // Warm the detector so it has an inter-arrival distribution to judge.
+    settle(&mut sup, &mut driver, Duration::from_secs(5), |s, _| {
+        s.detector().last_heartbeat(1).is_some() && s.detector().last_heartbeat(2).is_some()
+    });
+
+    cluster.sim().faults().crash(1);
+    let recoveries = settle(&mut sup, &mut driver, Duration::from_secs(15), |_, r| {
+        !r.is_empty()
+    });
+
+    assert_eq!(recoveries.len(), 1);
+    let r = &recoveries[0];
+    assert_eq!(r.name, addr);
+    assert_eq!(r.from, 1);
+    assert_eq!(r.to.machine, 2, "the only backup must host the takeover");
+    assert_eq!(r.epoch, 2, "registration epoch 1 + one takeover claim");
+    assert!(sup.is_dead(1));
+
+    // MTTR is real and bounded: detection alone must span the lease TTL
+    // (takeover before that would race the old lease), and the whole
+    // recovery stays within interactive bounds even on a loaded CI box.
+    assert!(r.detect >= cfg.lease_ttl, "detect {:?}", r.detect);
+    assert!(r.total >= r.detect);
+    assert!(r.total < Duration::from_secs(10), "MTTR {:?}", r.total);
+
+    // The incarnation carries the checkpointed state and keeps serving.
+    let recovered = PCounterClient::from_ref(r.to);
+    assert_eq!(recovered.total(&mut driver).unwrap(), 5);
+    assert_eq!(recovered.add(&mut driver, 1).unwrap(), 6);
+
+    // The directory agrees with the supervisor's view.
+    assert_eq!(
+        dir.lease_of(&mut driver, addr.clone()).unwrap(),
+        Some((r.to, 2, false))
+    );
+    assert_eq!(sup.current_of(&addr), Some(r.to));
+
+    // And the substrate metrics carry the recovery accounting.
+    let snap = cluster.snapshot();
+    assert_eq!(snap.recoveries, 1);
+    assert!(snap.mean_mttr_nanos() > 0);
+    assert!(snap.recovery_detect_nanos <= snap.recovery_total_nanos);
+
+    cluster.sim().faults().restart(1);
+    cluster.shutdown(driver);
+}
+
+/// The false-suspicion drill: a partition makes a *live* machine look
+/// dead. The supervisor takes its object away — but the partitioned
+/// incarnation's lease has lapsed, so when the partition heals the stale
+/// copy refuses calls with `Fenced` instead of accepting a split-brain
+/// write. Resurrection then re-fences it into a forwarder and the
+/// machine rejoins.
+#[test]
+fn partition_false_suspicion_cannot_split_the_brain() {
+    let (cluster, mut driver) = ClusterBuilder::new(3)
+        .register::<PCounter>()
+        .sim_config(ClusterConfig::zero_cost(0))
+        .call_policy(test_policy())
+        .build();
+    let dir = driver.directory();
+    let mut sup =
+        Supervisor::new(test_config(), vec![1, 2], dir).with_metrics(cluster.metrics().clone());
+
+    let addr = symbolic_addr(&["sup", "PCounter", "0"]);
+    let c = PCounterClient::new_on(&mut driver, 1).unwrap();
+    sup.register(&mut driver, &addr, &c, &[2]).unwrap();
+    for _ in 0..5 {
+        c.add(&mut driver, 1).unwrap();
+    }
+    assert_eq!(sup.checkpoint(&mut driver), 1);
+    settle(&mut sup, &mut driver, Duration::from_secs(5), |s, _| {
+        s.detector().last_heartbeat(1).is_some()
+    });
+
+    // Cut machine 1 off from the whole cluster — workers AND the driver
+    // (machine id 3), so heartbeats stop while the machine itself lives.
+    cluster.sim().faults().isolate(1, &[0, 2, 3]);
+    let recoveries = settle(&mut sup, &mut driver, Duration::from_secs(15), |_, r| {
+        !r.is_empty()
+    });
+    let new_home = recoveries[0].to;
+    assert_eq!(new_home.machine, 2);
+
+    // Writes continue against the takeover incarnation.
+    let recovered = PCounterClient::from_ref(new_home);
+    for _ in 0..3 {
+        recovered.add(&mut driver, 1).unwrap();
+    }
+
+    cluster.sim().faults().rejoin(1, &[0, 2, 3]);
+
+    // The healed machine still holds its pre-partition incarnation, but
+    // its lease expired mid-partition: before the supervisor has even
+    // noticed the resurrection, a stale direct call bounces with Fenced
+    // instead of reaching the old copy. This is the split-brain window,
+    // and it is closed.
+    match c.total(&mut driver) {
+        Err(RemoteError::Fenced { current_epoch }) => assert_eq!(current_epoch, 1),
+        other => panic!("stale call must be fenced by the lapsed lease, got {other:?}"),
+    }
+    assert!(driver.stats_of(1).unwrap().calls_fenced > 0);
+
+    // Let the supervisor see the machine answer probes, re-fence the
+    // stale incarnation, and readmit the machine.
+    settle(&mut sup, &mut driver, Duration::from_secs(15), |s, _| {
+        !s.is_dead(1)
+    });
+    assert_eq!(sup.stats().false_suspicions, 1);
+    assert_eq!(cluster.snapshot().false_suspicions, 1);
+
+    // The re-fence destroyed the stale copy (machine 1 hosts no objects
+    // now) and left a forward: the old pointer transparently reaches the
+    // takeover incarnation, whose total proves every write landed exactly
+    // once — 5 before the partition, 3 during, none lost, none doubled.
+    assert_eq!(driver.stats_of(1).unwrap().objects_live, 0);
+    assert_eq!(c.total(&mut driver).unwrap(), 8);
+    assert_eq!(recovered.total(&mut driver).unwrap(), 8);
+
+    cluster.shutdown(driver);
+}
+
+/// Satellite regression: N clients watching the same crash race through
+/// `resolve_or_activate_supervised` — the directory's CAS claim must let
+/// exactly one of them activate, with the loser adopting the winner's
+/// incarnation. Two worker machines race in genuinely parallel threads.
+#[test]
+fn racing_recoveries_activate_exactly_once() {
+    let (cluster, mut driver) = ClusterBuilder::new(4)
+        .register::<PCounter>()
+        .register::<Reviver>()
+        .sim_config(ClusterConfig::zero_cost(0))
+        .call_policy(test_policy())
+        .build();
+    let dir = driver.directory();
+
+    let addr = symbolic_addr(&["race", "PCounter", "0"]);
+    let c = PCounterClient::new_on(&mut driver, 1).unwrap();
+    for _ in 0..4 {
+        c.add(&mut driver, 1).unwrap();
+    }
+    dir.bind(&mut driver, addr.clone(), c.obj_ref()).unwrap();
+    driver.replicate_snapshot(&c, &addr, &[2, 3]).unwrap();
+
+    let r2 = ReviverClient::new_on(&mut driver, 2).unwrap();
+    let r3 = ReviverClient::new_on(&mut driver, 3).unwrap();
+    let before: usize = [2, 3]
+        .iter()
+        .map(|&m| driver.stats_of(m).unwrap().objects_live as usize)
+        .sum();
+
+    cluster.sim().faults().crash(1);
+
+    // Both workers notice the dead home and race for the takeover.
+    let dir_ref = dir.obj_ref();
+    let pending = vec![
+        r2.revive_async(&mut driver, dir_ref, addr.clone(), vec![1, 2, 3])
+            .unwrap(),
+        r3.revive_async(&mut driver, dir_ref, addr.clone(), vec![1, 2, 3])
+            .unwrap(),
+    ];
+    // Each racer's resolution legitimately takes seconds (probing the
+    // dead home costs a full policy window per round), so the driver
+    // waits with a patient single-shot policy rather than its fast one.
+    let fast = driver.call_policy();
+    driver.set_call_policy(CallPolicy::no_retry(Duration::from_secs(30)));
+    let resolved = join(&mut driver, pending).unwrap();
+    driver.set_call_policy(fast);
+
+    // Exactly one activation: both racers agree on the same incarnation,
+    // the lease epoch advanced exactly once, and exactly one new object
+    // exists across the candidate machines.
+    assert_eq!(resolved[0], resolved[1], "racers resolved different copies");
+    let (bound, epoch, poisoned) = dir.lease_of(&mut driver, addr.clone()).unwrap().unwrap();
+    assert_eq!(bound, resolved[0]);
+    assert_eq!(epoch, 1, "exactly one CAS claim must have succeeded");
+    assert!(!poisoned);
+    let after: usize = [2, 3]
+        .iter()
+        .map(|&m| driver.stats_of(m).unwrap().objects_live as usize)
+        .sum();
+    assert_eq!(after, before + 1, "double activation detected");
+
+    // The survivor carries the replicated state.
+    let survivor = PCounterClient::from_ref(resolved[0]);
+    assert_eq!(survivor.total(&mut driver).unwrap(), 4);
+
+    cluster.sim().faults().restart(1);
+    cluster.shutdown(driver);
+}
+
+/// Satellite regression: a moved-cache entry whose target machine dies
+/// must be invalidated when the supervisor declares that machine dead.
+/// Double-failure scenario: the object recovers 1 → 2, the client chases
+/// the forward (caching old→2), then machine 2 dies and the object
+/// recovers onto 3. Without the purge, the client's next call through
+/// the original pointer would be rewritten straight into the corpse.
+#[test]
+fn stale_moved_cache_entries_die_with_their_target_machine() {
+    let (cluster, mut driver) = ClusterBuilder::new(4)
+        .register::<PCounter>()
+        .sim_config(ClusterConfig::zero_cost(0))
+        .call_policy(test_policy())
+        .build();
+    let dir = driver.directory();
+    let mut sup =
+        Supervisor::new(test_config(), vec![1, 2, 3], dir).with_metrics(cluster.metrics().clone());
+
+    let addr = symbolic_addr(&["sup", "PCounter", "0"]);
+    let c = PCounterClient::new_on(&mut driver, 1).unwrap();
+    sup.register(&mut driver, &addr, &c, &[2, 3]).unwrap();
+    for _ in 0..3 {
+        c.add(&mut driver, 1).unwrap();
+    }
+    assert_eq!(sup.checkpoint(&mut driver), 1);
+    settle(&mut sup, &mut driver, Duration::from_secs(5), |s, _| {
+        s.detector().last_heartbeat(1).is_some()
+    });
+
+    // First failure: 1 dies, object recovers onto 2 (the least-loaded
+    // backup, deterministic tie-break).
+    cluster.sim().faults().crash(1);
+    let rec1 = settle(&mut sup, &mut driver, Duration::from_secs(15), |_, r| {
+        !r.is_empty()
+    });
+    assert_eq!(rec1[0].to.machine, 2);
+
+    // Machine 1 restarts blank; the supervisor re-fences it into a
+    // forwarder and readmits it.
+    cluster.sim().faults().restart(1);
+    settle(&mut sup, &mut driver, Duration::from_secs(15), |s, _| {
+        !s.is_dead(1)
+    });
+
+    // Chasing the original pointer populates the driver's moved cache
+    // with old→(machine 2).
+    assert_eq!(c.total(&mut driver).unwrap(), 3);
+    assert_eq!(sup.checkpoint(&mut driver), 1);
+
+    // Second failure: machine 2 dies; recovery lands on 3. declare_dead
+    // purges every moved-cache and resolve-cache entry pointing at 2.
+    cluster.sim().faults().crash(2);
+    let rec2 = settle(&mut sup, &mut driver, Duration::from_secs(15), |_, r| {
+        !r.is_empty()
+    });
+    assert_eq!(rec2[0].to.machine, 3);
+    assert_eq!(rec2[0].epoch, 3);
+
+    // The regression: this call must NOT be rewritten into dead machine 2
+    // by the stale cache entry. With the purge it goes to machine 1,
+    // whose forward the takeover re-pointed at the newest incarnation.
+    assert_eq!(c.add(&mut driver, 1).unwrap(), 4);
+    assert_eq!(
+        PCounterClient::from_ref(rec2[0].to)
+            .total(&mut driver)
+            .unwrap(),
+        4
+    );
+
+    cluster.sim().faults().restart(2);
+    cluster.shutdown(driver);
+}
+
+/// Restart-policy exhaustion: when every backup is gone too, the
+/// supervisor gives up deliberately — the name is poisoned so resolvers
+/// stop exhuming it, and the failure is visible in the stats.
+#[test]
+fn unrecoverable_names_are_poisoned_not_retried_forever() {
+    let (cluster, mut driver) = ClusterBuilder::new(3)
+        .register::<PCounter>()
+        .sim_config(ClusterConfig::zero_cost(0))
+        .call_policy(test_policy())
+        .build();
+    let dir = driver.directory();
+    let mut sup =
+        Supervisor::new(test_config(), vec![1, 2], dir).with_metrics(cluster.metrics().clone());
+
+    let addr = symbolic_addr(&["sup", "PCounter", "0"]);
+    let c = PCounterClient::new_on(&mut driver, 1).unwrap();
+    sup.register(&mut driver, &addr, &c, &[2]).unwrap();
+    settle(&mut sup, &mut driver, Duration::from_secs(5), |s, _| {
+        s.detector().last_heartbeat(1).is_some()
+    });
+
+    // Home AND its only backup die.
+    cluster.sim().faults().crash(1);
+    cluster.sim().faults().crash(2);
+    settle(&mut sup, &mut driver, Duration::from_secs(30), |s, _| {
+        s.stats().names_poisoned > 0
+    });
+
+    let stats = sup.stats();
+    assert_eq!(stats.recoveries_failed, 1);
+    assert_eq!(stats.names_poisoned, 1);
+    assert_eq!(stats.objects_reactivated, 0);
+
+    // Resolvers see the poison, not an infinite activation loop.
+    assert_eq!(dir.lookup(&mut driver, addr.clone()).unwrap(), None);
+    let err = resolve_or_activate_supervised::<PCounterClient>(&mut driver, &dir, &addr, &[1, 2])
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("poisoned"),
+        "expected poisoned-name error, got {err}"
+    );
+
+    cluster.sim().faults().restart(1);
+    cluster.sim().faults().restart(2);
+    cluster.shutdown(driver);
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        /// Partition chaos never loses or doubles an acknowledged write,
+        /// at any partition timing: every successful `add` returns a
+        /// strictly larger total (a split brain shows up as a repeated or
+        /// regressed total from the second copy), and after healing, the
+        /// surviving incarnation's total equals the last acknowledged one.
+        #[test]
+        fn partitions_never_lose_or_double_acknowledged_writes(
+            partition_after in 1usize..6,
+            rounds in 8usize..14,
+        ) {
+            let (cluster, mut driver) = ClusterBuilder::new(3)
+                .register::<PCounter>()
+                .sim_config(ClusterConfig::zero_cost(0))
+                .call_policy(test_policy())
+                .build();
+            let dir = driver.directory();
+            let mut sup = Supervisor::new(test_config(), vec![1, 2], dir)
+                .with_metrics(cluster.metrics().clone());
+
+            let addr = symbolic_addr(&["sup", "PCounter", "prop"]);
+            let c = PCounterClient::new_on(&mut driver, 1).unwrap();
+            sup.register(&mut driver, &addr, &c, &[2]).unwrap();
+            settle(&mut sup, &mut driver, Duration::from_secs(5), |s, _| {
+                s.detector().last_heartbeat(1).is_some()
+            });
+
+            let mut last_total = 0u64;
+            let mut partitioned = false;
+            for round in 0..rounds {
+                if round == partition_after {
+                    assert_eq!(sup.checkpoint(&mut driver), 1);
+                    cluster.sim().faults().isolate(1, &[0, 2, 3]);
+                    partitioned = true;
+                }
+                // Write through whatever the supervisor currently deems
+                // live; a failed write (mid-takeover) is retried against
+                // the re-resolved address next round.
+                let target = PCounterClient::from_ref(sup.current_of(&addr).unwrap());
+                if let Ok(total) = target.add(&mut driver, 1) {
+                    prop_assert!(
+                        total > last_total,
+                        "total regressed or repeated: {total} after {last_total}"
+                    );
+                    last_total = total;
+                }
+                sup.step(&mut driver).unwrap();
+                driver.serve_for(Duration::from_millis(5));
+                if partitioned && sup.is_dead(1) && round + 2 < rounds {
+                    cluster.sim().faults().rejoin(1, &[0, 2, 3]);
+                    partitioned = false;
+                }
+            }
+            if partitioned {
+                cluster.sim().faults().rejoin(1, &[0, 2, 3]);
+            }
+            // Settle takeover/resurrection fully, then audit the ledger.
+            settle(&mut sup, &mut driver, Duration::from_secs(20), |s, r| {
+                (!s.is_dead(1) && !s.is_dead(2)) || !r.is_empty()
+            });
+            let live = PCounterClient::from_ref(sup.current_of(&addr).unwrap());
+            let final_total = live.total(&mut driver).unwrap();
+            prop_assert!(
+                final_total == last_total,
+                "acknowledged writes lost or doubled: {final_total} != {last_total}"
+            );
+
+            cluster.shutdown(driver);
+        }
+    }
+}
