@@ -1,0 +1,98 @@
+//! E12: cost of the replication machinery itself, zero-cost substrate.
+//!
+//! The experiment table (Zipf workload, read throughput vs replica count,
+//! chaos variant) comes from `reproduce e12`; these benches track the
+//! price of the pieces on the hot path: a read served by a replica versus
+//! the same read at an unreplicated primary (the routing + coherence-gate
+//! overhead), and a write-through write as the replica set grows (the
+//! synchronous state push is the write's coherence tax).
+
+use std::time::Duration;
+
+use bench::experiments::{RepBlock, RepBlockClient};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oopp::{symbolic_addr, Backoff, CallPolicy, ClusterBuilder, RemoteClient};
+use replica::{CoherenceMode, ReplicaConfig, ReplicaManager};
+
+fn policy() -> CallPolicy {
+    CallPolicy::reliable(Duration::from_millis(100))
+        .with_max_retries(6)
+        .with_backoff(Backoff::fixed(Duration::from_millis(5)))
+}
+
+fn config() -> ReplicaConfig {
+    ReplicaConfig {
+        mode: CoherenceMode::WriteThrough,
+        lease: Duration::from_secs(60),
+    }
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_replica");
+    const N: usize = 256;
+
+    // Baseline: a read at an unreplicated primary — one plain RMI.
+    {
+        let (_cluster, mut driver) = ClusterBuilder::new(2)
+            .register::<RepBlock>()
+            .call_policy(policy())
+            .build();
+        let b = RepBlockClient::new_on(&mut driver, 1, N).unwrap();
+        g.bench_function("read_unreplicated_primary", |bch| {
+            bch.iter(|| std::hint::black_box(b.work(&mut driver, 0).unwrap()))
+        });
+    }
+
+    // The same read with one replica registered: the caller's route
+    // redirects the verb, the replica checks its lease and epoch gate.
+    {
+        let (_cluster, mut driver) = ClusterBuilder::new(3)
+            .register::<RepBlock>()
+            .call_policy(policy())
+            .build();
+        let dir = driver.directory();
+        let name = symbolic_addr(&["bench", "e12", "read"]);
+        let b = RepBlockClient::new_on(&mut driver, 1, N).unwrap();
+        dir.bind(&mut driver, name.clone(), b.obj_ref()).unwrap();
+        let mut mgr = ReplicaManager::new(config(), dir);
+        mgr.replicate(&mut driver, &name, &b, &[2]).unwrap();
+        g.bench_function("read_via_replica", |bch| {
+            bch.iter(|| std::hint::black_box(b.work(&mut driver, 0).unwrap()))
+        });
+    }
+
+    // A write-through write as the set grows: the primary pushes fresh
+    // state to every replica before acking, so the write's latency grows
+    // with the set — the coherence price the read scaling is bought with.
+    for replicas in [0usize, 1, 2, 3] {
+        let (_cluster, mut driver) = ClusterBuilder::new(5)
+            .register::<RepBlock>()
+            .call_policy(policy())
+            .build();
+        let dir = driver.directory();
+        let name = symbolic_addr(&["bench", "e12", "write"]);
+        let b = RepBlockClient::new_on(&mut driver, 1, N).unwrap();
+        dir.bind(&mut driver, name.clone(), b.obj_ref()).unwrap();
+        let mut mgr = ReplicaManager::new(config(), dir);
+        if replicas > 0 {
+            mgr.replicate(&mut driver, &name, &b, &[2, 3, 4][..replicas])
+                .unwrap();
+        }
+        g.bench_with_input(
+            BenchmarkId::new("write_through_bump", replicas),
+            &replicas,
+            |bch, _| bch.iter(|| std::hint::black_box(b.bump(&mut driver, 0.5).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_replication
+}
+criterion_main!(benches);

@@ -69,6 +69,11 @@ fn main() {
             "self-healing: crash/partition mid-Zipf, supervised recovery with bounded MTTR",
             ex::e11_self_healing,
         ),
+        (
+            "E12",
+            "coherent read replication: Zipf read throughput vs replica count, chaos exactly-once",
+            ex::e12_replication,
+        ),
         ("A1", "ablation: wire codec throughput", || {
             vec![ex::a1_wire()]
         }),

@@ -1135,6 +1135,306 @@ pub fn e11_self_healing() -> Vec<Table> {
     vec![t]
 }
 
+/// E12's workload object: a read-hot block whose `work`/`version`/`read`
+/// verbs are declared replica-servable, while `bump` stays a write that
+/// only the primary executes. State is versioned so every acknowledged
+/// write has an exactly-once witness (the version counts acks; the data
+/// bytes would diverge on any double-apply).
+#[derive(Debug)]
+pub struct RepBlock {
+    data: Vec<f64>,
+    version: u64,
+}
+
+oopp::remote_class! {
+    class RepBlock {
+        persistent;
+        reads(work, version, read);
+        ctor(n: usize);
+        /// The hot read: one reduction over the block plus `micros` of
+        /// modeled device-side compute (see [`HotBlock::work`]).
+        fn work(&mut self, micros: u64) -> f64;
+        /// Write counter — the read-your-writes probe.
+        fn version(&mut self) -> u64;
+        /// The whole block, for the byte-identical witness.
+        fn read(&mut self) -> F64s;
+        /// The write verb: add `delta` everywhere; returns the version.
+        fn bump(&mut self, delta: f64) -> u64;
+    }
+}
+
+impl RepBlock {
+    pub fn new(_ctx: &mut oopp::NodeCtx, n: usize) -> oopp::RemoteResult<Self> {
+        Ok(RepBlock {
+            data: vec![0.0; n],
+            version: 0,
+        })
+    }
+
+    fn work(&mut self, _ctx: &mut oopp::NodeCtx, micros: u64) -> oopp::RemoteResult<f64> {
+        let mut s = 0.0f64;
+        for &x in &self.data {
+            s = s * 0.999_999_9 + x;
+        }
+        simnet::time::precise_sleep(Duration::from_micros(micros));
+        Ok(s)
+    }
+
+    fn version(&mut self, _ctx: &mut oopp::NodeCtx) -> oopp::RemoteResult<u64> {
+        Ok(self.version)
+    }
+
+    fn read(&mut self, _ctx: &mut oopp::NodeCtx) -> oopp::RemoteResult<F64s> {
+        Ok(F64s(self.data.clone()))
+    }
+
+    fn bump(&mut self, _ctx: &mut oopp::NodeCtx, delta: f64) -> oopp::RemoteResult<u64> {
+        for x in &mut self.data {
+            *x += delta;
+        }
+        self.version += 1;
+        Ok(self.version)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        wire::to_bytes(&(self.version, F64s(self.data.clone())))
+    }
+
+    fn load_state(_ctx: &mut oopp::NodeCtx, state: &[u8]) -> oopp::RemoteResult<Self> {
+        let (version, data) = wire::from_bytes::<(u64, F64s)>(state)?;
+        Ok(RepBlock {
+            data: data.0,
+            version,
+        })
+    }
+}
+
+/// E12 (DESIGN.md §11): coherent read replication under a read-heavy
+/// Zipf workload.
+///
+/// The head of the Zipf distribution is one read-hot object whose `work`
+/// verb costs modeled device time; the tail objects are cheap metadata
+/// reads on other machines. One process per object means the head
+/// serializes behind a single mailbox no matter where placement puts it
+/// — so the replica subsystem materializes k read replicas and the same
+/// split-loop read batches fan out across them, scaling read throughput
+/// ~linearly with k while ~2% writes keep landing at the primary under
+/// write-through coherence (every read-your-writes probe must hit).
+///
+/// The chaos variant reruns the 4-replica workload and kills a replica
+/// machine and then the *primary's* machine mid-run: the manager shrinks
+/// the set, CAS-promotes a surviving replica, and the run must end with
+/// the exact version count (exactly-once writes) and data byte-identical
+/// to every fault-free variant.
+pub fn e12_replication() -> Vec<Table> {
+    use oopp::symbolic_addr;
+    use replica::{CoherenceMode, ReplicaConfig, ReplicaManager};
+
+    const WORKERS: usize = 6;
+    const NOBJ: usize = 4; // Zipf universe: the hot head + 3 cheap tails
+    const N: usize = 2048; // 16 KiB of f64 state in the hot object
+    const SERVICE_US: u64 = 250;
+    const ROUNDS: usize = 12;
+    const READS: usize = 48; // per round; one write per round = ~2% writes
+    const ZIPF_S: f64 = 1.2;
+    const HOT_HOME: usize = 1; // machine 0 keeps the directory
+    const COLD_HOMES: [usize; 3] = [2, 3, 4];
+    const REPLICA_HOMES: [usize; 4] = [2, 3, 4, 5];
+
+    let mut cdf = Vec::with_capacity(NOBJ);
+    let mut acc = 0.0f64;
+    for k in 0..NOBJ {
+        acc += 1.0 / ((k + 1) as f64).powf(ZIPF_S);
+        cdf.push(acc);
+    }
+    let total = acc;
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    struct Outcome {
+        data: Vec<f64>,
+        version: u64,
+        elapsed: Duration,
+        hot_reads: u64,
+        replica_served: u64,
+        syncs: u64,
+        promotions: u64,
+        ryw_misses: u64,
+    }
+
+    let run = |replicas: usize, chaos: bool| -> Outcome {
+        let call_policy = CallPolicy::reliable(Duration::from_millis(60))
+            .with_max_retries(2)
+            .with_backoff(Backoff::fixed(Duration::from_millis(5)));
+        let (cluster, mut driver) = ClusterBuilder::new(WORKERS)
+            .register::<RepBlock>()
+            .sim_config(ClusterConfig::zero_cost(0))
+            .call_policy(call_policy)
+            .build();
+        let dir = driver.directory();
+        let name = symbolic_addr(&["e12", "RepBlock", "hot"]);
+        let hot = RepBlockClient::new_on(&mut driver, HOT_HOME, N).unwrap();
+        dir.bind(&mut driver, name.clone(), hot.obj_ref()).unwrap();
+        let cold: Vec<RepBlockClient> = COLD_HOMES
+            .iter()
+            .map(|&m| RepBlockClient::new_on(&mut driver, m, 8).unwrap())
+            .collect();
+        let mut mgr = ReplicaManager::new(
+            ReplicaConfig {
+                mode: CoherenceMode::WriteThrough,
+                lease: Duration::from_secs(30),
+            },
+            dir,
+        );
+        if replicas > 0 {
+            mgr.replicate(&mut driver, &name, &hot, &REPLICA_HOMES[..replicas])
+                .unwrap();
+        }
+
+        let mut rng = 0xE12_2026u64;
+        let mut hot_reads = 0u64;
+        let mut ryw_misses = 0u64;
+        let mut dead: Vec<usize> = Vec::new();
+        let t0 = std::time::Instant::now();
+        for round in 0..ROUNDS {
+            // The chaos schedule: first a replica dies, later the primary
+            // itself. The harness plays the supervisor's declare-dead role
+            // (E11 already proved detection); the manager does the rest.
+            if chaos && (round == ROUNDS / 3 || round == 2 * ROUNDS / 3) {
+                let victim = if round == ROUNDS / 3 {
+                    REPLICA_HOMES[replicas - 1]
+                } else {
+                    mgr.primary_of(&name).unwrap().machine
+                };
+                let was_primary = mgr.primary_of(&name).unwrap().machine == victim;
+                cluster.sim().faults().crash(victim);
+                dead.push(victim);
+                let promoted = mgr.handle_dead_machine(&mut driver, victim).unwrap();
+                assert_eq!(
+                    promoted.len(),
+                    usize::from(was_primary),
+                    "a dead primary must promote exactly one replica"
+                );
+            }
+            let primary = mgr.primary_of(&name).unwrap_or(hot.obj_ref());
+            let hot_now = RepBlockClient::from_ref(primary);
+
+            // The split-loop read batch: issue every request before
+            // awaiting any reply. Hot reads fan out over the replica set.
+            let mut hot_pending = Vec::new();
+            let mut cold_pending = Vec::new();
+            for _ in 0..READS {
+                let u = (splitmix(&mut rng) >> 11) as f64 / (1u64 << 53) as f64 * total;
+                let k = cdf.iter().position(|&c| u < c).unwrap_or(NOBJ - 1);
+                if k == 0 {
+                    hot_pending.push(hot_now.work_async(&mut driver, SERVICE_US).unwrap());
+                } else {
+                    cold_pending.push(cold[k - 1].version_async(&mut driver).unwrap());
+                }
+            }
+            hot_reads += hot_pending.len() as u64;
+            join(&mut driver, hot_pending).unwrap();
+            join(&mut driver, cold_pending).unwrap();
+
+            // The round's one write, and its read-your-writes witness: the
+            // very next read — routed to a replica — must see the ack.
+            let v = hot_now
+                .bump(&mut driver, round as f64 * 0.5 + 0.125)
+                .unwrap();
+            if hot_now.version(&mut driver).unwrap() != v {
+                ryw_misses += 1;
+            }
+        }
+        let elapsed = t0.elapsed();
+
+        let primary = mgr.primary_of(&name).unwrap_or(hot.obj_ref());
+        let hot_now = RepBlockClient::from_ref(primary);
+        let data = hot_now.read(&mut driver).unwrap().0;
+        let version = hot_now.version(&mut driver).unwrap();
+        let live = (0..WORKERS).filter(|m| !dead.contains(m));
+        let (mut replica_served, mut syncs) = (0u64, 0u64);
+        for m in live {
+            let s = driver.stats_of(m).unwrap();
+            replica_served += s.replica_reads_served;
+            syncs += s.replica_syncs_sent;
+        }
+        for &m in &dead {
+            cluster.sim().faults().restart(m);
+        }
+        let promotions = mgr.stats().promotions;
+        cluster.shutdown(driver);
+        Outcome {
+            data,
+            version,
+            elapsed,
+            hot_reads,
+            replica_served,
+            syncs,
+            promotions,
+            ryw_misses,
+        }
+    };
+
+    let single = run(0, false);
+    let two = run(2, false);
+    let four = run(4, false);
+    let chaos = run(4, true);
+
+    let tp = |o: &Outcome| o.hot_reads as f64 / o.elapsed.as_secs_f64();
+    let mut t = Table::new(&[
+        "variant",
+        "wall ms",
+        "hot reads",
+        "hot reads/s",
+        "speedup",
+        "RYW misses",
+        "replica-served",
+        "syncs",
+        "promotions",
+        "matches primary-only",
+    ]);
+    for (label, o) in [
+        ("primary only", &single),
+        ("2 replicas", &two),
+        ("4 replicas", &four),
+        ("4 replicas + chaos", &chaos),
+    ] {
+        assert_eq!(o.ryw_misses, 0, "{label}: read-your-writes violated");
+        assert_eq!(
+            o.version, ROUNDS as u64,
+            "{label}: write acked more or less than once"
+        );
+        t.row(&[
+            label.into(),
+            ms(o.elapsed),
+            o.hot_reads.to_string(),
+            format!("{:.0}", tp(o)),
+            format!("{:.1}x", tp(o) / tp(&single)),
+            o.ryw_misses.to_string(),
+            o.replica_served.to_string(),
+            o.syncs.to_string(),
+            o.promotions.to_string(),
+            if o.data == single.data { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    assert_eq!(chaos.promotions, 1, "chaos run must promote a replica");
+    assert!(
+        chaos.data == single.data && four.data == single.data && two.data == single.data,
+        "replicated runs must stay byte-identical to the primary-only run"
+    );
+    assert!(
+        tp(&four) >= 3.0 * tp(&single),
+        "4 replicas must lift read throughput >= 3x, got {:.2}x",
+        tp(&four) / tp(&single)
+    );
+    vec![t]
+}
+
 /// A1: wire codec throughput (the cost of the "compiler-generated"
 /// protocol layer itself, no network).
 pub fn a1_wire() -> Table {

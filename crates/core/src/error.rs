@@ -68,6 +68,18 @@ pub enum RemoteError {
     /// re-resolves through the naming directory, which records the epoch of
     /// the live incarnation (see DESIGN.md §10).
     Fenced { current_epoch: u64 },
+    /// A read replica refused the call because its coherence lease had
+    /// expired or the caller's replica-set epoch is ahead of the replica's —
+    /// the replica can no longer prove it has seen every acknowledged write.
+    /// The caller retries at the `primary`, which is always coherent, and
+    /// drops the replica from its local route until the replica manager
+    /// re-syncs it (see DESIGN.md §11).
+    StaleReplica {
+        /// The primary (authoritative) copy to retry against.
+        primary: ObjRef,
+        /// Replica-set epoch the replica last synced at.
+        rs_epoch: u64,
+    },
 }
 
 wire_enum!(RemoteError {
@@ -83,6 +95,7 @@ wire_enum!(RemoteError {
     9 => App { detail },
     10 => Moved { to },
     11 => Fenced { current_epoch },
+    12 => StaleReplica { primary, rs_epoch },
 });
 
 impl RemoteError {
@@ -155,6 +168,14 @@ impl fmt::Display for RemoteError {
                      (stale or superseded pointer; re-resolve)"
                 )
             }
+            RemoteError::StaleReplica { primary, rs_epoch } => {
+                write!(
+                    f,
+                    "read replica stale at replica-set epoch {rs_epoch}; retry \
+                     at primary machine {} object {}",
+                    primary.machine, primary.object
+                )
+            }
         }
     }
 }
@@ -219,6 +240,13 @@ mod tests {
                 },
             },
             RemoteError::Fenced { current_epoch: 7 },
+            RemoteError::StaleReplica {
+                primary: ObjRef {
+                    machine: 0,
+                    object: 13,
+                },
+                rs_epoch: 4,
+            },
         ] {
             assert_eq!(from_bytes::<RemoteError>(&to_bytes(&e)).unwrap(), e);
         }

@@ -6,7 +6,7 @@
 //! keeping the protocol surface minimal.
 
 use wire::collections::Bytes;
-use wire::{wire_enum, wire_struct};
+use wire::{wire_enum, wire_struct, V64};
 
 use crate::error::RemoteError;
 use crate::ids::{ObjRef, ObjectId};
@@ -33,9 +33,17 @@ pub enum Frame {
         /// "unfenced" — the object has never been placed under supervision
         /// and no epoch checks apply (one varint byte on the wire). A
         /// nonzero epoch below the server's is rejected with
-        /// [`RemoteError::Fenced`](crate::RemoteError::Fenced); above it,
+        /// [`RemoteError::Fenced`]; above it,
         /// the *server* is the stale party and fences itself.
         epoch: u64,
+        /// Caller's believed **replica-set** epoch for `target`. `0` means
+        /// "not replica-routed" — the common case, one varint byte on the
+        /// wire (hence [`V64`], not fixed-width `u64`). A read replica
+        /// serves the request only if it has synced at or past this epoch
+        /// (and its coherence lease is live); otherwise it answers
+        /// [`RemoteError::StaleReplica`]
+        /// and the caller falls back to the primary.
+        rs_epoch: V64,
     },
     /// The outcome of a previous request.
     Response {
@@ -49,7 +57,7 @@ pub enum Frame {
 wire_enum!(Frame {
     // wire_enum fields are positional: `trace` and `epoch` were appended
     // in the order they were introduced.
-    0 => Request { req_id, reply_to, target, payload, trace, epoch },
+    0 => Request { req_id, reply_to, target, payload, trace, epoch, rs_epoch },
     1 => Response { req_id, result },
 });
 
@@ -129,6 +137,61 @@ pub enum DaemonCall {
         epoch: u64,
         to: ObjRef,
     },
+    /// Materialize a read replica of a primary living elsewhere: restore
+    /// `state` as a fresh process of `class` marked replica-of-`primary`,
+    /// synced at `rs_epoch`, with a coherence lease of `lease_millis`.
+    /// Returns the new [`ObjectId`].
+    ReplicaAdopt {
+        class: String,
+        state: Bytes,
+        primary: ObjRef,
+        rs_epoch: u64,
+        lease_millis: u64,
+    },
+    /// Primary→replica write propagation: overwrite the replica's state
+    /// with `state` at `rs_epoch` and renew its coherence lease. A sync at
+    /// or below the replica's current epoch only renews the lease (the
+    /// state is already as new). Returns `()`.
+    ReplicaSync {
+        object: ObjectId,
+        state: Bytes,
+        rs_epoch: u64,
+        lease_millis: u64,
+    },
+    /// Lease renewal without a state transfer (bounded-staleness mode, or a
+    /// write-through primary confirming an idle replica). Renews only if
+    /// the replica is already at `rs_epoch`; returns `true` when renewed,
+    /// `false` when the replica has fallen behind and needs a full
+    /// [`DaemonCall::ReplicaSync`].
+    ReplicaRenew {
+        object: ObjectId,
+        rs_epoch: u64,
+        lease_millis: u64,
+    },
+    /// Tear down a replica: destroy the local copy and install a forwarding
+    /// stub toward the primary so stale routes heal through the `Moved`
+    /// chase. Returns `()`.
+    ReplicaDrop { object: ObjectId },
+    /// Install (or replace) the primary-side replica-set record on the
+    /// machine hosting `object`: the live replicas, the current replica-set
+    /// epoch, the coherence mode, and the lease ttl granted to replicas.
+    /// Subsequent write verbs served by `object` bump the epoch and
+    /// propagate per the mode. Returns `()`.
+    ReplicaAttach {
+        object: ObjectId,
+        replicas: Vec<ObjRef>,
+        rs_epoch: u64,
+        write_through: bool,
+        lease_millis: u64,
+    },
+    /// Introspection for the replica manager: returns
+    /// `(is_primary, rs_epoch, replicas)` — for a primary, its live set;
+    /// for a replica, its sync epoch and its primary as the single entry.
+    ReplicaStatus { object: ObjectId },
+    /// Failover: convert a local replica into a normal (primary-capable)
+    /// object fenced at incarnation `epoch`, clearing its replica metadata.
+    /// The replica manager then re-attaches the surviving set. Returns `()`.
+    ReplicaPromote { object: ObjectId, epoch: u64 },
 }
 
 /// A quiesced object's portable identity: what [`DaemonCall::MigrateOut`]
@@ -142,6 +205,27 @@ pub struct MigrationPayload {
 }
 
 wire_struct!(MigrationPayload { class, state });
+
+/// What [`DaemonCall::ReplicaStatus`] returns — the replication role and
+/// coherence position of one object, for the replica manager's reconcile
+/// loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// True for a replicated primary; false for a read replica.
+    pub is_primary: bool,
+    /// The primary's current replica-set epoch, or the replica's last
+    /// synced epoch.
+    pub rs_epoch: u64,
+    /// The primary's live replica set, or the replica's primary as the
+    /// single entry.
+    pub replicas: Vec<ObjRef>,
+}
+
+wire_struct!(ReplicaStatus {
+    is_primary,
+    rs_epoch,
+    replicas
+});
 
 /// Per-machine runtime counters, returned by [`DaemonCall::Stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -174,6 +258,13 @@ pub struct NodeStats {
     /// Requests rejected with [`RemoteError::Fenced`] — stale-epoch
     /// callers plus calls refused because the serving lease had expired.
     pub calls_fenced: u64,
+    /// Read verbs served by replicas hosted on this machine.
+    pub replica_reads_served: u64,
+    /// Requests a replica refused with [`RemoteError::StaleReplica`]
+    /// (expired coherence lease or caller ahead of the sync epoch).
+    pub replica_reads_stale: u64,
+    /// Write propagations (`replica_sync`) this machine's primaries pushed.
+    pub replica_syncs_sent: u64,
 }
 
 wire_struct!(NodeStats {
@@ -188,7 +279,10 @@ wire_struct!(NodeStats {
     migrated_in,
     migrated_out,
     heartbeats_served,
-    calls_fenced
+    calls_fenced,
+    replica_reads_served,
+    replica_reads_stale,
+    replica_syncs_sent
 });
 
 impl DaemonCall {
@@ -270,6 +364,69 @@ impl DaemonCall {
                 wire::Wire::encode(epoch, &mut w);
                 wire::Wire::encode(to, &mut w);
             }
+            DaemonCall::ReplicaAdopt {
+                class,
+                state,
+                primary,
+                rs_epoch,
+                lease_millis,
+            } => {
+                w.put_len_prefixed(b"replica_adopt");
+                wire::Wire::encode(class, &mut w);
+                wire::Wire::encode(state, &mut w);
+                wire::Wire::encode(primary, &mut w);
+                wire::Wire::encode(rs_epoch, &mut w);
+                wire::Wire::encode(lease_millis, &mut w);
+            }
+            DaemonCall::ReplicaSync {
+                object,
+                state,
+                rs_epoch,
+                lease_millis,
+            } => {
+                w.put_len_prefixed(b"replica_sync");
+                wire::Wire::encode(object, &mut w);
+                wire::Wire::encode(state, &mut w);
+                wire::Wire::encode(rs_epoch, &mut w);
+                wire::Wire::encode(lease_millis, &mut w);
+            }
+            DaemonCall::ReplicaRenew {
+                object,
+                rs_epoch,
+                lease_millis,
+            } => {
+                w.put_len_prefixed(b"replica_renew");
+                wire::Wire::encode(object, &mut w);
+                wire::Wire::encode(rs_epoch, &mut w);
+                wire::Wire::encode(lease_millis, &mut w);
+            }
+            DaemonCall::ReplicaDrop { object } => {
+                w.put_len_prefixed(b"replica_drop");
+                wire::Wire::encode(object, &mut w);
+            }
+            DaemonCall::ReplicaAttach {
+                object,
+                replicas,
+                rs_epoch,
+                write_through,
+                lease_millis,
+            } => {
+                w.put_len_prefixed(b"replica_attach");
+                wire::Wire::encode(object, &mut w);
+                wire::Wire::encode(replicas, &mut w);
+                wire::Wire::encode(rs_epoch, &mut w);
+                wire::Wire::encode(write_through, &mut w);
+                wire::Wire::encode(lease_millis, &mut w);
+            }
+            DaemonCall::ReplicaStatus { object } => {
+                w.put_len_prefixed(b"replica_status");
+                wire::Wire::encode(object, &mut w);
+            }
+            DaemonCall::ReplicaPromote { object, epoch } => {
+                w.put_len_prefixed(b"replica_promote");
+                wire::Wire::encode(object, &mut w);
+                wire::Wire::encode(epoch, &mut w);
+            }
         }
         w.into_bytes()
     }
@@ -290,6 +447,7 @@ mod tests {
                 payload: Bytes(b"read".to_vec()),
                 trace: TraceCtx::default(),
                 epoch: 0,
+                rs_epoch: 0.into(),
             },
             Frame::Request {
                 req_id: 44,
@@ -301,6 +459,7 @@ mod tests {
                     span: 0x2_0000_0007.into(),
                 },
                 epoch: 12,
+                rs_epoch: 5.into(),
             },
             Frame::Response {
                 req_id: 42,
@@ -348,6 +507,9 @@ mod tests {
             migrated_out: 9,
             heartbeats_served: 10,
             calls_fenced: 11,
+            replica_reads_served: 12,
+            replica_reads_stale: 13,
+            replica_syncs_sent: 14,
         };
         assert_eq!(from_bytes::<NodeStats>(&to_bytes(&s)).unwrap(), s);
     }
@@ -429,6 +591,72 @@ mod tests {
     }
 
     #[test]
+    fn replica_calls_use_method_name_framing() {
+        let payload = DaemonCall::ReplicaAdopt {
+            class: "HotBlock".into(),
+            state: Bytes(vec![7, 7]),
+            primary: ObjRef {
+                machine: 1,
+                object: 4,
+            },
+            rs_epoch: 3,
+            lease_millis: 200,
+        }
+        .encode();
+        let mut r = Reader::new(&payload);
+        assert_eq!(String::decode(&mut r).unwrap(), "replica_adopt");
+        assert_eq!(String::decode(&mut r).unwrap(), "HotBlock");
+        assert_eq!(Bytes::decode(&mut r).unwrap(), Bytes(vec![7, 7]));
+        assert_eq!(
+            ObjRef::decode(&mut r).unwrap(),
+            ObjRef {
+                machine: 1,
+                object: 4
+            }
+        );
+        assert_eq!(u64::decode(&mut r).unwrap(), 3);
+        assert_eq!(u64::decode(&mut r).unwrap(), 200);
+        r.expect_end().unwrap();
+
+        let payload = DaemonCall::ReplicaAttach {
+            object: 4,
+            replicas: vec![ObjRef {
+                machine: 2,
+                object: 9,
+            }],
+            rs_epoch: 1,
+            write_through: true,
+            lease_millis: 200,
+        }
+        .encode();
+        let mut r = Reader::new(&payload);
+        assert_eq!(String::decode(&mut r).unwrap(), "replica_attach");
+        assert_eq!(u64::decode(&mut r).unwrap(), 4);
+        assert_eq!(
+            Vec::<ObjRef>::decode(&mut r).unwrap(),
+            vec![ObjRef {
+                machine: 2,
+                object: 9
+            }]
+        );
+        assert_eq!(u64::decode(&mut r).unwrap(), 1);
+        assert!(bool::decode(&mut r).unwrap());
+        assert_eq!(u64::decode(&mut r).unwrap(), 200);
+        r.expect_end().unwrap();
+
+        let payload = DaemonCall::ReplicaPromote {
+            object: 9,
+            epoch: 2,
+        }
+        .encode();
+        let mut r = Reader::new(&payload);
+        assert_eq!(String::decode(&mut r).unwrap(), "replica_promote");
+        assert_eq!(u64::decode(&mut r).unwrap(), 9);
+        assert_eq!(u64::decode(&mut r).unwrap(), 2);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
     fn migration_payload_roundtrips() {
         let p = MigrationPayload {
             class: "Counter".into(),
@@ -463,9 +691,14 @@ mod tests {
             payload,
             trace: TraceCtx::default(),
             epoch: 0,
+            rs_epoch: 0.into(),
         };
         let encoded = to_bytes(&f);
-        assert!(encoded.len() < 10_000 + 32, "framing overhead too large");
+        assert!(
+            encoded.len() < 10_000 + 33,
+            "framing overhead too large: {} bytes",
+            encoded.len()
+        );
     }
 
     #[test]
@@ -477,6 +710,7 @@ mod tests {
             payload: Bytes(b"ping".to_vec()),
             trace,
             epoch: 0,
+            rs_epoch: 0.into(),
         };
         let untraced = to_bytes(&mk(TraceCtx::default()));
         let traced = to_bytes(&mk(TraceCtx {

@@ -213,6 +213,36 @@ impl<C: RemoteClient> ProcessGroup<C> {
         join(ctx, pendings)
     }
 
+    /// The group of live copies of a replicated object: the primary first,
+    /// then every read replica from the route registered on this node (see
+    /// [`NodeCtx::register_replica_route`]). An unreplicated object yields
+    /// a singleton group, so callers can broadcast unconditionally.
+    pub fn of_replica_set(ctx: &NodeCtx, primary: &C) -> Self {
+        let mut members = vec![C::from_ref(primary.obj_ref())];
+        if let Some((replicas, _)) = ctx.replica_route_of(primary.obj_ref()) {
+            members.extend(replicas.into_iter().map(C::from_ref));
+        }
+        ProcessGroup { members }
+    }
+
+    /// Broadcast one call to every member — the §4 split loop with an
+    /// identical payload: every request is transmitted before any reply is
+    /// awaited. Each member is addressed by its own remote pointer, so a
+    /// broadcast over [`of_replica_set`](ProcessGroup::of_replica_set)
+    /// lands on each replica directly instead of being re-routed; use it
+    /// for read verbs only (a write verb would bounce off every replica
+    /// with [`Moved`](crate::RemoteError::Moved)).
+    pub fn broadcast<T: Wire>(
+        &self,
+        ctx: &mut NodeCtx,
+        method: &str,
+        encode_args: impl Fn(&mut wire::Writer),
+    ) -> RemoteResult<Vec<T>> {
+        self.par_each(ctx, |ctx, m, _| {
+            ctx.start_method_direct(m.obj_ref(), method, &encode_args)
+        })
+    }
+
     /// The sequential loop the paper contrasts against: each call completes
     /// before the next is issued.
     pub fn seq_each<T: Wire>(

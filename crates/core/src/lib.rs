@@ -20,7 +20,7 @@
 //! | process inheritance (§3) | `remote_class!(class Derived: Base { ... })` — name-based dispatch falls through to the base, so base-typed pointers work on derived objects |
 //! | compiler loop-splitting (§4) | `client.method_async(...)` → [`Pending`], [`join`], [`ProcessGroup::par_each`] |
 //! | `fft->barrier()` (§4) | [`BarrierClient`], [`ProcessGroup`] |
-//! | persistent processes, symbolic addresses (§5) | [`NodeCtx::deactivate`]/[`NodeCtx::activate`], [`Directory`](naming::Directory) with `oopp://…` names |
+//! | persistent processes, symbolic addresses (§5) | [`NodeCtx::deactivate`]/[`NodeCtx::activate`], [`naming::Directory`] with `oopp://…` names |
 //!
 //! ## Quick start
 //!
@@ -63,7 +63,7 @@ pub mod trace;
 
 pub use array::{ByteBlock, ByteBlockClient, DoubleBlock, DoubleBlockClient};
 pub use error::{RemoteError, RemoteResult};
-pub use frame::{MigrationPayload, NodeStats};
+pub use frame::{MigrationPayload, NodeStats, ReplicaStatus};
 pub use future::{join, join_clients, Pending, PendingClient};
 pub use group::{Barrier, BarrierClient, ProcessGroup};
 pub use ids::{ObjRef, ObjectId, DAEMON};

@@ -36,11 +36,29 @@ pub fn symbolic_addr(segments: &[&str]) -> String {
 /// that pointer is at (0 = never supervised), and whether the supervisor
 /// has given up on the name — a give-up poisons the name so resolvers
 /// fail fast instead of re-activating an unrecoverable object forever.
-#[derive(Debug, Clone, Copy)]
+/// A replicated name additionally records its read-replica set and the
+/// fenced replica-set epoch (see DESIGN.md §11): `rs_epoch` is bumped by
+/// CAS ([`set_replicas`](DirectoryClient::set_replicas)) so of two racing
+/// replica managers exactly one installs its set.
+#[derive(Debug, Clone)]
 struct LeaseRecord {
     target: ObjRef,
     epoch: u64,
     poisoned: bool,
+    replicas: Vec<ObjRef>,
+    rs_epoch: u64,
+}
+
+impl LeaseRecord {
+    fn fresh(target: ObjRef, epoch: u64) -> Self {
+        LeaseRecord {
+            target,
+            epoch,
+            poisoned: false,
+            replicas: Vec::new(),
+            rs_epoch: 0,
+        }
+    }
 }
 
 /// Server state of the cluster name service.
@@ -80,6 +98,21 @@ remote_class! {
         /// Mark a name as given-up: resolvers see the poison instead of
         /// re-activating an unrecoverable object forever.
         fn poison(&mut self, name: String) -> ();
+        /// The name's read-replica set and replica-set epoch, if bound.
+        /// An unreplicated name reports `(vec![], 0)`.
+        fn replica_set(&mut self, name: String) -> Option<(Vec<ObjRef>, u64)>;
+        /// Atomically install a name's replica set — the replica-scaling
+        /// arbiter, a CAS exactly like [`claim`](DirectoryClient::claim):
+        /// succeeds (returning the bumped replica-set epoch) only when the
+        /// recorded `rs_epoch` still equals `expect` and the name is bound
+        /// and unpoisoned.
+        fn set_replicas(&mut self, name: String, replicas: Vec<ObjRef>, expect: u64) -> Option<u64>;
+        /// Purge every replica-set entry pointing at a dead machine: drop
+        /// its replicas from every record (bumping the record's `rs_epoch`
+        /// so live replicas re-fence) and report how many records changed.
+        /// Part of the `declare-dead` purge path; the supervisor calls it
+        /// alongside unbinding names homed on the dead machine.
+        fn purge_replicas_on(&mut self, machine: usize) -> usize;
     }
 }
 
@@ -91,14 +124,9 @@ impl Directory {
 
     fn bind(&mut self, _ctx: &mut NodeCtx, name: String, target: ObjRef) -> RemoteResult<()> {
         let epoch = self.entries.get(&name).map(|r| r.epoch).unwrap_or(0);
-        self.entries.insert(
-            name,
-            LeaseRecord {
-                target,
-                epoch,
-                poisoned: false,
-            },
-        );
+        // Rebinding drops any replica set: the replicas mirror the *old*
+        // target and must be rebuilt against the new one.
+        self.entries.insert(name, LeaseRecord::fresh(target, epoch));
         Ok(())
     }
 
@@ -165,18 +193,15 @@ impl Directory {
                 r.target = target;
                 r.epoch = epoch;
                 r.poisoned = false;
+                // A takeover installs a fresh incarnation; any replica set
+                // mirrored the dead one and must be rebuilt against it.
+                r.replicas.clear();
+                r.rs_epoch += 1;
                 Ok(true)
             }
             Some(_) => Ok(false),
             None => {
-                self.entries.insert(
-                    name,
-                    LeaseRecord {
-                        target,
-                        epoch,
-                        poisoned: false,
-                    },
-                );
+                self.entries.insert(name, LeaseRecord::fresh(target, epoch));
                 Ok(true)
             }
         }
@@ -187,6 +212,47 @@ impl Directory {
             r.poisoned = true;
         }
         Ok(())
+    }
+
+    fn replica_set(
+        &mut self,
+        _ctx: &mut NodeCtx,
+        name: String,
+    ) -> RemoteResult<Option<(Vec<ObjRef>, u64)>> {
+        Ok(self
+            .entries
+            .get(&name)
+            .map(|r| (r.replicas.clone(), r.rs_epoch)))
+    }
+
+    fn set_replicas(
+        &mut self,
+        _ctx: &mut NodeCtx,
+        name: String,
+        replicas: Vec<ObjRef>,
+        expect: u64,
+    ) -> RemoteResult<Option<u64>> {
+        match self.entries.get_mut(&name) {
+            Some(r) if !r.poisoned && r.rs_epoch == expect => {
+                r.replicas = replicas;
+                r.rs_epoch += 1;
+                Ok(Some(r.rs_epoch))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn purge_replicas_on(&mut self, _ctx: &mut NodeCtx, machine: usize) -> RemoteResult<usize> {
+        let mut changed = 0;
+        for r in self.entries.values_mut() {
+            let before = r.replicas.len();
+            r.replicas.retain(|rep| rep.machine != machine);
+            if r.replicas.len() != before {
+                r.rs_epoch += 1;
+                changed += 1;
+            }
+        }
+        Ok(changed)
     }
 }
 

@@ -26,7 +26,7 @@ use wire::{Reader, Wire, Writer};
 
 use crate::dedup::{DedupVerdict, DedupWindow};
 use crate::error::{RemoteError, RemoteResult};
-use crate::frame::{Frame, MigrationPayload, NodeStats};
+use crate::frame::{Frame, MigrationPayload, NodeStats, ReplicaStatus};
 use crate::future::{Pending, PendingClient};
 use crate::ids::{ObjRef, ObjectId, DAEMON};
 use crate::policy::CallPolicy;
@@ -53,6 +53,8 @@ struct IncomingReq {
     span: u64,
     /// Caller's believed incarnation epoch (0 = unfenced).
     epoch: u64,
+    /// Caller's believed replica-set epoch (0 = not replica-routed).
+    rs_epoch: u64,
 }
 
 enum ServeOutcome {
@@ -82,6 +84,49 @@ struct OutboundCall {
     /// Forward chases performed for this call (at most one: a second
     /// redirect surfaces to the caller as [`RemoteError::Moved`]).
     hops: u8,
+    /// `Some(primary)` while this call is a read routed at a replica: the
+    /// address to fall back to on [`RemoteError::StaleReplica`] or when
+    /// the replica stops answering. `None` once redirected (or for every
+    /// non-replica-routed call).
+    read_primary: Option<ObjRef>,
+}
+
+/// Server-side metadata of a read replica hosted on this machine.
+struct ReplicaMeta {
+    /// The authoritative copy this replica mirrors.
+    primary: ObjRef,
+    /// Replica-set epoch of the last applied sync.
+    rs_epoch: u64,
+    /// Coherence lease: the replica serves reads only until this instant,
+    /// unless the primary (or the replica manager) renews it first.
+    lease_until: Instant,
+    /// The class's declared read verbs, captured at adoption so the gate
+    /// works even while the object is checked out.
+    read_verbs: &'static [&'static str],
+}
+
+/// Server-side record held by the machine hosting a replicated primary.
+struct PrimaryMeta {
+    /// Live replica set; write propagation drops members it cannot reach.
+    replicas: Vec<ObjRef>,
+    /// Replica-set epoch, bumped by every write the primary serves.
+    rs_epoch: u64,
+    /// Write-through (sync replicas before acking a write: read-your-writes
+    /// for everyone) vs. bounded staleness (ack immediately; the replica
+    /// manager re-syncs on its cadence, staleness bounded by the lease).
+    write_through: bool,
+    /// Coherence lease granted to replicas on each sync.
+    lease_millis: u64,
+}
+
+/// Client-side route for a replicated object: read verbs fan out over the
+/// replica set, everything else goes to the primary key.
+struct ReplicaRoute {
+    replicas: Vec<ObjRef>,
+    rs_epoch: u64,
+    reads: &'static [&'static str],
+    /// Round-robin cursor over `replicas`.
+    next: usize,
 }
 
 #[derive(Default)]
@@ -96,6 +141,9 @@ struct Stats {
     migrated_out: u64,
     heartbeats_served: u64,
     calls_fenced: u64,
+    replica_reads_served: u64,
+    replica_reads_stale: u64,
+    replica_syncs_sent: u64,
 }
 
 /// Bound on the client-side forwarding cache; clearing it on overflow only
@@ -153,6 +201,14 @@ pub struct NodeCtx {
     /// learned for a supervised address (from the naming directory or a
     /// `Fenced` reply). Stamped onto outgoing frames.
     believed_epochs: HashMap<ObjRef, u64>,
+    /// Read replicas hosted on this machine (coherence metadata; the
+    /// replica objects themselves live in `objects` like any other).
+    replica_meta: HashMap<ObjectId, ReplicaMeta>,
+    /// Replicated primaries hosted on this machine: their live sets and
+    /// write-propagation mode.
+    primaries: HashMap<ObjectId, PrimaryMeta>,
+    /// Client-side replica routes, keyed by the primary's address.
+    replica_routes: HashMap<ObjRef, ReplicaRoute>,
     outstanding: HashMap<u64, OutboundCall>,
     dedup: DedupWindow,
     current_call: Option<CallInfo>,
@@ -214,6 +270,9 @@ impl NodeCtx {
             epochs: HashMap::new(),
             lease_deadline: None,
             believed_epochs: HashMap::new(),
+            replica_meta: HashMap::new(),
+            primaries: HashMap::new(),
+            replica_routes: HashMap::new(),
             outstanding: HashMap::new(),
             dedup: DedupWindow::default(),
             current_call: None,
@@ -317,16 +376,74 @@ impl NodeCtx {
         Ok(wire::from_bytes(&bytes)?)
     }
 
+    /// [`start_method`](NodeCtx::start_method) minus replica routing: the
+    /// call goes to `target` itself even when a replica route is
+    /// registered for it. This is how a caller addresses *a specific
+    /// copy* — e.g. [`ProcessGroup::of_replica_set`](crate::ProcessGroup)
+    /// broadcasting to the primary and every replica individually.
+    pub fn start_method_direct<Ret: Wire>(
+        &mut self,
+        target: ObjRef,
+        method: &str,
+        encode_args: impl FnOnce(&mut Writer),
+    ) -> RemoteResult<Pending<Ret>> {
+        let mut w = Writer::new();
+        w.put_len_prefixed(method.as_bytes());
+        encode_args(&mut w);
+        Ok(Pending::new(self.start_call_opts(
+            target,
+            method,
+            w.into_bytes(),
+            false,
+        )?))
+    }
+
     fn start_call_raw(
         &mut self,
         target: ObjRef,
         method: &str,
         payload: Vec<u8>,
     ) -> RemoteResult<u64> {
+        self.start_call_opts(target, method, payload, true)
+    }
+
+    fn start_call_opts(
+        &mut self,
+        target: ObjRef,
+        method: &str,
+        payload: Vec<u8>,
+        route: bool,
+    ) -> RemoteResult<u64> {
         // Start at the object's last known address: a pointer this node
         // has already learned is stale is rewritten before the send, so
         // only the *first* call through it pays the forward chase.
-        let target = self.forwarded_target(target);
+        let mut target = self.forwarded_target(target);
+        // Replica routing: a read verb aimed at a registered primary is
+        // redirected to a replica — a local one when the set has one,
+        // round-robin otherwise. The frame carries the route's replica-set
+        // epoch so a lagging replica rejects itself; the primary stays
+        // recorded for the stale/dead fallback.
+        let mut read_primary = None;
+        let mut rs_epoch = 0u64;
+        if route && target.object != DAEMON {
+            if let Some(route) = self.replica_routes.get_mut(&target) {
+                if !route.replicas.is_empty() && route.reads.contains(&method) {
+                    let machine = self.machine;
+                    let pick = route
+                        .replicas
+                        .iter()
+                        .position(|r| r.machine == machine)
+                        .unwrap_or_else(|| {
+                            let i = route.next % route.replicas.len();
+                            route.next = route.next.wrapping_add(1);
+                            i
+                        });
+                    read_primary = Some(target);
+                    rs_epoch = route.rs_epoch;
+                    target = route.replicas[pick];
+                }
+            }
+        }
         if target.machine >= self.machines() {
             return Err(RemoteError::BadMachine {
                 machine: target.machine,
@@ -369,6 +486,7 @@ impl NodeCtx {
             // Fence stamp: 0 (no check) unless this node has learned an
             // incarnation epoch for the target address.
             epoch: self.believed_epochs.get(&target).copied().unwrap_or(0),
+            rs_epoch: rs_epoch.into(),
         };
         let bytes = wire::to_bytes(&frame);
         if let (Some(tracer), Some(t)) = (&self.tracer, &call_trace) {
@@ -399,6 +517,7 @@ impl NodeCtx {
                 bytes,
                 trace: call_trace,
                 hops: 0,
+                read_primary,
             },
         );
         Ok(req_id)
@@ -462,6 +581,14 @@ impl NodeCtx {
     pub fn purge_moves_to(&mut self, machine: MachineId) {
         self.moved_cache.retain(|_, to| to.machine != machine);
         self.resolve_cache.retain(|_, r| r.machine != machine);
+        // Replica routes: the whole route dies with its primary (the
+        // failover promotes a replica at a new address and the manager
+        // re-registers); a dead machine's replicas are just dropped from
+        // the surviving sets.
+        self.replica_routes.retain(|p, _| p.machine != machine);
+        for route in self.replica_routes.values_mut() {
+            route.replicas.retain(|r| r.machine != machine);
+        }
     }
 
     /// Record the incarnation epoch this node believes `target` is at.
@@ -534,6 +661,16 @@ impl NodeCtx {
                             // The real reply is still coming from `to`.
                             continue;
                         }
+                        // A replica-routed read that bounced off a dropped
+                        // replica's forwarding stub: scrub the replica
+                        // from the route — the chase lands at the primary.
+                        let stale_route = self
+                            .outstanding
+                            .get_mut(&req_id)
+                            .and_then(|c| c.read_primary.take());
+                        if let Some(primary) = stale_route {
+                            self.drop_replica_from_route(primary, old);
+                        }
                         self.note_move(old, to);
                         if hops == 0
                             && to.machine < self.machines()
@@ -557,6 +694,31 @@ impl NodeCtx {
                         attempts = 1;
                         deadline = Instant::now() + self.policy.timeout;
                         continue;
+                    }
+                }
+                // A stale replica cannot prove it has every acknowledged
+                // write: drop it from the local route and redirect the
+                // same request (same `req_id` — a different server, so
+                // dedup is unaffected) to the primary, which is always
+                // coherent. Read verbs are side-effect-free, so this
+                // re-execution is safe by the `reads(...)` contract.
+                if let Err(RemoteError::StaleReplica { primary, .. }) = &result {
+                    let primary = *primary;
+                    match self.outstanding.get(&req_id) {
+                        Some(c) if c.read_primary.is_some() => {
+                            let replica = c.target;
+                            self.drop_replica_from_route(primary, replica);
+                            if self.redirect_read_to_primary(req_id, primary, attempts) {
+                                attempts = 1;
+                                deadline = Instant::now() + self.policy.timeout;
+                                continue;
+                            }
+                        }
+                        // Already redirected: a retransmit's replayed
+                        // verdict from the replica. The primary's answer
+                        // is still coming.
+                        Some(_) => continue,
+                        None => {}
                     }
                 }
                 let call = self.outstanding.remove(&req_id);
@@ -592,6 +754,23 @@ impl NodeCtx {
                 }
                 Err(_) => {
                     if attempts > self.policy.max_retries {
+                        // A replica-routed read that exhausted its budget
+                        // presumes the replica dead: drop it from the
+                        // route and fall back to the primary with a fresh
+                        // budget (safe to re-execute — reads are
+                        // side-effect-free by contract).
+                        let fallback = self
+                            .outstanding
+                            .get(&req_id)
+                            .and_then(|c| c.read_primary.map(|p| (p, c.target)));
+                        if let Some((primary, replica)) = fallback {
+                            self.drop_replica_from_route(primary, replica);
+                            if self.redirect_read_to_primary(req_id, primary, attempts) {
+                                attempts = 1;
+                                deadline = Instant::now() + self.policy.timeout;
+                                continue;
+                            }
+                        }
                         let target = self
                             .outstanding
                             .remove(&req_id)
@@ -679,6 +858,9 @@ impl NodeCtx {
                 // this node knows for the new address so the redirected
                 // frame is not fenced for being stale.
                 epoch: epoch.max(believed),
+                // A chase always ends at a real object (a migrated home
+                // or a replica's primary), never at a replica.
+                rs_epoch: 0.into(),
             },
             _ => return false,
         };
@@ -719,7 +901,7 @@ impl NodeCtx {
             return None;
         }
         let target = call.target;
-        let (reply_to, target_obj, payload, trace, old_epoch) =
+        let (reply_to, target_obj, payload, trace, old_epoch, old_rs_epoch) =
             match wire::from_bytes::<Frame>(&call.bytes) {
                 Ok(Frame::Request {
                     reply_to,
@@ -727,8 +909,9 @@ impl NodeCtx {
                     payload,
                     trace,
                     epoch,
+                    rs_epoch,
                     ..
-                }) => (reply_to, target, payload, trace, epoch),
+                }) => (reply_to, target, payload, trace, epoch, rs_epoch),
                 _ => return None,
             };
         if old_epoch >= taught {
@@ -744,6 +927,7 @@ impl NodeCtx {
             payload,
             trace,
             epoch: taught,
+            rs_epoch: old_rs_epoch,
         };
         let bytes = wire::to_bytes(&frame);
         let mut call = self.outstanding.remove(&old_id)?;
@@ -765,6 +949,123 @@ impl NodeCtx {
         }
         let _ = self.net.send(self.machine, target.machine, bytes);
         Some(new_id)
+    }
+
+    /// Redirect the outstanding replica-routed read `req_id` to `primary`:
+    /// rebuild the stored frame with the primary's object id, a zero
+    /// replica-set epoch (the primary never checks one), and the freshest
+    /// incarnation epoch this node knows for the primary. Same `req_id` —
+    /// the primary is a different server, so its dedup window treats the
+    /// frame as new. Clears the call's fallback so a late replayed
+    /// verdict from the replica is ignored.
+    fn redirect_read_to_primary(&mut self, req_id: u64, primary: ObjRef, attempts: u32) -> bool {
+        if primary.machine >= self.machines() {
+            return false;
+        }
+        let Some(call) = self.outstanding.get_mut(&req_id) else {
+            return false;
+        };
+        let believed = self.believed_epochs.get(&primary).copied().unwrap_or(0);
+        let rebuilt = match wire::from_bytes::<Frame>(&call.bytes) {
+            Ok(Frame::Request {
+                req_id,
+                reply_to,
+                payload,
+                trace,
+                epoch,
+                ..
+            }) => Frame::Request {
+                req_id,
+                reply_to,
+                target: primary.object,
+                payload,
+                trace,
+                epoch: epoch.max(believed),
+                rs_epoch: 0.into(),
+            },
+            _ => return false,
+        };
+        let bytes = wire::to_bytes(&rebuilt);
+        call.target = primary;
+        call.bytes = bytes.clone();
+        call.read_primary = None;
+        let trace = call.trace.clone();
+        if let (Some(tracer), Some(t)) = (&self.tracer, &trace) {
+            tracer.record(
+                EventKind::ReplicaFallback,
+                primary.machine,
+                t.trace_id,
+                t.span,
+                t.parent_span,
+                req_id,
+                attempts,
+                bytes.len() as u32,
+                t.method.clone(),
+            );
+        }
+        let _ = self.net.send(self.machine, primary.machine, bytes);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Replica routes (client role; see crates/replica and DESIGN.md §11)
+    // ------------------------------------------------------------------
+
+    /// Install (or replace) the replica route for `primary`: subsequent
+    /// calls through the primary's address whose method is in `reads` are
+    /// served by the replica set instead. Typed callers prefer
+    /// [`register_replica_route`](NodeCtx::register_replica_route).
+    pub fn register_replica_route_raw(
+        &mut self,
+        primary: ObjRef,
+        replicas: Vec<ObjRef>,
+        rs_epoch: u64,
+        reads: &'static [&'static str],
+    ) {
+        if reads.is_empty() || primary.object == DAEMON {
+            return;
+        }
+        self.replica_routes.insert(
+            primary,
+            ReplicaRoute {
+                replicas,
+                rs_epoch,
+                reads,
+                next: 0,
+            },
+        );
+    }
+
+    /// Typed [`register_replica_route_raw`](NodeCtx::register_replica_route_raw):
+    /// the read-verb set comes from the client type's `reads(...)`
+    /// declaration.
+    pub fn register_replica_route<C: RemoteClient>(
+        &mut self,
+        client: &C,
+        replicas: Vec<ObjRef>,
+        rs_epoch: u64,
+    ) {
+        self.register_replica_route_raw(client.obj_ref(), replicas, rs_epoch, C::READ_VERBS);
+    }
+
+    /// The replicas and replica-set epoch this node routes reads of
+    /// `primary` to, if a route is installed.
+    pub fn replica_route_of(&self, primary: ObjRef) -> Option<(Vec<ObjRef>, u64)> {
+        self.replica_routes
+            .get(&primary)
+            .map(|r| (r.replicas.clone(), r.rs_epoch))
+    }
+
+    /// Remove the replica route for `primary`; reads go back to the
+    /// primary itself.
+    pub fn drop_replica_route(&mut self, primary: ObjRef) {
+        self.replica_routes.remove(&primary);
+    }
+
+    fn drop_replica_from_route(&mut self, primary: ObjRef, replica: ObjRef) {
+        if let Some(route) = self.replica_routes.get_mut(&primary) {
+            route.replicas.retain(|r| *r != replica);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1125,6 +1426,126 @@ impl NodeCtx {
         self.call_method(ObjRef::daemon(machine), "loads", |_| {})
     }
 
+    // ------------------------------------------------------------------
+    // Replication control plane (driven by crates/replica's manager)
+    // ------------------------------------------------------------------
+
+    /// Materialize a read replica of `class` on `machine` from `state`,
+    /// mirroring `primary` at `rs_epoch` under a `lease_millis` coherence
+    /// lease. Returns the replica's address.
+    pub fn replica_adopt(
+        &mut self,
+        machine: MachineId,
+        class: &str,
+        state: Vec<u8>,
+        primary: ObjRef,
+        rs_epoch: u64,
+        lease_millis: u64,
+    ) -> RemoteResult<ObjRef> {
+        let object: u64 = self.call_method(ObjRef::daemon(machine), "replica_adopt", |w| {
+            Wire::encode(&class.to_string(), w);
+            Wire::encode(&Bytes(state), w);
+            Wire::encode(&primary, w);
+            Wire::encode(&rs_epoch, w);
+            Wire::encode(&lease_millis, w);
+        })?;
+        Ok(ObjRef { machine, object })
+    }
+
+    /// Push `state` at `rs_epoch` to the replica at `r`, renewing its
+    /// coherence lease.
+    pub fn replica_sync_to(
+        &mut self,
+        r: ObjRef,
+        state: Vec<u8>,
+        rs_epoch: u64,
+        lease_millis: u64,
+    ) -> RemoteResult<()> {
+        self.call_method(ObjRef::daemon(r.machine), "replica_sync", |w| {
+            Wire::encode(&r.object, w);
+            Wire::encode(&Bytes(state), w);
+            Wire::encode(&rs_epoch, w);
+            Wire::encode(&lease_millis, w);
+        })
+    }
+
+    /// Renew the coherence lease of the replica at `r` if it is exactly at
+    /// `rs_epoch`; `false` means it drifted and needs a full sync.
+    pub fn replica_renew(
+        &mut self,
+        r: ObjRef,
+        rs_epoch: u64,
+        lease_millis: u64,
+    ) -> RemoteResult<bool> {
+        self.call_method(ObjRef::daemon(r.machine), "replica_renew", |w| {
+            Wire::encode(&r.object, w);
+            Wire::encode(&rs_epoch, w);
+            Wire::encode(&lease_millis, w);
+        })
+    }
+
+    /// Tear down the replica at `r` (idempotent); a forwarding stub toward
+    /// its primary heals routes that still point there.
+    pub fn replica_drop(&mut self, r: ObjRef) -> RemoteResult<()> {
+        self.call_method(ObjRef::daemon(r.machine), "replica_drop", |w| {
+            Wire::encode(&r.object, w);
+        })
+    }
+
+    /// Install the primary-side replica-set record on `primary`'s machine.
+    pub fn replica_attach(
+        &mut self,
+        primary: ObjRef,
+        replicas: Vec<ObjRef>,
+        rs_epoch: u64,
+        write_through: bool,
+        lease_millis: u64,
+    ) -> RemoteResult<()> {
+        self.call_method(ObjRef::daemon(primary.machine), "replica_attach", |w| {
+            Wire::encode(&primary.object, w);
+            Wire::encode(&replicas, w);
+            Wire::encode(&rs_epoch, w);
+            Wire::encode(&write_through, w);
+            Wire::encode(&lease_millis, w);
+        })
+    }
+
+    /// Replication role and coherence position of the object at `r`.
+    pub fn replica_status_of(&mut self, r: ObjRef) -> RemoteResult<ReplicaStatus> {
+        self.call_method(ObjRef::daemon(r.machine), "replica_status", |w| {
+            Wire::encode(&r.object, w);
+        })
+    }
+
+    /// Promote the replica at `r` into a normal object fenced at `epoch`
+    /// (primary-death failover; pair with a directory CAS and a
+    /// `replica_attach` of the surviving set).
+    pub fn replica_promote(&mut self, r: ObjRef, epoch: u64) -> RemoteResult<()> {
+        let out: RemoteResult<()> =
+            self.call_method(ObjRef::daemon(r.machine), "replica_promote", |w| {
+                Wire::encode(&r.object, w);
+                Wire::encode(&epoch, w);
+            });
+        if out.is_ok() {
+            self.note_epoch(r, epoch);
+        }
+        out
+    }
+
+    /// Record a replica lifecycle marker in the flight recorder (no-op
+    /// when tracing is off). `peer` is the machine the event concerns;
+    /// `bytes` carries the marker's scalar payload (replica-set epoch, or
+    /// replica count for scale events).
+    pub fn replica_marker(&mut self, kind: EventKind, peer: MachineId, bytes: u32) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let span = self.alloc_span();
+        if let Some(tracer) = &self.tracer {
+            tracer.record(kind, peer, span, span, 0, 0, 0, bytes, "replicate".into());
+        }
+    }
+
     /// Record a supervision lifecycle marker in the flight recorder (no-op
     /// when tracing is off). `peer` is the machine the event is about;
     /// `bytes` carries the marker's scalar payload (phi ×1000 for
@@ -1249,6 +1670,9 @@ impl NodeCtx {
             migrated_out: self.stats.migrated_out,
             heartbeats_served: self.stats.heartbeats_served,
             calls_fenced: self.stats.calls_fenced,
+            replica_reads_served: self.stats.replica_reads_served,
+            replica_reads_stale: self.stats.replica_reads_stale,
+            replica_syncs_sent: self.stats.replica_syncs_sent,
         }
     }
 
@@ -1277,6 +1701,7 @@ impl NodeCtx {
                 payload,
                 trace,
                 epoch,
+                rs_epoch,
             } => {
                 // The admit-verdict events all want the method name; parse
                 // it from the payload head only when tracing is on.
@@ -1348,6 +1773,7 @@ impl NodeCtx {
                     trace_id: trace.trace_id.0,
                     span: trace.span.0,
                     epoch,
+                    rs_epoch: rs_epoch.0,
                 };
                 match self.try_serve(req) {
                     ServeOutcome::Served => {}
@@ -1458,6 +1884,63 @@ impl NodeCtx {
                 return ServeOutcome::Served;
             }
         }
+        // Replica-side coherence gate (replica-hosted ids only). A write
+        // verb redirects to the primary through the standard `Moved`
+        // chase; a read is served only while the replica can prove
+        // coherence — its lease is live and it has synced at least as far
+        // as the caller's replica-set epoch — and otherwise answers
+        // `StaleReplica` so the caller falls back to the primary.
+        if let Some(meta) = self.replica_meta.get(&req.target) {
+            let primary = meta.primary;
+            let rs_now = meta.rs_epoch;
+            let lease_live = Instant::now() <= meta.lease_until;
+            let method = payload_method(&req.payload);
+            if !meta.read_verbs.iter().any(|v| *v == &*method) {
+                self.stats.calls_forwarded += 1;
+                self.send_response(
+                    req.reply_to,
+                    req.req_id,
+                    Err(RemoteError::Moved { to: primary }),
+                );
+                return ServeOutcome::Served;
+            }
+            if !lease_live || req.rs_epoch > rs_now {
+                self.stats.replica_reads_stale += 1;
+                if let Some(tracer) = &self.tracer {
+                    tracer.record(
+                        EventKind::ReplicaStale,
+                        req.reply_to,
+                        req.trace_id,
+                        req.span,
+                        0,
+                        req.req_id,
+                        0,
+                        rs_now as u32,
+                        method,
+                    );
+                }
+                let err = RemoteError::StaleReplica {
+                    primary,
+                    rs_epoch: rs_now,
+                };
+                self.send_response(req.reply_to, req.req_id, Err(err));
+                return ServeOutcome::Served;
+            }
+            self.stats.replica_reads_served += 1;
+            if let Some(tracer) = &self.tracer {
+                tracer.record(
+                    EventKind::ReplicaHit,
+                    req.reply_to,
+                    req.trace_id,
+                    req.span,
+                    0,
+                    req.req_id,
+                    0,
+                    rs_now as u32,
+                    method,
+                );
+            }
+        }
         // Check the object out of the table for the duration of the call:
         // one process per object means one call at a time.
         let mut obj = match self.objects.get_mut(&req.target) {
@@ -1507,10 +1990,13 @@ impl NodeCtx {
             (req.span != 0).then_some((req.trace_id, req.span)),
         );
         let mut reader = Reader::new(&req.payload);
+        let mut served_method = None;
         let outcome = match String::decode(&mut reader) {
             Ok(method) => {
                 self.record_dispatch(&req, &method);
-                obj.dispatch_named(self, &method, &mut reader)
+                let out = obj.dispatch_named(self, &method, &mut reader);
+                served_method = Some(method);
+                out
             }
             Err(e) => Err(e.into()),
         };
@@ -1521,6 +2007,25 @@ impl NodeCtx {
         // checked-out object are deferred, never executed mid-call).
         if let Some(slot) = self.objects.get_mut(&req.target) {
             *slot = Some(obj);
+        }
+
+        // Primary-side write propagation: a successful write verb served
+        // by a replicated primary bumps the replica-set epoch and, in
+        // write-through mode, re-syncs every live replica BEFORE the ack
+        // below — the writer (and everyone else) reads its write from any
+        // replica that still holds a live coherence lease.
+        if outcome.is_ok() && self.primaries.contains_key(&req.target) {
+            if let Some(method) = &served_method {
+                let is_read = self
+                    .objects
+                    .get(&req.target)
+                    .and_then(|s| s.as_ref())
+                    .map(|o| o.read_verbs().contains(&method.as_str()))
+                    .unwrap_or(true);
+                if !is_read {
+                    self.propagate_write(req.target);
+                }
+            }
         }
 
         match outcome {
@@ -1534,6 +2039,81 @@ impl NodeCtx {
         // Per-object load signal for the placement subsystem.
         *self.object_calls.entry(req.target).or_insert(0) += 1;
         ServeOutcome::Served
+    }
+
+    /// Bump the replica-set epoch after a served write and propagate per
+    /// the attached mode. Write-through pushes `replica_sync` to every
+    /// live replica before returning (the write is acked only after); a
+    /// replica that cannot be reached is dropped from the live set and its
+    /// outstanding coherence lease is **waited out**, so once the ack
+    /// goes, no replica holding a live lease can be missing the write.
+    /// Bounded-staleness mode returns immediately — the replica manager
+    /// re-syncs on its cadence and staleness stays bounded by the lease.
+    fn propagate_write(&mut self, object: ObjectId) {
+        let Some(pm) = self.primaries.get_mut(&object) else {
+            return;
+        };
+        pm.rs_epoch += 1;
+        let (rs_epoch, write_through, lease_millis, replicas) = (
+            pm.rs_epoch,
+            pm.write_through,
+            pm.lease_millis,
+            pm.replicas.clone(),
+        );
+        if !write_through || replicas.is_empty() {
+            return;
+        }
+        let state = match self.objects.get(&object) {
+            Some(Some(obj)) => match obj.snapshot_state() {
+                Ok(s) => s,
+                Err(_) => return,
+            },
+            _ => return,
+        };
+        let mut lost = false;
+        for r in replicas {
+            let synced: RemoteResult<()> =
+                self.call_method(ObjRef::daemon(r.machine), "replica_sync", |w| {
+                    Wire::encode(&r.object, w);
+                    Wire::encode(&Bytes(state.clone()), w);
+                    Wire::encode(&rs_epoch, w);
+                    Wire::encode(&lease_millis, w);
+                });
+            match synced {
+                Ok(()) => {
+                    self.stats.replica_syncs_sent += 1;
+                    if self.tracer.is_some() {
+                        let span = self.alloc_span();
+                        if let Some(tracer) = &self.tracer {
+                            tracer.record(
+                                EventKind::ReplicaSync,
+                                r.machine,
+                                span,
+                                span,
+                                0,
+                                0,
+                                0,
+                                rs_epoch as u32,
+                                "replica_sync".into(),
+                            );
+                        }
+                    }
+                }
+                Err(_) => {
+                    lost = true;
+                    if let Some(pm) = self.primaries.get_mut(&object) {
+                        pm.replicas.retain(|x| *x != r);
+                    }
+                }
+            }
+        }
+        if lost {
+            // The unreachable replica may still be answering reads under
+            // its last lease. Serve through the lease window before
+            // acking, so the write is never acknowledged while a replica
+            // that missed it could pass the coherence gate.
+            self.serve_for(Duration::from_millis(lease_millis));
+        }
     }
 
     fn serve_daemon(&mut self, req: IncomingReq) -> ServeOutcome {
@@ -1599,6 +2179,8 @@ impl NodeCtx {
                     Some(Some(_)) => {
                         self.objects.remove(&object); // Drop runs the destructor
                         self.object_calls.remove(&object);
+                        self.replica_meta.remove(&object);
+                        self.primaries.remove(&object);
                         Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
                     }
                 }
@@ -1664,6 +2246,15 @@ impl NodeCtx {
                 // snapshot to the coordinator. The object is gone from the
                 // live table but fully recoverable until commit.
                 let object = u64::decode(args)?;
+                // Replicated objects are unmovable (DESIGN.md §11): a
+                // moving primary would race its own write propagation,
+                // and a moving replica is pointless — drop and re-adopt.
+                if self.primaries.contains_key(&object) || self.replica_meta.contains_key(&object) {
+                    return Err(RemoteError::app(format!(
+                        "migrate_out: object {object} is replicated and unmovable; \
+                         scale the replica set instead"
+                    )));
+                }
                 match self.objects.get(&object) {
                     None => self.absent_outcome(object),
                     Some(None) => Ok(DaemonOutcome::Busy), // mid-call: quiesce later
@@ -1810,6 +2401,172 @@ impl NodeCtx {
                     *e = epoch;
                 }
                 self.forwards.insert(object, to);
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
+            }
+            "replica_adopt" => {
+                // Materialize a read replica from the primary's shipped
+                // snapshot, synced at `rs_epoch` with a fresh coherence
+                // lease. The replica is an ordinary object plus a
+                // `replica_meta` entry that gates what it may serve.
+                let class = String::decode(args)?;
+                let state = Bytes::decode(args)?;
+                let primary = ObjRef::decode(args)?;
+                let rs_epoch = u64::decode(args)?;
+                let lease_millis = u64::decode(args)?;
+                let registry = self.registry.clone();
+                let obj = registry.restore(&class, self, &state.0)?;
+                let read_verbs = obj.read_verbs();
+                if read_verbs.is_empty() {
+                    return Err(RemoteError::app(format!(
+                        "replica_adopt: class {class:?} declares no read verbs \
+                         (nothing a replica could serve)"
+                    )));
+                }
+                let id = self.next_obj_id;
+                self.next_obj_id += 1;
+                self.objects.insert(id, Some(obj));
+                self.replica_meta.insert(
+                    id,
+                    ReplicaMeta {
+                        primary,
+                        rs_epoch,
+                        lease_until: Instant::now() + Duration::from_millis(lease_millis),
+                        read_verbs,
+                    },
+                );
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&id)))
+            }
+            "replica_sync" => {
+                // Primary→replica write propagation. A sync at or above
+                // the replica's epoch replaces its state; an older one
+                // (a raced propagation that lost) only renews the lease —
+                // state never regresses.
+                let object = u64::decode(args)?;
+                let state = Bytes::decode(args)?;
+                let rs_epoch = u64::decode(args)?;
+                let lease_millis = u64::decode(args)?;
+                let Some(meta) = self.replica_meta.get(&object) else {
+                    return self.absent_outcome(object);
+                };
+                let fresh = rs_epoch >= meta.rs_epoch;
+                match self.objects.get(&object) {
+                    None => self.absent_outcome(object),
+                    Some(None) => Ok(DaemonOutcome::Busy), // mid-read: sync after
+                    Some(Some(obj)) => {
+                        if fresh {
+                            let class = obj.class_name().to_string();
+                            let registry = self.registry.clone();
+                            let replaced = registry.restore(&class, self, &state.0)?;
+                            self.objects.insert(object, Some(replaced));
+                        }
+                        let meta = self.replica_meta.get_mut(&object).expect("checked above");
+                        if rs_epoch > meta.rs_epoch {
+                            meta.rs_epoch = rs_epoch;
+                        }
+                        meta.lease_until = Instant::now() + Duration::from_millis(lease_millis);
+                        Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
+                    }
+                }
+            }
+            "replica_renew" => {
+                // Lease renewal without a state transfer. `false` means
+                // the replica has drifted off the asked-for epoch and
+                // needs a full `replica_sync` instead.
+                let object = u64::decode(args)?;
+                let rs_epoch = u64::decode(args)?;
+                let lease_millis = u64::decode(args)?;
+                match self.replica_meta.get_mut(&object) {
+                    None => self.absent_outcome(object),
+                    Some(meta) => {
+                        let current = meta.rs_epoch == rs_epoch;
+                        if current {
+                            meta.lease_until = Instant::now() + Duration::from_millis(lease_millis);
+                        }
+                        Ok(DaemonOutcome::Reply(wire::to_bytes(&current)))
+                    }
+                }
+            }
+            "replica_drop" => {
+                // Tear down a replica; a forwarding stub toward the
+                // primary heals any route still pointing here. Idempotent.
+                let object = u64::decode(args)?;
+                if matches!(self.objects.get(&object), Some(None)) {
+                    return Ok(DaemonOutcome::Busy); // mid-read: drop after
+                }
+                if let Some(meta) = self.replica_meta.remove(&object) {
+                    self.objects.remove(&object);
+                    self.object_calls.remove(&object);
+                    self.forwards.insert(object, meta.primary);
+                }
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
+            }
+            "replica_attach" => {
+                // Install the primary-side replica-set record: from here
+                // on, write verbs served by `object` bump the replica-set
+                // epoch and propagate per the mode.
+                let object = u64::decode(args)?;
+                let replicas = Vec::<ObjRef>::decode(args)?;
+                let rs_epoch = u64::decode(args)?;
+                let write_through = bool::decode(args)?;
+                let lease_millis = u64::decode(args)?;
+                if !self.objects.contains_key(&object) {
+                    return self.absent_outcome(object);
+                }
+                if replicas.is_empty() && lease_millis == 0 {
+                    // Detach: an empty set with no lease is `unreplicate`
+                    // tearing the record down — the object becomes a
+                    // normal (and movable) single process again.
+                    self.primaries.remove(&object);
+                } else {
+                    self.primaries.insert(
+                        object,
+                        PrimaryMeta {
+                            replicas,
+                            rs_epoch,
+                            write_through,
+                            lease_millis,
+                        },
+                    );
+                }
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
+            }
+            "replica_status" => {
+                // Introspection for the replica manager: both roles answer.
+                let object = u64::decode(args)?;
+                let status = if let Some(pm) = self.primaries.get(&object) {
+                    ReplicaStatus {
+                        is_primary: true,
+                        rs_epoch: pm.rs_epoch,
+                        replicas: pm.replicas.clone(),
+                    }
+                } else if let Some(meta) = self.replica_meta.get(&object) {
+                    ReplicaStatus {
+                        is_primary: false,
+                        rs_epoch: meta.rs_epoch,
+                        replicas: vec![meta.primary],
+                    }
+                } else {
+                    return self.absent_outcome(object);
+                };
+                Ok(DaemonOutcome::Reply(wire::to_bytes(&status)))
+            }
+            "replica_promote" => {
+                // Failover: the replica becomes a normal object fenced at
+                // the takeover incarnation epoch; the manager re-attaches
+                // the surviving set afterwards.
+                let object = u64::decode(args)?;
+                let epoch = u64::decode(args)?;
+                if matches!(self.objects.get(&object), Some(None)) {
+                    return Ok(DaemonOutcome::Busy); // mid-read: promote after
+                }
+                if !self.objects.contains_key(&object) {
+                    return self.absent_outcome(object);
+                }
+                self.replica_meta.remove(&object);
+                let e = self.epochs.entry(object).or_insert(0);
+                if epoch > *e {
+                    *e = epoch;
+                }
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
             }
             other => Err(RemoteError::NoSuchMethod {

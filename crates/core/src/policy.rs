@@ -9,7 +9,7 @@
 //! and retransmits the *same* frame, same `req_id`. The server side holds
 //! up the other half of the contract: a dedup window keyed on
 //! `(reply_to, req_id)` ensures retransmitted requests are executed at
-//! most once (see [`crate::dedup`]).
+//! most once (see the `dedup` module).
 
 use std::time::Duration;
 

@@ -240,6 +240,7 @@ impl Cluster {
                 payload: Bytes(crate::frame::DaemonCall::Shutdown.encode()),
                 trace: TraceCtx::default(),
                 epoch: 0,
+                rs_epoch: 0.into(),
             };
             let _ = self
                 .sim

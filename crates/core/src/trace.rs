@@ -7,7 +7,7 @@
 //! the flight recorder keeps it. Every call attempt leaves a trail of
 //! [`SpanEvent`]s — queued, sent, dispatched, replied, plus retransmits and
 //! dedup verdicts — in a per-machine lock-free ring, stamped by a cluster
-//! wide [`TraceClock`](simnet::TraceClock). At teardown the rings merge
+//! wide [`simnet::TraceClock`]. At teardown the rings merge
 //! into a [`Trace`] that can answer causal questions ("which original send
 //! does this retransmit belong to?"), render per-method latency statistics
 //! ([`MethodStats`]), and export Chrome/Perfetto `trace_event` JSON.
@@ -102,6 +102,23 @@ pub enum EventKind {
     /// A machine previously declared dead heartbeated again — the
     /// suspicion was false. `peer` is the resurrected machine.
     FalseSuspicion,
+    /// A read replica served a read verb under a live coherence lease.
+    ReplicaHit,
+    /// A read replica refused a read: lease expired or the caller's
+    /// replica-set epoch was ahead. The caller falls back to the primary.
+    ReplicaStale,
+    /// The primary pushed post-write state to one replica (`peer` is the
+    /// replica's machine; `bytes` is the snapshot size).
+    ReplicaSync,
+    /// The client engine redirected a read from a failed/stale replica to
+    /// the primary, reusing the same request id.
+    ReplicaFallback,
+    /// A replica was promoted to primary after the old primary's machine
+    /// died (`peer` is the machine that now hosts the primary).
+    ReplicaPromote,
+    /// The replica manager grew or shrank an object's replica set
+    /// (`bytes` carries the new replica count).
+    ReplicaScale,
 }
 
 impl EventKind {
@@ -126,6 +143,12 @@ impl EventKind {
             EventKind::MachineDeclaredDead => "machine_dead",
             EventKind::ObjectReactivated => "object_reactivated",
             EventKind::FalseSuspicion => "false_suspicion",
+            EventKind::ReplicaHit => "replica_hit",
+            EventKind::ReplicaStale => "replica_stale",
+            EventKind::ReplicaSync => "replica_sync",
+            EventKind::ReplicaFallback => "replica_fallback",
+            EventKind::ReplicaPromote => "replica_promote",
+            EventKind::ReplicaScale => "replica_scale",
         }
     }
 
@@ -152,6 +175,23 @@ impl EventKind {
                 | EventKind::MachineDeclaredDead
                 | EventKind::ObjectReactivated
                 | EventKind::FalseSuspicion
+        )
+    }
+
+    /// True for the replication lifecycle markers. `ReplicaHit` and
+    /// `ReplicaStale` ride on a real request span, but sync, fallback,
+    /// promote, and scale are root events of their own span (recorded by
+    /// the primary or the replica manager, with no `ClientSend`), so
+    /// causal checks treat the whole family as origins.
+    pub fn is_replica_marker(&self) -> bool {
+        matches!(
+            self,
+            EventKind::ReplicaHit
+                | EventKind::ReplicaStale
+                | EventKind::ReplicaSync
+                | EventKind::ReplicaFallback
+                | EventKind::ReplicaPromote
+                | EventKind::ReplicaScale
         )
     }
 }
@@ -431,6 +471,7 @@ impl Trace {
             if e.kind != EventKind::ClientSend
                 && !e.kind.is_migration_marker()
                 && !e.kind.is_supervision_marker()
+                && !e.kind.is_replica_marker()
                 && !sends.contains(&e.span_id)
             {
                 violations.push(format!(
@@ -549,7 +590,13 @@ impl Trace {
                 | EventKind::SuspectRaised
                 | EventKind::MachineDeclaredDead
                 | EventKind::ObjectReactivated
-                | EventKind::FalseSuspicion => {}
+                | EventKind::FalseSuspicion
+                | EventKind::ReplicaHit
+                | EventKind::ReplicaStale
+                | EventKind::ReplicaSync
+                | EventKind::ReplicaFallback
+                | EventKind::ReplicaPromote
+                | EventKind::ReplicaScale => {}
             }
         }
 
@@ -699,6 +746,29 @@ impl Trace {
                         e.machine,
                         e.trace_id,
                         e.span_id,
+                        e.peer,
+                        e.bytes,
+                    );
+                    emit(&mut out, &body);
+                }
+                EventKind::ReplicaHit
+                | EventKind::ReplicaStale
+                | EventKind::ReplicaSync
+                | EventKind::ReplicaFallback
+                | EventKind::ReplicaPromote
+                | EventKind::ReplicaScale => {
+                    // Replication instants in their own category so a
+                    // timeline shows hits, invalidations, and failovers
+                    // against the workload's calls.
+                    let name = format!("{}:m{}", e.kind.label(), e.peer);
+                    let body = format!(
+                        "{{\"name\":{},\"cat\":\"replication\",\"ph\":\"i\",\"s\":\"p\",\
+                         \"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"machine\":{},\
+                         \"value\":{}}}}}",
+                        json_string(&name),
+                        micros(e.at_nanos),
+                        e.machine,
+                        e.machine,
                         e.peer,
                         e.bytes,
                     );

@@ -5,7 +5,7 @@
 //! cooperating FFT processes (§4). This crate supplies the whole stack:
 //!
 //! * [`Complex`] arithmetic (no external numerics crates);
-//! * a naive [`dft`] as the testing oracle;
+//! * a naive [`dft`](mod@dft) as the testing oracle;
 //! * [`Radix2`]/[`Radix4`] (iterative Cooley–Tukey) and [`Bluestein`]
 //!   (arbitrary n) 1-D transforms behind the size-dispatching [`Fft`] plan;
 //! * [`Fft2`]/[`Fft3`] row–column 2-D/3-D transforms and [`RealFft`] for

@@ -492,8 +492,15 @@ impl Supervisor {
         self.stats.machines_declared_dead += 1;
         ctx.supervision_marker(EventKind::MachineDeclaredDead, m, 0);
         // Our own routing caches must not send anyone *to* the corpse:
-        // drop forwarding-chase and resolution entries targeting it.
+        // drop forwarding-chase, resolution, and replica-route entries
+        // targeting it.
         ctx.purge_moves_to(m);
+        // The directory's replica-set records must not advertise replicas
+        // on the corpse either: a resolver that refreshed its read route
+        // from a stale record would aim reads at the dead machine. The
+        // purge bumps each affected record's replica-set epoch, so live
+        // replicas re-fence on their next sync.
+        self.dir.purge_replicas_on(ctx, m)?;
         let mut taken = Vec::new();
         let lost: Vec<usize> = (0..self.regs.len())
             .filter(|&i| self.regs[i].current.machine == m)

@@ -16,7 +16,10 @@
 //!   hot objects to idle machines (DESIGN §9);
 //! * [`supervision`] — self-healing: heartbeat failure detection,
 //!   epoch-fenced leases, automatic reactivation of lost objects
-//!   (DESIGN §10).
+//!   (DESIGN §10);
+//! * [`replica`] — coherent read replication: replica sets for read-hot
+//!   objects, write-through / bounded-staleness coherence, CAS-fenced
+//!   failover (DESIGN §11).
 //!
 //! This crate exists *only* as that aggregation point: `examples/` and
 //! `tests/` at the workspace root attach to it, so one `cargo run
@@ -31,6 +34,7 @@ pub use mplite;
 pub use oopp;
 pub use pagestore;
 pub use placement;
+pub use replica;
 pub use simnet;
 pub use supervision;
 pub use wire;

@@ -1,0 +1,315 @@
+//! Lease-record edge cases in the naming directory (DESIGN.md §10–§11).
+//!
+//! The directory is the cluster's sole arbiter: incarnation takeovers
+//! (`claim`/`bind_fenced`) and replica-set membership (`set_replicas`/
+//! `purge_replicas_on`) are all CAS operations on one `LeaseRecord`.
+//! These tests pin the refusal edges — poisoned names, stale epochs —
+//! and property-test arbitrary interleavings of racing claimers,
+//! membership updates, and declare-dead purges against a sequential
+//! model of the record.
+
+use std::time::Duration;
+
+use oopp_repro::oopp::{
+    symbolic_addr, Backoff, CallPolicy, Cluster, ClusterBuilder, DirectoryClient, Driver, ObjRef,
+};
+use oopp_repro::simnet::ClusterConfig;
+use proptest::prelude::*;
+
+fn build() -> (Cluster, Driver, DirectoryClient) {
+    let (cluster, driver) = ClusterBuilder::new(2)
+        .sim_config(ClusterConfig::zero_cost(0))
+        .call_policy(
+            CallPolicy::reliable(Duration::from_millis(200))
+                .with_max_retries(2)
+                .with_backoff(Backoff::fixed(Duration::from_millis(5))),
+        )
+        .build();
+    let dir = driver.directory();
+    (cluster, driver, dir)
+}
+
+fn obj(machine: usize, object: u64) -> ObjRef {
+    ObjRef { machine, object }
+}
+
+/// A poisoned name refuses every CAS — claim and set_replicas alike —
+/// until a fenced rebind revives it at a higher epoch.
+#[test]
+fn poisoned_names_refuse_claims_and_membership_updates() {
+    let (cluster, mut driver, dir) = build();
+    let name = symbolic_addr(&["naming", "poisoned"]);
+    dir.bind(&mut driver, name.clone(), obj(0, 10)).unwrap();
+    assert_eq!(dir.claim(&mut driver, name.clone(), 0).unwrap(), Some(1));
+    dir.poison(&mut driver, name.clone()).unwrap();
+
+    assert_eq!(
+        dir.lease_of(&mut driver, name.clone()).unwrap(),
+        Some((obj(0, 10), 1, true))
+    );
+    // The record is untouchable while poisoned: the epoch that *would*
+    // match is refused, and so is a membership install.
+    assert_eq!(dir.claim(&mut driver, name.clone(), 1).unwrap(), None);
+    assert_eq!(
+        dir.set_replicas(&mut driver, name.clone(), vec![obj(1, 11)], 0)
+            .unwrap(),
+        None
+    );
+
+    // A fenced rebind at (or above) the record's epoch revives it.
+    assert!(dir
+        .bind_fenced(&mut driver, name.clone(), obj(1, 12), 2)
+        .unwrap());
+    assert_eq!(
+        dir.lease_of(&mut driver, name.clone()).unwrap(),
+        Some((obj(1, 12), 2, false))
+    );
+    assert_eq!(dir.claim(&mut driver, name.clone(), 2).unwrap(), Some(3));
+    cluster.shutdown(driver);
+}
+
+/// A claim must present the exact current epoch: stale claimers lose,
+/// exactly one of two racers at the same epoch wins, and the loser's
+/// retry at the new epoch succeeds (the supervisor's recovery-race rule).
+#[test]
+fn claims_at_stale_epochs_lose_the_cas() {
+    let (cluster, mut driver, dir) = build();
+    let name = symbolic_addr(&["naming", "race"]);
+    dir.bind(&mut driver, name.clone(), obj(0, 10)).unwrap();
+
+    // Two racers, both believing epoch 0: first wins, second loses.
+    assert_eq!(dir.claim(&mut driver, name.clone(), 0).unwrap(), Some(1));
+    assert_eq!(dir.claim(&mut driver, name.clone(), 0).unwrap(), None);
+    // The loser re-reads and retries at the taught epoch.
+    assert_eq!(
+        dir.lease_of(&mut driver, name.clone()).unwrap(),
+        Some((obj(0, 10), 1, false))
+    );
+    assert_eq!(dir.claim(&mut driver, name.clone(), 1).unwrap(), Some(2));
+    // Claims on names that were never bound land nowhere.
+    assert_eq!(
+        dir.claim(&mut driver, "oopp://naming/ghost".into(), 0)
+            .unwrap(),
+        None
+    );
+    cluster.shutdown(driver);
+}
+
+/// Replica-set membership is fenced the same way: the CAS needs the
+/// current rs_epoch, rebinding drops the set, and a fenced rebind bumps
+/// the rs_epoch so routes built against the old set self-invalidate.
+#[test]
+fn replica_membership_is_cas_fenced_and_dropped_on_rebind() {
+    let (cluster, mut driver, dir) = build();
+    let name = symbolic_addr(&["naming", "set"]);
+    dir.bind(&mut driver, name.clone(), obj(0, 10)).unwrap();
+    assert_eq!(
+        dir.replica_set(&mut driver, name.clone()).unwrap(),
+        Some((vec![], 0))
+    );
+
+    assert_eq!(
+        dir.set_replicas(&mut driver, name.clone(), vec![obj(1, 11)], 1)
+            .unwrap(),
+        None,
+        "stale rs_epoch must lose"
+    );
+    assert_eq!(
+        dir.set_replicas(&mut driver, name.clone(), vec![obj(1, 11)], 0)
+            .unwrap(),
+        Some(1)
+    );
+
+    // A plain rebind is a fresh incarnation: the mirrored set is gone.
+    dir.bind(&mut driver, name.clone(), obj(1, 12)).unwrap();
+    assert_eq!(
+        dir.replica_set(&mut driver, name.clone()).unwrap(),
+        Some((vec![], 0)),
+        "rebinding must drop the replica set"
+    );
+
+    // A fenced rebind also clears the set but *bumps* the rs_epoch.
+    assert_eq!(
+        dir.set_replicas(&mut driver, name.clone(), vec![obj(0, 13)], 0)
+            .unwrap(),
+        Some(1)
+    );
+    assert!(dir
+        .bind_fenced(&mut driver, name.clone(), obj(0, 14), 5)
+        .unwrap());
+    assert_eq!(
+        dir.replica_set(&mut driver, name.clone()).unwrap(),
+        Some((vec![], 2)),
+        "takeover must clear the set and fence the epoch"
+    );
+    cluster.shutdown(driver);
+}
+
+/// The declare-dead purge touches exactly the records advertising a
+/// replica on the corpse, bumping each one's rs_epoch once.
+#[test]
+fn purge_scrubs_only_records_on_the_dead_machine() {
+    let (cluster, mut driver, dir) = build();
+    let a = symbolic_addr(&["naming", "a"]);
+    let b = symbolic_addr(&["naming", "b"]);
+    dir.bind(&mut driver, a.clone(), obj(0, 10)).unwrap();
+    dir.bind(&mut driver, b.clone(), obj(0, 20)).unwrap();
+    dir.set_replicas(&mut driver, a.clone(), vec![obj(1, 11), obj(0, 12)], 0)
+        .unwrap()
+        .unwrap();
+    dir.set_replicas(&mut driver, b.clone(), vec![obj(0, 21)], 0)
+        .unwrap()
+        .unwrap();
+
+    assert_eq!(dir.purge_replicas_on(&mut driver, 1).unwrap(), 1);
+    assert_eq!(
+        dir.replica_set(&mut driver, a.clone()).unwrap(),
+        Some((vec![obj(0, 12)], 2)),
+        "machine-1 replica scrubbed, epoch fenced"
+    );
+    assert_eq!(
+        dir.replica_set(&mut driver, b.clone()).unwrap(),
+        Some((vec![obj(0, 21)], 1)),
+        "untouched record keeps its epoch"
+    );
+    // Idempotent: a second purge finds nothing to change.
+    assert_eq!(dir.purge_replicas_on(&mut driver, 1).unwrap(), 0);
+    cluster.shutdown(driver);
+}
+
+// ---------------------------------------------------------------------
+// Property: arbitrary interleavings against a sequential model
+// ---------------------------------------------------------------------
+
+/// Sequential model of one `LeaseRecord`, mirroring naming.rs semantics.
+#[derive(Clone, Debug, PartialEq)]
+struct ModelRec {
+    target: ObjRef,
+    epoch: u64,
+    poisoned: bool,
+    replicas: Vec<ObjRef>,
+    rs_epoch: u64,
+}
+
+impl ModelRec {
+    fn fresh(target: ObjRef, epoch: u64) -> Self {
+        ModelRec {
+            target,
+            epoch,
+            poisoned: false,
+            replicas: Vec::new(),
+            rs_epoch: 0,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Any interleaving of claimers, membership CASes, poisons, fenced
+    /// rebinds, and declare-dead purges — two logical actors over two
+    /// names — leaves the directory in exactly the state the sequential
+    /// model predicts, with epochs and rs_epochs never regressing.
+    #[test]
+    fn interleaved_claims_and_purges_match_the_sequential_model(
+        ops in proptest::collection::vec((0u8..6u8, 0usize..2usize, 0u64..4u64, 0usize..2usize), 1..24)
+    ) {
+        let (cluster, mut driver, dir) = build();
+        let names = [
+            symbolic_addr(&["naming", "p", "0"]),
+            symbolic_addr(&["naming", "p", "1"]),
+        ];
+        let mut model: Vec<ModelRec> = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let target = obj(0, 100 + i as u64);
+            dir.bind(&mut driver, name.clone(), target).unwrap();
+            model.push(ModelRec::fresh(target, 0));
+        }
+
+        for (kind, n, e, m) in ops {
+            let name = names[n].clone();
+            let rec = &mut model[n];
+            match kind {
+                // claim(expect = e)
+                0 => {
+                    let got = dir.claim(&mut driver, name, e).unwrap();
+                    let want = if !rec.poisoned && rec.epoch == e {
+                        rec.epoch += 1;
+                        Some(rec.epoch)
+                    } else {
+                        None
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                // set_replicas([replica on machine m], expect = e)
+                1 => {
+                    let replicas = vec![obj(m, 200 + m as u64)];
+                    let got = dir.set_replicas(&mut driver, name, replicas.clone(), e).unwrap();
+                    let want = if !rec.poisoned && rec.rs_epoch == e {
+                        rec.replicas = replicas;
+                        rec.rs_epoch += 1;
+                        Some(rec.rs_epoch)
+                    } else {
+                        None
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                // purge_replicas_on(m) — sweeps every record
+                2 => {
+                    let got = dir.purge_replicas_on(&mut driver, m).unwrap();
+                    let mut want = 0;
+                    for r in model.iter_mut() {
+                        let before = r.replicas.len();
+                        r.replicas.retain(|rep| rep.machine != m);
+                        if r.replicas.len() != before {
+                            r.rs_epoch += 1;
+                            want += 1;
+                        }
+                    }
+                    prop_assert_eq!(got, want);
+                }
+                // poison
+                3 => {
+                    dir.poison(&mut driver, name).unwrap();
+                    rec.poisoned = true;
+                }
+                // bind_fenced(target, epoch = e)
+                4 => {
+                    let target = obj(m, 300 + e);
+                    let got = dir.bind_fenced(&mut driver, name, target, e).unwrap();
+                    let want = if rec.epoch <= e {
+                        rec.target = target;
+                        rec.epoch = e;
+                        rec.poisoned = false;
+                        rec.replicas.clear();
+                        rec.rs_epoch += 1;
+                        true
+                    } else {
+                        false
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                // plain bind: fresh incarnation at the old epoch, set gone
+                _ => {
+                    let target = obj(m, 400 + e);
+                    dir.bind(&mut driver, name, target).unwrap();
+                    *rec = ModelRec::fresh(target, rec.epoch);
+                }
+            }
+
+            // The directory must agree with the model after every op.
+            for (i, name) in names.iter().enumerate() {
+                let r = &model[i];
+                prop_assert_eq!(
+                    dir.lease_of(&mut driver, name.clone()).unwrap(),
+                    Some((r.target, r.epoch, r.poisoned))
+                );
+                prop_assert_eq!(
+                    dir.replica_set(&mut driver, name.clone()).unwrap(),
+                    Some((r.replicas.clone(), r.rs_epoch))
+                );
+            }
+        }
+        cluster.shutdown(driver);
+    }
+}

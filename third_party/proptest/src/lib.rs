@@ -294,7 +294,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;
 
-    /// Element-count range for [`vec`].
+    /// Element-count range for [`vec`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         pub start: usize,
