@@ -19,6 +19,9 @@ pub fn lan_config() -> ClusterConfig {
         disks_per_machine: 1,
         disk_capacity: 256 << 20,
         faults: simnet::FaultPlan::none(),
+        // Benches measure modeled time against wall time: real mode, with
+        // the spin tail for sub-100us delay precision.
+        time: simnet::TimeMode::Real { spin_tail: true },
     }
 }
 

@@ -80,6 +80,11 @@ pub enum RemoteError {
         /// Replica-set epoch the replica last synced at.
         rs_epoch: u64,
     },
+    /// The object is the primary of a live replica set and therefore
+    /// unmovable: migrating it would strand the replicas' write-through
+    /// routes. Unreplicate first, or use
+    /// `ReplicaManager::unreplicate_then_migrate` to do both in one step.
+    Replicated { object: u64 },
 }
 
 wire_enum!(RemoteError {
@@ -96,6 +101,7 @@ wire_enum!(RemoteError {
     10 => Moved { to },
     11 => Fenced { current_epoch },
     12 => StaleReplica { primary, rs_epoch },
+    13 => Replicated { object },
 });
 
 impl RemoteError {
@@ -176,6 +182,12 @@ impl fmt::Display for RemoteError {
                     primary.machine, primary.object
                 )
             }
+            RemoteError::Replicated { object } => {
+                write!(
+                    f,
+                    "object {object} is replicated and unmovable; unreplicate                      first (or scale the replica set instead)"
+                )
+            }
         }
     }
 }
@@ -247,6 +259,7 @@ mod tests {
                 },
                 rs_epoch: 4,
             },
+            RemoteError::Replicated { object: 99 },
         ] {
             assert_eq!(from_bytes::<RemoteError>(&to_bytes(&e)).unwrap(), e);
         }

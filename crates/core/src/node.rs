@@ -17,10 +17,10 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::Receiver;
-use simnet::{MachineId, Network, Packet, SimDisk};
+use simnet::{Clock, MachineId, Network, Packet, SimDisk};
 use wire::collections::Bytes;
 use wire::{Reader, Wire, Writer};
 
@@ -97,9 +97,10 @@ struct ReplicaMeta {
     primary: ObjRef,
     /// Replica-set epoch of the last applied sync.
     rs_epoch: u64,
-    /// Coherence lease: the replica serves reads only until this instant,
-    /// unless the primary (or the replica manager) renews it first.
-    lease_until: Instant,
+    /// Coherence lease: the replica serves reads only until this clock
+    /// reading (nanos), unless the primary (or the replica manager) renews
+    /// it first.
+    lease_until: u64,
     /// The class's declared read verbs, captured at adoption so the gate
     /// works even while the object is checked out.
     read_verbs: &'static [&'static str],
@@ -163,6 +164,10 @@ pub struct NodeCtx {
     machine: MachineId,
     workers: usize,
     net: Network,
+    /// The cluster clock (shared with the fabric): all timeouts, backoffs
+    /// and leases on this node are measured against it, so a virtual-time
+    /// cluster never blocks on a wall-clock-only timer.
+    clock: Clock,
     inbox: Receiver<Packet>,
     registry: Arc<ClassRegistry>,
     disks: Vec<Arc<SimDisk>>,
@@ -195,8 +200,9 @@ pub struct NodeCtx {
     /// Serving lease granted by supervisor heartbeats. `None` until the
     /// first heartbeat arrives (unsupervised machines never check leases);
     /// once granted, supervised objects are only served while the lease is
-    /// live — an isolated machine self-fences when it expires.
-    lease_deadline: Option<Instant>,
+    /// live — an isolated machine self-fences when it expires. Clock
+    /// nanos.
+    lease_deadline: Option<u64>,
     /// Client-side epoch beliefs: the incarnation epoch this node last
     /// learned for a supervised address (from the naming directory or a
     /// `Fenced` reply). Stamped onto outgoing frames.
@@ -239,6 +245,16 @@ impl std::fmt::Debug for NodeCtx {
     }
 }
 
+impl Drop for NodeCtx {
+    fn drop(&mut self) {
+        // Leave the virtual clock's quiescence set (no-op in real mode).
+        // If this was the last running actor, deregistration advances the
+        // event loop so remaining deliveries (shutdown frames for peers)
+        // still fire — the teardown cascade depends on it.
+        self.clock.deregister_actor();
+    }
+}
+
 impl NodeCtx {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
@@ -251,10 +267,15 @@ impl NodeCtx {
         policy: CallPolicy,
         tracer: Option<Tracer>,
     ) -> Self {
+        let clock = net.clock().clone();
+        // Virtual time only advances while every actor is parked in the
+        // clock, so each NodeCtx enrolls here and leaves in its Drop.
+        clock.register_actor();
         NodeCtx {
             machine,
             workers,
             net,
+            clock,
             inbox,
             registry,
             disks,
@@ -315,6 +336,17 @@ impl NodeCtx {
     /// Total endpoints, workers plus driver.
     pub fn machines(&self) -> usize {
         self.workers + 1
+    }
+
+    /// The cluster clock this node measures every timeout, backoff and
+    /// lease against. Virtual nanos under a virtual-time cluster.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Current clock reading in nanoseconds since the cluster epoch.
+    pub fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
     }
 
     /// Locally attached disks.
@@ -638,9 +670,10 @@ impl NodeCtx {
     /// budget is exhausted the call fails with an enriched
     /// [`RemoteError::Timeout`] naming the target and attempt count.
     pub fn wait_raw(&mut self, mut req_id: u64) -> RemoteResult<Vec<u8>> {
-        let started = Instant::now();
+        let started = self.clock.now_nanos();
+        let timeout = self.policy.timeout.as_nanos() as u64;
         let mut attempts: u32 = 1;
-        let mut deadline = started + self.policy.timeout;
+        let mut deadline = started + timeout;
         loop {
             if let Some(result) = self.replies.remove(&req_id) {
                 // A `Moved` reply is a forwarding stub redirecting us, not
@@ -676,7 +709,7 @@ impl NodeCtx {
                             && to.machine < self.machines()
                             && self.chase_forward(req_id, to, attempts)
                         {
-                            deadline = Instant::now() + self.policy.timeout;
+                            deadline = self.clock.now_nanos() + timeout;
                             continue;
                         }
                     }
@@ -692,7 +725,7 @@ impl NodeCtx {
                     if let Some(fresh) = self.refence_call(req_id, taught) {
                         req_id = fresh;
                         attempts = 1;
-                        deadline = Instant::now() + self.policy.timeout;
+                        deadline = self.clock.now_nanos() + timeout;
                         continue;
                     }
                 }
@@ -710,7 +743,7 @@ impl NodeCtx {
                             self.drop_replica_from_route(primary, replica);
                             if self.redirect_read_to_primary(req_id, primary, attempts) {
                                 attempts = 1;
-                                deadline = Instant::now() + self.policy.timeout;
+                                deadline = self.clock.now_nanos() + timeout;
                                 continue;
                             }
                         }
@@ -747,7 +780,10 @@ impl NodeCtx {
                 }
                 return result;
             }
-            match self.inbox.recv_deadline(deadline) {
+            match self
+                .clock
+                .recv_deadline_nanos(&self.inbox, self.machine, deadline)
+            {
                 Ok(pkt) => {
                     self.handle_packet(pkt);
                     self.drain_deferred();
@@ -767,7 +803,7 @@ impl NodeCtx {
                             self.drop_replica_from_route(primary, replica);
                             if self.redirect_read_to_primary(req_id, primary, attempts) {
                                 attempts = 1;
-                                deadline = Instant::now() + self.policy.timeout;
+                                deadline = self.clock.now_nanos() + timeout;
                                 continue;
                             }
                         }
@@ -783,14 +819,18 @@ impl NodeCtx {
                             machine: target.machine,
                             object: target.object,
                             attempts,
-                            millis: started.elapsed().as_millis() as u64,
+                            millis: (self.clock.now_nanos() - started) / 1_000_000,
                         });
                     }
                     let pause = self.policy.backoff.delay(attempts);
                     if !pause.is_zero() {
-                        let pause_deadline = Instant::now() + pause;
+                        let pause_deadline = self.clock.now_nanos() + pause.as_nanos() as u64;
                         while !self.replies.contains_key(&req_id) {
-                            match self.inbox.recv_deadline(pause_deadline) {
+                            match self.clock.recv_deadline_nanos(
+                                &self.inbox,
+                                self.machine,
+                                pause_deadline,
+                            ) {
                                 Ok(pkt) => {
                                     self.handle_packet(pkt);
                                     self.drain_deferred();
@@ -823,7 +863,7 @@ impl NodeCtx {
                         self.stats.calls_retried += 1;
                     }
                     attempts += 1;
-                    deadline = Instant::now() + self.policy.timeout;
+                    deadline = self.clock.now_nanos() + timeout;
                 }
             }
         }
@@ -1609,8 +1649,11 @@ impl NodeCtx {
     /// that hosts objects make them reachable while it has nothing else to
     /// do. Workers never need this — their serve loop runs continuously.
     pub fn serve_for(&mut self, dur: Duration) {
-        let deadline = Instant::now() + dur;
-        while let Ok(pkt) = self.inbox.recv_deadline(deadline) {
+        let deadline = self.clock.now_nanos() + dur.as_nanos() as u64;
+        while let Ok(pkt) = self
+            .clock
+            .recv_deadline_nanos(&self.inbox, self.machine, deadline)
+        {
             self.handle_packet(pkt);
             self.drain_deferred();
         }
@@ -1678,7 +1721,7 @@ impl NodeCtx {
 
     pub(crate) fn serve_loop(&mut self) {
         while self.alive {
-            match self.inbox.recv() {
+            match self.clock.recv(&self.inbox, self.machine) {
                 Ok(pkt) => {
                     self.handle_packet(pkt);
                     self.drain_deferred();
@@ -1874,7 +1917,7 @@ impl NodeCtx {
             // lapsed cannot split the brain — it is how stale pointers
             // heal toward the takeover incarnation.
             if self.objects.contains_key(&req.target)
-                && matches!(self.lease_deadline, Some(d) if Instant::now() > d)
+                && matches!(self.lease_deadline, Some(d) if self.clock.now_nanos() > d)
             {
                 self.stats.calls_fenced += 1;
                 let err = RemoteError::Fenced {
@@ -1893,7 +1936,7 @@ impl NodeCtx {
         if let Some(meta) = self.replica_meta.get(&req.target) {
             let primary = meta.primary;
             let rs_now = meta.rs_epoch;
-            let lease_live = Instant::now() <= meta.lease_until;
+            let lease_live = self.clock.now_nanos() <= meta.lease_until;
             let method = payload_method(&req.payload);
             if !meta.read_verbs.iter().any(|v| *v == &*method) {
                 self.stats.calls_forwarded += 1;
@@ -2250,10 +2293,7 @@ impl NodeCtx {
                 // moving primary would race its own write propagation,
                 // and a moving replica is pointless — drop and re-adopt.
                 if self.primaries.contains_key(&object) || self.replica_meta.contains_key(&object) {
-                    return Err(RemoteError::app(format!(
-                        "migrate_out: object {object} is replicated and unmovable; \
-                         scale the replica set instead"
-                    )));
+                    return Err(RemoteError::Replicated { object });
                 }
                 match self.objects.get(&object) {
                     None => self.absent_outcome(object),
@@ -2349,7 +2389,7 @@ impl NodeCtx {
                 // the machine may serve supervised objects for another
                 // `ttl` from *now*.
                 let ttl = u64::decode(args)?;
-                self.lease_deadline = Some(Instant::now() + Duration::from_millis(ttl));
+                self.lease_deadline = Some(self.clock.now_nanos() + ttl * 1_000_000);
                 self.stats.heartbeats_served += 1;
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
             }
@@ -2430,7 +2470,7 @@ impl NodeCtx {
                     ReplicaMeta {
                         primary,
                         rs_epoch,
-                        lease_until: Instant::now() + Duration::from_millis(lease_millis),
+                        lease_until: self.clock.now_nanos() + lease_millis * 1_000_000,
                         read_verbs,
                     },
                 );
@@ -2463,7 +2503,7 @@ impl NodeCtx {
                         if rs_epoch > meta.rs_epoch {
                             meta.rs_epoch = rs_epoch;
                         }
-                        meta.lease_until = Instant::now() + Duration::from_millis(lease_millis);
+                        meta.lease_until = self.clock.now_nanos() + lease_millis * 1_000_000;
                         Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
                     }
                 }
@@ -2480,7 +2520,7 @@ impl NodeCtx {
                     Some(meta) => {
                         let current = meta.rs_epoch == rs_epoch;
                         if current {
-                            meta.lease_until = Instant::now() + Duration::from_millis(lease_millis);
+                            meta.lease_until = self.clock.now_nanos() + lease_millis * 1_000_000;
                         }
                         Ok(DaemonOutcome::Reply(wire::to_bytes(&current)))
                     }

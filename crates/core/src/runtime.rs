@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use simnet::{ClusterConfig, MachineId, Metrics, MetricsSnapshot, SimCluster};
+use simnet::{ClusterConfig, MachineId, Metrics, MetricsSnapshot, SimCluster, TraceClock};
 use wire::collections::Bytes;
 
 use crate::array::{ByteBlock, DoubleBlock};
@@ -112,8 +112,13 @@ impl ClusterBuilder {
         } = self;
         let sim = SimCluster::new(sim_config);
         let registry = Arc::new(registry);
-        let recorder =
-            tracing.then(|| Arc::new(Recorder::new(workers + 1, DEFAULT_TRACE_CAPACITY)));
+        let recorder = tracing.then(|| {
+            Arc::new(Recorder::with_clock(
+                workers + 1,
+                DEFAULT_TRACE_CAPACITY,
+                TraceClock::from_clock(sim.clock()),
+            ))
+        });
 
         let mut threads = Vec::with_capacity(workers);
         for m in 0..workers {

@@ -376,7 +376,13 @@ impl Recorder {
     /// A recorder for `machines` endpoints (workers + driver), each with a
     /// ring of `capacity` events.
     pub fn new(machines: usize, capacity: usize) -> Self {
-        let clock = TraceClock::new();
+        Self::with_clock(machines, capacity, TraceClock::new())
+    }
+
+    /// A recorder stamping events from `clock` — pass a
+    /// [`TraceClock::from_clock`] handle so virtual-time runs record virtual
+    /// nanos and replay byte-for-byte.
+    pub fn with_clock(machines: usize, capacity: usize, clock: TraceClock) -> Self {
         let rings = (0..machines)
             .map(|_| Arc::new(SpanRing::new(capacity)))
             .collect();
@@ -387,7 +393,7 @@ impl Recorder {
     pub fn tracer(&self, machine: MachineId) -> Tracer {
         Tracer {
             machine,
-            clock: self.clock,
+            clock: self.clock.clone(),
             ring: self.rings[machine].clone(),
         }
     }

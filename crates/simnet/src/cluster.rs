@@ -5,7 +5,8 @@ use std::sync::Arc;
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 
-use crate::config::ClusterConfig;
+use crate::clock::Clock;
+use crate::config::{ClusterConfig, TimeMode};
 use crate::disk::SimDisk;
 use crate::faults::{FaultInjector, FaultState};
 use crate::message::{MachineId, Packet};
@@ -40,10 +41,20 @@ impl SimCluster {
     /// Build a cluster from `config`.
     pub fn new(config: ClusterConfig) -> Self {
         assert!(config.machines > 0, "a cluster needs at least one machine");
+        let clock = match config.time {
+            TimeMode::Real { spin_tail } => Clock::real(spin_tail),
+            TimeMode::Virtual { seed } => Clock::virtual_time(seed),
+        };
         let metrics = Arc::new(Metrics::new(config.machines));
         let topo = topology::build(&config.topology);
         let faults = Arc::new(FaultState::new(config.faults.clone(), config.machines));
-        let (network, inbox_rxs) = Network::build(config.machines, topo, metrics.clone(), faults);
+        let (network, inbox_rxs) = Network::build(
+            config.machines,
+            topo,
+            metrics.clone(),
+            faults,
+            clock.clone(),
+        );
         let inboxes = inbox_rxs
             .into_iter()
             .map(|rx| Mutex::new(Some(rx)))
@@ -52,10 +63,11 @@ impl SimCluster {
             .map(|_| {
                 (0..config.disks_per_machine)
                     .map(|_| {
-                        Arc::new(SimDisk::new(
+                        Arc::new(SimDisk::with_clock(
                             config.disk,
                             config.disk_capacity,
                             metrics.clone(),
+                            clock.clone(),
                         ))
                     })
                     .collect()
@@ -83,6 +95,11 @@ impl SimCluster {
     /// Sending handle into the fabric (cloneable).
     pub fn net(&self) -> &Network {
         &self.network
+    }
+
+    /// The cluster's time source (real or virtual; cloneable).
+    pub fn clock(&self) -> &Clock {
+        self.network.clock()
     }
 
     /// Claim machine `m`'s inbox. Each inbox can be claimed exactly once —

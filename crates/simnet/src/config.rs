@@ -108,6 +108,31 @@ impl Default for DiskConfig {
     }
 }
 
+/// Which time backend a cluster runs on (see [`crate::Clock`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeMode {
+    /// Wall-clock time. `spin_tail` enables the sub-timer-slack spin at the
+    /// end of modeled sleeps — benches want the precision, tests don't want
+    /// a busy core per sleeping machine thread.
+    Real {
+        /// Spin the final ~120µs of each modeled sleep for precision.
+        spin_tail: bool,
+    },
+    /// Deterministic discrete-event virtual time, seeded. Modeled delays
+    /// are charged logically and a run's event order is a replayable
+    /// function of this seed (see [`crate::SimSchedule`]).
+    Virtual {
+        /// Seed for the event-order tiebreak.
+        seed: u64,
+    },
+}
+
+impl Default for TimeMode {
+    fn default() -> Self {
+        TimeMode::Real { spin_tail: false }
+    }
+}
+
 /// Which [`Topology`](crate::topology::Topology) to build.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TopologySpec {
@@ -149,6 +174,9 @@ pub struct ClusterConfig {
     pub disk_capacity: usize,
     /// Seeded fault-injection plan ([`FaultPlan::none`] by default).
     pub faults: FaultPlan,
+    /// Time backend: real wall clock (default) or deterministic virtual
+    /// time.
+    pub time: TimeMode,
 }
 
 impl ClusterConfig {
@@ -162,10 +190,12 @@ impl ClusterConfig {
             disks_per_machine: 1,
             disk_capacity: 64 << 20,
             faults: FaultPlan::none(),
+            time: TimeMode::Real { spin_tail: false },
         }
     }
 
-    /// `n` machines on a uniform costed network.
+    /// `n` machines on a uniform costed network. Latency-accurate, so the
+    /// precision spin tail is on.
     pub fn lan(n: usize, latency_us: u64, gbps: f64) -> Self {
         ClusterConfig {
             machines: n,
@@ -174,12 +204,29 @@ impl ClusterConfig {
             disks_per_machine: 1,
             disk_capacity: 64 << 20,
             faults: FaultPlan::none(),
+            time: TimeMode::Real { spin_tail: true },
         }
     }
 
     /// Override the fault-injection plan (builder style).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Run on deterministic virtual time with this schedule seed (builder
+    /// style).
+    pub fn with_virtual_time(mut self, seed: u64) -> Self {
+        self.time = TimeMode::Virtual { seed };
+        self
+    }
+
+    /// Toggle the real-time precision spin tail (builder style). No effect
+    /// in virtual mode, which never spins.
+    pub fn with_spin_tail(mut self, spin_tail: bool) -> Self {
+        if let TimeMode::Real { .. } = self.time {
+            self.time = TimeMode::Real { spin_tail };
+        }
         self
     }
 
@@ -237,6 +284,20 @@ mod tests {
         assert_eq!(c.disks_per_machine, 3);
         assert_eq!(c.disk_capacity, 1 << 20);
         assert_eq!(c.disk, DiskConfig::hdd());
+    }
+
+    #[test]
+    fn time_mode_builders() {
+        let c = ClusterConfig::zero_cost(2);
+        assert_eq!(c.time, TimeMode::Real { spin_tail: false });
+        let c = ClusterConfig::lan(2, 50, 1.0);
+        assert_eq!(c.time, TimeMode::Real { spin_tail: true });
+        let c = c.with_spin_tail(false);
+        assert_eq!(c.time, TimeMode::Real { spin_tail: false });
+        let c = c.with_virtual_time(42);
+        assert_eq!(c.time, TimeMode::Virtual { seed: 42 });
+        // Spin tail is a real-time concept: virtual mode ignores it.
+        assert_eq!(c.with_spin_tail(true).time, TimeMode::Virtual { seed: 42 });
     }
 
     #[test]

@@ -18,9 +18,10 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use crate::clock::Clock;
 use crate::config::{DiskBackend, DiskConfig};
 use crate::metrics::Metrics;
-use crate::time::{precise_sleep, transfer_time};
+use crate::time::{precise_sleep_with, transfer_time};
 
 /// Errors from disk operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +112,11 @@ pub struct SimDisk {
     capacity: usize,
     backend: Mutex<Backend>,
     metrics: Arc<Metrics>,
+    clock: Clock,
+    /// Virtual instant the device finishes its queued work (virtual mode
+    /// replaces lock-held sleeping with this, so a parked waiter can't hide
+    /// a second actor blocked on the device mutex from the clock).
+    busy_until: Mutex<u64>,
     ops: AtomicU64,
     next_alloc: AtomicU64,
 }
@@ -125,8 +131,20 @@ impl fmt::Debug for SimDisk {
 }
 
 impl SimDisk {
-    /// Create a disk of `capacity` bytes (zero-filled).
+    /// Create a disk of `capacity` bytes (zero-filled) on a real-time
+    /// clock. Cluster-built disks use [`SimDisk::with_clock`] instead so
+    /// modeled delays follow the cluster's time mode.
     pub fn new(config: DiskConfig, capacity: usize, metrics: Arc<Metrics>) -> Self {
+        SimDisk::with_clock(config, capacity, metrics, Clock::real(true))
+    }
+
+    /// Create a disk charging its costs on the given clock.
+    pub fn with_clock(
+        config: DiskConfig,
+        capacity: usize,
+        metrics: Arc<Metrics>,
+        clock: Clock,
+    ) -> Self {
         let backend = match config.backend {
             DiskBackend::Memory => Backend::Memory(vec![0u8; capacity]),
             DiskBackend::TempFile => {
@@ -150,6 +168,8 @@ impl SimDisk {
             capacity,
             backend: Mutex::new(backend),
             metrics,
+            clock,
+            busy_until: Mutex::new(0),
             ops: AtomicU64::new(0),
             next_alloc: AtomicU64::new(0),
         }
@@ -211,24 +231,54 @@ impl SimDisk {
         (self.config.seek + transfer_time(bytes, self.config.bytes_per_sec)).as_nanos() as u64
     }
 
+    /// Charge `busy` nanos of device time after the data portion of an op.
+    ///
+    /// Real mode is called with the backend lock still held, so concurrent
+    /// operations on one disk serialize, as on real hardware. Virtual mode
+    /// must **not** sleep under that lock (a thread blocked on a mutex is
+    /// invisible to the clock's quiescence rule and would deadlock the
+    /// simulation); instead the device keeps a `busy_until` watermark that
+    /// serializes the modeled time, and the caller parks lock-free.
+    fn charge(&self, busy: u64, op_start: Instant) {
+        if self.config.is_zero() {
+            return;
+        }
+        if self.clock.is_virtual() {
+            let done = {
+                let now = self.clock.now_nanos();
+                let mut b = self.busy_until.lock();
+                let done = now.max(*b) + busy;
+                *b = done;
+                done
+            };
+            self.clock.sleep_until_nanos(done);
+        } else {
+            let target = std::time::Duration::from_nanos(busy);
+            let spent = op_start.elapsed();
+            if target > spent {
+                precise_sleep_with(target - spent, self.clock.spin());
+            }
+        }
+    }
+
     /// Read `buf.len()` bytes starting at `offset`.
     ///
-    /// Holds the device lock for the modeled duration: concurrent operations
-    /// on one disk serialize, as on real hardware.
+    /// The device serializes: in real mode the lock is held for the modeled
+    /// duration, in virtual mode the op queues on the device's virtual
+    /// busy-time (see `SimDisk::charge`).
     pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<(), DiskError> {
         self.check_bounds(offset, buf.len())?;
         let busy = self.op_cost_nanos(buf.len());
-        let guard_start = Instant::now();
+        let op_start = Instant::now();
         let mut backend = self.backend.lock();
         backend.read(offset, buf)?;
-        if !self.config.is_zero() {
-            let target = std::time::Duration::from_nanos(busy);
-            let spent = guard_start.elapsed();
-            if target > spent {
-                precise_sleep(target - spent);
-            }
+        if !self.clock.is_virtual() {
+            self.charge(busy, op_start);
         }
         drop(backend);
+        if self.clock.is_virtual() {
+            self.charge(busy, op_start);
+        }
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.metrics.record_disk_read(buf.len(), busy);
         Ok(())
@@ -238,17 +288,16 @@ impl SimDisk {
     pub fn write(&self, offset: usize, data: &[u8]) -> Result<(), DiskError> {
         self.check_bounds(offset, data.len())?;
         let busy = self.op_cost_nanos(data.len());
-        let guard_start = Instant::now();
+        let op_start = Instant::now();
         let mut backend = self.backend.lock();
         backend.write(offset, data)?;
-        if !self.config.is_zero() {
-            let target = std::time::Duration::from_nanos(busy);
-            let spent = guard_start.elapsed();
-            if target > spent {
-                precise_sleep(target - spent);
-            }
+        if !self.clock.is_virtual() {
+            self.charge(busy, op_start);
         }
         drop(backend);
+        if self.clock.is_virtual() {
+            self.charge(busy, op_start);
+        }
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.metrics.record_disk_write(data.len(), busy);
         Ok(())
@@ -352,6 +401,28 @@ mod tests {
         let t0 = Instant::now();
         d.write(0, &[1]).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn virtual_disk_charges_modeled_time_logically() {
+        let cfg = DiskConfig {
+            seek: Duration::from_millis(2),
+            bytes_per_sec: f64::INFINITY,
+            backend: DiskBackend::Memory,
+        };
+        let clock = Clock::virtual_time(5);
+        let d = SimDisk::with_clock(cfg, 64, Arc::new(Metrics::new(0)), clock.clone());
+        let t0 = Instant::now();
+        d.write(0, &[1]).unwrap();
+        let mut buf = [0u8; 1];
+        d.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [1]);
+        // 2 ops × 2ms seek, serialized on the device's virtual busy-time.
+        assert_eq!(clock.now_nanos(), 4_000_000);
+        assert!(
+            t0.elapsed() < Duration::from_millis(4),
+            "virtual disk cost paid in wall-clock"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! assert_eq!(pkt.payload, b"hello");
 //! ```
 
+pub mod clock;
 pub mod cluster;
 pub mod config;
 pub mod disk;
@@ -38,8 +39,9 @@ pub mod network;
 pub mod time;
 pub mod topology;
 
+pub use clock::{Clock, ClockRecvError, SimSchedule};
 pub use cluster::SimCluster;
-pub use config::{ClusterConfig, DiskBackend, DiskConfig, NetCost, TopologySpec};
+pub use config::{ClusterConfig, DiskBackend, DiskConfig, NetCost, TimeMode, TopologySpec};
 pub use disk::SimDisk;
 pub use faults::{FaultInjector, FaultPlan};
 pub use message::{MachineId, Packet};

@@ -15,13 +15,26 @@ const SPIN_TAIL: Duration = Duration::from_micros(120);
 ///
 /// Deadlines already in the past return immediately.
 pub fn sleep_until(deadline: Instant) {
+    sleep_until_with(deadline, true);
+}
+
+/// Sleep until `deadline`, spinning the final `SPIN_TAIL` only if `spin`.
+///
+/// Without the spin tail the sleep still never *undershoots* (it keeps
+/// sleeping until `Instant::now() >= deadline`), it just tolerates the OS
+/// timer slack as overshoot — the right trade when many machine threads
+/// sleep modeled delays concurrently and burning a core per sleeper would
+/// distort the run more than a little oversleep.
+pub fn sleep_until_with(deadline: Instant, spin: bool) {
     loop {
         let now = Instant::now();
         if now >= deadline {
             return;
         }
         let remaining = deadline - now;
-        if remaining > SPIN_TAIL {
+        if !spin {
+            std::thread::sleep(remaining);
+        } else if remaining > SPIN_TAIL {
             std::thread::sleep(remaining - SPIN_TAIL);
         } else {
             // Short tail: spin. `spin_loop` hints the CPU to relax.
@@ -35,39 +48,69 @@ pub fn sleep_until(deadline: Instant) {
 
 /// Sleep for `dur` with sub-timer-slack precision.
 pub fn precise_sleep(dur: Duration) {
+    precise_sleep_with(dur, true);
+}
+
+/// Sleep for `dur`; `spin` selects the precision spin tail (see
+/// [`sleep_until_with`]).
+pub fn precise_sleep_with(dur: Duration, spin: bool) {
     if dur.is_zero() {
         return;
     }
-    sleep_until(Instant::now() + dur);
+    sleep_until_with(Instant::now() + dur, spin);
 }
 
 /// A monotonic clock anchored at a fixed epoch, for stamping trace events.
 ///
-/// Every machine in a cluster shares one `TraceClock` (it is `Copy` and
-/// epoch-anchored, so clones agree), which makes timestamps taken on
-/// different simulated machines directly comparable — the property a
-/// cross-machine span merge needs. Nanosecond resolution in a `u64` covers
-/// ~584 years of run time, far past any simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Every machine in a cluster shares one `TraceClock` (clones share the
+/// epoch, so they agree), which makes timestamps taken on different
+/// simulated machines directly comparable — the property a cross-machine
+/// span merge needs. Under a virtual-time [`Clock`](crate::Clock) the
+/// stamps are *virtual* nanoseconds, so Perfetto exports and percentile
+/// tables from a simulated run stay internally coherent. Nanosecond
+/// resolution in a `u64` covers ~584 years of run time, far past any
+/// simulation.
+#[derive(Debug, Clone)]
 pub struct TraceClock {
+    clock: crate::clock::Clock,
     epoch: Instant,
 }
 
 impl TraceClock {
-    /// A clock whose epoch is "now". Create once per cluster, then share.
+    /// A real-time clock whose epoch is "now". Create once per cluster,
+    /// then share.
     pub fn new() -> Self {
         TraceClock {
+            clock: crate::clock::Clock::real(false),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A trace clock stamping from the given cluster clock — virtual nanos
+    /// when the cluster runs in virtual time.
+    pub fn from_clock(clock: &crate::clock::Clock) -> Self {
+        TraceClock {
+            clock: clock.clone(),
             epoch: Instant::now(),
         }
     }
 
     /// Nanoseconds elapsed since the epoch.
     pub fn now_nanos(&self) -> u64 {
+        if self.clock.is_virtual() {
+            return self.clock.now_nanos();
+        }
         self.epoch.elapsed().as_nanos() as u64
     }
 
     /// Nanoseconds from the epoch to `at` (zero if `at` precedes it).
+    /// Only meaningful for real-time clocks; under virtual time an
+    /// `Instant` has no relation to the logical now, so this returns the
+    /// current virtual reading instead.
     pub fn nanos_at(&self, at: Instant) -> u64 {
+        if self.clock.is_virtual() {
+            return self.clock.now_nanos();
+        }
         at.saturating_duration_since(self.epoch).as_nanos() as u64
     }
 }
@@ -138,7 +181,7 @@ mod tests {
     #[test]
     fn trace_clock_is_monotone_and_shared() {
         let clock = TraceClock::new();
-        let copy = clock; // all copies share the epoch
+        let copy = clock.clone(); // all clones share the epoch
         let a = clock.now_nanos();
         precise_sleep(Duration::from_micros(200));
         let b = copy.now_nanos();
@@ -148,6 +191,24 @@ mod tests {
             "slept 200us but clock advanced {}ns",
             b - a
         );
+    }
+
+    #[test]
+    fn trace_clock_stamps_virtual_nanos_from_a_virtual_clock() {
+        let sim = crate::clock::Clock::virtual_time(9);
+        let tc = TraceClock::from_clock(&sim);
+        assert_eq!(tc.now_nanos(), 0);
+        sim.sleep(Duration::from_millis(2)); // unregistered: jumps now
+        assert_eq!(tc.now_nanos(), 2_000_000);
+        assert_eq!(tc.nanos_at(Instant::now()), 2_000_000);
+    }
+
+    #[test]
+    fn sleep_until_with_no_spin_never_undershoots() {
+        let target = Duration::from_micros(300);
+        let t0 = Instant::now();
+        precise_sleep_with(target, false);
+        assert!(t0.elapsed() >= target, "undershot without spin tail");
     }
 
     #[test]

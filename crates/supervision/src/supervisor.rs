@@ -37,7 +37,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use oopp::{
     Backoff, CallPolicy, DirectoryClient, EventKind, NodeCtx, ObjRef, RemoteClient, RemoteResult,
@@ -198,7 +198,8 @@ enum BeatKind {
 struct InFlight {
     machine: usize,
     kind: BeatKind,
-    sent: Instant,
+    /// Cluster-clock nanos at send time (virtual nanos under virtual time).
+    sent: u64,
 }
 
 /// Step-driven self-healing controller. See the module docs for the
@@ -209,9 +210,11 @@ pub struct Supervisor {
     machines: Vec<usize>,
     dir: DirectoryClient,
     detector: FailureDetector,
-    start: Instant,
+    /// Clock origin in cluster-clock nanos, anchored at the first `step`
+    /// (the constructor has no `NodeCtx`, hence no clock to read).
+    start: Option<u64>,
     state: HashMap<usize, MState>,
-    last_sent: HashMap<usize, Instant>,
+    last_sent: HashMap<usize, u64>,
     in_flight: HashMap<u64, InFlight>,
     regs: Vec<Registration>,
     stats: SupervisionStats,
@@ -233,7 +236,6 @@ impl Supervisor {
         // that dies before its first heartbeat reply must still
         // accumulate suspicion (an empty history reads as "never heard
         // from" and pins phi at 0).
-        let start = Instant::now();
         for &m in &machines {
             detector.heartbeat(m, Duration::ZERO);
         }
@@ -242,7 +244,7 @@ impl Supervisor {
             config,
             machines,
             dir,
-            start,
+            start: None,
             state,
             last_sent: HashMap::new(),
             in_flight: HashMap::new(),
@@ -354,7 +356,8 @@ impl Supervisor {
     /// the step (the arbiter is gone; nothing safe can happen). Failures
     /// against supervised machines are the expected input, not errors.
     pub fn step(&mut self, ctx: &mut NodeCtx) -> RemoteResult<Vec<Recovery>> {
-        let now = Instant::now();
+        let now = ctx.now_nanos();
+        self.start.get_or_insert(now);
         ctx.poll();
         self.reap(ctx, now);
         let mut recoveries = Vec::new();
@@ -377,15 +380,15 @@ impl Supervisor {
         Ok(recoveries)
     }
 
-    /// Offset of `t` from this supervisor's clock origin.
-    fn offset(&self, t: Instant) -> Duration {
-        t.saturating_duration_since(self.start)
+    /// Offset of cluster-clock instant `t` from this supervisor's origin.
+    fn offset(&self, t: u64) -> Duration {
+        Duration::from_nanos(t.saturating_sub(self.start.unwrap_or(0)))
     }
 
     /// Collect heartbeat/probe replies; expire requests nothing will
     /// answer. A reply that is an *error* (the fabric is up but the
     /// daemon refused) still proves the machine is alive — it counts.
-    fn reap(&mut self, ctx: &mut NodeCtx, now: Instant) {
+    fn reap(&mut self, ctx: &mut NodeCtx, now: u64) {
         let ids: Vec<u64> = self.in_flight.keys().copied().collect();
         for id in ids {
             let Some(fl) = self.in_flight.get(&id).copied() else {
@@ -400,7 +403,7 @@ impl Supervisor {
                     }
                     BeatKind::Probe => self.note_resurrection(ctx, fl.machine),
                 }
-            } else if now.saturating_duration_since(fl.sent) > self.config.lease_ttl {
+            } else if now.saturating_sub(fl.sent) > self.config.lease_ttl.as_nanos() as u64 {
                 ctx.abandon_call(id);
                 self.in_flight.remove(&id);
             }
@@ -408,9 +411,9 @@ impl Supervisor {
     }
 
     /// Send the next heartbeat or probe to `m` if its period elapsed.
-    fn pump(&mut self, ctx: &mut NodeCtx, m: usize, now: Instant, kind: BeatKind) {
+    fn pump(&mut self, ctx: &mut NodeCtx, m: usize, now: u64, kind: BeatKind) {
         let due = match self.last_sent.get(&m) {
-            Some(&t) => now.saturating_duration_since(t) >= self.config.heartbeat_interval,
+            Some(&t) => now.saturating_sub(t) >= self.config.heartbeat_interval.as_nanos() as u64,
             None => true,
         };
         if !due {
@@ -445,7 +448,7 @@ impl Supervisor {
         &mut self,
         ctx: &mut NodeCtx,
         m: usize,
-        now: Instant,
+        now: u64,
         recoveries: &mut Vec<Recovery>,
     ) -> RemoteResult<()> {
         let off = self.offset(now);
@@ -506,9 +509,9 @@ impl Supervisor {
             .filter(|&i| self.regs[i].current.machine == m)
             .collect();
         for i in lost {
-            let begun = Instant::now();
+            let begun = ctx.now_nanos();
             if self.takeover(ctx, i, m)?.is_some() {
-                let total = detect + begun.elapsed();
+                let total = detect + Duration::from_nanos(ctx.now_nanos().saturating_sub(begun));
                 taken.push(i);
                 self.stats.objects_reactivated += 1;
                 if let Some(mx) = &self.metrics {
@@ -695,7 +698,7 @@ impl Supervisor {
             // machine killed again *before its first post-readmission
             // heartbeat* still accumulates suspicion (an empty history
             // would read as "never heard from", i.e. phi = 0, forever).
-            self.detector.heartbeat(m, self.offset(Instant::now()));
+            self.detector.heartbeat(m, self.offset(ctx.now_nanos()));
             self.last_sent.remove(&m);
             self.state.insert(m, MState::Up { suspected: false });
         }

@@ -474,6 +474,7 @@ mod soak {
     use std::time::Instant;
 
     use oopp_repro::oopp::{wire, Driver};
+    use oopp_repro::simnet::SimSchedule;
     use supervision::{DetectorConfig, RestartPolicy, Supervisor, SupervisorConfig};
 
     /// Persistent cell for the soak ledger: every acknowledged `add` must
@@ -583,10 +584,32 @@ mod soak {
         }
     }
 
-    /// The randomized self-healing soak. `#[ignore]`-gated: episodes each
-    /// cost real detection + recovery latency, so the full run is for the
-    /// nightly job (`cargo test --test chaos -- --ignored`), not the
-    /// commit gate.
+    /// Parse a `SIMNET_SEED` value: `0x…` hex or plain decimal.
+    fn parse_seed(s: &str) -> Option<u64> {
+        let s = s.trim();
+        match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(&hex.replace('_', ""), 16).ok(),
+            None => s.replace('_', "").parse().ok(),
+        }
+    }
+
+    /// One soak run's failure, with everything needed to reproduce it.
+    #[derive(Debug)]
+    struct SoakFailure {
+        /// Episode the panic fired in.
+        episode: usize,
+        /// The virtual clock's schedule at the moment of failure (None in
+        /// real-time mode). Replaying the same seed must reproduce it
+        /// bit-for-bit.
+        schedule: Option<SimSchedule>,
+        /// The panic payload.
+        message: String,
+    }
+
+    /// The randomized self-healing soak, parameterized so the same harness
+    /// serves three masters: the tier-1 commit gate (virtual time, seconds
+    /// of wall clock), the nightly real-time variant, and the repro-line
+    /// test (deliberate sabotage at a chosen episode).
     ///
     /// Schedule, per episode: write through the supervisor's view of each
     /// cell, checkpoint everywhere, then crash **or** partition a random
@@ -595,20 +618,35 @@ mod soak {
     /// (one strictly-increasing acknowledged total per cell) is the
     /// exactly-once proof: a split brain repeats or regresses a total, a
     /// lost recovery drops below the last acknowledged one.
-    #[test]
-    #[ignore = "nightly soak: randomized crash/partition schedule takes minutes"]
-    fn soak_randomized_faults_under_supervision_preserve_exactly_once() {
-        const EPISODES: usize = 40;
+    ///
+    /// The `seed` drives both the fault schedule (victim choice,
+    /// crash-vs-partition, write counts) and — in virtual mode — the
+    /// event-loop tie-break order, so one number replays the entire run.
+    fn run_soak(
+        seed: u64,
+        episodes: usize,
+        virtual_time: bool,
+        sabotage: Option<usize>,
+    ) -> Result<(), SoakFailure> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
         const SUPERVISED: [usize; 3] = [1, 2, 3];
-        let mut rng = Rng(0x50AC_C0DE_D00D_5EED);
+        let mut rng = Rng(seed);
 
         // Machine 0 hosts the naming directory and is never faulted;
         // the driver is machine 4.
+        let config = if virtual_time {
+            ClusterConfig::zero_cost(0).with_virtual_time(seed)
+        } else {
+            ClusterConfig::zero_cost(0)
+        };
         let (cluster, mut driver) = ClusterBuilder::new(4)
             .register::<SoakCell>()
-            .sim_config(ClusterConfig::zero_cost(0))
+            .sim_config(config)
             .call_policy(soak_policy())
             .build();
+        let clock = cluster.sim().clock().clone();
         let dir = driver.directory();
         let mut sup = Supervisor::new(soak_config(), SUPERVISED.to_vec(), dir)
             .with_metrics(cluster.metrics().clone());
@@ -661,92 +699,196 @@ mod soak {
             }
         };
 
-        for episode in 0..EPISODES {
-            // Healthy phase: writes land, then every cell is checkpointed
-            // to every backup before any fault can strike.
-            write_some(&sup, &mut driver, &mut rng, &mut acked, &mut attempted);
-            assert_eq!(
-                sup.checkpoint(&mut driver),
-                addrs.len(),
-                "episode {episode}: checkpoint must reach every backup while calm"
-            );
+        // The episode loop runs under `catch_unwind` so a failing episode
+        // can report the schedule *at the failure point* — the replay
+        // contract is that the same seed reproduces this exact prefix.
+        let at_episode = AtomicUsize::new(0);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            for episode in 0..episodes {
+                at_episode.store(episode, Ordering::Relaxed);
+                if sabotage == Some(episode) {
+                    panic!("sabotage: deliberate failure injected at episode {episode}");
+                }
+                // Healthy phase: writes land, then every cell is
+                // checkpointed to every backup before any fault can strike.
+                write_some(&sup, &mut driver, &mut rng, &mut acked, &mut attempted);
+                assert_eq!(
+                    sup.checkpoint(&mut driver),
+                    addrs.len(),
+                    "episode {episode}: checkpoint must reach every backup while calm"
+                );
 
-            let victim = SUPERVISED[rng.below(SUPERVISED.len() as u64) as usize];
-            let partition = rng.below(2) == 0;
-            let peers: Vec<usize> = (0..5).filter(|&p| p != victim).collect();
-            eprintln!(
-                "episode {episode}: {} machine {victim}",
+                let victim = SUPERVISED[rng.below(SUPERVISED.len() as u64) as usize];
+                let partition = rng.below(2) == 0;
+                let peers: Vec<usize> = (0..5).filter(|&p| p != victim).collect();
                 if partition {
-                    "partitioning"
+                    cluster.sim().faults().isolate(victim, &peers);
                 } else {
-                    "crashing"
+                    cluster.sim().faults().crash(victim);
                 }
-            );
-            if partition {
-                cluster.sim().faults().isolate(victim, &peers);
-            } else {
-                cluster.sim().faults().crash(victim);
-            }
 
-            // Detection, then takeover of everything the victim hosted.
-            settle(&mut sup, &mut driver, Duration::from_secs(30), |s| {
-                s.is_dead(victim)
-            });
+                // Detection, then takeover of everything the victim hosted.
+                settle(&mut sup, &mut driver, Duration::from_secs(30), |s| {
+                    s.is_dead(victim)
+                });
 
-            // Outage phase: the cluster keeps serving through the
-            // reactivated incarnations.
-            write_some(&sup, &mut driver, &mut rng, &mut acked, &mut attempted);
+                // Outage phase: the cluster keeps serving through the
+                // reactivated incarnations.
+                write_some(&sup, &mut driver, &mut rng, &mut acked, &mut attempted);
 
-            if partition {
-                cluster.sim().faults().rejoin(victim, &peers);
-            } else {
-                cluster.sim().faults().restart(victim);
-            }
-            settle(&mut sup, &mut driver, Duration::from_secs(30), |s| {
-                !s.is_dead(victim)
-            });
+                if partition {
+                    cluster.sim().faults().rejoin(victim, &peers);
+                } else {
+                    cluster.sim().faults().restart(victim);
+                }
+                settle(&mut sup, &mut driver, Duration::from_secs(30), |s| {
+                    !s.is_dead(victim)
+                });
 
-            // Readmitted: stale pre-takeover pointers must heal through
-            // forwards/fencing rather than reach a zombie copy.
-            for (i, &old) in first_home.iter().enumerate() {
-                if let Ok(total) = SoakCellClient::from_ref(old).total(&mut driver) {
-                    assert!(
-                        total >= acked[i] && total <= attempted[i],
-                        "cell {i}: stale-pointer read {total} outside [{}, {}]",
-                        acked[i],
-                        attempted[i]
-                    );
+                // Readmitted: stale pre-takeover pointers must heal through
+                // forwards/fencing rather than reach a zombie copy.
+                for (i, &old) in first_home.iter().enumerate() {
+                    if let Ok(total) = SoakCellClient::from_ref(old).total(&mut driver) {
+                        assert!(
+                            total >= acked[i] && total <= attempted[i],
+                            "cell {i}: stale-pointer read {total} outside [{}, {}]",
+                            acked[i],
+                            attempted[i]
+                        );
+                    }
                 }
             }
-        }
 
-        // Final audit: every name is still bound (never poisoned), every
-        // acknowledged write is present exactly once, and the metrics
-        // agree with the supervisor's own ledger.
-        let stats = sup.stats();
-        assert_eq!(stats.names_poisoned, 0, "a backup was always available");
-        assert_eq!(stats.recoveries_failed, 0);
-        assert_eq!(stats.machines_declared_dead, EPISODES as u64);
-        // Takeovers migrate cells off their original homes, so later
-        // victims may host nothing — but some episodes must have moved
-        // objects, and every move must have succeeded.
-        assert!(stats.objects_reactivated > 0);
-        for (i, addr) in addrs.iter().enumerate() {
-            let live = SoakCellClient::from_ref(sup.current_of(addr).unwrap());
-            let total = live.total(&mut driver).unwrap();
-            assert!(
-                total >= acked[i] && total <= attempted[i],
-                "cell {i}: final total {total} outside [{}, {}]",
-                acked[i],
-                attempted[i]
+            // Final audit: every name is still bound (never poisoned),
+            // every acknowledged write is present exactly once, and the
+            // metrics agree with the supervisor's own ledger.
+            let stats = sup.stats();
+            assert_eq!(stats.names_poisoned, 0, "a backup was always available");
+            assert_eq!(stats.recoveries_failed, 0);
+            assert_eq!(stats.machines_declared_dead, episodes as u64);
+            // Takeovers migrate cells off their original homes, so later
+            // victims may host nothing — but some episodes must have moved
+            // objects, and every move must have succeeded.
+            assert!(stats.objects_reactivated > 0);
+            for (i, addr) in addrs.iter().enumerate() {
+                let live = SoakCellClient::from_ref(sup.current_of(addr).unwrap());
+                let total = live.total(&mut driver).unwrap();
+                assert!(
+                    total >= acked[i] && total <= attempted[i],
+                    "cell {i}: final total {total} outside [{}, {}]",
+                    acked[i],
+                    attempted[i]
+                );
+            }
+            let snap = cluster.snapshot();
+            assert_eq!(snap.recoveries, stats.objects_reactivated);
+            assert_eq!(snap.false_suspicions, stats.false_suspicions);
+            assert!(snap.mean_mttr_nanos() > 0);
+        }));
+
+        match outcome {
+            Ok(()) => {
+                cluster.sim().faults().calm();
+                cluster.shutdown(driver);
+                Ok(())
+            }
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|m| m.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                // No orderly shutdown on failure: the supervisor may hold
+                // half-finished takeovers. `cluster`'s drop fires the
+                // emergency shutdown path instead.
+                Err(SoakFailure {
+                    episode: at_episode.load(Ordering::Relaxed),
+                    schedule: clock.schedule(),
+                    message,
+                })
+            }
+        }
+    }
+
+    /// Default seed for the soak tests; override with `SIMNET_SEED=…`
+    /// (hex `0x…` or decimal) to replay a failure printed by CI.
+    fn seed_from_env() -> u64 {
+        std::env::var("SIMNET_SEED")
+            .ok()
+            .and_then(|s| parse_seed(&s))
+            .unwrap_or(0x50AC_C0DE_D00D_5EED)
+    }
+
+    fn repro_line(seed: u64, test: &str) -> String {
+        format!("SIMNET_SEED={seed:#018x} cargo test --release --test chaos {test} -- --nocapture")
+    }
+
+    /// The tier-1 soak: 40 randomized crash/partition episodes under
+    /// virtual time. Runs in the commit gate — the discrete-event clock
+    /// compresses ~20 s of modeled detection/recovery latency into wall
+    /// seconds. On failure the panic names the seed that replays the
+    /// identical schedule bit-for-bit.
+    #[test]
+    fn virtual_soak_randomized_faults_preserve_exactly_once() {
+        let seed = seed_from_env();
+        if let Err(f) = run_soak(seed, 40, true, None) {
+            panic!(
+                "soak episode {} failed under virtual time: {}\n\
+                 schedule at failure: {}\n\
+                 replay bit-for-bit with:\n  {}",
+                f.episode,
+                f.message,
+                f.schedule.map(|s| s.to_string()).unwrap_or_default(),
+                repro_line(seed, "virtual_soak_randomized_faults_preserve_exactly_once"),
             );
         }
-        let snap = cluster.snapshot();
-        assert_eq!(snap.recoveries, stats.objects_reactivated);
-        assert_eq!(snap.false_suspicions, stats.false_suspicions);
-        assert!(snap.mean_mttr_nanos() > 0);
+    }
 
-        cluster.sim().faults().calm();
-        cluster.shutdown(driver);
+    /// The nightly variant: the same 40 episodes against the real clock,
+    /// so the virtual-time model itself stays honest (`--ignored`-gated;
+    /// episodes cost real detection + recovery latency).
+    #[test]
+    #[ignore = "nightly soak: randomized crash/partition schedule takes minutes in real time"]
+    fn soak_randomized_faults_under_supervision_preserve_exactly_once() {
+        let seed = seed_from_env();
+        if let Err(f) = run_soak(seed, 40, false, None) {
+            panic!(
+                "soak episode {} failed in real time: {}\n\
+                 rerun with:\n  {}",
+                f.episode,
+                f.message,
+                repro_line(
+                    seed,
+                    "soak_randomized_faults_under_supervision_preserve_exactly_once"
+                ),
+            );
+        }
+    }
+
+    /// The replay contract itself: a deliberately failing episode reports
+    /// a schedule, and rerunning the same seed reproduces the failure at
+    /// the same episode with a bit-identical schedule — exactly what the
+    /// printed `SIMNET_SEED=…` repro line promises.
+    #[test]
+    fn failing_episode_replays_bit_for_bit_from_its_seed() {
+        const SEED: u64 = 0x0BAD_5EED_0BAD_5EED;
+        let first = run_soak(SEED, 4, true, Some(2)).unwrap_err();
+        assert_eq!(first.episode, 2);
+        assert!(first.message.contains("sabotage"), "{}", first.message);
+        let schedule = first.schedule.expect("virtual runs record a schedule");
+        assert!(schedule.events > 0);
+        eprintln!(
+            "deliberate failure at episode {}; repro: {}",
+            first.episode,
+            repro_line(SEED, "failing_episode_replays_bit_for_bit_from_its_seed")
+        );
+
+        let replay = run_soak(SEED, 4, true, Some(2)).unwrap_err();
+        assert_eq!(replay.episode, first.episode);
+        assert_eq!(
+            replay.schedule,
+            Some(schedule),
+            "same seed must replay the identical event schedule"
+        );
     }
 }

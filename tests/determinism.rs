@@ -1,0 +1,108 @@
+//! Virtual-time determinism cross-checks (DESIGN.md §12).
+//!
+//! Under `TimeMode::Virtual` the cluster runs on a discrete-event clock:
+//! execution is serialized by the event loop, every delay is modeled, and
+//! the whole run is a pure function of the seed. These tests pin the two
+//! halves of that contract: the *same* seed replays a chaotic multi-machine
+//! run byte-for-byte (identical flight-recorder export, identical virtual
+//! timestamps, identical [`SimSchedule`]), while *different* seeds permute
+//! same-time event ties and genuinely explore distinct interleavings.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use oopp_repro::oopp::wire::collections::F64s;
+use oopp_repro::oopp::{join, Backoff, CallPolicy, ClusterBuilder, DoubleBlockClient};
+use oopp_repro::simnet::{ClusterConfig, FaultPlan, SimSchedule};
+
+fn chaos_policy() -> CallPolicy {
+    CallPolicy::reliable(Duration::from_millis(150))
+        .with_max_retries(6)
+        .with_backoff(Backoff::fixed(Duration::from_millis(8)))
+}
+
+/// The E3-style split-loop workload under a lossy fabric and a virtual
+/// clock, flight recorder on. The async fan-out rounds give the event loop
+/// genuine same-virtual-time ties to permute. Returns the gathered data,
+/// the full Chrome-JSON trace export (virtual timestamps included), the
+/// driver's retransmission counter, and the run's recorded schedule.
+fn traced_virtual_run(seed: u64) -> (Vec<f64>, String, u64, SimSchedule) {
+    const WORKERS: usize = 4;
+    const N: usize = 48;
+    let plan = FaultPlan::seeded(seed ^ 0xFA_0175)
+        .with_drop(0.06)
+        .with_dup(0.02);
+    let (cluster, mut driver) = ClusterBuilder::new(WORKERS)
+        .sim_config(
+            ClusterConfig::zero_cost(0)
+                .with_faults(plan)
+                .with_virtual_time(seed),
+        )
+        .call_policy(chaos_policy())
+        .tracing(true)
+        .build();
+    let clock = cluster.sim().clock().clone();
+
+    let blocks: Vec<_> = (0..WORKERS)
+        .map(|m| DoubleBlockClient::new_on(&mut driver, m, N).unwrap())
+        .collect();
+    for (i, b) in blocks.iter().enumerate() {
+        b.fill(&mut driver, i as f64).unwrap();
+    }
+    for round in 1..=3 {
+        let addend = F64s((0..N).map(|j| (round * j) as f64).collect());
+        let pending: Vec<_> = blocks
+            .iter()
+            .map(|b| {
+                b.axpy_range_async(&mut driver, 0, 0.5, addend.clone())
+                    .unwrap()
+            })
+            .collect();
+        join(&mut driver, pending).unwrap();
+    }
+    let mut out = Vec::with_capacity(WORKERS * N);
+    for b in &blocks {
+        out.extend(b.read_range(&mut driver, 0, N).unwrap().0);
+    }
+
+    let retried = driver.local_stats().calls_retried;
+    let recorder = cluster.recorder().expect("tracing enabled");
+    cluster.sim().faults().calm();
+    cluster.shutdown(driver);
+    let schedule = clock.schedule().expect("virtual clock records a schedule");
+    (out, recorder.merge().to_chrome_json(), retried, schedule)
+}
+
+/// Same seed, twice: the flight-recorder export must match byte for byte —
+/// same spans, same event order, same *virtual* timestamps — and the
+/// recorded schedules must be identical (same event count, same digest).
+#[test]
+fn same_seed_replays_byte_identical_traces() {
+    let (data_a, trace_a, retried_a, sched_a) = traced_virtual_run(0xD5EED);
+    let (data_b, trace_b, retried_b, sched_b) = traced_virtual_run(0xD5EED);
+
+    assert_eq!(data_a, data_b, "same seed, different results");
+    assert_eq!(retried_a, retried_b, "same seed, different retry counts");
+    assert_eq!(sched_a, sched_b, "same seed, different event schedules");
+    assert_eq!(
+        trace_a, trace_b,
+        "same seed, byte-divergent trace exports (schedule {sched_a})"
+    );
+    assert!(retried_a > 0, "a 6% loss plan must force retransmissions");
+    assert!(sched_a.events > 0);
+}
+
+/// Eight distinct seeds must explore at least two distinct interleavings:
+/// the seed keys the tie-break hash over same-virtual-time events, so
+/// different seeds permute delivery order where the model allows it.
+#[test]
+fn distinct_seeds_explore_distinct_interleavings() {
+    let digests: HashSet<u64> = (0..8u64)
+        .map(|i| traced_virtual_run(0x1000 + i).3.digest)
+        .collect();
+    assert!(
+        digests.len() >= 2,
+        "8 seeds produced only {} distinct schedule digest(s)",
+        digests.len()
+    );
+}

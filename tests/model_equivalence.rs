@@ -102,6 +102,7 @@ fn costed_rack_topology_end_to_end() {
         disks_per_machine: 1,
         disk_capacity: 8 << 20,
         faults: simnet::FaultPlan::none(),
+        time: simnet::TimeMode::default(),
     };
     let (cluster, mut driver) = DistributedFft3::register(ClusterBuilder::new(4))
         .sim_config(config)

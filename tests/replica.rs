@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use oopp_repro::oopp::{
     symbolic_addr, wire, Backoff, CallPolicy, ClusterBuilder, NodeCtx, ProcessGroup, RemoteClient,
-    RemoteResult,
+    RemoteError, RemoteResult,
 };
 use oopp_repro::simnet::ClusterConfig;
 use replica::{CoherenceMode, ReplicaConfig, ReplicaManager};
@@ -354,25 +354,43 @@ fn primary_crash_promotes_a_replica_with_state_intact() {
 }
 
 /// Replicated objects are unmovable (DESIGN.md §11): migration refuses
-/// both the primary and its replicas until the set is torn down.
+/// both the primary and its replicas with the typed `Replicated` error,
+/// and `unreplicate_then_migrate` is the one-step escape hatch — tear the
+/// set down, move the primary, rebind the name.
 #[test]
 fn replicated_objects_refuse_migration_until_unreplicated() {
     let (cluster, mut driver, c, name, mut mgr, replicas) =
         replicated_counter(7, 0, &[1], long_lease());
 
     let err = driver.migrate(c.obj_ref(), 3).unwrap_err();
+    assert!(
+        matches!(err, RemoteError::Replicated { object } if object == c.obj_ref().object),
+        "got {err}"
+    );
     assert!(err.to_string().contains("unmovable"), "got {err}");
     let err = driver.migrate(replicas[0], 3).unwrap_err();
-    assert!(err.to_string().contains("unmovable"), "got {err}");
+    assert!(
+        matches!(err, RemoteError::Replicated { object } if object == replicas[0].object),
+        "got {err}"
+    );
 
-    mgr.unreplicate(&mut driver, &name).unwrap();
-    assert!(mgr.primary_of(&name).is_none());
-    let moved = driver.migrate(c.obj_ref(), 3).unwrap();
+    let moved = mgr.unreplicate_then_migrate(&mut driver, &name, 3).unwrap();
     assert_eq!(moved.machine, 3);
+    assert!(mgr.primary_of(&name).is_none());
+    // The name follows the object: a fresh resolve reaches the new home.
+    let bound = driver
+        .directory()
+        .lookup(&mut driver, name.clone())
+        .unwrap()
+        .unwrap();
+    assert_eq!(bound, moved);
     assert_eq!(
         RCounterClient::from_ref(moved).total(&mut driver).unwrap(),
         7
     );
+    // Movable again for real: a second migration succeeds too.
+    let moved_again = driver.migrate(moved, 2).unwrap();
+    assert_eq!(moved_again.machine, 2);
     cluster.shutdown(driver);
 }
 
