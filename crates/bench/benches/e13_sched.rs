@@ -1,0 +1,131 @@
+//! E13: the price of the scheduler machinery itself.
+//!
+//! The experiment table (Zipf stream, modeled compute, virtual-time
+//! makespan vs worker-lane count) comes from `reproduce e13`; these benches
+//! track the raw cost of the pieces under it — the Chase–Lev deque's
+//! owner-side push/pop, a thief's steal, the shared injector, the seeded
+//! victim permutation — and one end-to-end round trip through a pooled
+//! machine, so a regression in the hot path shows up as nanoseconds here
+//! before it shows up as lost scaling there.
+//!
+//! CI runs this file with `OOPP_BENCH_SMOKE=1` (one iteration per bench,
+//! no measurement window), which is enough to catch a scheduler hot path
+//! that panics or deadlocks without spending CI minutes on timing.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oopp::{join, ClusterBuilder, DoubleBlockClient};
+use sched::{Injector, StealOrder, Worker};
+
+fn bench_deque(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_sched/deque");
+
+    // Owner-side LIFO: the run_object re-park path — push a batch, pop it
+    // back, no thieves in sight.
+    for n in [16usize, 256] {
+        let w: Worker<usize> = Worker::new();
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                for i in 0..n {
+                    w.push(i);
+                }
+                while let Some(v) = w.pop() {
+                    std::hint::black_box(v);
+                }
+            })
+        });
+    }
+
+    // Thief-side FIFO: one stealer draining what the owner pushed — the
+    // uncontended CAS cost an idle lane pays per stolen mailbox.
+    let w: Worker<usize> = Worker::new();
+    let s = w.stealer();
+    g.bench_function("steal", |b| {
+        b.iter(|| {
+            for i in 0..64usize {
+                w.push(i);
+            }
+            loop {
+                match s.steal() {
+                    sched::Steal::Success(v) => {
+                        std::hint::black_box(v);
+                    }
+                    sched::Steal::Empty => break,
+                    sched::Steal::Retry => {}
+                }
+            }
+        })
+    });
+
+    // The dispatcher's admission path: shared FIFO push + a worker's pop.
+    let inj: Injector<usize> = Injector::new();
+    g.bench_function("injector_push_pop", |b| {
+        b.iter(|| {
+            for i in 0..64usize {
+                inj.push(i);
+            }
+            while let Some(v) = inj.pop() {
+                std::hint::black_box(v);
+            }
+        })
+    });
+
+    // The seeded permutation an idle worker walks before parking.
+    let order = StealOrder::new(sched::mix64(0xE13));
+    g.bench_function("steal_order_victims", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round = round.wrapping_add(1);
+            std::hint::black_box(order.victims(1, round, 8));
+        })
+    });
+    g.finish();
+}
+
+fn bench_pool_round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_sched/pool");
+
+    // One pipelined window of calls through a machine, inline engine vs a
+    // 2-lane pool: the delta is the admission/injector/wakeup overhead per
+    // call when the work itself is trivial.
+    for lanes in [0usize, 2] {
+        let (_cluster, mut driver) = ClusterBuilder::new(2).sched_workers(lanes).build();
+        let blocks: Vec<_> = (0..8)
+            .map(|_| DoubleBlockClient::new_on(&mut driver, 1, 16).unwrap())
+            .collect();
+        let label = if lanes == 0 { "inline" } else { "pool2" };
+        g.bench_function(BenchmarkId::new("window32", label), |b| {
+            b.iter(|| {
+                let pending: Vec<_> = (0..32)
+                    .map(|i| blocks[i % 8].get_async(&mut driver, 0).unwrap())
+                    .collect();
+                std::hint::black_box(join(&mut driver, pending).unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+/// `OOPP_BENCH_SMOKE=1` shrinks every bench to a single untimed iteration
+/// — the CI smoke profile.
+fn config() -> Criterion {
+    if std::env::var_os("OOPP_BENCH_SMOKE").is_some() {
+        Criterion::default()
+            .sample_size(1)
+            .measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_millis(1))
+    } else {
+        Criterion::default()
+            .sample_size(20)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300))
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_deque, bench_pool_round_trip
+}
+criterion_main!(benches);

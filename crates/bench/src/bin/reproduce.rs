@@ -74,6 +74,11 @@ fn main() {
             "coherent read replication: Zipf read throughput vs replica count, chaos exactly-once",
             ex::e12_replication,
         ),
+        (
+            "E13",
+            "M:N work-stealing scheduler: Zipf throughput vs worker lanes at 100x objects",
+            ex::e13_sched,
+        ),
         ("A1", "ablation: wire codec throughput", || {
             vec![ex::a1_wire()]
         }),

@@ -1589,6 +1589,179 @@ pub fn a3_deepcopy() -> Table {
     t
 }
 
+/// E13's workload object: tiny state with per-call compute charged on the
+/// *cluster clock* (`ctx.clock().sleep`) instead of the host clock that
+/// `HotBlock::work` burns. Under `TimeMode::Virtual` a worker lane
+/// serving this call parks in the discrete-event clock for the modeled
+/// duration, so lanes overlap their service time exactly as real cores
+/// would — and the virtual makespan measures pool scaling on any host,
+/// including the single-core CI runner.
+#[derive(Debug, Default)]
+pub struct SchedCell {
+    hits: u64,
+    acc: f64,
+}
+
+oopp::remote_class! {
+    class SchedCell {
+        ctor();
+        /// One Zipf-stream call: fold `x` into the accumulator, charge
+        /// `micros` of modeled compute, return the hit count at execution
+        /// (the sequential-server witness: per object these are 1..=n).
+        fn work(&mut self, micros: u64, x: f64) -> u64;
+        /// `(hits, accumulator)` for the cross-engine state witness.
+        fn snapshot(&mut self) -> F64s;
+    }
+}
+
+impl SchedCell {
+    pub fn new(_ctx: &mut oopp::NodeCtx) -> oopp::RemoteResult<Self> {
+        Ok(SchedCell::default())
+    }
+
+    fn work(&mut self, ctx: &mut oopp::NodeCtx, micros: u64, x: f64) -> oopp::RemoteResult<u64> {
+        self.hits += 1;
+        // Order-sensitive fold: a reordered or doubled call changes the
+        // accumulator, so byte-identical snapshots across engines certify
+        // per-object execution order, not just call counts.
+        self.acc = self.acc * 0.75 + x;
+        ctx.clock().sleep(Duration::from_micros(micros));
+        Ok(self.hits)
+    }
+
+    fn snapshot(&mut self, _ctx: &mut oopp::NodeCtx) -> oopp::RemoteResult<F64s> {
+        Ok(F64s(vec![self.hits as f64, self.acc]))
+    }
+}
+
+/// E13 (DESIGN.md §13): M:N work-stealing scheduler throughput on a skewed
+/// workload, at 100× the E10 object population.
+///
+/// 1600 objects spread over 4 machines, a Zipf(0.9) client stream of
+/// pipelined calls, each call costing 200µs of modeled compute. The run
+/// repeats under the classic single-threaded engine and under pools of 1,
+/// 2 and 4 worker lanes per machine; everything rides one virtual clock,
+/// so "makespan" is the modeled completion time and the speedup column is
+/// host-independent. The final per-object `(hits, acc)` snapshot must be
+/// byte-identical across engines: however lanes steal the mailboxes, every
+/// object stays one sequential server.
+pub fn e13_sched() -> Vec<Table> {
+    const MACHINES: usize = 4;
+    const NOBJ: usize = 1600; // 100x E10's population
+    const SERVICE_US: u64 = 200;
+    const ROUNDS: usize = 24;
+    const WINDOW: usize = 64; // pipelined calls in flight per round
+    const ZIPF_S: f64 = 0.9;
+    const SEED: u64 = 0xE13_2026;
+
+    // Zipf(s) CDF over object ranks, sampled with a splitmix64 stream:
+    // every engine replays the identical call schedule.
+    let mut cdf = Vec::with_capacity(NOBJ);
+    let mut acc = 0.0f64;
+    for k in 0..NOBJ {
+        acc += 1.0 / ((k + 1) as f64).powf(ZIPF_S);
+        cdf.push(acc);
+    }
+    let total = acc;
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    struct Outcome {
+        makespan_nanos: u64,
+        state: Vec<f64>,
+    }
+
+    // `lanes == 0` is the classic single-threaded engine; otherwise an
+    // M:N pool of `lanes` worker lanes per machine.
+    let run = |lanes: usize| -> Outcome {
+        let (cluster, mut driver) = ClusterBuilder::new(MACHINES)
+            .sched_workers(lanes)
+            .register::<SchedCell>()
+            .sim_config(ClusterConfig::zero_cost(0).with_virtual_time(SEED))
+            .call_policy(CallPolicy::reliable(Duration::from_millis(500)))
+            .build();
+        // Rank k lives on machine k % MACHINES, so the hottest ranks land
+        // on distinct machines and the bottleneck is per-machine service
+        // capacity — the thing the pool is supposed to multiply.
+        let cells: Vec<_> = (0..NOBJ)
+            .map(|k| SchedCellClient::new_on(&mut driver, k % MACHINES).unwrap())
+            .collect();
+
+        let mut rng = SEED;
+        let t0 = driver.now_nanos();
+        for _ in 0..ROUNDS {
+            let pending: Vec<_> = (0..WINDOW)
+                .map(|_| {
+                    let u = (splitmix(&mut rng) >> 11) as f64 / (1u64 << 53) as f64 * total;
+                    let k = cdf.iter().position(|&c| u < c).unwrap_or(NOBJ - 1);
+                    cells[k]
+                        .work_async(&mut driver, SERVICE_US, (k + 1) as f64 * 0.25)
+                        .unwrap()
+                })
+                .collect();
+            join(&mut driver, pending).unwrap();
+        }
+        let makespan_nanos = driver.now_nanos() - t0;
+        let mut state = Vec::with_capacity(NOBJ * 2);
+        for c in &cells {
+            state.extend(c.snapshot(&mut driver).unwrap().0);
+        }
+        cluster.shutdown(driver);
+        Outcome {
+            makespan_nanos,
+            state,
+        }
+    };
+
+    let calls = (ROUNDS * WINDOW) as f64;
+    let mut t = Table::new(&[
+        "engine",
+        "lanes/machine",
+        "virtual makespan",
+        "modeled calls/s",
+        "speedup vs 1 lane",
+        "state identical",
+    ]);
+    let mut baseline_state: Option<Vec<f64>> = None;
+    let mut one_lane_nanos = 0u64;
+    for lanes in [0usize, 1, 2, 4] {
+        let out = run(lanes);
+        let same = match &baseline_state {
+            None => {
+                baseline_state = Some(out.state.clone());
+                true
+            }
+            Some(b) => *b == out.state,
+        };
+        if lanes == 1 {
+            one_lane_nanos = out.makespan_nanos;
+        }
+        let speedup = if lanes >= 1 && out.makespan_nanos > 0 {
+            format!("{:.2}x", one_lane_nanos as f64 / out.makespan_nanos as f64)
+        } else {
+            "-".into()
+        };
+        t.row(&[
+            if lanes == 0 { "inline" } else { "pool" }.into(),
+            if lanes == 0 {
+                "-".into()
+            } else {
+                lanes.to_string()
+            },
+            ms(Duration::from_nanos(out.makespan_nanos)),
+            format!("{:.0}", calls / (out.makespan_nanos as f64 / 1e9)),
+            speedup,
+            if same { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    vec![t]
+}
+
 /// Sanity config used by the experiment smoke tests.
 pub fn tiny_zero_cost(n: usize) -> ClusterConfig {
     ClusterConfig::zero_cost(n)

@@ -59,6 +59,7 @@ pub mod node;
 pub mod policy;
 pub mod process;
 pub mod runtime;
+pub(crate) mod shared;
 pub mod trace;
 
 pub use array::{ByteBlock, ByteBlockClient, DoubleBlock, DoubleBlockClient};

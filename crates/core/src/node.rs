@@ -1,21 +1,26 @@
 //! The per-machine progress engine.
 //!
-//! Every machine in an oopp cluster runs one [`NodeCtx`]: a single-threaded
-//! engine that **serves** requests addressed to its objects and **issues**
-//! requests on behalf of the code currently running on it. The two roles
-//! interleave: while an object's method is blocked waiting for a reply from
-//! another machine (the paper's sequential RMI semantics), the engine keeps
-//! serving incoming requests for *other* objects — the paper's processes
-//! stay responsive.
+//! Every machine in an oopp cluster runs one **dispatcher** [`NodeCtx`]: the
+//! engine that owns the machine's network inbox, **admits** requests into
+//! their target objects' mailboxes, serves daemon verbs, and **issues**
+//! requests on behalf of the code currently running on it. Execution of
+//! object mailboxes happens either inline on the dispatcher (the classic
+//! single-threaded profile, still the default) or on an M:N pool of worker
+//! lanes with per-worker work-stealing deques (DESIGN.md §13) — each worker
+//! lane is itself a `NodeCtx` sharing the machine's `SharedNode` state, so
+//! methods running on a worker issue remote calls exactly like the paper's
+//! sequential RMI model prescribes.
 //!
-//! One process per object means calls to an object **serialize**: a request
-//! arriving while its target is mid-dispatch is parked in a deferred queue
-//! and served when the object is checked back in. A cycle of such waits
-//! (A's method calls B while B's method calls A) is a genuine distributed
-//! deadlock; the engine converts it into [`RemoteError::Timeout`] rather
-//! than hanging forever.
+//! One process per object means calls to an object **serialize**: a mailbox
+//! is owned by at most one lane at a time (a single "task token" per object
+//! enforces it), so within an object the original semantics are untouched no
+//! matter how many workers the machine runs. A cycle of cross-object waits
+//! (A's method calls B while B's method calls A on the same lanes) is a
+//! genuine distributed deadlock; the engine converts it into
+//! [`RemoteError::Timeout`] rather than hanging forever.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -24,13 +29,17 @@ use simnet::{Clock, MachineId, Network, Packet, SimDisk};
 use wire::collections::Bytes;
 use wire::{Reader, Wire, Writer};
 
-use crate::dedup::{DedupVerdict, DedupWindow};
+use crate::dedup::DedupVerdict;
 use crate::error::{RemoteError, RemoteResult};
 use crate::frame::{Frame, MigrationPayload, NodeStats, ReplicaStatus};
 use crate::future::{Pending, PendingClient};
 use crate::ids::{ObjRef, ObjectId, DAEMON};
 use crate::policy::CallPolicy;
 use crate::process::{ClassRegistry, DispatchResult, RemoteClient, ServerClass, ServerObject};
+use crate::shared::{
+    bump, shard_of, CallTrace, IncomingReq, ObjEntry, PrimaryMeta, ReplicaMeta, Sched, SharedNode,
+    WorkerMsg,
+};
 use crate::trace::{EventKind, TraceCtx, Tracer};
 
 /// Identity of an in-flight request, handed to objects that defer their
@@ -43,34 +52,9 @@ pub struct CallInfo {
     pub reply_to: MachineId,
 }
 
-struct IncomingReq {
-    req_id: u64,
-    reply_to: MachineId,
-    target: ObjectId,
-    payload: Vec<u8>,
-    /// Trace identity from the request frame (zeros when untraced).
-    trace_id: u64,
-    span: u64,
-    /// Caller's believed incarnation epoch (0 = unfenced).
-    epoch: u64,
-    /// Caller's believed replica-set epoch (0 = not replica-routed).
-    rs_epoch: u64,
-}
-
 enum ServeOutcome {
     Served,
     Defer(IncomingReq),
-}
-
-/// Trace identity of one call, kept alongside the client's outstanding
-/// entry (to stamp retransmit/recv events) and the server's serving table
-/// (to stamp the reply event).
-#[derive(Clone)]
-struct CallTrace {
-    trace_id: u64,
-    span: u64,
-    parent_span: u64,
-    method: Arc<str>,
 }
 
 /// An issued request kept around for retransmission: the encoded frame is
@@ -91,35 +75,6 @@ struct OutboundCall {
     read_primary: Option<ObjRef>,
 }
 
-/// Server-side metadata of a read replica hosted on this machine.
-struct ReplicaMeta {
-    /// The authoritative copy this replica mirrors.
-    primary: ObjRef,
-    /// Replica-set epoch of the last applied sync.
-    rs_epoch: u64,
-    /// Coherence lease: the replica serves reads only until this clock
-    /// reading (nanos), unless the primary (or the replica manager) renews
-    /// it first.
-    lease_until: u64,
-    /// The class's declared read verbs, captured at adoption so the gate
-    /// works even while the object is checked out.
-    read_verbs: &'static [&'static str],
-}
-
-/// Server-side record held by the machine hosting a replicated primary.
-struct PrimaryMeta {
-    /// Live replica set; write propagation drops members it cannot reach.
-    replicas: Vec<ObjRef>,
-    /// Replica-set epoch, bumped by every write the primary serves.
-    rs_epoch: u64,
-    /// Write-through (sync replicas before acking a write: read-your-writes
-    /// for everyone) vs. bounded staleness (ack immediately; the replica
-    /// manager re-syncs on its cadence, staleness bounded by the lease).
-    write_through: bool,
-    /// Coherence lease granted to replicas on each sync.
-    lease_millis: u64,
-}
-
 /// Client-side route for a replicated object: read verbs fan out over the
 /// replica set, everything else goes to the primary key.
 struct ReplicaRoute {
@@ -130,21 +85,74 @@ struct ReplicaRoute {
     next: usize,
 }
 
-#[derive(Default)]
-struct Stats {
-    calls_served: u64,
-    calls_deferred: u64,
-    calls_retried: u64,
-    dup_replayed: u64,
-    dup_suppressed: u64,
-    calls_forwarded: u64,
-    migrated_in: u64,
-    migrated_out: u64,
-    heartbeats_served: u64,
-    calls_fenced: u64,
-    replica_reads_served: u64,
-    replica_reads_stale: u64,
-    replica_syncs_sent: u64,
+/// Worker-lane identity: the control channel the dispatcher routes into,
+/// the virtual-clock park label, and this worker's own work-stealing deque.
+pub(crate) struct WorkerLane {
+    pub(crate) rx: Receiver<WorkerMsg>,
+    pub(crate) label: u64,
+    pub(crate) index: usize,
+    pub(crate) deque: sched::Worker<ObjectId>,
+}
+
+/// How many mailbox entries one task token executes before re-parking the
+/// object on the worker's own deque. Bounds how long a hot object
+/// monopolizes a worker, and is what puts continuations where siblings can
+/// steal them.
+const MAILBOX_BATCH: usize = 16;
+
+/// What `next_step` decided for the head of an object's mailbox.
+enum Step {
+    /// Mailbox empty (token retired) or entry gone (a lifecycle verb
+    /// removed the object and answered its queue).
+    Done,
+    /// An execution-time gate rejected the request without touching the
+    /// object.
+    Reject {
+        req: IncomingReq,
+        err: RemoteError,
+        kind: RejectKind,
+    },
+    /// Stale-server: this incarnation just learned it was superseded. The
+    /// whole entry is gone; answer the triggering request and everything
+    /// queued behind it with the fence.
+    Quarantine { reqs: Vec<IncomingReq>, epoch: u64 },
+    /// Gates passed: the object is checked out, dispatch the request.
+    Dispatch {
+        req: IncomingReq,
+        obj: Box<dyn ServerObject>,
+        /// `Some(rs_epoch)` when this is a replica-served read (for the
+        /// coherence-hit stat and trace event).
+        replica_hit: Option<u64>,
+    },
+}
+
+enum RejectKind {
+    Fenced,
+    Forwarded,
+    StaleReplica { rs_epoch: u64 },
+}
+
+/// Result of an atomic idle-check-and-remove on an object entry
+/// (`take_idle_entry`). `Busy` means a worker has the object checked out;
+/// the caller answers `DaemonOutcome::Busy` and the manager retries.
+enum TakeEntry {
+    Absent,
+    Busy,
+    Removed(ObjEntry),
+}
+
+/// Result of snapshot-then-remove (`snapshot_and_remove`): the serialized
+/// state travels with the removed entry so the caller can forward or park
+/// it, all decided while no lock is held.
+enum SnapTake {
+    Absent,
+    Busy,
+    Taken {
+        class: String,
+        state: Vec<u8>,
+        entry: ObjEntry,
+    },
+    Failed(RemoteError),
 }
 
 /// Bound on the client-side forwarding cache; clearing it on overflow only
@@ -168,20 +176,34 @@ pub struct NodeCtx {
     /// and leases on this node are measured against it, so a virtual-time
     /// cluster never blocks on a wall-clock-only timer.
     clock: Clock,
-    inbox: Receiver<Packet>,
+    /// The machine's network inbox. `Some` on dispatcher and driver lanes,
+    /// `None` on worker lanes (which receive through `lane` instead).
+    inbox: Option<Receiver<Packet>>,
+    /// Worker-lane state; `None` on dispatcher/driver lanes.
+    lane: Option<WorkerLane>,
+    /// Request-id lane number. Every lane on a machine allocates req_ids
+    /// congruent to its lane number modulo `stride`, so the dispatcher can
+    /// route a response to the lane that issued the call without any shared
+    /// correlation table. Lane 0 is the dispatcher; worker `w` is lane
+    /// `w + 1`.
+    lane_no: u64,
+    /// `sched workers + 1` on pooled machines, 1 everywhere else (which
+    /// makes req-id allocation byte-identical to the single-threaded
+    /// engine).
+    stride: u64,
     registry: Arc<ClassRegistry>,
     disks: Vec<Arc<SimDisk>>,
-    objects: HashMap<ObjectId, Option<Box<dyn ServerObject>>>,
+    /// The machine's thread-shared server state: object shards, gates,
+    /// dedup window, counters, and the scheduler handle.
+    shared: Arc<SharedNode>,
+    /// Requests this lane must retry later (daemon verbs that reported
+    /// Busy, requests for mid-migration objects). Dispatcher-only in
+    /// practice; lane-local always.
     deferred: VecDeque<IncomingReq>,
     replies: HashMap<u64, Result<Vec<u8>, RemoteError>>,
+    /// Passivated object states (daemon verbs `deactivate`/`activate`).
+    /// Dispatcher-local: only daemon verbs touch it.
     snapshots: HashMap<String, (String, Vec<u8>)>,
-    /// Objects mid-migration: quiesced (removed from `objects`, their
-    /// requests parked deferred) with their snapshot held for rollback.
-    migrating: HashMap<ObjectId, (String, Vec<u8>)>,
-    /// Forwarding stubs left by committed migrations: old object id →
-    /// the object's new address. Requests for these ids are answered with
-    /// [`RemoteError::Moved`] so stale pointers chase one hop.
-    forwards: HashMap<ObjectId, ObjRef>,
     /// Client-side forwarding cache: addresses this node has learned are
     /// stale, mapped to their replacement, so repeat calls start at the
     /// object's last known home instead of re-chasing.
@@ -189,40 +211,17 @@ pub struct NodeCtx {
     /// Per-node cache of symbolic-address resolutions (see
     /// [`crate::naming`]); invalidated when a cached pointer fails.
     resolve_cache: HashMap<String, ObjRef>,
-    /// Served calls per live object — the placement subsystem's per-object
-    /// load signal (daemon method `loads`).
-    object_calls: HashMap<ObjectId, u64>,
-    /// Server-side incarnation epochs of supervised objects. A request
-    /// whose nonzero epoch is below the entry is rejected with
-    /// [`RemoteError::Fenced`]; one *above* it proves this node missed a
-    /// takeover, so the local incarnation self-fences (see DESIGN.md §10).
-    epochs: HashMap<ObjectId, u64>,
-    /// Serving lease granted by supervisor heartbeats. `None` until the
-    /// first heartbeat arrives (unsupervised machines never check leases);
-    /// once granted, supervised objects are only served while the lease is
-    /// live — an isolated machine self-fences when it expires. Clock
-    /// nanos.
-    lease_deadline: Option<u64>,
     /// Client-side epoch beliefs: the incarnation epoch this node last
     /// learned for a supervised address (from the naming directory or a
     /// `Fenced` reply). Stamped onto outgoing frames.
     believed_epochs: HashMap<ObjRef, u64>,
-    /// Read replicas hosted on this machine (coherence metadata; the
-    /// replica objects themselves live in `objects` like any other).
-    replica_meta: HashMap<ObjectId, ReplicaMeta>,
-    /// Replicated primaries hosted on this machine: their live sets and
-    /// write-propagation mode.
-    primaries: HashMap<ObjectId, PrimaryMeta>,
     /// Client-side replica routes, keyed by the primary's address.
     replica_routes: HashMap<ObjRef, ReplicaRoute>,
     outstanding: HashMap<u64, OutboundCall>,
-    dedup: DedupWindow,
     current_call: Option<CallInfo>,
     next_req_id: u64,
-    next_obj_id: u64,
     alive: bool,
     policy: CallPolicy,
-    stats: Stats,
     /// Flight recorder handle; `None` (the default) disables tracing.
     tracer: Option<Tracer>,
     /// Monotone counter behind span-id allocation (see `alloc_span`).
@@ -230,16 +229,16 @@ pub struct NodeCtx {
     /// Trace identity of the request currently being dispatched, so calls
     /// issued from inside a method inherit its trace and parent span.
     current_trace: Option<(u64, u64)>,
-    /// Traced requests admitted but not yet answered, keyed like the dedup
-    /// window, so `send_response` can stamp the reply event.
-    serving_spans: HashMap<(MachineId, u64), CallTrace>,
+    /// Round counter feeding the seeded steal-order permutation.
+    steal_round: u64,
 }
 
 impl std::fmt::Debug for NodeCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NodeCtx")
             .field("machine", &self.machine)
-            .field("objects", &self.objects.len())
+            .field("lane", &self.lane_no)
+            .field("objects", &self.shared.objects_live())
             .field("deferred", &self.deferred.len())
             .finish()
     }
@@ -267,55 +266,141 @@ impl NodeCtx {
         policy: CallPolicy,
         tracer: Option<Tracer>,
     ) -> Self {
+        let shared = Arc::new(SharedNode::new(Sched::Inline));
+        Self::new_dispatcher(
+            machine, workers, net, inbox, registry, disks, policy, tracer, shared,
+        )
+    }
+
+    /// The dispatcher lane of a machine: owns the network inbox and the
+    /// admission path; executes objects inline when `shared.sched` is
+    /// [`Sched::Inline`], hands them to the pool otherwise.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new_dispatcher(
+        machine: MachineId,
+        workers: usize,
+        net: Network,
+        inbox: Receiver<Packet>,
+        registry: Arc<ClassRegistry>,
+        disks: Vec<Arc<SimDisk>>,
+        policy: CallPolicy,
+        tracer: Option<Tracer>,
+        shared: Arc<SharedNode>,
+    ) -> Self {
+        Self::new_lane(
+            machine,
+            workers,
+            net,
+            Some(inbox),
+            None,
+            registry,
+            disks,
+            policy,
+            tracer,
+            shared,
+        )
+    }
+
+    /// Worker lane `lane.index` of a pooled machine.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new_worker(
+        machine: MachineId,
+        workers: usize,
+        net: Network,
+        lane: WorkerLane,
+        registry: Arc<ClassRegistry>,
+        disks: Vec<Arc<SimDisk>>,
+        policy: CallPolicy,
+        tracer: Option<Tracer>,
+        shared: Arc<SharedNode>,
+    ) -> Self {
+        Self::new_lane(
+            machine,
+            workers,
+            net,
+            None,
+            Some(lane),
+            registry,
+            disks,
+            policy,
+            tracer,
+            shared,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn new_lane(
+        machine: MachineId,
+        workers: usize,
+        net: Network,
+        inbox: Option<Receiver<Packet>>,
+        lane: Option<WorkerLane>,
+        registry: Arc<ClassRegistry>,
+        disks: Vec<Arc<SimDisk>>,
+        policy: CallPolicy,
+        tracer: Option<Tracer>,
+        shared: Arc<SharedNode>,
+    ) -> Self {
         let clock = net.clock().clone();
         // Virtual time only advances while every actor is parked in the
-        // clock, so each NodeCtx enrolls here and leaves in its Drop.
+        // clock, so each NodeCtx — worker lanes included — enrolls here and
+        // leaves in its Drop.
         clock.register_actor();
+        let stride = match &shared.sched {
+            Sched::Inline => 1,
+            Sched::Pool(pool) => pool.workers() as u64 + 1,
+        };
+        let lane_no = lane.as_ref().map_or(0, |l| l.index as u64 + 1);
         NodeCtx {
             machine,
             workers,
             net,
             clock,
             inbox,
+            lane,
+            lane_no,
+            stride,
             registry,
             disks,
-            objects: HashMap::new(),
+            shared,
             deferred: VecDeque::new(),
             replies: HashMap::new(),
             snapshots: HashMap::new(),
-            migrating: HashMap::new(),
-            forwards: HashMap::new(),
             moved_cache: HashMap::new(),
             resolve_cache: HashMap::new(),
-            object_calls: HashMap::new(),
-            epochs: HashMap::new(),
-            lease_deadline: None,
             believed_epochs: HashMap::new(),
-            replica_meta: HashMap::new(),
-            primaries: HashMap::new(),
             replica_routes: HashMap::new(),
             outstanding: HashMap::new(),
-            dedup: DedupWindow::default(),
             current_call: None,
-            next_req_id: 1,
-            next_obj_id: DAEMON + 1,
+            // Lane 0 starts at `stride` (so id 0 stays unused, and with
+            // stride 1 this is the classic "ids start at 1"); lane L
+            // starts at L. Stepping by `stride` keeps lanes disjoint.
+            next_req_id: if lane_no == 0 { stride } else { lane_no },
             alive: true,
             policy,
-            stats: Stats::default(),
             tracer,
             next_span: 1,
             current_trace: None,
-            serving_spans: HashMap::new(),
+            steal_round: 0,
         }
     }
 
     /// Cluster-unique span id: machine-prefixed so two machines can never
-    /// mint the same id, `machine + 1` so id 0 stays reserved for
-    /// "untraced".
+    /// mint the same id (`machine + 1` so id 0 stays reserved for
+    /// "untraced"), lane-prefixed so two lanes of one machine cannot
+    /// either.
     fn alloc_span(&mut self) -> u64 {
-        let span = ((self.machine as u64 + 1) << 48) | self.next_span;
+        let span = ((self.machine as u64 + 1) << 48) | (self.lane_no << 40) | self.next_span;
         self.next_span += 1;
         span
+    }
+
+    /// Next request id on this lane's arithmetic progression (see
+    /// `lane_no`/`stride`).
+    fn alloc_req_id(&mut self) -> u64 {
+        let id = self.next_req_id;
+        self.next_req_id += self.stride;
+        id
     }
 
     // ------------------------------------------------------------------
@@ -482,8 +567,7 @@ impl NodeCtx {
                 machines: self.machines(),
             });
         }
-        let req_id = self.next_req_id;
-        self.next_req_id += 1;
+        let req_id = self.alloc_req_id();
         let call_trace = if self.tracer.is_some() {
             let span = self.alloc_span();
             // A call issued mid-dispatch belongs to the serving request's
@@ -780,15 +864,9 @@ impl NodeCtx {
                 }
                 return result;
             }
-            match self
-                .clock
-                .recv_deadline_nanos(&self.inbox, self.machine, deadline)
-            {
-                Ok(pkt) => {
-                    self.handle_packet(pkt);
-                    self.drain_deferred();
-                }
-                Err(_) => {
+            match self.pump_until(deadline) {
+                Ok(()) => {}
+                Err(()) => {
                     if attempts > self.policy.max_retries {
                         // A replica-routed read that exhausted its budget
                         // presumes the replica dead: drop it from the
@@ -826,16 +904,8 @@ impl NodeCtx {
                     if !pause.is_zero() {
                         let pause_deadline = self.clock.now_nanos() + pause.as_nanos() as u64;
                         while !self.replies.contains_key(&req_id) {
-                            match self.clock.recv_deadline_nanos(
-                                &self.inbox,
-                                self.machine,
-                                pause_deadline,
-                            ) {
-                                Ok(pkt) => {
-                                    self.handle_packet(pkt);
-                                    self.drain_deferred();
-                                }
-                                Err(_) => break,
+                            if self.pump_until(pause_deadline).is_err() {
+                                break;
                             }
                         }
                         if self.replies.contains_key(&req_id) {
@@ -860,7 +930,7 @@ impl NodeCtx {
                             }
                         }
                         let _ = self.net.send(self.machine, dst, bytes);
-                        self.stats.calls_retried += 1;
+                        bump!(self.shared.stats, calls_retried);
                     }
                     attempts += 1;
                     deadline = self.clock.now_nanos() + timeout;
@@ -958,8 +1028,7 @@ impl NodeCtx {
             return None;
         }
         self.note_epoch(target, taught);
-        let new_id = self.next_req_id;
-        self.next_req_id += 1;
+        let new_id = self.alloc_req_id();
         let frame = Frame::Request {
             req_id: new_id,
             reply_to,
@@ -1647,15 +1716,19 @@ impl NodeCtx {
 
     /// Serve incoming requests until `dur` elapses. Lets a driver thread
     /// that hosts objects make them reachable while it has nothing else to
-    /// do. Workers never need this — their serve loop runs continuously.
+    /// do. Machines never need this — their serve loop runs continuously.
     pub fn serve_for(&mut self, dur: Duration) {
         let deadline = self.clock.now_nanos() + dur.as_nanos() as u64;
-        while let Ok(pkt) = self
-            .clock
-            .recv_deadline_nanos(&self.inbox, self.machine, deadline)
-        {
-            self.handle_packet(pkt);
-            self.drain_deferred();
+        // Re-read the clock before every receive: handling a packet can
+        // advance time (draining a batch under virtual time, a costed
+        // dispatch under real time) past the deadline, and under a steady
+        // inbound stream the receive below would otherwise keep returning
+        // packets — and this loop keep serving them — long after the
+        // window closed.
+        while self.clock.now_nanos() < deadline {
+            if self.pump_until(deadline).is_err() {
+                break;
+            }
         }
     }
 
@@ -1665,10 +1738,83 @@ impl NodeCtx {
     /// [`try_take_reply`](NodeCtx::try_take_reply) while any requests
     /// aimed at this node still get served.
     pub fn poll(&mut self) {
-        while let Ok(pkt) = self.inbox.try_recv() {
-            self.handle_packet(pkt);
+        loop {
+            let pkt = match &self.inbox {
+                Some(rx) => rx.try_recv().ok(),
+                None => None,
+            };
+            match pkt {
+                Some(p) => self.handle_packet(p),
+                None => break,
+            }
         }
         self.drain_deferred();
+    }
+
+    /// Make one unit of blocked-wait progress, or report the deadline
+    /// passed. On a dispatcher/driver lane that means receiving and
+    /// handling one packet then retrying deferred work; on a worker lane
+    /// it means taking one control message — a routed response, or a nudge
+    /// that lets this lane run one scheduler task **re-entrantly** while
+    /// its own call is still in flight (the M:N analogue of the classic
+    /// engine serving other objects while blocked).
+    fn pump_until(&mut self, deadline: u64) -> Result<(), ()> {
+        if self.inbox.is_some() {
+            let recvd = {
+                let rx = self.inbox.as_ref().expect("checked above");
+                self.clock.recv_deadline_nanos(rx, self.machine, deadline)
+            };
+            match recvd {
+                Ok(pkt) => {
+                    self.handle_packet(pkt);
+                    self.drain_deferred();
+                    Ok(())
+                }
+                Err(_) => Err(()),
+            }
+        } else {
+            // Routed responses and control first; when the channel is dry,
+            // serve the machine's queues before parking. The scan is what
+            // makes nudges race-free: a task admitted while this lane was
+            // draining control messages may have had its Nudge consumed as
+            // a no-op above (worker_loop runs one task per wakeup), and a
+            // task admitted *after* this scan sends a fresh channel message
+            // the park below sees immediately — so no token ever strands
+            // in the injector behind a blocked lane.
+            let early = {
+                let lane = self.lane.as_ref().expect("lane-less NodeCtx");
+                lane.rx.try_recv().ok()
+            };
+            let recvd = match early {
+                Some(msg) => Ok(msg),
+                None => {
+                    if let Some(obj) = self.find_task() {
+                        self.run_object(obj);
+                        return Ok(());
+                    }
+                    let lane = self.lane.as_ref().expect("lane-less NodeCtx");
+                    self.clock
+                        .recv_any_deadline_nanos(&lane.rx, lane.label, deadline)
+                }
+            };
+            match recvd {
+                Ok(WorkerMsg::Packet(pkt)) => {
+                    self.handle_packet(pkt);
+                    Ok(())
+                }
+                Ok(WorkerMsg::Nudge) => {
+                    if let Some(obj) = self.find_task() {
+                        self.run_object(obj);
+                    }
+                    Ok(())
+                }
+                Ok(WorkerMsg::Shutdown) => {
+                    self.alive = false;
+                    Ok(())
+                }
+                Err(_) => Err(()),
+            }
+        }
     }
 
     /// Take the reply for `req_id` if it has arrived — the non-blocking
@@ -1692,7 +1838,7 @@ impl NodeCtx {
 
     /// Number of live objects on this node (excluding the daemon).
     pub fn objects_live(&self) -> usize {
-        self.objects.len()
+        self.shared.objects_live()
     }
 
     /// This node's own counters, without a network round trip — what
@@ -1700,28 +1846,22 @@ impl NodeCtx {
     /// The driver uses it to read its client-role counters
     /// (`calls_retried`) after a chaotic run.
     pub fn local_stats(&self) -> NodeStats {
-        NodeStats {
-            objects_live: self.objects.len() as u64,
-            calls_served: self.stats.calls_served,
-            calls_deferred: self.stats.calls_deferred,
-            snapshots_stored: self.snapshots.len() as u64,
-            calls_retried: self.stats.calls_retried,
-            dup_replayed: self.stats.dup_replayed,
-            dup_suppressed: self.stats.dup_suppressed,
-            calls_forwarded: self.stats.calls_forwarded,
-            migrated_in: self.stats.migrated_in,
-            migrated_out: self.stats.migrated_out,
-            heartbeats_served: self.stats.heartbeats_served,
-            calls_fenced: self.stats.calls_fenced,
-            replica_reads_served: self.stats.replica_reads_served,
-            replica_reads_stale: self.stats.replica_reads_stale,
-            replica_syncs_sent: self.stats.replica_syncs_sent,
-        }
+        self.shared.stats.snapshot(
+            self.shared.objects_live() as u64,
+            self.snapshots.len() as u64,
+        )
     }
 
     pub(crate) fn serve_loop(&mut self) {
         while self.alive {
-            match self.clock.recv(&self.inbox, self.machine) {
+            let recvd = {
+                let rx = self
+                    .inbox
+                    .as_ref()
+                    .expect("serve_loop runs on the dispatcher lane");
+                self.clock.recv(rx, self.machine)
+            };
+            match recvd {
                 Ok(pkt) => {
                     self.handle_packet(pkt);
                     self.drain_deferred();
@@ -1729,6 +1869,118 @@ impl NodeCtx {
                 Err(_) => break,
             }
         }
+        // Dispatcher exit stops the machine's worker pool. Workers drain
+        // their channel before parking, so the message is seen even if one
+        // is currently blocked inside a wait.
+        if let Sched::Pool(pool) = &self.shared.sched {
+            for i in 0..pool.workers() {
+                pool.wake(i, WorkerMsg::Shutdown, &self.clock);
+            }
+        }
+    }
+
+    /// A worker lane's main loop: drain control messages, then scan the
+    /// queues (own deque → machine injector → seeded steal sweep over
+    /// siblings); park idle when everything is dry.
+    pub(crate) fn worker_loop(&mut self) {
+        loop {
+            // Control first: routed responses and shutdown must not sit
+            // behind queue scans.
+            loop {
+                let msg = match &self.lane {
+                    Some(l) => l.rx.try_recv().ok(),
+                    None => return,
+                };
+                match msg {
+                    Some(WorkerMsg::Packet(pkt)) => self.handle_packet(pkt),
+                    Some(WorkerMsg::Nudge) => {}
+                    Some(WorkerMsg::Shutdown) => return,
+                    None => break,
+                }
+            }
+            if !self.alive {
+                return;
+            }
+            if let Some(obj) = self.find_task() {
+                self.run_object(obj);
+                continue;
+            }
+            // Nothing runnable: advertise idleness, then re-scan — a task
+            // injected between the scan above and the flag below saw no
+            // idle workers and nudged everyone, but one injected *after*
+            // the flag nudges us specifically, so this second scan is what
+            // closes the lost-wakeup window — and only then park.
+            let (index, label) = {
+                let l = self.lane.as_ref().expect("worker lane");
+                (l.index, l.label)
+            };
+            if let Sched::Pool(pool) = &self.shared.sched {
+                pool.set_idle(index, true);
+            }
+            if let Some(obj) = self.find_task() {
+                if let Sched::Pool(pool) = &self.shared.sched {
+                    pool.set_idle(index, false);
+                }
+                self.run_object(obj);
+                continue;
+            }
+            let msg = {
+                let l = self.lane.as_ref().expect("worker lane");
+                self.clock.recv_any(&l.rx, label)
+            };
+            if let Sched::Pool(pool) = &self.shared.sched {
+                pool.set_idle(index, false);
+            }
+            match msg {
+                Ok(WorkerMsg::Packet(pkt)) => self.handle_packet(pkt),
+                Ok(WorkerMsg::Nudge) => {}
+                Ok(WorkerMsg::Shutdown) | Err(_) => return,
+            }
+        }
+    }
+
+    /// Pop the next runnable object: own deque first (locality), then the
+    /// machine's injector (fresh admissions), then steal from siblings in
+    /// the seed-determined order for this `(worker, round)`.
+    fn find_task(&mut self) -> Option<ObjectId> {
+        let index = self.lane.as_ref()?.index;
+        if let Some(obj) = self.lane.as_ref().expect("just checked").deque.pop() {
+            return Some(obj);
+        }
+        let Sched::Pool(pool) = &self.shared.sched else {
+            return None;
+        };
+        if let Some(obj) = pool.injector.pop() {
+            return Some(obj);
+        }
+        let round = self.steal_round;
+        self.steal_round = round.wrapping_add(1);
+        for victim in pool.steal_order.victims(index, round, pool.stealers.len()) {
+            if victim == index {
+                continue;
+            }
+            loop {
+                match pool.stealers[victim].steal() {
+                    sched::Steal::Success(obj) => return Some(obj),
+                    sched::Steal::Empty => break,
+                    sched::Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    /// Hand an object with fresh mailbox work to the execution layer: the
+    /// worker pool's injector when one is attached, an immediate inline
+    /// run otherwise (the classic single-threaded profile, where this call
+    /// happens at the same point the old engine dispatched the request).
+    fn submit_task(&mut self, target: ObjectId) {
+        if let Sched::Pool(pool) = &self.shared.sched {
+            pool.injector.push(target);
+            pool.nudge(&self.clock);
+            return;
+        }
+        self.run_object(target);
     }
 
     fn handle_packet(&mut self, pkt: Packet) {
@@ -1764,13 +2016,19 @@ impl NodeCtx {
                         );
                     }
                 };
+                // Requests arriving at a worker lane would mean the fabric
+                // delivered to a non-endpoint; drop defensively.
+                if self.inbox.is_none() && self.lane.is_some() {
+                    debug_assert!(false, "request frame delivered to a worker lane");
+                    return;
+                }
                 // At-most-once execution: a retransmitted request either
                 // replays its cached response or is dropped while the
                 // original is still in flight. Only genuinely new requests
                 // reach dispatch.
-                match self.dedup.admit((reply_to, req_id)) {
+                match self.shared.dedup.lock().admit((reply_to, req_id)) {
                     DedupVerdict::Done(result) => {
-                        self.stats.dup_replayed += 1;
+                        bump!(self.shared.stats, dup_replayed);
                         record_admit(self, EventKind::ServerAdmitDone);
                         let frame = Frame::Response {
                             req_id,
@@ -1782,7 +2040,7 @@ impl NodeCtx {
                         return;
                     }
                     DedupVerdict::InFlight => {
-                        self.stats.dup_suppressed += 1;
+                        bump!(self.shared.stats, dup_suppressed);
                         record_admit(self, EventKind::ServerAdmitInFlight);
                         return;
                     }
@@ -1793,10 +2051,11 @@ impl NodeCtx {
                             // get a reply (abandoned deferred calls): a
                             // flight-recorder table may drop stale entries,
                             // never grow without limit.
-                            if self.serving_spans.len() >= 65_536 {
-                                self.serving_spans.clear();
+                            let mut spans = self.shared.serving_spans.lock();
+                            if spans.len() >= 65_536 {
+                                spans.clear();
                             }
-                            self.serving_spans.insert(
+                            spans.insert(
                                 (reply_to, req_id),
                                 CallTrace {
                                     trace_id: trace.trace_id.0,
@@ -1821,7 +2080,7 @@ impl NodeCtx {
                 match self.try_serve(req) {
                     ServeOutcome::Served => {}
                     ServeOutcome::Defer(req) => {
-                        self.stats.calls_deferred += 1;
+                        bump!(self.shared.stats, calls_deferred);
                         if let (Some(tracer), Some(method)) = (&self.tracer, &traced_method) {
                             tracer.record(
                                 EventKind::ServerDefer,
@@ -1835,11 +2094,27 @@ impl NodeCtx {
                                 method.clone(),
                             );
                         }
-                        self.deferred.push_back(req);
+                        self.push_deferred(req);
                     }
                 }
             }
             Frame::Response { req_id, result } => {
+                // Responses for calls issued by another lane of this
+                // machine (workers allocate req_ids on their own residue
+                // class mod `stride`) are routed there raw; the lane
+                // decodes and files them itself.
+                let lane = req_id % self.stride;
+                if lane != self.lane_no {
+                    if let Sched::Pool(pool) = &self.shared.sched {
+                        let w = lane as usize;
+                        if w >= 1 && w <= pool.workers() {
+                            pool.wake(w - 1, WorkerMsg::Packet(pkt), &self.clock);
+                        }
+                        // Lane-0 responses reaching a worker (or an
+                        // out-of-range lane) have nobody waiting: drop.
+                    }
+                    return;
+                }
                 // Replies for calls nobody is waiting on anymore (timed
                 // out, abandoned) are dropped, not hoarded: the reply
                 // table only ever holds answers someone can still take.
@@ -1850,6 +2125,16 @@ impl NodeCtx {
         }
     }
 
+    /// Park a request in this lane's deferred queue, keeping the shared
+    /// count of parked daemon verbs exact — workers read it to know when
+    /// the dispatcher needs a retry kick (see `run_object`).
+    fn push_deferred(&mut self, req: IncomingReq) {
+        if req.target == DAEMON {
+            self.shared.daemon_parked.fetch_add(1, Ordering::Relaxed);
+        }
+        self.deferred.push_back(req);
+    }
+
     fn drain_deferred(&mut self) {
         loop {
             let mut progressed = false;
@@ -1857,9 +2142,12 @@ impl NodeCtx {
                 let Some(req) = self.deferred.pop_front() else {
                     break;
                 };
+                if req.target == DAEMON {
+                    self.shared.daemon_parked.fetch_sub(1, Ordering::Relaxed);
+                }
                 match self.try_serve(req) {
                     ServeOutcome::Served => progressed = true,
-                    ServeOutcome::Defer(req) => self.deferred.push_back(req),
+                    ServeOutcome::Defer(req) => self.push_deferred(req),
                 }
             }
             if !progressed || self.deferred.is_empty() {
@@ -1876,55 +2164,195 @@ impl NodeCtx {
         }
     }
 
+    /// Admission (dispatcher lane): park the request in its target's
+    /// mailbox and mint a task token if the object does not already have
+    /// one. All gate checking — fences, leases, replica coherence — now
+    /// happens at **execution** time in `next_step`, under the mailbox's
+    /// shard lock, so a gate change landing between admission and
+    /// execution still wins.
     fn serve_object(&mut self, req: IncomingReq) -> ServeOutcome {
-        // Epoch fence (supervised objects only — `epochs` has an entry).
-        if let Some(&current) = self.epochs.get(&req.target) {
+        let target = req.target;
+        let deferred = (self.tracer.is_some() && req.span != 0).then(|| {
+            (
+                req.reply_to,
+                req.trace_id,
+                req.span,
+                req.req_id,
+                payload_method(&req.payload),
+            )
+        });
+        let submit = {
+            let mut guard = self.shared.shards[shard_of(target)].lock();
+            match guard.get_mut(&target) {
+                Some(entry) => {
+                    entry.mailbox.push_back(req);
+                    if entry.scheduled {
+                        false
+                    } else {
+                        entry.scheduled = true;
+                        true
+                    }
+                }
+                None => {
+                    drop(guard);
+                    return self.reject_absent(req);
+                }
+            }
+        };
+        if submit {
+            self.submit_task(target);
+        } else {
+            // Parked behind a token that already exists: the request waits
+            // its mailbox turn — the M:N engine's form of a deferral.
+            bump!(self.shared.stats, calls_deferred);
+            if let (Some(tracer), Some((reply_to, trace_id, span, req_id, method))) =
+                (&self.tracer, deferred)
+            {
+                tracer.record(
+                    EventKind::ServerDefer,
+                    reply_to,
+                    trace_id,
+                    span,
+                    0,
+                    req_id,
+                    0,
+                    0,
+                    method,
+                );
+            }
+        }
+        ServeOutcome::Served
+    }
+
+    /// Disposition of a request whose target has no live entry, mirroring
+    /// the classic engine's gate order: epoch fences first (a stale caller
+    /// is fenced even mid-migration; a caller carrying proof of a missed
+    /// takeover bumps the quarantine epoch), then mid-migration quiesce,
+    /// then forwarding stubs, then the bare fence, then `NoSuchObject`.
+    fn reject_absent(&mut self, req: IncomingReq) -> ServeOutcome {
+        enum Verdict {
+            Defer,
+            Fenced(u64),
+            Moved(ObjRef),
+            NoSuch,
+        }
+        let verdict = {
+            let mut gates = self.shared.gates.lock();
+            if let Some(&current) = gates.epochs.get(&req.target) {
+                if req.epoch != 0 && req.epoch < current {
+                    Verdict::Fenced(current)
+                } else if req.epoch > current {
+                    // Proof of a takeover this node never saw: move the
+                    // quarantine epoch forward.
+                    gates.epochs.insert(req.target, req.epoch);
+                    gates.object_calls.remove(&req.target);
+                    Verdict::Fenced(req.epoch)
+                } else if gates.migrating.contains_key(&req.target) {
+                    Verdict::Defer
+                } else if let Some(&to) = gates.forwards.get(&req.target) {
+                    Verdict::Moved(to)
+                } else {
+                    Verdict::Fenced(current)
+                }
+            } else if gates.migrating.contains_key(&req.target) {
+                Verdict::Defer
+            } else if let Some(&to) = gates.forwards.get(&req.target) {
+                Verdict::Moved(to)
+            } else {
+                Verdict::NoSuch
+            }
+        };
+        match verdict {
+            Verdict::Defer => ServeOutcome::Defer(req),
+            Verdict::Fenced(current_epoch) => {
+                bump!(self.shared.stats, calls_fenced);
+                self.send_response(
+                    req.reply_to,
+                    req.req_id,
+                    Err(RemoteError::Fenced { current_epoch }),
+                );
+                ServeOutcome::Served
+            }
+            Verdict::Moved(to) => {
+                bump!(self.shared.stats, calls_forwarded);
+                self.send_response(req.reply_to, req.req_id, Err(RemoteError::Moved { to }));
+                ServeOutcome::Served
+            }
+            Verdict::NoSuch => {
+                self.send_response(
+                    req.reply_to,
+                    req.req_id,
+                    Err(RemoteError::NoSuchObject {
+                        machine: self.machine,
+                        object: req.target,
+                    }),
+                );
+                ServeOutcome::Served
+            }
+        }
+    }
+
+    /// Claim the next unit of work for `target` under its shard lock and
+    /// run the **execution-time** admission gates (DESIGN.md §13): epoch
+    /// fences, the supervisor lease, and the replica coherence gate are
+    /// all evaluated here — at the moment the call would run — never at
+    /// enqueue, so a fence bump that lands while a request sits in the
+    /// mailbox still rejects it.
+    fn next_step(&mut self, target: ObjectId) -> Step {
+        let now = self.clock.now_nanos();
+        let mut guard = self.shared.shards[shard_of(target)].lock();
+        let req = match guard.get_mut(&target) {
+            None => return Step::Done, // a lifecycle verb removed the entry (and drained its queue)
+            Some(entry) => match entry.mailbox.pop_front() {
+                None => {
+                    // Mailbox dry: retire the task token.
+                    entry.scheduled = false;
+                    return Step::Done;
+                }
+                Some(req) => req,
+            },
+        };
+        // Lock order: shard, then gates. Gates are never taken first.
+        let mut gates = self.shared.gates.lock();
+        if let Some(&current) = gates.epochs.get(&target) {
             if req.epoch != 0 && req.epoch < current {
                 // Stale caller: its pointer names a superseded
                 // incarnation. Never execute; teach it the live epoch.
-                self.stats.calls_fenced += 1;
-                let err = RemoteError::Fenced {
-                    current_epoch: current,
+                return Step::Reject {
+                    req,
+                    err: RemoteError::Fenced {
+                        current_epoch: current,
+                    },
+                    kind: RejectKind::Fenced,
                 };
-                self.send_response(req.reply_to, req.req_id, Err(err));
-                return ServeOutcome::Served;
             }
             if req.epoch > current {
                 // Stale *server*: the caller carries proof of a takeover
                 // this node never saw (it was partitioned through the
                 // recovery). Quarantine the superseded incarnation —
-                // defense in depth on top of the lease — and make the
-                // caller re-resolve.
-                if matches!(self.objects.get(&req.target), Some(None)) {
-                    return ServeOutcome::Defer(req); // mid-call: fence after
-                }
-                self.objects.remove(&req.target);
-                self.object_calls.remove(&req.target);
-                self.epochs.insert(req.target, req.epoch);
-                self.stats.calls_fenced += 1;
-                let err = RemoteError::Fenced {
-                    current_epoch: req.epoch,
-                };
-                self.send_response(req.reply_to, req.req_id, Err(err));
-                return ServeOutcome::Served;
+                // defense in depth on top of the lease — and make every
+                // queued caller re-resolve.
+                let epoch = req.epoch;
+                gates.epochs.insert(target, epoch);
+                gates.object_calls.remove(&target);
+                drop(gates);
+                let entry = guard.remove(&target).expect("entry present above");
+                let mut reqs = vec![req];
+                reqs.extend(entry.mailbox);
+                return Step::Quarantine { reqs, epoch };
             }
             // Lease self-fence: a supervised object is only served while
             // the supervisor's lease is live. An isolated machine stops
             // serving these *itself*, which is what makes takeover safe
-            // even when the suspicion was false (DESIGN.md §10). Only
-            // *live* objects are gated: a forwarding stub is immutable
-            // routing metadata, and answering `Moved` while the lease is
-            // lapsed cannot split the brain — it is how stale pointers
-            // heal toward the takeover incarnation.
-            if self.objects.contains_key(&req.target)
-                && matches!(self.lease_deadline, Some(d) if self.clock.now_nanos() > d)
-            {
-                self.stats.calls_fenced += 1;
-                let err = RemoteError::Fenced {
-                    current_epoch: current,
+            // even when the suspicion was false (DESIGN.md §10).
+            if matches!(gates.lease_deadline, Some(d) if now > d) {
+                return Step::Reject {
+                    req,
+                    err: RemoteError::Fenced {
+                        current_epoch: current,
+                    },
+                    kind: RejectKind::Fenced,
                 };
-                self.send_response(req.reply_to, req.req_id, Err(err));
-                return ServeOutcome::Served;
             }
         }
         // Replica-side coherence gate (replica-hosted ids only). A write
@@ -1933,155 +2361,211 @@ impl NodeCtx {
         // coherence — its lease is live and it has synced at least as far
         // as the caller's replica-set epoch — and otherwise answers
         // `StaleReplica` so the caller falls back to the primary.
-        if let Some(meta) = self.replica_meta.get(&req.target) {
+        let mut replica_hit = None;
+        if let Some(meta) = gates.replica_meta.get(&target) {
             let primary = meta.primary;
             let rs_now = meta.rs_epoch;
-            let lease_live = self.clock.now_nanos() <= meta.lease_until;
+            let lease_live = now <= meta.lease_until;
             let method = payload_method(&req.payload);
             if !meta.read_verbs.iter().any(|v| *v == &*method) {
-                self.stats.calls_forwarded += 1;
-                self.send_response(
-                    req.reply_to,
-                    req.req_id,
-                    Err(RemoteError::Moved { to: primary }),
-                );
-                return ServeOutcome::Served;
+                return Step::Reject {
+                    req,
+                    err: RemoteError::Moved { to: primary },
+                    kind: RejectKind::Forwarded,
+                };
             }
             if !lease_live || req.rs_epoch > rs_now {
-                self.stats.replica_reads_stale += 1;
-                if let Some(tracer) = &self.tracer {
-                    tracer.record(
-                        EventKind::ReplicaStale,
-                        req.reply_to,
-                        req.trace_id,
-                        req.span,
-                        0,
-                        req.req_id,
-                        0,
-                        rs_now as u32,
-                        method,
-                    );
-                }
-                let err = RemoteError::StaleReplica {
-                    primary,
-                    rs_epoch: rs_now,
-                };
-                self.send_response(req.reply_to, req.req_id, Err(err));
-                return ServeOutcome::Served;
-            }
-            self.stats.replica_reads_served += 1;
-            if let Some(tracer) = &self.tracer {
-                tracer.record(
-                    EventKind::ReplicaHit,
-                    req.reply_to,
-                    req.trace_id,
-                    req.span,
-                    0,
-                    req.req_id,
-                    0,
-                    rs_now as u32,
-                    method,
-                );
-            }
-        }
-        // Check the object out of the table for the duration of the call:
-        // one process per object means one call at a time.
-        let mut obj = match self.objects.get_mut(&req.target) {
-            None => {
-                // Quiesce: requests for an object mid-migration park in
-                // the deferred queue; commit releases them into the
-                // forwarding stub, rollback back into the live object.
-                if self.migrating.contains_key(&req.target) {
-                    return ServeOutcome::Defer(req);
-                }
-                let err = match self.forwards.get(&req.target) {
-                    Some(&to) => {
-                        self.stats.calls_forwarded += 1;
-                        RemoteError::Moved { to }
-                    }
-                    // A fenced id with no forwarding stub (quarantined by
-                    // traffic, not by the `fence` verb) still answers with
-                    // its epoch so callers know to re-resolve.
-                    None => match self.epochs.get(&req.target) {
-                        Some(&e) => {
-                            self.stats.calls_fenced += 1;
-                            RemoteError::Fenced { current_epoch: e }
-                        }
-                        None => RemoteError::NoSuchObject {
-                            machine: self.machine,
-                            object: req.target,
-                        },
+                return Step::Reject {
+                    req,
+                    err: RemoteError::StaleReplica {
+                        primary,
+                        rs_epoch: rs_now,
                     },
+                    kind: RejectKind::StaleReplica { rs_epoch: rs_now },
                 };
-                self.send_response(req.reply_to, req.req_id, Err(err));
-                return ServeOutcome::Served;
             }
-            Some(slot) => match slot.take() {
-                Some(obj) => obj,
-                None => return ServeOutcome::Defer(req), // busy: park the request
-            },
-        };
-
-        let saved = self.current_call.replace(CallInfo {
-            req_id: req.req_id,
-            reply_to: req.reply_to,
-        });
-        // Calls the method issues while running inherit this request's
-        // trace identity (nested spans).
-        let saved_trace = std::mem::replace(
-            &mut self.current_trace,
-            (req.span != 0).then_some((req.trace_id, req.span)),
-        );
-        let mut reader = Reader::new(&req.payload);
-        let mut served_method = None;
-        let outcome = match String::decode(&mut reader) {
-            Ok(method) => {
-                self.record_dispatch(&req, &method);
-                let out = obj.dispatch_named(self, &method, &mut reader);
-                served_method = Some(method);
-                out
-            }
-            Err(e) => Err(e.into()),
-        };
-        self.current_call = saved;
-        self.current_trace = saved_trace;
-
-        // Check the object back in (its slot still exists: destroys of a
-        // checked-out object are deferred, never executed mid-call).
-        if let Some(slot) = self.objects.get_mut(&req.target) {
-            *slot = Some(obj);
+            replica_hit = Some(rs_now);
         }
+        drop(gates);
+        // Check the object out for the duration of the call: the task
+        // token is exclusive, so the slot must be occupied.
+        let entry = guard.get_mut(&target).expect("entry present above");
+        let obj = entry
+            .slot
+            .take()
+            .expect("task token is exclusive: nobody else checks this object out");
+        Step::Dispatch {
+            req,
+            obj,
+            replica_hit,
+        }
+    }
 
-        // Primary-side write propagation: a successful write verb served
-        // by a replicated primary bumps the replica-set epoch and, in
-        // write-through mode, re-syncs every live replica BEFORE the ack
-        // below — the writer (and everyone else) reads its write from any
-        // replica that still holds a live coherence lease.
-        if outcome.is_ok() && self.primaries.contains_key(&req.target) {
-            if let Some(method) = &served_method {
-                let is_read = self
-                    .objects
-                    .get(&req.target)
-                    .and_then(|s| s.as_ref())
-                    .map(|o| o.read_verbs().contains(&method.as_str()))
-                    .unwrap_or(true);
-                if !is_read {
-                    self.propagate_write(req.target);
+    /// Execute `target`'s mailbox: the body of one scheduler task. Runs
+    /// up to `MAILBOX_BATCH` requests, then re-parks the object on this
+    /// worker's own deque (stealable by idle siblings) — or keeps going
+    /// inline when there is no pool. Run-to-completion per request; the
+    /// object is owned by exactly one lane for the duration.
+    pub(crate) fn run_object(&mut self, target: ObjectId) {
+        let mut batch = 0usize;
+        loop {
+            if batch >= MAILBOX_BATCH {
+                if let Some(lane) = &self.lane {
+                    // Yield the rest of the mailbox: the token moves to this
+                    // worker's deque, where a sibling can steal it.
+                    // `scheduled` stays true — the token still exists.
+                    lane.deque.push(target);
+                    if let Sched::Pool(pool) = &self.shared.sched {
+                        pool.nudge(&self.clock);
+                    }
+                    return;
+                }
+            }
+            match self.next_step(target) {
+                Step::Done => break,
+                Step::Reject { req, err, kind } => {
+                    match kind {
+                        RejectKind::Fenced => {
+                            bump!(self.shared.stats, calls_fenced);
+                        }
+                        RejectKind::Forwarded => {
+                            bump!(self.shared.stats, calls_forwarded);
+                        }
+                        RejectKind::StaleReplica { rs_epoch } => {
+                            bump!(self.shared.stats, replica_reads_stale);
+                            if let Some(tracer) = &self.tracer {
+                                tracer.record(
+                                    EventKind::ReplicaStale,
+                                    req.reply_to,
+                                    req.trace_id,
+                                    req.span,
+                                    0,
+                                    req.req_id,
+                                    0,
+                                    rs_epoch as u32,
+                                    payload_method(&req.payload),
+                                );
+                            }
+                        }
+                    }
+                    self.send_response(req.reply_to, req.req_id, Err(err));
+                    batch += 1;
+                }
+                Step::Quarantine { reqs, epoch } => {
+                    for req in reqs {
+                        bump!(self.shared.stats, calls_fenced);
+                        self.send_response(
+                            req.reply_to,
+                            req.req_id,
+                            Err(RemoteError::Fenced {
+                                current_epoch: epoch,
+                            }),
+                        );
+                    }
+                    break; // the entry is gone; the token dies with it
+                }
+                Step::Dispatch {
+                    req,
+                    mut obj,
+                    replica_hit,
+                } => {
+                    if let Some(rs_now) = replica_hit {
+                        bump!(self.shared.stats, replica_reads_served);
+                        if let Some(tracer) = &self.tracer {
+                            tracer.record(
+                                EventKind::ReplicaHit,
+                                req.reply_to,
+                                req.trace_id,
+                                req.span,
+                                0,
+                                req.req_id,
+                                0,
+                                rs_now as u32,
+                                payload_method(&req.payload),
+                            );
+                        }
+                    }
+                    let saved = self.current_call.replace(CallInfo {
+                        req_id: req.req_id,
+                        reply_to: req.reply_to,
+                    });
+                    // Calls the method issues while running inherit this
+                    // request's trace identity (nested spans).
+                    let saved_trace = std::mem::replace(
+                        &mut self.current_trace,
+                        (req.span != 0).then_some((req.trace_id, req.span)),
+                    );
+                    let mut reader = Reader::new(&req.payload);
+                    let mut served_method = None;
+                    let outcome = match String::decode(&mut reader) {
+                        Ok(method) => {
+                            self.record_dispatch(&req, &method);
+                            let out = obj.dispatch_named(self, &method, &mut reader);
+                            served_method = Some(method);
+                            out
+                        }
+                        Err(e) => Err(e.into()),
+                    };
+                    self.current_call = saved;
+                    self.current_trace = saved_trace;
+
+                    // Primary-side write propagation, while this lane still
+                    // owns the object: a successful write verb served by a
+                    // replicated primary bumps the replica-set epoch and,
+                    // in write-through mode, re-syncs every live replica
+                    // BEFORE the ack below — the writer (and everyone else)
+                    // reads its write from any replica that still holds a
+                    // live coherence lease. Snapshotting the *owned* box
+                    // (not the checked-in slot) is what keeps the snapshot
+                    // race-free under multiple workers.
+                    if outcome.is_ok() {
+                        if let Some(method) = &served_method {
+                            let is_primary =
+                                self.shared.gates.lock().primaries.contains_key(&target);
+                            if is_primary && !obj.read_verbs().contains(&method.as_str()) {
+                                self.propagate_write(target, obj.as_ref());
+                            }
+                        }
+                    }
+
+                    // Check the object back in. The entry still exists:
+                    // lifecycle verbs report Busy (never remove) while the
+                    // slot is checked out.
+                    {
+                        let mut guard = self.shared.shards[shard_of(target)].lock();
+                        if let Some(entry) = guard.get_mut(&target) {
+                            entry.slot = Some(obj);
+                        }
+                    }
+
+                    match outcome {
+                        Ok(DispatchResult::Reply(bytes)) => {
+                            self.send_response(req.reply_to, req.req_id, Ok(bytes))
+                        }
+                        Ok(DispatchResult::NoReply) => {}
+                        Err(e) => self.send_response(req.reply_to, req.req_id, Err(e)),
+                    }
+                    bump!(self.shared.stats, calls_served);
+                    // Per-object load signal for the placement subsystem.
+                    *self
+                        .shared
+                        .gates
+                        .lock()
+                        .object_calls
+                        .entry(target)
+                        .or_insert(0) += 1;
+                    batch += 1;
                 }
             }
         }
-
-        match outcome {
-            Ok(DispatchResult::Reply(bytes)) => {
-                self.send_response(req.reply_to, req.req_id, Ok(bytes))
-            }
-            Ok(DispatchResult::NoReply) => {}
-            Err(e) => self.send_response(req.reply_to, req.req_id, Err(e)),
+        // A lifecycle verb may be parked in the dispatcher's deferred
+        // queue waiting for this object to go idle. The dispatcher blocks
+        // on its network inbox, so wake it with an empty loopback packet
+        // (decode fails harmlessly; the serve loop retries its deferred
+        // queue after every receive).
+        if self.lane.is_some() && self.shared.daemon_parked.load(Ordering::Relaxed) > 0 {
+            let _ = self.net.send(self.machine, self.machine, Vec::new());
         }
-        self.stats.calls_served += 1;
-        // Per-object load signal for the placement subsystem.
-        *self.object_calls.entry(req.target).or_insert(0) += 1;
-        ServeOutcome::Served
     }
 
     /// Bump the replica-set epoch after a served write and propagate per
@@ -2092,26 +2576,29 @@ impl NodeCtx {
     /// goes, no replica holding a live lease can be missing the write.
     /// Bounded-staleness mode returns immediately — the replica manager
     /// re-syncs on its cadence and staleness stays bounded by the lease.
-    fn propagate_write(&mut self, object: ObjectId) {
-        let Some(pm) = self.primaries.get_mut(&object) else {
-            return;
+    ///
+    /// `obj` is the primary itself, still checked out by this lane, so the
+    /// snapshot is taken before any other call can touch it.
+    fn propagate_write(&mut self, object: ObjectId, obj: &dyn ServerObject) {
+        let (rs_epoch, write_through, lease_millis, replicas) = {
+            let mut gates = self.shared.gates.lock();
+            let Some(pm) = gates.primaries.get_mut(&object) else {
+                return;
+            };
+            pm.rs_epoch += 1;
+            (
+                pm.rs_epoch,
+                pm.write_through,
+                pm.lease_millis,
+                pm.replicas.clone(),
+            )
         };
-        pm.rs_epoch += 1;
-        let (rs_epoch, write_through, lease_millis, replicas) = (
-            pm.rs_epoch,
-            pm.write_through,
-            pm.lease_millis,
-            pm.replicas.clone(),
-        );
         if !write_through || replicas.is_empty() {
             return;
         }
-        let state = match self.objects.get(&object) {
-            Some(Some(obj)) => match obj.snapshot_state() {
-                Ok(s) => s,
-                Err(_) => return,
-            },
-            _ => return,
+        let state = match obj.snapshot_state() {
+            Ok(s) => s,
+            Err(_) => return,
         };
         let mut lost = false;
         for r in replicas {
@@ -2124,7 +2611,7 @@ impl NodeCtx {
                 });
             match synced {
                 Ok(()) => {
-                    self.stats.replica_syncs_sent += 1;
+                    bump!(self.shared.stats, replica_syncs_sent);
                     if self.tracer.is_some() {
                         let span = self.alloc_span();
                         if let Some(tracer) = &self.tracer {
@@ -2144,7 +2631,8 @@ impl NodeCtx {
                 }
                 Err(_) => {
                     lost = true;
-                    if let Some(pm) = self.primaries.get_mut(&object) {
+                    let mut gates = self.shared.gates.lock();
+                    if let Some(pm) = gates.primaries.get_mut(&object) {
                         pm.replicas.retain(|x| *x != r);
                     }
                 }
@@ -2152,10 +2640,17 @@ impl NodeCtx {
         }
         if lost {
             // The unreachable replica may still be answering reads under
-            // its last lease. Serve through the lease window before
-            // acking, so the write is never acknowledged while a replica
-            // that missed it could pass the coherence gate.
-            self.serve_for(Duration::from_millis(lease_millis));
+            // its last lease. Wait out the lease window before acking, so
+            // the write is never acknowledged while a replica that missed
+            // it could pass the coherence gate. The dispatcher keeps
+            // serving while it waits; a worker lane just sleeps (its
+            // siblings keep the machine live).
+            let window = Duration::from_millis(lease_millis);
+            if self.lane.is_some() {
+                self.clock.sleep(window);
+            } else {
+                self.serve_for(window);
+            }
         }
     }
 
@@ -2179,12 +2674,12 @@ impl NodeCtx {
         match outcome {
             Ok(DaemonOutcome::Reply(bytes)) => {
                 self.send_response(req.reply_to, req.req_id, Ok(bytes));
-                self.stats.calls_served += 1;
+                bump!(self.shared.stats, calls_served);
                 ServeOutcome::Served
             }
             Ok(DaemonOutcome::ReplyThenHalt(bytes)) => {
                 self.send_response(req.reply_to, req.req_id, Ok(bytes));
-                self.stats.calls_served += 1;
+                bump!(self.shared.stats, calls_served);
                 self.alive = false;
                 ServeOutcome::Served
             }
@@ -2192,6 +2687,56 @@ impl NodeCtx {
             Err(e) => {
                 self.send_response(req.reply_to, req.req_id, Err(e));
                 ServeOutcome::Served
+            }
+        }
+    }
+
+    /// Atomically remove `object`'s entry if it is present and idle — the
+    /// check-and-remove is one shard-lock critical section, so a worker
+    /// can never check the object out between the two.
+    fn take_idle_entry(&self, object: ObjectId) -> TakeEntry {
+        let mut guard = self.shared.shards[shard_of(object)].lock();
+        match guard.get(&object) {
+            None => TakeEntry::Absent,
+            Some(e) if e.slot.is_none() => TakeEntry::Busy,
+            Some(_) => TakeEntry::Removed(guard.remove(&object).expect("present")),
+        }
+    }
+
+    /// Snapshot `object` and, on success, atomically remove its entry
+    /// (same shard-lock discipline as [`take_idle_entry`]); a snapshot
+    /// failure leaves the object untouched.
+    fn snapshot_and_remove(&self, object: ObjectId) -> SnapTake {
+        let mut guard = self.shared.shards[shard_of(object)].lock();
+        let Some(entry) = guard.get(&object) else {
+            return SnapTake::Absent;
+        };
+        let Some(obj) = entry.slot.as_ref() else {
+            return SnapTake::Busy;
+        };
+        let state = match obj.snapshot_state() {
+            Ok(s) => s,
+            Err(e) => return SnapTake::Failed(e),
+        };
+        let class = obj.class_name().to_string();
+        let entry = guard.remove(&object).expect("present");
+        SnapTake::Taken {
+            class,
+            state,
+            entry,
+        }
+    }
+
+    /// Answer every request still queued in a removed entry's mailbox
+    /// through the absent-object path (Moved / Fenced / NoSuchObject /
+    /// deferred), exactly as if each had arrived after the removal. The
+    /// caller must update the gates (forwards, epochs, migrating) for the
+    /// removal *before* draining.
+    fn drain_removed_mailbox(&mut self, entry: ObjEntry) {
+        for req in entry.mailbox {
+            match self.reject_absent(req) {
+                ServeOutcome::Served => {}
+                ServeOutcome::Defer(req) => self.push_deferred(req),
             }
         }
     }
@@ -2209,21 +2754,26 @@ impl NodeCtx {
                 let registry = self.registry.clone();
                 let mut ctor_reader = Reader::new(&ctor_args.0);
                 let obj = registry.construct(&class, self, &mut ctor_reader)?;
-                let id = self.next_obj_id;
-                self.next_obj_id += 1;
-                self.objects.insert(id, Some(obj));
+                let id = self.shared.alloc_obj_id();
+                self.shared.insert_object(id, obj);
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&id)))
             }
             "destroy" => {
                 let object = u64::decode(args)?;
-                match self.objects.get(&object) {
-                    None => self.absent_outcome(object),
-                    Some(None) => Ok(DaemonOutcome::Busy), // mid-call: retry later
-                    Some(Some(_)) => {
-                        self.objects.remove(&object); // Drop runs the destructor
-                        self.object_calls.remove(&object);
-                        self.replica_meta.remove(&object);
-                        self.primaries.remove(&object);
+                match self.take_idle_entry(object) {
+                    TakeEntry::Absent => self.absent_outcome(object),
+                    TakeEntry::Busy => Ok(DaemonOutcome::Busy), // mid-call: retry later
+                    TakeEntry::Removed(entry) => {
+                        {
+                            let mut gates = self.shared.gates.lock();
+                            gates.object_calls.remove(&object);
+                            gates.replica_meta.remove(&object);
+                            gates.primaries.remove(&object);
+                        }
+                        // Queued requests answer NoSuchObject, as if they
+                        // had arrived after the destroy. Dropping the
+                        // entry runs the destructor.
+                        self.drain_removed_mailbox(entry);
                         Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
                     }
                 }
@@ -2231,27 +2781,37 @@ impl NodeCtx {
             "shutdown" => Ok(DaemonOutcome::ReplyThenHalt(wire::to_bytes(&()))),
             "snapshot" => {
                 let object = u64::decode(args)?;
-                match self.objects.get(&object) {
-                    None => self.absent_outcome(object),
-                    Some(None) => Ok(DaemonOutcome::Busy),
-                    Some(Some(obj)) => {
-                        let state = obj.snapshot_state()?;
-                        Ok(DaemonOutcome::Reply(wire::to_bytes(&Bytes(state))))
+                let snapped = {
+                    let guard = self.shared.shards[shard_of(object)].lock();
+                    match guard.get(&object) {
+                        None => None,
+                        Some(e) => match e.slot.as_ref() {
+                            None => Some(Err(())),
+                            Some(obj) => Some(Ok(obj.snapshot_state())),
+                        },
                     }
+                };
+                match snapped {
+                    None => self.absent_outcome(object),
+                    Some(Err(())) => Ok(DaemonOutcome::Busy),
+                    Some(Ok(state)) => Ok(DaemonOutcome::Reply(wire::to_bytes(&Bytes(state?)))),
                 }
             }
             "deactivate" => {
                 let object = u64::decode(args)?;
                 let key = String::decode(args)?;
-                match self.objects.get(&object) {
-                    None => self.absent_outcome(object),
-                    Some(None) => Ok(DaemonOutcome::Busy),
-                    Some(Some(obj)) => {
-                        let state = obj.snapshot_state()?;
-                        let class = obj.class_name().to_string();
+                match self.snapshot_and_remove(object) {
+                    SnapTake::Absent => self.absent_outcome(object),
+                    SnapTake::Busy => Ok(DaemonOutcome::Busy),
+                    SnapTake::Failed(e) => Err(e),
+                    SnapTake::Taken {
+                        class,
+                        state,
+                        entry,
+                    } => {
                         self.snapshots.insert(key, (class, state));
-                        self.objects.remove(&object);
-                        self.object_calls.remove(&object);
+                        self.shared.gates.lock().object_calls.remove(&object);
+                        self.drain_removed_mailbox(entry);
                         Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
                     }
                 }
@@ -2265,9 +2825,8 @@ impl NodeCtx {
                     .ok_or(RemoteError::NoSuchSnapshot { key })?;
                 let registry = self.registry.clone();
                 let obj = registry.restore(&class, self, &state)?;
-                let id = self.next_obj_id;
-                self.next_obj_id += 1;
-                self.objects.insert(id, Some(obj));
+                let id = self.shared.alloc_obj_id();
+                self.shared.insert_object(id, obj);
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&id)))
             }
             "drop_snapshot" => {
@@ -2292,20 +2851,33 @@ impl NodeCtx {
                 // Replicated objects are unmovable (DESIGN.md §11): a
                 // moving primary would race its own write propagation,
                 // and a moving replica is pointless — drop and re-adopt.
-                if self.primaries.contains_key(&object) || self.replica_meta.contains_key(&object) {
-                    return Err(RemoteError::Replicated { object });
+                {
+                    let gates = self.shared.gates.lock();
+                    if gates.primaries.contains_key(&object)
+                        || gates.replica_meta.contains_key(&object)
+                    {
+                        return Err(RemoteError::Replicated { object });
+                    }
                 }
-                match self.objects.get(&object) {
-                    None => self.absent_outcome(object),
-                    Some(None) => Ok(DaemonOutcome::Busy), // mid-call: quiesce later
-                    Some(Some(obj)) => {
-                        // Snapshot first: a non-persistent class fails here
-                        // with the object untouched.
-                        let state = obj.snapshot_state()?;
-                        let class = obj.class_name().to_string();
-                        self.objects.remove(&object);
-                        self.migrating
+                match self.snapshot_and_remove(object) {
+                    SnapTake::Absent => self.absent_outcome(object),
+                    SnapTake::Busy => Ok(DaemonOutcome::Busy), // mid-call: quiesce later
+                    // A non-persistent class fails with the object intact.
+                    SnapTake::Failed(e) => Err(e),
+                    SnapTake::Taken {
+                        class,
+                        state,
+                        entry,
+                    } => {
+                        // Park the state before draining the mailbox, so
+                        // the queued requests land in the deferred queue
+                        // (quiesce), not in NoSuchObject.
+                        self.shared
+                            .gates
+                            .lock()
+                            .migrating
                             .insert(object, (class.clone(), state.clone()));
+                        self.drain_removed_mailbox(entry);
                         let payload = MigrationPayload {
                             class,
                             state: Bytes(state),
@@ -2317,12 +2889,14 @@ impl NodeCtx {
             "migrate_commit" => {
                 let object = u64::decode(args)?;
                 let to = ObjRef::decode(args)?;
-                if self.migrating.remove(&object).is_some() {
-                    self.forwards.insert(object, to);
-                    self.object_calls.remove(&object);
-                    self.stats.migrated_out += 1;
+                let mut gates = self.shared.gates.lock();
+                if gates.migrating.remove(&object).is_some() {
+                    gates.forwards.insert(object, to);
+                    gates.object_calls.remove(&object);
+                    drop(gates);
+                    bump!(self.shared.stats, migrated_out);
                     Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
-                } else if self.forwards.get(&object) == Some(&to) {
+                } else if gates.forwards.get(&object) == Some(&to) {
                     // Dedup normally absorbs commit retransmits; this arm
                     // keeps the verb idempotent even across a dedup reset.
                     Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
@@ -2334,7 +2908,8 @@ impl NodeCtx {
             }
             "migrate_rollback" => {
                 let object = u64::decode(args)?;
-                match self.migrating.remove(&object) {
+                let parked = self.shared.gates.lock().migrating.remove(&object);
+                match parked {
                     Some((class, state)) => {
                         let registry = self.registry.clone();
                         match registry.restore(&class, self, &state) {
@@ -2342,19 +2917,26 @@ impl NodeCtx {
                                 // Restore under the ORIGINAL id: every
                                 // pointer minted before the aborted move
                                 // stays valid, no directory update needed.
-                                self.objects.insert(object, Some(obj));
+                                self.shared.insert_object(object, obj);
                                 Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
                             }
                             Err(e) => {
                                 // Keep the state parked rather than lose
                                 // the object; a later rollback can retry.
-                                self.migrating.insert(object, (class, state));
+                                self.shared
+                                    .gates
+                                    .lock()
+                                    .migrating
+                                    .insert(object, (class, state));
                                 Err(e)
                             }
                         }
                     }
                     // Idempotent: already rolled back.
-                    None if self.objects.contains_key(&object) => {
+                    None if self.shared.shards[shard_of(object)]
+                        .lock()
+                        .contains_key(&object) =>
+                    {
                         Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
                     }
                     None => Err(RemoteError::app(format!(
@@ -2369,17 +2951,18 @@ impl NodeCtx {
                 let state = Bytes::decode(args)?;
                 let registry = self.registry.clone();
                 let obj = registry.restore(&class, self, &state.0)?;
-                let id = self.next_obj_id;
-                self.next_obj_id += 1;
-                self.objects.insert(id, Some(obj));
-                self.stats.migrated_in += 1;
+                let id = self.shared.alloc_obj_id();
+                self.shared.insert_object(id, obj);
+                bump!(self.shared.stats, migrated_in);
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&id)))
             }
             "loads" => {
                 // Per-object served-call counters, sorted by id so the
                 // reply is deterministic — the balancer's load signal.
-                let mut loads: Vec<(u64, u64)> =
-                    self.object_calls.iter().map(|(&o, &c)| (o, c)).collect();
+                let mut loads: Vec<(u64, u64)> = {
+                    let gates = self.shared.gates.lock();
+                    gates.object_calls.iter().map(|(&o, &c)| (o, c)).collect()
+                };
                 loads.sort_unstable();
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&loads)))
             }
@@ -2389,8 +2972,9 @@ impl NodeCtx {
                 // the machine may serve supervised objects for another
                 // `ttl` from *now*.
                 let ttl = u64::decode(args)?;
-                self.lease_deadline = Some(self.clock.now_nanos() + ttl * 1_000_000);
-                self.stats.heartbeats_served += 1;
+                self.shared.gates.lock().lease_deadline =
+                    Some(self.clock.now_nanos() + ttl * 1_000_000);
+                bump!(self.shared.stats, heartbeats_served);
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
             }
             "set_epoch" => {
@@ -2398,7 +2982,8 @@ impl NodeCtx {
                 // only move forward; a lower value is a stale retransmit.
                 let object = u64::decode(args)?;
                 let epoch = u64::decode(args)?;
-                let e = self.epochs.entry(object).or_insert(0);
+                let mut gates = self.shared.gates.lock();
+                let e = gates.epochs.entry(object).or_insert(0);
                 if epoch > *e {
                     *e = epoch;
                 }
@@ -2407,7 +2992,7 @@ impl NodeCtx {
             "activate_fenced" => {
                 // Takeover half of a recovery: the restored incarnation is
                 // registered at its bumped epoch before any call can reach
-                // it (activation and fencing are one atomic daemon step).
+                // it (the epoch lands before the object becomes visible).
                 let key = String::decode(args)?;
                 let epoch = u64::decode(args)?;
                 let (class, state) = self
@@ -2417,10 +3002,9 @@ impl NodeCtx {
                     .ok_or(RemoteError::NoSuchSnapshot { key })?;
                 let registry = self.registry.clone();
                 let obj = registry.restore(&class, self, &state)?;
-                let id = self.next_obj_id;
-                self.next_obj_id += 1;
-                self.objects.insert(id, Some(obj));
-                self.epochs.insert(id, epoch);
+                let id = self.shared.alloc_obj_id();
+                self.shared.gates.lock().epochs.insert(id, epoch);
+                self.shared.insert_object(id, obj);
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&id)))
             }
             "fence" => {
@@ -2430,17 +3014,26 @@ impl NodeCtx {
                 let object = u64::decode(args)?;
                 let epoch = u64::decode(args)?;
                 let to = ObjRef::decode(args)?;
-                if matches!(self.objects.get(&object), Some(None)) {
-                    return Ok(DaemonOutcome::Busy); // mid-call: fence after
+                let entry = match self.take_idle_entry(object) {
+                    TakeEntry::Busy => return Ok(DaemonOutcome::Busy), // mid-call: fence after
+                    TakeEntry::Removed(entry) => Some(entry),
+                    TakeEntry::Absent => None,
+                };
+                {
+                    let mut gates = self.shared.gates.lock();
+                    gates.migrating.remove(&object);
+                    gates.object_calls.remove(&object);
+                    let e = gates.epochs.entry(object).or_insert(0);
+                    if epoch > *e {
+                        *e = epoch;
+                    }
+                    gates.forwards.insert(object, to);
                 }
-                self.objects.remove(&object);
-                self.migrating.remove(&object);
-                self.object_calls.remove(&object);
-                let e = self.epochs.entry(object).or_insert(0);
-                if epoch > *e {
-                    *e = epoch;
+                // Gates first, then the drain: the queued requests resolve
+                // against the forwarding stub installed above.
+                if let Some(entry) = entry {
+                    self.drain_removed_mailbox(entry);
                 }
-                self.forwards.insert(object, to);
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
             }
             "replica_adopt" => {
@@ -2462,10 +3055,10 @@ impl NodeCtx {
                          (nothing a replica could serve)"
                     )));
                 }
-                let id = self.next_obj_id;
-                self.next_obj_id += 1;
-                self.objects.insert(id, Some(obj));
-                self.replica_meta.insert(
+                let id = self.shared.alloc_obj_id();
+                // Meta before object: the coherence gate must already be
+                // in place when the first read can reach the entry.
+                self.shared.gates.lock().replica_meta.insert(
                     id,
                     ReplicaMeta {
                         primary,
@@ -2474,6 +3067,7 @@ impl NodeCtx {
                         read_verbs,
                     },
                 );
+                self.shared.insert_object(id, obj);
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&id)))
             }
             "replica_sync" => {
@@ -2485,21 +3079,44 @@ impl NodeCtx {
                 let state = Bytes::decode(args)?;
                 let rs_epoch = u64::decode(args)?;
                 let lease_millis = u64::decode(args)?;
-                let Some(meta) = self.replica_meta.get(&object) else {
-                    return self.absent_outcome(object);
+                let fresh = match self.shared.gates.lock().replica_meta.get(&object) {
+                    None => return self.absent_outcome(object),
+                    Some(meta) => rs_epoch >= meta.rs_epoch,
                 };
-                let fresh = rs_epoch >= meta.rs_epoch;
-                match self.objects.get(&object) {
-                    None => self.absent_outcome(object),
-                    Some(None) => Ok(DaemonOutcome::Busy), // mid-read: sync after
-                    Some(Some(obj)) => {
-                        if fresh {
-                            let class = obj.class_name().to_string();
-                            let registry = self.registry.clone();
-                            let replaced = registry.restore(&class, self, &state.0)?;
-                            self.objects.insert(object, Some(replaced));
+                let class = {
+                    let guard = self.shared.shards[shard_of(object)].lock();
+                    match guard.get(&object) {
+                        None => return self.absent_outcome(object),
+                        Some(e) => match e.slot.as_ref() {
+                            None => return Ok(DaemonOutcome::Busy), // mid-read: sync after
+                            Some(obj) => obj.class_name().to_string(),
+                        },
+                    }
+                };
+                if fresh {
+                    let registry = self.registry.clone();
+                    let replaced = registry.restore(&class, self, &state.0)?;
+                    // Re-take the shard lock (restore may itself serve):
+                    // if a worker checked the replica out meanwhile, come
+                    // back once it is idle rather than swap mid-read.
+                    let mut guard = self.shared.shards[shard_of(object)].lock();
+                    match guard.get_mut(&object) {
+                        None => return self.absent_outcome(object),
+                        Some(e) => {
+                            if e.slot.is_none() {
+                                return Ok(DaemonOutcome::Busy);
+                            }
+                            e.slot = Some(replaced);
                         }
-                        let meta = self.replica_meta.get_mut(&object).expect("checked above");
+                    }
+                }
+                let mut gates = self.shared.gates.lock();
+                match gates.replica_meta.get_mut(&object) {
+                    None => {
+                        drop(gates);
+                        self.absent_outcome(object)
+                    }
+                    Some(meta) => {
                         if rs_epoch > meta.rs_epoch {
                             meta.rs_epoch = rs_epoch;
                         }
@@ -2515,28 +3132,48 @@ impl NodeCtx {
                 let object = u64::decode(args)?;
                 let rs_epoch = u64::decode(args)?;
                 let lease_millis = u64::decode(args)?;
-                match self.replica_meta.get_mut(&object) {
-                    None => self.absent_outcome(object),
-                    Some(meta) => {
-                        let current = meta.rs_epoch == rs_epoch;
-                        if current {
-                            meta.lease_until = self.clock.now_nanos() + lease_millis * 1_000_000;
+                let renewed = {
+                    let mut gates = self.shared.gates.lock();
+                    match gates.replica_meta.get_mut(&object) {
+                        None => None,
+                        Some(meta) => {
+                            let current = meta.rs_epoch == rs_epoch;
+                            if current {
+                                meta.lease_until =
+                                    self.clock.now_nanos() + lease_millis * 1_000_000;
+                            }
+                            Some(current)
                         }
-                        Ok(DaemonOutcome::Reply(wire::to_bytes(&current)))
                     }
+                };
+                match renewed {
+                    None => self.absent_outcome(object),
+                    Some(current) => Ok(DaemonOutcome::Reply(wire::to_bytes(&current))),
                 }
             }
             "replica_drop" => {
                 // Tear down a replica; a forwarding stub toward the
                 // primary heals any route still pointing here. Idempotent.
                 let object = u64::decode(args)?;
-                if matches!(self.objects.get(&object), Some(None)) {
-                    return Ok(DaemonOutcome::Busy); // mid-read: drop after
-                }
-                if let Some(meta) = self.replica_meta.remove(&object) {
-                    self.objects.remove(&object);
-                    self.object_calls.remove(&object);
-                    self.forwards.insert(object, meta.primary);
+                let entry = {
+                    let mut guard = self.shared.shards[shard_of(object)].lock();
+                    if matches!(guard.get(&object), Some(e) if e.slot.is_none()) {
+                        return Ok(DaemonOutcome::Busy); // mid-read: drop after
+                    }
+                    // Lock order shard → gates, both held so the removal
+                    // and the forwarding stub appear atomically.
+                    let mut gates = self.shared.gates.lock();
+                    match gates.replica_meta.remove(&object) {
+                        Some(meta) => {
+                            gates.object_calls.remove(&object);
+                            gates.forwards.insert(object, meta.primary);
+                            guard.remove(&object)
+                        }
+                        None => None,
+                    }
+                };
+                if let Some(entry) = entry {
+                    self.drain_removed_mailbox(entry);
                 }
                 Ok(DaemonOutcome::Reply(wire::to_bytes(&())))
             }
@@ -2549,16 +3186,20 @@ impl NodeCtx {
                 let rs_epoch = u64::decode(args)?;
                 let write_through = bool::decode(args)?;
                 let lease_millis = u64::decode(args)?;
-                if !self.objects.contains_key(&object) {
+                if !self.shared.shards[shard_of(object)]
+                    .lock()
+                    .contains_key(&object)
+                {
                     return self.absent_outcome(object);
                 }
+                let mut gates = self.shared.gates.lock();
                 if replicas.is_empty() && lease_millis == 0 {
                     // Detach: an empty set with no lease is `unreplicate`
                     // tearing the record down — the object becomes a
                     // normal (and movable) single process again.
-                    self.primaries.remove(&object);
+                    gates.primaries.remove(&object);
                 } else {
-                    self.primaries.insert(
+                    gates.primaries.insert(
                         object,
                         PrimaryMeta {
                             replicas,
@@ -2573,22 +3214,26 @@ impl NodeCtx {
             "replica_status" => {
                 // Introspection for the replica manager: both roles answer.
                 let object = u64::decode(args)?;
-                let status = if let Some(pm) = self.primaries.get(&object) {
-                    ReplicaStatus {
-                        is_primary: true,
-                        rs_epoch: pm.rs_epoch,
-                        replicas: pm.replicas.clone(),
+                let status = {
+                    let gates = self.shared.gates.lock();
+                    if let Some(pm) = gates.primaries.get(&object) {
+                        Some(ReplicaStatus {
+                            is_primary: true,
+                            rs_epoch: pm.rs_epoch,
+                            replicas: pm.replicas.clone(),
+                        })
+                    } else {
+                        gates.replica_meta.get(&object).map(|meta| ReplicaStatus {
+                            is_primary: false,
+                            rs_epoch: meta.rs_epoch,
+                            replicas: vec![meta.primary],
+                        })
                     }
-                } else if let Some(meta) = self.replica_meta.get(&object) {
-                    ReplicaStatus {
-                        is_primary: false,
-                        rs_epoch: meta.rs_epoch,
-                        replicas: vec![meta.primary],
-                    }
-                } else {
-                    return self.absent_outcome(object);
                 };
-                Ok(DaemonOutcome::Reply(wire::to_bytes(&status)))
+                match status {
+                    None => self.absent_outcome(object),
+                    Some(status) => Ok(DaemonOutcome::Reply(wire::to_bytes(&status))),
+                }
             }
             "replica_promote" => {
                 // Failover: the replica becomes a normal object fenced at
@@ -2596,14 +3241,22 @@ impl NodeCtx {
                 // the surviving set afterwards.
                 let object = u64::decode(args)?;
                 let epoch = u64::decode(args)?;
-                if matches!(self.objects.get(&object), Some(None)) {
-                    return Ok(DaemonOutcome::Busy); // mid-read: promote after
+                {
+                    let guard = self.shared.shards[shard_of(object)].lock();
+                    match guard.get(&object) {
+                        None => {
+                            drop(guard);
+                            return self.absent_outcome(object);
+                        }
+                        Some(e) if e.slot.is_none() => {
+                            return Ok(DaemonOutcome::Busy); // mid-read: promote after
+                        }
+                        Some(_) => {}
+                    }
                 }
-                if !self.objects.contains_key(&object) {
-                    return self.absent_outcome(object);
-                }
-                self.replica_meta.remove(&object);
-                let e = self.epochs.entry(object).or_insert(0);
+                let mut gates = self.shared.gates.lock();
+                gates.replica_meta.remove(&object);
+                let e = gates.epochs.entry(object).or_insert(0);
                 if epoch > *e {
                     *e = epoch;
                 }
@@ -2621,10 +3274,11 @@ impl NodeCtx {
     /// (quiesce), forwarded ids redirect, anything else never existed
     /// here.
     fn absent_outcome(&self, object: ObjectId) -> RemoteResult<DaemonOutcome> {
-        if self.migrating.contains_key(&object) {
+        let gates = self.shared.gates.lock();
+        if gates.migrating.contains_key(&object) {
             return Ok(DaemonOutcome::Busy);
         }
-        if let Some(&to) = self.forwards.get(&object) {
+        if let Some(&to) = gates.forwards.get(&object) {
             return Err(RemoteError::Moved { to });
         }
         Err(RemoteError::NoSuchObject {
@@ -2653,14 +3307,18 @@ impl NodeCtx {
     fn send_response(&mut self, reply_to: MachineId, req_id: u64, result: RemoteResult<Vec<u8>>) {
         // Cache the response so a retransmitted copy of this request is
         // answered without re-executing (at-most-once).
-        self.dedup.complete((reply_to, req_id), &result);
+        self.shared
+            .dedup
+            .lock()
+            .complete((reply_to, req_id), &result);
         let frame = Frame::Response {
             req_id,
             result: result.map(Bytes),
         };
         let bytes = wire::to_bytes(&frame);
         if let Some(tracer) = &self.tracer {
-            if let Some(t) = self.serving_spans.remove(&(reply_to, req_id)) {
+            let t = self.shared.serving_spans.lock().remove(&(reply_to, req_id));
+            if let Some(t) = t {
                 tracer.record(
                     EventKind::ServerReply,
                     reply_to,
@@ -2681,9 +3339,8 @@ impl NodeCtx {
     /// Register a locally constructed object (used by the runtime to host
     /// driver-side objects and by tests). Returns its reference.
     pub fn adopt(&mut self, obj: Box<dyn ServerObject>) -> ObjRef {
-        let id = self.next_obj_id;
-        self.next_obj_id += 1;
-        self.objects.insert(id, Some(obj));
+        let id = self.shared.alloc_obj_id();
+        self.shared.insert_object(id, obj);
         ObjRef {
             machine: self.machine,
             object: id,

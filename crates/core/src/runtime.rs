@@ -5,7 +5,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use simnet::{ClusterConfig, MachineId, Metrics, MetricsSnapshot, SimCluster, TraceClock};
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+use sched::{Injector, StealOrder};
+use simnet::{
+    ClusterConfig, MachineId, Metrics, MetricsSnapshot, SimCluster, TraceClock, WORKER_LABEL_BASE,
+};
 use wire::collections::Bytes;
 
 use crate::array::{ByteBlock, DoubleBlock};
@@ -13,9 +18,10 @@ use crate::frame::Frame;
 use crate::group::Barrier;
 use crate::ids::ObjRef;
 use crate::naming::{Directory, DirectoryClient};
-use crate::node::NodeCtx;
+use crate::node::{NodeCtx, WorkerLane};
 use crate::policy::CallPolicy;
 use crate::process::{ClassRegistry, RemoteClient, ServerClass};
+use crate::shared::{Pool, Sched, SharedNode};
 use crate::trace::{Recorder, TraceCtx, DEFAULT_TRACE_CAPACITY};
 
 /// Configures and launches an oopp cluster.
@@ -30,6 +36,7 @@ use crate::trace::{Recorder, TraceCtx, DEFAULT_TRACE_CAPACITY};
 /// ```
 pub struct ClusterBuilder {
     workers: usize,
+    sched_workers: usize,
     sim_config: ClusterConfig,
     registry: ClassRegistry,
     policy: CallPolicy,
@@ -49,11 +56,25 @@ impl ClusterBuilder {
         registry.register::<Directory>();
         ClusterBuilder {
             workers,
+            sched_workers: 0,
             sim_config: ClusterConfig::zero_cost(workers + 1),
             registry,
             policy: CallPolicy::default(),
             tracing: false,
         }
+    }
+
+    /// Attach an M:N work-stealing execution pool of `n` worker lanes to
+    /// every machine (DESIGN.md §13). With `n = 0` (the default) each
+    /// machine is the classic single thread: the dispatcher executes
+    /// objects inline. With `n > 0` the dispatcher only admits requests to
+    /// per-object mailboxes; `n` extra OS threads per machine execute them,
+    /// stealing mailbox tasks from each other when their own deques run
+    /// dry. Per-object sequential-server semantics are preserved either
+    /// way.
+    pub fn sched_workers(mut self, n: usize) -> Self {
+        self.sched_workers = n;
+        self
     }
 
     /// Replace the substrate configuration (topology, disks, costs). The
@@ -105,6 +126,7 @@ impl ClusterBuilder {
     pub fn build(self) -> (Cluster, Driver) {
         let ClusterBuilder {
             workers,
+            sched_workers,
             sim_config,
             registry,
             policy,
@@ -113,16 +135,91 @@ impl ClusterBuilder {
         let sim = SimCluster::new(sim_config);
         let registry = Arc::new(registry);
         let recorder = tracing.then(|| {
-            Arc::new(Recorder::with_clock(
+            Arc::new(Recorder::with_lanes(
                 workers + 1,
+                sched_workers + 1,
                 DEFAULT_TRACE_CAPACITY,
                 TraceClock::from_clock(sim.clock()),
             ))
         });
+        // Victim permutations derive from the simulation seed so a virtual-
+        // time run replays its steal order exactly (tests/determinism.rs).
+        let steal_seed = sim.clock().seed().unwrap_or(0x9e37_79b9_7f4a_7c15);
 
-        let mut threads = Vec::with_capacity(workers);
+        let mut threads = Vec::with_capacity(workers * (sched_workers + 1));
         for m in 0..workers {
-            let mut ctx = NodeCtx::new(
+            if sched_workers == 0 {
+                let mut ctx = NodeCtx::new(
+                    m,
+                    workers,
+                    sim.net().clone(),
+                    sim.take_inbox(m),
+                    registry.clone(),
+                    sim.disks(m).to_vec(),
+                    policy,
+                    recorder.as_ref().map(|r| r.tracer_lane(m, 0)),
+                );
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("oopp-machine-{m}"))
+                        .spawn(move || ctx.serve_loop())
+                        .expect("spawn machine thread"),
+                );
+                continue;
+            }
+
+            // Pooled machine: build the deques and control channels first,
+            // wire the shared half into `SharedNode`, then spawn the lanes.
+            let deques: Vec<sched::Worker<_>> =
+                (0..sched_workers).map(|_| sched::Worker::new()).collect();
+            let stealers = deques.iter().map(|d| d.stealer()).collect();
+            let mut txs = Vec::with_capacity(sched_workers);
+            let mut rxs = Vec::with_capacity(sched_workers);
+            for _ in 0..sched_workers {
+                let (tx, rx) = unbounded();
+                txs.push(tx);
+                rxs.push(rx);
+            }
+            let labels: Vec<u64> = (0..sched_workers)
+                .map(|w| WORKER_LABEL_BASE + (m as u64) * 256 + w as u64)
+                .collect();
+            let pool = Pool {
+                injector: Injector::new(),
+                stealers,
+                txs,
+                labels: labels.clone(),
+                idle: Mutex::new(vec![false; sched_workers]),
+                steal_order: StealOrder::new(sched::mix64(steal_seed ^ (m as u64 + 1))),
+            };
+            let shared = Arc::new(SharedNode::new(Sched::Pool(pool)));
+
+            for (w, (rx, deque)) in rxs.into_iter().zip(deques).enumerate() {
+                let lane = WorkerLane {
+                    rx,
+                    label: labels[w],
+                    index: w,
+                    deque,
+                };
+                let mut ctx = NodeCtx::new_worker(
+                    m,
+                    workers,
+                    sim.net().clone(),
+                    lane,
+                    registry.clone(),
+                    sim.disks(m).to_vec(),
+                    policy,
+                    recorder.as_ref().map(|r| r.tracer_lane(m, w + 1)),
+                    shared.clone(),
+                );
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("oopp-machine-{m}-w{w}"))
+                        .spawn(move || ctx.worker_loop())
+                        .expect("spawn worker lane thread"),
+                );
+            }
+
+            let mut ctx = NodeCtx::new_dispatcher(
                 m,
                 workers,
                 sim.net().clone(),
@@ -130,7 +227,8 @@ impl ClusterBuilder {
                 registry.clone(),
                 sim.disks(m).to_vec(),
                 policy,
-                recorder.as_ref().map(|r| r.tracer(m)),
+                recorder.as_ref().map(|r| r.tracer_lane(m, 0)),
+                shared,
             );
             threads.push(
                 std::thread::Builder::new()
@@ -149,7 +247,7 @@ impl ClusterBuilder {
             registry.clone(),
             sim.disks(driver_id).to_vec(),
             policy,
-            recorder.as_ref().map(|r| r.tracer(driver_id)),
+            recorder.as_ref().map(|r| r.tracer_lane(driver_id, 0)),
         );
 
         // The cluster name service lives on machine 0 (§5 symbolic

@@ -205,6 +205,9 @@ pub struct SpanEvent {
     pub kind: EventKind,
     /// Machine that recorded the event.
     pub machine: MachineId,
+    /// Scheduler lane that recorded the event: 0 for the dispatcher (and
+    /// for single-threaded machines), `w + 1` for pool worker `w`.
+    pub worker: u32,
     /// The other endpoint: target machine for client events, `reply_to`
     /// for server events.
     pub peer: MachineId,
@@ -306,10 +309,13 @@ impl std::fmt::Debug for SpanRing {
     }
 }
 
-/// One machine's handle into the recorder: its ring plus the shared clock.
+/// One lane's handle into the recorder: its ring plus the shared clock.
+/// Each scheduler lane of a machine gets its **own** ring (the ring is
+/// single-producer), all stamped with the machine's id plus the lane number.
 #[derive(Clone)]
 pub struct Tracer {
     machine: MachineId,
+    worker: u32,
     clock: TraceClock,
     ring: Arc<SpanRing>,
 }
@@ -339,6 +345,7 @@ impl Tracer {
             at_nanos: self.clock.now_nanos(),
             kind,
             machine: self.machine,
+            worker: self.worker,
             peer,
             trace_id,
             span_id,
@@ -369,7 +376,11 @@ impl std::fmt::Debug for Tracer {
 #[derive(Debug)]
 pub struct Recorder {
     clock: TraceClock,
+    /// One ring per lane, laid out `machine * lanes + lane`.
     rings: Vec<Arc<SpanRing>>,
+    /// Rings per machine: 1 for single-threaded machines, `sched_workers + 1`
+    /// when an execution pool is attached (lane 0 is the dispatcher).
+    lanes: usize,
 }
 
 impl Recorder {
@@ -383,22 +394,42 @@ impl Recorder {
     /// [`TraceClock::from_clock`] handle so virtual-time runs record virtual
     /// nanos and replay byte-for-byte.
     pub fn with_clock(machines: usize, capacity: usize, clock: TraceClock) -> Self {
-        let rings = (0..machines)
-            .map(|_| Arc::new(SpanRing::new(capacity)))
-            .collect();
-        Recorder { clock, rings }
+        Self::with_lanes(machines, 1, capacity, clock)
     }
 
-    /// The handle machine `m` records through.
-    pub fn tracer(&self, machine: MachineId) -> Tracer {
-        Tracer {
-            machine,
-            clock: self.clock.clone(),
-            ring: self.rings[machine].clone(),
+    /// A recorder for machines running `lanes` scheduler lanes each
+    /// (dispatcher + pool workers). Every lane records into its own
+    /// single-producer ring.
+    pub fn with_lanes(machines: usize, lanes: usize, capacity: usize, clock: TraceClock) -> Self {
+        assert!(lanes > 0, "a machine has at least its dispatcher lane");
+        let rings = (0..machines * lanes)
+            .map(|_| Arc::new(SpanRing::new(capacity)))
+            .collect();
+        Recorder {
+            clock,
+            rings,
+            lanes,
         }
     }
 
-    /// Merge every machine's retained events into one time-ordered
+    /// The handle machine `m` records through (its dispatcher lane).
+    pub fn tracer(&self, machine: MachineId) -> Tracer {
+        self.tracer_lane(machine, 0)
+    }
+
+    /// The handle lane `lane` of machine `m` records through. Lane 0 is the
+    /// dispatcher; pool worker `w` is lane `w + 1`.
+    pub fn tracer_lane(&self, machine: MachineId, lane: usize) -> Tracer {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        Tracer {
+            machine,
+            worker: lane as u32,
+            clock: self.clock.clone(),
+            ring: self.rings[machine * self.lanes + lane].clone(),
+        }
+    }
+
+    /// Merge every lane's retained events into one time-ordered
     /// [`Trace`]. Only call after the producers quiesced (post-shutdown).
     pub fn merge(&self) -> Trace {
         let mut events = Vec::new();
@@ -408,7 +439,7 @@ impl Recorder {
             dropped += ring.recorded() - retained.len() as u64;
             events.extend(retained);
         }
-        events.sort_by_key(|e| (e.at_nanos, e.machine, e.span_id));
+        events.sort_by_key(|e| (e.at_nanos, e.machine, e.worker, e.span_id));
         Trace { events, dropped }
     }
 }
@@ -685,7 +716,7 @@ impl Trace {
                             micros(s.at_nanos),
                             micros(e.at_nanos.saturating_sub(s.at_nanos)),
                             s.machine,
-                            s.machine,
+                            s.worker,
                             s.trace_id,
                             s.span_id,
                             s.parent_span,
@@ -706,7 +737,7 @@ impl Trace {
                             micros(d.at_nanos),
                             micros(e.at_nanos.saturating_sub(d.at_nanos)),
                             d.machine,
-                            d.machine,
+                            d.worker,
                             d.trace_id,
                             d.span_id,
                             d.parent_span,
@@ -729,7 +760,7 @@ impl Trace {
                         json_string(&name),
                         micros(e.at_nanos),
                         e.machine,
-                        e.machine,
+                        e.worker,
                         e.trace_id,
                         e.span_id,
                         e.req_id,
@@ -749,7 +780,7 @@ impl Trace {
                         json_string(&name),
                         micros(e.at_nanos),
                         e.machine,
-                        e.machine,
+                        e.worker,
                         e.trace_id,
                         e.span_id,
                         e.peer,
@@ -774,7 +805,7 @@ impl Trace {
                         json_string(&name),
                         micros(e.at_nanos),
                         e.machine,
-                        e.machine,
+                        e.worker,
                         e.peer,
                         e.bytes,
                     );
@@ -796,7 +827,7 @@ impl Trace {
                         json_string(&name),
                         micros(e.at_nanos),
                         e.machine,
-                        e.machine,
+                        e.worker,
                         e.peer,
                         e.bytes,
                     );
@@ -863,6 +894,7 @@ mod tests {
             at_nanos: at,
             kind,
             machine: 0,
+            worker: 0,
             peer: 1,
             trace_id: span,
             span_id: span,

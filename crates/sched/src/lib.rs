@@ -1,0 +1,572 @@
+//! Work-stealing scheduler primitives for the M:N object scheduler.
+//!
+//! The paper's machine model is thousands of live objects, each a sequential
+//! server. One OS thread per machine serializes them; this crate supplies the
+//! pieces that let a small pool of workers serve them concurrently while each
+//! object still runs one call at a time:
+//!
+//! * [`Worker`] / [`Stealer`] — a Chase–Lev work-stealing deque. The owning
+//!   worker pushes and pops tasks LIFO at the bottom (cache-warm, no
+//!   contention in the common case); thieves steal FIFO from the top with a
+//!   single CAS.
+//! * [`Injector`] — a shared FIFO inbox for tasks produced off-pool (the
+//!   machine's dispatcher thread admitting requests).
+//! * [`StealOrder`] — a seeded victim permutation, so that under virtual time
+//!   the order in which an idle worker probes its peers is a replayable
+//!   function of `(seed, thief, round)` rather than of OS scheduling noise.
+//!
+//! Tasks carry no locking themselves: the deque hands out each pushed value
+//! exactly once (to the owner or to one thief), which is the scheduler-side
+//! half of the run-to-completion guarantee. The object-side half (an object
+//! is owned by at most one worker at a time) lives in `oopp::node`.
+//!
+//! The deque is the Le–Pop–Cohen–Nardelli formulation of Chase–Lev with C11
+//! orderings. Buffers grow geometrically and retired buffers are parked until
+//! the deque drops, so a thief holding a stale buffer pointer never reads
+//! freed memory.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicI64, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// SplitMix64 finalizer: the same bit mixer simnet's virtual clock uses for
+/// event tiebreaks, duplicated here so `sched` stays dependency-free.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Outcome of a [`Stealer::steal`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Fixed-capacity circular buffer; capacity is a power of two so index
+/// wrapping is a mask. Slots are `MaybeUninit`: ownership of an element is
+/// tracked by the deque's `top`/`bottom` indices, not by the buffer.
+struct Buffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> *mut Buffer<T> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::into_raw(Box::new(Buffer {
+            slots,
+            mask: cap - 1,
+        }))
+    }
+
+    fn cap(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Write the slot for logical index `i`. Caller must own that slot.
+    unsafe fn write(&self, i: i64, v: T) {
+        let slot = self.slots[(i as usize) & self.mask].get();
+        (*slot).write(v);
+    }
+
+    /// Copy the bits at logical index `i`. The caller is responsible for
+    /// making at most one of the copies ever act as the owned value.
+    unsafe fn read(&self, i: i64) -> T {
+        let slot = self.slots[(i as usize) & self.mask].get();
+        (*slot).as_ptr().read()
+    }
+}
+
+struct Inner<T> {
+    /// Steal end. Only ever incremented (by a successful steal or by the
+    /// owner taking the last element).
+    top: AtomicI64,
+    /// Owner end. Only the owner writes it.
+    bottom: AtomicI64,
+    /// Current buffer. Swapped by the owner on grow.
+    buf: AtomicPtr<Buffer<T>>,
+    /// Buffers retired by grow, freed when the deque drops. A thief that
+    /// loaded the old pointer may still be reading from one.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        let buf = *self.buf.get_mut();
+        unsafe {
+            for i in t..b {
+                drop((*buf).read(i));
+            }
+            drop(Box::from_raw(buf));
+            let retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+            for old in retired.iter() {
+                drop(Box::from_raw(*old));
+            }
+        }
+    }
+}
+
+/// The owning side of a work-stealing deque. Exactly one thread holds it;
+/// it pushes and pops at the bottom without contending with thieves except
+/// on the final element.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// `Worker` is Send (the pool moves it into its thread) but not Sync.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+unsafe impl<T: Send> Send for Worker<T> {}
+
+/// The stealing side: clone freely, one per peer worker.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Send> Worker<T> {
+    /// A fresh deque with a small initial buffer.
+    pub fn new() -> Self {
+        Worker {
+            inner: Arc::new(Inner {
+                top: AtomicI64::new(0),
+                bottom: AtomicI64::new(0),
+                buf: AtomicPtr::new(Buffer::alloc(64)),
+                retired: Mutex::new(Vec::new()),
+            }),
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// A handle thieves steal through.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Number of queued tasks (racy; for heuristics and tests only).
+    pub fn len(&self) -> usize {
+        let i = &self.inner;
+        let b = i.bottom.load(Ordering::Relaxed);
+        let t = i.top.load(Ordering::Relaxed);
+        b.saturating_sub(t).max(0) as usize
+    }
+
+    /// True when no tasks are queued (racy; heuristics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push a task at the bottom (owner side).
+    pub fn push(&self, v: T) {
+        let i = &self.inner;
+        let b = i.bottom.load(Ordering::Relaxed);
+        let t = i.top.load(Ordering::Acquire);
+        let mut buf = i.buf.load(Ordering::Relaxed);
+        unsafe {
+            if b - t >= (*buf).cap() as i64 {
+                buf = self.grow(buf, b, t);
+            }
+            (*buf).write(b, v);
+        }
+        // Publish the slot write before advancing bottom, so a thief that
+        // observes the new bottom also observes the element.
+        i.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pop a task from the bottom, LIFO (owner side).
+    pub fn pop(&self) -> Option<T> {
+        let i = &self.inner;
+        let b = i.bottom.load(Ordering::Relaxed) - 1;
+        i.bottom.store(b, Ordering::Relaxed);
+        // The owner's bottom decrement must be globally visible before it
+        // reads top, or a concurrent thief and owner could both take the
+        // last element.
+        fence(Ordering::SeqCst);
+        let t = i.top.load(Ordering::Relaxed);
+        if b < t {
+            // Empty: restore.
+            i.bottom.store(t, Ordering::Relaxed);
+            return None;
+        }
+        let buf = i.buf.load(Ordering::Relaxed);
+        let v = unsafe { (*buf).read(b) };
+        if b > t {
+            return Some(v);
+        }
+        // Last element: race the thieves for it.
+        let won = i
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        i.bottom.store(t + 1, Ordering::Relaxed);
+        if won {
+            Some(v)
+        } else {
+            // A thief owns it; our bitwise copy must not drop.
+            std::mem::forget(v);
+            None
+        }
+    }
+
+    /// Double the buffer, copying live elements. The old buffer is retired,
+    /// not freed: a thief may still hold its pointer.
+    unsafe fn grow(&self, old: *mut Buffer<T>, b: i64, t: i64) -> *mut Buffer<T> {
+        let new = Buffer::alloc((*old).cap() * 2);
+        for idx in t..b {
+            (*new).write(idx, (*old).read(idx));
+        }
+        self.inner.buf.store(new, Ordering::Release);
+        self.inner
+            .retired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(old);
+        new
+    }
+}
+
+impl<T: Send> Default for Worker<T> {
+    fn default() -> Self {
+        Worker::new()
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Steal one task from the top, FIFO.
+    pub fn steal(&self) -> Steal<T> {
+        let i = &self.inner;
+        let t = i.top.load(Ordering::Acquire);
+        // Order the top read before the bottom read, so we never see a
+        // bottom that predates the top we claim against.
+        fence(Ordering::SeqCst);
+        let b = i.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read the element *before* claiming it: after the CAS the owner may
+        // immediately overwrite the slot. The buffer itself can be stale
+        // (owner grew concurrently) but is never freed while we run —
+        // retired buffers are parked until the deque drops — and a stale
+        // buffer still holds index `t` intact, because grow only retires a
+        // buffer after copying the live range and the owner can't reuse
+        // slot `t` until top moves past it.
+        let buf = i.buf.load(Ordering::Acquire);
+        let v = unsafe { (*buf).read(t) };
+        if i.top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            // Someone else claimed index t; our copy is not ours to drop.
+            std::mem::forget(v);
+            return Steal::Retry;
+        }
+        Steal::Success(v)
+    }
+
+    /// Racy emptiness check (heuristics only).
+    pub fn is_empty(&self) -> bool {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        t >= b
+    }
+}
+
+/// A shared FIFO inbox: the machine dispatcher pushes admitted tasks here;
+/// idle workers drain it before stealing from peers. A plain mutexed queue —
+/// it is the cold path (one push per admitted request), and correctness
+/// under the virtual clock matters more than lock-freedom.
+pub struct Injector<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            q: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueue at the back.
+    pub fn push(&self, v: T) {
+        self.q
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(v);
+    }
+
+    /// Dequeue from the front.
+    pub fn pop(&self) -> Option<T> {
+        self.q.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+    }
+
+    /// Racy emptiness check (heuristics only).
+    pub fn is_empty(&self) -> bool {
+        self.q.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+    }
+
+    /// Racy length (heuristics and stats).
+    pub fn len(&self) -> usize {
+        self.q.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+/// Seeded victim selection. For a pool of `n` workers, thief `w` on its
+/// `round`-th probe visits the other `n - 1` workers in a permutation that
+/// is a pure function of `(seed, w, round)` — deterministic under virtual
+/// time, varied across seeds so steal patterns actually differ per run.
+#[derive(Debug, Clone, Copy)]
+pub struct StealOrder {
+    seed: u64,
+}
+
+impl StealOrder {
+    pub fn new(seed: u64) -> Self {
+        StealOrder { seed }
+    }
+
+    /// The permutation of victim indices (excluding `thief`) for this probe.
+    pub fn victims(&self, thief: usize, round: u64, n: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..n).filter(|&i| i != thief).collect();
+        if v.len() < 2 {
+            return v;
+        }
+        // Fisher–Yates driven by a splitmix stream keyed off (seed, thief,
+        // round). Each swap draws a fresh mixed word.
+        let key = mix64(self.seed ^ (thief as u64).wrapping_mul(0x9E37_79B9) ^ round);
+        let mut state = key;
+        for i in (1..v.len()).rev() {
+            state = mix64(state);
+            let j = (state % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::thread;
+
+    #[test]
+    fn owner_pops_lifo() {
+        let w: Worker<u32> = Worker::new();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+        assert_eq!(w.pop(), None); // empty pop is idempotent
+    }
+
+    #[test]
+    fn thief_steals_fifo() {
+        let w: Worker<u32> = Worker::new();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(s.steal(), Steal::Success(2));
+        // Owner takes the newest, thief took the oldest.
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn grow_preserves_all_elements() {
+        let w: Worker<usize> = Worker::new();
+        let s = w.stealer();
+        let n = 10_000; // well past the initial 64-slot buffer
+        for i in 0..n {
+            w.push(i);
+        }
+        assert_eq!(w.len(), n);
+        let mut seen = vec![false; n];
+        // Interleave pops and steals to cross buffer generations.
+        loop {
+            match s.steal() {
+                Steal::Success(i) => seen[i] = true,
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+            if let Some(i) = w.pop() {
+                seen[i] = true;
+            }
+        }
+        while let Some(i) = w.pop() {
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "an element was lost across grow");
+    }
+
+    #[test]
+    fn dropping_a_nonempty_deque_drops_queued_values() {
+        struct Counted(Arc<AtomicU64>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicU64::new(0));
+        let w: Worker<Counted> = Worker::new();
+        for _ in 0..100 {
+            w.push(Counted(drops.clone()));
+        }
+        // Take a few out so top > 0 and both paths are exercised.
+        let s = w.stealer();
+        drop(s.steal().success());
+        drop(w.pop());
+        drop(s); // the Arc'd inner lives until every handle is gone
+        drop(w);
+        assert_eq!(drops.load(Ordering::SeqCst), 100);
+    }
+
+    /// Every pushed value is handed out exactly once across the owner and
+    /// several concurrent thieves. On a single-core host this still
+    /// exercises the racy paths via preemption; with more cores it runs
+    /// truly parallel.
+    #[test]
+    fn stress_each_task_claimed_exactly_once() {
+        const ITEMS: u64 = 40_000;
+        const THIEVES: usize = 3;
+        let w: Worker<u64> = Worker::new();
+        let sum = Arc::new(AtomicU64::new(0));
+        let claimed = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicU64::new(0));
+
+        let handles: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let s = w.stealer();
+                let sum = sum.clone();
+                let claimed = claimed.clone();
+                let done = done.clone();
+                thread::spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            claimed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) == 1 {
+                                break;
+                            }
+                            thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // Owner interleaves pushes with occasional pops.
+        for v in 1..=ITEMS {
+            w.push(v);
+            if v % 7 == 0 {
+                if let Some(x) = w.pop() {
+                    sum.fetch_add(x, Ordering::Relaxed);
+                    claimed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if v % 1024 == 0 {
+                thread::yield_now();
+            }
+        }
+        while let Some(x) = w.pop() {
+            sum.fetch_add(x, Ordering::Relaxed);
+            claimed.fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(1, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Thieves may drain stragglers between our last pop and `done`.
+        assert_eq!(claimed.load(Ordering::SeqCst), ITEMS);
+        assert_eq!(sum.load(Ordering::SeqCst), ITEMS * (ITEMS + 1) / 2);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj: Injector<u32> = Injector::new();
+        assert!(inj.is_empty());
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.pop(), Some(1));
+        assert_eq!(inj.pop(), Some(2));
+        assert_eq!(inj.pop(), None);
+    }
+
+    #[test]
+    fn steal_order_is_a_seeded_permutation() {
+        let order = StealOrder::new(42);
+        let v = order.victims(1, 0, 5);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 2, 3, 4], "must visit every peer once");
+        // Pure function of (seed, thief, round).
+        assert_eq!(v, StealOrder::new(42).victims(1, 0, 5));
+        // Distinct seeds produce at least one distinct permutation across a
+        // handful of probes.
+        let differs = (0..8u64)
+            .any(|r| StealOrder::new(1).victims(0, r, 5) != StealOrder::new(2).victims(0, r, 5));
+        assert!(differs, "seeds 1 and 2 gave identical steal orders");
+        // Rounds reshuffle too.
+        let differs = (1..8u64).any(|r| order.victims(0, r, 5) != order.victims(0, 0, 5));
+        assert!(differs, "steal order never varied across rounds");
+    }
+
+    #[test]
+    fn steal_order_handles_tiny_pools() {
+        let order = StealOrder::new(7);
+        assert!(order.victims(0, 0, 1).is_empty());
+        assert_eq!(order.victims(0, 3, 2), vec![1]);
+    }
+}

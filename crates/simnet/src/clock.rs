@@ -26,7 +26,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -118,10 +118,18 @@ impl Ord for Event {
     }
 }
 
+/// Labels below this are machine inboxes (packet deliveries wake them);
+/// labels at or above it belong to scheduler workers and other non-machine
+/// actors, woken only by [`Clock::notify_label`]. Machine ids comfortably
+/// fit below `1 << 32`.
+pub const WORKER_LABEL_BASE: u64 = 1 << 32;
+
 struct Waiter {
-    /// `Some(m)` while parked in a receive for machine `m`'s inbox; `None`
-    /// for pure sleeps (woken only by their timer).
-    inbox: Option<MachineId>,
+    /// `Some(l)` while parked in a labeled receive: label `m <
+    /// WORKER_LABEL_BASE` is machine `m`'s inbox (packet deliveries wake
+    /// it); any label also wakes on a matching [`Clock::notify_label`].
+    /// `None` for pure sleeps (woken only by their timer).
+    label: Option<u64>,
     /// Set by the advancer when this waiter's wake event fired.
     woken: bool,
 }
@@ -148,6 +156,13 @@ struct VState {
     /// execution and makes the schedule deterministic.
     tokens: usize,
     waiters: HashMap<u64, Waiter>,
+    /// Labels notified while their actor was running (or about to park):
+    /// served by `advance` *before* the event heap, without moving time —
+    /// a notified actor is runnable "now". Entries whose label has no
+    /// parked waiter are dropped: every notify rides with a channel send,
+    /// and actors drain their channel before parking, so a dropped entry
+    /// is at worst a wake the sleeper's own timer will deliver anyway.
+    ready: VecDeque<u64>,
     heap: BinaryHeap<Reverse<Event>>,
     /// Per-destination: virtual instant its link finished its last
     /// scheduled delivery. Strictly increasing, so same-destination
@@ -185,6 +200,7 @@ impl VirtualCore {
                 parked: 0,
                 tokens: 0,
                 waiters: HashMap::new(),
+                ready: VecDeque::new(),
                 heap: BinaryHeap::new(),
                 link_free: Vec::new(),
                 net: None,
@@ -207,7 +223,27 @@ impl VirtualCore {
 
     /// Fire events until one actor has been granted a wake (or the heap
     /// runs dry). Caller must hold the lock and have verified quiescence.
+    ///
+    /// Notified labels (the ready queue) are served before the event heap:
+    /// they represent work that became runnable at the current instant,
+    /// while heap events live in the future.
     fn advance(&self, s: &mut VState) {
+        while let Some(label) = s.ready.pop_front() {
+            let hit = s
+                .waiters
+                .iter_mut()
+                .find(|(_, w)| w.label == Some(label) && !w.woken);
+            if let Some((_, w)) = hit {
+                w.woken = true;
+                s.fired += 1;
+                s.digest = mix64(s.digest ^ s.now ^ (3 << 62) ^ label.rotate_left(32));
+                s.tokens = 1;
+                self.cv.notify_all();
+                return;
+            }
+            // No parked waiter with that label (it deregistered, or is in a
+            // pure timed sleep): drop the entry — see the field docs.
+        }
         while let Some(Reverse(ev)) = s.heap.pop() {
             match ev.kind {
                 EventKind::Timer { waiter } => {
@@ -249,7 +285,7 @@ impl VirtualCore {
                         let hit = s
                             .waiters
                             .iter_mut()
-                            .find(|(_, w)| w.inbox == Some(dst) && !w.woken);
+                            .find(|(_, w)| w.label == Some(dst as u64) && !w.woken);
                         if let Some((_, w)) = hit {
                             w.woken = true;
                             s.tokens = 1;
@@ -265,12 +301,13 @@ impl VirtualCore {
     }
 
     /// Park the calling actor until its wake event fires. Returns with the
-    /// lock held. `inbox` makes the park receivable (deliveries to that
-    /// machine wake it); `deadline` schedules a timer wake.
+    /// lock held. `label` makes the park notifiable (and, for labels below
+    /// [`WORKER_LABEL_BASE`], receivable: deliveries to that machine wake
+    /// it); `deadline` schedules a timer wake.
     fn park<'a>(
         &'a self,
         mut s: MutexGuard<'a, VState>,
-        inbox: Option<MachineId>,
+        label: Option<u64>,
         deadline: Option<u64>,
     ) -> MutexGuard<'a, VState> {
         let id = s.next_waiter;
@@ -278,7 +315,7 @@ impl VirtualCore {
         s.waiters.insert(
             id,
             Waiter {
-                inbox,
+                label,
                 woken: false,
             },
         );
@@ -493,7 +530,7 @@ impl Clock {
                         }
                         Err(TryRecvError::Empty) => {}
                     }
-                    s = core.park(s, Some(me), None);
+                    s = core.park(s, Some(me as u64), None);
                 }
             }
         }
@@ -526,7 +563,84 @@ impl Clock {
                     if s.now >= deadline {
                         return Err(ClockRecvError::Timeout);
                     }
-                    s = core.park(s, Some(me), Some(deadline));
+                    s = core.park(s, Some(me as u64), Some(deadline));
+                }
+            }
+        }
+    }
+
+    /// Mark the actor parked under `label` runnable. No-op in real mode
+    /// (real-mode actors block directly on their channel, so the paired
+    /// channel send is the wake). Virtual mode enqueues the label on the
+    /// ready queue, served ahead of the event heap at the next quiescence —
+    /// the notified actor runs at the current virtual instant.
+    ///
+    /// Every notify must ride with a channel send the target will observe:
+    /// an entry whose actor is not parked under the label when served is
+    /// dropped, and the message then has to be picked up by the target's
+    /// own pre-park drain or timer.
+    pub fn notify_label(&self, label: u64) {
+        if let ClockInner::Virtual(core) = &self.inner {
+            let mut s = core.lock();
+            s.ready.push_back(label);
+            if VirtualCore::quiescent(&s) {
+                core.advance(&mut s);
+            }
+        }
+    }
+
+    /// Blocking receive on an arbitrary channel, parked under `label`.
+    /// Virtual mode: a sender must pair the send with
+    /// [`Clock::notify_label`]`(label)` or the park never wakes (packet
+    /// deliveries only wake machine-inbox labels).
+    pub fn recv_any<T>(&self, rx: &Receiver<T>, label: u64) -> Result<T, ClockRecvError> {
+        match &self.inner {
+            ClockInner::Real { .. } => rx.recv().map_err(|_| ClockRecvError::Disconnected),
+            ClockInner::Virtual(core) => {
+                let mut s = core.lock();
+                loop {
+                    match rx.try_recv() {
+                        Ok(p) => return Ok(p),
+                        Err(TryRecvError::Disconnected) => {
+                            return Err(ClockRecvError::Disconnected)
+                        }
+                        Err(TryRecvError::Empty) => {}
+                    }
+                    s = core.park(s, Some(label), None);
+                }
+            }
+        }
+    }
+
+    /// Receive on an arbitrary channel with a deadline in clock nanos,
+    /// parked under `label` (see [`Clock::recv_any`]).
+    pub fn recv_any_deadline_nanos<T>(
+        &self,
+        rx: &Receiver<T>,
+        label: u64,
+        deadline: u64,
+    ) -> Result<T, ClockRecvError> {
+        match &self.inner {
+            ClockInner::Real { epoch, .. } => rx
+                .recv_deadline(*epoch + Duration::from_nanos(deadline))
+                .map_err(|e| match e {
+                    RecvTimeoutError::Timeout => ClockRecvError::Timeout,
+                    RecvTimeoutError::Disconnected => ClockRecvError::Disconnected,
+                }),
+            ClockInner::Virtual(core) => {
+                let mut s = core.lock();
+                loop {
+                    match rx.try_recv() {
+                        Ok(p) => return Ok(p),
+                        Err(TryRecvError::Disconnected) => {
+                            return Err(ClockRecvError::Disconnected)
+                        }
+                        Err(TryRecvError::Empty) => {}
+                    }
+                    if s.now >= deadline {
+                        return Err(ClockRecvError::Timeout);
+                    }
+                    s = core.park(s, Some(label), Some(deadline));
                 }
             }
         }
@@ -695,6 +809,65 @@ mod tests {
             distinct.len() >= 2,
             "8 seeds produced a single event order: {digests:?}"
         );
+    }
+
+    #[test]
+    fn notify_label_wakes_a_labeled_park_at_the_current_instant() {
+        // A worker-style actor parks under a high label; a machine-style
+        // actor (this thread) notifies it. The wake must not advance time.
+        let clock = Clock::virtual_time(11);
+        let (tx, rx) = unbounded::<u32>();
+        let label = WORKER_LABEL_BASE + 7;
+
+        let worker = {
+            let clock = clock.clone();
+            clock.register_actor();
+            std::thread::spawn(move || {
+                let got = clock.recv_any(&rx, label).unwrap();
+                let at = clock.now_nanos();
+                clock.deregister_actor();
+                (got, at)
+            })
+        };
+
+        clock.register_actor();
+        clock.sleep(Duration::from_millis(2)); // let the worker park first
+        tx.send(99).unwrap();
+        clock.notify_label(label);
+        // Park so the ready queue gets served.
+        let (_tx2, rx2) = unbounded::<Packet>();
+        let err = clock.recv_deadline_nanos(&rx2, 0, 5_000_000).unwrap_err();
+        assert_eq!(err, ClockRecvError::Timeout);
+        clock.deregister_actor();
+
+        let (got, at) = worker.join().unwrap();
+        assert_eq!(got, 99);
+        assert_eq!(at, 2_000_000, "notify wake must not advance virtual time");
+    }
+
+    #[test]
+    fn unmatched_notify_is_dropped_and_timer_still_fires() {
+        // Notify a label nobody holds; a pure timed sleep must still wake
+        // at its own deadline (the stale ready entry is discarded).
+        let clock = Clock::virtual_time(5);
+        clock.register_actor();
+        clock.notify_label(WORKER_LABEL_BASE + 1234);
+        clock.sleep(Duration::from_millis(1));
+        assert_eq!(clock.now_nanos(), 1_000_000);
+        clock.deregister_actor();
+    }
+
+    #[test]
+    fn recv_any_deadline_times_out_under_virtual_time() {
+        let clock = Clock::virtual_time(9);
+        let (_tx, rx) = unbounded::<u32>();
+        clock.register_actor();
+        let err = clock
+            .recv_any_deadline_nanos(&rx, WORKER_LABEL_BASE, 3_000_000)
+            .unwrap_err();
+        assert_eq!(err, ClockRecvError::Timeout);
+        assert_eq!(clock.now_nanos(), 3_000_000);
+        clock.deregister_actor();
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod network;
 pub mod time;
 pub mod topology;
 
-pub use clock::{Clock, ClockRecvError, SimSchedule};
+pub use clock::{Clock, ClockRecvError, SimSchedule, WORKER_LABEL_BASE};
 pub use cluster::SimCluster;
 pub use config::{ClusterConfig, DiskBackend, DiskConfig, NetCost, TimeMode, TopologySpec};
 pub use disk::SimDisk;

@@ -1,0 +1,36 @@
+//! Quick pool-scheduler smoke: real-time and virtual-time, a few objects,
+//! async fan-out so several mailboxes are live at once.
+use oopp::simnet::ClusterConfig;
+use oopp::{join, ClusterBuilder, DoubleBlockClient};
+
+fn run(virtual_time: bool) {
+    let cfg = if virtual_time {
+        ClusterConfig::zero_cost(0).with_virtual_time(7)
+    } else {
+        ClusterConfig::zero_cost(0)
+    };
+    let (cluster, mut driver) = ClusterBuilder::new(2)
+        .sched_workers(2)
+        .sim_config(cfg)
+        .build();
+    let blocks: Vec<_> = (0..8)
+        .map(|i| DoubleBlockClient::new_on(&mut driver, i % 2, 64).unwrap())
+        .collect();
+    for round in 0..3 {
+        let pending: Vec<_> = blocks
+            .iter()
+            .map(|b| b.fill_async(&mut driver, round as f64).unwrap())
+            .collect();
+        join(&mut driver, pending).unwrap();
+    }
+    for b in &blocks {
+        assert_eq!(b.get(&mut driver, 3).unwrap(), 2.0);
+    }
+    cluster.shutdown(driver);
+    println!("pool smoke OK (virtual_time={virtual_time})");
+}
+
+fn main() {
+    run(false);
+    run(true);
+}

@@ -27,12 +27,22 @@ fn chaos_policy() -> CallPolicy {
 /// the full Chrome-JSON trace export (virtual timestamps included), the
 /// driver's retransmission counter, and the run's recorded schedule.
 fn traced_virtual_run(seed: u64) -> (Vec<f64>, String, u64, SimSchedule) {
+    traced_virtual_run_pooled(seed, 0)
+}
+
+/// `traced_virtual_run` with an M:N execution pool of `sched_workers`
+/// lanes per machine (0 = the classic single-threaded engine).
+fn traced_virtual_run_pooled(
+    seed: u64,
+    sched_workers: usize,
+) -> (Vec<f64>, String, u64, SimSchedule) {
     const WORKERS: usize = 4;
     const N: usize = 48;
     let plan = FaultPlan::seeded(seed ^ 0xFA_0175)
         .with_drop(0.06)
         .with_dup(0.02);
     let (cluster, mut driver) = ClusterBuilder::new(WORKERS)
+        .sched_workers(sched_workers)
         .sim_config(
             ClusterConfig::zero_cost(0)
                 .with_faults(plan)
@@ -103,6 +113,40 @@ fn distinct_seeds_explore_distinct_interleavings() {
     assert!(
         digests.len() >= 2,
         "8 seeds produced only {} distinct schedule digest(s)",
+        digests.len()
+    );
+}
+
+/// The M:N scheduler must not cost determinism: with a 4-lane pool on
+/// every machine, the same seed still replays byte-for-byte — worker
+/// wakeups and steal order ride the same seeded virtual clock as
+/// everything else (DESIGN.md §13).
+#[test]
+fn same_seed_replays_byte_identical_traces_with_pool() {
+    let (data_a, trace_a, retried_a, sched_a) = traced_virtual_run_pooled(0xB00_57EA1, 4);
+    let (data_b, trace_b, retried_b, sched_b) = traced_virtual_run_pooled(0xB00_57EA1, 4);
+
+    assert_eq!(data_a, data_b, "same seed, different results under pool");
+    assert_eq!(retried_a, retried_b, "same seed, different retry counts");
+    assert_eq!(sched_a, sched_b, "same seed, different event schedules");
+    assert_eq!(
+        trace_a, trace_b,
+        "same seed, byte-divergent trace exports under a 4-lane pool"
+    );
+    assert!(sched_a.events > 0);
+}
+
+/// Different seeds must explore different pooled interleavings: the steal
+/// order is a seeded permutation, so two seeds that agree on everything
+/// else still schedule mailboxes differently.
+#[test]
+fn distinct_seeds_explore_distinct_steal_orders() {
+    let digests: HashSet<u64> = (0..8u64)
+        .map(|i| traced_virtual_run_pooled(0x5EA1 + i, 4).3.digest)
+        .collect();
+    assert!(
+        digests.len() >= 2,
+        "8 seeds produced only {} distinct pooled schedule digest(s)",
         digests.len()
     );
 }
