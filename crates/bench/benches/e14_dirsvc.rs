@@ -1,0 +1,130 @@
+//! E14: the price of the sharded control plane's moving parts.
+//!
+//! The experiment table (resolves/s vs shard count, p99 through a primary
+//! crash) comes from `reproduce e14`; these benches track the raw costs
+//! underneath — the FNV route hash, a resolve through the routed facade
+//! against the classic root directory, the warm resolve-cache path, and a
+//! pipelined resolve window at 1 vs 4 shards — so a regression in the
+//! routing hot path shows up as nanoseconds here before it shows up as
+//! lost scaling there.
+//!
+//! CI runs this file with `OOPP_BENCH_SMOKE=1` (one iteration per bench,
+//! no measurement window), which is enough to catch a routing path that
+//! panics or misroutes without spending CI minutes on timing.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oopp::{shard_of_name, ClusterBuilder, ObjRef};
+
+fn bench_route_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_dirsvc/route");
+
+    // The pure routing decision: FNV-1a over the name, mod shard count.
+    let names: Vec<String> = (0..64).map(|i| format!("oopp://bench/route/{i}")).collect();
+    for shards in [4u32, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("shard_of_name", shards),
+            &shards,
+            |b, &s| {
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for n in &names {
+                        acc ^= shard_of_name(n, s);
+                    }
+                    std::hint::black_box(acc)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_dirsvc/resolve");
+
+    // One warm resolve through the facade: classic root vs a routed shard
+    // (seat already in the resolve cache). The delta is the facade's
+    // routing overhead when nothing is failing.
+    for shards in [0u32, 4] {
+        let (_cluster, mut driver) = ClusterBuilder::new(4).dir_shards(shards).build();
+        let ns = driver.directory();
+        ns.bind(
+            &mut driver,
+            "oopp://bench/resolve/x".into(),
+            ObjRef {
+                machine: 1,
+                object: 7,
+            },
+        )
+        .unwrap();
+        let label = if shards == 0 { "classic" } else { "sharded4" };
+        g.bench_function(BenchmarkId::new("lookup_warm", label), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    ns.lookup(&mut driver, "oopp://bench/resolve/x".into())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_resolve_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_dirsvc/window");
+
+    // A pipelined window of 64 resolves spread over 16 names: the shape
+    // the E14 hammers drive, minus the modeled network (zero-cost sim), so
+    // this isolates the per-call bookkeeping at 1 vs 4 partitions.
+    for shards in [1u32, 4] {
+        let (_cluster, mut driver) = ClusterBuilder::new(4).dir_shards(shards).build();
+        let ns = driver.directory();
+        let names: Vec<String> = (0..16).map(|i| format!("oopp://bench/win/{i}")).collect();
+        for (i, n) in names.iter().enumerate() {
+            ns.bind(
+                &mut driver,
+                n.clone(),
+                ObjRef {
+                    machine: i % 4,
+                    object: 100 + i as u64,
+                },
+            )
+            .unwrap();
+        }
+        g.bench_function(BenchmarkId::new("resolve64", shards), |b| {
+            b.iter(|| {
+                for k in 0..64usize {
+                    std::hint::black_box(
+                        ns.lookup(&mut driver, names[k % names.len()].clone())
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// `OOPP_BENCH_SMOKE=1` shrinks every bench to a single untimed iteration
+/// — the CI smoke profile.
+fn config() -> Criterion {
+    if std::env::var_os("OOPP_BENCH_SMOKE").is_some() {
+        Criterion::default()
+            .sample_size(1)
+            .measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_millis(1))
+    } else {
+        Criterion::default()
+            .sample_size(20)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300))
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_route_hash, bench_resolve, bench_resolve_window
+}
+criterion_main!(benches);

@@ -79,6 +79,11 @@ fn main() {
             "M:N work-stealing scheduler: Zipf throughput vs worker lanes at 100x objects",
             ex::e13_sched,
         ),
+        (
+            "E14",
+            "sharded control plane: directory resolves/s vs shard count, p99 through a primary crash",
+            ex::e14_dirsvc,
+        ),
         ("A1", "ablation: wire codec throughput", || {
             vec![ex::a1_wire()]
         }),

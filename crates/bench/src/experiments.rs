@@ -1762,6 +1762,384 @@ pub fn e13_sched() -> Vec<Table> {
     vec![t]
 }
 
+/// E14's workload object: a directory client that hammers the sharded
+/// name service from its *own* machine, so load on the control plane is
+/// concurrent across machines instead of pipelined out of the single
+/// driver. The [`oopp::NameService`] facade is `Copy` and wire-encodable,
+/// so the hammer receives the routing view by value in its constructor —
+/// the same handle any application client holds.
+#[derive(Debug)]
+pub struct DirHammer {
+    ns: oopp::NameService,
+    prefix: String,
+    count: u64,
+    latencies_us: Vec<f64>,
+    failed: u64,
+}
+
+oopp::remote_class! {
+    class DirHammer {
+        ctor(ns: oopp::NameService, prefix: String, count: u64);
+        /// Resolve `ops` names round-robin through the facade, timing
+        /// each on the cluster clock. Returns how many resolved; failed
+        /// resolutions are counted, not fatal (a crash episode is part of
+        /// the workload).
+        fn run(&mut self, ops: u64) -> u64;
+        /// `(failed, per-op latencies µs)` accumulated by `run` since the
+        /// last drain — fetched after the measured window so the reply
+        /// payload never rides inside it.
+        fn drain(&mut self) -> F64s;
+    }
+}
+
+impl DirHammer {
+    pub fn new(
+        _ctx: &mut oopp::NodeCtx,
+        ns: oopp::NameService,
+        prefix: String,
+        count: u64,
+    ) -> oopp::RemoteResult<Self> {
+        Ok(DirHammer {
+            ns,
+            prefix,
+            count,
+            latencies_us: Vec::new(),
+            failed: 0,
+        })
+    }
+
+    fn run(&mut self, ctx: &mut oopp::NodeCtx, ops: u64) -> oopp::RemoteResult<u64> {
+        let mut ok = 0;
+        for i in 0..ops {
+            let name = format!("{}/{}", self.prefix, i % self.count);
+            let t0 = ctx.now_nanos();
+            match self.ns.lookup(ctx, name) {
+                Ok(Some(_)) => {
+                    ok += 1;
+                    self.latencies_us
+                        .push(ctx.now_nanos().saturating_sub(t0) as f64 / 1e3);
+                }
+                Ok(None) | Err(_) => self.failed += 1,
+            }
+        }
+        Ok(ok)
+    }
+
+    fn drain(&mut self, _ctx: &mut oopp::NodeCtx) -> oopp::RemoteResult<F64s> {
+        let mut out = vec![self.failed as f64];
+        out.append(&mut self.latencies_us);
+        self.failed = 0;
+        Ok(F64s(out))
+    }
+}
+
+/// Percentile over a drained latency set (µs). `q` in [0, 1].
+fn percentile_us(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let i = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[i.min(sorted.len() - 1)]
+}
+
+/// E14 (DESIGN.md §14): sharded control plane — directory ops/s vs shard
+/// count, and resolve latency through a shard-primary crash.
+///
+/// The fabric is deliberately thin (20 µs latency, 10 Mb/s links) so the
+/// *directory machine's inbound link* is the bottleneck, the way a real
+/// control-plane node saturates. Eight hammer objects resolve pre-bound
+/// names concurrently through the `NameService` facade; with one shard
+/// every stream converges on the root's machine and serializes on its
+/// link, with `n` shards the same traffic spreads over `n` machines'
+/// links. The scaling table must show ≥ 2× ops/s at 4 shards vs 1 (the
+/// PR's acceptance gate, asserted here so `reproduce e14` enforces it).
+///
+/// The chaos table re-runs a 4-shard layout under a `DirService` control
+/// loop and crashes shard 1's machine mid-wave: resolves that hit the
+/// lost shard ride `NameService`'s re-resolve/retry loop through
+/// detection, snapshot takeover, and the seat rebind — the p99 stays at
+/// the healthy tail and the worst op costs one detection + takeover
+/// window. Everything runs on the seeded virtual clock, so every number
+/// in both tables is deterministic.
+pub fn e14_dirsvc() -> Vec<Table> {
+    use dirsvc::{DirService, DirServiceConfig};
+    use supervision::{DetectorConfig, RestartPolicy, SupervisorConfig};
+
+    const MACHINES: usize = 8;
+    const NAMES: u64 = 64;
+    const WAVE: u64 = 400;
+    const SEED: u64 = 0xE14_2026;
+    const PREFIX: &str = "oopp://e14/name";
+
+    // 20 µs one-way, 10 Mb/s: a control-plane frame of ~100 B costs ~80 µs
+    // of per-receiver transfer, so concurrent resolves aimed at one
+    // machine queue on its link — the resource sharding multiplies.
+    let thin_net = || ClusterConfig::lan(0, 20, 0.01);
+
+    let bind_names = |ns: &oopp::NameService, driver: &mut oopp::Driver| {
+        for i in 0..NAMES {
+            ns.bind(
+                driver,
+                format!("{PREFIX}/{i}"),
+                oopp::ObjRef {
+                    machine: i as usize % MACHINES,
+                    object: 40_000 + i,
+                },
+            )
+            .unwrap();
+        }
+    };
+
+    struct Run {
+        ops_per_sec: f64,
+        lat_us: Vec<f64>, // sorted
+        failed: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+    }
+
+    // One scaling measurement: `shards == 0` is the classic single
+    // directory, otherwise a partitioned one. No faults, no control loop —
+    // this phase measures the data path alone.
+    let scale_run = |shards: u32| -> Run {
+        let (cluster, mut driver) = ClusterBuilder::new(MACHINES)
+            .dir_shards(shards)
+            .register::<DirHammer>()
+            .sim_config(thin_net().with_virtual_time(SEED))
+            .call_policy(CallPolicy::reliable(Duration::from_millis(250)))
+            .build();
+        let ns = driver.directory();
+        bind_names(&ns, &mut driver);
+        let hammers: Vec<_> = (0..MACHINES)
+            .map(|m| DirHammerClient::new_on(&mut driver, m, ns, PREFIX.into(), NAMES).unwrap())
+            .collect();
+        // Warm pass: fill every hammer's resolve cache with the shard
+        // seats, then discard the warm latencies.
+        for h in &hammers {
+            h.run(&mut driver, NAMES).unwrap();
+            h.drain(&mut driver).unwrap();
+        }
+        let t0 = driver.now_nanos();
+        let pending: Vec<_> = hammers
+            .iter()
+            .map(|h| h.run_async(&mut driver, WAVE).unwrap())
+            .collect();
+        let done: u64 = join(&mut driver, pending).unwrap().into_iter().sum();
+        let makespan = driver.now_nanos() - t0;
+
+        let mut lat_us = Vec::new();
+        let mut failed = (MACHINES as u64 * WAVE) - done;
+        for h in &hammers {
+            let mut d = h.drain(&mut driver).unwrap().0;
+            failed += d.remove(0) as u64;
+            lat_us.extend(d);
+        }
+        lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (mut cache_hits, mut cache_misses) = (0, 0);
+        for m in 0..MACHINES {
+            let st = driver.stats_of(m).unwrap();
+            cache_hits += st.dir_cache_hits;
+            cache_misses += st.dir_cache_misses;
+        }
+        cluster.shutdown(driver);
+        Run {
+            ops_per_sec: (MACHINES as u64 * WAVE) as f64 / (makespan as f64 / 1e9),
+            lat_us,
+            failed,
+            cache_hits,
+            cache_misses,
+        }
+    };
+
+    let mut scaling = Table::new(&[
+        "directory",
+        "shards",
+        "resolves/s",
+        "speedup vs 1 shard",
+        "p50 us",
+        "p99 us",
+        "cache hits",
+        "cache misses",
+        "failed",
+    ]);
+    let mut base_ops = 0.0;
+    let mut ops_at_4 = 0.0;
+    for shards in [0u32, 1, 2, 4, 8] {
+        let r = scale_run(shards);
+        if shards == 1 {
+            base_ops = r.ops_per_sec;
+        }
+        if shards == 4 {
+            ops_at_4 = r.ops_per_sec;
+        }
+        let speedup = if shards >= 1 && base_ops > 0.0 {
+            format!("{:.2}x", r.ops_per_sec / base_ops)
+        } else {
+            "-".into()
+        };
+        scaling.row(&[
+            if shards == 0 { "classic" } else { "sharded" }.into(),
+            if shards == 0 {
+                "-".into()
+            } else {
+                shards.to_string()
+            },
+            format!("{:.0}", r.ops_per_sec),
+            speedup,
+            format!("{:.0}", percentile_us(&r.lat_us, 0.50)),
+            format!("{:.0}", percentile_us(&r.lat_us, 0.99)),
+            r.cache_hits.to_string(),
+            r.cache_misses.to_string(),
+            r.failed.to_string(),
+        ]);
+    }
+    assert!(
+        ops_at_4 >= 2.0 * base_ops,
+        "E14 gate: 4 shards must deliver >= 2x the resolves/s of 1 shard \
+         (got {ops_at_4:.0} vs {base_ops:.0})"
+    );
+
+    // Chaos phase: 4 shards on machines 0–3, hammers on 4–7, a DirService
+    // control loop stepped by the driver, and (in the crash row) machine 1
+    // — shard 1's primary — crashed 100 ms into the wave.
+    const CHAOS_SHARDS: u32 = 4;
+    const CHAOS_OPS: u64 = 2000;
+    let chaos_run = |crash: bool| -> (Run, u64, u64) {
+        let (cluster, mut driver) = ClusterBuilder::new(MACHINES)
+            .dir_shards(CHAOS_SHARDS)
+            .register::<DirHammer>()
+            .sim_config(thin_net().with_virtual_time(SEED ^ 0xC4A5))
+            .call_policy(
+                CallPolicy::reliable(Duration::from_millis(100))
+                    .with_max_retries(2)
+                    .with_backoff(Backoff::fixed(Duration::from_millis(5))),
+            )
+            .build();
+        let ns = driver.directory();
+        let mut svc = DirService::new(
+            DirServiceConfig {
+                read_replicas: 0,
+                snapshot_backups: 2,
+                supervisor: SupervisorConfig {
+                    heartbeat_interval: Duration::from_millis(10),
+                    lease_ttl: Duration::from_millis(500),
+                    detector: DetectorConfig {
+                        expected_interval: Duration::from_millis(10),
+                        ..DetectorConfig::default()
+                    },
+                    restart: RestartPolicy::Retries {
+                        max_retries: 2,
+                        backoff: Backoff::fixed(Duration::from_millis(10)),
+                    },
+                },
+                ..DirServiceConfig::default()
+            },
+            vec![1, 2, 3],
+            ns,
+        );
+        assert_eq!(svc.attach(&mut driver).unwrap(), CHAOS_SHARDS as usize);
+        bind_names(&ns, &mut driver);
+        let hammers: Vec<_> = (4..MACHINES)
+            .map(|m| DirHammerClient::new_on(&mut driver, m, ns, PREFIX.into(), NAMES).unwrap())
+            .collect();
+        for h in &hammers {
+            h.run(&mut driver, NAMES).unwrap();
+            h.drain(&mut driver).unwrap();
+        }
+        // Warm the detector, then snapshot every partition: takeover
+        // restores the last checkpoint, which must include every binding.
+        loop {
+            svc.step(&mut driver).unwrap();
+            let warm = [1usize, 2, 3]
+                .iter()
+                .all(|&m| svc.supervisor().detector().last_heartbeat(m).is_some());
+            if warm {
+                break;
+            }
+            driver.serve_for(Duration::from_millis(2));
+        }
+        assert_eq!(svc.checkpoint(&mut driver), CHAOS_SHARDS as usize);
+
+        let t0 = driver.now_nanos();
+        let pending: Vec<_> = hammers
+            .iter()
+            .map(|h| h.run_async(&mut driver, CHAOS_OPS).unwrap())
+            .collect();
+        let step_until = |driver: &mut oopp::Driver, svc: &mut DirService, until: u64| {
+            while driver.now_nanos() < until {
+                svc.step(driver).unwrap();
+                driver.serve_for(Duration::from_millis(2));
+            }
+        };
+        step_until(&mut driver, &mut svc, t0 + 100_000_000);
+        if crash {
+            cluster.sim().faults().crash(1);
+        }
+        // Fixed drive-out window — detection (one lease), takeover, and
+        // the post-heal tail all fit; fixed so the schedule is replayable.
+        step_until(&mut driver, &mut svc, t0 + 2_000_000_000);
+        let done: u64 = join(&mut driver, pending).unwrap().into_iter().sum();
+        let makespan = driver.now_nanos() - t0;
+
+        let mut lat_us = Vec::new();
+        let mut failed = (hammers.len() as u64 * CHAOS_OPS) - done;
+        for h in &hammers {
+            let mut d = h.drain(&mut driver).unwrap().0;
+            failed += d.remove(0) as u64;
+            lat_us.extend(d);
+        }
+        lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let stats = svc.stats();
+        let run = Run {
+            ops_per_sec: done as f64 / (makespan as f64 / 1e9),
+            lat_us,
+            failed,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        // Heal and readmit before teardown: shutdown joins every machine
+        // thread, and a still-crashed machine's thread never parks out.
+        if crash {
+            cluster.sim().faults().restart(1);
+        }
+        cluster.sim().faults().calm();
+        cluster.shutdown(driver);
+        (run, stats.shard_takeovers, stats.machines_declared_dead)
+    };
+
+    let mut chaos = Table::new(&[
+        "episode",
+        "resolves",
+        "failed",
+        "p50 us",
+        "p99 us",
+        "max ms",
+        "takeovers",
+        "dead machines",
+    ]);
+    for crash in [false, true] {
+        let (r, takeovers, dead) = chaos_run(crash);
+        let n = r.lat_us.len();
+        chaos.row(&[
+            if crash {
+                "shard-1 primary crash at t+100ms"
+            } else {
+                "calm"
+            }
+            .into(),
+            n.to_string(),
+            r.failed.to_string(),
+            format!("{:.0}", percentile_us(&r.lat_us, 0.50)),
+            format!("{:.0}", percentile_us(&r.lat_us, 0.99)),
+            format!("{:.1}", percentile_us(&r.lat_us, 1.0) / 1e3),
+            takeovers.to_string(),
+            dead.to_string(),
+        ]);
+    }
+
+    vec![scaling, chaos]
+}
+
 /// Sanity config used by the experiment smoke tests.
 pub fn tiny_zero_cost(n: usize) -> ClusterConfig {
     ClusterConfig::zero_cost(n)

@@ -265,6 +265,12 @@ pub struct NodeStats {
     pub replica_reads_stale: u64,
     /// Write propagations (`replica_sync`) this machine's primaries pushed.
     pub replica_syncs_sent: u64,
+    /// Symbolic-name resolutions answered from this node's resolve cache
+    /// (no directory round-trip).
+    pub dir_cache_hits: u64,
+    /// Resolve-cache misses — resolutions that had to fall through to the
+    /// control plane (a directory or shard lookup).
+    pub dir_cache_misses: u64,
 }
 
 wire_struct!(NodeStats {
@@ -282,7 +288,9 @@ wire_struct!(NodeStats {
     calls_fenced,
     replica_reads_served,
     replica_reads_stale,
-    replica_syncs_sent
+    replica_syncs_sent,
+    dir_cache_hits,
+    dir_cache_misses
 });
 
 impl DaemonCall {
@@ -510,6 +518,8 @@ mod tests {
             replica_reads_served: 12,
             replica_reads_stale: 13,
             replica_syncs_sent: 14,
+            dir_cache_hits: 15,
+            dir_cache_misses: 16,
         };
         assert_eq!(from_bytes::<NodeStats>(&to_bytes(&s)).unwrap(), s);
     }

@@ -69,8 +69,9 @@ pub use future::{join, join_clients, Pending, PendingClient};
 pub use group::{Barrier, BarrierClient, ProcessGroup};
 pub use ids::{ObjRef, ObjectId, DAEMON};
 pub use naming::{
-    migrate_bound, resolve_or_activate, resolve_or_activate_supervised, symbolic_addr, Directory,
-    DirectoryClient,
+    migrate_bound, resolve_or_activate, resolve_or_activate_supervised, shard_addr, shard_of_name,
+    symbolic_addr, DirShard, DirShardClient, Directory, DirectoryClient, NameService,
+    DIRSVC_PREFIX,
 };
 pub use node::{CallInfo, NodeCtx, DEFAULT_TIMEOUT};
 pub use policy::{Backoff, CallPolicy};

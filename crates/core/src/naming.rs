@@ -1,4 +1,4 @@
-//! Symbolic object addresses (§5).
+//! Symbolic object addresses (§5) and the sharded control plane (§14).
 //!
 //! The paper: *"Processes can be accessed using a symbolic object address,
 //! similar to addresses used by the Data Access Protocol"*, e.g.
@@ -8,15 +8,38 @@
 //! daemon's snapshot store it gives the paper's persistent-process model:
 //! bind a name while the process is live, deactivate it, and a later
 //! program resolves the name and reactivates the process.
+//!
+//! At scale one directory object is a choke point and a single point of
+//! failure, so the control plane dogfoods the paper's own model: the
+//! namespace can be hash-partitioned over N [`DirShard`] objects — each a
+//! normal `remote_class!` object holding one partition of the lease
+//! records, persistent (snapshot-recoverable) and replicated for reads.
+//! [`NameService`] is the client-side router: a `Copy` facade that sends
+//! each name to its shard, caches shard locations in the per-node resolve
+//! cache, and re-resolves through the root directory when a shard's
+//! primary fails over (DESIGN.md §14). `ClusterBuilder::dir_shards(0)`
+//! keeps the classic single directory, byte-compatible.
 
 use std::collections::BTreeMap;
+use std::time::Duration;
 
-use crate::error::RemoteResult;
+use crate::error::{RemoteError, RemoteResult};
 use crate::ids::ObjRef;
 use crate::node::NodeCtx;
 
 /// Conventional scheme prefix for oopp symbolic addresses.
 pub const SCHEME: &str = "oopp://";
+
+/// Reserved namespace of the control plane itself. Names under this
+/// prefix (the shard seats, above all) always resolve through the *root*
+/// directory, never through a shard — otherwise locating a shard would
+/// require the shard being located.
+pub const DIRSVC_PREFIX: &str = "oopp://_dirsvc/";
+
+/// The root-directory name of shard `index`'s seat.
+pub fn shard_addr(index: u32) -> String {
+    format!("{DIRSVC_PREFIX}shard/{index}")
+}
 
 /// Build a conventional symbolic address from path segments:
 /// `symbolic_addr(&["data", "set", "PageDevice", "34"])` →
@@ -30,6 +53,20 @@ pub fn symbolic_addr(segments: &[&str]) -> String {
         s.push_str(seg);
     }
     s
+}
+
+/// The shard a name routes to: a stable FNV-1a hash of the name's bytes
+/// modulo the shard count. Deliberately *not* `std::hash` — the routing
+/// function is part of the wire contract (every client must agree, across
+/// processes and rust versions) and of the deterministic replay story.
+pub fn shard_of_name(name: &str, shards: u32) -> u32 {
+    debug_assert!(shards > 0);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as u32
 }
 
 /// One directory entry: where the name points, which incarnation epoch
@@ -61,15 +98,167 @@ impl LeaseRecord {
     }
 }
 
-/// Server state of the cluster name service.
+/// One partition of lease records — the whole table in the classic
+/// single directory, one shard's slice in the sharded control plane. The
+/// [`Directory`] and [`DirShard`] server classes are both thin wrappers
+/// around this map, so record semantics (CAS rules, poison, replica-set
+/// fencing) cannot drift between the two deployments.
 #[derive(Debug, Default)]
-pub struct Directory {
+struct LeaseMap {
     entries: BTreeMap<String, LeaseRecord>,
 }
 
+impl LeaseMap {
+    fn bind(&mut self, name: String, target: ObjRef) {
+        let epoch = self.entries.get(&name).map(|r| r.epoch).unwrap_or(0);
+        // Rebinding drops any replica set: the replicas mirror the *old*
+        // target and must be rebuilt against the new one.
+        self.entries.insert(name, LeaseRecord::fresh(target, epoch));
+    }
+
+    fn lookup(&self, name: &str) -> Option<ObjRef> {
+        self.entries
+            .get(name)
+            .filter(|r| !r.poisoned)
+            .map(|r| r.target)
+    }
+
+    fn unbind(&mut self, name: &str) -> bool {
+        self.entries.remove(name).is_some()
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.entries
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn lease_of(&self, name: &str) -> Option<(ObjRef, u64, bool)> {
+        self.entries
+            .get(name)
+            .map(|r| (r.target, r.epoch, r.poisoned))
+    }
+
+    fn claim(&mut self, name: &str, expect: u64) -> Option<u64> {
+        match self.entries.get_mut(name) {
+            Some(r) if !r.poisoned && r.epoch == expect => {
+                r.epoch += 1;
+                Some(r.epoch)
+            }
+            _ => None,
+        }
+    }
+
+    fn bind_fenced(&mut self, name: String, target: ObjRef, epoch: u64) -> bool {
+        match self.entries.get_mut(&name) {
+            Some(r) if r.epoch <= epoch => {
+                r.target = target;
+                r.epoch = epoch;
+                r.poisoned = false;
+                // A takeover installs a fresh incarnation; any replica set
+                // mirrored the dead one and must be rebuilt against it.
+                r.replicas.clear();
+                r.rs_epoch += 1;
+                true
+            }
+            Some(_) => false,
+            None => {
+                self.entries.insert(name, LeaseRecord::fresh(target, epoch));
+                true
+            }
+        }
+    }
+
+    fn poison(&mut self, name: &str) {
+        if let Some(r) = self.entries.get_mut(name) {
+            r.poisoned = true;
+        }
+    }
+
+    fn replica_set(&self, name: &str) -> Option<(Vec<ObjRef>, u64)> {
+        self.entries
+            .get(name)
+            .map(|r| (r.replicas.clone(), r.rs_epoch))
+    }
+
+    fn set_replicas(&mut self, name: &str, replicas: Vec<ObjRef>, expect: u64) -> Option<u64> {
+        match self.entries.get_mut(name) {
+            Some(r) if !r.poisoned && r.rs_epoch == expect => {
+                r.replicas = replicas;
+                r.rs_epoch += 1;
+                Some(r.rs_epoch)
+            }
+            _ => None,
+        }
+    }
+
+    fn purge_replicas_on(&mut self, machine: usize) -> usize {
+        let mut changed = 0;
+        for r in self.entries.values_mut() {
+            let before = r.replicas.len();
+            r.replicas.retain(|rep| rep.machine != machine);
+            if r.replicas.len() != before {
+                r.rs_epoch += 1;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    fn encode(&self, w: &mut wire::Writer) {
+        wire::Wire::encode(&(self.entries.len() as u64), w);
+        for (name, r) in &self.entries {
+            wire::Wire::encode(name, w);
+            wire::Wire::encode(&r.target, w);
+            wire::Wire::encode(&r.epoch, w);
+            wire::Wire::encode(&r.poisoned, w);
+            wire::Wire::encode(&r.replicas, w);
+            wire::Wire::encode(&r.rs_epoch, w);
+        }
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> wire::WireResult<Self> {
+        let n = <u64 as wire::Wire>::decode(r)?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let name = <String as wire::Wire>::decode(r)?;
+            let target = <ObjRef as wire::Wire>::decode(r)?;
+            let epoch = <u64 as wire::Wire>::decode(r)?;
+            let poisoned = <bool as wire::Wire>::decode(r)?;
+            let replicas = <Vec<ObjRef> as wire::Wire>::decode(r)?;
+            let rs_epoch = <u64 as wire::Wire>::decode(r)?;
+            entries.insert(
+                name,
+                LeaseRecord {
+                    target,
+                    epoch,
+                    poisoned,
+                    replicas,
+                    rs_epoch,
+                },
+            );
+        }
+        Ok(LeaseMap { entries })
+    }
+}
+
+/// Server state of the cluster name service.
+#[derive(Debug, Default)]
+pub struct Directory {
+    map: LeaseMap,
+}
+
 remote_class! {
-    /// Client for the cluster name service (one instance lives on machine
-    /// 0; get it from [`Driver::directory`](crate::Driver::directory)).
+    /// Client for the cluster name service root (one instance lives on
+    /// machine 0; user code should usually go through the routing
+    /// [`NameService`] from [`Driver::directory`](crate::Driver::directory)
+    /// instead of this raw client).
     class Directory {
         ctor();
         /// Bind `name` to a live object. Rebinding replaces the old entry
@@ -123,36 +312,24 @@ impl Directory {
     }
 
     fn bind(&mut self, _ctx: &mut NodeCtx, name: String, target: ObjRef) -> RemoteResult<()> {
-        let epoch = self.entries.get(&name).map(|r| r.epoch).unwrap_or(0);
-        // Rebinding drops any replica set: the replicas mirror the *old*
-        // target and must be rebuilt against the new one.
-        self.entries.insert(name, LeaseRecord::fresh(target, epoch));
+        self.map.bind(name, target);
         Ok(())
     }
 
     fn lookup(&mut self, _ctx: &mut NodeCtx, name: String) -> RemoteResult<Option<ObjRef>> {
-        Ok(self
-            .entries
-            .get(&name)
-            .filter(|r| !r.poisoned)
-            .map(|r| r.target))
+        Ok(self.map.lookup(&name))
     }
 
     fn unbind(&mut self, _ctx: &mut NodeCtx, name: String) -> RemoteResult<bool> {
-        Ok(self.entries.remove(&name).is_some())
+        Ok(self.map.unbind(&name))
     }
 
     fn list(&mut self, _ctx: &mut NodeCtx, prefix: String) -> RemoteResult<Vec<String>> {
-        Ok(self
-            .entries
-            .range(prefix.clone()..)
-            .take_while(|(k, _)| k.starts_with(&prefix))
-            .map(|(k, _)| k.clone())
-            .collect())
+        Ok(self.map.list(&prefix))
     }
 
     fn len(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<usize> {
-        Ok(self.entries.len())
+        Ok(self.map.len())
     }
 
     fn lease_of(
@@ -160,10 +337,7 @@ impl Directory {
         _ctx: &mut NodeCtx,
         name: String,
     ) -> RemoteResult<Option<(ObjRef, u64, bool)>> {
-        Ok(self
-            .entries
-            .get(&name)
-            .map(|r| (r.target, r.epoch, r.poisoned)))
+        Ok(self.map.lease_of(&name))
     }
 
     fn claim(
@@ -172,13 +346,7 @@ impl Directory {
         name: String,
         expect: u64,
     ) -> RemoteResult<Option<u64>> {
-        match self.entries.get_mut(&name) {
-            Some(r) if !r.poisoned && r.epoch == expect => {
-                r.epoch += 1;
-                Ok(Some(r.epoch))
-            }
-            _ => Ok(None),
-        }
+        Ok(self.map.claim(&name, expect))
     }
 
     fn bind_fenced(
@@ -188,29 +356,11 @@ impl Directory {
         target: ObjRef,
         epoch: u64,
     ) -> RemoteResult<bool> {
-        match self.entries.get_mut(&name) {
-            Some(r) if r.epoch <= epoch => {
-                r.target = target;
-                r.epoch = epoch;
-                r.poisoned = false;
-                // A takeover installs a fresh incarnation; any replica set
-                // mirrored the dead one and must be rebuilt against it.
-                r.replicas.clear();
-                r.rs_epoch += 1;
-                Ok(true)
-            }
-            Some(_) => Ok(false),
-            None => {
-                self.entries.insert(name, LeaseRecord::fresh(target, epoch));
-                Ok(true)
-            }
-        }
+        Ok(self.map.bind_fenced(name, target, epoch))
     }
 
     fn poison(&mut self, _ctx: &mut NodeCtx, name: String) -> RemoteResult<()> {
-        if let Some(r) = self.entries.get_mut(&name) {
-            r.poisoned = true;
-        }
+        self.map.poison(&name);
         Ok(())
     }
 
@@ -219,10 +369,7 @@ impl Directory {
         _ctx: &mut NodeCtx,
         name: String,
     ) -> RemoteResult<Option<(Vec<ObjRef>, u64)>> {
-        Ok(self
-            .entries
-            .get(&name)
-            .map(|r| (r.replicas.clone(), r.rs_epoch)))
+        Ok(self.map.replica_set(&name))
     }
 
     fn set_replicas(
@@ -232,29 +379,500 @@ impl Directory {
         replicas: Vec<ObjRef>,
         expect: u64,
     ) -> RemoteResult<Option<u64>> {
-        match self.entries.get_mut(&name) {
-            Some(r) if !r.poisoned && r.rs_epoch == expect => {
-                r.replicas = replicas;
-                r.rs_epoch += 1;
-                Ok(Some(r.rs_epoch))
-            }
-            _ => Ok(None),
-        }
+        Ok(self.map.set_replicas(&name, replicas, expect))
     }
 
     fn purge_replicas_on(&mut self, _ctx: &mut NodeCtx, machine: usize) -> RemoteResult<usize> {
-        let mut changed = 0;
-        for r in self.entries.values_mut() {
-            let before = r.replicas.len();
-            r.replicas.retain(|rep| rep.machine != machine);
-            if r.replicas.len() != before {
-                r.rs_epoch += 1;
-                changed += 1;
+        Ok(self.map.purge_replicas_on(machine))
+    }
+}
+
+/// One shard of the partitioned control plane: the same lease-record
+/// semantics as [`Directory`], over the slice of the namespace whose
+/// names hash to `index` (see [`shard_of_name`]). A shard is a perfectly
+/// ordinary oopp object — the whole point (§5: the directory "is itself
+/// an ordinary oopp object"): it is `persistent` so the supervisor can
+/// snapshot-restore it onto a survivor, and it declares its query verbs
+/// as `reads(...)` so the replica manager can scale and fail over its
+/// partition with write-through coherence.
+#[derive(Debug)]
+pub struct DirShard {
+    index: u64,
+    total: u64,
+    map: LeaseMap,
+}
+
+remote_class! {
+    /// Client for one control-plane shard. User code should not hold one
+    /// of these directly — [`NameService`] routes to shards and handles
+    /// shard failover; this client exists for the management plane
+    /// (`crates/dirsvc`) and tests.
+    class DirShard {
+        persistent;
+        reads(lookup, list, len, lease_of, replica_set, shard_info);
+        ctor(index: u64, total: u64);
+        /// Bind `name` to a live object (see [`DirectoryClient::bind`]).
+        fn bind(&mut self, name: String, target: ObjRef) -> ();
+        /// Resolve a name, if bound and not poisoned.
+        fn lookup(&mut self, name: String) -> Option<ObjRef>;
+        /// Remove a binding; true if it existed.
+        fn unbind(&mut self, name: String) -> bool;
+        /// All names in this shard's partition with the given prefix.
+        fn list(&mut self, prefix: String) -> Vec<String>;
+        /// Number of bindings in this shard's partition.
+        fn len(&mut self) -> usize;
+        /// Full lease record of a name: `(target, epoch, poisoned)`.
+        fn lease_of(&mut self, name: String) -> Option<(ObjRef, u64, bool)>;
+        /// Epoch CAS (see [`DirectoryClient::claim`]).
+        fn claim(&mut self, name: String, expect: u64) -> Option<u64>;
+        /// Fenced rebind (see [`DirectoryClient::bind_fenced`]).
+        fn bind_fenced(&mut self, name: String, target: ObjRef, epoch: u64) -> bool;
+        /// Poison a name (see [`DirectoryClient::poison`]).
+        fn poison(&mut self, name: String) -> ();
+        /// The name's read-replica set and replica-set epoch, if bound.
+        fn replica_set(&mut self, name: String) -> Option<(Vec<ObjRef>, u64)>;
+        /// Replica-set CAS (see [`DirectoryClient::set_replicas`]).
+        fn set_replicas(&mut self, name: String, replicas: Vec<ObjRef>, expect: u64) -> Option<u64>;
+        /// Scrub a dead machine's replicas from this partition's records.
+        fn purge_replicas_on(&mut self, machine: usize) -> usize;
+        /// This shard's `(index, total)` in the shard map — lets a client
+        /// audit that a seat really serves the partition it claims.
+        fn shard_info(&mut self) -> (u64, u64);
+    }
+}
+
+impl DirShard {
+    /// Constructor: an empty partition `index` of `total`.
+    pub fn new(_ctx: &mut NodeCtx, index: u64, total: u64) -> RemoteResult<Self> {
+        if total == 0 || index >= total {
+            return Err(RemoteError::app(format!(
+                "DirShard: seat {index} outside shard map of {total}"
+            )));
+        }
+        Ok(DirShard {
+            index,
+            total,
+            map: LeaseMap::default(),
+        })
+    }
+
+    /// Snapshot the partition (the `persistent;` contract).
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = wire::Writer::new();
+        wire::Wire::encode(&self.index, &mut w);
+        wire::Wire::encode(&self.total, &mut w);
+        self.map.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restore a partition from its snapshot (the `persistent;` contract).
+    pub fn load_state(_ctx: &mut NodeCtx, state: &[u8]) -> RemoteResult<Self> {
+        let mut r = wire::Reader::new(state);
+        let index = <u64 as wire::Wire>::decode(&mut r)?;
+        let total = <u64 as wire::Wire>::decode(&mut r)?;
+        let map = LeaseMap::decode(&mut r)?;
+        Ok(DirShard { index, total, map })
+    }
+
+    fn guard(&self, name: &str) -> RemoteResult<()> {
+        // A request for a name outside this partition means the caller's
+        // shard map is wrong (or the seat was rebound to the wrong shard
+        // object); answering it would silently fork the namespace.
+        if self.total > 1 && shard_of_name(name, self.total as u32) != self.index as u32 {
+            return Err(RemoteError::app(format!(
+                "{name}: routed to shard {}/{} but hashes elsewhere",
+                self.index, self.total
+            )));
+        }
+        Ok(())
+    }
+
+    fn bind(&mut self, _ctx: &mut NodeCtx, name: String, target: ObjRef) -> RemoteResult<()> {
+        self.guard(&name)?;
+        self.map.bind(name, target);
+        Ok(())
+    }
+
+    fn lookup(&mut self, _ctx: &mut NodeCtx, name: String) -> RemoteResult<Option<ObjRef>> {
+        self.guard(&name)?;
+        Ok(self.map.lookup(&name))
+    }
+
+    fn unbind(&mut self, _ctx: &mut NodeCtx, name: String) -> RemoteResult<bool> {
+        self.guard(&name)?;
+        Ok(self.map.unbind(&name))
+    }
+
+    fn list(&mut self, _ctx: &mut NodeCtx, prefix: String) -> RemoteResult<Vec<String>> {
+        Ok(self.map.list(&prefix))
+    }
+
+    fn len(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<usize> {
+        Ok(self.map.len())
+    }
+
+    fn lease_of(
+        &mut self,
+        _ctx: &mut NodeCtx,
+        name: String,
+    ) -> RemoteResult<Option<(ObjRef, u64, bool)>> {
+        self.guard(&name)?;
+        Ok(self.map.lease_of(&name))
+    }
+
+    fn claim(
+        &mut self,
+        _ctx: &mut NodeCtx,
+        name: String,
+        expect: u64,
+    ) -> RemoteResult<Option<u64>> {
+        self.guard(&name)?;
+        Ok(self.map.claim(&name, expect))
+    }
+
+    fn bind_fenced(
+        &mut self,
+        _ctx: &mut NodeCtx,
+        name: String,
+        target: ObjRef,
+        epoch: u64,
+    ) -> RemoteResult<bool> {
+        self.guard(&name)?;
+        Ok(self.map.bind_fenced(name, target, epoch))
+    }
+
+    fn poison(&mut self, _ctx: &mut NodeCtx, name: String) -> RemoteResult<()> {
+        self.guard(&name)?;
+        self.map.poison(&name);
+        Ok(())
+    }
+
+    fn replica_set(
+        &mut self,
+        _ctx: &mut NodeCtx,
+        name: String,
+    ) -> RemoteResult<Option<(Vec<ObjRef>, u64)>> {
+        self.guard(&name)?;
+        Ok(self.map.replica_set(&name))
+    }
+
+    fn set_replicas(
+        &mut self,
+        _ctx: &mut NodeCtx,
+        name: String,
+        replicas: Vec<ObjRef>,
+        expect: u64,
+    ) -> RemoteResult<Option<u64>> {
+        self.guard(&name)?;
+        Ok(self.map.set_replicas(&name, replicas, expect))
+    }
+
+    fn purge_replicas_on(&mut self, _ctx: &mut NodeCtx, machine: usize) -> RemoteResult<usize> {
+        Ok(self.map.purge_replicas_on(machine))
+    }
+
+    fn shard_info(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<(u64, u64)> {
+        Ok((self.index, self.total))
+    }
+}
+
+/// Rounds a routed call retries through re-resolution before surfacing
+/// the shard's failure. Each failed round re-reads the shard's seat from
+/// the root directory after a short serving beat, so a takeover that
+/// rebinds the seat mid-retry is picked up without any invalidation
+/// broadcast.
+const SHARD_RETRY_ROUNDS: usize = 10;
+
+/// The serving beat between shard-retry rounds.
+const SHARD_RETRY_BEAT: Duration = Duration::from_millis(25);
+
+/// The cluster name service, as clients see it: a `Copy` routing facade
+/// over either the classic single [`Directory`] (`shards == 0`) or a
+/// hash-partitioned set of [`DirShard`]s (DESIGN.md §14).
+///
+/// Routing rules:
+/// * `shards == 0` — every call goes to the root directory object; this
+///   is byte-compatible with the pre-sharding protocol.
+/// * names under [`DIRSVC_PREFIX`] — always the root (the shard seats
+///   live there; routing them through a shard would be circular);
+/// * everything else — the shard [`shard_of_name`] picks.
+///
+/// Shard seats are located lazily through the root and cached in the
+/// per-node resolve cache under their [`shard_addr`]; a call that fails
+/// with a timeout / fence / double-redirect invalidates the cached seat,
+/// re-reads it from the root (which the management plane rebinds after a
+/// failover), and retries — bounded by a fixed round budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NameService {
+    root: ObjRef,
+    shards: u32,
+}
+
+impl NameService {
+    /// The classic single-directory service: every name lives in `root`.
+    pub fn classic(root: ObjRef) -> Self {
+        NameService { root, shards: 0 }
+    }
+
+    /// A sharded service over `shards` partitions seated in `root`.
+    pub fn sharded(root: ObjRef, shards: u32) -> Self {
+        NameService { root, shards }
+    }
+
+    /// The root directory object (shard seats and reserved names live
+    /// there; with `shards() == 0` it holds every name).
+    pub fn obj_ref(&self) -> ObjRef {
+        self.root
+    }
+
+    /// Number of partitions (0 = classic single directory).
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The raw root-directory client (management plane and tests).
+    pub fn root_client(&self) -> DirectoryClient {
+        crate::RemoteClient::from_ref(self.root)
+    }
+
+    /// The shard `name` routes to; `None` when the name is served by the
+    /// root (classic mode, or a reserved `_dirsvc` name).
+    pub fn shard_for(&self, name: &str) -> Option<u32> {
+        if self.shards == 0 || name.starts_with(DIRSVC_PREFIX) {
+            None
+        } else {
+            Some(shard_of_name(name, self.shards))
+        }
+    }
+
+    /// Locate shard `index`'s seat: per-node resolve cache first, root
+    /// directory on a miss.
+    fn shard_seat(&self, ctx: &mut NodeCtx, index: u32) -> RemoteResult<ObjRef> {
+        let addr = shard_addr(index);
+        if let Some(r) = ctx.cached_resolve(&addr) {
+            return Ok(r);
+        }
+        match self.root_client().lookup(ctx, addr.clone())? {
+            Some(r) => {
+                ctx.cache_resolve(&addr, r);
+                Ok(r)
+            }
+            None => Err(RemoteError::app(format!(
+                "{addr}: shard seat not bound in the root directory"
+            ))),
+        }
+    }
+
+    /// Run `op` against shard `index`, re-resolving the seat and retrying
+    /// on the errors that signal a failed or fenced seat. Errors that are
+    /// the *answer* (app errors, missing methods) surface immediately.
+    fn with_shard<T>(
+        &self,
+        ctx: &mut NodeCtx,
+        index: u32,
+        mut op: impl FnMut(&mut NodeCtx, &DirShardClient) -> RemoteResult<T>,
+    ) -> RemoteResult<T> {
+        let addr = shard_addr(index);
+        let mut last: Option<RemoteError> = None;
+        for round in 0..SHARD_RETRY_ROUNDS {
+            if round > 0 {
+                // Let the failover land (claim, promote/restore, rebind)
+                // before re-reading the seat.
+                ctx.serve_for(SHARD_RETRY_BEAT);
+            }
+            let seat = match self.shard_seat(ctx, index) {
+                Ok(s) => s,
+                Err(e @ RemoteError::Timeout { .. }) => return Err(e), // root gone: unrecoverable here
+                Err(e) => {
+                    // Seat unbound mid-failover: re-read next round.
+                    last = Some(e);
+                    continue;
+                }
+            };
+            let client: DirShardClient = crate::RemoteClient::from_ref(seat);
+            match op(ctx, &client) {
+                Ok(v) => return Ok(v),
+                Err(
+                    e @ (RemoteError::Timeout { .. }
+                    | RemoteError::Fenced { .. }
+                    | RemoteError::Moved { .. }
+                    | RemoteError::NoSuchObject { .. }),
+                ) => {
+                    // The seat is dead, fenced, or forwarded past the
+                    // chase budget: drop it and re-resolve from the root.
+                    ctx.invalidate_resolve(&addr);
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(RemoteError::NoSuchSnapshot { key: addr }))
+    }
+
+    /// Bind `name` to a live object (see [`DirectoryClient::bind`]).
+    pub fn bind(&self, ctx: &mut NodeCtx, name: String, target: ObjRef) -> RemoteResult<()> {
+        match self.shard_for(&name) {
+            None => self.root_client().bind(ctx, name, target),
+            Some(i) => self.with_shard(ctx, i, |ctx, s| s.bind(ctx, name.clone(), target)),
+        }
+    }
+
+    /// Resolve a name, if bound and not poisoned.
+    pub fn lookup(&self, ctx: &mut NodeCtx, name: String) -> RemoteResult<Option<ObjRef>> {
+        match self.shard_for(&name) {
+            None => self.root_client().lookup(ctx, name),
+            Some(i) => self.with_shard(ctx, i, |ctx, s| s.lookup(ctx, name.clone())),
+        }
+    }
+
+    /// Remove a binding; true if it existed.
+    pub fn unbind(&self, ctx: &mut NodeCtx, name: String) -> RemoteResult<bool> {
+        match self.shard_for(&name) {
+            None => self.root_client().unbind(ctx, name),
+            Some(i) => self.with_shard(ctx, i, |ctx, s| s.unbind(ctx, name.clone())),
+        }
+    }
+
+    /// All bound names with the given prefix, across every partition
+    /// (sorted). In sharded mode the control plane's own reserved names
+    /// are reported only when explicitly asked for (a prefix inside
+    /// [`DIRSVC_PREFIX`]) — `list("oopp://…")` of user names must not
+    /// change meaning when sharding is switched on.
+    pub fn list(&self, ctx: &mut NodeCtx, prefix: String) -> RemoteResult<Vec<String>> {
+        if self.shards == 0 {
+            return self.root_client().list(ctx, prefix);
+        }
+        let mut names: Vec<String> = self
+            .root_client()
+            .list(ctx, prefix.clone())?
+            .into_iter()
+            .filter(|n| prefix.starts_with(DIRSVC_PREFIX) || !n.starts_with(DIRSVC_PREFIX))
+            .collect();
+        for i in 0..self.shards {
+            names.extend(self.with_shard(ctx, i, |ctx, s| s.list(ctx, prefix.clone()))?);
+        }
+        names.sort();
+        names.dedup();
+        Ok(names)
+    }
+
+    /// Number of user-visible bindings across every partition (reserved
+    /// control-plane names excluded in sharded mode).
+    pub fn len(&self, ctx: &mut NodeCtx) -> RemoteResult<usize> {
+        if self.shards == 0 {
+            return self.root_client().len(ctx);
+        }
+        let reserved = self.root_client().list(ctx, DIRSVC_PREFIX.to_string())?;
+        let mut n = self.root_client().len(ctx)? - reserved.len();
+        for i in 0..self.shards {
+            n += self.with_shard(ctx, i, |ctx, s| s.len(ctx))?;
+        }
+        Ok(n)
+    }
+
+    /// Full lease record of a name: `(target, epoch, poisoned)`.
+    pub fn lease_of(
+        &self,
+        ctx: &mut NodeCtx,
+        name: String,
+    ) -> RemoteResult<Option<(ObjRef, u64, bool)>> {
+        match self.shard_for(&name) {
+            None => self.root_client().lease_of(ctx, name),
+            Some(i) => self.with_shard(ctx, i, |ctx, s| s.lease_of(ctx, name.clone())),
+        }
+    }
+
+    /// Epoch CAS (see [`DirectoryClient::claim`]).
+    pub fn claim(&self, ctx: &mut NodeCtx, name: String, expect: u64) -> RemoteResult<Option<u64>> {
+        match self.shard_for(&name) {
+            None => self.root_client().claim(ctx, name, expect),
+            Some(i) => self.with_shard(ctx, i, |ctx, s| s.claim(ctx, name.clone(), expect)),
+        }
+    }
+
+    /// Fenced rebind (see [`DirectoryClient::bind_fenced`]).
+    pub fn bind_fenced(
+        &self,
+        ctx: &mut NodeCtx,
+        name: String,
+        target: ObjRef,
+        epoch: u64,
+    ) -> RemoteResult<bool> {
+        match self.shard_for(&name) {
+            None => self.root_client().bind_fenced(ctx, name, target, epoch),
+            Some(i) => self.with_shard(ctx, i, |ctx, s| {
+                s.bind_fenced(ctx, name.clone(), target, epoch)
+            }),
+        }
+    }
+
+    /// Poison a name (see [`DirectoryClient::poison`]).
+    pub fn poison(&self, ctx: &mut NodeCtx, name: String) -> RemoteResult<()> {
+        match self.shard_for(&name) {
+            None => self.root_client().poison(ctx, name),
+            Some(i) => self.with_shard(ctx, i, |ctx, s| s.poison(ctx, name.clone())),
+        }
+    }
+
+    /// The name's read-replica set and replica-set epoch, if bound.
+    pub fn replica_set(
+        &self,
+        ctx: &mut NodeCtx,
+        name: String,
+    ) -> RemoteResult<Option<(Vec<ObjRef>, u64)>> {
+        match self.shard_for(&name) {
+            None => self.root_client().replica_set(ctx, name),
+            Some(i) => self.with_shard(ctx, i, |ctx, s| s.replica_set(ctx, name.clone())),
+        }
+    }
+
+    /// Replica-set CAS (see [`DirectoryClient::set_replicas`]).
+    pub fn set_replicas(
+        &self,
+        ctx: &mut NodeCtx,
+        name: String,
+        replicas: Vec<ObjRef>,
+        expect: u64,
+    ) -> RemoteResult<Option<u64>> {
+        match self.shard_for(&name) {
+            None => self.root_client().set_replicas(ctx, name, replicas, expect),
+            Some(i) => self.with_shard(ctx, i, |ctx, s| {
+                s.set_replicas(ctx, name.clone(), replicas.clone(), expect)
+            }),
+        }
+    }
+
+    /// Scrub a dead machine's replicas from every record, in the root and
+    /// every partition; returns how many records changed.
+    ///
+    /// The partition sweep is **best-effort** — this runs on the
+    /// declare-dead path, where a shard seated *on* the purged machine
+    /// may itself be mid-takeover. Each partition gets exactly one
+    /// attempt, no retry rounds: burning the seat-chase budget here would
+    /// stall the very supervision step that heals the shard. A partition
+    /// that cannot answer is left for its own recovery (the replica
+    /// manager's shrink converges any replica routes it held); on a
+    /// healthy fabric every shard answers and the count is exact. A root
+    /// failure still surfaces — without the arbiter nothing safe can
+    /// happen.
+    pub fn purge_replicas_on(&self, ctx: &mut NodeCtx, machine: usize) -> RemoteResult<usize> {
+        let mut changed = self.root_client().purge_replicas_on(ctx, machine)?;
+        for i in 0..self.shards {
+            let Ok(seat) = self.shard_seat(ctx, i) else {
+                continue;
+            };
+            let client: DirShardClient = crate::RemoteClient::from_ref(seat);
+            match client.purge_replicas_on(ctx, machine) {
+                Ok(n) => changed += n,
+                // Stale seat: drop it so the next routed op re-resolves.
+                Err(_) => ctx.invalidate_resolve(&shard_addr(i)),
             }
         }
         Ok(changed)
     }
 }
+
+wire::wire_struct!(NameService { root, shards });
 
 /// Dereference a symbolic address — the paper's
 /// `PageDevice *pd = "http://data/set/PageDevice/34";`.
@@ -266,7 +884,7 @@ impl Directory {
 /// fresh process so later resolutions find it live.
 pub fn resolve_or_activate<C: crate::RemoteClient>(
     ctx: &mut NodeCtx,
-    dir: &DirectoryClient,
+    dir: &NameService,
     machine: usize,
     addr: &str,
 ) -> RemoteResult<C> {
@@ -290,7 +908,7 @@ pub fn resolve_or_activate<C: crate::RemoteClient>(
 /// the name so later resolutions find the fresh process directly.
 ///
 /// This is the recovery path for a call that exhausted its retries with
-/// [`RemoteError::Timeout`](crate::RemoteError::Timeout): the caller drops
+/// [`RemoteError::Timeout`]: the caller drops
 /// its stale remote pointer, resolves the symbolic address again through
 /// this function, and resumes against the reactivated process.
 ///
@@ -309,7 +927,7 @@ pub fn resolve_or_activate<C: crate::RemoteClient>(
 /// points at the reactivated process. No invalidation broadcast needed.
 pub fn resolve_or_activate_supervised<C: crate::RemoteClient>(
     ctx: &mut NodeCtx,
-    dir: &DirectoryClient,
+    dir: &NameService,
     addr: &str,
     candidates: &[usize],
 ) -> RemoteResult<C> {
@@ -410,7 +1028,7 @@ pub fn resolve_or_activate_supervised<C: crate::RemoteClient>(
 /// never a dangling name.
 pub fn migrate_bound(
     ctx: &mut NodeCtx,
-    dir: &DirectoryClient,
+    dir: &NameService,
     addr: &str,
     target: usize,
 ) -> RemoteResult<ObjRef> {
@@ -437,5 +1055,40 @@ mod tests {
         );
         assert_eq!(symbolic_addr(&[]), "oopp://");
         assert_eq!(symbolic_addr(&["x"]), "oopp://x");
+    }
+
+    #[test]
+    fn shard_hash_is_stable_and_total() {
+        // Pinned values: the routing hash is a wire contract — changing
+        // it strands every record in the wrong shard.
+        assert_eq!(shard_of_name("oopp://a", 4), shard_of_name("oopp://a", 4));
+        for shards in [1u32, 2, 3, 4, 8] {
+            for i in 0..64 {
+                let name = symbolic_addr(&["spread", &i.to_string()]);
+                assert!(shard_of_name(&name, shards) < shards);
+            }
+        }
+        // Every shard of a small map receives some of a modest key set.
+        let mut hit = [false; 4];
+        for i in 0..64 {
+            hit[shard_of_name(&symbolic_addr(&["k", &i.to_string()]), 4) as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "FNV-1a must spread keys: {hit:?}");
+    }
+
+    #[test]
+    fn reserved_names_route_to_the_root() {
+        let root = ObjRef {
+            machine: 0,
+            object: 7,
+        };
+        let ns = NameService::sharded(root, 8);
+        assert_eq!(ns.shard_for(&shard_addr(3)), None);
+        assert_eq!(ns.shard_for("oopp://_dirsvc/anything"), None);
+        assert!(ns.shard_for("oopp://user/name").is_some());
+        let classic = NameService::classic(root);
+        assert_eq!(classic.shard_for("oopp://user/name"), None);
+        assert_eq!(classic.shards(), 0);
+        assert_eq!(classic.obj_ref(), root);
     }
 }

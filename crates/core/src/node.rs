@@ -789,6 +789,7 @@ impl NodeCtx {
                             self.drop_replica_from_route(primary, old);
                         }
                         self.note_move(old, to);
+                        self.rebind_resolutions(old, to);
                         if hops == 0
                             && to.machine < self.machines()
                             && self.chase_forward(req_id, to, attempts)
@@ -825,6 +826,7 @@ impl NodeCtx {
                         Some(c) if c.read_primary.is_some() => {
                             let replica = c.target;
                             self.drop_replica_from_route(primary, replica);
+                            self.purge_resolutions_to(replica);
                             if self.redirect_read_to_primary(req_id, primary, attempts) {
                                 attempts = 1;
                                 deadline = self.clock.now_nanos() + timeout;
@@ -844,7 +846,12 @@ impl NodeCtx {
                 // the incarnation epoch so the caller's next attempt
                 // (after re-resolving) is stamped correctly.
                 if let (Err(RemoteError::Fenced { current_epoch }), Some(c)) = (&result, &call) {
-                    self.note_epoch(c.target, *current_epoch);
+                    let target = c.target;
+                    self.note_epoch(target, *current_epoch);
+                    // The fence surfaced (not transparently upgraded): the
+                    // pointer names a dead incarnation. Any cached name
+                    // resolution to it must re-resolve.
+                    self.purge_resolutions_to(target);
                 }
                 if let (Some(tracer), Some(call)) = (&self.tracer, &call) {
                     if let Some(t) = &call.trace {
@@ -1676,8 +1683,17 @@ impl NodeCtx {
     /// Cached result of a previous symbolic-address resolution, if any.
     /// Callers must treat a hit as a hint and verify liveness — see
     /// [`resolve_or_activate_supervised`](crate::naming::resolve_or_activate_supervised).
+    /// Hits and misses feed the `dir_cache_hits` / `dir_cache_misses`
+    /// counters in [`NodeStats`] — the measure of how
+    /// much resolution traffic the cache keeps off the control plane.
     pub fn cached_resolve(&self, addr: &str) -> Option<ObjRef> {
-        self.resolve_cache.get(addr).copied()
+        let hit = self.resolve_cache.get(addr).copied();
+        if hit.is_some() {
+            bump!(self.shared.stats, dir_cache_hits);
+        } else {
+            bump!(self.shared.stats, dir_cache_misses);
+        }
+        hit
     }
 
     /// Remember a verified resolution for `addr`.
@@ -1694,6 +1710,24 @@ impl NodeCtx {
     /// crashed, or the pointer double-forwarded).
     pub fn invalidate_resolve(&mut self, addr: &str) {
         self.resolve_cache.remove(addr);
+    }
+
+    /// Re-point every cached resolution at `old` to `new` — called when a
+    /// `Moved` redirect teaches this node that the object migrated, so
+    /// names resolving to it keep hitting the cache at the new home.
+    fn rebind_resolutions(&mut self, old: ObjRef, new: ObjRef) {
+        for v in self.resolve_cache.values_mut() {
+            if *v == old {
+                *v = new;
+            }
+        }
+    }
+
+    /// Drop every cached resolution pointing at `stale` — called when a
+    /// surfaced `Fenced` or `StaleReplica` verdict proves the pointer no
+    /// longer names the object's current incarnation.
+    fn purge_resolutions_to(&mut self, stale: ObjRef) {
+        self.resolve_cache.retain(|_, v| *v != stale);
     }
 
     // ------------------------------------------------------------------

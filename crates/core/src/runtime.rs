@@ -16,8 +16,9 @@ use wire::collections::Bytes;
 use crate::array::{ByteBlock, DoubleBlock};
 use crate::frame::Frame;
 use crate::group::Barrier;
-use crate::ids::ObjRef;
-use crate::naming::{Directory, DirectoryClient};
+use crate::naming::{
+    shard_addr, DirShard, DirShardClient, Directory, DirectoryClient, NameService,
+};
 use crate::node::{NodeCtx, WorkerLane};
 use crate::policy::CallPolicy;
 use crate::process::{ClassRegistry, RemoteClient, ServerClass};
@@ -37,6 +38,7 @@ use crate::trace::{Recorder, TraceCtx, DEFAULT_TRACE_CAPACITY};
 pub struct ClusterBuilder {
     workers: usize,
     sched_workers: usize,
+    dir_shards: u32,
     sim_config: ClusterConfig,
     registry: ClassRegistry,
     policy: CallPolicy,
@@ -54,9 +56,11 @@ impl ClusterBuilder {
         registry.register::<ByteBlock>();
         registry.register::<Barrier>();
         registry.register::<Directory>();
+        registry.register::<DirShard>();
         ClusterBuilder {
             workers,
             sched_workers: 0,
+            dir_shards: 0,
             sim_config: ClusterConfig::zero_cost(workers + 1),
             registry,
             policy: CallPolicy::default(),
@@ -74,6 +78,21 @@ impl ClusterBuilder {
     /// way.
     pub fn sched_workers(mut self, n: usize) -> Self {
         self.sched_workers = n;
+        self
+    }
+
+    /// Partition the control plane over `n` [`DirShard`] objects
+    /// (DESIGN.md §14). With `n = 0` (the default) the cluster keeps the
+    /// classic single [`Directory`] on machine 0 — byte-compatible with
+    /// every prior release. With `n > 0` the builder creates `n` shard
+    /// objects round-robin across the worker machines, seats them in the
+    /// root directory under `oopp://_dirsvc/shard/<i>`, and
+    /// [`Driver::directory`] returns a [`NameService`] that routes each
+    /// name to its shard by a stable hash. Shards are persistent and
+    /// declare read verbs, so `crates/dirsvc`'s management plane can
+    /// supervise and replicate them like any other object.
+    pub fn dir_shards(mut self, n: u32) -> Self {
+        self.dir_shards = n;
         self
     }
 
@@ -127,6 +146,7 @@ impl ClusterBuilder {
         let ClusterBuilder {
             workers,
             sched_workers,
+            dir_shards,
             sim_config,
             registry,
             policy,
@@ -250,11 +270,31 @@ impl ClusterBuilder {
             recorder.as_ref().map(|r| r.tracer_lane(driver_id, 0)),
         );
 
-        // The cluster name service lives on machine 0 (§5 symbolic
-        // addresses resolve against it).
-        let directory = DirectoryClient::new_on(&mut driver_ctx, 0)
-            .expect("create cluster directory")
-            .obj_ref();
+        // The cluster name service root lives on machine 0 (§5 symbolic
+        // addresses resolve against it). In sharded mode the root only
+        // holds the reserved `_dirsvc` seats; user names live in the
+        // shards, created round-robin across the workers and seated in
+        // the root so clients can locate them (DESIGN.md §14).
+        let root_dir =
+            DirectoryClient::new_on(&mut driver_ctx, 0).expect("create cluster directory");
+        let root = root_dir.obj_ref();
+        let directory = if dir_shards == 0 {
+            NameService::classic(root)
+        } else {
+            for i in 0..dir_shards {
+                let shard = DirShardClient::new_on(
+                    &mut driver_ctx,
+                    i as usize % workers,
+                    i as u64,
+                    dir_shards as u64,
+                )
+                .expect("create directory shard");
+                root_dir
+                    .bind(&mut driver_ctx, shard_addr(i), shard.obj_ref())
+                    .expect("seat directory shard");
+            }
+            NameService::sharded(root, dir_shards)
+        };
 
         let cluster = Cluster {
             sim,
@@ -370,7 +410,7 @@ impl Drop for Cluster {
 /// available directly: `FooClient::new_on(&mut driver, machine, ...)`.
 pub struct Driver {
     ctx: NodeCtx,
-    directory: ObjRef,
+    directory: NameService,
 }
 
 impl std::fmt::Debug for Driver {
@@ -382,9 +422,11 @@ impl std::fmt::Debug for Driver {
 }
 
 impl Driver {
-    /// The cluster name service (§5 symbolic addresses).
-    pub fn directory(&self) -> DirectoryClient {
-        DirectoryClient::from_ref(self.directory)
+    /// The cluster name service (§5 symbolic addresses): the classic
+    /// single directory, or the sharded control plane when the cluster
+    /// was built with [`ClusterBuilder::dir_shards`].
+    pub fn directory(&self) -> NameService {
+        self.directory
     }
 }
 

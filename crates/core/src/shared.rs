@@ -156,6 +156,8 @@ pub(crate) struct SharedStats {
     pub(crate) replica_reads_served: AtomicU64,
     pub(crate) replica_reads_stale: AtomicU64,
     pub(crate) replica_syncs_sent: AtomicU64,
+    pub(crate) dir_cache_hits: AtomicU64,
+    pub(crate) dir_cache_misses: AtomicU64,
 }
 
 macro_rules! bump {
@@ -184,6 +186,8 @@ impl SharedStats {
             replica_reads_served: g(&self.replica_reads_served),
             replica_reads_stale: g(&self.replica_reads_stale),
             replica_syncs_sent: g(&self.replica_syncs_sent),
+            dir_cache_hits: g(&self.dir_cache_hits),
+            dir_cache_misses: g(&self.dir_cache_misses),
         }
     }
 }

@@ -44,7 +44,7 @@
 use std::collections::HashSet;
 use std::time::Duration;
 
-use oopp::{DirectoryClient, EventKind, NodeCtx, ObjRef, RemoteClient, RemoteError, RemoteResult};
+use oopp::{EventKind, NameService, NodeCtx, ObjRef, RemoteClient, RemoteError, RemoteResult};
 
 /// How a replica set stays coherent with its primary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,14 +122,14 @@ struct Managed {
 #[derive(Debug)]
 pub struct ReplicaManager {
     config: ReplicaConfig,
-    dir: DirectoryClient,
+    dir: NameService,
     managed: Vec<Managed>,
     stats: ReplicaStats,
 }
 
 impl ReplicaManager {
     /// A manager arbitrating replica sets through the naming directory.
-    pub fn new(config: ReplicaConfig, dir: DirectoryClient) -> Self {
+    pub fn new(config: ReplicaConfig, dir: NameService) -> Self {
         ReplicaManager {
             config,
             dir,
@@ -613,7 +613,7 @@ mod tests {
     fn footprint_of_unmanaged_name_is_empty() {
         let mgr = ReplicaManager::new(
             ReplicaConfig::default(),
-            DirectoryClient::from_ref(ObjRef {
+            NameService::classic(ObjRef {
                 machine: 0,
                 object: 1,
             }),

@@ -35,12 +35,12 @@
 //! heartbeats again. The ordering is the whole point: resuming heartbeats
 //! first would revive the old incarnations' lease while two copies exist.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
 use oopp::{
-    Backoff, CallPolicy, DirectoryClient, EventKind, NodeCtx, ObjRef, RemoteClient, RemoteResult,
+    Backoff, CallPolicy, EventKind, NameService, NodeCtx, ObjRef, RemoteClient, RemoteResult,
 };
 use placement::{reactivation_target, MachineSample};
 use simnet::Metrics;
@@ -135,6 +135,11 @@ pub struct SupervisionStats {
     pub recoveries_failed: u64,
     /// Names poisoned after a failed recovery.
     pub names_poisoned: u64,
+    /// Control-loop stalls absorbed: step gaps long enough that the
+    /// supervisor, not the fabric, starved machines of heartbeat
+    /// opportunities. Convictions ride out such gaps because they also
+    /// require a fully expired heartbeat as evidence.
+    pub stalls_absorbed: u64,
 }
 
 /// One completed takeover, as reported by [`Supervisor::step`].
@@ -208,12 +213,24 @@ struct InFlight {
 pub struct Supervisor {
     config: SupervisorConfig,
     machines: Vec<usize>,
-    dir: DirectoryClient,
+    dir: NameService,
     detector: FailureDetector,
     /// Clock origin in cluster-clock nanos, anchored at the first `step`
     /// (the constructor has no `NodeCtx`, hence no clock to read).
     start: Option<u64>,
     state: HashMap<usize, MState>,
+    /// Cluster-clock nanos of the previous `step` entry, for spotting
+    /// control-loop stalls (a takeover or dead-shard purge can hold one
+    /// step for hundreds of milliseconds).
+    last_step: Option<u64>,
+    /// Machines with a fully expired heartbeat on record: a beat was
+    /// sent (stamped at actual send time), a whole lease elapsed, and no
+    /// reply had arrived when it was reaped. Cleared by any acknowledged
+    /// heartbeat. This is the conviction evidence that survives
+    /// control-loop stalls: replies are always collected before a beat
+    /// is abandoned, so a live machine's ack lands even when the reap
+    /// itself is late.
+    beat_expired: HashSet<usize>,
     last_sent: HashMap<usize, u64>,
     in_flight: HashMap<u64, InFlight>,
     regs: Vec<Registration>,
@@ -226,7 +243,7 @@ impl Supervisor {
     /// naming directory `dir`. The driver's own machine (and the
     /// directory's) must not be in `machines`: the supervision root
     /// cannot fail over itself.
-    pub fn new(config: SupervisorConfig, machines: Vec<usize>, dir: DirectoryClient) -> Self {
+    pub fn new(config: SupervisorConfig, machines: Vec<usize>, dir: NameService) -> Self {
         let state = machines
             .iter()
             .map(|&m| (m, MState::Up { suspected: false }))
@@ -246,6 +263,8 @@ impl Supervisor {
             dir,
             start: None,
             state,
+            last_step: None,
+            beat_expired: HashSet::new(),
             last_sent: HashMap::new(),
             in_flight: HashMap::new(),
             regs: Vec::new(),
@@ -358,6 +377,18 @@ impl Supervisor {
     pub fn step(&mut self, ctx: &mut NodeCtx) -> RemoteResult<Vec<Recovery>> {
         let now = ctx.now_nanos();
         self.start.get_or_insert(now);
+        // A gap between steps longer than half a lease means the control
+        // loop itself stalled (a takeover, a purge against a corpse) and
+        // starved every machine of heartbeat opportunities. Counted for
+        // observability; convictions stay safe through stalls because
+        // they require a fully expired heartbeat as evidence, and reap
+        // collects replies before it abandons anything.
+        if let Some(prev) = self.last_step {
+            if now.saturating_sub(prev) > self.config.lease_ttl.as_nanos() as u64 / 2 {
+                self.stats.stalls_absorbed += 1;
+            }
+        }
+        self.last_step = Some(now);
         ctx.poll();
         self.reap(ctx, now);
         let mut recoveries = Vec::new();
@@ -400,12 +431,20 @@ impl Supervisor {
                     BeatKind::Beat => {
                         let off = self.offset(now);
                         self.detector.heartbeat(fl.machine, off);
+                        self.beat_expired.remove(&fl.machine);
                     }
                     BeatKind::Probe => self.note_resurrection(ctx, fl.machine),
                 }
             } else if now.saturating_sub(fl.sent) > self.config.lease_ttl.as_nanos() as u64 {
                 ctx.abandon_call(id);
                 self.in_flight.remove(&id);
+                // A whole lease passed since the actual send and the
+                // reply slot is still empty *at this poll*: that is a
+                // complete, stall-immune round-trip opportunity the
+                // machine failed. Conviction evidence.
+                if fl.kind == BeatKind::Beat {
+                    self.beat_expired.insert(fl.machine);
+                }
             }
         }
     }
@@ -427,14 +466,19 @@ impl Supervisor {
             // Probes must not renew the lease: a plain daemon ping.
             BeatKind::Probe => ctx.start_method_raw(ObjRef::daemon(m), "ping", |_| {}),
         };
-        self.last_sent.insert(m, now);
+        // Stamp with the *actual* send time, not the step's entry time: a
+        // stall earlier in this step (a takeover on another machine) must
+        // not age this beat before it is even on the wire, or `reap`
+        // would abandon it with its reply already in flight.
+        let sent = ctx.now_nanos();
+        self.last_sent.insert(m, sent);
         if let Ok(req_id) = started {
             self.in_flight.insert(
                 req_id,
                 InFlight {
                     machine: m,
                     kind,
-                    sent: now,
+                    sent,
                 },
             );
         }
@@ -474,9 +518,17 @@ impl Supervisor {
                 // The lease gate: takeover only after the machine has
                 // gone `lease_ttl` without an acknowledged heartbeat, at
                 // which point it is self-fenced whether dead or merely
-                // unreachable.
+                // unreachable. Conviction additionally requires a fully
+                // expired heartbeat — one this supervisor sent, waited a
+                // whole lease on, and found unanswered at a poll. A calm
+                // detection window alone is not enough: a control-loop
+                // stall (a takeover, a purge against a corpse) starves
+                // live machines of ack opportunities, and the silence the
+                // supervisor caused is not evidence against them.
                 let last = self.detector.last_heartbeat(m).unwrap_or_default();
-                if off.saturating_sub(last) >= self.config.lease_ttl {
+                if self.beat_expired.contains(&m)
+                    && off.saturating_sub(last) >= self.config.lease_ttl
+                {
                     let detect = off.saturating_sub(last);
                     self.declare_dead(ctx, m, detect, recoveries)?;
                 }
@@ -502,8 +554,15 @@ impl Supervisor {
         // on the corpse either: a resolver that refreshed its read route
         // from a stale record would aim reads at the dead machine. The
         // purge bumps each affected record's replica-set epoch, so live
-        // replicas re-fence on their next sync.
-        self.dir.purge_replicas_on(ctx, m)?;
+        // replicas re-fence on their next sync. Probe policy: on a
+        // sharded directory the purge fans out to every partition, and a
+        // partition seated on the corpse must cost one short window, not
+        // a full retry cycle that starves everyone else's heartbeats.
+        let saved = ctx.call_policy();
+        ctx.set_call_policy(CallPolicy::probe(self.config.lease_ttl));
+        let purged = self.dir.purge_replicas_on(ctx, m);
+        ctx.set_call_policy(saved);
+        purged?;
         let mut taken = Vec::new();
         let lost: Vec<usize> = (0..self.regs.len())
             .filter(|&i| self.regs[i].current.machine == m)
@@ -700,6 +759,9 @@ impl Supervisor {
             // would read as "never heard from", i.e. phi = 0, forever).
             self.detector.heartbeat(m, self.offset(ctx.now_nanos()));
             self.last_sent.remove(&m);
+            // Stale expiry evidence from the death must not convict the
+            // readmitted machine before its first fresh heartbeat.
+            self.beat_expired.remove(&m);
             self.state.insert(m, MState::Up { suspected: false });
         }
     }

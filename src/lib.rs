@@ -19,7 +19,10 @@
 //!   (DESIGN §10);
 //! * [`replica`] — coherent read replication: replica sets for read-hot
 //!   objects, write-through / bounded-staleness coherence, CAS-fenced
-//!   failover (DESIGN §11).
+//!   failover (DESIGN §11);
+//! * [`dirsvc`] — the sharded control plane's management plane: seats,
+//!   replicates, and supervises the `DirShard` fleet behind
+//!   `ClusterBuilder::dir_shards(n)` (DESIGN §14).
 //!
 //! This crate exists *only* as that aggregation point: `examples/` and
 //! `tests/` at the workspace root attach to it, so one `cargo run
@@ -28,6 +31,7 @@
 //! code of its own and is not meant to be depended on by the member
 //! crates.
 
+pub use dirsvc;
 pub use distarray;
 pub use fft;
 pub use mplite;

@@ -865,6 +865,151 @@ mod soak {
         }
     }
 
+    /// Tier-1 sharded-control-plane soak: a 4-shard directory under
+    /// randomized shard-primary crashes on virtual time. Each episode
+    /// binds fresh names through the sharded facade, checkpoints the
+    /// partitions, crashes one of machines 1–3 (machine 0 hosts the
+    /// root and shard 0 and is never faulted), waits for the
+    /// supervisor's snapshot takeover of the lost shard, restarts the
+    /// victim, and audits that *every* name ever bound still resolves
+    /// to its exact target — with the control loop running, since
+    /// takeover incarnations serve only under live leases.
+    #[test]
+    fn virtual_soak_sharded_directory_survives_crash_episodes() {
+        use dirsvc::{DirService, DirServiceConfig};
+        use oopp_repro::oopp::{shard_of_name, ObjRef};
+
+        const EPISODES: usize = 6;
+        let seed = seed_from_env();
+        let mut rng = Rng(seed ^ 0xD1F5);
+        let (cluster, mut driver) = ClusterBuilder::new(4)
+            .dir_shards(4)
+            .sim_config(ClusterConfig::zero_cost(0).with_virtual_time(seed))
+            .call_policy(soak_policy())
+            .build();
+        let ns = driver.directory();
+        let mut svc = DirService::new(
+            DirServiceConfig {
+                read_replicas: 0,
+                snapshot_backups: 2,
+                supervisor: soak_config(),
+                ..DirServiceConfig::default()
+            },
+            vec![1, 2, 3],
+            ns,
+        );
+        assert_eq!(svc.attach(&mut driver).unwrap(), 4);
+
+        // Virtual-time settle: step the service until `done`, panicking
+        // past the wall-clock limit with the replay line.
+        let settle_svc = |svc: &mut DirService,
+                          driver: &mut Driver,
+                          done: &mut dyn FnMut(&DirService) -> bool| {
+            let deadline = Instant::now() + Duration::from_secs(60);
+            loop {
+                svc.step(driver).unwrap();
+                if done(svc) {
+                    return;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "sharded soak stalled; stats {:?}; replay: {}",
+                    svc.stats(),
+                    repro_line(
+                        seed,
+                        "virtual_soak_sharded_directory_survives_crash_episodes"
+                    ),
+                );
+                driver.serve_for(Duration::from_millis(2));
+            }
+        };
+
+        settle_svc(&mut svc, &mut driver, &mut |s| {
+            [1, 2, 3]
+                .iter()
+                .all(|&m| s.supervisor().detector().last_heartbeat(m).is_some())
+        });
+
+        let mut ledger: Vec<(String, ObjRef)> = Vec::new();
+        for episode in 0..EPISODES {
+            // Fresh bindings land on every shard each episode.
+            for k in 0..6usize {
+                let name = symbolic_addr(&["soak-dir", &episode.to_string(), &k.to_string()]);
+                let target = ObjRef {
+                    machine: k % 4,
+                    object: 20_000 + (episode * 10 + k) as u64,
+                };
+                ns.bind(&mut driver, name.clone(), target).unwrap();
+                ledger.push((name, target));
+            }
+            assert_eq!(
+                svc.checkpoint(&mut driver),
+                4,
+                "episode {episode}: calm checkpoint must reach every shard"
+            );
+
+            let victim = 1 + rng.below(3) as usize;
+            cluster.sim().faults().crash(victim);
+            settle_svc(&mut svc, &mut driver, &mut |s| s.is_dead(victim));
+            cluster.sim().faults().restart(victim);
+            settle_svc(&mut svc, &mut driver, &mut |s| {
+                [1, 2, 3].iter().all(|&m| !s.is_dead(m))
+            });
+
+            // Full-ledger audit with the control loop running; a lost
+            // partition, a stale snapshot, or a split-brain shard shows
+            // up as a wrong or missing binding right here.
+            for (name, target) in &ledger {
+                let mut found = None;
+                for _ in 0..40 {
+                    svc.step(&mut driver).unwrap();
+                    match ns.lookup(&mut driver, name.clone()) {
+                        Ok(v) => {
+                            found = Some(v);
+                            break;
+                        }
+                        Err(RemoteError::Timeout { .. }) | Err(RemoteError::Fenced { .. }) => {
+                            driver.serve_for(Duration::from_millis(2));
+                        }
+                        Err(e) => panic!(
+                            "episode {episode}: {name} errored {e:?}; stats {:?}; seats {:?}; replay: {}",
+                            svc.stats(),
+                            (0..4)
+                                .map(|i| ns.lease_of(
+                                    &mut driver,
+                                    oopp_repro::oopp::shard_addr(i)
+                                ))
+                                .collect::<Vec<_>>(),
+                            repro_line(
+                                seed,
+                                "virtual_soak_sharded_directory_survives_crash_episodes"
+                            )
+                        ),
+                    }
+                }
+                assert_eq!(
+                    found,
+                    Some(Some(*target)),
+                    "episode {episode}: {name} (shard {}) diverged; replay: {}",
+                    shard_of_name(name, 4),
+                    repro_line(
+                        seed,
+                        "virtual_soak_sharded_directory_survives_crash_episodes"
+                    ),
+                );
+            }
+        }
+
+        let stats = svc.stats();
+        assert_eq!(stats.shards_attached, 4);
+        assert!(
+            stats.shard_takeovers >= 1,
+            "six crash episodes over machines 1-3 must cost at least one shard takeover ({stats:?})"
+        );
+
+        cluster.shutdown(driver);
+    }
+
     /// The replay contract itself: a deliberately failing episode reports
     /// a schedule, and rerunning the same seed reproduces the failure at
     /// the same episode with a bit-identical schedule — exactly what the

@@ -11,13 +11,19 @@
 use std::time::Duration;
 
 use oopp_repro::oopp::{
-    symbolic_addr, Backoff, CallPolicy, Cluster, ClusterBuilder, DirectoryClient, Driver, ObjRef,
+    shard_addr, shard_of_name, symbolic_addr, Backoff, CallPolicy, Cluster, ClusterBuilder, Driver,
+    NameService, ObjRef, DIRSVC_PREFIX,
 };
 use oopp_repro::simnet::ClusterConfig;
 use proptest::prelude::*;
 
-fn build() -> (Cluster, Driver, DirectoryClient) {
+fn build() -> (Cluster, Driver, NameService) {
+    build_sharded(0)
+}
+
+fn build_sharded(shards: u32) -> (Cluster, Driver, NameService) {
     let (cluster, driver) = ClusterBuilder::new(2)
+        .dir_shards(shards)
         .sim_config(ClusterConfig::zero_cost(0))
         .call_policy(
             CallPolicy::reliable(Duration::from_millis(200))
@@ -27,6 +33,24 @@ fn build() -> (Cluster, Driver, DirectoryClient) {
         .build();
     let dir = driver.directory();
     (cluster, driver, dir)
+}
+
+/// The first `want.len()` names of the form `oopp://naming/<tag>/<i>`
+/// that hash to the wanted shards, in `want` order.
+fn names_on_shards(tag: &str, shards: u32, want: &[u32]) -> Vec<String> {
+    let mut out = vec![String::new(); want.len()];
+    let mut missing: Vec<usize> = (0..want.len()).collect();
+    for i in 0..10_000u32 {
+        let n = symbolic_addr(&["naming", tag, &i.to_string()]);
+        let s = shard_of_name(&n, shards);
+        if let Some(pos) = missing.iter().position(|&w| want[w] == s) {
+            out[missing.remove(pos)] = n;
+            if missing.is_empty() {
+                return out;
+            }
+        }
+    }
+    panic!("no names found for shards {want:?} of {shards}");
 }
 
 fn obj(machine: usize, object: u64) -> ObjRef {
@@ -312,4 +336,231 @@ proptest! {
         }
         cluster.shutdown(driver);
     }
+
+    /// The same interleavings against the *sharded* control plane — one
+    /// name per shard of a 2-shard map, so every op exercises the routing
+    /// facade — must match the same sequential model: partitioning the
+    /// records cannot change a single record's CAS semantics.
+    #[test]
+    fn sharded_interleavings_match_the_sequential_model(
+        ops in proptest::collection::vec((0u8..6u8, 0usize..2usize, 0u64..4u64, 0usize..2usize), 1..24)
+    ) {
+        let (cluster, mut driver, dir) = build_sharded(2);
+        let names = names_on_shards("prop", 2, &[0, 1]);
+        let mut model: Vec<ModelRec> = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let target = obj(0, 100 + i as u64);
+            dir.bind(&mut driver, name.clone(), target).unwrap();
+            model.push(ModelRec::fresh(target, 0));
+        }
+
+        for (kind, n, e, m) in ops {
+            let name = names[n].clone();
+            let rec = &mut model[n];
+            match kind {
+                0 => {
+                    let got = dir.claim(&mut driver, name, e).unwrap();
+                    let want = if !rec.poisoned && rec.epoch == e {
+                        rec.epoch += 1;
+                        Some(rec.epoch)
+                    } else {
+                        None
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                1 => {
+                    let replicas = vec![obj(m, 200 + m as u64)];
+                    let got = dir.set_replicas(&mut driver, name, replicas.clone(), e).unwrap();
+                    let want = if !rec.poisoned && rec.rs_epoch == e {
+                        rec.replicas = replicas;
+                        rec.rs_epoch += 1;
+                        Some(rec.rs_epoch)
+                    } else {
+                        None
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                2 => {
+                    let got = dir.purge_replicas_on(&mut driver, m).unwrap();
+                    let mut want = 0;
+                    for r in model.iter_mut() {
+                        let before = r.replicas.len();
+                        r.replicas.retain(|rep| rep.machine != m);
+                        if r.replicas.len() != before {
+                            r.rs_epoch += 1;
+                            want += 1;
+                        }
+                    }
+                    prop_assert_eq!(got, want);
+                }
+                3 => {
+                    dir.poison(&mut driver, name).unwrap();
+                    rec.poisoned = true;
+                }
+                4 => {
+                    let target = obj(m, 300 + e);
+                    let got = dir.bind_fenced(&mut driver, name, target, e).unwrap();
+                    let want = if rec.epoch <= e {
+                        rec.target = target;
+                        rec.epoch = e;
+                        rec.poisoned = false;
+                        rec.replicas.clear();
+                        rec.rs_epoch += 1;
+                        true
+                    } else {
+                        false
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                _ => {
+                    let target = obj(m, 400 + e);
+                    dir.bind(&mut driver, name, target).unwrap();
+                    *rec = ModelRec::fresh(target, rec.epoch);
+                }
+            }
+
+            for (i, name) in names.iter().enumerate() {
+                let r = &model[i];
+                prop_assert_eq!(
+                    dir.lease_of(&mut driver, name.clone()).unwrap(),
+                    Some((r.target, r.epoch, r.poisoned))
+                );
+                prop_assert_eq!(
+                    dir.replica_set(&mut driver, name.clone()).unwrap(),
+                    Some((r.replicas.clone(), r.rs_epoch))
+                );
+            }
+        }
+        cluster.shutdown(driver);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded control plane: routing edges (DESIGN.md §14)
+// ---------------------------------------------------------------------
+
+/// Keys hashing to the same shard coexist as independent records, and
+/// the facade's aggregate views (`list`, `len`) see every partition
+/// while hiding the control plane's own seat names.
+#[test]
+fn same_shard_collisions_stay_independent_records() {
+    let (cluster, mut driver, dir) = build_sharded(4);
+    assert_eq!(dir.shards(), 4);
+
+    // Two names on the same shard, one on a different shard.
+    let pair = names_on_shards("coll", 4, &[2, 2]);
+    let other = names_on_shards("coll-other", 4, &[3]);
+    dir.bind(&mut driver, pair[0].clone(), obj(0, 10)).unwrap();
+    dir.bind(&mut driver, pair[1].clone(), obj(1, 11)).unwrap();
+    dir.bind(&mut driver, other[0].clone(), obj(1, 12)).unwrap();
+
+    assert_eq!(
+        dir.lookup(&mut driver, pair[0].clone()).unwrap(),
+        Some(obj(0, 10))
+    );
+    assert_eq!(
+        dir.lookup(&mut driver, pair[1].clone()).unwrap(),
+        Some(obj(1, 11))
+    );
+    // Unbinding one colliding key leaves its shard-mate untouched.
+    assert!(dir.unbind(&mut driver, pair[0].clone()).unwrap());
+    assert_eq!(dir.lookup(&mut driver, pair[0].clone()).unwrap(), None);
+    assert_eq!(
+        dir.lookup(&mut driver, pair[1].clone()).unwrap(),
+        Some(obj(1, 11))
+    );
+
+    // Aggregates span partitions but hide the `_dirsvc` seats…
+    let all = dir.list(&mut driver, "oopp://".into()).unwrap();
+    assert_eq!(all, {
+        let mut want = vec![pair[1].clone(), other[0].clone()];
+        want.sort();
+        want
+    });
+    assert_eq!(dir.len(&mut driver).unwrap(), 2);
+    // …which stay reachable by asking for the reserved prefix explicitly.
+    let seats = dir.list(&mut driver, DIRSVC_PREFIX.into()).unwrap();
+    assert_eq!(seats.len(), 4);
+    assert!(seats.contains(&shard_addr(0)));
+    cluster.shutdown(driver);
+}
+
+/// A rebind racing a CAS claim on *another* shard cannot disturb it: the
+/// partitions hold disjoint records, so epochs advance independently —
+/// and a claim race within one shard still has exactly one winner.
+#[test]
+fn rebind_races_cas_claims_across_two_shards_independently() {
+    let (cluster, mut driver, dir) = build_sharded(2);
+    let names = names_on_shards("race", 2, &[0, 1]);
+    dir.bind(&mut driver, names[0].clone(), obj(0, 20)).unwrap();
+    dir.bind(&mut driver, names[1].clone(), obj(1, 21)).unwrap();
+
+    // Interleave: claim on shard 0, rebind on shard 1, claim again.
+    assert_eq!(
+        dir.claim(&mut driver, names[0].clone(), 0).unwrap(),
+        Some(1)
+    );
+    dir.bind(&mut driver, names[1].clone(), obj(1, 22)).unwrap();
+    assert_eq!(
+        dir.claim(&mut driver, names[0].clone(), 1).unwrap(),
+        Some(2)
+    );
+
+    // The rebound name's epoch was preserved by the rebind and is
+    // untouched by the other shard's claims.
+    assert_eq!(
+        dir.lease_of(&mut driver, names[1].clone()).unwrap(),
+        Some((obj(1, 22), 0, false))
+    );
+    // Same-epoch racers on the rebound name: one winner, one loser.
+    assert_eq!(
+        dir.claim(&mut driver, names[1].clone(), 0).unwrap(),
+        Some(1)
+    );
+    assert_eq!(dir.claim(&mut driver, names[1].clone(), 0).unwrap(), None);
+    assert_eq!(
+        dir.lease_of(&mut driver, names[0].clone()).unwrap(),
+        Some((obj(0, 20), 2, false))
+    );
+    cluster.shutdown(driver);
+}
+
+/// A lookup concurrent with a takeover sees the old incarnation or the
+/// new one — `bind_fenced` installs target and epoch atomically in the
+/// shard's record — and a poisoned record is never served as live.
+#[test]
+fn lookup_sees_old_or_new_epoch_but_never_a_poisoned_entry() {
+    let (cluster, mut driver, dir) = build_sharded(2);
+    let name = names_on_shards("fence", 2, &[1]).remove(0);
+    dir.bind(&mut driver, name.clone(), obj(0, 30)).unwrap();
+    assert_eq!(dir.claim(&mut driver, name.clone(), 0).unwrap(), Some(1));
+
+    // Mid-takeover the old binding still resolves (epoch already bumped).
+    assert_eq!(
+        dir.lookup(&mut driver, name.clone()).unwrap(),
+        Some(obj(0, 30))
+    );
+    assert_eq!(
+        dir.lease_of(&mut driver, name.clone()).unwrap(),
+        Some((obj(0, 30), 1, false))
+    );
+    // The takeover lands: lookups atomically switch to the new target.
+    assert!(dir
+        .bind_fenced(&mut driver, name.clone(), obj(1, 31), 1)
+        .unwrap());
+    assert_eq!(
+        dir.lookup(&mut driver, name.clone()).unwrap(),
+        Some(obj(1, 31))
+    );
+
+    // A takeover that gives up poisons the record; resolvers must see
+    // "gone", not a stale live pointer.
+    dir.poison(&mut driver, name.clone()).unwrap();
+    assert_eq!(dir.lookup(&mut driver, name.clone()).unwrap(), None);
+    assert_eq!(
+        dir.lease_of(&mut driver, name.clone()).unwrap(),
+        Some((obj(1, 31), 1, true)),
+        "lease_of still reports the poisoned record for supervisors"
+    );
+    cluster.shutdown(driver);
 }

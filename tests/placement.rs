@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use oopp_repro::oopp::{
     resolve_or_activate_supervised, symbolic_addr, wire, Backoff, CallPolicy, ClusterBuilder,
-    DirectoryClient, DoubleBlockClient, NodeCtx, ObjRef, RemoteClient, RemoteResult,
+    DoubleBlockClient, NameService, NodeCtx, ObjRef, RemoteClient, RemoteResult,
 };
 use oopp_repro::simnet::{ClusterConfig, FaultPlan};
 use placement::{Balancer, PlacementPolicy};
@@ -114,7 +114,7 @@ impl Resolver {
         addr: String,
         candidates: Vec<u64>,
     ) -> RemoteResult<ObjRef> {
-        let dir = DirectoryClient::from_ref(self.dir);
+        let dir = NameService::classic(self.dir);
         let machines: Vec<usize> = candidates.iter().map(|&m| m as usize).collect();
         let client: DoubleBlockClient =
             resolve_or_activate_supervised(ctx, &dir, &addr, &machines)?;

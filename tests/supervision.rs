@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use oopp_repro::oopp::{
     join, resolve_or_activate_supervised, symbolic_addr, wire, Backoff, CallPolicy, ClusterBuilder,
-    DirectoryClient, Driver, NodeCtx, ObjRef, RemoteClient, RemoteError, RemoteResult,
+    Driver, NameService, NodeCtx, ObjRef, RemoteClient, RemoteError, RemoteResult,
 };
 use oopp_repro::simnet::ClusterConfig;
 use supervision::{DetectorConfig, RestartPolicy, Supervisor, SupervisorConfig};
@@ -88,7 +88,7 @@ impl Reviver {
         addr: String,
         candidates: Vec<usize>,
     ) -> RemoteResult<ObjRef> {
-        let dir = DirectoryClient::from_ref(dir);
+        let dir = NameService::classic(dir);
         let c: PCounterClient = resolve_or_activate_supervised(ctx, &dir, &addr, &candidates)?;
         Ok(c.obj_ref())
     }
