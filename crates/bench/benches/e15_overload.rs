@@ -1,0 +1,121 @@
+//! E15: the price of the graceful-degradation machinery.
+//!
+//! The experiment table (goodput plateau, bounded tail, spike episode)
+//! comes from `reproduce e15`; these benches track the raw costs the
+//! knobs add to every call — the client-side deadline/breaker/budget
+//! bookkeeping on a healthy call, the machine-wide in-flight gauge, and
+//! the admission-control checks on the server's hot path — so a
+//! regression here shows up as nanoseconds before it shows up as lost
+//! goodput there.
+//!
+//! CI runs this file with `OOPP_BENCH_SMOKE=1` (one iteration per bench,
+//! no measurement window), which is enough to catch a degradation path
+//! that panics or rejects healthy traffic without spending CI minutes on
+//! timing.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oopp::{
+    BreakerConfig, CallPolicy, ClusterBuilder, DoubleBlockClient, OverloadConfig, RetryBudgetConfig,
+};
+use sched::DepthGauge;
+
+/// A healthy synchronous call under increasingly armed policies: the
+/// delta over `plain` is the per-call client bookkeeping of PR 9's knobs
+/// (deadline arithmetic, breaker lookup, budget deposit) when nothing is
+/// failing.
+fn bench_armed_call(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_overload/armed_call");
+
+    let policies: [(&str, CallPolicy); 3] = [
+        ("plain", CallPolicy::reliable(Duration::from_secs(5))),
+        (
+            "deadline",
+            CallPolicy::reliable(Duration::from_secs(5)).with_deadline(Duration::from_secs(1)),
+        ),
+        (
+            "deadline+breaker+budget",
+            CallPolicy::reliable(Duration::from_secs(5))
+                .with_deadline(Duration::from_secs(1))
+                .with_breaker(BreakerConfig::new())
+                .with_retry_budget(RetryBudgetConfig::new()),
+        ),
+    ];
+    for (label, policy) in policies {
+        let (_cluster, mut driver) = ClusterBuilder::new(2).build();
+        let b = DoubleBlockClient::new_on(&mut driver, 1, 8).unwrap();
+        driver.set_call_policy(policy);
+        g.bench_function(BenchmarkId::new("get", label), |bch| {
+            bch.iter(|| std::hint::black_box(b.get(&mut driver, 0).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// The machine-wide in-flight gauge in isolation: one admit/release pair,
+/// the cost every admitted request pays twice.
+fn bench_depth_gauge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_overload/gauge");
+    let gauge = DepthGauge::new();
+    g.bench_function("acquire_release", |b| {
+        b.iter(|| {
+            let d = gauge.try_acquire(u64::MAX).unwrap();
+            gauge.release(1);
+            std::hint::black_box(d)
+        })
+    });
+    // The reject path must be cheaper still: a single failed CAS-free read.
+    g.bench_function("reject", |b| {
+        b.iter(|| std::hint::black_box(gauge.try_acquire(0).unwrap_err()))
+    });
+    g.finish();
+}
+
+/// Server-side admission with tight-but-unbinding caps vs the generous
+/// defaults: the delta is the cap bookkeeping on the serve hot path.
+fn bench_admission(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_overload/admission");
+    for (label, config) in [
+        ("defaults", OverloadConfig::new()),
+        (
+            "tight_caps",
+            OverloadConfig {
+                mailbox_cap: 8,
+                inflight_cap: 64,
+                sojourn_target: Duration::from_millis(50),
+                ..OverloadConfig::new()
+            },
+        ),
+    ] {
+        let (_cluster, mut driver) = ClusterBuilder::new(2).overload(config).build();
+        let b = DoubleBlockClient::new_on(&mut driver, 1, 8).unwrap();
+        g.bench_function(BenchmarkId::new("serve", label), |bch| {
+            bch.iter(|| std::hint::black_box(b.get(&mut driver, 0).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// `OOPP_BENCH_SMOKE=1` shrinks every bench to a single untimed iteration
+/// — the CI smoke profile.
+fn config() -> Criterion {
+    if std::env::var_os("OOPP_BENCH_SMOKE").is_some() {
+        Criterion::default()
+            .sample_size(1)
+            .measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_millis(1))
+    } else {
+        Criterion::default()
+            .sample_size(20)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300))
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_armed_call, bench_depth_gauge, bench_admission
+}
+criterion_main!(benches);

@@ -84,6 +84,11 @@ fn main() {
             "sharded control plane: directory resolves/s vs shard count, p99 through a primary crash",
             ex::e14_dirsvc,
         ),
+        (
+            "E15",
+            "graceful degradation: goodput plateau and bounded tail past capacity, breaker through a load spike",
+            ex::e15_overload,
+        ),
         ("A1", "ablation: wire codec throughput", || {
             vec![ex::a1_wire()]
         }),

@@ -12,7 +12,8 @@ use fft::{c64, Complex, Direction, DistributedFft3, Fft3, Grid3};
 use mplite::apps::{fft_run, pageio_run, IoMode};
 use mplite::{MpiWorld, Op};
 use oopp::{
-    join, Backoff, BarrierClient, CallPolicy, ClusterBuilder, DoubleBlockClient, RemoteClient,
+    join, Backoff, BarrierClient, BreakerConfig, CallPolicy, ClusterBuilder, DoubleBlockClient,
+    OverloadConfig, RemoteClient, RemoteError,
 };
 use pagestore::{ArrayPage, ArrayPageDevice, ArrayPageDeviceClient, Page, PageDevice};
 use placement::{Balancer, PlacementPolicy};
@@ -2138,6 +2139,407 @@ pub fn e14_dirsvc() -> Vec<Table> {
     }
 
     vec![scaling, chaos]
+}
+
+/// E15 (DESIGN.md §15): graceful degradation under overload.
+///
+/// Three claims, three tables, all on the seeded virtual clock:
+///
+/// **Goodput sweep.** A closed-loop Zipf(0.9) stream over 16 `SchedCell`
+/// objects (200 µs of modeled service each) on 4 machines × 2 lanes, with
+/// per-call 2 ms deadlines and 16-deep mailbox caps. The in-flight window
+/// sweeps from far below saturation to 4× past it; the offered column is
+/// the window relative to the ~1× saturation point. Past capacity the
+/// *extra* offered load is shed — at admission (`Overloaded`) when a
+/// mailbox is full, at execution (`DeadlineExceeded`) when queued work
+/// outlives its budget — so goodput plateaus instead of collapsing, the
+/// completion tail of *successful* calls stays bounded near the deadline,
+/// and a shed request costs its caller microseconds, not a queue drain
+/// (the fail-fast probe column). Latencies are closed-loop completion
+/// times observed at the driver (FIFO wait order), so they upper-bound
+/// the true reply latency.
+///
+/// **Bounded tail.** The 4×-overload point re-run with shedding disabled
+/// (default generous caps, no deadline): every call eventually lands, but
+/// the p99 rides the hot object's unbounded queue. The degradation knobs
+/// buy a bounded tail at the same order of goodput.
+///
+/// **Load-spike episode.** One machine's inbound link spiked a full
+/// second; a 20 ms / 1-retry policy with a circuit breaker (trip at 3,
+/// 50 ms cooldown) degrades in the documented order — enriched timeouts
+/// (attempts + elapsed, the columns of this table), then client-side
+/// breaker fast-fails that never touch the network, then a half-open
+/// trial re-closes the breaker after the spike lifts and every call lands
+/// again.
+pub fn e15_overload() -> Vec<Table> {
+    use std::collections::VecDeque;
+
+    const MACHINES: usize = 4;
+    const LANES: usize = 2;
+    const NOBJ: usize = 16;
+    const SERVICE_US: u64 = 200;
+    const TOTAL_CALLS: usize = 3000;
+    const BASE_WINDOW: usize = 32; // ~saturation: 8 lanes + queue headroom
+    const ZIPF_S: f64 = 0.9;
+    const SEED: u64 = 0xE15_2026;
+    const DEADLINE: Duration = Duration::from_millis(2);
+    const MAILBOX_CAP: usize = 16;
+
+    let mut cdf = Vec::with_capacity(NOBJ);
+    let mut acc = 0.0f64;
+    for k in 0..NOBJ {
+        acc += 1.0 / ((k + 1) as f64).powf(ZIPF_S);
+        cdf.push(acc);
+    }
+    let zipf_total = acc;
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[derive(Default)]
+    struct Run {
+        ok: u64,
+        overloaded: u64,
+        deadline: u64,
+        timeout: u64,
+        goodput: f64,
+        ok_lat_us: Vec<f64>,   // sorted closed-loop completion times
+        shed_lat_us: Vec<f64>, // sorted fail-fast probe rejections
+        sample_overloaded: Option<String>,
+        sample_deadline: Option<String>,
+    }
+
+    // One closed-loop measurement at a fixed in-flight window. `shed`
+    // arms the degradation knobs; `false` is the fail-slow baseline.
+    let run = |window: usize, shed: bool| -> Run {
+        let overload = if shed {
+            OverloadConfig {
+                mailbox_cap: MAILBOX_CAP,
+                ..OverloadConfig::new()
+            }
+        } else {
+            OverloadConfig::new()
+        };
+        let (cluster, mut driver) = ClusterBuilder::new(MACHINES)
+            .sched_workers(LANES)
+            .register::<SchedCell>()
+            .overload(overload)
+            .sim_config(ClusterConfig::zero_cost(0).with_virtual_time(SEED))
+            .call_policy(CallPolicy::reliable(Duration::from_millis(250)))
+            .build();
+        let cells: Vec<_> = (0..NOBJ)
+            .map(|k| SchedCellClient::new_on(&mut driver, k % MACHINES).unwrap())
+            .collect();
+        let policy = CallPolicy::reliable(Duration::from_millis(250));
+        driver.set_call_policy(if shed {
+            policy.with_deadline(DEADLINE)
+        } else {
+            policy
+        });
+
+        let mut out = Run::default();
+        let mut rng = SEED ^ (window as u64) << 1 ^ shed as u64;
+        let mut inflight = VecDeque::new();
+        let mut issued = 0usize;
+        let t0 = driver.now_nanos();
+        while issued < TOTAL_CALLS || !inflight.is_empty() {
+            if issued < TOTAL_CALLS && inflight.len() < window {
+                let u = (splitmix(&mut rng) >> 11) as f64 / (1u64 << 53) as f64 * zipf_total;
+                let k = cdf.iter().position(|&c| u < c).unwrap_or(NOBJ - 1);
+                let p = cells[k]
+                    .work_async(&mut driver, SERVICE_US, (k + 1) as f64 * 0.25)
+                    .unwrap();
+                inflight.push_back((p, driver.now_nanos()));
+                issued += 1;
+                // Fail-fast witness: every 64th issue, one *synchronous*
+                // call at the hottest object, timed in isolation. When its
+                // mailbox is full the rejection must cost the caller far
+                // less than one service time.
+                if shed && issued.is_multiple_of(64) {
+                    let s0 = driver.now_nanos();
+                    if let Err(RemoteError::Overloaded { .. }) =
+                        cells[0].work(&mut driver, SERVICE_US, 0.5)
+                    {
+                        out.shed_lat_us
+                            .push(driver.now_nanos().saturating_sub(s0) as f64 / 1e3);
+                    }
+                }
+                continue;
+            }
+            let (p, t_issue) = inflight.pop_front().unwrap();
+            let r = p.wait(&mut driver);
+            let elapsed_us = driver.now_nanos().saturating_sub(t_issue) as f64 / 1e3;
+            match r {
+                Ok(_) => {
+                    out.ok += 1;
+                    out.ok_lat_us.push(elapsed_us);
+                }
+                Err(e @ RemoteError::Overloaded { .. }) => {
+                    out.overloaded += 1;
+                    out.sample_overloaded.get_or_insert_with(|| e.to_string());
+                }
+                Err(e @ RemoteError::DeadlineExceeded { .. }) => {
+                    out.deadline += 1;
+                    out.sample_deadline.get_or_insert_with(|| e.to_string());
+                }
+                Err(RemoteError::Timeout { .. }) => out.timeout += 1,
+                Err(e) => panic!("unexpected E15 error class: {e}"),
+            }
+        }
+        let makespan = driver.now_nanos() - t0;
+        out.goodput = out.ok as f64 / (makespan as f64 / 1e9);
+        out.ok_lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out.shed_lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        cluster.shutdown(driver);
+        out
+    };
+
+    let mut sweep = Table::new(&[
+        "offered",
+        "window",
+        "ok",
+        "shed overload",
+        "shed deadline",
+        "timeout",
+        "goodput calls/s",
+        "ok p50 us",
+        "ok p99 us",
+        "reject p99 us",
+    ]);
+    let mut peak = 0.0f64;
+    let mut past_capacity: Vec<(usize, Run)> = Vec::new();
+    for window in [8usize, 16, 32, 64, 128] {
+        let r = run(window, true);
+        peak = peak.max(r.goodput);
+        sweep.row(&[
+            format!("{:.2}x", window as f64 / BASE_WINDOW as f64),
+            window.to_string(),
+            r.ok.to_string(),
+            r.overloaded.to_string(),
+            r.deadline.to_string(),
+            r.timeout.to_string(),
+            format!("{:.0}", r.goodput),
+            format!("{:.0}", percentile_us(&r.ok_lat_us, 0.50)),
+            format!("{:.0}", percentile_us(&r.ok_lat_us, 0.99)),
+            format!("{:.1}", percentile_us(&r.shed_lat_us, 0.99)),
+        ]);
+        if window >= 2 * BASE_WINDOW {
+            past_capacity.push((window, r));
+        }
+    }
+    for (window, r) in &past_capacity {
+        assert!(
+            r.goodput >= 0.8 * peak,
+            "E15 gate: goodput at {window} in-flight ({:.0}/s) must stay within \
+             20% of the peak ({peak:.0}/s) — shedding failed to protect capacity",
+            r.goodput
+        );
+        assert!(
+            percentile_us(&r.ok_lat_us, 0.99) <= 5.0 * DEADLINE.as_micros() as f64,
+            "E15 gate: past capacity the successful-call p99 must stay near the \
+             deadline, got {:.0} us",
+            percentile_us(&r.ok_lat_us, 0.99)
+        );
+    }
+    let top = &past_capacity.last().unwrap().1;
+    assert!(
+        top.overloaded + top.deadline > 0,
+        "E15 gate: the 4x point must actually shed load"
+    );
+    assert!(
+        !top.shed_lat_us.is_empty() && percentile_us(&top.shed_lat_us, 0.99) < SERVICE_US as f64,
+        "E15 gate: a shed request must fail fast (p99 {:.1} us vs {SERVICE_US} us \
+         of service)",
+        percentile_us(&top.shed_lat_us, 0.99)
+    );
+
+    // Bounded-tail comparison at the 4x point: shedding on vs off.
+    let mut tail = Table::new(&[
+        "config",
+        "ok",
+        "shed",
+        "goodput calls/s",
+        "ok p99 us",
+        "ok max us",
+    ]);
+    let unbounded = run(4 * BASE_WINDOW, false);
+    for (label, r) in [
+        ("shed + 2ms deadline", top),
+        ("fail-slow baseline", &unbounded),
+    ] {
+        tail.row(&[
+            label.into(),
+            r.ok.to_string(),
+            (r.overloaded + r.deadline).to_string(),
+            format!("{:.0}", r.goodput),
+            format!("{:.0}", percentile_us(&r.ok_lat_us, 0.99)),
+            format!("{:.0}", percentile_us(&r.ok_lat_us, 1.0)),
+        ]);
+    }
+    assert_eq!(
+        unbounded.overloaded + unbounded.deadline,
+        0,
+        "the baseline must queue everything"
+    );
+    assert!(
+        percentile_us(&top.ok_lat_us, 0.99) < percentile_us(&unbounded.ok_lat_us, 0.99),
+        "E15 gate: degradation knobs must buy a strictly better tail than the \
+         fail-slow baseline"
+    );
+
+    // Load-spike episode: enriched timeouts, breaker fast-fails, recovery.
+    const PHASE_CALLS: usize = 10;
+    struct Phase {
+        label: &'static str,
+        ok: u64,
+        timeout: u64,
+        fast_fail: u64,
+        attempts: Vec<f64>,
+        elapsed_ms: Vec<f64>,
+        sample_timeout: Option<String>,
+        sample_fast_fail: Option<String>,
+    }
+    let (cluster, mut driver) = ClusterBuilder::new(2)
+        .register::<SchedCell>()
+        .sim_config(ClusterConfig::zero_cost(0).with_virtual_time(SEED ^ 0x5B1))
+        .call_policy(CallPolicy::reliable(Duration::from_millis(100)))
+        .build();
+    let cell = SchedCellClient::new_on(&mut driver, 1).unwrap();
+    driver.set_call_policy(
+        CallPolicy::reliable(Duration::from_millis(20))
+            .with_max_retries(1)
+            .with_backoff(Backoff::fixed(Duration::from_millis(5)))
+            .with_breaker(BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(50),
+            }),
+    );
+    let mut phases = Vec::new();
+    for label in ["healthy", "spiked 1s", "spike lifted"] {
+        match label {
+            "spiked 1s" => cluster.sim().faults().spike(1, Duration::from_secs(1)),
+            "spike lifted" => {
+                cluster.sim().faults().unspike(1);
+                driver.serve_for(Duration::from_secs(3)); // drain + cooldown
+            }
+            _ => {}
+        }
+        let mut ph = Phase {
+            label,
+            ok: 0,
+            timeout: 0,
+            fast_fail: 0,
+            attempts: Vec::new(),
+            elapsed_ms: Vec::new(),
+            sample_timeout: None,
+            sample_fast_fail: None,
+        };
+        for _ in 0..PHASE_CALLS {
+            match cell.work(&mut driver, 50, 0.5) {
+                Ok(_) => ph.ok += 1,
+                Err(e @ RemoteError::Timeout { .. }) => {
+                    if let RemoteError::Timeout {
+                        attempts, millis, ..
+                    } = e
+                    {
+                        ph.attempts.push(attempts as f64);
+                        ph.elapsed_ms.push(millis as f64);
+                    }
+                    ph.timeout += 1;
+                    ph.sample_timeout.get_or_insert_with(|| e.to_string());
+                }
+                Err(e @ RemoteError::Overloaded { queue_depth: 0, .. }) => {
+                    ph.fast_fail += 1;
+                    ph.sample_fast_fail.get_or_insert_with(|| e.to_string());
+                }
+                Err(e) => panic!("unexpected spike-episode error: {e}"),
+            }
+        }
+        phases.push(ph);
+    }
+    cluster.sim().faults().calm();
+    cluster.shutdown(driver);
+
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let mut spike = Table::new(&[
+        "phase",
+        "calls",
+        "ok",
+        "timeout",
+        "breaker fast-fail",
+        "timeout attempts (mean)",
+        "timeout elapsed ms (mean)",
+    ]);
+    for ph in &phases {
+        spike.row(&[
+            ph.label.into(),
+            PHASE_CALLS.to_string(),
+            ph.ok.to_string(),
+            ph.timeout.to_string(),
+            ph.fast_fail.to_string(),
+            format!("{:.1}", mean(&ph.attempts)),
+            format!("{:.1}", mean(&ph.elapsed_ms)),
+        ]);
+    }
+    assert_eq!(phases[0].ok, PHASE_CALLS as u64, "healthy phase must land");
+    assert!(
+        phases[1].timeout >= 3 && phases[1].fast_fail >= 1,
+        "the spike must cost enriched timeouts, then breaker fast-fails"
+    );
+    assert!(
+        phases[1].attempts.iter().all(|&a| a == 2.0),
+        "every spiked timeout must report its retransmission (attempts == 2)"
+    );
+    assert_eq!(
+        phases[2].ok, PHASE_CALLS as u64,
+        "after the spike the breaker must re-close and serve"
+    );
+
+    // Degradation anatomy: every failure class with its rendered error —
+    // queue depths, backoff hints, budget overshoots, attempt counts all
+    // ride the wire and land in the caller's hands.
+    let mut anatomy = Table::new(&["class", "count", "example (as seen by the caller)"]);
+    let spiked = &phases[1];
+    for (class, count, example) in [
+        (
+            "server shed: mailbox/in-flight",
+            top.overloaded,
+            top.sample_overloaded.clone(),
+        ),
+        (
+            "server shed: deadline expired",
+            top.deadline,
+            top.sample_deadline.clone(),
+        ),
+        (
+            "client timeout (enriched)",
+            spiked.timeout,
+            spiked.sample_timeout.clone(),
+        ),
+        (
+            "client breaker fast-fail",
+            spiked.fast_fail,
+            spiked.sample_fast_fail.clone(),
+        ),
+    ] {
+        anatomy.row(&[
+            class.into(),
+            count.to_string(),
+            example.unwrap_or_else(|| "-".into()),
+        ]);
+    }
+
+    vec![sweep, tail, spike, anatomy]
 }
 
 /// Sanity config used by the experiment smoke tests.

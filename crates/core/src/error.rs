@@ -85,6 +85,29 @@ pub enum RemoteError {
     /// routes. Unreplicate first, or use
     /// `ReplicaManager::unreplicate_then_migrate` to do both in one step.
     Replicated { object: u64 },
+    /// The call's propagated deadline expired before the work ran — at the
+    /// client (budget spent waiting), at admission, or at execution time
+    /// under the shard lock (see DESIGN.md §15). The work was **not**
+    /// executed; retrying with the same deadline is pointless.
+    DeadlineExceeded {
+        /// Nanoseconds past the deadline when the call was dropped
+        /// (0 = the budget was already zero on arrival).
+        elapsed_nanos: u64,
+    },
+    /// The server refused to queue the request — its mailbox cap or the
+    /// machine's in-flight budget was exceeded (cheap reject, never
+    /// queued), or a client-side circuit breaker for the destination is
+    /// open and failed the call without touching the network
+    /// (`queue_depth == 0` in that case). Back off for at least
+    /// `retry_after_nanos` before retrying; blind immediate retries
+    /// amplify the brownout.
+    Overloaded {
+        /// Queue depth observed at the rejecting server (its mailbox or
+        /// in-flight count), 0 for client-side breaker fast-fails.
+        queue_depth: u64,
+        /// Server's backoff hint before the caller should retry.
+        retry_after_nanos: u64,
+    },
 }
 
 wire_enum!(RemoteError {
@@ -102,6 +125,8 @@ wire_enum!(RemoteError {
     11 => Fenced { current_epoch },
     12 => StaleReplica { primary, rs_epoch },
     13 => Replicated { object },
+    14 => DeadlineExceeded { elapsed_nanos },
+    15 => Overloaded { queue_depth, retry_after_nanos },
 });
 
 impl RemoteError {
@@ -188,6 +213,32 @@ impl fmt::Display for RemoteError {
                     "object {object} is replicated and unmovable; unreplicate                      first (or scale the replica set instead)"
                 )
             }
+            RemoteError::DeadlineExceeded { elapsed_nanos } => {
+                write!(
+                    f,
+                    "deadline exceeded: call dropped {elapsed_nanos} ns past \
+                     its propagated deadline (work was not executed)"
+                )
+            }
+            RemoteError::Overloaded {
+                queue_depth,
+                retry_after_nanos,
+            } => {
+                if *queue_depth == 0 {
+                    write!(
+                        f,
+                        "destination overloaded: circuit breaker open, retry \
+                         after {retry_after_nanos} ns"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "server overloaded: request rejected at admission \
+                         (queue depth {queue_depth}), retry after \
+                         {retry_after_nanos} ns"
+                    )
+                }
+            }
         }
     }
 }
@@ -260,6 +311,13 @@ mod tests {
                 rs_epoch: 4,
             },
             RemoteError::Replicated { object: 99 },
+            RemoteError::DeadlineExceeded {
+                elapsed_nanos: 1_500_000,
+            },
+            RemoteError::Overloaded {
+                queue_depth: 4096,
+                retry_after_nanos: 2_000_000,
+            },
         ] {
             assert_eq!(from_bytes::<RemoteError>(&to_bytes(&e)).unwrap(), e);
         }

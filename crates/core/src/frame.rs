@@ -6,7 +6,7 @@
 //! keeping the protocol surface minimal.
 
 use wire::collections::Bytes;
-use wire::{wire_enum, wire_struct, V64};
+use wire::{wire_struct, V64};
 
 use crate::error::RemoteError;
 use crate::ids::{ObjRef, ObjectId};
@@ -44,6 +44,17 @@ pub enum Frame {
         /// [`RemoteError::StaleReplica`]
         /// and the caller falls back to the primary.
         rs_epoch: V64,
+        /// Absolute cluster-clock deadline in nanoseconds, or `0` for
+        /// "no deadline" (the classic contract: the call may run whenever
+        /// it is admitted). A nonzero deadline is checked at admission
+        /// *and* again at execution time under the shard lock; expired
+        /// work is dropped with
+        /// [`RemoteError::DeadlineExceeded`] instead
+        /// of executing after the caller has given up. On the wire this is
+        /// an **optional trailing varint**: `0` is encoded by omission, so
+        /// deadline-free frames are byte-identical to the pre-deadline
+        /// format (see DESIGN.md §15).
+        deadline: u64,
     },
     /// The outcome of a previous request.
     Response {
@@ -54,12 +65,68 @@ pub enum Frame {
     },
 }
 
-wire_enum!(Frame {
-    // wire_enum fields are positional: `trace` and `epoch` were appended
-    // in the order they were introduced.
-    0 => Request { req_id, reply_to, target, payload, trace, epoch, rs_epoch },
-    1 => Response { req_id, result },
-});
+// Hand-written `Wire` impl instead of `wire_enum!`: the trailing `deadline`
+// field is *optional on the wire* (omitted when 0), which the positional
+// macro cannot express. Safe because a packet carries exactly one frame and
+// `from_bytes` enforces `expect_end()` — "reader empty" unambiguously means
+// "field absent". Fields stay in append order; tags are protocol.
+impl wire::Wire for Frame {
+    fn encode(&self, w: &mut wire::Writer) {
+        match self {
+            Frame::Request {
+                req_id,
+                reply_to,
+                target,
+                payload,
+                trace,
+                epoch,
+                rs_epoch,
+                deadline,
+            } => {
+                w.put_varint(0);
+                wire::Wire::encode(req_id, w);
+                wire::Wire::encode(reply_to, w);
+                wire::Wire::encode(target, w);
+                wire::Wire::encode(payload, w);
+                wire::Wire::encode(trace, w);
+                wire::Wire::encode(epoch, w);
+                wire::Wire::encode(rs_epoch, w);
+                if *deadline != 0 {
+                    w.put_varint(*deadline);
+                }
+            }
+            Frame::Response { req_id, result } => {
+                w.put_varint(1);
+                wire::Wire::encode(req_id, w);
+                wire::Wire::encode(result, w);
+            }
+        }
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> wire::WireResult<Self> {
+        let tag = r.take_varint()?;
+        match tag {
+            0 => Ok(Frame::Request {
+                req_id: wire::Wire::decode(r)?,
+                reply_to: wire::Wire::decode(r)?,
+                target: wire::Wire::decode(r)?,
+                payload: wire::Wire::decode(r)?,
+                trace: wire::Wire::decode(r)?,
+                epoch: wire::Wire::decode(r)?,
+                rs_epoch: wire::Wire::decode(r)?,
+                deadline: if r.is_empty() { 0 } else { r.take_varint()? },
+            }),
+            1 => Ok(Frame::Response {
+                req_id: wire::Wire::decode(r)?,
+                result: wire::Wire::decode(r)?,
+            }),
+            other => Err(wire::WireError::UnknownVariant {
+                ty: "Frame",
+                tag: other,
+            }),
+        }
+    }
+}
 
 /// Methods of the per-machine daemon. Encoded exactly like user-class calls
 /// (method-name string + arguments) so the dispatch path is uniform.
@@ -271,6 +338,23 @@ pub struct NodeStats {
     /// Resolve-cache misses — resolutions that had to fall through to the
     /// control plane (a directory or shard lookup).
     pub dir_cache_misses: u64,
+    /// Requests rejected at admission with
+    /// [`RemoteError::Overloaded`] — mailbox cap
+    /// or machine in-flight budget exceeded (never queued).
+    pub calls_shed_overload: u64,
+    /// Admitted requests shed at execution time because their queue
+    /// sojourn exceeded the CoDel-style target (DESIGN.md §15).
+    pub calls_shed_sojourn: u64,
+    /// Requests dropped (at admission or execution) because their
+    /// propagated deadline had already expired.
+    pub calls_deadline_expired: u64,
+    /// Outbound calls failed fast by an open circuit breaker without
+    /// touching the network (client role).
+    pub breaker_fast_fails: u64,
+    /// Retransmissions suppressed by an exhausted retry budget (client
+    /// role): the retry would have amplified a brownout, so the call
+    /// surfaced its timeout instead.
+    pub retries_suppressed: u64,
 }
 
 wire_struct!(NodeStats {
@@ -290,7 +374,12 @@ wire_struct!(NodeStats {
     replica_reads_stale,
     replica_syncs_sent,
     dir_cache_hits,
-    dir_cache_misses
+    dir_cache_misses,
+    calls_shed_overload,
+    calls_shed_sojourn,
+    calls_deadline_expired,
+    breaker_fast_fails,
+    retries_suppressed
 });
 
 impl DaemonCall {
@@ -456,6 +545,7 @@ mod tests {
                 trace: TraceCtx::default(),
                 epoch: 0,
                 rs_epoch: 0.into(),
+                deadline: 0,
             },
             Frame::Request {
                 req_id: 44,
@@ -468,6 +558,7 @@ mod tests {
                 },
                 epoch: 12,
                 rs_epoch: 5.into(),
+                deadline: 987_654_321_000,
             },
             Frame::Response {
                 req_id: 42,
@@ -520,6 +611,11 @@ mod tests {
             replica_syncs_sent: 14,
             dir_cache_hits: 15,
             dir_cache_misses: 16,
+            calls_shed_overload: 17,
+            calls_shed_sojourn: 18,
+            calls_deadline_expired: 19,
+            breaker_fast_fails: 20,
+            retries_suppressed: 21,
         };
         assert_eq!(from_bytes::<NodeStats>(&to_bytes(&s)).unwrap(), s);
     }
@@ -702,6 +798,7 @@ mod tests {
             trace: TraceCtx::default(),
             epoch: 0,
             rs_epoch: 0.into(),
+            deadline: 0,
         };
         let encoded = to_bytes(&f);
         assert!(
@@ -721,6 +818,7 @@ mod tests {
             trace,
             epoch: 0,
             rs_epoch: 0.into(),
+            deadline: 0,
         };
         let untraced = to_bytes(&mk(TraceCtx::default()));
         let traced = to_bytes(&mk(TraceCtx {
@@ -729,5 +827,107 @@ mod tests {
         }));
         // Zero trace ids are single-byte varints each.
         assert_eq!(untraced.len() + 12, traced.len());
+    }
+
+    /// Encode exactly what the pre-deadline `wire_enum!` emitted for a
+    /// request: tag + the seven original fields, no trailing deadline.
+    fn classic_request_bytes(
+        req_id: u64,
+        reply_to: usize,
+        target: ObjectId,
+        payload: &[u8],
+        trace: TraceCtx,
+        epoch: u64,
+        rs_epoch: u64,
+    ) -> Vec<u8> {
+        let mut w = wire::Writer::new();
+        w.put_varint(0);
+        req_id.encode(&mut w);
+        reply_to.encode(&mut w);
+        target.encode(&mut w);
+        Bytes(payload.to_vec()).encode(&mut w);
+        trace.encode(&mut w);
+        epoch.encode(&mut w);
+        V64::from(rs_epoch).encode(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn pre_deadline_frame_decodes_identically() {
+        // Wire backward-compat regression: a frame encoded by a pre-PR-9
+        // peer (no deadline field) must decode to the same request with
+        // deadline = 0, and re-encoding it must reproduce the same bytes.
+        let classic = classic_request_bytes(
+            42,
+            3,
+            7,
+            b"read",
+            TraceCtx {
+                trace_id: 0x1_0000_0001.into(),
+                span: 0x2_0000_0007.into(),
+            },
+            12,
+            5,
+        );
+        let decoded = from_bytes::<Frame>(&classic).unwrap();
+        assert_eq!(
+            decoded,
+            Frame::Request {
+                req_id: 42,
+                reply_to: 3,
+                target: 7,
+                payload: Bytes(b"read".to_vec()),
+                trace: TraceCtx {
+                    trace_id: 0x1_0000_0001.into(),
+                    span: 0x2_0000_0007.into(),
+                },
+                epoch: 12,
+                rs_epoch: 5.into(),
+                deadline: 0,
+            }
+        );
+        // Deadline-free frames stay byte-identical to the classic format.
+        assert_eq!(to_bytes(&decoded), classic);
+    }
+
+    mod frame_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Requests with and without a deadline round-trip, and the
+            /// deadline-absent encoding is byte-identical to the classic
+            /// (pre-PR-9) wire format.
+            #[test]
+            fn request_roundtrips_with_and_without_deadline(
+                req_id in any::<u64>(),
+                reply_to in 0usize..1024,
+                target in any::<u64>(),
+                payload in proptest::collection::vec(any::<u8>(), 0..64),
+                epoch in any::<u64>(),
+                rs_epoch in any::<u64>(),
+                deadline in any::<u64>(),
+            ) {
+                let mk = |deadline| Frame::Request {
+                    req_id,
+                    reply_to,
+                    target,
+                    payload: Bytes(payload.clone()),
+                    trace: TraceCtx::default(),
+                    epoch,
+                    rs_epoch: rs_epoch.into(),
+                    deadline,
+                };
+                for f in [mk(0), mk(deadline)] {
+                    prop_assert_eq!(from_bytes::<Frame>(&to_bytes(&f)).unwrap(), f);
+                }
+                let classic = classic_request_bytes(
+                    req_id, reply_to, target, &payload,
+                    TraceCtx::default(), epoch, rs_epoch,
+                );
+                prop_assert_eq!(to_bytes(&mk(0)), classic.clone());
+                prop_assert_eq!(from_bytes::<Frame>(&classic).unwrap(), mk(0));
+            }
+        }
     }
 }

@@ -34,7 +34,7 @@ use crate::error::{RemoteError, RemoteResult};
 use crate::frame::{Frame, MigrationPayload, NodeStats, ReplicaStatus};
 use crate::future::{Pending, PendingClient};
 use crate::ids::{ObjRef, ObjectId, DAEMON};
-use crate::policy::CallPolicy;
+use crate::policy::{CallPolicy, OverloadConfig};
 use crate::process::{ClassRegistry, DispatchResult, RemoteClient, ServerClass, ServerObject};
 use crate::shared::{
     bump, shard_of, CallTrace, IncomingReq, ObjEntry, PrimaryMeta, ReplicaMeta, Sched, SharedNode,
@@ -73,6 +73,41 @@ struct OutboundCall {
     /// the replica stops answering. `None` once redirected (or for every
     /// non-replica-routed call).
     read_primary: Option<ObjRef>,
+    /// Absolute cluster-clock deadline stamped on the frame (0 = none).
+    /// `wait_raw` stops waiting — and stops retransmitting — the moment
+    /// this passes, surfacing [`RemoteError::DeadlineExceeded`].
+    deadline_at: u64,
+}
+
+/// Client-side circuit breaker for one destination machine (DESIGN.md
+/// §15). All transitions are measured on the cluster clock, so a
+/// virtual-time run replays them bit-for-bit.
+struct Breaker {
+    /// Consecutive overload-class failures observed while closed.
+    failures: u32,
+    state: BreakerState,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum BreakerState {
+    /// Calls flow; failures are counted.
+    Closed,
+    /// Fail fast until the cluster clock reads `until`.
+    Open { until: u64 },
+    /// Cooldown lapsed: the next call is the single trial. Success
+    /// closes the breaker; an overload-class failure re-opens it.
+    HalfOpen,
+}
+
+/// What the breaker decided for an outbound call (computed under the
+/// borrow of the breaker table, acted on after it is released).
+enum BreakerGate {
+    /// Closed (or no breaker state yet): send normally.
+    Pass,
+    /// Half-open trial: send, and the outcome decides the breaker.
+    PassTrial,
+    /// Open: fail fast, suggesting the caller wait this many nanos.
+    Fail(u64),
 }
 
 /// Client-side route for a replicated object: read verbs fan out over the
@@ -129,7 +164,20 @@ enum Step {
 enum RejectKind {
     Fenced,
     Forwarded,
-    StaleReplica { rs_epoch: u64 },
+    StaleReplica {
+        rs_epoch: u64,
+    },
+    /// The request's propagated deadline passed while it sat queued; it
+    /// is dropped without executing (`overshoot` = nanos past deadline).
+    DeadlineExpired {
+        overshoot: u64,
+    },
+    /// CoDel-style shed: the request's queue sojourn exceeded the
+    /// configured target, so the node is persistently behind and sheds
+    /// admitted work rather than serve it ever later.
+    Shed {
+        sojourn: u64,
+    },
 }
 
 /// Result of an atomic idle-check-and-remove on an object entry
@@ -229,6 +277,17 @@ pub struct NodeCtx {
     /// Trace identity of the request currently being dispatched, so calls
     /// issued from inside a method inherit its trace and parent span.
     current_trace: Option<(u64, u64)>,
+    /// Absolute deadline of the request currently being dispatched, so
+    /// calls issued from inside a method inherit the caller's remaining
+    /// budget (deadline propagation across hops, DESIGN.md §15).
+    current_deadline: Option<u64>,
+    /// Per-destination circuit breakers (lane-local; each lane learns a
+    /// machine's health from its own calls).
+    breakers: HashMap<MachineId, Breaker>,
+    /// Per-destination retry-budget buckets, in millitokens: each first
+    /// attempt deposits, each retransmission spends 1000. A dry bucket
+    /// suppresses retransmission so retries cannot amplify an overload.
+    retry_tokens: HashMap<MachineId, u64>,
     /// Round counter feeding the seeded steal-order permutation.
     steal_round: u64,
 }
@@ -265,8 +324,9 @@ impl NodeCtx {
         disks: Vec<Arc<SimDisk>>,
         policy: CallPolicy,
         tracer: Option<Tracer>,
+        overload: OverloadConfig,
     ) -> Self {
-        let shared = Arc::new(SharedNode::new(Sched::Inline));
+        let shared = Arc::new(SharedNode::new(Sched::Inline, overload));
         Self::new_dispatcher(
             machine, workers, net, inbox, registry, disks, policy, tracer, shared,
         )
@@ -381,6 +441,9 @@ impl NodeCtx {
             tracer,
             next_span: 1,
             current_trace: None,
+            current_deadline: None,
+            breakers: HashMap::new(),
+            retry_tokens: HashMap::new(),
             steal_round: 0,
         }
     }
@@ -401,6 +464,141 @@ impl NodeCtx {
         let id = self.next_req_id;
         self.next_req_id += self.stride;
         id
+    }
+
+    // ------------------------------------------------------------------
+    // Overload protection: circuit breakers and retry budgets
+    // ------------------------------------------------------------------
+
+    /// Consult (and advance) the breaker guarding `dest` before a send.
+    /// Loopback and `breaker_exempt` policies (supervision probes) bypass
+    /// the breaker entirely — a probe must be able to observe a machine
+    /// the breaker has written off.
+    fn breaker_admit(&mut self, dest: MachineId, now: u64) -> BreakerGate {
+        let Some(bc) = self.policy.breaker else {
+            return BreakerGate::Pass;
+        };
+        if self.policy.breaker_exempt || dest == self.machine {
+            return BreakerGate::Pass;
+        }
+        match self.breakers.get_mut(&dest) {
+            None => BreakerGate::Pass,
+            Some(b) => match b.state {
+                BreakerState::Closed => BreakerGate::Pass,
+                BreakerState::Open { until } if now < until => BreakerGate::Fail(until - now),
+                BreakerState::Open { .. } => {
+                    // Cooldown lapsed: this call is the half-open trial.
+                    b.state = BreakerState::HalfOpen;
+                    BreakerGate::PassTrial
+                }
+                // A trial is already in flight on this lane; hold further
+                // calls back for one more cooldown.
+                BreakerState::HalfOpen => BreakerGate::Fail(bc.cooldown.as_nanos() as u64),
+            },
+        }
+    }
+
+    /// Feed a finished call's outcome into the destination's breaker. Any
+    /// reply — even an application error — counts as success (the machine
+    /// is alive and serving); only overload-class outcomes (timeout,
+    /// overload, deadline, disconnect) count as failures.
+    fn breaker_note(&mut self, dest: MachineId, failed: bool) {
+        let Some(bc) = self.policy.breaker else {
+            return;
+        };
+        if self.policy.breaker_exempt || dest == self.machine {
+            return;
+        }
+        let now = self.clock.now_nanos();
+        let cooldown = bc.cooldown.as_nanos() as u64;
+        enum Transition {
+            None,
+            Opened(u32),
+            Closed,
+        }
+        let transition = {
+            let b = self.breakers.entry(dest).or_insert(Breaker {
+                failures: 0,
+                state: BreakerState::Closed,
+            });
+            if failed {
+                b.failures = b.failures.saturating_add(1);
+                match b.state {
+                    BreakerState::Closed if b.failures >= bc.failure_threshold => {
+                        b.state = BreakerState::Open {
+                            until: now.saturating_add(cooldown),
+                        };
+                        Transition::Opened(b.failures)
+                    }
+                    // A failed half-open trial re-opens for another cooldown.
+                    BreakerState::HalfOpen => {
+                        b.state = BreakerState::Open {
+                            until: now.saturating_add(cooldown),
+                        };
+                        Transition::Opened(b.failures)
+                    }
+                    _ => Transition::None,
+                }
+            } else {
+                let was_closed = b.state == BreakerState::Closed;
+                b.failures = 0;
+                b.state = BreakerState::Closed;
+                if was_closed {
+                    Transition::None
+                } else {
+                    Transition::Closed
+                }
+            }
+        };
+        match transition {
+            Transition::Opened(failures) => {
+                self.record_overload_marker(EventKind::BreakerOpen, dest, failures)
+            }
+            Transition::Closed => self.record_overload_marker(EventKind::BreakerClose, dest, 0),
+            Transition::None => {}
+        }
+    }
+
+    /// True when `err` should trip the destination's breaker: the class of
+    /// failures that signal an overloaded or unreachable machine.
+    fn is_overload_failure(err: &RemoteError) -> bool {
+        matches!(
+            err,
+            RemoteError::Timeout { .. }
+                | RemoteError::Overloaded { .. }
+                | RemoteError::DeadlineExceeded { .. }
+                | RemoteError::Disconnected { .. }
+        )
+    }
+
+    /// Spend one retry token (1000 millitokens) for a retransmission to
+    /// `dest`. Returns `false` — and counts a suppressed retry — when the
+    /// bucket is dry, in which case the caller must not retransmit.
+    fn spend_retry_token(&mut self, dest: MachineId) -> bool {
+        if self.policy.retry_budget.is_none() {
+            return true;
+        }
+        let tokens = self.retry_tokens.entry(dest).or_insert(0);
+        if *tokens >= 1000 {
+            *tokens -= 1000;
+            true
+        } else {
+            bump!(self.shared.stats, retries_suppressed);
+            false
+        }
+    }
+
+    /// Record a client-side overload marker event (breaker transitions,
+    /// fast-fails). These are origin events: `value` lands in the `bytes`
+    /// column and the peer column names the destination machine.
+    fn record_overload_marker(&mut self, kind: EventKind, dest: MachineId, value: u32) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let span = self.alloc_span();
+        if let Some(tracer) = &self.tracer {
+            tracer.record(kind, dest, span, span, 0, 0, 0, value, "overload".into());
+        }
     }
 
     // ------------------------------------------------------------------
@@ -567,6 +765,47 @@ impl NodeCtx {
                 machines: self.machines(),
             });
         }
+        // Deadline stamp: the tighter of this policy's own budget and the
+        // budget inherited from the request currently being served, so a
+        // caller's deadline propagates across every downstream hop.
+        let now = self.clock.now_nanos();
+        let own = if self.policy.deadline.is_zero() {
+            0
+        } else {
+            now.saturating_add(self.policy.deadline.as_nanos() as u64)
+        };
+        let deadline = match (own, self.current_deadline) {
+            (0, None) => 0,
+            (0, Some(inherited)) => inherited,
+            (own, None) => own,
+            (own, Some(inherited)) => own.min(inherited),
+        };
+        if deadline != 0 && now >= deadline {
+            // The budget is already spent: fail before touching the network.
+            return Err(RemoteError::DeadlineExceeded {
+                elapsed_nanos: now - deadline,
+            });
+        }
+        match self.breaker_admit(target.machine, now) {
+            BreakerGate::Fail(retry_after_nanos) => {
+                bump!(self.shared.stats, breaker_fast_fails);
+                self.record_overload_marker(EventKind::ClientFastFail, target.machine, 0);
+                return Err(RemoteError::Overloaded {
+                    queue_depth: 0,
+                    retry_after_nanos,
+                });
+            }
+            BreakerGate::PassTrial => {
+                self.record_overload_marker(EventKind::BreakerHalfOpen, target.machine, 0);
+            }
+            BreakerGate::Pass => {}
+        }
+        // Each admitted first attempt earns the destination's retry bucket
+        // a deposit; retransmissions later spend from it (see `wait_raw`).
+        if let Some(rb) = self.policy.retry_budget {
+            let tokens = self.retry_tokens.entry(target.machine).or_insert(0);
+            *tokens = (*tokens + rb.deposit_millitokens as u64).min(rb.max_millitokens as u64);
+        }
         let req_id = self.alloc_req_id();
         let call_trace = if self.tracer.is_some() {
             let span = self.alloc_span();
@@ -603,6 +842,7 @@ impl NodeCtx {
             // incarnation epoch for the target address.
             epoch: self.believed_epochs.get(&target).copied().unwrap_or(0),
             rs_epoch: rs_epoch.into(),
+            deadline,
         };
         let bytes = wire::to_bytes(&frame);
         if let (Some(tracer), Some(t)) = (&self.tracer, &call_trace) {
@@ -634,6 +874,7 @@ impl NodeCtx {
                 trace: call_trace,
                 hops: 0,
                 read_primary,
+                deadline_at: deadline,
             },
         );
         Ok(req_id)
@@ -756,6 +997,18 @@ impl NodeCtx {
     pub fn wait_raw(&mut self, mut req_id: u64) -> RemoteResult<Vec<u8>> {
         let started = self.clock.now_nanos();
         let timeout = self.policy.timeout.as_nanos() as u64;
+        // A zero reply window can never be satisfied: surface a typed
+        // error instead of busy-looping through instant timeouts.
+        if timeout == 0 {
+            self.outstanding.remove(&req_id);
+            return Err(RemoteError::DeadlineExceeded { elapsed_nanos: 0 });
+        }
+        // Absolute budget stamped at issue time; redirects and refences
+        // preserve it, so one read up front is enough.
+        let deadline_at = self
+            .outstanding
+            .get(&req_id)
+            .map_or(0, |call| call.deadline_at);
         let mut attempts: u32 = 1;
         let mut deadline = started + timeout;
         loop {
@@ -869,12 +1122,51 @@ impl NodeCtx {
                         );
                     }
                 }
+                if let Some(call) = &call {
+                    let failed = result.as_ref().err().is_some_and(Self::is_overload_failure);
+                    self.breaker_note(call.target.machine, failed);
+                }
                 return result;
             }
-            match self.pump_until(deadline) {
+            // Deadline enforcement on the waiting side: once the stamped
+            // budget passes, stop waiting *and* stop retransmitting — the
+            // server will drop the work too, so no answer is coming that
+            // anyone still wants.
+            if deadline_at != 0 {
+                let now = self.clock.now_nanos();
+                if now >= deadline_at {
+                    let dest = self.outstanding.remove(&req_id).map(|c| c.target.machine);
+                    if let Some(dest) = dest {
+                        self.breaker_note(dest, true);
+                    }
+                    return Err(RemoteError::DeadlineExceeded {
+                        elapsed_nanos: now - deadline_at,
+                    });
+                }
+            }
+            let pump_to = if deadline_at == 0 {
+                deadline
+            } else {
+                deadline.min(deadline_at)
+            };
+            match self.pump_until(pump_to) {
                 Ok(()) => {}
                 Err(()) => {
-                    if attempts > self.policy.max_retries {
+                    // Re-enter the loop on deadline expiry (handled above)
+                    // rather than treating it as an attempt timeout.
+                    if deadline_at != 0 && self.clock.now_nanos() >= deadline_at {
+                        continue;
+                    }
+                    // Retry-budget gate: a retransmission spends a token;
+                    // a dry bucket converts the remaining retries into an
+                    // immediate timeout so retries cannot amplify an
+                    // overload (DESIGN.md §15).
+                    let exhausted = attempts > self.policy.max_retries;
+                    let suppressed = !exhausted && {
+                        let dest = self.outstanding.get(&req_id).map(|c| c.target.machine);
+                        dest.is_some_and(|d| !self.spend_retry_token(d))
+                    };
+                    if exhausted || suppressed {
                         // A replica-routed read that exhausted its budget
                         // presumes the replica dead: drop it from the
                         // route and fall back to the primary with a fresh
@@ -900,6 +1192,7 @@ impl NodeCtx {
                                 machine: self.machine,
                                 object: DAEMON,
                             });
+                        self.breaker_note(target.machine, true);
                         return Err(RemoteError::Timeout {
                             machine: target.machine,
                             object: target.object,
@@ -909,7 +1202,10 @@ impl NodeCtx {
                     }
                     let pause = self.policy.backoff.delay(attempts);
                     if !pause.is_zero() {
-                        let pause_deadline = self.clock.now_nanos() + pause.as_nanos() as u64;
+                        let mut pause_deadline = self.clock.now_nanos() + pause.as_nanos() as u64;
+                        if deadline_at != 0 {
+                            pause_deadline = pause_deadline.min(deadline_at);
+                        }
                         while !self.replies.contains_key(&req_id) {
                             if self.pump_until(pause_deadline).is_err() {
                                 break;
@@ -964,6 +1260,7 @@ impl NodeCtx {
                 payload,
                 trace,
                 epoch,
+                deadline,
                 ..
             }) => Frame::Request {
                 req_id,
@@ -978,6 +1275,8 @@ impl NodeCtx {
                 // A chase always ends at a real object (a migrated home
                 // or a replica's primary), never at a replica.
                 rs_epoch: 0.into(),
+                // The caller's budget does not reset on a chase.
+                deadline,
             },
             _ => return false,
         };
@@ -1018,7 +1317,7 @@ impl NodeCtx {
             return None;
         }
         let target = call.target;
-        let (reply_to, target_obj, payload, trace, old_epoch, old_rs_epoch) =
+        let (reply_to, target_obj, payload, trace, old_epoch, old_rs_epoch, old_deadline) =
             match wire::from_bytes::<Frame>(&call.bytes) {
                 Ok(Frame::Request {
                     reply_to,
@@ -1027,8 +1326,9 @@ impl NodeCtx {
                     trace,
                     epoch,
                     rs_epoch,
+                    deadline,
                     ..
-                }) => (reply_to, target, payload, trace, epoch, rs_epoch),
+                }) => (reply_to, target, payload, trace, epoch, rs_epoch, deadline),
                 _ => return None,
             };
         if old_epoch >= taught {
@@ -1044,6 +1344,8 @@ impl NodeCtx {
             trace,
             epoch: taught,
             rs_epoch: old_rs_epoch,
+            // A refence is the same logical call: the budget carries over.
+            deadline: old_deadline,
         };
         let bytes = wire::to_bytes(&frame);
         let mut call = self.outstanding.remove(&old_id)?;
@@ -1089,6 +1391,7 @@ impl NodeCtx {
                 payload,
                 trace,
                 epoch,
+                deadline,
                 ..
             }) => Frame::Request {
                 req_id,
@@ -1098,6 +1401,8 @@ impl NodeCtx {
                 trace,
                 epoch: epoch.max(believed),
                 rs_epoch: 0.into(),
+                // The read keeps its original budget at the primary.
+                deadline,
             },
             _ => return false,
         };
@@ -2031,6 +2336,7 @@ impl NodeCtx {
                 trace,
                 epoch,
                 rs_epoch,
+                deadline,
             } => {
                 // The admit-verdict events all want the method name; parse
                 // it from the payload head only when tracing is on.
@@ -2110,6 +2416,8 @@ impl NodeCtx {
                     span: trace.span.0,
                     epoch,
                     rs_epoch: rs_epoch.0,
+                    deadline,
+                    admitted_at: self.clock.now_nanos(),
                 };
                 match self.try_serve(req) {
                     ServeOutcome::Served => {}
@@ -2206,6 +2514,26 @@ impl NodeCtx {
     /// execution still wins.
     fn serve_object(&mut self, req: IncomingReq) -> ServeOutcome {
         let target = req.target;
+        // Admission-time deadline check: work whose caller has already
+        // given up is dropped *before* it costs a mailbox slot. Checked
+        // again at execution time in `next_step` — time queued counts.
+        if req.deadline != 0 && req.admitted_at >= req.deadline {
+            let overshoot = req.admitted_at - req.deadline;
+            bump!(self.shared.stats, calls_deadline_expired);
+            self.record_overload_marker(
+                EventKind::ServerDeadlineDrop,
+                req.reply_to,
+                (overshoot / 1_000).min(u32::MAX as u64) as u32,
+            );
+            self.send_response(
+                req.reply_to,
+                req.req_id,
+                Err(RemoteError::DeadlineExceeded {
+                    elapsed_nanos: overshoot,
+                }),
+            );
+            return ServeOutcome::Served;
+        }
         let deferred = (self.tracer.is_some() && req.span != 0).then(|| {
             (
                 req.reply_to,
@@ -2215,22 +2543,73 @@ impl NodeCtx {
                 payload_method(&req.payload),
             )
         });
-        let submit = {
+        // Admission control (DESIGN.md §15): a full per-object mailbox or
+        // a spent machine-wide in-flight budget rejects the request right
+        // here — a cheap typed `Overloaded` reply instead of a queue slot
+        // the node cannot afford. Rejected requests are never queued.
+        let mut slot = Some(req);
+        let admitted = {
             let mut guard = self.shared.shards[shard_of(target)].lock();
             match guard.get_mut(&target) {
                 Some(entry) => {
-                    entry.mailbox.push_back(req);
-                    if entry.scheduled {
-                        false
+                    if entry.mailbox.len() >= self.shared.overload.mailbox_cap {
+                        Err(entry.mailbox.len() as u64)
                     } else {
-                        entry.scheduled = true;
-                        true
+                        match self
+                            .shared
+                            .queued
+                            .try_acquire(self.shared.overload.inflight_cap as u64)
+                        {
+                            Err(depth) => Err(depth),
+                            Ok(_) => {
+                                entry
+                                    .mailbox
+                                    .push_back(slot.take().expect("request unqueued"));
+                                if entry.scheduled {
+                                    Ok(false)
+                                } else {
+                                    entry.scheduled = true;
+                                    Ok(true)
+                                }
+                            }
+                        }
                     }
                 }
                 None => {
                     drop(guard);
-                    return self.reject_absent(req);
+                    return self.reject_absent(slot.take().expect("request unqueued"));
                 }
+            }
+        };
+        let submit = match admitted {
+            Ok(submit) => submit,
+            Err(queue_depth) => {
+                let req = slot.take().expect("rejected request was queued");
+                bump!(self.shared.stats, calls_shed_overload);
+                self.record_overload_marker(
+                    EventKind::ServerShed,
+                    req.reply_to,
+                    queue_depth.min(u32::MAX as u64) as u32,
+                );
+                // An overload rejection is itself a load signal: count it
+                // against the target so the placement heat map sees the
+                // pressure even though the call never ran.
+                *self
+                    .shared
+                    .gates
+                    .lock()
+                    .object_calls
+                    .entry(target)
+                    .or_insert(0) += 1;
+                self.send_response(
+                    req.reply_to,
+                    req.req_id,
+                    Err(RemoteError::Overloaded {
+                        queue_depth,
+                        retry_after_nanos: self.shared.overload.retry_after.as_nanos() as u64,
+                    }),
+                );
+                return ServeOutcome::Served;
             }
         };
         if submit {
@@ -2346,6 +2725,43 @@ impl NodeCtx {
                 Some(req) => req,
             },
         };
+        // The request left its mailbox: give its slot back to the
+        // machine-wide in-flight budget whatever happens next.
+        self.shared.queued.release(1);
+        // Execution-time overload gates (DESIGN.md §15), judged at the
+        // moment the call would run so time spent queued counts: a
+        // request whose propagated deadline passed is dropped unexecuted,
+        // and when a sojourn target is configured, a request that waited
+        // longer than the target is shed — the node is persistently
+        // behind, and serving ever-later work helps nobody.
+        if req.deadline != 0 && now >= req.deadline {
+            return Step::Reject {
+                err: RemoteError::DeadlineExceeded {
+                    elapsed_nanos: now - req.deadline,
+                },
+                kind: RejectKind::DeadlineExpired {
+                    overshoot: now - req.deadline,
+                },
+                req,
+            };
+        }
+        let sojourn_target = self.shared.overload.sojourn_target.as_nanos() as u64;
+        if sojourn_target != 0 {
+            let sojourn = now.saturating_sub(req.admitted_at);
+            if sojourn > sojourn_target {
+                // Depth includes this request: a zero depth is reserved
+                // for client-side breaker fast-fails.
+                let queue_depth = guard.get(&target).map_or(0, |e| e.mailbox.len() as u64) + 1;
+                return Step::Reject {
+                    err: RemoteError::Overloaded {
+                        queue_depth,
+                        retry_after_nanos: self.shared.overload.retry_after.as_nanos() as u64,
+                    },
+                    kind: RejectKind::Shed { sojourn },
+                    req,
+                };
+            }
+        }
         // Lock order: shard, then gates. Gates are never taken first.
         let mut gates = self.shared.gates.lock();
         if let Some(&current) = gates.epochs.get(&target) {
@@ -2371,6 +2787,8 @@ impl NodeCtx {
                 gates.object_calls.remove(&target);
                 drop(gates);
                 let entry = guard.remove(&target).expect("entry present above");
+                // Quarantined requests leave their mailbox for good.
+                self.shared.queued.release(entry.mailbox.len() as u64);
                 let mut reqs = vec![req];
                 reqs.extend(entry.mailbox);
                 return Step::Quarantine { reqs, epoch };
@@ -2481,6 +2899,22 @@ impl NodeCtx {
                                 );
                             }
                         }
+                        RejectKind::DeadlineExpired { overshoot } => {
+                            bump!(self.shared.stats, calls_deadline_expired);
+                            self.record_overload_marker(
+                                EventKind::ServerDeadlineDrop,
+                                req.reply_to,
+                                (overshoot / 1_000).min(u32::MAX as u64) as u32,
+                            );
+                        }
+                        RejectKind::Shed { sojourn } => {
+                            bump!(self.shared.stats, calls_shed_sojourn);
+                            self.record_overload_marker(
+                                EventKind::ServerSojournDrop,
+                                req.reply_to,
+                                (sojourn / 1_000).min(u32::MAX as u64) as u32,
+                            );
+                        }
                     }
                     self.send_response(req.reply_to, req.req_id, Err(err));
                     batch += 1;
@@ -2529,6 +2963,12 @@ impl NodeCtx {
                         &mut self.current_trace,
                         (req.span != 0).then_some((req.trace_id, req.span)),
                     );
+                    // Downstream calls the method issues inherit the
+                    // request's remaining deadline budget (propagation).
+                    let saved_deadline = std::mem::replace(
+                        &mut self.current_deadline,
+                        (req.deadline != 0).then_some(req.deadline),
+                    );
                     let mut reader = Reader::new(&req.payload);
                     let mut served_method = None;
                     let outcome = match String::decode(&mut reader) {
@@ -2542,6 +2982,7 @@ impl NodeCtx {
                     };
                     self.current_call = saved;
                     self.current_trace = saved_trace;
+                    self.current_deadline = saved_deadline;
 
                     // Primary-side write propagation, while this lane still
                     // owns the object: a successful write verb served by a
@@ -2767,6 +3208,9 @@ impl NodeCtx {
     /// caller must update the gates (forwards, epochs, migrating) for the
     /// removal *before* draining.
     fn drain_removed_mailbox(&mut self, entry: ObjEntry) {
+        // The whole mailbox leaves the queue at once: release the
+        // machine-wide in-flight budget before answering each request.
+        self.shared.queued.release(entry.mailbox.len() as u64);
         for req in entry.mailbox {
             match self.reject_absent(req) {
                 ServeOutcome::Served => {}

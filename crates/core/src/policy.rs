@@ -97,6 +97,117 @@ impl Default for Backoff {
     }
 }
 
+/// Circuit-breaker configuration for outbound calls (DESIGN.md §15).
+///
+/// The breaker is per-destination-machine state on the *calling* node:
+/// `failure_threshold` consecutive overload-class failures (timeouts,
+/// `Overloaded` rejections, disconnects, deadline expiries) trip it open;
+/// while open, calls to that machine fail fast with
+/// [`Overloaded`](crate::RemoteError::Overloaded) (`queue_depth == 0`)
+/// without touching the network. After `cooldown` (measured on the cluster
+/// clock, so virtual-time replay is deterministic) the breaker goes
+/// half-open and admits a single trial call; success closes it, failure
+/// re-opens it for another cooldown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before a half-open trial.
+    pub cooldown: Duration,
+}
+
+impl BreakerConfig {
+    /// A sensible default: 5 consecutive failures, 100 ms cooldown.
+    pub const fn new() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig::new()
+    }
+}
+
+/// Token-bucket retry budget (DESIGN.md §15): caps the *ratio* of
+/// retransmissions to first attempts so retries cannot amplify a brownout.
+///
+/// Accounting is in millitokens per destination machine. Every first
+/// attempt deposits `deposit_millitokens` (capped at `max_millitokens`);
+/// every retransmission spends 1000. When the bucket cannot cover a
+/// retransmission, the retry is suppressed and the call surfaces its
+/// timeout immediately — with `deposit_millitokens = 100`, sustained retry
+/// volume is capped at ~10% of call volume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudgetConfig {
+    /// Millitokens deposited per first attempt (1000 = one retry banked
+    /// per call; 100 = one retry per ten calls).
+    pub deposit_millitokens: u32,
+    /// Bucket capacity — bounds the burst of retries after an idle period.
+    pub max_millitokens: u32,
+}
+
+impl RetryBudgetConfig {
+    /// A sensible default: 10% sustained retry ratio, burst of 10 retries.
+    pub const fn new() -> Self {
+        RetryBudgetConfig {
+            deposit_millitokens: 100,
+            max_millitokens: 10_000,
+        }
+    }
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig::new()
+    }
+}
+
+/// Server-side admission-control knobs (DESIGN.md §15), set cluster-wide
+/// via `ClusterBuilder::overload`. The defaults are deliberately generous
+/// — tier-1 workloads never hit them — so classic behavior is preserved
+/// unless a deployment opts into tighter budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadConfig {
+    /// Per-object mailbox cap: a request that would make the target's
+    /// mailbox longer than this is rejected at admission with
+    /// [`Overloaded`](crate::RemoteError::Overloaded) (never queued).
+    pub mailbox_cap: usize,
+    /// Per-machine budget on admitted-but-unexecuted requests, summed
+    /// across all objects. The cheap machine-wide backstop when load is
+    /// spread over many objects.
+    pub inflight_cap: usize,
+    /// CoDel-style sojourn target: admitted work whose queue wait exceeds
+    /// this is shed at execution time instead of running late.
+    /// `Duration::ZERO` (the default) disables sojourn shedding.
+    pub sojourn_target: Duration,
+    /// Backoff hint stamped into `Overloaded` rejections
+    /// (`retry_after_nanos`).
+    pub retry_after: Duration,
+}
+
+impl OverloadConfig {
+    /// Generous defaults: 4096-deep mailboxes, 65 536 in-flight, sojourn
+    /// shedding off, 1 ms retry hint.
+    pub const fn new() -> Self {
+        OverloadConfig {
+            mailbox_cap: 4096,
+            inflight_cap: 65_536,
+            sojourn_target: Duration::ZERO,
+            retry_after: Duration::from_millis(1),
+        }
+    }
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig::new()
+    }
+}
+
 /// Reliability contract for outbound calls.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CallPolicy {
@@ -106,6 +217,22 @@ pub struct CallPolicy {
     pub max_retries: u32,
     /// Delay schedule between attempts.
     pub backoff: Backoff,
+    /// End-to-end deadline budget, stamped on the request frame as an
+    /// absolute cluster-clock time and propagated (decremented) across
+    /// nested hops. `Duration::ZERO` (the default) means "no deadline" —
+    /// the classic contract, byte-identical on the wire. Nested calls made
+    /// while serving a deadlined request inherit the *remaining* budget if
+    /// it is tighter than their own policy's.
+    pub deadline: Duration,
+    /// Per-destination circuit breaker; `None` (the default) disables it.
+    pub breaker: Option<BreakerConfig>,
+    /// Token-bucket retry budget; `None` (the default) disables it.
+    pub retry_budget: Option<RetryBudgetConfig>,
+    /// Exempt this call from circuit breakers. Set by
+    /// [`CallPolicy::probe`]: supervision probes *are* the evidence that
+    /// decides whether a machine is dead — a breaker that swallows them
+    /// would turn every brownout into a conviction.
+    pub breaker_exempt: bool,
 }
 
 impl CallPolicy {
@@ -117,6 +244,10 @@ impl CallPolicy {
             timeout,
             max_retries: 0,
             backoff: Backoff::fixed(Duration::ZERO),
+            deadline: Duration::ZERO,
+            breaker: None,
+            retry_budget: None,
+            breaker_exempt: false,
         }
     }
 
@@ -124,9 +255,9 @@ impl CallPolicy {
     /// four retransmissions, default exponential backoff.
     pub fn reliable(timeout: Duration) -> Self {
         CallPolicy {
-            timeout,
             max_retries: 4,
             backoff: Backoff::default(),
+            ..CallPolicy::no_retry(timeout)
         }
     }
 
@@ -151,6 +282,25 @@ impl CallPolicy {
         self
     }
 
+    /// Set the end-to-end deadline budget (builder style).
+    /// `Duration::ZERO` clears it.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Enable the per-destination circuit breaker (builder style).
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Enable the token-bucket retry budget (builder style).
+    pub fn with_retry_budget(mut self, budget: RetryBudgetConfig) -> Self {
+        self.retry_budget = Some(budget);
+        self
+    }
+
     /// Total attempts this policy allows (first send + retries).
     pub fn max_attempts(&self) -> u32 {
         1 + self.max_retries
@@ -162,8 +312,14 @@ impl CallPolicy {
     /// inherits a chaos-hardened retry budget turns every dead-machine
     /// touch into seconds of retransmission. Derived from the per-attempt
     /// window so cost scales with the caller's latency expectations.
+    /// Probes are also **breaker-exempt**: the probe result is the
+    /// evidence that opens or closes the breaker and convicts or acquits
+    /// the machine — gating it on the breaker would be circular.
     pub fn probe(timeout: Duration) -> Self {
-        CallPolicy::no_retry(timeout)
+        CallPolicy {
+            breaker_exempt: true,
+            ..CallPolicy::no_retry(timeout)
+        }
     }
 }
 
@@ -278,6 +434,30 @@ mod tests {
         assert_eq!(p.timeout, Duration::from_millis(40));
         // No hidden backoff: a probe that fails, fails now.
         assert_eq!(p.backoff.delay(1), Duration::ZERO);
+        // Probes bypass circuit breakers — they are the breaker's evidence.
+        assert!(p.breaker_exempt);
+    }
+
+    #[test]
+    fn overload_knobs_default_off_and_compose() {
+        let p = CallPolicy::default();
+        assert_eq!(p.deadline, Duration::ZERO);
+        assert!(p.breaker.is_none());
+        assert!(p.retry_budget.is_none());
+        assert!(!p.breaker_exempt);
+
+        let p = CallPolicy::reliable(Duration::from_millis(100))
+            .with_deadline(Duration::from_millis(250))
+            .with_breaker(BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(50),
+            })
+            .with_retry_budget(RetryBudgetConfig::new());
+        assert_eq!(p.deadline, Duration::from_millis(250));
+        assert_eq!(p.breaker.unwrap().failure_threshold, 3);
+        assert_eq!(p.retry_budget.unwrap().deposit_millitokens, 100);
+        // The overload knobs ride along without disturbing retry basics.
+        assert_eq!(p.max_attempts(), 5);
     }
 
     #[test]

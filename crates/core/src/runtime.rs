@@ -20,7 +20,7 @@ use crate::naming::{
     shard_addr, DirShard, DirShardClient, Directory, DirectoryClient, NameService,
 };
 use crate::node::{NodeCtx, WorkerLane};
-use crate::policy::CallPolicy;
+use crate::policy::{CallPolicy, OverloadConfig};
 use crate::process::{ClassRegistry, RemoteClient, ServerClass};
 use crate::shared::{Pool, Sched, SharedNode};
 use crate::trace::{Recorder, TraceCtx, DEFAULT_TRACE_CAPACITY};
@@ -42,8 +42,20 @@ pub struct ClusterBuilder {
     sim_config: ClusterConfig,
     registry: ClassRegistry,
     policy: CallPolicy,
+    overload: OverloadConfig,
     tracing: bool,
 }
+
+/// Hard ceiling on worker machines: one OS thread each, so a typo like
+/// `ClusterBuilder::new(1 << 20)` must fail loudly, not fork-bomb the host.
+const MAX_WORKERS: usize = 1024;
+
+/// Hard ceiling on per-machine scheduler lanes (each is an OS thread).
+const MAX_SCHED_WORKERS: usize = 256;
+
+/// Hard ceiling on directory shards: beyond this the seating loop costs
+/// more than any lookup distribution could win back.
+const MAX_DIR_SHARDS: u32 = 1024;
 
 impl ClusterBuilder {
     /// A cluster of `workers` machines (plus the implicit driver endpoint)
@@ -51,6 +63,11 @@ impl ClusterBuilder {
     /// [`sim_config`](Self::sim_config) for costed benchmark topologies.
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "a cluster needs at least one worker machine");
+        assert!(
+            workers <= MAX_WORKERS,
+            "ClusterBuilder::new({workers}): a cluster is capped at {MAX_WORKERS} worker \
+             machines (one OS thread each)"
+        );
         let mut registry = ClassRegistry::new();
         registry.register::<DoubleBlock>();
         registry.register::<ByteBlock>();
@@ -64,6 +81,7 @@ impl ClusterBuilder {
             sim_config: ClusterConfig::zero_cost(workers + 1),
             registry,
             policy: CallPolicy::default(),
+            overload: OverloadConfig::new(),
             tracing: false,
         }
     }
@@ -77,6 +95,11 @@ impl ClusterBuilder {
     /// dry. Per-object sequential-server semantics are preserved either
     /// way.
     pub fn sched_workers(mut self, n: usize) -> Self {
+        assert!(
+            n <= MAX_SCHED_WORKERS,
+            "ClusterBuilder::sched_workers({n}): capped at {MAX_SCHED_WORKERS} lanes per \
+             machine (each lane is an OS thread)"
+        );
         self.sched_workers = n;
         self
     }
@@ -92,7 +115,33 @@ impl ClusterBuilder {
     /// declare read verbs, so `crates/dirsvc`'s management plane can
     /// supervise and replicate them like any other object.
     pub fn dir_shards(mut self, n: u32) -> Self {
+        assert!(
+            n <= MAX_DIR_SHARDS,
+            "ClusterBuilder::dir_shards({n}): capped at {MAX_DIR_SHARDS} shards"
+        );
         self.dir_shards = n;
+        self
+    }
+
+    /// Per-machine overload protection (DESIGN.md §15): mailbox caps, the
+    /// machine-wide in-flight budget, the CoDel-style sojourn target, and
+    /// the `retry_after` hint stamped on [`RemoteError::Overloaded`]
+    /// rejections. The defaults ([`OverloadConfig::new`]) are generous
+    /// enough that well-behaved workloads never notice them.
+    ///
+    /// [`RemoteError::Overloaded`]: crate::RemoteError::Overloaded
+    pub fn overload(mut self, config: OverloadConfig) -> Self {
+        assert!(
+            config.mailbox_cap > 0,
+            "ClusterBuilder::overload: mailbox_cap must be at least 1 \
+             (a cap of 0 would reject every request)"
+        );
+        assert!(
+            config.inflight_cap > 0,
+            "ClusterBuilder::overload: inflight_cap must be at least 1 \
+             (a cap of 0 would reject every request)"
+        );
+        self.overload = config;
         self
     }
 
@@ -150,6 +199,7 @@ impl ClusterBuilder {
             sim_config,
             registry,
             policy,
+            overload,
             tracing,
         } = self;
         let sim = SimCluster::new(sim_config);
@@ -178,6 +228,7 @@ impl ClusterBuilder {
                     sim.disks(m).to_vec(),
                     policy,
                     recorder.as_ref().map(|r| r.tracer_lane(m, 0)),
+                    overload,
                 );
                 threads.push(
                     std::thread::Builder::new()
@@ -211,7 +262,7 @@ impl ClusterBuilder {
                 idle: Mutex::new(vec![false; sched_workers]),
                 steal_order: StealOrder::new(sched::mix64(steal_seed ^ (m as u64 + 1))),
             };
-            let shared = Arc::new(SharedNode::new(Sched::Pool(pool)));
+            let shared = Arc::new(SharedNode::new(Sched::Pool(pool), overload));
 
             for (w, (rx, deque)) in rxs.into_iter().zip(deques).enumerate() {
                 let lane = WorkerLane {
@@ -268,6 +319,9 @@ impl ClusterBuilder {
             sim.disks(driver_id).to_vec(),
             policy,
             recorder.as_ref().map(|r| r.tracer_lane(driver_id, 0)),
+            // The driver endpoint serves no objects: the default caps are
+            // irrelevant there, but keep one config for the whole cluster.
+            overload,
         );
 
         // The cluster name service root lives on machine 0 (§5 symbolic
@@ -384,6 +438,7 @@ impl Cluster {
                 trace: TraceCtx::default(),
                 epoch: 0,
                 rs_epoch: 0.into(),
+                deadline: 0,
             };
             let _ = self
                 .sim

@@ -17,12 +17,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
-use sched::{Injector, StealOrder, Stealer};
+use sched::{DepthGauge, Injector, StealOrder, Stealer};
 use simnet::{Clock, MachineId, Packet};
 
 use crate::dedup::DedupWindow;
 use crate::frame::NodeStats;
 use crate::ids::{ObjRef, ObjectId, DAEMON};
+use crate::policy::OverloadConfig;
 use crate::process::ServerObject;
 
 /// Shards of the per-machine object table. Power of two; eight keeps the
@@ -49,6 +50,12 @@ pub(crate) struct IncomingReq {
     pub(crate) epoch: u64,
     /// Caller's believed replica-set epoch (0 = not replica-routed).
     pub(crate) rs_epoch: u64,
+    /// Absolute cluster-clock deadline in nanos (0 = none). Checked at
+    /// admission and re-checked at execution time under the shard lock.
+    pub(crate) deadline: u64,
+    /// Cluster-clock reading when the dispatcher admitted the request —
+    /// the sojourn clock for CoDel-style shedding.
+    pub(crate) admitted_at: u64,
 }
 
 /// Trace identity of one call, kept alongside the client's outstanding
@@ -158,6 +165,11 @@ pub(crate) struct SharedStats {
     pub(crate) replica_syncs_sent: AtomicU64,
     pub(crate) dir_cache_hits: AtomicU64,
     pub(crate) dir_cache_misses: AtomicU64,
+    pub(crate) calls_shed_overload: AtomicU64,
+    pub(crate) calls_shed_sojourn: AtomicU64,
+    pub(crate) calls_deadline_expired: AtomicU64,
+    pub(crate) breaker_fast_fails: AtomicU64,
+    pub(crate) retries_suppressed: AtomicU64,
 }
 
 macro_rules! bump {
@@ -188,6 +200,11 @@ impl SharedStats {
             replica_syncs_sent: g(&self.replica_syncs_sent),
             dir_cache_hits: g(&self.dir_cache_hits),
             dir_cache_misses: g(&self.dir_cache_misses),
+            calls_shed_overload: g(&self.calls_shed_overload),
+            calls_shed_sojourn: g(&self.calls_shed_sojourn),
+            calls_deadline_expired: g(&self.calls_deadline_expired),
+            breaker_fast_fails: g(&self.breaker_fast_fails),
+            retries_suppressed: g(&self.retries_suppressed),
         }
     }
 }
@@ -292,10 +309,17 @@ pub(crate) struct SharedNode {
     /// this when an object goes idle to know the dispatcher needs a kick.
     pub(crate) daemon_parked: AtomicU64,
     pub(crate) sched: Sched,
+    /// Admission-control knobs (immutable after build).
+    pub(crate) overload: OverloadConfig,
+    /// Admitted-but-unexecuted requests across all object mailboxes — the
+    /// machine-wide in-flight gauge the admission check reads. Acquired on
+    /// mailbox push; released wherever a request leaves a mailbox
+    /// (execution pop, quarantine drain, removed-object drain).
+    pub(crate) queued: DepthGauge,
 }
 
 impl SharedNode {
-    pub(crate) fn new(sched: Sched) -> Self {
+    pub(crate) fn new(sched: Sched, overload: OverloadConfig) -> Self {
         SharedNode {
             shards: (0..OBJECT_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
@@ -307,6 +331,8 @@ impl SharedNode {
             next_obj_id: AtomicU64::new(DAEMON + 1),
             daemon_parked: AtomicU64::new(0),
             sched,
+            overload,
+            queued: DepthGauge::new(),
         }
     }
 

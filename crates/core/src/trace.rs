@@ -119,6 +119,29 @@ pub enum EventKind {
     /// The replica manager grew or shrank an object's replica set
     /// (`bytes` carries the new replica count).
     ReplicaScale,
+    /// Server rejected a request at admission: mailbox cap or machine
+    /// in-flight budget exceeded (`bytes` carries the observed queue
+    /// depth). The request was never queued.
+    ServerShed,
+    /// Server shed an admitted request at execution time because its
+    /// queue sojourn exceeded the CoDel target (`bytes` carries the
+    /// sojourn in microseconds).
+    ServerSojournDrop,
+    /// Server dropped a request whose propagated deadline had expired —
+    /// at admission or at execution time (`bytes` carries the overshoot
+    /// in microseconds). The work did not run.
+    ServerDeadlineDrop,
+    /// A client-side circuit breaker tripped open for a destination
+    /// machine (`peer`) after consecutive overload-class failures.
+    BreakerOpen,
+    /// The breaker's cooldown lapsed; the next call to `peer` is the
+    /// half-open trial.
+    BreakerHalfOpen,
+    /// A half-open trial succeeded; the breaker for `peer` closed.
+    BreakerClose,
+    /// A call failed fast against an open breaker — no frame was sent
+    /// (`peer` is the destination machine).
+    ClientFastFail,
 }
 
 impl EventKind {
@@ -149,6 +172,13 @@ impl EventKind {
             EventKind::ReplicaFallback => "replica_fallback",
             EventKind::ReplicaPromote => "replica_promote",
             EventKind::ReplicaScale => "replica_scale",
+            EventKind::ServerShed => "shed",
+            EventKind::ServerSojournDrop => "sojourn_drop",
+            EventKind::ServerDeadlineDrop => "deadline_drop",
+            EventKind::BreakerOpen => "breaker_open",
+            EventKind::BreakerHalfOpen => "breaker_half_open",
+            EventKind::BreakerClose => "breaker_close",
+            EventKind::ClientFastFail => "fast_fail",
         }
     }
 
@@ -192,6 +222,25 @@ impl EventKind {
                 | EventKind::ReplicaFallback
                 | EventKind::ReplicaPromote
                 | EventKind::ReplicaScale
+        )
+    }
+
+    /// True for the overload lifecycle markers (DESIGN.md §15).
+    /// `ServerShed`, `ServerSojournDrop`, and `ServerDeadlineDrop` ride on
+    /// a real request span, but the breaker transitions and `ClientFastFail`
+    /// are recorded by the *caller's* engine without ever sending a frame —
+    /// no `ClientSend` precedes them — so causal checks treat the family
+    /// as origins.
+    pub fn is_overload_marker(&self) -> bool {
+        matches!(
+            self,
+            EventKind::ServerShed
+                | EventKind::ServerSojournDrop
+                | EventKind::ServerDeadlineDrop
+                | EventKind::BreakerOpen
+                | EventKind::BreakerHalfOpen
+                | EventKind::BreakerClose
+                | EventKind::ClientFastFail
         )
     }
 }
@@ -509,6 +558,7 @@ impl Trace {
                 && !e.kind.is_migration_marker()
                 && !e.kind.is_supervision_marker()
                 && !e.kind.is_replica_marker()
+                && !e.kind.is_overload_marker()
                 && !sends.contains(&e.span_id)
             {
                 violations.push(format!(
@@ -633,7 +683,14 @@ impl Trace {
                 | EventKind::ReplicaSync
                 | EventKind::ReplicaFallback
                 | EventKind::ReplicaPromote
-                | EventKind::ReplicaScale => {}
+                | EventKind::ReplicaScale
+                | EventKind::ServerShed
+                | EventKind::ServerSojournDrop
+                | EventKind::ServerDeadlineDrop
+                | EventKind::BreakerOpen
+                | EventKind::BreakerHalfOpen
+                | EventKind::BreakerClose
+                | EventKind::ClientFastFail => {}
             }
         }
 
@@ -822,6 +879,31 @@ impl Trace {
                     let name = format!("{}:m{}", e.kind.label(), e.peer);
                     let body = format!(
                         "{{\"name\":{},\"cat\":\"supervision\",\"ph\":\"i\",\"s\":\"p\",\
+                         \"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"machine\":{},\
+                         \"value\":{}}}}}",
+                        json_string(&name),
+                        micros(e.at_nanos),
+                        e.machine,
+                        e.worker,
+                        e.peer,
+                        e.bytes,
+                    );
+                    emit(&mut out, &body);
+                }
+                EventKind::ServerShed
+                | EventKind::ServerSojournDrop
+                | EventKind::ServerDeadlineDrop
+                | EventKind::BreakerOpen
+                | EventKind::BreakerHalfOpen
+                | EventKind::BreakerClose
+                | EventKind::ClientFastFail => {
+                    // Overload instants in their own category so a timeline
+                    // shows sheds, deadline drops, and breaker transitions
+                    // against the workload's calls. `value` is the marker's
+                    // scalar (queue depth, sojourn/overshoot µs).
+                    let name = format!("{}:m{}", e.kind.label(), e.peer);
+                    let body = format!(
+                        "{{\"name\":{},\"cat\":\"overload\",\"ph\":\"i\",\"s\":\"p\",\
                          \"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"machine\":{},\
                          \"value\":{}}}}}",
                         json_string(&name),

@@ -186,6 +186,18 @@ impl ReplicaManager {
                 C::CLASS
             )));
         }
+        if targets.is_empty() {
+            return Err(RemoteError::app(format!(
+                "{name}: replicate called with an empty target list"
+            )));
+        }
+        let machines = ctx.machines();
+        if let Some(&bad) = targets.iter().find(|&&m| m >= machines) {
+            return Err(RemoteError::app(format!(
+                "{name}: replica target machine {bad} out of range (cluster has {machines} \
+                 machines)"
+            )));
+        }
         if self.entry(name).is_some() {
             return Err(RemoteError::app(format!("{name}: already replicated")));
         }

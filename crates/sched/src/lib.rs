@@ -354,6 +354,58 @@ impl<T> Default for Injector<T> {
     }
 }
 
+/// A depth gauge for bounded queues: a lock-free admitted-minus-drained
+/// counter with a compare-and-swap admission check. The scheduler's
+/// mailboxes are unbounded deques (`Worker`/`Injector`); when a consumer
+/// wants *bounded* queueing — oopp's per-machine in-flight budget — it
+/// pairs them with a `DepthGauge` so admission can reject before pushing
+/// rather than discover overload after the queue has already grown.
+#[derive(Debug, Default)]
+pub struct DepthGauge {
+    depth: std::sync::atomic::AtomicU64,
+}
+
+impl DepthGauge {
+    pub const fn new() -> Self {
+        DepthGauge {
+            depth: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Reserve one slot if the current depth is below `cap`.
+    /// `Ok(depth_after)` on success; `Err(current_depth)` without side
+    /// effects when the queue is full. CAS loop, not fetch_add-then-undo:
+    /// a rejected admission must never transiently inflate the gauge other
+    /// admissions are reading.
+    pub fn try_acquire(&self, cap: u64) -> Result<u64, u64> {
+        let mut cur = self.depth.load(Ordering::Relaxed);
+        loop {
+            if cur >= cap {
+                return Err(cur);
+            }
+            match self.depth.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(cur + 1),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Release `n` slots (items left the queue).
+    pub fn release(&self, n: u64) {
+        self.depth.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current depth (racy; admission hints and stats).
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+}
+
 /// Seeded victim selection. For a pool of `n` workers, thief `w` on its
 /// `round`-th probe visits the other `n - 1` workers in a permutation that
 /// is a pure function of `(seed, w, round)` — deterministic under virtual
@@ -568,5 +620,45 @@ mod tests {
         let order = StealOrder::new(7);
         assert!(order.victims(0, 0, 1).is_empty());
         assert_eq!(order.victims(0, 3, 2), vec![1]);
+    }
+
+    #[test]
+    fn depth_gauge_admits_up_to_cap_and_rejects_without_inflating() {
+        let g = DepthGauge::new();
+        assert_eq!(g.try_acquire(2), Ok(1));
+        assert_eq!(g.try_acquire(2), Ok(2));
+        // Full: rejected, and the rejection leaves no trace in the gauge.
+        assert_eq!(g.try_acquire(2), Err(2));
+        assert_eq!(g.depth(), 2);
+        g.release(1);
+        assert_eq!(g.try_acquire(2), Ok(2));
+        g.release(2);
+        assert_eq!(g.depth(), 0);
+    }
+
+    #[test]
+    fn depth_gauge_is_exact_under_contention() {
+        let g = Arc::new(DepthGauge::new());
+        let admitted = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                let admitted = Arc::clone(&admitted);
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        if g.try_acquire(64).is_ok() {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                            g.release(1);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Every admission was released: the gauge must read exactly zero.
+        assert_eq!(g.depth(), 0);
+        assert!(admitted.load(Ordering::Relaxed) > 0);
     }
 }

@@ -141,6 +141,11 @@ pub(crate) struct FaultState {
     partitioned: Vec<AtomicBool>,
     /// Machines currently dark.
     crashed: Vec<AtomicBool>,
+    /// Per-machine load-spike: extra delivery delay (nanos) added to every
+    /// packet **to** the machine while nonzero. Models a machine that is
+    /// up but drowning — packets arrive late, queues grow, timeouts fire —
+    /// the overload shape behind DESIGN.md §15's degradation machinery.
+    spiked: Vec<AtomicU64>,
     /// Runtime mute for the seeded plan (scripted crashes/partitions still
     /// apply). Lets a chaos test quiesce the fabric before shutdown.
     plan_suppressed: AtomicBool,
@@ -159,6 +164,7 @@ impl FaultState {
             link_seq: (0..links).map(|_| AtomicU64::new(0)).collect(),
             partitioned: (0..links).map(|_| AtomicBool::new(false)).collect(),
             crashed: (0..machines).map(|_| AtomicBool::new(false)).collect(),
+            spiked: (0..machines).map(|_| AtomicU64::new(0)).collect(),
             plan_suppressed: AtomicBool::new(false),
         }
     }
@@ -183,6 +189,15 @@ impl FaultState {
             .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
+    fn spike_nanos(&self, m: MachineId) -> u64 {
+        self.spiked.get(m).map_or(0, |s| s.load(Ordering::Relaxed))
+    }
+
+    /// True while machine `m` pays a scripted load-spike delay.
+    pub(crate) fn is_spiked(&self, m: MachineId) -> bool {
+        self.spike_nanos(m) != 0
+    }
+
     /// Decide the fate of the next packet on `src -> dst`.
     pub(crate) fn verdict(&self, src: MachineId, dst: MachineId) -> Verdict {
         const NONE: Verdict = Verdict::Deliver {
@@ -202,8 +217,18 @@ impl FaultState {
         if self.is_partitioned(src, dst) {
             return Verdict::DropPartitioned;
         }
+        // Load spike at the destination: every inbound packet pays the
+        // scripted extra delay. Deterministic (no hash draw) and composes
+        // with the seeded plan's own delay below.
+        let spike = Duration::from_nanos(self.spike_nanos(dst));
         if self.plan.is_noop() || self.plan_suppressed.load(Ordering::Relaxed) {
-            return NONE;
+            if spike.is_zero() {
+                return NONE;
+            }
+            return Verdict::Deliver {
+                copies: 1,
+                extra_delay: spike,
+            };
         }
         let seq = self.link_seq[self.link(src, dst)].fetch_add(1, Ordering::Relaxed);
         let h = mix(self.plan.seed ^ mix((src as u64) << 32 | dst as u64) ^ mix(seq));
@@ -222,7 +247,7 @@ impl FaultState {
         };
         Verdict::Deliver {
             copies,
-            extra_delay,
+            extra_delay: extra_delay + spike,
         }
     }
 
@@ -299,6 +324,35 @@ impl FaultInjector {
         if let Some(c) = self.state.crashed.get(m) {
             c.store(false, Ordering::Relaxed);
         }
+    }
+
+    /// Load-spike machine `m`: every packet delivered **to** it pays
+    /// `extra` additional latency until [`unspike`](FaultInjector::unspike).
+    /// The machine stays up and keeps serving — just ever later, the
+    /// overload shape (queues grow, timeouts fire, breakers open) that
+    /// DESIGN.md §15's degradation machinery exists for. Deterministic:
+    /// no random draw is consumed, so a virtual-time chaos run replays
+    /// byte-for-byte. Only effective on timed delivery routes (a costed
+    /// topology or virtual time); the zero-cost direct route ignores
+    /// delay by construction.
+    pub fn spike(&self, m: MachineId, extra: Duration) {
+        self.state.activate();
+        if let Some(s) = self.state.spiked.get(m) {
+            s.store(extra.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Undo [`spike`](FaultInjector::spike): deliveries to `m` are prompt
+    /// again.
+    pub fn unspike(&self, m: MachineId) {
+        if let Some(s) = self.state.spiked.get(m) {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// True if machine `m` currently pays a load-spike delay.
+    pub fn is_spiked(&self, m: MachineId) -> bool {
+        self.state.spike_nanos(m) != 0
     }
 
     /// True if machine `m` is currently dark.
@@ -459,6 +513,72 @@ mod tests {
         assert_eq!(s.verdict(0, 2), Verdict::DropCrashed);
         inj.resume();
         assert_eq!(s.verdict(0, 1), Verdict::DropRandom);
+    }
+
+    #[test]
+    fn spike_delays_inbound_packets_until_unspiked() {
+        let s = Arc::new(FaultState::new(FaultPlan::none(), 3));
+        let inj = FaultInjector::new(s.clone());
+        let extra = Duration::from_millis(2);
+        inj.spike(1, extra);
+        assert!(inj.is_spiked(1));
+        // Inbound to the spiked machine pays the delay; other links do not.
+        assert_eq!(
+            s.verdict(0, 1),
+            Verdict::Deliver {
+                copies: 1,
+                extra_delay: extra
+            }
+        );
+        assert_eq!(
+            s.verdict(1, 2),
+            Verdict::Deliver {
+                copies: 1,
+                extra_delay: Duration::ZERO
+            }
+        );
+        // Loopback is exempt: a machine talking to itself never queues on
+        // the fabric.
+        assert_eq!(
+            s.verdict(1, 1),
+            Verdict::Deliver {
+                copies: 1,
+                extra_delay: Duration::ZERO
+            }
+        );
+        inj.unspike(1);
+        assert!(!inj.is_spiked(1));
+        assert_eq!(
+            s.verdict(0, 1),
+            Verdict::Deliver {
+                copies: 1,
+                extra_delay: Duration::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn spike_composes_with_the_seeded_plan() {
+        let max = Duration::from_millis(5);
+        let spike = Duration::from_millis(7);
+        let planned = FaultState::new(FaultPlan::seeded(9).with_delay(1.0, max), 2);
+        let spiked = FaultState::new(FaultPlan::seeded(9).with_delay(1.0, max), 2);
+        spiked.spiked[1].store(spike.as_nanos() as u64, Ordering::Relaxed);
+        spiked.activate();
+        for _ in 0..50 {
+            let (a, b) = (planned.verdict(0, 1), spiked.verdict(0, 1));
+            match (a, b) {
+                (
+                    Verdict::Deliver {
+                        extra_delay: base, ..
+                    },
+                    Verdict::Deliver {
+                        extra_delay: total, ..
+                    },
+                ) => assert_eq!(total, base + spike, "spike must add on top of the plan"),
+                other => panic!("unexpected verdicts {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub struct Metrics {
     faults_duplicated: AtomicU64,
     partition_dropped: AtomicU64,
     crash_dropped: AtomicU64,
+    spike_delayed: AtomicU64,
     suspicions_raised: AtomicU64,
     false_suspicions: AtomicU64,
     recoveries: AtomicU64,
@@ -77,6 +78,9 @@ pub struct MetricsSnapshot {
     pub partition_dropped: u64,
     /// Packets dropped because their source or destination was crashed.
     pub crash_dropped: u64,
+    /// Packets delivered late because their destination was load-spiked
+    /// (see [`FaultInjector::spike`](crate::FaultInjector::spike)).
+    pub spike_delayed: u64,
     /// Machines the failure detector moved to `Suspect` or beyond.
     pub suspicions_raised: u64,
     /// Suspicions that proved false — a machine declared dead heartbeated
@@ -113,6 +117,7 @@ impl Metrics {
             faults_duplicated: AtomicU64::new(0),
             partition_dropped: AtomicU64::new(0),
             crash_dropped: AtomicU64::new(0),
+            spike_delayed: AtomicU64::new(0),
             suspicions_raised: AtomicU64::new(0),
             false_suspicions: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
@@ -198,6 +203,12 @@ impl Metrics {
         self.crash_dropped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a packet delivered late because its destination was
+    /// load-spiked.
+    pub fn record_spike_delay(&self) {
+        self.spike_delayed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record a disk write of `bytes` that kept the device busy `busy_nanos`.
     pub fn record_disk_write(&self, bytes: usize, busy_nanos: u64) {
         self.disk_writes.fetch_add(1, Ordering::Relaxed);
@@ -242,6 +253,7 @@ impl Metrics {
             faults_duplicated: self.faults_duplicated.load(Ordering::Relaxed),
             partition_dropped: self.partition_dropped.load(Ordering::Relaxed),
             crash_dropped: self.crash_dropped.load(Ordering::Relaxed),
+            spike_delayed: self.spike_delayed.load(Ordering::Relaxed),
             suspicions_raised: self.suspicions_raised.load(Ordering::Relaxed),
             false_suspicions: self.false_suspicions.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
@@ -295,6 +307,7 @@ impl MetricsSnapshot {
                 .partition_dropped
                 .saturating_sub(earlier.partition_dropped),
             crash_dropped: self.crash_dropped.saturating_sub(earlier.crash_dropped),
+            spike_delayed: self.spike_delayed.saturating_sub(earlier.spike_delayed),
             suspicions_raised: self
                 .suspicions_raised
                 .saturating_sub(earlier.suspicions_raised),

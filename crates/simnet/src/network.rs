@@ -182,7 +182,14 @@ impl Network {
             Verdict::Deliver {
                 copies,
                 extra_delay,
-            } => (copies, extra_delay),
+            } => {
+                // Loopback never traverses the fabric, so it dodges the
+                // spike (matching the verdict's delay exemption).
+                if src != dst && self.faults.is_spiked(dst) {
+                    self.metrics.record_spike_delay();
+                }
+                (copies, extra_delay)
+            }
             Verdict::DropRandom => {
                 self.metrics.record_fault_drop();
                 return Ok(());

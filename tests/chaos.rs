@@ -10,8 +10,8 @@ use std::time::Duration;
 
 use oopp_repro::oopp::wire::collections::F64s;
 use oopp_repro::oopp::{
-    join, resolve_or_activate_supervised, symbolic_addr, Backoff, CallPolicy, ClusterBuilder,
-    DoubleBlockClient, NodeCtx, RemoteClient, RemoteError, RemoteResult,
+    join, resolve_or_activate_supervised, symbolic_addr, Backoff, BreakerConfig, CallPolicy,
+    ClusterBuilder, DoubleBlockClient, NodeCtx, RemoteClient, RemoteError, RemoteResult,
 };
 use oopp_repro::simnet::{ClusterConfig, FaultPlan};
 
@@ -1008,6 +1008,124 @@ mod soak {
         );
 
         cluster.shutdown(driver);
+    }
+
+    /// Soak episode for graceful degradation (DESIGN.md §15): one machine
+    /// is load-spiked — every inbound packet delayed a full second, far
+    /// past the 20 ms call timeout — and the client must degrade
+    /// *gracefully*: the first timeouts trip the circuit breaker, later
+    /// calls fast-fail on the client without touching the spiked machine,
+    /// and after the spike lifts a half-open trial re-closes the breaker
+    /// and service resumes. The ledger proves zero lost calls (every
+    /// acknowledged total strictly increases and never exceeds the attempt
+    /// count, spiked stragglers included), and the whole episode replays
+    /// byte-for-byte from its `SIMNET_SEED`.
+    #[test]
+    fn virtual_soak_load_spike_opens_breaker_then_recovers() {
+        /// One full spike episode; everything returned must be a pure
+        /// function of the seed.
+        fn run(seed: u64) -> (Vec<String>, u64, u64, u64, SimSchedule) {
+            let (cluster, mut driver) = ClusterBuilder::new(3)
+                .register::<Counter>()
+                .sim_config(ClusterConfig::zero_cost(0).with_virtual_time(seed))
+                .call_policy(soak_policy())
+                .build();
+            let clock = cluster.sim().clock().clone();
+            let c = CounterClient::new_on(&mut driver, 1).unwrap();
+            driver.set_call_policy(
+                CallPolicy::reliable(Duration::from_millis(20))
+                    .with_max_retries(1)
+                    .with_backoff(Backoff::fixed(Duration::from_millis(5)))
+                    .with_breaker(BreakerConfig {
+                        failure_threshold: 3,
+                        cooldown: Duration::from_millis(50),
+                    }),
+            );
+
+            let mut outcomes = Vec::new();
+            let (mut acked, mut attempted) = (0u64, 0u64);
+            let mut write_round =
+                |driver: &mut Driver, outcomes: &mut Vec<String>, calls: usize| {
+                    for _ in 0..calls {
+                        attempted += 1;
+                        let r = c.add(driver, 1);
+                        if let Ok(total) = &r {
+                            assert!(
+                                *total > acked && *total <= attempted,
+                                "ledger violated: total {total} outside ({acked}, {attempted}] \
+                                 (lost or doubled call)"
+                            );
+                            acked = *total;
+                        }
+                        outcomes.push(format!("{r:?}"));
+                    }
+                };
+
+            // Healthy phase: everything lands.
+            write_round(&mut driver, &mut outcomes, 5);
+
+            // Spike phase: machine 1 answers, but a second late.
+            cluster.sim().faults().spike(1, Duration::from_secs(1));
+            assert!(cluster.sim().faults().is_spiked(1));
+            write_round(&mut driver, &mut outcomes, 8);
+            let fast_fails = driver.local_stats().breaker_fast_fails;
+
+            // Recovery phase: lift the spike, let the stragglers drain and
+            // the cooldown lapse, then service must resume.
+            cluster.sim().faults().unspike(1);
+            driver.serve_for(Duration::from_secs(3));
+            write_round(&mut driver, &mut outcomes, 5);
+
+            let total = c.total(&mut driver).unwrap();
+            assert!(
+                total >= acked && total <= attempted,
+                "final total {total} outside [{acked}, {attempted}]"
+            );
+            assert!(
+                cluster.snapshot().spike_delayed > 0,
+                "the fabric must account the spiked deliveries"
+            );
+            cluster.sim().faults().calm();
+            cluster.shutdown(driver);
+            let schedule = clock.schedule().expect("virtual clock records a schedule");
+            (outcomes, total, fast_fails, acked, schedule)
+        }
+
+        let seed = seed_from_env();
+        let repro = repro_line(seed, "virtual_soak_load_spike_opens_breaker_then_recovers");
+        let first = run(seed);
+        let (ref outcomes, _, fast_fails, _, ref schedule) = first;
+
+        let (healthy, rest) = outcomes.split_at(5);
+        let (spiked, recovered) = rest.split_at(8);
+        assert!(
+            healthy.iter().all(|o| o.starts_with("Ok")),
+            "healthy phase must land every call; outcomes {healthy:?}; replay: {repro}"
+        );
+        assert!(
+            spiked.iter().any(|o| o.contains("Timeout")),
+            "the spike must cost timeouts before the breaker trips; \
+             outcomes {spiked:?}; replay: {repro}"
+        );
+        assert!(
+            spiked.iter().any(|o| o.contains("Overloaded")) && fast_fails >= 1,
+            "the breaker must open and fast-fail inside the spike phase; \
+             outcomes {spiked:?}; replay: {repro}"
+        );
+        assert!(
+            recovered.iter().all(|o| o.starts_with("Ok")),
+            "after the spike lifts the breaker must re-close and serve; \
+             outcomes {recovered:?}; replay: {repro}"
+        );
+        assert!(schedule.events > 0);
+
+        // Byte-for-byte replay: the same seed reproduces the identical
+        // outcome sequence, totals, counters, and event schedule.
+        let second = run(seed);
+        assert_eq!(
+            second, first,
+            "same seed must replay the spike episode bit-for-bit; replay: {repro}"
+        );
     }
 
     /// The replay contract itself: a deliberately failing episode reports
