@@ -1,0 +1,119 @@
+//! E16: the cost of the macro-workload harness itself.
+//!
+//! The SLO-judged serving scenario comes from `reproduce e16`; these
+//! benches track the harness's own hot paths — drawing a request from
+//! the Zipf/class mix, recording an observation into the ledger, and
+//! distilling a sealed ledger into verdicts + burn rows — so a
+//! regression in the measurement machinery shows up as nanoseconds
+//! here before it distorts the scenario numbers there. The last bench
+//! runs a miniature end-to-end scenario (calm, no faults), the
+//! coarse-grained cost of one composed run.
+//!
+//! CI runs this file with `OOPP_BENCH_SMOKE=1` (one iteration per
+//! bench, no measurement window), which is enough to catch a harness
+//! path that panics without spending CI minutes on timing.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workload::{
+    config::ScenarioSpec,
+    loadgen::{ArrivalCurve, Observation, Outcome, ReqClass, RequestMix},
+    runner,
+    slo::Ledger,
+};
+
+/// Drawing one request from the popularity/class mix: the per-issue
+/// cost every virtual client pays.
+fn bench_request_mix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16_workload/mix");
+    let mut mix = RequestMix::new(0xE16, 12, 1.1, 120);
+    g.bench_function("next", |b| {
+        b.iter(|| std::hint::black_box(mix.next(24, 24)))
+    });
+    g.finish();
+}
+
+/// Recording one observation, and sealing + judging a populated ledger.
+fn bench_ledger(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16_workload/ledger");
+    let obs = Observation {
+        issued_nanos: 1_000,
+        done_nanos: 251_000,
+        class: ReqClass::Read,
+        outcome: Outcome::Ok,
+    };
+    let mut ledger = Ledger::new(0);
+    g.bench_function("record", |b| {
+        b.iter(|| ledger.record(std::hint::black_box(&obs)))
+    });
+
+    let spec = ScenarioSpec::default();
+    let mut full = Ledger::new(0);
+    for i in 0..10_000u64 {
+        full.record(&Observation {
+            issued_nanos: i * 10_000,
+            done_nanos: i * 10_000 + 150_000 + (i % 97) * 1_000,
+            class: if i % 8 == 0 {
+                ReqClass::Write
+            } else {
+                ReqClass::Read
+            },
+            outcome: if i % 211 == 0 {
+                Outcome::Overloaded
+            } else {
+                Outcome::Ok
+            },
+        });
+    }
+    full.seal(100_000_000);
+    g.bench_function("evaluate+burn", |b| {
+        b.iter(|| {
+            let slos = spec.slos();
+            std::hint::black_box((full.evaluate(&slos), full.burn_rows(8, &slos)))
+        })
+    });
+    g.finish();
+}
+
+/// A miniature calm scenario end to end: cluster up, deploy, replicate,
+/// closed loop, judge, shut down. The coarse cost of one composed run.
+fn bench_mini_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16_workload/run");
+    let spec = ScenarioSpec {
+        users: 4,
+        sessions: 4,
+        feeds: 4,
+        clients: 4,
+        requests: 200,
+        curve: ArrivalCurve::Steady,
+        ..ScenarioSpec::default()
+    };
+    g.bench_function("calm_mini", |b| {
+        b.iter(|| std::hint::black_box(runner::run(&spec).report.passed()))
+    });
+    g.finish();
+}
+
+/// `OOPP_BENCH_SMOKE=1` shrinks every bench to a single untimed iteration
+/// — the CI smoke profile.
+fn config() -> Criterion {
+    if std::env::var_os("OOPP_BENCH_SMOKE").is_some() {
+        Criterion::default()
+            .sample_size(1)
+            .measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_millis(1))
+    } else {
+        Criterion::default()
+            .sample_size(20)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300))
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_request_mix, bench_ledger, bench_mini_run
+}
+criterion_main!(benches);

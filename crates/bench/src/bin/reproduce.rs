@@ -8,9 +8,10 @@
 use bench::experiments as ex;
 use bench::Table;
 
-// Traced experiments (E1/E3/E9) return their main table plus a per-method
-// flight-recorder table; the rest return a single table, wrapped here by
-// capture-less closures so everything shares one signature.
+// Experiments return one or more tables (e.g. a main table plus a
+// per-method flight-recorder account, or E16's report sections);
+// single-table experiments are wrapped by capture-less closures so
+// everything shares one signature.
 type Experiment = (&'static str, &'static str, fn() -> Vec<Table>);
 
 fn main() {
@@ -89,6 +90,11 @@ fn main() {
             "graceful degradation: goodput plateau and bounded tail past capacity, breaker through a load spike",
             ex::e15_overload,
         ),
+        (
+            "E16",
+            "macro-workload serving: SLO gates through crash + spike, byte-identical replay",
+            ex::e16_workload,
+        ),
         ("A1", "ablation: wire codec throughput", || {
             vec![ex::a1_wire()]
         }),
@@ -113,7 +119,7 @@ fn main() {
         let tables = run();
         for (i, table) in tables.iter().enumerate() {
             if i > 0 {
-                println!("--- per-method flight-recorder account ---");
+                println!();
             }
             print!("{}", table.render());
         }

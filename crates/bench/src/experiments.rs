@@ -2542,6 +2542,94 @@ pub fn e15_overload() -> Vec<Table> {
     vec![sweep, tail, spike, anatomy]
 }
 
+/// E16: the macro-workload serving scenario — every subsystem shipped so
+/// far composed under one SLO-judged closed loop (DESIGN.md §16).
+///
+/// A social-graph session store (users, sessions, feeds; Zipf-popular
+/// keys, read-heavy with write bursts) runs on the sharded directory
+/// with the hot feed read-replicated, the balancer rebalancing around
+/// the replicated primary, and admission control + deadlines + breakers
+/// armed — while the fault injector kills the hot feed's home machine
+/// and latency-spikes the replica that inherits its reads. The asserted
+/// claims: the SLO gates (read/write p99 and goodput floors) hold
+/// through the chaos schedule, the dead primary promotes exactly once,
+/// and the entire run — tables, percentiles, verdicts — replays
+/// byte-identically from one seed.
+///
+/// Scale knobs: `SIMNET_SEED` replays a different schedule;
+/// `OOPP_E16_LONG=1` runs the nightly-sized scenario (10x requests).
+pub fn e16_workload() -> Vec<Table> {
+    use workload::{config::ScenarioSpec, loadgen::ArrivalCurve, runner};
+
+    let long = std::env::var("OOPP_E16_LONG").is_ok_and(|v| v == "1");
+    let spec = ScenarioSpec {
+        requests: if long { 24_000 } else { 2_400 },
+        curve: ArrivalCurve::Diurnal {
+            period_ms: 400,
+            trough: 0.4,
+        },
+        crash_at_ms: 15,
+        spike_at_ms: 30,
+        spike_dur_ms: if long { 150 } else { 10 },
+        spike_extra_ms: 2,
+        ..ScenarioSpec::default()
+    };
+
+    let a = runner::run(&spec);
+    let b = runner::run(&spec);
+
+    // The composition claims, asserted.
+    assert_eq!(
+        a.promotions, 1,
+        "the crashed hot-feed home must promote exactly one replica"
+    );
+    assert!(
+        a.report.passed(),
+        "SLO gates must hold through crash + spike:\n{}",
+        a.report.render()
+    );
+    assert_eq!(
+        a.report.render(),
+        b.report.render(),
+        "same-seed E16 runs must produce byte-identical reports"
+    );
+    assert_eq!(
+        a.ledger.to_csv(),
+        b.ledger.to_csv(),
+        "same-seed E16 runs must produce byte-identical ledgers"
+    );
+    if a.account.dropped_events == 0 {
+        assert_eq!(
+            a.trace_ledger.read.ok + a.trace_ledger.write.ok,
+            a.ledger.read.ok + a.ledger.write.ok,
+            "trace-derived completions must match the client ledger"
+        );
+    }
+
+    // Re-render the workload report's sections as bench tables so E16
+    // prints like every other experiment.
+    let mut out = Vec::new();
+    for (_title, tt) in &a.report.sections {
+        let headers: Vec<&str> = tt.headers().iter().map(String::as_str).collect();
+        let mut t = Table::new(&headers);
+        for row in tt.rows() {
+            t.row(row);
+        }
+        out.push(t);
+    }
+    let mut verdicts = Table::new(&["objective", "target", "observed", "verdict"]);
+    for v in &a.report.verdicts {
+        verdicts.row(&[
+            v.name.clone(),
+            v.target.clone(),
+            v.observed.clone(),
+            if v.pass { "pass" } else { "FAIL" }.into(),
+        ]);
+    }
+    out.push(verdicts);
+    out
+}
+
 /// Sanity config used by the experiment smoke tests.
 pub fn tiny_zero_cost(n: usize) -> ClusterConfig {
     ClusterConfig::zero_cost(n)

@@ -24,7 +24,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use oopp::{NodeCtx, ObjRef, RemoteResult};
+use oopp::{NodeCtx, ObjRef, RemoteError, RemoteResult};
 use simnet::MetricsSnapshot;
 
 /// One machine's load over the window since the previous poll.
@@ -46,16 +46,30 @@ pub struct MachineSample {
     /// (reply traffic of hot objects), when a [`MetricsSnapshot`] was
     /// supplied.
     pub bytes_sent: u64,
+    /// Requests this machine *shed* this window — `Overloaded` admission
+    /// rejections plus CoDel-style sojourn drops (DESIGN.md §15). Shed
+    /// calls are demand the machine turned away, so they never show up in
+    /// `calls`; without this term an overloaded machine that rejects most
+    /// of its traffic can look *idle* to the planner.
+    pub shed: u64,
     /// Per-object served-call deltas, sorted by object id.
     pub objects: Vec<(u64, u64)>,
 }
 
 impl MachineSample {
-    /// Scalar load: served calls plus queueing pressure. Deferred calls
-    /// count double — they mean the machine is not keeping up, which is
-    /// worse than being busy.
+    /// Extra weight of one shed call in [`load`](MachineSample::load):
+    /// shedding means demand already exceeded capacity, which is a
+    /// stronger overload signal than a parked (deferred) call.
+    pub const SHED_WEIGHT: u64 = 4;
+
+    /// Scalar load: served calls plus queueing pressure plus shed demand.
+    /// Deferred calls count double — they mean the machine is not keeping
+    /// up, which is worse than being busy — and shed calls count
+    /// [`SHED_WEIGHT`](MachineSample::SHED_WEIGHT)-fold: the machine is
+    /// already refusing work, so the planner must steer load away even
+    /// when the served-call count looks modest.
     pub fn load(&self) -> u64 {
-        self.calls + 2 * self.deferred
+        self.calls + 2 * self.deferred + Self::SHED_WEIGHT * self.shed
     }
 }
 
@@ -328,12 +342,14 @@ pub struct Balancer {
     cooldown_rounds: u32,
     cooldown: u32,
     prev_object_calls: HashMap<usize, HashMap<u64, u64>>,
-    prev_node: HashMap<usize, (u64, u64)>,
+    prev_node: HashMap<usize, (u64, u64, u64)>,
     prev_bytes_sent: Vec<u64>,
     unmovable: HashSet<ObjRef>,
     pinned: HashSet<ObjRef>,
+    replicated: HashSet<ObjRef>,
     moves_executed: u64,
     moves_failed: u64,
+    moves_skipped_replicated: u64,
 }
 
 impl Balancer {
@@ -350,8 +366,10 @@ impl Balancer {
             prev_bytes_sent: Vec::new(),
             unmovable: HashSet::new(),
             pinned: HashSet::new(),
+            replicated: HashSet::new(),
             moves_executed: 0,
             moves_failed: 0,
+            moves_skipped_replicated: 0,
         }
     }
 
@@ -368,6 +386,20 @@ impl Balancer {
         self.pinned.insert(obj);
     }
 
+    /// Install the current replica footprint: the primaries of replicated
+    /// objects, which refuse migration while their replica set exists
+    /// (DESIGN.md §11). Call with the primaries reported by
+    /// `replica::ReplicaManager` before each [`step`](Balancer::step);
+    /// the whole set is replaced, so an object whose replicas were torn
+    /// down becomes movable again at the next feed. Plans against these
+    /// objects are *skipped* (counted in
+    /// [`moves_skipped_replicated`](Balancer::moves_skipped_replicated))
+    /// instead of being attempted, failing with
+    /// [`RemoteError::Replicated`], and blacklisting the object forever.
+    pub fn set_replicated(&mut self, primaries: impl IntoIterator<Item = ObjRef>) {
+        self.replicated = primaries.into_iter().collect();
+    }
+
     /// Migrations executed over this balancer's lifetime.
     pub fn moves_executed(&self) -> u64 {
         self.moves_executed
@@ -376,6 +408,13 @@ impl Balancer {
     /// Planned migrations that failed (and blacklisted their object).
     pub fn moves_failed(&self) -> u64 {
         self.moves_failed
+    }
+
+    /// Plans skipped because their object is a replicated primary — via
+    /// the [`set_replicated`](Balancer::set_replicated) footprint, or via
+    /// a `Replicated` refusal when the footprint feed was stale.
+    pub fn moves_skipped_replicated(&self) -> u64 {
+        self.moves_skipped_replicated
     }
 
     /// Poll every managed machine and return this window's load deltas.
@@ -390,10 +429,13 @@ impl Balancer {
         for &m in &self.machines.clone() {
             let stats = ctx.stats_of(m)?;
             let loads = ctx.loads_of(m)?;
+            // Both admission rejections and sojourn drops are turned-away
+            // demand; either alone means the machine is past saturation.
+            let shed_total = stats.calls_shed_overload + stats.calls_shed_sojourn;
             let prev = self
                 .prev_node
-                .insert(m, (stats.calls_served, stats.calls_deferred));
-            let (pc, pd) = prev.unwrap_or((0, 0));
+                .insert(m, (stats.calls_served, stats.calls_deferred, shed_total));
+            let (pc, pd, ps) = prev.unwrap_or((0, 0, 0));
             let prev_objects = self.prev_object_calls.entry(m).or_default();
             let mut objects = Vec::with_capacity(loads.len());
             for &(o, c) in &loads {
@@ -416,6 +458,7 @@ impl Balancer {
                 calls: stats.calls_served.saturating_sub(pc),
                 deferred: stats.calls_deferred.saturating_sub(pd),
                 bytes_sent: bytes_now.saturating_sub(bytes_before),
+                shed: shed_total.saturating_sub(ps),
                 objects,
             });
         }
@@ -440,6 +483,13 @@ impl Balancer {
             if self.unmovable.contains(&plan.object) || self.pinned.contains(&plan.object) {
                 continue;
             }
+            if self.replicated.contains(&plan.object) {
+                // A replicated primary refuses migration by contract;
+                // skip the plan outright instead of burning a round trip
+                // on a guaranteed `Replicated` refusal.
+                self.moves_skipped_replicated += 1;
+                continue;
+            }
             match ctx.migrate(plan.object, plan.target) {
                 Ok(_) => {
                     self.moves_executed += 1;
@@ -449,6 +499,14 @@ impl Balancer {
                         prev.remove(&plan.object.object);
                     }
                     executed.push(plan);
+                }
+                Err(RemoteError::Replicated { .. }) => {
+                    // The footprint feed was stale (or absent): learn the
+                    // object here rather than blacklisting it — it becomes
+                    // movable again once its replica set is torn down and
+                    // the next set_replicated() drops it from the set.
+                    self.moves_skipped_replicated += 1;
+                    self.replicated.insert(plan.object);
                 }
                 Err(_) => {
                     // NotPersistent, dead target, mid-move crash — the
@@ -475,6 +533,7 @@ mod tests {
             calls: objects.iter().map(|&(_, c)| c).sum(),
             deferred: 0,
             bytes_sent: 0,
+            shed: 0,
             objects: objects.to_vec(),
         }
     }
@@ -718,5 +777,67 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(busy.load(), 25);
+    }
+
+    #[test]
+    fn shed_calls_count_heaviest_in_the_load_signal() {
+        // A machine rejecting most of its demand serves few calls; the
+        // shed term must still make it the hottest in the sample set.
+        let shedding = MachineSample {
+            calls: 5,
+            shed: 10,
+            ..Default::default()
+        };
+        assert_eq!(shedding.load(), 5 + MachineSample::SHED_WEIGHT * 10);
+        let busy = MachineSample {
+            calls: 30,
+            ..Default::default()
+        };
+        assert!(shedding.load() > busy.load());
+    }
+
+    #[test]
+    fn greedy_steers_load_off_a_shedding_machine() {
+        // Served calls alone say machine 1 is the hot one (300 vs 120),
+        // but machine 0 is *shedding*: its admission control turned away
+        // 200 requests this window. The shed-aware load signal must make
+        // machine 0 the source of every move.
+        let mut shedding = sample(0, &[(1, 80), (2, 40)]);
+        shedding.shed = 200;
+        let samples = vec![shedding, sample(1, &[(3, 300)]), sample(2, &[])];
+        let plans = PlacementPolicy::GreedyRebalance {
+            imbalance_ratio: 1.3,
+            max_moves_per_round: 4,
+        }
+        .plan(&samples);
+        assert!(!plans.is_empty());
+        assert!(
+            plans.iter().all(|p| p.object.machine == 0 && p.target != 0),
+            "moves must leave the shedding machine, got {plans:?}"
+        );
+    }
+
+    #[test]
+    fn threshold_trips_on_shed_rate_alone() {
+        // Without the shed term machine 0 looks mid-pack (60 served
+        // calls); with it the machine is far past the 1.5x-mean trigger.
+        let mut shedding = sample(0, &[(1, 60)]);
+        shedding.shed = 100;
+        let samples = vec![shedding, sample(1, &[(2, 50)]), sample(2, &[(3, 40)])];
+        let plans = PlacementPolicy::Threshold {
+            overload_ratio: 1.5,
+        }
+        .plan(&samples);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].object.machine, 0);
+
+        // The same samples with the shed zeroed: balanced, no plans.
+        let mut calm = samples.clone();
+        calm[0].shed = 0;
+        assert!(PlacementPolicy::Threshold {
+            overload_ratio: 1.5,
+        }
+        .plan(&calm)
+        .is_empty());
     }
 }

@@ -1,0 +1,485 @@
+//! Scenario specification: the TOML file that fully determines a run.
+//!
+//! The build environment vendors no TOML crate, so this module carries
+//! a deliberately small parser for the subset the harness needs:
+//! `[section]` headers, `key = value` pairs (integers, floats, quoted
+//! strings, booleans), and `#` comments. Unknown sections or keys are
+//! errors — a typo in an SLO threshold must not silently become the
+//! default.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::loadgen::ArrivalCurve;
+use crate::slo::{SloSpec, SloTargets};
+
+/// Everything a run needs; `seed` plus this struct determine the run
+/// byte for byte (DESIGN.md §16 determinism contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    // [cluster]
+    /// Worker machines (the driver is an extra, separate node).
+    pub machines: usize,
+    /// Directory shards (0 = classic single-object directory).
+    pub dir_shards: u32,
+    /// Scheduler worker lanes per machine (0 = single-threaded).
+    pub sched_workers: usize,
+    /// Virtual-time seed; `SIMNET_SEED` overrides it for replay.
+    pub seed: u64,
+    /// Per-object mailbox admission cap.
+    pub mailbox_cap: usize,
+    // [scenario]
+    /// `User` objects.
+    pub users: usize,
+    /// `Session` objects.
+    pub sessions: usize,
+    /// `Feed` objects; feed 0 is the Zipf head and gets the replicas.
+    pub feeds: usize,
+    /// Read replicas materialized for the hot feed.
+    pub hot_replicas: usize,
+    /// Modeled service time per verb, microseconds.
+    pub service_us: u64,
+    /// Zipf skew across feeds.
+    pub zipf_s: f64,
+    // [load]
+    /// Peak closed-loop window (the N virtual clients).
+    pub clients: usize,
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Writes per thousand requests.
+    pub write_permille: u32,
+    /// Arrival curve shaping the window over the run.
+    pub curve: ArrivalCurve,
+    /// Per-request deadline, milliseconds.
+    pub deadline_ms: u64,
+    // [faults]
+    /// Crash the hot feed's home machine this far into the run
+    /// (virtual ms); 0 disables the episode.
+    pub crash_at_ms: u64,
+    /// Latency-spike a replica machine this far into the run
+    /// (virtual ms); 0 disables the episode.
+    pub spike_at_ms: u64,
+    /// Spike duration, virtual ms.
+    pub spike_dur_ms: u64,
+    /// Extra per-message latency while spiked, milliseconds.
+    pub spike_extra_ms: u64,
+    // [slo]
+    /// The gates `reproduce e16` asserts.
+    pub slo: SloTargets,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            machines: 6,
+            dir_shards: 2,
+            sched_workers: 2,
+            seed: 0xE16_2026,
+            mailbox_cap: 64,
+            users: 24,
+            sessions: 24,
+            feeds: 12,
+            hot_replicas: 2,
+            service_us: 120,
+            zipf_s: 1.1,
+            clients: 24,
+            requests: 2400,
+            write_permille: 120,
+            curve: ArrivalCurve::Diurnal {
+                period_ms: 400,
+                trough: 0.4,
+            },
+            deadline_ms: 40,
+            crash_at_ms: 0,
+            spike_at_ms: 0,
+            spike_dur_ms: 150,
+            spike_extra_ms: 2,
+            slo: SloTargets::default(),
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// The per-request deadline as a `Duration`.
+    pub fn deadline(&self) -> Duration {
+        Duration::from_millis(self.deadline_ms)
+    }
+
+    /// The run's seed, with the `SIMNET_SEED` environment variable
+    /// taking precedence — the same one-line replay knob the chaos
+    /// soak uses.
+    pub fn effective_seed(&self) -> u64 {
+        std::env::var("SIMNET_SEED")
+            .ok()
+            .and_then(|s| {
+                let s = s.trim();
+                s.strip_prefix("0x")
+                    .map_or_else(|| s.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+            })
+            .unwrap_or(self.seed)
+    }
+
+    /// The SLO gate list in evaluation order.
+    pub fn slos(&self) -> Vec<SloSpec> {
+        self.slo.specs()
+    }
+
+    /// Parse the TOML subset; unknown sections/keys and malformed
+    /// values are errors.
+    pub fn from_toml(text: &str) -> Result<ScenarioSpec, String> {
+        let mut spec = ScenarioSpec::default();
+        let mut curve_name: Option<String> = None;
+        let mut curve_args: BTreeMap<String, Value> = BTreeMap::new();
+        let mut section = String::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "cluster" | "scenario" | "load" | "faults" | "slo" => {}
+                    other => return Err(format!("line {}: unknown section [{other}]", lineno + 1)),
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let key = key.trim();
+            let value =
+                Value::parse(value.trim()).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let unknown = || format!("line {}: unknown key [{section}] {key}", lineno + 1);
+            let bad = |want: &str| format!("line {}: [{section}] {key} must be {want}", lineno + 1);
+            match (section.as_str(), key) {
+                ("cluster", "machines") => {
+                    spec.machines = value.usize().ok_or_else(|| bad("an integer"))?
+                }
+                ("cluster", "dir_shards") => {
+                    spec.dir_shards = value.u64().ok_or_else(|| bad("an integer"))? as u32
+                }
+                ("cluster", "sched_workers") => {
+                    spec.sched_workers = value.usize().ok_or_else(|| bad("an integer"))?
+                }
+                ("cluster", "seed") => spec.seed = value.u64().ok_or_else(|| bad("an integer"))?,
+                ("cluster", "mailbox_cap") => {
+                    spec.mailbox_cap = value.usize().ok_or_else(|| bad("an integer"))?
+                }
+                ("scenario", "users") => {
+                    spec.users = value.usize().ok_or_else(|| bad("an integer"))?
+                }
+                ("scenario", "sessions") => {
+                    spec.sessions = value.usize().ok_or_else(|| bad("an integer"))?
+                }
+                ("scenario", "feeds") => {
+                    spec.feeds = value.usize().ok_or_else(|| bad("an integer"))?
+                }
+                ("scenario", "hot_replicas") => {
+                    spec.hot_replicas = value.usize().ok_or_else(|| bad("an integer"))?
+                }
+                ("scenario", "service_us") => {
+                    spec.service_us = value.u64().ok_or_else(|| bad("an integer"))?
+                }
+                ("scenario", "zipf_s") => {
+                    spec.zipf_s = value.f64().ok_or_else(|| bad("a number"))?
+                }
+                ("load", "clients") => {
+                    spec.clients = value.usize().ok_or_else(|| bad("an integer"))?
+                }
+                ("load", "requests") => {
+                    spec.requests = value.usize().ok_or_else(|| bad("an integer"))?
+                }
+                ("load", "write_permille") => {
+                    spec.write_permille = value.u64().ok_or_else(|| bad("an integer"))? as u32
+                }
+                ("load", "deadline_ms") => {
+                    spec.deadline_ms = value.u64().ok_or_else(|| bad("an integer"))?
+                }
+                ("load", "curve") => {
+                    curve_name = Some(value.string().ok_or_else(|| bad("a string"))?)
+                }
+                ("load", "curve_period_ms")
+                | ("load", "curve_trough")
+                | ("load", "curve_at_ms")
+                | ("load", "curve_dur_ms")
+                | ("load", "curve_factor") => {
+                    curve_args.insert(key.to_string(), value);
+                }
+                ("faults", "crash_at_ms") => {
+                    spec.crash_at_ms = value.u64().ok_or_else(|| bad("an integer"))?
+                }
+                ("faults", "spike_at_ms") => {
+                    spec.spike_at_ms = value.u64().ok_or_else(|| bad("an integer"))?
+                }
+                ("faults", "spike_dur_ms") => {
+                    spec.spike_dur_ms = value.u64().ok_or_else(|| bad("an integer"))?
+                }
+                ("faults", "spike_extra_ms") => {
+                    spec.spike_extra_ms = value.u64().ok_or_else(|| bad("an integer"))?
+                }
+                ("slo", "read_p99_ms") => {
+                    spec.slo.read_p99_ms = value.f64().ok_or_else(|| bad("a number"))?
+                }
+                ("slo", "read_goodput") => {
+                    spec.slo.read_goodput = value.f64().ok_or_else(|| bad("a number"))?
+                }
+                ("slo", "write_p99_ms") => {
+                    spec.slo.write_p99_ms = value.f64().ok_or_else(|| bad("a number"))?
+                }
+                ("slo", "write_goodput") => {
+                    spec.slo.write_goodput = value.f64().ok_or_else(|| bad("a number"))?
+                }
+                _ => return Err(unknown()),
+            }
+        }
+        if let Some(name) = curve_name {
+            spec.curve = curve_from_parts(&name, &curve_args)?;
+        } else if !curve_args.is_empty() {
+            return Err("curve_* keys given without a `curve` name".into());
+        }
+        if spec.machines < 3 {
+            return Err(
+                "cluster.machines must be >= 3 (primary home + replica home + tail)".into(),
+            );
+        }
+        if spec.feeds == 0 || spec.clients == 0 || spec.requests == 0 {
+            return Err("scenario.feeds, load.clients and load.requests must be > 0".into());
+        }
+        if spec.hot_replicas + 2 > spec.machines {
+            return Err("scenario.hot_replicas needs machines >= hot_replicas + 2".into());
+        }
+        Ok(spec)
+    }
+
+    /// Canonical rendering; `from_toml(to_toml(s)) == s`.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str("[cluster]\n");
+        out.push_str(&format!("machines = {}\n", self.machines));
+        out.push_str(&format!("dir_shards = {}\n", self.dir_shards));
+        out.push_str(&format!("sched_workers = {}\n", self.sched_workers));
+        out.push_str(&format!("seed = {}\n", self.seed));
+        out.push_str(&format!("mailbox_cap = {}\n", self.mailbox_cap));
+        out.push_str("\n[scenario]\n");
+        out.push_str(&format!("users = {}\n", self.users));
+        out.push_str(&format!("sessions = {}\n", self.sessions));
+        out.push_str(&format!("feeds = {}\n", self.feeds));
+        out.push_str(&format!("hot_replicas = {}\n", self.hot_replicas));
+        out.push_str(&format!("service_us = {}\n", self.service_us));
+        out.push_str(&format!("zipf_s = {}\n", fmt_f64(self.zipf_s)));
+        out.push_str("\n[load]\n");
+        out.push_str(&format!("clients = {}\n", self.clients));
+        out.push_str(&format!("requests = {}\n", self.requests));
+        out.push_str(&format!("write_permille = {}\n", self.write_permille));
+        out.push_str(&format!("deadline_ms = {}\n", self.deadline_ms));
+        match &self.curve {
+            ArrivalCurve::Steady => out.push_str("curve = \"steady\"\n"),
+            ArrivalCurve::Diurnal { period_ms, trough } => {
+                out.push_str("curve = \"diurnal\"\n");
+                out.push_str(&format!("curve_period_ms = {period_ms}\n"));
+                out.push_str(&format!("curve_trough = {}\n", fmt_f64(*trough)));
+            }
+            ArrivalCurve::Spike {
+                at_ms,
+                dur_ms,
+                factor,
+            } => {
+                out.push_str("curve = \"spike\"\n");
+                out.push_str(&format!("curve_at_ms = {at_ms}\n"));
+                out.push_str(&format!("curve_dur_ms = {dur_ms}\n"));
+                out.push_str(&format!("curve_factor = {}\n", fmt_f64(*factor)));
+            }
+        }
+        out.push_str("\n[faults]\n");
+        out.push_str(&format!("crash_at_ms = {}\n", self.crash_at_ms));
+        out.push_str(&format!("spike_at_ms = {}\n", self.spike_at_ms));
+        out.push_str(&format!("spike_dur_ms = {}\n", self.spike_dur_ms));
+        out.push_str(&format!("spike_extra_ms = {}\n", self.spike_extra_ms));
+        out.push_str("\n[slo]\n");
+        out.push_str(&format!(
+            "read_p99_ms = {}\n",
+            fmt_f64(self.slo.read_p99_ms)
+        ));
+        out.push_str(&format!(
+            "read_goodput = {}\n",
+            fmt_f64(self.slo.read_goodput)
+        ));
+        out.push_str(&format!(
+            "write_p99_ms = {}\n",
+            fmt_f64(self.slo.write_p99_ms)
+        ));
+        out.push_str(&format!(
+            "write_goodput = {}\n",
+            fmt_f64(self.slo.write_goodput)
+        ));
+        out
+    }
+}
+
+/// Render a float so the TOML round trip is exact and canonical
+/// (`1` becomes `1.0`, everything else uses the shortest repr).
+fn fmt_f64(x: f64) -> String {
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` only opens a comment outside quotes.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn curve_from_parts(name: &str, args: &BTreeMap<String, Value>) -> Result<ArrivalCurve, String> {
+    let u = |k: &str, d: u64| args.get(k).map_or(Some(d), Value::u64);
+    let f = |k: &str, d: f64| args.get(k).map_or(Some(d), Value::f64);
+    match name {
+        "steady" => Ok(ArrivalCurve::Steady),
+        "diurnal" => Ok(ArrivalCurve::Diurnal {
+            period_ms: u("curve_period_ms", 400).ok_or("curve_period_ms must be an integer")?,
+            trough: f("curve_trough", 0.4).ok_or("curve_trough must be a number")?,
+        }),
+        "spike" => Ok(ArrivalCurve::Spike {
+            at_ms: u("curve_at_ms", 0).ok_or("curve_at_ms must be an integer")?,
+            dur_ms: u("curve_dur_ms", 100).ok_or("curve_dur_ms must be an integer")?,
+            factor: f("curve_factor", 2.0).ok_or("curve_factor must be a number")?,
+        }),
+        other => Err(format!("unknown arrival curve {other:?}")),
+    }
+}
+
+/// A parsed TOML scalar.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Int(u64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Value {
+    fn parse(text: &str) -> Result<Value, String> {
+        if let Some(rest) = text.strip_prefix('"') {
+            let inner = rest
+                .strip_suffix('"')
+                .ok_or_else(|| format!("unterminated string: {text}"))?;
+            return Ok(Value::Str(inner.to_string()));
+        }
+        match text {
+            "true" => return Ok(Value::Bool(true)),
+            "false" => return Ok(Value::Bool(false)),
+            _ => {}
+        }
+        if let Some(hex) = text.strip_prefix("0x") {
+            return u64::from_str_radix(&hex.replace('_', ""), 16)
+                .map(Value::Int)
+                .map_err(|_| format!("bad hex integer: {text}"));
+        }
+        let clean = text.replace('_', "");
+        if let Ok(i) = clean.parse::<u64>() {
+            return Ok(Value::Int(i));
+        }
+        if let Ok(f) = clean.parse::<f64>() {
+            return Ok(Value::Float(f));
+        }
+        Err(format!("unparseable value: {text}"))
+    }
+
+    fn u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    fn usize(&self) -> Option<usize> {
+        self.u64().map(|i| i as usize)
+    }
+
+    fn f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    fn string(&self) -> Option<String> {
+        match self {
+            Value::Str(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_round_trip_through_toml() {
+        let spec = ScenarioSpec::default();
+        let text = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(spec, back);
+        // Canonical: rendering the parse reproduces the text.
+        assert_eq!(back.to_toml(), text);
+    }
+
+    #[test]
+    fn every_curve_round_trips() {
+        for curve in [
+            ArrivalCurve::Steady,
+            ArrivalCurve::Diurnal {
+                period_ms: 250,
+                trough: 0.25,
+            },
+            ArrivalCurve::Spike {
+                at_ms: 30,
+                dur_ms: 60,
+                factor: 3.0,
+            },
+        ] {
+            let spec = ScenarioSpec {
+                curve,
+                ..ScenarioSpec::default()
+            };
+            assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn comments_hex_and_underscores_parse() {
+        let spec = ScenarioSpec::from_toml(
+            "# a scenario\n[cluster]\nseed = 0xE16_2026 # replayable\n[load]\nrequests = 1_200\n",
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 0xE16_2026);
+        assert_eq!(spec.requests, 1200);
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_errors() {
+        assert!(ScenarioSpec::from_toml("[cluster]\nmachine = 4\n")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(ScenarioSpec::from_toml("[clutser]\n")
+            .unwrap_err()
+            .contains("unknown section"));
+        assert!(ScenarioSpec::from_toml("[load]\ncurve = \"bursty\"\n")
+            .unwrap_err()
+            .contains("unknown arrival curve"));
+        assert!(ScenarioSpec::from_toml("[cluster]\nmachines = 2\n").is_err());
+    }
+}

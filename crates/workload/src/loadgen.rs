@@ -1,0 +1,322 @@
+//! The closed-loop load generator: N virtual clients on one driver.
+//!
+//! The generator is a single closed loop over async calls — the same
+//! shape E15 used to find the goodput plateau — whose in-flight window
+//! is the "number of virtual clients" and is re-shaped every issue by
+//! an [`ArrivalCurve`]. All timing comes from the cluster clock
+//! (`driver.now_nanos()`), so under `with_virtual_time(seed)` the
+//! whole load schedule, including the diurnal sine, is deterministic.
+//!
+//! The request mix is seeded SplitMix64: feed reads follow a Zipf
+//! popularity (feed 0 is the hot head), session validations are
+//! uniform, and `write_permille` of requests are writes split across
+//! feed posts, user follows, and session touches.
+
+use oopp::RemoteError;
+
+/// How the closed-loop window (the live virtual clients) evolves over
+/// the run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalCurve {
+    /// A constant window of `clients`.
+    Steady,
+    /// A sine between `trough * clients` and `clients`, starting at
+    /// the trough: one full cycle every `period_ms` of virtual time.
+    Diurnal { period_ms: u64, trough: f64 },
+    /// Steady at `clients`, multiplied by `factor` during
+    /// `[at_ms, at_ms + dur_ms)` — the flash-crowd shape.
+    Spike {
+        at_ms: u64,
+        dur_ms: u64,
+        factor: f64,
+    },
+}
+
+impl ArrivalCurve {
+    /// The window at `elapsed_nanos` into the run, for a peak of
+    /// `clients`. Always at least 1 — a closed loop must keep looping.
+    pub fn window_at(&self, elapsed_nanos: u64, clients: usize) -> usize {
+        let w = match self {
+            ArrivalCurve::Steady => clients as f64,
+            ArrivalCurve::Diurnal { period_ms, trough } => {
+                let period = (*period_ms as f64) * 1e6;
+                let phase = (elapsed_nanos as f64 % period) / period;
+                let swell = 0.5 - 0.5 * (2.0 * std::f64::consts::PI * phase).cos();
+                clients as f64 * (trough + (1.0 - trough) * swell)
+            }
+            ArrivalCurve::Spike {
+                at_ms,
+                dur_ms,
+                factor,
+            } => {
+                let at = at_ms * 1_000_000;
+                let until = at + dur_ms * 1_000_000;
+                if (at..until).contains(&elapsed_nanos) {
+                    clients as f64 * factor
+                } else {
+                    clients as f64
+                }
+            }
+        };
+        (w.round() as usize).max(1)
+    }
+}
+
+/// The two request classes the SLOs are written against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqClass {
+    Read,
+    Write,
+}
+
+impl ReqClass {
+    pub fn label(self) -> &'static str {
+        match self {
+            ReqClass::Read => "read",
+            ReqClass::Write => "write",
+        }
+    }
+}
+
+/// How one request ended, as the client saw it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed with a reply.
+    Ok,
+    /// Shed at admission (or fast-failed on an open breaker).
+    Overloaded,
+    /// Dropped because its propagated deadline expired.
+    DeadlineExpired,
+    /// The reply window lapsed through every retry.
+    Timeout,
+    /// Any other error class.
+    Other,
+}
+
+impl Outcome {
+    pub fn classify<T>(r: &Result<T, RemoteError>) -> Outcome {
+        match r {
+            Ok(_) => Outcome::Ok,
+            Err(RemoteError::Overloaded { .. }) => Outcome::Overloaded,
+            Err(RemoteError::DeadlineExceeded { .. }) => Outcome::DeadlineExpired,
+            Err(RemoteError::Timeout { .. }) => Outcome::Timeout,
+            Err(_) => Outcome::Other,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Overloaded => "overloaded",
+            Outcome::DeadlineExpired => "deadline",
+            Outcome::Timeout => "timeout",
+            Outcome::Other => "other",
+        }
+    }
+
+    pub fn from_label(s: &str) -> Option<Outcome> {
+        Some(match s {
+            "ok" => Outcome::Ok,
+            "overloaded" => Outcome::Overloaded,
+            "deadline" => Outcome::DeadlineExpired,
+            "timeout" => Outcome::Timeout,
+            "other" => Outcome::Other,
+            _ => return None,
+        })
+    }
+}
+
+/// One completed request, as recorded by the closed loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Issue time, nanoseconds on the cluster clock.
+    pub issued_nanos: u64,
+    /// Completion time (reply or final error), cluster clock.
+    pub done_nanos: u64,
+    pub class: ReqClass,
+    pub outcome: Outcome,
+}
+
+impl Observation {
+    /// Closed-loop latency in microseconds.
+    pub fn lat_us(&self) -> f64 {
+        self.done_nanos.saturating_sub(self.issued_nanos) as f64 / 1e3
+    }
+}
+
+/// The seeded request chooser: which verb the next virtual client
+/// issues. Pure state machine — the runner owns the actual calls.
+pub struct RequestMix {
+    rng: u64,
+    write_permille: u32,
+    zipf_cdf: Vec<f64>,
+    zipf_total: f64,
+}
+
+/// What the chooser picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Zipf-popular feed read.
+    FeedRead { feed: usize },
+    /// Uniform session validation (also a read).
+    SessionValidate { session: usize },
+    /// Write burst: post to a Zipf-popular feed.
+    FeedPost { feed: usize },
+    /// Write: gain a follower.
+    UserFollow { user: usize },
+    /// Write: session activity.
+    SessionTouch { session: usize },
+}
+
+impl Request {
+    pub fn class(self) -> ReqClass {
+        match self {
+            Request::FeedRead { .. } | Request::SessionValidate { .. } => ReqClass::Read,
+            _ => ReqClass::Write,
+        }
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RequestMix {
+    pub fn new(seed: u64, feeds: usize, zipf_s: f64, write_permille: u32) -> Self {
+        let mut cdf = Vec::with_capacity(feeds);
+        let mut acc = 0.0f64;
+        for k in 0..feeds {
+            acc += 1.0 / ((k + 1) as f64).powf(zipf_s);
+            cdf.push(acc);
+        }
+        RequestMix {
+            rng: seed ^ 0x10AD_4E4E,
+            write_permille,
+            zipf_cdf: cdf,
+            zipf_total: acc,
+        }
+    }
+
+    fn zipf_feed(&mut self) -> usize {
+        let u = (splitmix(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64 * self.zipf_total;
+        self.zipf_cdf
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.zipf_cdf.len() - 1)
+    }
+
+    /// The next request, given the population sizes.
+    pub fn next(&mut self, users: usize, sessions: usize) -> Request {
+        let is_write = splitmix(&mut self.rng) % 1000 < self.write_permille as u64;
+        if is_write {
+            match splitmix(&mut self.rng) % 4 {
+                // Half the writes land on feeds — the write burst the
+                // replica coherence has to absorb.
+                0 | 1 => Request::FeedPost {
+                    feed: self.zipf_feed(),
+                },
+                2 => Request::UserFollow {
+                    user: (splitmix(&mut self.rng) % users as u64) as usize,
+                },
+                _ => Request::SessionTouch {
+                    session: (splitmix(&mut self.rng) % sessions as u64) as usize,
+                },
+            }
+        } else if splitmix(&mut self.rng) % 10 < 7 {
+            // 70% of reads hit feeds (Zipf); 30% validate sessions.
+            Request::FeedRead {
+                feed: self.zipf_feed(),
+            }
+        } else {
+            Request::SessionValidate {
+                session: (splitmix(&mut self.rng) % sessions as u64) as usize,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn steady_is_flat_and_diurnal_swings_trough_to_peak() {
+        let steady = ArrivalCurve::Steady;
+        assert_eq!(steady.window_at(0, 24), 24);
+        assert_eq!(steady.window_at(999 * MS, 24), 24);
+
+        let diurnal = ArrivalCurve::Diurnal {
+            period_ms: 400,
+            trough: 0.5,
+        };
+        // Starts at the trough, peaks mid-cycle, returns to the trough.
+        assert_eq!(diurnal.window_at(0, 24), 12);
+        assert_eq!(diurnal.window_at(200 * MS, 24), 24);
+        assert_eq!(diurnal.window_at(400 * MS, 24), 12);
+        // Quarter cycle sits midway.
+        let q = diurnal.window_at(100 * MS, 24);
+        assert!((13..=23).contains(&q), "quarter-cycle window {q}");
+    }
+
+    #[test]
+    fn spike_multiplies_exactly_inside_its_interval() {
+        let spike = ArrivalCurve::Spike {
+            at_ms: 100,
+            dur_ms: 50,
+            factor: 3.0,
+        };
+        assert_eq!(spike.window_at(99 * MS, 10), 10);
+        assert_eq!(spike.window_at(100 * MS, 10), 30);
+        assert_eq!(spike.window_at(149 * MS, 10), 30);
+        assert_eq!(spike.window_at(150 * MS, 10), 10);
+    }
+
+    #[test]
+    fn window_never_reaches_zero() {
+        let diurnal = ArrivalCurve::Diurnal {
+            period_ms: 100,
+            trough: 0.0,
+        };
+        assert_eq!(diurnal.window_at(0, 1), 1);
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_respects_the_write_fraction() {
+        let draw = |seed: u64| -> (Vec<Request>, u64) {
+            let mut mix = RequestMix::new(seed, 8, 1.1, 200);
+            let reqs: Vec<Request> = (0..2000).map(|_| mix.next(16, 16)).collect();
+            let writes = reqs.iter().filter(|r| r.class() == ReqClass::Write).count() as u64;
+            (reqs, writes)
+        };
+        let (a, writes) = draw(7);
+        let (b, _) = draw(7);
+        assert_eq!(a, b, "same seed must draw the same mix");
+        let (c, _) = draw(8);
+        assert_ne!(a, c, "different seeds must diverge");
+        // 200‰ nominal: allow generous sampling slack.
+        assert!((300..=500).contains(&writes), "writes {writes} of 2000");
+    }
+
+    #[test]
+    fn zipf_head_dominates_feed_reads() {
+        let mut mix = RequestMix::new(3, 12, 1.1, 0);
+        let mut head = 0u64;
+        let mut total = 0u64;
+        for _ in 0..4000 {
+            if let Request::FeedRead { feed } = mix.next(4, 4) {
+                total += 1;
+                head += (feed == 0) as u64;
+            }
+        }
+        assert!(
+            head * 4 > total,
+            "hot feed must take >25% of feed reads ({head}/{total})"
+        );
+    }
+}

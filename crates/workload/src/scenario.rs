@@ -1,0 +1,263 @@
+//! The application under test: a session/social-graph store.
+//!
+//! Three remote classes — `User`, `Session`, `Feed` — model the
+//! serving tier of a social product. All three are `persistent` (so
+//! placement can migrate them and supervision could resurrect them)
+//! and declare `reads(...)` verbs (so the replica manager can scale
+//! their read paths). Every verb charges `service_us` of modeled
+//! compute through the cluster clock, which parks the scheduler lane
+//! rather than burning host CPU — the same host-independent idiom the
+//! scheduler experiments use — so latency distributions are identical
+//! across machines and deterministic under virtual time.
+//!
+//! The deployment reserves one machine for the hot feed's primary (the
+//! crash victim in E16's fault episode) and spreads everything else
+//! round-robin over the remaining workers, keeping machine 0 — which
+//! hosts the root directory and the shard seats — out of the blast
+//! radius of the fault episodes.
+
+use std::time::Duration;
+
+use oopp::{remote_class, wire, NameService, NodeCtx, RemoteClient, RemoteResult};
+
+use crate::config::ScenarioSpec;
+
+/// A member profile: `profile` is the replicable read; `follow` and
+/// `post` are the writes that version it.
+#[derive(Debug)]
+pub struct User {
+    followers: u64,
+    posts: u64,
+    version: u64,
+    service_us: u64,
+}
+
+remote_class! {
+    class User {
+        persistent;
+        reads(profile);
+        ctor(service_us: u64);
+        /// Read the profile; returns a version-stamped digest.
+        fn profile(&mut self) -> u64;
+        /// Gain a follower; returns the new follower count.
+        fn follow(&mut self) -> u64;
+        /// Publish a post; returns the author's post count.
+        fn post(&mut self) -> u64;
+    }
+}
+
+impl User {
+    pub fn new(_ctx: &mut NodeCtx, service_us: u64) -> RemoteResult<Self> {
+        Ok(User {
+            followers: 0,
+            posts: 0,
+            version: 0,
+            service_us,
+        })
+    }
+
+    fn profile(&mut self, ctx: &mut NodeCtx) -> RemoteResult<u64> {
+        ctx.clock().sleep(Duration::from_micros(self.service_us));
+        Ok(self.version << 20 | self.followers.min(0xFFFF) << 4 | self.posts.min(0xF))
+    }
+
+    fn follow(&mut self, ctx: &mut NodeCtx) -> RemoteResult<u64> {
+        ctx.clock().sleep(Duration::from_micros(self.service_us));
+        self.followers += 1;
+        self.version += 1;
+        Ok(self.followers)
+    }
+
+    fn post(&mut self, ctx: &mut NodeCtx) -> RemoteResult<u64> {
+        ctx.clock().sleep(Duration::from_micros(self.service_us));
+        self.posts += 1;
+        self.version += 1;
+        Ok(self.posts)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        wire::to_bytes(&(self.followers, self.posts, self.version, self.service_us))
+    }
+
+    fn load_state(_ctx: &mut NodeCtx, state: &[u8]) -> RemoteResult<Self> {
+        let (followers, posts, version, service_us) = wire::from_bytes(state)?;
+        Ok(User {
+            followers,
+            posts,
+            version,
+            service_us,
+        })
+    }
+}
+
+/// A login session: `validate` is the hot read on every request path;
+/// `touch` is the activity write.
+#[derive(Debug)]
+pub struct Session {
+    user: u64,
+    touches: u64,
+    service_us: u64,
+}
+
+remote_class! {
+    class Session {
+        persistent;
+        reads(validate);
+        ctor(user: u64, service_us: u64);
+        /// Validate the session token; returns the owning user id.
+        fn validate(&mut self) -> u64;
+        /// Record activity; returns the touch count.
+        fn touch(&mut self) -> u64;
+    }
+}
+
+impl Session {
+    pub fn new(_ctx: &mut NodeCtx, user: u64, service_us: u64) -> RemoteResult<Self> {
+        Ok(Session {
+            user,
+            touches: 0,
+            service_us,
+        })
+    }
+
+    fn validate(&mut self, ctx: &mut NodeCtx) -> RemoteResult<u64> {
+        ctx.clock().sleep(Duration::from_micros(self.service_us));
+        Ok(self.user)
+    }
+
+    fn touch(&mut self, ctx: &mut NodeCtx) -> RemoteResult<u64> {
+        ctx.clock().sleep(Duration::from_micros(self.service_us));
+        self.touches += 1;
+        Ok(self.touches)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        wire::to_bytes(&(self.user, self.touches, self.service_us))
+    }
+
+    fn load_state(_ctx: &mut NodeCtx, state: &[u8]) -> RemoteResult<Self> {
+        let (user, touches, service_us) = wire::from_bytes(state)?;
+        Ok(Session {
+            user,
+            touches,
+            service_us,
+        })
+    }
+}
+
+/// A timeline: `read_page` is the Zipf-popular read the replicas
+/// scale; `post` is the write burst that keeps coherence honest.
+#[derive(Debug)]
+pub struct Feed {
+    owner: u64,
+    entries: u64,
+    version: u64,
+    service_us: u64,
+}
+
+remote_class! {
+    class Feed {
+        persistent;
+        reads(read_page);
+        ctor(owner: u64, service_us: u64);
+        /// Read the top of the feed; returns a version-stamped digest
+        /// so read-your-writes violations are observable.
+        fn read_page(&mut self) -> u64;
+        /// Append an entry; returns the feed's version.
+        fn post(&mut self) -> u64;
+    }
+}
+
+impl Feed {
+    pub fn new(_ctx: &mut NodeCtx, owner: u64, service_us: u64) -> RemoteResult<Self> {
+        Ok(Feed {
+            owner,
+            entries: 0,
+            version: 0,
+            service_us,
+        })
+    }
+
+    fn read_page(&mut self, ctx: &mut NodeCtx) -> RemoteResult<u64> {
+        ctx.clock().sleep(Duration::from_micros(self.service_us));
+        Ok(self.owner << 32 | self.version)
+    }
+
+    fn post(&mut self, ctx: &mut NodeCtx) -> RemoteResult<u64> {
+        ctx.clock().sleep(Duration::from_micros(self.service_us));
+        self.entries += 1;
+        self.version += 1;
+        Ok(self.version)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        wire::to_bytes(&(self.owner, self.entries, self.version, self.service_us))
+    }
+
+    fn load_state(_ctx: &mut NodeCtx, state: &[u8]) -> RemoteResult<Self> {
+        let (owner, entries, version, service_us) = wire::from_bytes(state)?;
+        Ok(Feed {
+            owner,
+            entries,
+            version,
+            service_us,
+        })
+    }
+}
+
+/// Where everything landed: the handles the load generator drives.
+pub struct Deployment {
+    pub users: Vec<UserClient>,
+    pub sessions: Vec<SessionClient>,
+    pub feeds: Vec<FeedClient>,
+    /// Directory name of feed `i` (`oopp://workload/feed/<i>`).
+    pub feed_names: Vec<String>,
+    /// The machine reserved for the hot feed's primary — the crash
+    /// episode's victim. No other scenario object lives there.
+    pub victim: usize,
+}
+
+/// The hot feed's directory name.
+pub fn feed_name(i: usize) -> String {
+    oopp::symbolic_addr(&["workload", "feed", &i.to_string()])
+}
+
+/// Deploy the store per `spec`. The last machine is reserved for the
+/// hot feed (feed 0); users, sessions, and the cold feeds round-robin
+/// over machines `1..last` so the initial placement is deliberately
+/// *imperfect* — the balancer is expected to earn its keep — while
+/// machine 0 (root directory + shard seats) and the victim stay clear
+/// of bulk load.
+pub fn deploy(
+    ctx: &mut NodeCtx,
+    dir: &NameService,
+    spec: &ScenarioSpec,
+) -> RemoteResult<Deployment> {
+    let victim = spec.machines - 1;
+    let spread: Vec<usize> = (1..victim).collect();
+    let place = |i: usize| spread[i % spread.len()];
+
+    let users: Vec<UserClient> = (0..spec.users)
+        .map(|i| UserClient::new_on(ctx, place(i), spec.service_us))
+        .collect::<RemoteResult<_>>()?;
+    let sessions: Vec<SessionClient> = (0..spec.sessions)
+        .map(|i| SessionClient::new_on(ctx, place(i + 1), i as u64, spec.service_us))
+        .collect::<RemoteResult<_>>()?;
+    let mut feeds = Vec::with_capacity(spec.feeds);
+    let mut feed_names = Vec::with_capacity(spec.feeds);
+    for i in 0..spec.feeds {
+        let home = if i == 0 { victim } else { place(i + 2) };
+        let feed = FeedClient::new_on(ctx, home, i as u64, spec.service_us)?;
+        let name = feed_name(i);
+        dir.bind(ctx, name.clone(), feed.obj_ref())?;
+        feeds.push(feed);
+        feed_names.push(name);
+    }
+    Ok(Deployment {
+        users,
+        sessions,
+        feeds,
+        feed_names,
+        victim,
+    })
+}

@@ -22,7 +22,11 @@
 //!   failover (DESIGN §11);
 //! * [`dirsvc`] — the sharded control plane's management plane: seats,
 //!   replicates, and supervises the `DirShard` fleet behind
-//!   `ClusterBuilder::dir_shards(n)` (DESIGN §14).
+//!   `ClusterBuilder::dir_shards(n)` (DESIGN §14);
+//! * [`workload`] — the macro-workload serving scenario and SLO
+//!   harness: a social-graph session store driven by a closed-loop
+//!   deterministic load generator, judged against latency/goodput
+//!   objectives with error-budget burn accounting (DESIGN §16).
 //!
 //! This crate exists *only* as that aggregation point: `examples/` and
 //! `tests/` at the workspace root attach to it, so one `cargo run
@@ -42,3 +46,4 @@ pub use replica;
 pub use simnet;
 pub use supervision;
 pub use wire;
+pub use workload;

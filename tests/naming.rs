@@ -525,6 +525,120 @@ fn rebind_races_cas_claims_across_two_shards_independently() {
     cluster.shutdown(driver);
 }
 
+// ---------------------------------------------------------------------
+// Per-node resolve cache: the 1024-entry eviction bound (DESIGN.md §14)
+// ---------------------------------------------------------------------
+
+/// The per-node resolve cache is bounded: inserting a *new* key at
+/// capacity evicts wholesale (clear-then-insert, no LRU bookkeeping),
+/// and `dir_cache_hits`/`dir_cache_misses` account every probe.
+#[test]
+fn resolve_cache_evicts_wholesale_at_capacity_and_counts_probes() {
+    let (cluster, mut driver, _dir) = build();
+
+    // A sentinel inserted first: the moment it stops resolving, the
+    // wholesale clear has happened.
+    let sentinel = symbolic_addr(&["naming", "evict", "sentinel"]);
+    driver.cache_resolve(&sentinel, obj(0, 1));
+    let mut cleared_at = None;
+    for i in 0..2048u32 {
+        driver.cache_resolve(
+            &symbolic_addr(&["naming", "evict", &i.to_string()]),
+            obj(0, 2),
+        );
+        if driver.cached_resolve(&sentinel).is_none() {
+            cleared_at = Some(i);
+            break;
+        }
+    }
+    let cleared_at = cleared_at.expect("2048 inserts must blow the 1024-entry bound");
+    assert!(
+        cleared_at <= 1024,
+        "eviction fired at insert {cleared_at}, past the documented bound"
+    );
+
+    // Clear-then-insert: the key that triggered the eviction survives
+    // it; everything older — sentinel included — is gone.
+    let trigger = symbolic_addr(&["naming", "evict", &cleared_at.to_string()]);
+    let first = symbolic_addr(&["naming", "evict", "0"]);
+    let s0 = driver.local_stats();
+    assert_eq!(driver.cached_resolve(&trigger), Some(obj(0, 2)));
+    assert_eq!(driver.cached_resolve(&sentinel), None);
+    assert_eq!(driver.cached_resolve(&first), None);
+    let s1 = driver.local_stats();
+    assert_eq!(s1.dir_cache_hits, s0.dir_cache_hits + 1);
+    assert_eq!(s1.dir_cache_misses, s0.dir_cache_misses + 2);
+
+    cluster.shutdown(driver);
+}
+
+/// Wholesale eviction takes the sharded directory's *seat* entries with
+/// it — the next lookup must re-resolve the seat through the root table
+/// (a counted miss), route correctly, and re-warm the cache so the
+/// lookup after that is a hit again.
+#[test]
+fn seat_cache_re_resolves_correctly_after_eviction() {
+    let (cluster, mut driver, dir) = build_sharded(2);
+    let names = names_on_shards("seatevict", 2, &[0, 1]);
+    dir.bind(&mut driver, names[0].clone(), obj(1, 50)).unwrap();
+    dir.bind(&mut driver, names[1].clone(), obj(1, 51)).unwrap();
+
+    // Warm both seats, then prove warm lookups run on cache hits alone.
+    assert_eq!(
+        dir.lookup(&mut driver, names[0].clone()).unwrap(),
+        Some(obj(1, 50))
+    );
+    assert_eq!(
+        dir.lookup(&mut driver, names[1].clone()).unwrap(),
+        Some(obj(1, 51))
+    );
+    let s0 = driver.local_stats();
+    assert_eq!(
+        dir.lookup(&mut driver, names[0].clone()).unwrap(),
+        Some(obj(1, 50))
+    );
+    let s1 = driver.local_stats();
+    assert!(s1.dir_cache_hits > s0.dir_cache_hits);
+    assert_eq!(s1.dir_cache_misses, s0.dir_cache_misses);
+
+    // Flood the driver's resolve cache well past the bound: exactly one
+    // wholesale clear, and the seat entries are collateral damage.
+    for i in 0..1500u32 {
+        driver.cache_resolve(
+            &symbolic_addr(&["naming", "flood", &i.to_string()]),
+            obj(0, 900),
+        );
+    }
+    assert_eq!(driver.cached_resolve(&shard_addr(0)), None);
+    assert_eq!(driver.cached_resolve(&shard_addr(1)), None);
+
+    // Post-eviction: the facade re-resolves the seat (counted misses),
+    // still routes to the right shard record…
+    let s2 = driver.local_stats();
+    assert_eq!(
+        dir.lookup(&mut driver, names[0].clone()).unwrap(),
+        Some(obj(1, 50))
+    );
+    assert_eq!(
+        dir.lookup(&mut driver, names[1].clone()).unwrap(),
+        Some(obj(1, 51))
+    );
+    let s3 = driver.local_stats();
+    assert!(s3.dir_cache_misses > s2.dir_cache_misses);
+
+    // …and the refill sticks: the next lookup is pure cache hits again.
+    let s4 = driver.local_stats();
+    assert_eq!(
+        dir.lookup(&mut driver, names[0].clone()).unwrap(),
+        Some(obj(1, 50))
+    );
+    let s5 = driver.local_stats();
+    assert!(s5.dir_cache_hits > s4.dir_cache_hits);
+    assert_eq!(s5.dir_cache_misses, s4.dir_cache_misses);
+
+    cluster.shutdown(driver);
+}
+
 /// A lookup concurrent with a takeover sees the old incarnation or the
 /// new one — `bind_fenced` installs target and epoch atomically in the
 /// shard's record — and a poisoned record is never served as live.

@@ -403,6 +403,142 @@ fn migration_workload(
     witness
 }
 
+/// Replicable counter: `peek` is a `reads(...)` verb, so the replica
+/// manager will accept it — the smallest class that can sit at the
+/// balancer/replication intersection.
+#[derive(Debug, Default)]
+pub struct RCell {
+    total: u64,
+}
+
+oopp_repro::oopp::remote_class! {
+    class RCell {
+        persistent;
+        reads(peek);
+        ctor();
+        /// Add `n`; returns the new total (the write verb).
+        fn bump(&mut self, n: u64) -> u64;
+        /// Current total (the replicated read verb).
+        fn peek(&mut self) -> u64;
+    }
+}
+
+impl RCell {
+    pub fn new(_ctx: &mut NodeCtx) -> RemoteResult<Self> {
+        Ok(RCell::default())
+    }
+
+    fn bump(&mut self, _ctx: &mut NodeCtx, n: u64) -> RemoteResult<u64> {
+        self.total += n;
+        Ok(self.total)
+    }
+
+    fn peek(&mut self, _ctx: &mut NodeCtx) -> RemoteResult<u64> {
+        Ok(self.total)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        wire::to_bytes(&self.total)
+    }
+
+    fn load_state(_ctx: &mut NodeCtx, state: &[u8]) -> RemoteResult<Self> {
+        Ok(RCell {
+            total: wire::from_bytes(state)?,
+        })
+    }
+}
+
+/// The replicated-objects-vs-migration coupling (DESIGN.md §11): a
+/// replicated primary refuses migration, and the balancer must treat
+/// that as routine coordination, not as a failure. Fed the replica
+/// footprint it skips the plan without a wire call; without the feed it
+/// learns from the `Replicated` refusal instead of blacklisting; after
+/// `unreplicate` the object must be movable again.
+#[test]
+fn balancer_skips_replicated_primaries_and_recovers_after_unreplicate() {
+    use replica::{ReplicaConfig, ReplicaManager};
+
+    let (cluster, mut driver) = ClusterBuilder::new(3)
+        .register::<RCell>()
+        .register::<PCounter>()
+        .build();
+    let dir = driver.directory();
+
+    // All load lands on machine 0: one hot replicable cell plus a warm
+    // companion so the greedy planner always has a candidate strictly
+    // smaller than the machine gap.
+    let hot = RCellClient::new_on(&mut driver, 0).unwrap();
+    let warm = PCounterClient::new_on(&mut driver, 0).unwrap();
+    let addr = symbolic_addr(&["placement", "rcell", "hot"]);
+    dir.bind(&mut driver, addr.clone(), hot.obj_ref()).unwrap();
+
+    for _ in 0..20 {
+        hot.bump(&mut driver, 1).unwrap();
+    }
+    for _ in 0..8 {
+        warm.add(&mut driver, 1).unwrap();
+    }
+
+    let mut mgr = ReplicaManager::new(ReplicaConfig::default(), dir);
+    mgr.replicate(&mut driver, &addr, &hot, &[1]).unwrap();
+    assert!(mgr.footprint(&addr).contains(&1));
+
+    let policy = || PlacementPolicy::GreedyRebalance {
+        imbalance_ratio: 1.2,
+        max_moves_per_round: 2,
+    };
+
+    // Phase A — footprint fed: the plan for the hot cell is skipped
+    // outright; no migration is even attempted on the wire.
+    let mut fed = Balancer::new(policy(), vec![0, 1, 2]).with_cooldown(0);
+    fed.pin(dir.obj_ref());
+    fed.pin(warm.obj_ref());
+    fed.set_replicated([mgr.primary_of(&addr).unwrap()]);
+    fed.step(&mut driver, None).unwrap();
+    assert_eq!(fed.moves_skipped_replicated(), 1);
+    assert_eq!(fed.moves_executed(), 0);
+    assert_eq!(driver.stats_of(0).unwrap().migrated_out, 0);
+
+    // Phase B — no feed: the balancer burns one round trip on the
+    // `Replicated` refusal, counts it as a skip (not a failure), and
+    // learns the footprint rather than blacklisting the object.
+    for _ in 0..20 {
+        hot.bump(&mut driver, 1).unwrap();
+    }
+    for _ in 0..8 {
+        warm.add(&mut driver, 1).unwrap();
+    }
+    let mut blind = Balancer::new(policy(), vec![0, 1, 2]).with_cooldown(0);
+    blind.pin(dir.obj_ref());
+    blind.pin(warm.obj_ref());
+    blind.step(&mut driver, None).unwrap();
+    assert_eq!(blind.moves_skipped_replicated(), 1);
+    assert_eq!(blind.moves_executed(), 0);
+    assert_eq!(
+        driver.stats_of(0).unwrap().migrated_out,
+        0,
+        "a Replicated refusal must roll back before any transfer"
+    );
+
+    // Phase C — tear the replica set down: the object is a plain movable
+    // process again, and the same balancer (footprint now empty) must
+    // migrate it off the hot machine with state intact.
+    mgr.unreplicate(&mut driver, &addr).unwrap();
+    blind.set_replicated(std::iter::empty());
+    for _ in 0..20 {
+        hot.bump(&mut driver, 1).unwrap();
+    }
+    for _ in 0..8 {
+        warm.add(&mut driver, 1).unwrap();
+    }
+    let moved = blind.step(&mut driver, None).unwrap();
+    assert_eq!(blind.moves_executed(), 1, "unreplicated object must move");
+    assert!(moved.iter().any(|p| p.object == hot.obj_ref()));
+    assert_eq!(hot.peek(&mut driver).unwrap(), 60);
+
+    cluster.shutdown(driver);
+}
+
 mod proptests {
     use super::*;
     use proptest::prelude::*;
